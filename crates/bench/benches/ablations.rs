@@ -1,0 +1,65 @@
+//! Runtime cost of the RFH decision machinery under each ablated
+//! configuration (the *quality* impact of the ablations is reported by
+//! `cargo run -p rfh-experiments --bin ablations`; these benches answer
+//! "does the mechanism cost anything at runtime?").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfh_bench::bench_params;
+use rfh_core::RfhPolicy;
+use rfh_sim::Simulation;
+use rfh_types::{FlashCrowdConfig, Thresholds};
+use rfh_workload::Scenario;
+
+const EPOCHS: u64 = 100;
+
+fn run_variant(thresholds: Option<Thresholds>, policy: Option<RfhPolicy>) -> rfh_sim::SimResult {
+    let mut params = bench_params(
+        Scenario::FlashCrowd(FlashCrowdConfig::default()),
+        EPOCHS,
+    );
+    if let Some(t) = thresholds {
+        params.config.thresholds = t;
+    }
+    let sim = Simulation::new(params).unwrap();
+    let sim = match policy {
+        Some(p) => sim.with_custom_policy(Box::new(p)),
+        None => sim,
+    };
+    sim.run().unwrap()
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    group.bench_function("baseline_paper_thresholds", |b| {
+        b.iter(|| black_box(run_variant(None, None)))
+    });
+    group.bench_function("alpha_0.8_heavy_smoothing", |b| {
+        let t = Thresholds { alpha: 0.8, ..Thresholds::default() };
+        b.iter(|| black_box(run_variant(Some(t), None)))
+    });
+    group.bench_function("gamma_3_conservative_hubs", |b| {
+        let t = Thresholds { gamma: 3.0, ..Thresholds::default() };
+        b.iter(|| black_box(run_variant(Some(t), None)))
+    });
+    group.bench_function("suicide_off", |b| {
+        let t = Thresholds { delta: 0.0, ..Thresholds::default() };
+        b.iter(|| black_box(run_variant(Some(t), Some(RfhPolicy::with_grace(u64::MAX / 2)))))
+    });
+    group.bench_function("migration_off", |b| {
+        let t = Thresholds { mu: 1e12, ..Thresholds::default() };
+        b.iter(|| black_box(run_variant(Some(t), None)))
+    });
+    group.bench_function("blocking_off", |b| {
+        b.iter(|| {
+            let mut p = RfhPolicy::new();
+            p.set_blocking_choice(false);
+            black_box(run_variant(None, Some(p)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! End-to-end regeneration cost of every paper table and figure.
+//!
+//! Each bench runs the exact simulation behind the corresponding figure
+//! (`rfh-experiments` uses the same entry points), so `cargo bench`
+//! doubles as a smoke-regeneration of the full evaluation:
+//!
+//! * `figure/fig3..fig9_random` — the 250-epoch random-query four-way
+//!   comparison (figs. 3–9 panel (a); they share this simulation, and
+//!   each figure's bench asserts its own metric exists in the result).
+//! * `figure/fig3..fig9_flash` — the 400-epoch flash-crowd comparison
+//!   (panel (b)).
+//! * `figure/fig10_failure_recovery` — the 500-epoch RFH run with the
+//!   epoch-290 mass failure.
+//! * `figure/table1_render` — Table I rendering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfh_bench::bench_params;
+use rfh_experiments::figures;
+use rfh_experiments::table1;
+use rfh_sim::run_comparison;
+use rfh_types::{FlashCrowdConfig, SimConfig};
+use rfh_workload::Scenario;
+
+/// One figure regeneration = one four-policy comparison; verify the
+/// figure's metrics exist so a renamed series cannot silently pass.
+fn comparison_bench(c: &mut Criterion, name: &str, scenario: Scenario, epochs: u64, metric: &str) {
+    let mut group = c.benchmark_group("figure");
+    group.sample_size(10);
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            let cmp = run_comparison(&bench_params(scenario.clone(), epochs)).unwrap();
+            for kind in rfh_core::PolicyKind::ALL {
+                assert!(cmp.of(kind).metrics.series(metric).is_some());
+            }
+            black_box(cmp)
+        })
+    });
+    group.finish();
+}
+
+fn figure_benches(c: &mut Criterion) {
+    let flash = Scenario::FlashCrowd(FlashCrowdConfig::default());
+    // Panel (a): random query, 250 epochs — one bench per figure/metric.
+    for (name, metric) in [
+        ("fig3_utilization_random", "utilization"),
+        ("fig4_replica_number_random", "replicas_total"),
+        ("fig5_replication_cost_random", "replication_cost"),
+        ("fig6_migration_times_random", "migrations_total"),
+        ("fig7_migration_cost_random", "migration_cost"),
+        ("fig8_load_imbalance_random", "load_imbalance"),
+        ("fig9_path_length_random", "path_length"),
+    ] {
+        comparison_bench(c, name, Scenario::RandomEven, figures::RANDOM_EPOCHS, metric);
+    }
+    // Panel (b): flash crowd, 400 epochs.
+    for (name, metric) in [
+        ("fig3_utilization_flash", "utilization"),
+        ("fig4_replica_number_flash", "replicas_total"),
+        ("fig5_replication_cost_flash", "replication_cost"),
+        ("fig6_migration_times_flash", "migrations_total"),
+        ("fig7_migration_cost_flash", "migration_cost"),
+        ("fig8_load_imbalance_flash", "load_imbalance"),
+        ("fig9_path_length_flash", "path_length"),
+    ] {
+        comparison_bench(c, name, flash.clone(), figures::FLASH_EPOCHS, metric);
+    }
+}
+
+fn fig10_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure");
+    group.sample_size(10);
+    group.bench_function("fig10_failure_recovery", |b| {
+        b.iter(|| black_box(figures::fig10(42).unwrap()))
+    });
+    group.finish();
+}
+
+fn table1_bench(c: &mut Criterion) {
+    c.bench_function("figure/table1_render", |b| {
+        let cfg = SimConfig::default();
+        b.iter(|| black_box(table1::render(&cfg)))
+    });
+}
+
+criterion_group!(benches, figure_benches, fig10_bench, table1_bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! # rfh-bench
+//!
+//! Criterion benchmark harness for the RFH workspace. The benches live
+//! under `benches/`:
+//!
+//! * `micro` — the hot primitives: consistent-hash lookups, WAN
+//!   shortest-path rebuilds, prefix-overlay routing, Erlang-B, the
+//!   traffic pass, one RFH decision epoch, the samplers.
+//! * `figures` — end-to-end regeneration cost of each paper figure
+//!   (the four-policy comparison at the paper's scale).
+//! * `ablations` — RFH epoch cost under each ablated configuration.
+//!
+//! This crate's library exposes the shared fixtures so the three bench
+//! binaries do not duplicate setup code.
+
+#![warn(missing_docs)]
+
+use rfh_core::{PolicyKind, ReplicaManager};
+use rfh_ring::ConsistentHashRing;
+use rfh_sim::SimParams;
+use rfh_topology::{paper_topology, Topology};
+use rfh_types::{PartitionId, SimConfig};
+use rfh_workload::{EventSchedule, QueryLoad, Scenario, WorkloadGenerator};
+
+/// The paper topology with Table I capacity spread, fixed seed.
+pub fn bench_topology() -> Topology {
+    paper_topology(0.25, 42).expect("preset builds")
+}
+
+/// A populated ring over the bench topology.
+pub fn bench_ring(topo: &Topology) -> ConsistentHashRing {
+    let mut ring = ConsistentHashRing::new(64);
+    for s in topo.servers() {
+        ring.join(s.id);
+    }
+    ring
+}
+
+/// A replica manager at initial (primary-only) placement.
+pub fn bench_manager(cfg: &SimConfig, topo: &Topology, ring: &ConsistentHashRing) -> ReplicaManager {
+    let holders = (0..cfg.partitions)
+        .map(|p| ring.primary(PartitionId::new(p)).expect("ring populated"))
+        .collect();
+    ReplicaManager::new(cfg, topo.server_count(), holders).expect("valid placement")
+}
+
+/// One epoch's query matrix at the paper's scale.
+pub fn bench_load(cfg: &SimConfig) -> QueryLoad {
+    let mut generator = WorkloadGenerator::new(
+        cfg.queries_per_epoch,
+        cfg.partitions,
+        10,
+        cfg.partition_skew,
+        Scenario::RandomEven,
+        100,
+        42,
+    );
+    generator.epoch_load(0)
+}
+
+/// Simulation parameters at the paper's scale, shortened to `epochs`.
+pub fn bench_params(scenario: Scenario, epochs: u64) -> SimParams {
+    SimParams {
+        config: SimConfig::default(),
+        scenario,
+        policy: PolicyKind::Rfh,
+        epochs,
+        seed: 42,
+        events: EventSchedule::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let topo = bench_topology();
+        let ring = bench_ring(&topo);
+        let cfg = SimConfig::default();
+        let manager = bench_manager(&cfg, &topo, &ring);
+        assert_eq!(manager.partitions(), 64);
+        let load = bench_load(&cfg);
+        assert!(load.total() > 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Hand-rolled argument parsing.
+//!
+//! Grammar: `<command> (--key value)*`. Every option takes exactly one
+//! value; unknown options are rejected at parse time (commands validate
+//! which options they accept semantically).
+
+use rfh_core::PolicyKind;
+use rfh_types::{FlashCrowdConfig, Result, RfhError};
+use rfh_workload::Scenario;
+use std::collections::BTreeMap;
+
+/// Parsed options: `--key value` pairs.
+pub type Options = BTreeMap<String, String>;
+
+/// Options recognised anywhere (commands ignore what they don't use but
+/// typos should not pass silently).
+const KNOWN: [&str; 8] =
+    ["policy", "scenario", "epochs", "seed", "csv", "csv-dir", "out", "trace"];
+
+/// Split an argument list into `(command, options)`.
+pub fn parse(argv: &[String]) -> Result<(String, Options)> {
+    let mut it = argv.iter();
+    let command = it.next().cloned().unwrap_or_default();
+    let mut opts = Options::new();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(RfhError::InvalidConfig {
+                parameter: "arguments",
+                reason: format!("expected --option, got {arg:?}"),
+            });
+        };
+        if !KNOWN.contains(&key) {
+            return Err(RfhError::InvalidConfig {
+                parameter: "arguments",
+                reason: format!("unknown option --{key}; try `rfh help`"),
+            });
+        }
+        let Some(value) = it.next() else {
+            return Err(RfhError::InvalidConfig {
+                parameter: "arguments",
+                reason: format!("--{key} needs a value"),
+            });
+        };
+        opts.insert(key.to_string(), value.clone());
+    }
+    Ok((command, opts))
+}
+
+/// `--policy` (default RFH).
+pub fn policy(opts: &Options) -> Result<PolicyKind> {
+    match opts.get("policy").map(String::as_str) {
+        None | Some("rfh") => Ok(PolicyKind::Rfh),
+        Some("random") => Ok(PolicyKind::Random),
+        Some("owner") => Ok(PolicyKind::OwnerOriented),
+        Some("request") => Ok(PolicyKind::RequestOriented),
+        Some(other) => Err(RfhError::InvalidConfig {
+            parameter: "policy",
+            reason: format!("{other:?} is not one of rfh|random|owner|request"),
+        }),
+    }
+}
+
+/// `--scenario` (default random-even).
+pub fn scenario(opts: &Options) -> Result<Scenario> {
+    match opts.get("scenario").map(String::as_str) {
+        None | Some("random") => Ok(Scenario::RandomEven),
+        Some("flash") => Ok(Scenario::FlashCrowd(FlashCrowdConfig::default())),
+        Some("popularity") => Ok(Scenario::PopularityShift),
+        Some(other) => Err(RfhError::InvalidConfig {
+            parameter: "scenario",
+            reason: format!("{other:?} is not one of random|flash|popularity"),
+        }),
+    }
+}
+
+/// `--epochs` (default 250).
+pub fn epochs(opts: &Options) -> Result<u64> {
+    numeric(opts, "epochs", 250)
+}
+
+/// `--seed` (default 42).
+pub fn seed(opts: &Options) -> Result<u64> {
+    numeric(opts, "seed", 42)
+}
+
+fn numeric(opts: &Options, key: &'static str, default: u64) -> Result<u64> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| RfhError::InvalidConfig {
+            parameter: key,
+            reason: format!("{v:?} is not a non-negative integer"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let (cmd, opts) = parse(&argv("run --policy owner --epochs 99")).unwrap();
+        assert_eq!(cmd, "run");
+        assert_eq!(opts.get("policy").unwrap(), "owner");
+        assert_eq!(epochs(&opts).unwrap(), 99);
+        assert_eq!(seed(&opts).unwrap(), 42, "default seed");
+        assert_eq!(policy(&opts).unwrap(), PolicyKind::OwnerOriented);
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        let (cmd, opts) = parse(&[]).unwrap();
+        assert_eq!(cmd, "");
+        assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&argv("run stray")).is_err(), "non-option token");
+        assert!(parse(&argv("run --epochs")).is_err(), "missing value");
+        assert!(parse(&argv("run --bogus 1")).is_err(), "unknown option");
+        let (_, opts) = parse(&argv("run --epochs twelve")).unwrap();
+        assert!(epochs(&opts).is_err(), "non-numeric value");
+    }
+
+    #[test]
+    fn policy_and_scenario_names() {
+        for (name, expect) in [
+            ("rfh", PolicyKind::Rfh),
+            ("random", PolicyKind::Random),
+            ("owner", PolicyKind::OwnerOriented),
+            ("request", PolicyKind::RequestOriented),
+        ] {
+            let (_, o) = parse(&argv(&format!("run --policy {name}"))).unwrap();
+            assert_eq!(policy(&o).unwrap(), expect);
+        }
+        let (_, o) = parse(&argv("run --policy dynamo")).unwrap();
+        assert!(policy(&o).is_err());
+
+        let (_, o) = parse(&argv("run --scenario flash")).unwrap();
+        assert!(matches!(scenario(&o).unwrap(), Scenario::FlashCrowd(_)));
+        let (_, o) = parse(&argv("run --scenario weird")).unwrap();
+        assert!(scenario(&o).is_err());
+        let (_, o) = parse(&argv("run")).unwrap();
+        assert!(matches!(scenario(&o).unwrap(), Scenario::RandomEven));
+    }
+}

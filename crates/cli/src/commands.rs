@@ -1,0 +1,300 @@
+//! The CLI commands.
+
+use crate::args::{self, Options};
+use rfh_core::PolicyKind;
+use rfh_experiments::table1 as table1_mod;
+use rfh_sim::{report, run_comparison, SimParams, Simulation};
+use rfh_topology::paper_topology;
+use rfh_types::{Result, SimConfig};
+use rfh_workload::{EventSchedule, Trace, WorkloadGenerator};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+fn params(opts: &Options) -> Result<SimParams> {
+    Ok(SimParams {
+        config: SimConfig::default(),
+        scenario: args::scenario(opts)?,
+        policy: args::policy(opts)?,
+        epochs: args::epochs(opts)?,
+        seed: args::seed(opts)?,
+        events: EventSchedule::new(),
+    })
+}
+
+/// `rfh table1`.
+pub fn table1(_opts: &Options) -> Result<String> {
+    Ok(table1_mod::render(&SimConfig::default()))
+}
+
+/// `rfh topology`: sites, servers, links, and the routes of the paper's
+/// running example.
+pub fn topology(opts: &Options) -> Result<String> {
+    let seed = args::seed(opts)?;
+    let topo = paper_topology(SimConfig::default().capacity_spread, seed)?;
+    let mut out = String::from("The paper's deployment (Fig. 1):\n\n");
+    for dc in topo.datacenters() {
+        let _ = writeln!(
+            out,
+            "  {}  {}-{}-{}  ({:.2}, {:.2})  {} servers",
+            dc.site,
+            dc.continent,
+            dc.country,
+            dc.code,
+            dc.location.lat_deg,
+            dc.location.lon_deg,
+            dc.server_count(),
+        );
+    }
+    out.push_str("\nWAN links (one-way latency):\n");
+    for dc in topo.datacenters() {
+        for (peer, ms) in topo.graph().neighbours(dc.id) {
+            if peer.0 > dc.id.0 {
+                let _ = writeln!(
+                    out,
+                    "  {} ↔ {}  {ms:.0} ms  ({:.0} km)",
+                    dc.site,
+                    topo.datacenter(peer)?.site,
+                    topo.distance_km(dc.id, peer)?,
+                );
+            }
+        }
+    }
+    out.push_str("\nRoutes from the Asian sites to A (the running example):\n");
+    let a = topo.datacenter_by_site("A").expect("preset has A").id;
+    for site in ["H", "I", "J"] {
+        let from = topo.datacenter_by_site(site).expect("preset site").id;
+        let path = topo.path(from, a).expect("connected");
+        let names: Vec<&str> = path
+            .iter()
+            .map(|&id| topo.datacenters()[id.index()].site.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {} → A: {}  ({:.0} ms)",
+            site,
+            names.join(" → "),
+            topo.graph().latency_ms(from, a).unwrap_or(0.0),
+        );
+    }
+    Ok(out)
+}
+
+fn tail(result: &rfh_sim::SimResult, metric: &str) -> f64 {
+    let s = result.metrics.series(metric).expect("metric exists");
+    s.mean_over(s.len() * 3 / 4, s.len())
+}
+
+const SUMMARY_METRICS: [(&str, &str); 8] = [
+    ("replica utilization", "utilization"),
+    ("total replicas", "replicas_total"),
+    ("replication cost (cum)", "replication_cost"),
+    ("migrations (cum)", "migrations_total"),
+    ("load imbalance", "load_imbalance"),
+    ("lookup path length", "path_length"),
+    ("mean latency (ms)", "latency_ms"),
+    ("SLA within 300 ms", "sla_300ms"),
+];
+
+/// `rfh run`: one policy, steady-state summary, optional CSV.
+pub fn run_one(opts: &Options) -> Result<String> {
+    let p = params(opts)?;
+    let label = format!(
+        "{} under {} for {} epochs (seed {})",
+        p.policy.name(),
+        p.scenario.name(),
+        p.epochs,
+        p.seed
+    );
+    let result = Simulation::new(p)?.run()?;
+    let mut out = format!("{label}\nsteady state (last quarter):\n");
+    for (name, metric) in SUMMARY_METRICS {
+        let _ = writeln!(out, "  {name:24} {:>12.3}", tail(&result, metric));
+    }
+    if let Some(path) = opts.get("csv") {
+        std::fs::write(path, report::run_csv(&result))?;
+        let _ = writeln!(out, "full per-epoch metrics written to {path}");
+    }
+    Ok(out)
+}
+
+/// `rfh compare`: the four-way comparison table.
+pub fn compare(opts: &Options) -> Result<String> {
+    let p = params(opts)?;
+    let label = format!(
+        "all four policies under {} for {} epochs (seed {})",
+        p.scenario.name(),
+        p.epochs,
+        p.seed
+    );
+    let cmp = run_comparison(&p)?;
+    let mut out = format!("{label}\nsteady state (last quarter):\n\n");
+    let _ = write!(out, "{:26}", "metric");
+    for kind in PolicyKind::ALL {
+        let _ = write!(out, " {:>10}", kind.name());
+    }
+    out.push('\n');
+    for (name, metric) in SUMMARY_METRICS {
+        let _ = write!(out, "{name:26}");
+        for kind in PolicyKind::ALL {
+            let _ = write!(out, " {:>10.3}", tail(cmp.of(kind), metric));
+        }
+        out.push('\n');
+    }
+    if let Some(dir) = opts.get("csv-dir") {
+        let metrics: Vec<&str> = SUMMARY_METRICS.iter().map(|&(_, m)| m).collect();
+        report::write_comparison(&cmp, std::path::Path::new(dir), &metrics)?;
+        let _ = writeln!(out, "\nper-metric CSVs written under {dir}/");
+    }
+    Ok(out)
+}
+
+/// `rfh replay`: run a policy against a recorded trace file
+/// (`--trace FILE`, format as written by `rfh trace`).
+pub fn replay(opts: &Options) -> Result<String> {
+    let Some(path) = opts.get("trace") else {
+        return Err(rfh_types::RfhError::InvalidConfig {
+            parameter: "trace",
+            reason: "replay needs --trace FILE".into(),
+        });
+    };
+    let csv = std::fs::read_to_string(path)?;
+    let cfg = SimConfig::default();
+    let trace = Trace::from_csv(&csv, cfg.partitions, rfh_topology::PAPER_DC_COUNT as u32)?;
+    if trace.is_empty() {
+        return Err(rfh_types::RfhError::Io(format!("{path} contains no epochs")));
+    }
+    let mut p = params(opts)?;
+    p.epochs = trace.len() as u64;
+    let label = format!(
+        "{} replaying {} ({} epochs, {} queries)",
+        p.policy.name(),
+        path,
+        trace.len(),
+        trace.total_queries()
+    );
+    let result = Simulation::new(p)?
+        .with_shared_trace(Arc::new(trace))
+        .run()?;
+    let mut out = format!("{label}
+steady state (last quarter):
+");
+    for (name, metric) in SUMMARY_METRICS {
+        let _ = writeln!(out, "  {name:24} {:>12.3}", tail(&result, metric));
+    }
+    Ok(out)
+}
+
+/// `rfh trace`: dump a generated workload as CSV.
+pub fn trace(opts: &Options) -> Result<String> {
+    let epochs = args::epochs(opts)?;
+    let seed = args::seed(opts)?;
+    let scenario = args::scenario(opts)?;
+    let cfg = SimConfig::default();
+    let mut generator = WorkloadGenerator::new(
+        cfg.queries_per_epoch,
+        cfg.partitions,
+        rfh_topology::PAPER_DC_COUNT as u32,
+        cfg.partition_skew,
+        scenario,
+        epochs,
+        seed,
+    );
+    let trace = Trace::record(&mut generator, epochs);
+    let csv = trace.to_csv();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &csv)?;
+            Ok(format!(
+                "{} epochs, {} queries written to {path}\n",
+                trace.len(),
+                trace.total_queries()
+            ))
+        }
+        None => Ok(csv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn opts(s: &str) -> Options {
+        let argv: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+        parse(&argv).unwrap().1
+    }
+
+    #[test]
+    fn table1_contains_parameters() {
+        let out = table1(&opts("table1")).unwrap();
+        assert!(out.contains("Poisson(λ = 300)"));
+        assert!(out.contains("10GiB"));
+    }
+
+    #[test]
+    fn topology_describes_the_world() {
+        let out = topology(&opts("topology")).unwrap();
+        assert!(out.contains("NA-USA-GA1"));
+        assert!(out.contains("H → A: H → I → E → D → A"));
+        assert!(out.contains("10 servers"));
+    }
+
+    #[test]
+    fn run_prints_summary() {
+        let out = run_one(&opts("run --epochs 10 --policy random")).unwrap();
+        assert!(out.contains("Random under random for 10 epochs"));
+        assert!(out.contains("replica utilization"));
+        assert!(out.contains("SLA within 300 ms"));
+    }
+
+    #[test]
+    fn compare_prints_four_columns() {
+        let out = compare(&opts("compare --epochs 5")).unwrap();
+        for name in ["Request", "Owner", "Random", "RFH"] {
+            assert!(out.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn trace_csv_to_stdout() {
+        let out = trace(&opts("trace --epochs 2 --seed 1")).unwrap();
+        assert!(out.starts_with("epoch,partition,requester,count\n"));
+        assert!(out.lines().count() > 10, "two epochs of λ=300 queries");
+    }
+
+    #[test]
+    fn replay_runs_a_recorded_trace() {
+        let dir = std::env::temp_dir().join(format!("rfh_replay_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("trace.csv");
+        trace(&opts(&format!("trace --epochs 8 --seed 2 --out {}", file.display()))).unwrap();
+        let out = replay(&opts(&format!(
+            "replay --trace {} --policy owner",
+            file.display()
+        )))
+        .unwrap();
+        assert!(out.contains("Owner replaying"));
+        assert!(out.contains("8 epochs"));
+        assert!(out.contains("replica utilization"));
+        // Missing file and missing option both error cleanly.
+        assert!(replay(&opts("replay")).is_err());
+        assert!(replay(&opts("replay --trace /nonexistent/x.csv")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let dir = std::env::temp_dir().join(format!("rfh_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("run.csv");
+        let out = run_one(&opts(&format!(
+            "run --epochs 5 --csv {}",
+            csv.display()
+        )))
+        .unwrap();
+        assert!(out.contains("written"));
+        let content = std::fs::read_to_string(&csv).unwrap();
+        assert!(content.starts_with("epoch,"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

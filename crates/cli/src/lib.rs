@@ -1,0 +1,104 @@
+//! # rfh-cli
+//!
+//! The `rfh` command-line tool: run simulations, compare the four
+//! algorithms, regenerate the paper's figures, and inspect the world —
+//! without writing a line of Rust.
+//!
+//! ```text
+//! rfh table1                                  print Table I
+//! rfh topology [--seed N]                     inspect the 10-DC world and its routes
+//! rfh run [--policy rfh] [--scenario flash]   one simulation, summary + optional CSV
+//!         [--epochs N] [--seed N] [--csv FILE]
+//! rfh compare [--scenario random] [--epochs N] four-way comparison table
+//!             [--seed N] [--csv-dir DIR]
+//! rfh trace [--epochs N] [--seed N]           dump a workload trace as CSV
+//!           [--scenario S] [--out FILE]
+//! rfh help                                    this text
+//! ```
+//!
+//! Argument parsing is hand-rolled ([`args`]) to stay within the
+//! workspace's approved dependency set.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use rfh_types::RfhError;
+
+/// Run the CLI against the given argument list (without the program
+/// name). Returns the text to print, or an error whose message is shown
+/// to the user with exit code 1.
+pub fn run(argv: &[String]) -> Result<String, RfhError> {
+    let (command, opts) = args::parse(argv)?;
+    match command.as_str() {
+        "table1" => commands::table1(&opts),
+        "topology" => commands::topology(&opts),
+        "run" => commands::run_one(&opts),
+        "compare" => commands::compare(&opts),
+        "trace" => commands::trace(&opts),
+        "replay" => commands::replay(&opts),
+        "help" | "" => Ok(HELP.to_string()),
+        other => Err(RfhError::InvalidConfig {
+            parameter: "command",
+            reason: format!("unknown command {other:?}; try `rfh help`"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(run(&[]).unwrap(), HELP);
+        assert_eq!(run(&argv("help")).unwrap(), HELP);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn dispatch_reaches_commands() {
+        let out = run(&argv("table1")).unwrap();
+        assert!(out.contains("TABLE I"));
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+rfh — the RFH replication simulator (ICPP 2012 reproduction)
+
+USAGE:
+    rfh <command> [options]
+
+COMMANDS:
+    table1        print Table I (environment and parameter setting)
+    topology      inspect the paper's 10-datacenter world and WAN routes
+    run           run one policy and print its steady-state summary
+    compare       run all four policies over an identical workload
+    trace         generate a workload trace and dump it as CSV
+    replay        run a policy against a recorded trace (--trace FILE)
+    help          show this text
+
+COMMON OPTIONS:
+    --policy    rfh | random | owner | request        (default rfh)
+    --scenario  random | flash | popularity           (default random)
+    --epochs N                                        (default 250)
+    --seed N                                          (default 42)
+    --csv FILE        write the run's full metrics as CSV (run)
+    --csv-dir DIR     write per-metric comparison CSVs (compare)
+    --out FILE        trace output file (trace; default stdout)
+    --trace FILE      recorded trace to replay (replay)
+
+The figure-by-figure harness lives in the experiment binaries:
+    cargo run -p rfh-experiments --bin all | fig3..fig10 | table1 | ablations | sla
+";

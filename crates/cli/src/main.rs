@@ -1,0 +1,12 @@
+//! The `rfh` binary: thin shell around [`rfh_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match rfh_cli::run(&argv) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

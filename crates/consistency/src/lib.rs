@@ -1,0 +1,35 @@
+//! # rfh-consistency
+//!
+//! Replica consistency maintenance — the paper's stated future work
+//! ("as a future work … we plan to focus on the research of consistency
+//! maintenance", §V) — implemented so the adaptive replication can be
+//! studied *with* its consistency bill attached.
+//!
+//! The model follows the systems the paper builds on: updates to a
+//! partition are serialized at its primary holder (Oceanstore
+//! "serializes replicas updates before applying them atomically";
+//! Dynamo-style single-leader-per-key-range) and propagate to the other
+//! replicas asynchronously under a per-epoch synchronization budget.
+//! Replicas created by the replication algorithm start cold and must
+//! catch up; replicas that migrate carry their version along; suicide
+//! removes a version holder.
+//!
+//! * [`version`] — version vectors with dominance/concurrency/merge (the
+//!   general mechanism, used here in its single-writer special case and
+//!   exercised fully by property tests).
+//! * [`store`] — per-partition version state: the primary's committed
+//!   version and every replica's applied version.
+//! * [`tracker`] — the epoch driver: applies a write workload, spends
+//!   the synchronization budget, and reports staleness metrics
+//!   (mean versions behind, fraction of fresh replicas, the probability
+//!   that reading a random replica returns stale data).
+
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod tracker;
+pub mod version;
+
+pub use store::PartitionVersions;
+pub use tracker::{ConsistencyReport, ConsistencyTracker};
+pub use version::VersionVector;

@@ -1,0 +1,247 @@
+//! The epoch driver: writes in, sync budget out, staleness measured.
+//!
+//! Each epoch the tracker (1) reconciles its tracked replica sets with
+//! the replica manager's (the replication algorithm added, moved, or
+//! reaped replicas), (2) commits the epoch's writes at each partition's
+//! primary, (3) spends a per-partition synchronization budget catching
+//! replicas up, and (4) reports staleness.
+
+use crate::store::PartitionVersions;
+use rand::Rng;
+use rfh_core::ReplicaManager;
+use rfh_types::{PartitionId, ServerId};
+
+/// Staleness metrics for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConsistencyReport {
+    /// Mean lag over all replicas, in committed events.
+    pub mean_lag: f64,
+    /// Fraction of replicas fully caught up.
+    pub fresh_fraction: f64,
+    /// Probability that reading one uniformly random replica of a
+    /// uniformly random partition returns stale data.
+    pub stale_read_probability: f64,
+    /// Events propagated this epoch (the consistency bill).
+    pub events_propagated: u64,
+    /// Writes committed this epoch.
+    pub writes_committed: u64,
+}
+
+/// Tracks version state across epochs for every partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyTracker {
+    partitions: Vec<PartitionVersions>,
+    /// Events each replica may apply per epoch (the synchronization
+    /// budget; the paper's replication bandwidth in events/epoch).
+    sync_budget_per_replica: u64,
+}
+
+impl ConsistencyTracker {
+    /// Track `partitions` partitions with the given per-replica
+    /// synchronization budget.
+    pub fn new(partitions: u32, sync_budget_per_replica: u64) -> Self {
+        ConsistencyTracker {
+            partitions: (0..partitions).map(|_| PartitionVersions::new()).collect(),
+            sync_budget_per_replica,
+        }
+    }
+
+    /// Version state of one partition.
+    pub fn partition(&self, p: PartitionId) -> &PartitionVersions {
+        &self.partitions[p.index()]
+    }
+
+    /// Reconcile with the replica manager: start tracking replicas the
+    /// algorithm created (they ship the current snapshot → fresh) and
+    /// drop replicas it removed. Migration shows up as one removal and
+    /// one addition; we conservatively treat the new location as a
+    /// snapshot copy (the data moved with the replica).
+    pub fn reconcile(&mut self, manager: &ReplicaManager) {
+        for p_idx in 0..manager.partitions() {
+            let p = PartitionId::new(p_idx);
+            let state = &mut self.partitions[p.index()];
+            let current: Vec<ServerId> = manager.replicas(p).to_vec();
+            // Drop vanished replicas.
+            let tracked: Vec<ServerId> = state.lags().map(|(s, _)| s).collect();
+            for s in tracked {
+                if !current.contains(&s) {
+                    state.remove_replica(s);
+                }
+            }
+            // Track new ones at the snapshot version.
+            for s in current {
+                if !state.has_replica(s) {
+                    state.add_replica(s, None);
+                }
+            }
+        }
+    }
+
+    /// Run one epoch: commit `writes(p)` writes at each primary, then
+    /// spend the sync budget. Returns the epoch's report.
+    pub fn step(
+        &mut self,
+        manager: &ReplicaManager,
+        mut writes: impl FnMut(PartitionId) -> u64,
+    ) -> ConsistencyReport {
+        self.reconcile(manager);
+        let mut report = ConsistencyReport::default();
+        let mut replica_total = 0u64;
+        let mut fresh = 0u64;
+        let mut lag_sum = 0u64;
+        let mut stale_read_acc = 0.0;
+
+        for p_idx in 0..manager.partitions() {
+            let p = PartitionId::new(p_idx);
+            let primary = manager.holder(p);
+            let n = writes(p);
+            report.writes_committed += n;
+            let state = &mut self.partitions[p.index()];
+            for _ in 0..n {
+                state.write(primary);
+            }
+            // Sync every non-primary replica under the budget.
+            let replicas: Vec<ServerId> = state.lags().map(|(s, _)| s).collect();
+            for s in replicas {
+                if s != primary {
+                    report.events_propagated +=
+                        state.sync_replica(s, self.sync_budget_per_replica);
+                }
+            }
+            // Measure.
+            let mut stale_here = 0u64;
+            let mut here = 0u64;
+            for (_, lag) in state.lags() {
+                replica_total += 1;
+                here += 1;
+                lag_sum += lag;
+                if lag == 0 {
+                    fresh += 1;
+                } else {
+                    stale_here += 1;
+                }
+            }
+            if here > 0 {
+                stale_read_acc += stale_here as f64 / here as f64;
+            }
+        }
+
+        if replica_total > 0 {
+            report.mean_lag = lag_sum as f64 / replica_total as f64;
+            report.fresh_fraction = fresh as f64 / replica_total as f64;
+        } else {
+            report.fresh_fraction = 1.0;
+        }
+        let parts = self.partitions.len().max(1);
+        report.stale_read_probability = stale_read_acc / parts as f64;
+        report
+    }
+
+    /// Convenience: Poisson-free uniform write generator — every
+    /// partition gets `per_partition` writes plus one extra with
+    /// probability `extra_prob` (cheap jitter for tests/examples).
+    pub fn uniform_writes<R: Rng>(
+        per_partition: u64,
+        extra_prob: f64,
+        rng: &mut R,
+    ) -> impl FnMut(PartitionId) -> u64 + '_ {
+        move |_| per_partition + u64::from(rng.gen_bool(extra_prob.clamp(0.0, 1.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_types::SimConfig;
+
+    fn manager(partitions: u32) -> ReplicaManager {
+        let cfg = SimConfig { partitions, ..SimConfig::default() };
+        let holders = (0..partitions).map(|p| ServerId::new(p % 4)).collect();
+        ReplicaManager::new(&cfg, 8, holders).unwrap()
+    }
+
+    #[test]
+    fn fresh_cluster_reads_fresh() {
+        let m = manager(4);
+        let mut t = ConsistencyTracker::new(4, 10);
+        let report = t.step(&m, |_| 0);
+        assert_eq!(report.writes_committed, 0);
+        assert_eq!(report.mean_lag, 0.0);
+        assert_eq!(report.fresh_fraction, 1.0);
+        assert_eq!(report.stale_read_probability, 0.0);
+    }
+
+    #[test]
+    fn budget_bounds_propagation() {
+        use rfh_core::Action;
+        use rfh_topology::paper_topology;
+        let topo = paper_topology(0.0, 0).unwrap();
+        let mut m = manager(1);
+        // Two extra replicas for partition 0.
+        for srv in [5u32, 6] {
+            m.apply(
+                &topo,
+                Action::Replicate { partition: PartitionId::new(0), target: ServerId::new(srv) },
+            )
+            .unwrap();
+        }
+        let mut t = ConsistencyTracker::new(1, 3);
+        // Epoch 1: 10 writes, budget 3 per replica → both replicas lag 7.
+        let r1 = t.step(&m, |_| 10);
+        assert_eq!(r1.writes_committed, 10);
+        assert_eq!(r1.events_propagated, 6, "3 events × 2 replicas");
+        assert!(r1.mean_lag > 0.0);
+        assert!(r1.fresh_fraction < 1.0);
+        assert!(r1.stale_read_probability > 0.0);
+        // Quiet epochs: replicas catch up 3 events each per epoch
+        // (lag 7 → 4 → 1 → 0).
+        let r2 = t.step(&m, |_| 0);
+        assert_eq!(r2.events_propagated, 6);
+        let r3 = t.step(&m, |_| 0);
+        assert_eq!(r3.events_propagated, 6);
+        let r4 = t.step(&m, |_| 0);
+        assert_eq!(r4.events_propagated, 2, "only 1 event left each");
+        assert_eq!(r4.fresh_fraction, 1.0);
+        assert_eq!(r4.stale_read_probability, 0.0);
+    }
+
+    #[test]
+    fn reconcile_tracks_births_and_deaths() {
+        use rfh_core::Action;
+        use rfh_topology::paper_topology;
+        let topo = paper_topology(0.0, 0).unwrap();
+        let mut m = manager(1);
+        let mut t = ConsistencyTracker::new(1, 100);
+        t.step(&m, |_| 5);
+        // A replica born later starts at the snapshot (no lag).
+        m.apply(
+            &topo,
+            Action::Replicate { partition: PartitionId::new(0), target: ServerId::new(7) },
+        )
+        .unwrap();
+        let r = t.step(&m, |_| 0);
+        assert_eq!(r.fresh_fraction, 1.0, "snapshot copies are born fresh");
+        assert!(t.partition(PartitionId::new(0)).has_replica(ServerId::new(7)));
+        // Suicide drops the tracking entry.
+        m.apply(
+            &topo,
+            Action::Suicide { partition: PartitionId::new(0), server: ServerId::new(7) },
+        )
+        .unwrap();
+        t.step(&m, |_| 0);
+        assert!(!t.partition(PartitionId::new(0)).has_replica(ServerId::new(7)));
+    }
+
+    #[test]
+    fn primary_never_lags() {
+        let m = manager(2);
+        let mut t = ConsistencyTracker::new(2, 1);
+        for _ in 0..5 {
+            t.step(&m, |_| 3);
+        }
+        for p in 0..2 {
+            let pid = PartitionId::new(p);
+            assert_eq!(t.partition(pid).lag(m.holder(pid)), 0);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Version vectors.
+//!
+//! The general causality-tracking mechanism of replicated stores
+//! (Dynamo uses exactly this to detect conflicting writes). RFH's
+//! consistency layer runs it in the single-writer special case — the
+//! primary is the only writer, so vectors stay totally ordered — but
+//! the full partial-order machinery is implemented and tested so the
+//! layer extends to multi-master operation.
+
+use rfh_types::ServerId;
+use std::collections::BTreeMap;
+
+/// How two version vectors relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Causality {
+    /// Identical vectors.
+    Equal,
+    /// `self` strictly dominates (is newer than) the other.
+    Dominates,
+    /// The other strictly dominates `self`.
+    DominatedBy,
+    /// Neither dominates: concurrent updates (a write conflict).
+    Concurrent,
+}
+
+/// A version vector: per-writer event counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionVector {
+    counters: BTreeMap<u32, u64>,
+}
+
+impl VersionVector {
+    /// The zero vector (no events observed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter of one writer (0 when never seen).
+    pub fn get(&self, writer: ServerId) -> u64 {
+        self.counters.get(&writer.0).copied().unwrap_or(0)
+    }
+
+    /// Record one more event by `writer`; returns the new counter.
+    pub fn bump(&mut self, writer: ServerId) -> u64 {
+        let c = self.counters.entry(writer.0).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Total events across all writers (the "height" of the vector;
+    /// in the single-writer case this is simply the version number).
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    /// Compare with another vector.
+    pub fn causality(&self, other: &VersionVector) -> Causality {
+        let mut some_greater = false;
+        let mut some_less = false;
+        let keys: std::collections::BTreeSet<u32> = self
+            .counters
+            .keys()
+            .chain(other.counters.keys())
+            .copied()
+            .collect();
+        for k in keys {
+            let a = self.counters.get(&k).copied().unwrap_or(0);
+            let b = other.counters.get(&k).copied().unwrap_or(0);
+            if a > b {
+                some_greater = true;
+            }
+            if a < b {
+                some_less = true;
+            }
+        }
+        match (some_greater, some_less) {
+            (false, false) => Causality::Equal,
+            (true, false) => Causality::Dominates,
+            (false, true) => Causality::DominatedBy,
+            (true, true) => Causality::Concurrent,
+        }
+    }
+
+    /// Pointwise maximum (the join of the version lattice) — what a
+    /// replica holds after syncing from another.
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (&k, &v) in &other.counters {
+            let c = self.counters.entry(k).or_insert(0);
+            *c = (*c).max(v);
+        }
+    }
+
+    /// Crate-private view of the raw counters (used by the store's
+    /// partial-sync bookkeeping).
+    pub(crate) fn iter_counters(&self) -> impl Iterator<Item = (&u32, &u64)> {
+        self.counters.iter()
+    }
+
+    /// How many events `other` has seen that `self` has not — the
+    /// staleness of `self` relative to `other` (0 when up to date).
+    pub fn lag_behind(&self, other: &VersionVector) -> u64 {
+        other
+            .counters
+            .iter()
+            .map(|(&k, &v)| v.saturating_sub(self.counters.get(&k).copied().unwrap_or(0)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(i: u32) -> ServerId {
+        ServerId::new(i)
+    }
+
+    #[test]
+    fn zero_vectors_are_equal() {
+        let a = VersionVector::new();
+        let b = VersionVector::new();
+        assert_eq!(a.causality(&b), Causality::Equal);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.lag_behind(&b), 0);
+    }
+
+    #[test]
+    fn bump_creates_dominance() {
+        let mut a = VersionVector::new();
+        let b = a.clone();
+        assert_eq!(a.bump(w(1)), 1);
+        assert_eq!(a.bump(w(1)), 2);
+        assert_eq!(a.get(w(1)), 2);
+        assert_eq!(a.get(w(9)), 0);
+        assert_eq!(a.causality(&b), Causality::Dominates);
+        assert_eq!(b.causality(&a), Causality::DominatedBy);
+        assert_eq!(b.lag_behind(&a), 2);
+        assert_eq!(a.lag_behind(&b), 0);
+    }
+
+    #[test]
+    fn divergent_writers_are_concurrent() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        a.bump(w(1));
+        b.bump(w(2));
+        assert_eq!(a.causality(&b), Causality::Concurrent);
+        assert_eq!(b.causality(&a), Causality::Concurrent);
+    }
+
+    #[test]
+    fn merge_is_the_lattice_join() {
+        let mut a = VersionVector::new();
+        let mut b = VersionVector::new();
+        a.bump(w(1));
+        a.bump(w(1));
+        b.bump(w(1));
+        b.bump(w(2));
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.get(w(1)), 2);
+        assert_eq!(m.get(w(2)), 1);
+        assert!(matches!(m.causality(&a), Causality::Dominates | Causality::Equal));
+        assert!(matches!(m.causality(&b), Causality::Dominates | Causality::Equal));
+        assert_eq!(a.lag_behind(&b), 1, "a misses b's writer-2 event");
+    }
+
+    #[test]
+    fn single_writer_total_is_version_number() {
+        let mut v = VersionVector::new();
+        for _ in 0..7 {
+            v.bump(w(3));
+        }
+        assert_eq!(v.total(), 7);
+    }
+}

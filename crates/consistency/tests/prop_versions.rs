@@ -1,0 +1,100 @@
+//! Property-based tests: version vectors form a join-semilattice and
+//! the store's partial sync is exact.
+
+use proptest::prelude::*;
+use rfh_consistency::version::Causality;
+use rfh_consistency::{PartitionVersions, VersionVector};
+use rfh_types::ServerId;
+
+fn arb_vector() -> impl Strategy<Value = VersionVector> {
+    proptest::collection::vec((0u32..6, 1u64..20), 0..6).prop_map(|events| {
+        let mut v = VersionVector::new();
+        for (writer, count) in events {
+            for _ in 0..count {
+                v.bump(ServerId::new(writer));
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_and_idempotent(a in arb_vector(), b in arb_vector()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        let mut again = ab.clone();
+        again.merge(&b);
+        prop_assert_eq!(&again, &ab, "idempotent");
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_vector(), b in arb_vector(), c in arb_vector()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_dominates_both_inputs(a in arb_vector(), b in arb_vector()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(matches!(m.causality(&a), Causality::Dominates | Causality::Equal));
+        prop_assert!(matches!(m.causality(&b), Causality::Dominates | Causality::Equal));
+        prop_assert_eq!(m.lag_behind(&a), 0);
+        prop_assert_eq!(m.lag_behind(&b), 0);
+    }
+
+    #[test]
+    fn causality_is_antisymmetric(a in arb_vector(), b in arb_vector()) {
+        match a.causality(&b) {
+            Causality::Equal => prop_assert_eq!(b.causality(&a), Causality::Equal),
+            Causality::Dominates => prop_assert_eq!(b.causality(&a), Causality::DominatedBy),
+            Causality::DominatedBy => prop_assert_eq!(b.causality(&a), Causality::Dominates),
+            Causality::Concurrent => prop_assert_eq!(b.causality(&a), Causality::Concurrent),
+        }
+    }
+
+    #[test]
+    fn lag_is_zero_iff_dominating_or_equal(a in arb_vector(), b in arb_vector()) {
+        let lag = a.lag_behind(&b);
+        let rel = a.causality(&b);
+        if lag == 0 {
+            prop_assert!(matches!(rel, Causality::Dominates | Causality::Equal));
+        } else {
+            prop_assert!(matches!(rel, Causality::DominatedBy | Causality::Concurrent));
+        }
+    }
+
+    #[test]
+    fn partial_sync_converges_exactly(
+        writes in 0u64..60,
+        budget in 1u64..10,
+    ) {
+        let primary = ServerId::new(0);
+        let replica = ServerId::new(1);
+        let mut p = PartitionVersions::new();
+        p.add_replica(primary, None);
+        p.add_replica(replica, None);
+        for _ in 0..writes {
+            p.write(primary);
+        }
+        let mut applied_total = 0;
+        let mut epochs = 0;
+        while p.lag(replica) > 0 {
+            applied_total += p.sync_replica(replica, budget);
+            epochs += 1;
+            prop_assert!(epochs <= writes + 1, "sync must terminate");
+        }
+        prop_assert_eq!(applied_total, writes, "every event applied exactly once");
+        prop_assert_eq!(p.lag(replica), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-server blocking probabilities (eq. 18).
+//!
+//! "In each epoch, each physical node *i* leverages its computational
+//! ability and also records query information. It calculates the average
+//! value of λ_i and τ_i and then gets blocking probability BP_i
+//! periodically." RFH then picks, within the chosen datacenter, the
+//! server with the lowest BP (and a virtual node "will not choose a
+//! crowded server either").
+//!
+//! Model: a server is an M/G/c/c loss system.
+//! * The *offered load* `a_i = λ_i·τ_i` is its observed query load this
+//!   epoch divided by the per-replica service rate — i.e. how many
+//!   replica-capacity units of work arrive.
+//! * The *processing limit* `c_i` scales with the server's capacity
+//!   factor: `c_i = round(base_slots · factor)`, with
+//!   [`BASE_SLOTS`] = 10 parallel service slots for a nominal server.
+//!
+//! Busier and weaker servers therefore report higher BP and attract
+//! fewer replicas, which is the load-balancing mechanism Fig. 8
+//! measures.
+
+use rfh_stats::erlang_b;
+use rfh_topology::Topology;
+use rfh_traffic::TrafficAccounts;
+use rfh_types::ServerId;
+
+/// Service slots of a nominal (factor 1.0) server.
+pub const BASE_SLOTS: f64 = 10.0;
+
+/// Compute every server's blocking probability for this epoch.
+///
+/// `service_rate` is the per-replica capacity (queries/epoch) used to
+/// convert observed load into Erlangs. Dead servers report BP = 1.0 so
+/// no selection rule can prefer them.
+pub fn server_blocking_probabilities(
+    topo: &Topology,
+    accounts: &TrafficAccounts,
+    service_rate: f64,
+) -> Vec<f64> {
+    assert!(service_rate > 0.0, "service rate must be positive");
+    topo.servers()
+        .iter()
+        .map(|srv| {
+            if !srv.alive {
+                return 1.0;
+            }
+            let load = accounts.server_load(ServerId::new(srv.id.0));
+            let offered = load / service_rate;
+            let slots = (BASE_SLOTS * srv.capacity_factor).round().max(1.0) as u32;
+            erlang_b(offered, slots)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_topology::TopologyBuilder;
+    use rfh_traffic::{compute_traffic, PlacementView};
+    use rfh_types::{Continent, GeoPoint, PartitionId};
+    use rfh_workload::QueryLoad;
+
+    fn topo_two_servers() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.datacenter("A", Continent::NorthAmerica, "USA", "A1", GeoPoint::new(0.0, 0.0), 1, 1, 2)
+            .unwrap();
+        b.build(0.0, 0).unwrap()
+    }
+
+    fn accounts_with_load(topo: &Topology, load_s0: u32) -> TrafficAccounts {
+        let mut load = QueryLoad::zeros(1, 1);
+        load.add(PartitionId::new(0), rfh_types::DatacenterId::new(0), load_s0);
+        let mut view = PlacementView::new(1, 2, vec![ServerId::new(0)]);
+        view.add_capacity(PartitionId::new(0), ServerId::new(0), 1000.0);
+        compute_traffic(topo, &load, &view)
+    }
+
+    #[test]
+    fn idle_servers_block_nothing() {
+        let t = topo_two_servers();
+        let acc = accounts_with_load(&t, 0);
+        let bp = server_blocking_probabilities(&t, &acc, 20.0);
+        assert_eq!(bp, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn busier_server_blocks_more() {
+        let t = topo_two_servers();
+        // Server 0 serves 100 queries; server 1 serves none.
+        let acc = accounts_with_load(&t, 100);
+        let bp = server_blocking_probabilities(&t, &acc, 20.0);
+        assert!(bp[0] > 0.0, "loaded server has non-zero BP: {bp:?}");
+        assert_eq!(bp[1], 0.0);
+        assert!(bp[0] < 1.0);
+        // More load → more blocking.
+        let acc2 = accounts_with_load(&t, 500);
+        let bp2 = server_blocking_probabilities(&t, &acc2, 20.0);
+        assert!(bp2[0] > bp[0]);
+    }
+
+    #[test]
+    fn dead_servers_report_certain_blocking() {
+        let mut t = topo_two_servers();
+        t.fail_server(ServerId::new(1)).unwrap();
+        let acc = accounts_with_load(&t, 10);
+        let bp = server_blocking_probabilities(&t, &acc, 20.0);
+        assert_eq!(bp[1], 1.0);
+    }
+
+    #[test]
+    fn capacity_factor_raises_slots() {
+        // A stronger server (factor > 1) blocks less at the same load.
+        let mut b = TopologyBuilder::new();
+        b.datacenter("A", Continent::NorthAmerica, "USA", "A1", GeoPoint::new(0.0, 0.0), 1, 1, 2)
+            .unwrap();
+        let t = b.build(0.4, 12345).unwrap(); // factors differ
+        let f0 = t.servers()[0].capacity_factor;
+        let f1 = t.servers()[1].capacity_factor;
+        assert_ne!(f0, f1);
+        // Hand the same served load to both by constructing accounts
+        // directly via the traffic pass with both hosting replicas.
+        let mut load = QueryLoad::zeros(2, 1);
+        load.add(PartitionId::new(0), rfh_types::DatacenterId::new(0), 80);
+        load.add(PartitionId::new(1), rfh_types::DatacenterId::new(0), 80);
+        let mut view = PlacementView::new(2, 2, vec![ServerId::new(0), ServerId::new(1)]);
+        view.add_capacity(PartitionId::new(0), ServerId::new(0), 80.0);
+        view.add_capacity(PartitionId::new(1), ServerId::new(1), 80.0);
+        let acc = compute_traffic(&t, &load, &view);
+        assert_eq!(acc.server_load(ServerId::new(0)), 80.0);
+        assert_eq!(acc.server_load(ServerId::new(1)), 80.0);
+        let bp = server_blocking_probabilities(&t, &acc, 20.0);
+        if f0 > f1 {
+            assert!(bp[0] <= bp[1], "stronger server must not block more: {bp:?}");
+        } else {
+            assert!(bp[1] <= bp[0], "stronger server must not block more: {bp:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "service rate")]
+    fn zero_service_rate_rejected() {
+        let t = topo_two_servers();
+        let acc = accounts_with_load(&t, 0);
+        let _ = server_blocking_probabilities(&t, &acc, 0.0);
+    }
+}

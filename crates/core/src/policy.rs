@@ -1,0 +1,141 @@
+//! The replication-policy interface.
+//!
+//! Once per epoch, after the traffic pass, each policy inspects the
+//! epoch context and emits actions; the replica manager executes them
+//! (enforcing storage and bandwidth limits) and the simulator accounts
+//! the costs. Keeping policies pure over a read-only context makes the
+//! four algorithms trivially comparable — they see byte-identical
+//! inputs.
+
+use crate::manager::ReplicaManager;
+use rfh_topology::Topology;
+use rfh_traffic::{TrafficAccounts, TrafficSmoother};
+use rfh_types::{Epoch, PartitionId, ServerId, SimConfig};
+use rfh_workload::QueryLoad;
+
+/// Everything a policy may read when deciding.
+pub struct EpochContext<'a> {
+    /// Current epoch.
+    pub epoch: Epoch,
+    /// Cluster structure and liveness.
+    pub topo: &'a Topology,
+    /// This epoch's raw query matrix `q_ijt`.
+    pub load: &'a QueryLoad,
+    /// This epoch's traffic pass results.
+    pub accounts: &'a TrafficAccounts,
+    /// Smoothed query averages and traffic (eqs. 9–11).
+    pub smoother: &'a TrafficSmoother,
+    /// Per-server blocking probabilities (eq. 18), indexed by server.
+    pub blocking: &'a [f64],
+    /// Simulation parameters (Table I).
+    pub config: &'a SimConfig,
+}
+
+/// One decision a policy can make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Create a new replica of `partition` on `target`.
+    Replicate {
+        /// Partition to replicate.
+        partition: PartitionId,
+        /// Destination server.
+        target: ServerId,
+    },
+    /// Move the replica of `partition` on `from` to `to`.
+    Migrate {
+        /// Partition whose replica moves.
+        partition: PartitionId,
+        /// Current replica server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+    },
+    /// Remove the replica of `partition` on `server` (the paper's
+    /// "suicide": the virtual node reclaims its own resources).
+    Suicide {
+        /// Partition whose replica is removed.
+        partition: PartitionId,
+        /// Server hosting the doomed replica.
+        server: ServerId,
+    },
+}
+
+/// A replication algorithm under evaluation.
+pub trait ReplicationPolicy {
+    /// Short name used in reports and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Decide this epoch's actions. `manager` is the *current* replica
+    /// map (read-only); actions are applied by the caller afterwards, so
+    /// decisions within one epoch see a consistent snapshot.
+    fn decide(&mut self, ctx: &EpochContext<'_>, manager: &ReplicaManager) -> Vec<Action>;
+}
+
+/// The four algorithms of the paper's evaluation, as a value — handy for
+/// CLI flags and experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// The RFH algorithm (traffic-oriented).
+    Rfh,
+    /// The random baseline.
+    Random,
+    /// The owner-oriented baseline.
+    OwnerOriented,
+    /// The request-oriented baseline.
+    RequestOriented,
+}
+
+impl PolicyKind {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::RequestOriented,
+        PolicyKind::OwnerOriented,
+        PolicyKind::Random,
+        PolicyKind::Rfh,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Rfh => "RFH",
+            PolicyKind::Random => "Random",
+            PolicyKind::OwnerOriented => "Owner",
+            PolicyKind::RequestOriented => "Request",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_the_paper() {
+        assert_eq!(PolicyKind::ALL.len(), 4);
+        let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["Request", "Owner", "Random", "RFH"]);
+        assert_eq!(PolicyKind::Rfh.to_string(), "RFH");
+    }
+
+    #[test]
+    fn actions_are_comparable() {
+        let a = Action::Replicate {
+            partition: PartitionId::new(1),
+            target: ServerId::new(2),
+        };
+        assert_eq!(a, a);
+        assert_ne!(
+            a,
+            Action::Suicide {
+                partition: PartitionId::new(1),
+                server: ServerId::new(2),
+            }
+        );
+    }
+}

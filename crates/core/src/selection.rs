@@ -1,0 +1,105 @@
+//! Shared server-selection helpers used by the policies.
+
+use crate::manager::ReplicaManager;
+use rfh_topology::Topology;
+use rfh_types::{DatacenterId, PartitionId, ServerId};
+
+/// Alive servers in `dc` that can accept a replica of `p` (not hosting
+/// one already, storage under φ), ascending id.
+pub(crate) fn accepting_servers_in_dc(
+    topo: &Topology,
+    manager: &ReplicaManager,
+    p: PartitionId,
+    dc: DatacenterId,
+) -> Vec<ServerId> {
+    topo.alive_servers_in(dc)
+        .map(|s| s.id)
+        .filter(|&s| manager.can_accept(p, s))
+        .collect()
+}
+
+/// The candidate with the lowest blocking probability (ties toward the
+/// lower id, so selection is deterministic).
+pub(crate) fn least_blocked(candidates: &[ServerId], blocking: &[f64]) -> Option<ServerId> {
+    candidates
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            blocking[a.index()]
+                .partial_cmp(&blocking[b.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        })
+}
+
+/// The least-blocked accepting server in `dc`, if any.
+pub(crate) fn least_blocked_in_dc(
+    topo: &Topology,
+    manager: &ReplicaManager,
+    p: PartitionId,
+    dc: DatacenterId,
+    blocking: &[f64],
+) -> Option<ServerId> {
+    let candidates = accepting_servers_in_dc(topo, manager, p, dc);
+    least_blocked(&candidates, blocking)
+}
+
+/// Every alive server able to accept a replica of `p`, cluster-wide.
+pub(crate) fn accepting_servers_anywhere(
+    topo: &Topology,
+    manager: &ReplicaManager,
+    p: PartitionId,
+) -> Vec<ServerId> {
+    topo.servers()
+        .iter()
+        .filter(|s| s.alive)
+        .map(|s| s.id)
+        .filter(|&s| manager.can_accept(p, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_topology::TopologyBuilder;
+    use rfh_types::{Continent, GeoPoint, SimConfig};
+
+    fn setup() -> (Topology, ReplicaManager) {
+        let mut b = TopologyBuilder::new();
+        b.datacenter("A", Continent::NorthAmerica, "USA", "A1", GeoPoint::new(0.0, 0.0), 1, 1, 3)
+            .unwrap();
+        let topo = b.build(0.0, 0).unwrap();
+        let cfg = SimConfig { partitions: 1, ..SimConfig::default() };
+        let manager = ReplicaManager::new(&cfg, 3, vec![ServerId::new(0)]).unwrap();
+        (topo, manager)
+    }
+
+    #[test]
+    fn accepting_excludes_hosts_and_dead() {
+        let (mut topo, manager) = setup();
+        let p = PartitionId::new(0);
+        let dc = DatacenterId::new(0);
+        let c = accepting_servers_in_dc(&topo, &manager, p, dc);
+        assert_eq!(c, vec![ServerId::new(1), ServerId::new(2)], "holder excluded");
+        topo.fail_server(ServerId::new(1)).unwrap();
+        let c = accepting_servers_in_dc(&topo, &manager, p, dc);
+        assert_eq!(c, vec![ServerId::new(2)]);
+    }
+
+    #[test]
+    fn least_blocked_breaks_ties_by_id() {
+        let ids = [ServerId::new(2), ServerId::new(1)];
+        let blocking = [0.9, 0.1, 0.1];
+        assert_eq!(least_blocked(&ids, &blocking), Some(ServerId::new(1)));
+        assert_eq!(least_blocked(&[], &blocking), None);
+        let blocking2 = [0.9, 0.5, 0.1];
+        assert_eq!(least_blocked(&ids, &blocking2), Some(ServerId::new(2)));
+    }
+
+    #[test]
+    fn anywhere_spans_the_cluster() {
+        let (topo, manager) = setup();
+        let c = accepting_servers_anywhere(&topo, &manager, PartitionId::new(0));
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! The RFH decision predicates (eqs. 12, 13, 15, 16).
+//!
+//! All four compare *smoothed* traffic against multiples of the smoothed
+//! system query average `q̄_it`:
+//!
+//! ```text
+//! holder overloaded:  tr_iit ≥ β·q̄_it,  β > 1        (eq. 12)
+//! traffic hub:        tr_ikt ≥ γ·q̄_it,  γ > 1        (eq. 13)
+//! suicide candidate:  tr_ikt ≤ δ·q̄_it                 (eq. 15)
+//! migration benefit:  tr_ij − tr_ik ≥ μ·t̄r_i          (eq. 16)
+//! ```
+
+use rfh_types::Thresholds;
+
+/// eq. (12): is the partition holder overloaded?
+#[inline]
+pub fn holder_overloaded(t: &Thresholds, holder_traffic: f64, q_avg: f64) -> bool {
+    q_avg > 0.0 && holder_traffic >= t.beta * q_avg
+}
+
+/// eq. (13): does a forwarding node qualify as a traffic hub?
+#[inline]
+pub fn is_traffic_hub(t: &Thresholds, node_traffic: f64, q_avg: f64) -> bool {
+    q_avg > 0.0 && node_traffic >= t.gamma * q_avg
+}
+
+/// eq. (15): is a replica's traffic light enough to consider suicide?
+/// (The availability floor is checked separately.)
+#[inline]
+pub fn suicide_candidate(t: &Thresholds, node_traffic: f64, q_avg: f64) -> bool {
+    node_traffic <= t.delta * q_avg
+}
+
+/// eq. (16): does moving a replica from traffic `tr_from` to a location
+/// with traffic `tr_to` clear the migration-benefit bar `μ·t̄r`?
+#[inline]
+pub fn migration_beneficial(t: &Thresholds, tr_to: f64, tr_from: f64, mean_traffic: f64) -> bool {
+    tr_to - tr_from >= t.mu * mean_traffic && mean_traffic > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Thresholds {
+        Thresholds::default() // α=0.2, β=2, γ=1.5, δ=0.2, μ=1, φ=0.7
+    }
+
+    #[test]
+    fn holder_overload_boundary() {
+        // q̄ = 10, β = 2 → overloaded at exactly 20.
+        assert!(!holder_overloaded(&t(), 19.9, 10.0));
+        assert!(holder_overloaded(&t(), 20.0, 10.0));
+        assert!(holder_overloaded(&t(), 100.0, 10.0));
+    }
+
+    #[test]
+    fn hub_boundary() {
+        // q̄ = 10, γ = 1.5 → hub at exactly 15.
+        assert!(!is_traffic_hub(&t(), 14.9, 10.0));
+        assert!(is_traffic_hub(&t(), 15.0, 10.0));
+    }
+
+    #[test]
+    fn hub_bar_is_lower_than_overload_bar() {
+        // γ < β by design: forwarding nodes announce themselves before
+        // the holder melts down.
+        let th = t();
+        assert!(th.gamma < th.beta);
+        assert!(is_traffic_hub(&th, 16.0, 10.0));
+        assert!(!holder_overloaded(&th, 16.0, 10.0));
+    }
+
+    #[test]
+    fn suicide_boundary() {
+        // q̄ = 10, δ = 0.2 → candidates at ≤ 2.
+        assert!(suicide_candidate(&t(), 2.0, 10.0));
+        assert!(suicide_candidate(&t(), 0.0, 10.0));
+        assert!(!suicide_candidate(&t(), 2.1, 10.0));
+    }
+
+    #[test]
+    fn quiet_system_neither_overloads_nor_hubs() {
+        // q̄ = 0 (no demand): nothing is overloaded, nothing is a hub,
+        // and every idle replica is a suicide candidate.
+        assert!(!holder_overloaded(&t(), 5.0, 0.0));
+        assert!(!is_traffic_hub(&t(), 5.0, 0.0));
+        assert!(suicide_candidate(&t(), 0.0, 0.0));
+    }
+
+    #[test]
+    fn migration_benefit_boundary() {
+        // t̄r = 10, μ = 1 → benefit needs a gap of at least 10.
+        assert!(migration_beneficial(&t(), 25.0, 15.0, 10.0));
+        assert!(!migration_beneficial(&t(), 24.9, 15.0, 10.0));
+        assert!(!migration_beneficial(&t(), 15.0, 25.0, 10.0), "negative gap");
+        assert!(!migration_beneficial(&t(), 25.0, 15.0, 0.0), "no baseline traffic");
+    }
+}

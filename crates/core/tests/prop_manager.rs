@@ -1,0 +1,127 @@
+//! Property-based fuzzing of the replica manager: arbitrary action
+//! sequences never violate the structural invariants.
+
+use proptest::prelude::*;
+use rfh_core::{Action, ReplicaManager};
+use rfh_topology::{paper_topology, Topology};
+use rfh_types::{PartitionId, ServerId, SimConfig};
+
+const PARTITIONS: u32 = 8;
+const SERVERS: u32 = 100;
+
+fn setup() -> (Topology, ReplicaManager) {
+    let topo = paper_topology(0.0, 3).unwrap();
+    let cfg = SimConfig { partitions: PARTITIONS, ..SimConfig::default() };
+    let holders = (0..PARTITIONS).map(|p| ServerId::new(p * 7 % SERVERS)).collect();
+    let manager = ReplicaManager::new(&cfg, SERVERS as usize, holders).unwrap();
+    (topo, manager)
+}
+
+/// A fuzz opcode; indices are reduced modulo the live state.
+#[derive(Debug, Clone)]
+enum Op {
+    Replicate { p: u32, target: u32 },
+    Migrate { p: u32, from_idx: u32, target: u32 },
+    Suicide { p: u32, victim_idx: u32 },
+    BeginEpoch,
+    FailServer { s: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..PARTITIONS, 0..SERVERS).prop_map(|(p, target)| Op::Replicate { p, target }),
+        (0..PARTITIONS, 0..8u32, 0..SERVERS)
+            .prop_map(|(p, from_idx, target)| Op::Migrate { p, from_idx, target }),
+        (0..PARTITIONS, 0..8u32).prop_map(|(p, victim_idx)| Op::Suicide { p, victim_idx }),
+        Just(Op::BeginEpoch),
+        (0..SERVERS).prop_map(|s| Op::FailServer { s }),
+    ]
+}
+
+fn check_invariants(topo: &Topology, m: &ReplicaManager) {
+    let mut per_server = vec![0u64; SERVERS as usize];
+    for p_idx in 0..PARTITIONS {
+        let p = PartitionId::new(p_idx);
+        let replicas = m.replicas(p);
+        assert!(!replicas.is_empty(), "{p} lost its last replica");
+        assert_eq!(m.holder(p), replicas[0], "holder is the first replica");
+        let mut sorted: Vec<u32> = replicas.iter().map(|s| s.0).collect();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "{p} has duplicate replicas");
+        for &s in replicas {
+            per_server[s.index()] += 1;
+        }
+    }
+    // Storage accounting matches the replica map exactly, and never
+    // exceeds φ.
+    let cfg = SimConfig::default();
+    for s in 0..SERVERS {
+        let expect = per_server[s as usize] as f64 * cfg.partition_size.as_u64() as f64
+            / cfg.max_server_storage.as_u64() as f64;
+        let actual = m.storage_fraction(ServerId::new(s));
+        assert!(
+            (actual - expect).abs() < 1e-12,
+            "server {s}: storage {actual} vs replica map {expect}"
+        );
+        assert!(actual <= cfg.thresholds.phi + 1e-12, "server {s} exceeds φ");
+    }
+    let _ = topo;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_survive_any_action_sequence(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let (mut topo, mut manager) = setup();
+        for op in ops {
+            // Apply may reject; rejection must leave state unchanged —
+            // the invariant check after each step verifies both paths.
+            match op {
+                Op::Replicate { p, target } => {
+                    let _ = manager.apply(&topo, Action::Replicate {
+                        partition: PartitionId::new(p),
+                        target: ServerId::new(target),
+                    });
+                }
+                Op::Migrate { p, from_idx, target } => {
+                    let pid = PartitionId::new(p);
+                    let replicas = manager.replicas(pid);
+                    let from = replicas[from_idx as usize % replicas.len()];
+                    let _ = manager.apply(&topo, Action::Migrate {
+                        partition: pid,
+                        from,
+                        to: ServerId::new(target),
+                    });
+                }
+                Op::Suicide { p, victim_idx } => {
+                    let pid = PartitionId::new(p);
+                    let replicas = manager.replicas(pid);
+                    let victim = replicas[victim_idx as usize % replicas.len()];
+                    let _ = manager.apply(&topo, Action::Suicide {
+                        partition: pid,
+                        server: victim,
+                    });
+                }
+                Op::BeginEpoch => manager.begin_epoch(),
+                Op::FailServer { s } => {
+                    // Never kill the whole cluster: keep server 0 alive
+                    // as the prune fallback.
+                    if s != 0 {
+                        let _ = topo.fail_server(ServerId::new(s));
+                        manager.prune_dead(&topo, |_| ServerId::new(0));
+                    }
+                }
+            }
+            check_invariants(&topo, &manager);
+            // Replicas never sit on dead servers after a prune.
+            for p_idx in 0..PARTITIONS {
+                for &s in manager.replicas(PartitionId::new(p_idx)) {
+                    prop_assert!(topo.servers()[s.index()].alive);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Runs the RFH design-choice ablations (DESIGN.md) under the
+//! flash-crowd workload and prints steady-state tables.
+//! Optional argument: RNG seed.
+
+use rfh_experiments::ablations::{self, render};
+use rfh_experiments::output::seed_from_args;
+
+fn main() {
+    let seed = seed_from_args();
+    let families: [(&str, fn(u64) -> rfh_types::Result<Vec<ablations::AblationResult>>); 5] = [
+        ("alpha (traffic smoothing, eqs. 10-11)", ablations::ablation_alpha),
+        ("gamma (hub threshold, eq. 13)", ablations::ablation_gamma),
+        ("suicide (eq. 15)", ablations::ablation_suicide),
+        ("migration (eq. 16)", ablations::ablation_migration),
+        ("blocking-probability choice (eq. 18)", ablations::ablation_blocking),
+    ];
+    for (title, f) in families {
+        let results = f(seed).expect("ablation runs");
+        println!("{}", render(title, &results));
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates every table and figure, prints the shape-check summary,
+//! and writes all CSVs under `results/`. Optional argument: RNG seed.
+
+use rfh_experiments::output::{
+    persist_fig10, persist_figure, print_fig10, print_figure, results_root, seed_from_args,
+};
+use rfh_experiments::shapes::ShapeCheck;
+use rfh_experiments::{figures, shapes, table1};
+use rfh_types::SimConfig;
+
+fn main() {
+    let seed = seed_from_args();
+    let root = results_root();
+    println!("{}", table1::render(&SimConfig::default()));
+
+    let mut all_checks: Vec<ShapeCheck> = Vec::new();
+    type Runner = (
+        fn(u64) -> rfh_types::Result<figures::FigureRun>,
+        fn(&figures::FigureRun) -> Vec<ShapeCheck>,
+    );
+    let runners: [Runner; 7] = [
+        (figures::fig3, shapes::check_fig3),
+        (figures::fig4, shapes::check_fig4),
+        (figures::fig5, shapes::check_fig5),
+        (figures::fig6, shapes::check_fig6),
+        (figures::fig7, shapes::check_fig7),
+        (figures::fig8, shapes::check_fig8),
+        (figures::fig9, shapes::check_fig9),
+    ];
+    for (run_fn, check_fn) in runners {
+        let run = run_fn(seed).expect("simulation runs");
+        let checks = check_fn(&run);
+        print_figure(&run, &checks);
+        persist_figure(&run, &root).expect("results written");
+        all_checks.extend(checks);
+    }
+    let fig10 = figures::fig10(seed).expect("simulation runs");
+    let checks = shapes::check_fig10(&fig10);
+    print_fig10(&fig10, &checks);
+    persist_fig10(&fig10, &root).expect("results written");
+    all_checks.extend(checks);
+
+    let pass = all_checks.iter().filter(|c| c.holds).count();
+    let dev = all_checks.iter().filter(|c| !c.holds && c.known_deviation).count();
+    let fail = all_checks.iter().filter(|c| !c.acceptable()).count();
+    println!("==== summary ====");
+    println!("{pass} claims reproduced, {dev} known deviations, {fail} unexpected failures");
+    println!("CSVs under {}/", root.display());
+    if fail > 0 {
+        std::process::exit(1);
+    }
+}

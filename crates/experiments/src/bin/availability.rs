@@ -1,0 +1,76 @@
+//! Extension experiment: data availability under recurring failures.
+//!
+//! The paper's Fig. 10 shows one mass failure; here we stress all four
+//! algorithms with *recurring* failure/recovery waves of increasing
+//! size and count what replication is ultimately for: partitions that
+//! lost every replica (data-loss events, restored from cold archive in
+//! the simulator) and the demand that went unserved while the fleet
+//! rebuilt. Optional argument: RNG seed.
+
+use rfh_core::PolicyKind;
+use rfh_experiments::figures::base_params;
+use rfh_experiments::output::seed_from_args;
+use rfh_sim::{run_comparison, SimParams};
+use rfh_workload::{ClusterEvent, EventSchedule, Scenario};
+
+const EPOCHS: u64 = 300;
+/// A failure wave every this many epochs, full recovery halfway after.
+const WAVE_PERIOD: u64 = 60;
+
+fn params_with_waves(burst: usize, seed: u64) -> SimParams {
+    let mut p = base_params(Scenario::RandomEven, EPOCHS, seed);
+    let mut events = EventSchedule::new();
+    let mut epoch = WAVE_PERIOD;
+    while epoch < EPOCHS {
+        events.add(epoch, ClusterEvent::FailRandomServers { count: burst });
+        events.add(epoch + WAVE_PERIOD / 2, ClusterEvent::RecoverAll);
+        epoch += WAVE_PERIOD;
+    }
+    p.events = events;
+    p
+}
+
+fn main() {
+    let seed = seed_from_args();
+    println!(
+        "Recurring failure waves (every {WAVE_PERIOD} epochs, recovery after \
+         {}), {EPOCHS} epochs, seed {seed}.\n\
+         data-loss = partitions that lost every replica (lower is better)\n",
+        WAVE_PERIOD / 2
+    );
+    for burst in [10usize, 30, 50] {
+        let cmp = run_comparison(&params_with_waves(burst, seed)).expect("runs");
+        println!("== {burst} servers per wave ==");
+        println!(
+            "{:8} {:>10} {:>14} {:>14} {:>12}",
+            "policy", "data-loss", "replicas(end)", "unserved/ep", "SLA %"
+        );
+        for kind in PolicyKind::ALL {
+            let m = &cmp.of(kind).metrics;
+            let last = |name: &str| m.series(name).unwrap().last().unwrap_or(0.0);
+            let tail = |name: &str| {
+                let s = m.series(name).unwrap();
+                s.mean_over(s.len() * 3 / 4, s.len())
+            };
+            println!(
+                "{:8} {:>10.0} {:>14.0} {:>14.2} {:>12.1}",
+                kind.name(),
+                last("data_loss_total"),
+                last("replicas_total"),
+                tail("unserved"),
+                tail("sla_300ms") * 100.0,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Data loss needs every replica of a partition inside one failure wave, so the \
+         baselines' over-provisioned fleets (6–14 copies of even the coldest \
+         partition) are nearly immune, while RFH keeps cold partitions at exactly the \
+         eq.-14 floor r_min = 2 — with half the fleet failing at once, two copies die \
+         together with probability ≈ 0.25, and RFH pays in restores. That is the \
+         efficiency/durability trade of Figs. 3–5 seen from the other side: the floor \
+         is a knob (raise `min_availability`, eq. 14) — the paper's own worked example \
+         is what sets it to 2."
+    );
+}

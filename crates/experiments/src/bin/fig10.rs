@@ -1,0 +1,15 @@
+//! Regenerates Fig. 10 (node failure and recovery). Optional argument:
+//! RNG seed.
+
+use rfh_experiments::figures;
+use rfh_experiments::output::{persist_fig10, print_fig10, results_root, seed_from_args};
+use rfh_experiments::shapes;
+
+fn main() {
+    let seed = seed_from_args();
+    let result = figures::fig10(seed).expect("simulation runs");
+    let checks = shapes::check_fig10(&result);
+    print_fig10(&result, &checks);
+    persist_fig10(&result, &results_root()).expect("results written");
+    println!("CSV written under {}/fig10/", results_root().display());
+}

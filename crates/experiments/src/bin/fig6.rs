@@ -1,0 +1,14 @@
+//! Regenerates Fig. 6 of the paper. Optional argument: RNG seed.
+
+use rfh_experiments::figures;
+use rfh_experiments::output::{persist_figure, print_figure, results_root, seed_from_args};
+use rfh_experiments::shapes;
+
+fn main() {
+    let seed = seed_from_args();
+    let run = figures::fig6(seed).expect("simulation runs");
+    let checks = shapes::check_fig6(&run);
+    print_figure(&run, &checks);
+    persist_figure(&run, &results_root()).expect("results written");
+    println!("CSV written under {}/fig6/", results_root().display());
+}

@@ -1,0 +1,48 @@
+//! Multi-seed robustness sweep: rerun the four-way comparison over many
+//! independent workload seeds (in parallel) and check that the paper's
+//! ordering claims hold on the means, not just on one lucky seed.
+//! Optional arguments: number of seeds (default 12), then base seed.
+
+use rfh_core::PolicyKind;
+use rfh_experiments::figures::RANDOM_EPOCHS;
+use rfh_experiments::sweep::{ordering_claims, sweep, SWEEP_METRICS};
+use rfh_workload::Scenario;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let base: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seeds: Vec<u64> = (0..n).map(|i| base + i).collect();
+
+    println!("sweeping {n} seeds ({}..{}), {RANDOM_EPOCHS} epochs each, random query\n", base, base + n - 1);
+    let t0 = std::time::Instant::now();
+    let result = sweep(Scenario::RandomEven, RANDOM_EPOCHS, &seeds).expect("sweep runs");
+    println!("({n} four-way comparisons in {:.1} s)\n", t0.elapsed().as_secs_f64());
+
+    println!("steady state, mean ± stddev over seeds:");
+    print!("{:22}", "metric");
+    for kind in PolicyKind::ALL {
+        print!(" {:>19}", kind.name());
+    }
+    println!();
+    for metric in SWEEP_METRICS {
+        print!("{metric:22}");
+        for kind in PolicyKind::ALL {
+            let c = result.cell(kind, metric);
+            print!(" {:>11.2} ±{:>6.2}", c.mean, c.stddev);
+        }
+        println!();
+    }
+
+    println!("\nordering claims on the means:");
+    let mut failures = 0;
+    for (claim, holds) in ordering_claims(&result) {
+        println!("  [{}] {claim}", if holds { "PASS" } else { "FAIL" });
+        if !holds {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

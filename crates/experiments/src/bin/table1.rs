@@ -1,0 +1,8 @@
+//! Prints Table I (environment and parameter setting).
+
+use rfh_experiments::table1;
+use rfh_types::SimConfig;
+
+fn main() {
+    print!("{}", table1::render(&SimConfig::default()));
+}

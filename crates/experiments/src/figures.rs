@@ -1,0 +1,192 @@
+//! Per-figure experiment runners.
+//!
+//! Each `figN` function reruns the simulations behind the corresponding
+//! paper figure and returns the comparison(s); the binaries print the
+//! curves and write CSVs. The run lengths follow the paper's x-axes:
+//! 250 epochs under random query, 400 under flash crowd, 500 for the
+//! failure/recovery experiment.
+
+use rfh_core::PolicyKind;
+use rfh_sim::{run_comparison, ComparisonResult, SimParams, SimResult, Simulation};
+use rfh_types::{FlashCrowdConfig, Result, SimConfig};
+use rfh_workload::{EventSchedule, Scenario};
+
+/// Epochs plotted under the random-query setting (Figs. 3a–9a).
+pub const RANDOM_EPOCHS: u64 = 250;
+/// Epochs plotted under the flash-crowd setting (Figs. 3b–9b).
+pub const FLASH_EPOCHS: u64 = 400;
+/// Fig. 10 run length.
+pub const FIG10_EPOCHS: u64 = 500;
+/// Fig. 10: epoch of the mass failure ("30 servers are randomly removed
+/// at epoch 290").
+pub const FIG10_FAIL_EPOCH: u64 = 290;
+/// Fig. 10: servers removed.
+pub const FIG10_FAIL_SERVERS: usize = 30;
+
+/// A figure's regenerated data: the random-query comparison and (when
+/// the figure has a flash-crowd panel) the flash-crowd comparison.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// Figure id, e.g. `"fig3"`.
+    pub id: &'static str,
+    /// Human caption from the paper.
+    pub caption: &'static str,
+    /// Metric series names (from `rfh_sim::Metrics`) the figure plots.
+    pub metrics: &'static [&'static str],
+    /// Comparison under random query (panel (a)-style).
+    pub random: ComparisonResult,
+    /// Comparison under flash crowd (panel (b)-style), if the figure has
+    /// one.
+    pub flash: Option<ComparisonResult>,
+}
+
+/// Parameters shared by every figure run.
+pub fn base_params(scenario: Scenario, epochs: u64, seed: u64) -> SimParams {
+    SimParams {
+        config: SimConfig::default(),
+        scenario,
+        policy: PolicyKind::Rfh, // replaced per policy by the runner
+        epochs,
+        seed,
+        events: EventSchedule::new(),
+    }
+}
+
+fn both_settings(
+    id: &'static str,
+    caption: &'static str,
+    metrics: &'static [&'static str],
+    seed: u64,
+) -> Result<FigureRun> {
+    let random = run_comparison(&base_params(Scenario::RandomEven, RANDOM_EPOCHS, seed))?;
+    let flash = run_comparison(&base_params(
+        Scenario::FlashCrowd(FlashCrowdConfig::default()),
+        FLASH_EPOCHS,
+        seed,
+    ))?;
+    Ok(FigureRun {
+        id,
+        caption,
+        metrics,
+        random,
+        flash: Some(flash),
+    })
+}
+
+/// Fig. 3: replica utilization rate under (a) random query and (b) flash
+/// crowd.
+pub fn fig3(seed: u64) -> Result<FigureRun> {
+    both_settings("fig3", "Replica utilization rate", &["utilization"], seed)
+}
+
+/// Fig. 4: total and per-partition replica number under both settings.
+pub fn fig4(seed: u64) -> Result<FigureRun> {
+    both_settings(
+        "fig4",
+        "Replica number (total and average per partition)",
+        &["replicas_total", "replicas_avg"],
+        seed,
+    )
+}
+
+/// Fig. 5: total and average replication cost under both settings.
+pub fn fig5(seed: u64) -> Result<FigureRun> {
+    both_settings(
+        "fig5",
+        "Replication cost (total and average per replica)",
+        &["replication_cost", "replication_cost_avg"],
+        seed,
+    )
+}
+
+/// Fig. 6: total and average migration times under both settings.
+pub fn fig6(seed: u64) -> Result<FigureRun> {
+    both_settings(
+        "fig6",
+        "Migration times (total and average per replica)",
+        &["migrations_total", "migrations_avg"],
+        seed,
+    )
+}
+
+/// Fig. 7: total and average migration cost under both settings.
+pub fn fig7(seed: u64) -> Result<FigureRun> {
+    both_settings(
+        "fig7",
+        "Migration cost (total and average per replica)",
+        &["migration_cost", "migration_cost_avg"],
+        seed,
+    )
+}
+
+/// Fig. 8: load imbalance (eq. 25) under both settings.
+pub fn fig8(seed: u64) -> Result<FigureRun> {
+    both_settings("fig8", "Load imbalance", &["load_imbalance"], seed)
+}
+
+/// Fig. 9: lookup path length under both settings.
+pub fn fig9(seed: u64) -> Result<FigureRun> {
+    both_settings("fig9", "Lookup path length", &["path_length"], seed)
+}
+
+/// Fig. 10: RFH node failure and recovery — 30 random servers fail at
+/// epoch 290 of a 500-epoch random-query run; the replica count drops
+/// sharply and recovers.
+pub fn fig10(seed: u64) -> Result<SimResult> {
+    let mut params = base_params(Scenario::RandomEven, FIG10_EPOCHS, seed);
+    params.events = EventSchedule::mass_failure_at(FIG10_FAIL_EPOCH, FIG10_FAIL_SERVERS);
+    Simulation::new(params)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A faster configuration for tests (same structure, fewer epochs
+    /// and partitions).
+    fn quick(scenario: Scenario, epochs: u64) -> SimParams {
+        let mut p = base_params(scenario, epochs, 5);
+        p.config.partitions = 16;
+        p
+    }
+
+    #[test]
+    fn base_params_use_paper_defaults() {
+        let p = base_params(Scenario::RandomEven, RANDOM_EPOCHS, 1);
+        assert_eq!(p.config.partitions, 64);
+        assert_eq!(p.epochs, 250);
+        assert!(p.events.is_empty());
+    }
+
+    #[test]
+    fn quick_comparison_has_all_metrics_figures_need() {
+        let cmp = run_comparison(&quick(Scenario::RandomEven, 10)).unwrap();
+        for metric in [
+            "utilization",
+            "replicas_total",
+            "replicas_avg",
+            "replication_cost",
+            "replication_cost_avg",
+            "migrations_total",
+            "migrations_avg",
+            "migration_cost",
+            "migration_cost_avg",
+            "load_imbalance",
+            "path_length",
+        ] {
+            for kind in PolicyKind::ALL {
+                assert!(
+                    cmp.of(kind).metrics.series(metric).is_some(),
+                    "{kind} missing {metric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_constants_match_paper() {
+        assert_eq!(FIG10_FAIL_EPOCH, 290);
+        assert_eq!(FIG10_FAIL_SERVERS, 30);
+        assert_eq!(FIG10_EPOCHS, 500);
+    }
+}

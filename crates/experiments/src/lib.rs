@@ -1,0 +1,33 @@
+//! # rfh-experiments
+//!
+//! The paper's evaluation (§III), experiment by experiment: one
+//! harness per table/figure that reruns the corresponding simulation
+//! and prints (and optionally persists) the same series the paper
+//! plots.
+//!
+//! | Item | Runner | Binary |
+//! |---|---|---|
+//! | Table I | [`table1::render`] | `table1` |
+//! | Fig. 3 (utilization) | [`figures::fig3`] | `fig3` |
+//! | Fig. 4 (replica number) | [`figures::fig4`] | `fig4` |
+//! | Fig. 5 (replication cost) | [`figures::fig5`] | `fig5` |
+//! | Fig. 6 (migration times) | [`figures::fig6`] | `fig6` |
+//! | Fig. 7 (migration cost) | [`figures::fig7`] | `fig7` |
+//! | Fig. 8 (load imbalance) | [`figures::fig8`] | `fig8` |
+//! | Fig. 9 (lookup path length) | [`figures::fig9`] | `fig9` |
+//! | Fig. 10 (failure & recovery) | [`figures::fig10`] | `fig10` |
+//!
+//! `cargo run -p rfh-experiments --bin all` regenerates everything and
+//! writes per-figure CSVs under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod ascii;
+pub mod figures;
+pub mod output;
+pub mod shapes;
+pub mod sweep;
+pub mod table1;
+
+pub use figures::{FigureRun, FIG10_FAIL_EPOCH, FIG10_FAIL_SERVERS};

@@ -1,0 +1,61 @@
+//! Table I: the environment and parameter setting.
+
+use rfh_types::SimConfig;
+
+/// Render Table I from a configuration, in the paper's row order.
+pub fn render(cfg: &SimConfig) -> String {
+    let t = &cfg.thresholds;
+    let rows: Vec<(String, String)> = vec![
+        ("Max server storage capacity".into(), cfg.max_server_storage.to_string()),
+        ("Server storage rate limit".into(), format!("{:.0}%", t.phi * 100.0)),
+        ("Replication bandwidth".into(), cfg.replication_bandwidth.to_string()),
+        ("Migration bandwidth".into(), cfg.migration_bandwidth.to_string()),
+        ("Epoch".into(), format!("{} seconds", cfg.epoch_seconds)),
+        ("Queries per epoch".into(), format!("Poisson(λ = {})", cfg.queries_per_epoch)),
+        ("Partitions".into(), cfg.partitions.to_string()),
+        ("Partition size".into(), cfg.partition_size.to_string()),
+        ("Failure rate".into(), cfg.failure_rate.to_string()),
+        ("Minimum availability".into(), cfg.min_availability.to_string()),
+        ("α".into(), t.alpha.to_string()),
+        ("β".into(), t.beta.to_string()),
+        ("γ".into(), t.gamma.to_string()),
+        ("δ".into(), t.delta.to_string()),
+        ("μ".into(), t.mu.to_string()),
+    ];
+    let width = rows.iter().map(|(k, _)| k.chars().count()).max().unwrap_or(0);
+    let mut out = String::from("TABLE I — ENVIRONMENT AND PARAMETERS SETTING\n");
+    out.push_str(&format!("{:-<1$}\n", "", width + 20));
+    for (k, v) in rows {
+        let pad = width - k.chars().count();
+        out.push_str(&format!("{k}{:pad$}  {v}\n", ""));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_matches_paper_values() {
+        let text = render(&SimConfig::default());
+        for expected in [
+            "10GiB",
+            "70%",
+            "300MiB/epoch",
+            "100MiB/epoch",
+            "10 seconds",
+            "Poisson(λ = 300)",
+            "512KiB",
+            "0.1",
+            "0.8",
+            "0.2",
+            "2",
+            "1.5",
+            "1",
+        ] {
+            assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+        }
+        assert!(text.lines().count() >= 17);
+    }
+}

@@ -1,0 +1,45 @@
+//! # rfh-net
+//!
+//! The message-level protocol layer of §II-B, made concrete. The paper
+//! describes RFH's control plane as piggybacked routing-protocol
+//! messages:
+//!
+//! > "A virtual node periodically calculates its traffic load,
+//! > replication storage capacity and bandwidth for a replica. If it's
+//! > overloaded by its traffic and has enough storage and bandwidth
+//! > capacity, it will add its replication request and other
+//! > information, such as its ID, holder ID and IP address, to the tail
+//! > of the received query, and forward it to the next hop."
+//!
+//! and §II-E adds that the Erlang-B blocking probability "will be
+//! piggybacked into a replication request if there's any".
+//!
+//! This crate implements that control plane:
+//!
+//! * [`message`] — the protocol messages: per-epoch traffic reports /
+//!   replication requests travelling hop-by-hop toward partition
+//!   holders, carrying the reporter's traffic values, its best local
+//!   server, and that server's blocking probability.
+//! * [`network`] — the WAN transport: source-routed messages advance
+//!   one datacenter hop per *tick*, with a configurable number of ticks
+//!   per epoch (at the paper's 10-second epochs every WAN round trip
+//!   completes within one epoch; lowering the tick budget simulates
+//!   slower control planes).
+//! * [`agent`] — [`agent::DistributedRfhPolicy`]: the RFH decision tree
+//!   re-implemented over *node-local knowledge plus received messages*
+//!   instead of the omniscient epoch context. When the network delivers
+//!   within the epoch, its decisions are **identical** to the
+//!   centralized [`rfh_core::RfhPolicy`] — an equivalence the
+//!   integration tests assert — and under a starved tick budget its
+//!   decisions lag but converge, quantifying what decision latency
+//!   costs.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod message;
+pub mod network;
+
+pub use agent::{ControlPlaneStats, DistributedRfhPolicy};
+pub use message::{Message, MessagePayload};
+pub use network::Network;

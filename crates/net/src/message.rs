@@ -1,0 +1,157 @@
+//! Protocol messages.
+//!
+//! Control information in RFH rides along the same WAN routes as the
+//! queries (§II-B piggybacks requests onto forwarded queries). We model
+//! each piggybacked unit as a source-routed [`Message`] whose route is
+//! the datacenter path the enclosing query batch travels.
+
+use rfh_types::{DatacenterId, Epoch, PartitionId, ServerId};
+
+/// What a message carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MessagePayload {
+    /// A forwarding node's per-epoch traffic report for one partition,
+    /// piggybacked toward the partition holder. Doubles as the
+    /// *replication request* of §II-B when the reporter clears the hub
+    /// bar — the holder applies eq. 13 on arrival.
+    TrafficReport {
+        /// The partition the traffic belongs to.
+        partition: PartitionId,
+        /// The reporting datacenter.
+        reporter: DatacenterId,
+        /// Smoothed arrival traffic `t̄r_ikt` at the reporter (eq. 11).
+        traffic: f64,
+        /// Smoothed *forwarding* traffic (residual passed onward) — the
+        /// quantity hubs are ranked by.
+        outflow: f64,
+        /// The reporter's best replica host: its least-blocked server
+        /// with room under the storage cap, if any.
+        candidate: Option<ServerId>,
+        /// Erlang-B blocking probability of `candidate` (§II-E: "the
+        /// value of BP_i will be piggybacked into a replication
+        /// request"). 1.0 when there is no candidate.
+        blocking_probability: f64,
+        /// Epoch the observation was made in (stale reports lose to
+        /// fresher ones at the holder).
+        observed_at: Epoch,
+    },
+}
+
+impl MessagePayload {
+    /// The partition this payload concerns.
+    pub fn partition(&self) -> PartitionId {
+        match self {
+            MessagePayload::TrafficReport { partition, .. } => *partition,
+        }
+    }
+}
+
+/// A source-routed message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// The datacenter route, requester first, destination last
+    /// (the same WAN path the piggybacking queries travel).
+    pub route: Vec<DatacenterId>,
+    /// Index into `route` of the message's current position.
+    pub position: usize,
+    /// The payload.
+    pub payload: MessagePayload,
+}
+
+impl Message {
+    /// Build a message at the start of its route.
+    ///
+    /// # Panics
+    /// Panics on an empty route — every message needs at least the
+    /// destination.
+    pub fn new(route: Vec<DatacenterId>, payload: MessagePayload) -> Self {
+        assert!(!route.is_empty(), "messages need a route");
+        Message { route, position: 0, payload }
+    }
+
+    /// The datacenter the message currently sits in.
+    pub fn current(&self) -> DatacenterId {
+        self.route[self.position]
+    }
+
+    /// The final destination.
+    pub fn destination(&self) -> DatacenterId {
+        *self.route.last().expect("route is non-empty")
+    }
+
+    /// Whether the message has arrived.
+    pub fn delivered(&self) -> bool {
+        self.position + 1 == self.route.len()
+    }
+
+    /// Advance one hop. Returns `true` if the message is now delivered.
+    pub fn advance(&mut self) -> bool {
+        if !self.delivered() {
+            self.position += 1;
+        }
+        self.delivered()
+    }
+
+    /// Hops still ahead of the message.
+    pub fn remaining_hops(&self) -> usize {
+        self.route.len() - 1 - self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(i: u32) -> DatacenterId {
+        DatacenterId::new(i)
+    }
+
+    fn report() -> MessagePayload {
+        MessagePayload::TrafficReport {
+            partition: PartitionId::new(3),
+            reporter: dc(7),
+            traffic: 12.0,
+            outflow: 9.0,
+            candidate: Some(ServerId::new(70)),
+            blocking_probability: 0.05,
+            observed_at: Epoch(4),
+        }
+    }
+
+    #[test]
+    fn advances_along_route() {
+        let mut m = Message::new(vec![dc(7), dc(8), dc(4), dc(0)], report());
+        assert_eq!(m.current(), dc(7));
+        assert_eq!(m.destination(), dc(0));
+        assert_eq!(m.remaining_hops(), 3);
+        assert!(!m.delivered());
+        assert!(!m.advance());
+        assert_eq!(m.current(), dc(8));
+        assert!(!m.advance());
+        assert!(m.advance(), "third hop delivers");
+        assert!(m.delivered());
+        assert_eq!(m.remaining_hops(), 0);
+        // Advancing a delivered message is a no-op.
+        assert!(m.advance());
+        assert_eq!(m.current(), dc(0));
+    }
+
+    #[test]
+    fn single_hop_route_is_immediately_delivered() {
+        let m = Message::new(vec![dc(0)], report());
+        assert!(m.delivered());
+        assert_eq!(m.current(), dc(0));
+        assert_eq!(m.destination(), dc(0));
+    }
+
+    #[test]
+    fn payload_partition_accessor() {
+        assert_eq!(report().partition(), PartitionId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "route")]
+    fn empty_route_rejected() {
+        let _ = Message::new(vec![], report());
+    }
+}

@@ -1,0 +1,207 @@
+//! The WAN transport: tick-driven, hop-by-hop delivery.
+//!
+//! Messages are source-routed along the datacenter paths the topology
+//! computed; every *tick* each in-flight message advances one hop.
+//! An epoch grants `ticks_per_epoch` ticks, so with a budget of at
+//! least the WAN diameter every message sent at the start of an epoch
+//! is delivered within it (the realistic regime for 10-second epochs
+//! and ~100 ms routes); a budget of 1 models a control plane an order
+//! of magnitude slower than the data plane.
+
+use crate::message::Message;
+use rfh_types::DatacenterId;
+
+/// The tick-driven message transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    ticks_per_epoch: usize,
+    in_flight: Vec<Message>,
+    /// Delivered messages, keyed by destination datacenter index.
+    inboxes: Vec<Vec<Message>>,
+    /// Totals for reporting.
+    sent: u64,
+    delivered: u64,
+    hops_travelled: u64,
+}
+
+impl Network {
+    /// Create a transport over `dcs` datacenters granting
+    /// `ticks_per_epoch` hops of progress per epoch (≥ 1).
+    pub fn new(dcs: usize, ticks_per_epoch: usize) -> Self {
+        assert!(ticks_per_epoch >= 1, "at least one tick per epoch");
+        Network {
+            ticks_per_epoch,
+            in_flight: Vec::new(),
+            inboxes: vec![Vec::new(); dcs],
+            sent: 0,
+            delivered: 0,
+            hops_travelled: 0,
+        }
+    }
+
+    /// Hand a message to the transport. Zero-hop messages (destination =
+    /// origin) are delivered instantly.
+    pub fn send(&mut self, message: Message) {
+        self.sent += 1;
+        if message.delivered() {
+            self.deliver(message);
+        } else {
+            self.in_flight.push(message);
+        }
+    }
+
+    fn deliver(&mut self, message: Message) {
+        self.delivered += 1;
+        let dst = message.destination().index();
+        assert!(dst < self.inboxes.len(), "destination outside the network");
+        self.inboxes[dst].push(message);
+    }
+
+    /// Advance one tick: every in-flight message moves one hop.
+    pub fn tick(&mut self) {
+        let mut still_flying = Vec::with_capacity(self.in_flight.len());
+        for mut m in self.in_flight.drain(..) {
+            self.hops_travelled += 1;
+            if m.advance() {
+                // Inline `deliver`, avoiding the &mut self conflict.
+                self.delivered += 1;
+                let dst = m.destination().index();
+                self.inboxes[dst].push(m);
+            } else {
+                still_flying.push(m);
+            }
+        }
+        self.in_flight = still_flying;
+    }
+
+    /// Run the epoch's tick budget.
+    pub fn run_epoch(&mut self) {
+        for _ in 0..self.ticks_per_epoch {
+            if self.in_flight.is_empty() {
+                break;
+            }
+            self.tick();
+        }
+    }
+
+    /// Drain the inbox of one datacenter.
+    pub fn drain_inbox(&mut self, dc: DatacenterId) -> Vec<Message> {
+        std::mem::take(&mut self.inboxes[dc.index()])
+    }
+
+    /// Messages still travelling.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Messages handed to the transport so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total hops travelled by all messages (control-plane overhead).
+    pub fn hops_travelled(&self) -> u64 {
+        self.hops_travelled
+    }
+
+    /// The configured tick budget.
+    pub fn ticks_per_epoch(&self) -> usize {
+        self.ticks_per_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessagePayload;
+    use rfh_types::{Epoch, PartitionId};
+
+    fn dc(i: u32) -> DatacenterId {
+        DatacenterId::new(i)
+    }
+
+    fn msg(route: Vec<u32>) -> Message {
+        Message::new(
+            route.into_iter().map(DatacenterId::new).collect(),
+            MessagePayload::TrafficReport {
+                partition: PartitionId::new(0),
+                reporter: dc(0),
+                traffic: 1.0,
+                outflow: 1.0,
+                candidate: None,
+                blocking_probability: 1.0,
+                observed_at: Epoch(0),
+            },
+        )
+    }
+
+    #[test]
+    fn messages_advance_one_hop_per_tick() {
+        let mut net = Network::new(5, 10);
+        net.send(msg(vec![0, 1, 2, 3]));
+        assert_eq!(net.in_flight(), 1);
+        net.tick();
+        net.tick();
+        assert_eq!(net.in_flight(), 1, "two of three hops done");
+        net.tick();
+        assert_eq!(net.in_flight(), 0);
+        let inbox = net.drain_inbox(dc(3));
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(net.delivered(), 1);
+        assert_eq!(net.hops_travelled(), 3);
+    }
+
+    #[test]
+    fn zero_hop_messages_deliver_instantly() {
+        let mut net = Network::new(2, 1);
+        net.send(msg(vec![1]));
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.drain_inbox(dc(1)).len(), 1);
+    }
+
+    #[test]
+    fn epoch_budget_bounds_progress() {
+        let mut net = Network::new(6, 2);
+        net.send(msg(vec![0, 1, 2, 3, 4, 5]));
+        net.run_epoch();
+        assert_eq!(net.in_flight(), 1, "5 hops, 2 ticks: still flying");
+        net.run_epoch();
+        net.run_epoch();
+        assert_eq!(net.in_flight(), 0, "delivered by the third epoch");
+        assert_eq!(net.drain_inbox(dc(5)).len(), 1);
+    }
+
+    #[test]
+    fn generous_budget_delivers_within_one_epoch() {
+        let mut net = Network::new(6, 8);
+        for route in [vec![0, 1, 2], vec![3, 2, 1, 0], vec![5, 4]] {
+            net.send(msg(route));
+        }
+        net.run_epoch();
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.delivered(), 3);
+        assert_eq!(net.drain_inbox(dc(2)).len(), 1);
+        assert_eq!(net.drain_inbox(dc(0)).len(), 1);
+        assert_eq!(net.drain_inbox(dc(4)).len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_the_inbox() {
+        let mut net = Network::new(3, 4);
+        net.send(msg(vec![0, 1]));
+        net.run_epoch();
+        assert_eq!(net.drain_inbox(dc(1)).len(), 1);
+        assert_eq!(net.drain_inbox(dc(1)).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_tick_budget_rejected() {
+        let _ = Network::new(3, 0);
+    }
+}

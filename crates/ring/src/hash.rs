@@ -1,0 +1,100 @@
+//! Stable 64-bit hashing.
+//!
+//! `std::hash::DefaultHasher` is explicitly not stable across Rust
+//! releases, and simulation reproducibility requires token positions to
+//! be identical everywhere, so the ring uses its own small, well-known
+//! functions: FNV-1a for byte strings and splitmix64 as an integer mixer
+//! (also the standard way to derive independent-looking streams from a
+//! counter).
+
+/// FNV-1a, 64-bit. Stable, fast for short keys (ids, labels).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The splitmix64 finalizer: a bijective avalanche mixer on `u64`.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Combine two hashes into one (order-sensitive), for deriving per-token
+/// positions from `(server, token_index)` pairs.
+pub fn combine(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ b.rotate_left(32).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_distinguishes_close_inputs() {
+        assert_ne!(fnv1a64(b"part1"), fnv1a64(b"part2"));
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn splitmix_is_bijective_on_sample() {
+        // A bijection cannot collide; sample a decent range.
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(splitmix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn splitmix_avalanches() {
+        // Flipping one input bit flips roughly half the output bits.
+        let mut total = 0u32;
+        const SAMPLES: u64 = 1000;
+        for i in 0..SAMPLES {
+            let a = splitmix64(i);
+            let b = splitmix64(i ^ 1);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / SAMPLES as f64;
+        assert!((24.0..40.0).contains(&avg), "poor avalanche: {avg} bits");
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+        assert_ne!(combine(0, 0), combine(0, 1));
+    }
+
+    #[test]
+    fn combine_spreads_sequential_tokens() {
+        // Tokens for one server must scatter around the ring, not clump.
+        let server = fnv1a64(b"srv7");
+        let mut tokens: Vec<u64> = (0..64).map(|i| combine(server, i)).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 64, "no duplicate tokens");
+        // Check spread: the largest gap should not exceed ~a quarter of
+        // the space for 64 tokens (extremely loose, catches clumping).
+        let mut max_gap = u64::MAX - tokens.last().unwrap() + tokens[0];
+        for w in tokens.windows(2) {
+            max_gap = max_gap.max(w[1] - w[0]);
+        }
+        assert!(max_gap < u64::MAX / 4, "tokens clump: max gap {max_gap}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Prefix-digit overlay routing (§II-B).
+//!
+//! "Routing is similar to Oceanstore in RFH. … The routing protocol
+//! messages are labeled with a destination ID. It routes messages
+//! directly to the closest node which has the desired ID and matches the
+//! prefix. The cost of routing is O(log n)."
+//!
+//! This is a Pastry/Tapestry-style scheme over the ring's `u64` id
+//! space, interpreted as 16 hexadecimal digits (most-significant first).
+//! Each hop must strictly increase the length of the id prefix shared
+//! with the destination; when no node improves the prefix, routing
+//! falls through to the numerically-closest node — which is the final
+//! owner. With `b = 4` bits per digit the expected hop count is
+//! `O(log₁₆ n)`.
+
+use crate::hash::splitmix64;
+use rfh_types::{Result, RfhError, ServerId};
+
+/// Digits per id (16 hex digits in a u64).
+const DIGITS: u32 = 16;
+
+/// Extract hex digit `i` of an overlay id (0 = most significant).
+/// Exposed for routing diagnostics and tests.
+#[inline]
+pub fn digit(id: u64, i: u32) -> u8 {
+    ((id >> ((DIGITS - 1 - i) * 4)) & 0xF) as u8
+}
+
+/// Length of the common hex-digit prefix of two ids.
+#[inline]
+fn shared_prefix(a: u64, b: u64) -> u32 {
+    if a == b {
+        return DIGITS;
+    }
+    ((a ^ b).leading_zeros()) / 4
+}
+
+/// A prefix-routing overlay over a set of nodes.
+///
+/// Node overlay ids are derived deterministically from server ids with
+/// the same mixer the ring uses, so the overlay and the ring agree on
+/// identity without sharing state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PrefixRouter {
+    /// Sorted overlay ids with their servers.
+    nodes: Vec<(u64, ServerId)>,
+}
+
+impl PrefixRouter {
+    /// Empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deterministic overlay id of a server.
+    pub fn overlay_id(server: ServerId) -> u64 {
+        splitmix64(server.0 as u64 ^ 0x5052_4658) // "PRFX"
+    }
+
+    /// Add a server to the overlay. Idempotent.
+    pub fn join(&mut self, server: ServerId) {
+        let id = Self::overlay_id(server);
+        match self.nodes.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(_) => {}
+            Err(idx) => self.nodes.insert(idx, (id, server)),
+        }
+    }
+
+    /// Remove a server. Idempotent.
+    pub fn leave(&mut self, server: ServerId) {
+        self.nodes.retain(|&(_, s)| s != server);
+    }
+
+    /// Number of overlay nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have joined.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The overlay owner of a key: the node whose id is numerically
+    /// closest to the key (ties toward the lower id).
+    pub fn owner(&self, key: u64) -> Result<ServerId> {
+        if self.nodes.is_empty() {
+            return Err(RfhError::Ring("routing on an empty overlay".into()));
+        }
+        let idx = self.nodes.partition_point(|&(i, _)| i < key);
+        let candidates = [idx.wrapping_sub(1), idx]
+            .into_iter()
+            .filter(|&i| i < self.nodes.len());
+        let best = candidates
+            .min_by_key(|&i| {
+                let id = self.nodes[i].0;
+                (id.abs_diff(key), id)
+            })
+            .expect("non-empty");
+        Ok(self.nodes[best].1)
+    }
+
+    /// Route from `src` toward `key`: each hop strictly improves the
+    /// shared hex prefix with the key (or jumps to the final owner when
+    /// no better prefix exists). Returns the sequence of servers visited
+    /// including `src` and the owner.
+    ///
+    /// # Errors
+    /// Fails if the overlay is empty or `src` has not joined.
+    pub fn route(&self, src: ServerId, key: u64) -> Result<Vec<ServerId>> {
+        if self.nodes.iter().all(|&(_, s)| s != src) {
+            return Err(RfhError::Ring(format!("source {src} is not in the overlay")));
+        }
+        let owner = self.owner(key)?;
+        let mut path = vec![src];
+        let mut cur = Self::overlay_id(src);
+        // Each iteration increases the prefix length or terminates, so
+        // the loop is bounded by the number of digits.
+        for _ in 0..=DIGITS {
+            let cur_server = *path.last().expect("path never empty");
+            if cur_server == owner {
+                return Ok(path);
+            }
+            let p = shared_prefix(cur, key);
+            // Best next hop: longest shared prefix with key, then
+            // numerically closest to key.
+            let next = self
+                .nodes
+                .iter()
+                .filter(|&&(_, s)| s != cur_server)
+                .map(|&(id, s)| (shared_prefix(id, key), id, s))
+                .filter(|&(sp, _, _)| sp > p)
+                .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.abs_diff(key).cmp(&a.1.abs_diff(key))))
+                .map(|(_, id, s)| (id, s));
+            match next {
+                Some((id, s)) => {
+                    path.push(s);
+                    cur = id;
+                }
+                None => {
+                    // No node improves the prefix: the owner is the
+                    // numerically-closest node; one final hop reaches it.
+                    path.push(owner);
+                    return Ok(path);
+                }
+            }
+        }
+        Ok(path)
+    }
+
+    /// Overlay hop count from `src` to the owner of `key`.
+    pub fn hop_count(&self, src: ServerId, key: u64) -> Result<usize> {
+        Ok(self.route(src, key)?.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlay(n: u32) -> PrefixRouter {
+        let mut o = PrefixRouter::new();
+        for i in 0..n {
+            o.join(ServerId::new(i));
+        }
+        o
+    }
+
+    #[test]
+    fn digit_extraction() {
+        let id = 0x0123_4567_89AB_CDEF_u64;
+        assert_eq!(digit(id, 0), 0x0);
+        assert_eq!(digit(id, 1), 0x1);
+        assert_eq!(digit(id, 15), 0xF);
+    }
+
+    #[test]
+    fn shared_prefix_lengths() {
+        assert_eq!(shared_prefix(0, 0), 16);
+        assert_eq!(shared_prefix(0x0123, 0x0124), 15, "differ only in the last digit");
+        assert_eq!(shared_prefix(u64::MAX, 0), 0);
+        let a = 0xAB00_0000_0000_0000u64;
+        let b = 0xAB10_0000_0000_0000u64;
+        assert_eq!(shared_prefix(a, b), 2);
+    }
+
+    #[test]
+    fn empty_overlay_errors() {
+        let o = PrefixRouter::new();
+        assert!(o.is_empty());
+        assert!(o.owner(5).is_err());
+        assert!(o.route(ServerId::new(0), 5).is_err());
+    }
+
+    #[test]
+    fn join_leave_idempotent() {
+        let mut o = overlay(5);
+        assert_eq!(o.len(), 5);
+        o.join(ServerId::new(3));
+        assert_eq!(o.len(), 5);
+        o.leave(ServerId::new(3));
+        o.leave(ServerId::new(3));
+        assert_eq!(o.len(), 4);
+    }
+
+    #[test]
+    fn route_reaches_owner_from_everywhere() {
+        let o = overlay(100);
+        for key in (0..50).map(|i| splitmix64(i ^ 0xDEAD)) {
+            let owner = o.owner(key).unwrap();
+            for src in 0..100 {
+                let path = o.route(ServerId::new(src), key).unwrap();
+                assert_eq!(*path.first().unwrap(), ServerId::new(src));
+                assert_eq!(*path.last().unwrap(), owner, "src={src} key={key:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_from_owner_is_zero_hops() {
+        let o = overlay(50);
+        let key = 12345;
+        let owner = o.owner(key).unwrap();
+        assert_eq!(o.hop_count(owner, key).unwrap(), 0);
+    }
+
+    #[test]
+    fn hops_are_logarithmic() {
+        // O(log₁₆ n): for 256 nodes expect ≲ 4 average, allow slack.
+        let o = overlay(256);
+        let mut total = 0usize;
+        let mut max = 0usize;
+        let mut samples = 0usize;
+        for k in 0..64 {
+            let key = splitmix64(k ^ 0xBEEF);
+            for src in (0..256).step_by(16) {
+                let h = o.hop_count(ServerId::new(src), key).unwrap();
+                total += h;
+                max = max.max(h);
+                samples += 1;
+            }
+        }
+        let avg = total as f64 / samples as f64;
+        assert!(avg <= 5.0, "average hops {avg} too high for 256 nodes");
+        assert!(max <= 17, "max hops {max} exceeds digit bound");
+    }
+
+    #[test]
+    fn owner_is_numerically_closest() {
+        let o = overlay(20);
+        for k in 0..200 {
+            let key = splitmix64(k);
+            let owner = o.owner(key).unwrap();
+            let owner_id = PrefixRouter::overlay_id(owner);
+            for s in 0..20 {
+                let id = PrefixRouter::overlay_id(ServerId::new(s));
+                assert!(
+                    owner_id.abs_diff(key) <= id.abs_diff(key),
+                    "node {s} is closer to {key:#x} than the owner"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn departure_reroutes_to_new_owner() {
+        let mut o = overlay(30);
+        let key = 777_777;
+        let owner = o.owner(key).unwrap();
+        o.leave(owner);
+        let new_owner = o.owner(key).unwrap();
+        assert_ne!(owner, new_owner);
+        let path = o.route(ServerId::new((owner.0 + 1) % 30), key);
+        // Old owner must not appear anywhere.
+        assert!(path.unwrap().iter().all(|&s| s != owner));
+    }
+}

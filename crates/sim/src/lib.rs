@@ -1,0 +1,34 @@
+//! # rfh-sim
+//!
+//! The epoch-driven cloud-storage simulator of §III: the paper's
+//! evaluation environment, rebuilt. Each epoch it
+//!
+//! 1. applies scheduled cluster events (failures, recoveries, joins —
+//!    the Fig. 10 machinery),
+//! 2. generates (or replays) the `q_ijt` query matrix,
+//! 3. runs the traffic pass (absorption along WAN routes),
+//! 4. folds the observations into the EWMA state,
+//! 5. lets the policy under test decide and executes its actions under
+//!    the storage/bandwidth limits, and
+//! 6. records every metric the paper's figures plot.
+//!
+//! * [`metrics`] — per-epoch series: replica utilization (eqs. 20–23),
+//!   replica counts, replication/migration costs (eq. 1), migration
+//!   times, load imbalance (eqs. 24–26), lookup path length, unserved
+//!   demand, alive servers.
+//! * [`simulation`] — the epoch loop for one policy.
+//! * [`runner`] — run the four policies over identical workloads, in
+//!   parallel (crossbeam scoped threads; each run is independent and
+//!   deterministic, so parallelism cannot change results).
+//! * [`report`] — CSV rendering of results.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod simulation;
+
+pub use metrics::{EpochSnapshot, Metrics};
+pub use runner::{run_comparison, ComparisonResult};
+pub use simulation::{SimParams, SimResult, Simulation};

@@ -1,0 +1,127 @@
+//! Run the four algorithms over identical workloads, in parallel.
+//!
+//! Each run is fully deterministic given `(params, seed)` and shares no
+//! mutable state with the others, so running them on crossbeam scoped
+//! threads is a pure wall-clock optimization — results are identical to
+//! sequential execution (a test asserts this).
+
+use crate::simulation::{SimParams, SimResult, Simulation};
+use rfh_core::PolicyKind;
+use rfh_types::{Result, RfhError};
+use rfh_workload::{Trace, WorkloadGenerator};
+use std::sync::Arc;
+
+/// Results of the four policies over one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonResult {
+    /// One result per policy, in [`PolicyKind::ALL`] order.
+    pub results: Vec<SimResult>,
+}
+
+impl ComparisonResult {
+    /// The result of one policy.
+    pub fn of(&self, kind: PolicyKind) -> &SimResult {
+        self.results
+            .iter()
+            .find(|r| r.policy == kind)
+            .expect("all four policies present")
+    }
+}
+
+/// Run all four policies with identical parameters and workload.
+///
+/// `base` supplies everything but the policy; the workload trace is
+/// recorded once and shared.
+pub fn run_comparison(base: &SimParams) -> Result<ComparisonResult> {
+    // Record the workload once. The generator shape must match what
+    // Simulation::new would build internally.
+    let mut generator = WorkloadGenerator::new(
+        base.config.queries_per_epoch,
+        base.config.partitions,
+        rfh_topology::PAPER_DC_COUNT as u32,
+        base.config.partition_skew,
+        base.scenario.clone(),
+        base.epochs,
+        base.seed,
+    );
+    let trace = Arc::new(Trace::record(&mut generator, base.epochs));
+
+    let outcome: std::result::Result<Vec<SimResult>, RfhError> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = PolicyKind::ALL
+                .into_iter()
+                .map(|kind| {
+                    let params = SimParams {
+                        policy: kind,
+                        ..base.clone()
+                    };
+                    let trace = Arc::clone(&trace);
+                    scope.spawn(move |_| {
+                        Simulation::new(params)?.with_shared_trace(trace).run()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| RfhError::Simulation("worker panicked".into()))?)
+                .collect()
+        })
+        .map_err(|_| RfhError::Simulation("comparison scope panicked".into()))?;
+
+    Ok(ComparisonResult { results: outcome? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_types::SimConfig;
+    use rfh_workload::{EventSchedule, Scenario};
+
+    fn base() -> SimParams {
+        SimParams {
+            config: SimConfig {
+                partitions: 16,
+                replica_capacity_mean: 5.0,
+                ..SimConfig::default()
+            },
+            scenario: Scenario::RandomEven,
+            policy: PolicyKind::Rfh, // overridden per run
+            epochs: 30,
+            seed: 11,
+            events: EventSchedule::new(),
+        }
+    }
+
+    #[test]
+    fn comparison_runs_all_four() {
+        let cmp = run_comparison(&base()).unwrap();
+        assert_eq!(cmp.results.len(), 4);
+        for kind in PolicyKind::ALL {
+            let r = cmp.of(kind);
+            assert_eq!(r.policy, kind);
+            assert_eq!(r.metrics.epochs(), 30);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let b = base();
+        let parallel = run_comparison(&b).unwrap();
+        for kind in PolicyKind::ALL {
+            let params = SimParams { policy: kind, ..b.clone() };
+            let sequential = Simulation::new(params).unwrap().run().unwrap();
+            assert_eq!(&sequential, parallel.of(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn policies_actually_differ() {
+        let cmp = run_comparison(&base()).unwrap();
+        let series: Vec<&[f64]> = PolicyKind::ALL
+            .iter()
+            .map(|&k| cmp.of(k).metrics.series("replicas_total").unwrap().values())
+            .collect();
+        // At least the random baseline should diverge from RFH.
+        assert_ne!(series[2], series[3], "Random vs RFH must differ");
+    }
+}

@@ -1,0 +1,477 @@
+//! The epoch loop for one policy.
+
+use crate::metrics::{epoch_load_imbalance, mean_utilization, EpochSnapshot, Metrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfh_core::{
+    server_blocking_probabilities, Action, EpochContext, OwnerOrientedPolicy, PolicyKind,
+    RandomPolicy, ReplicaManager, ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
+};
+use rfh_ring::ConsistentHashRing;
+use rfh_topology::{paper_topology, Topology};
+use rfh_traffic::{compute_traffic, TrafficSmoother};
+use rfh_types::{Epoch, PartitionId, Result, RfhError, ServerId, SimConfig};
+use rfh_workload::{ClusterEvent, EventSchedule, Scenario, Trace, WorkloadGenerator};
+use std::sync::Arc;
+
+/// Tokens per server on the placement ring.
+const RING_TOKENS: u32 = 64;
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    /// Table I parameters.
+    pub config: SimConfig,
+    /// Query-origin scenario.
+    pub scenario: Scenario,
+    /// The algorithm under test.
+    pub policy: PolicyKind,
+    /// Run length in epochs.
+    pub epochs: u64,
+    /// Master seed: workload, topology capacity factors and event
+    /// randomness all derive from it, so `(params, seed)` fully
+    /// determines the run.
+    pub seed: u64,
+    /// Scheduled cluster events (failures / recoveries / joins).
+    pub events: EventSchedule,
+}
+
+impl SimParams {
+    /// Paper defaults: Table I config, 250 epochs, no events.
+    pub fn paper(policy: PolicyKind, scenario: Scenario) -> Self {
+        SimParams {
+            config: SimConfig::default(),
+            scenario,
+            policy,
+            epochs: 250,
+            seed: 42,
+            events: EventSchedule::new(),
+        }
+    }
+}
+
+/// The outcome of a finished run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The algorithm that produced it.
+    pub policy: PolicyKind,
+    /// Scenario name (for report labelling).
+    pub scenario: String,
+    /// The full metric history.
+    pub metrics: Metrics,
+}
+
+/// One policy's simulation state.
+pub struct Simulation {
+    /// Data-loss events (partitions restored from archive) pending
+    /// attribution to the next snapshot.
+    pending_data_loss: usize,
+    params: SimParams,
+    topo: Topology,
+    ring: ConsistentHashRing,
+    manager: ReplicaManager,
+    smoother: TrafficSmoother,
+    policy: Box<dyn ReplicationPolicy + Send>,
+    /// Workload source: a shared recorded trace, or a private generator.
+    trace: Option<Arc<Trace>>,
+    generator: WorkloadGenerator,
+    /// RNG for scheduled random events (mass failure).
+    event_rng: StdRng,
+    epoch: u64,
+    metrics: Metrics,
+}
+
+impl Simulation {
+    /// Build a run on the paper topology.
+    pub fn new(params: SimParams) -> Result<Self> {
+        params.config.validate()?;
+        let topo = paper_topology(params.config.capacity_spread, params.seed)?;
+        Self::with_topology(params, topo)
+    }
+
+    /// Build a run on a custom topology.
+    pub fn with_topology(params: SimParams, topo: Topology) -> Result<Self> {
+        params.config.validate()?;
+        let cfg = &params.config;
+        let mut ring = ConsistentHashRing::new(RING_TOKENS);
+        for s in topo.servers() {
+            if s.alive {
+                ring.join(s.id);
+            }
+        }
+        let holders = (0..cfg.partitions)
+            .map(|p| ring.primary(PartitionId::new(p)))
+            .collect::<Result<Vec<_>>>()?;
+        let manager = ReplicaManager::new(cfg, topo.server_count(), holders)?;
+        let smoother = TrafficSmoother::new(
+            cfg.partitions,
+            topo.datacenters().len() as u32,
+            cfg.thresholds.alpha,
+        );
+        let policy = Self::build_policy(&params, &topo, &ring);
+        let generator = WorkloadGenerator::new(
+            cfg.queries_per_epoch,
+            cfg.partitions,
+            topo.datacenters().len() as u32,
+            cfg.partition_skew,
+            params.scenario.clone(),
+            params.epochs,
+            params.seed,
+        );
+        let metrics = Metrics::new(cfg.partitions);
+        Ok(Simulation {
+            pending_data_loss: 0,
+            event_rng: StdRng::seed_from_u64(params.seed ^ 0x4556_454E_5453), // "EVENTS"
+            params,
+            topo,
+            ring,
+            manager,
+            smoother,
+            policy,
+            trace: None,
+            generator,
+            epoch: 0,
+            metrics,
+        })
+    }
+
+    /// Replace the policy with a custom (e.g. ablated) implementation.
+    /// The `params.policy` kind is kept for labelling only.
+    pub fn with_custom_policy(mut self, policy: Box<dyn ReplicationPolicy + Send>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replay a shared recorded trace instead of generating queries.
+    /// Guarantees byte-identical workloads across policies (the
+    /// generator already guarantees this for equal seeds; the trace also
+    /// saves regeneration work).
+    pub fn with_shared_trace(mut self, trace: Arc<Trace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    fn build_policy(
+        params: &SimParams,
+        topo: &Topology,
+        ring: &ConsistentHashRing,
+    ) -> Box<dyn ReplicationPolicy + Send> {
+        match params.policy {
+            PolicyKind::Rfh => Box::new(RfhPolicy::new()),
+            PolicyKind::Random => Box::new(RandomPolicy::new(ring.clone())),
+            PolicyKind::OwnerOriented => Box::new(OwnerOrientedPolicy::new()),
+            PolicyKind::RequestOriented => Box::new(RequestOrientedPolicy::new(
+                params.config.partitions,
+                topo.datacenters().len() as u32,
+                params.seed ^ 0x5245_5155, // "REQU"
+            )),
+        }
+    }
+
+    /// Current epoch (next to be simulated).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The replica map (inspection in tests and examples).
+    pub fn manager(&self) -> &ReplicaManager {
+        &self.manager
+    }
+
+    /// The cluster (inspection in tests and examples).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn apply_events(&mut self) -> Result<()> {
+        // Clone the events at this epoch to end the borrow of params.
+        let evs: Vec<ClusterEvent> =
+            self.params.events.at(self.epoch).cloned().collect();
+        if evs.is_empty() {
+            return Ok(());
+        }
+        let mut membership_changed = false;
+        for ev in evs {
+            match ev {
+                ClusterEvent::FailRandomServers { count } => {
+                    for id in self.topo.fail_random_servers(count, &mut self.event_rng) {
+                        self.ring.leave(id);
+                        membership_changed = true;
+                    }
+                }
+                ClusterEvent::FailServers(ids) => {
+                    for id in ids {
+                        if self.topo.fail_server(id)? {
+                            self.ring.leave(id);
+                            membership_changed = true;
+                        }
+                    }
+                }
+                ClusterEvent::RecoverServers(ids) => {
+                    for id in ids {
+                        if self.topo.recover_server(id)? {
+                            self.ring.join(id);
+                        }
+                    }
+                }
+                ClusterEvent::RecoverAll => {
+                    let dead: Vec<ServerId> = self
+                        .topo
+                        .servers()
+                        .iter()
+                        .filter(|s| !s.alive)
+                        .map(|s| s.id)
+                        .collect();
+                    for id in dead {
+                        self.topo.recover_server(id)?;
+                        self.ring.join(id);
+                    }
+                }
+                ClusterEvent::JoinServer { datacenter, room, rack } => {
+                    let id = self.topo.add_server(datacenter, room, rack, 1.0)?;
+                    self.manager.add_server_slot();
+                    self.ring.join(id);
+                }
+            }
+        }
+        if membership_changed {
+            // Drop replicas on dead servers; restore partitions that
+            // lost every copy onto a surviving ring successor.
+            let ring = &self.ring;
+            let topo = &self.topo;
+            let outcome = self.manager.prune_dead(topo, |p| {
+                ring.successors(p, topo.server_count())
+                    .ok()
+                    .into_iter()
+                    .flatten()
+                    .find(|&s| topo.servers()[s.index()].alive)
+                    .unwrap_or_else(|| {
+                        topo.servers()
+                            .iter()
+                            .find(|s| s.alive)
+                            .map(|s| s.id)
+                            .expect("at least one server must survive")
+                    })
+            });
+            self.pending_data_loss += outcome.restored_partitions.len();
+        }
+        Ok(())
+    }
+
+    /// Simulate one epoch; returns its snapshot.
+    pub fn step(&mut self) -> Result<EpochSnapshot> {
+        self.apply_events()?;
+        self.manager.begin_epoch();
+
+        let load = match &self.trace {
+            Some(t) => t
+                .epoch(self.epoch)
+                .ok_or_else(|| {
+                    RfhError::Simulation(format!("trace has no epoch {}", self.epoch))
+                })?
+                .clone(),
+            None => self.generator.epoch_load(self.epoch),
+        };
+
+        let cfg = &self.params.config;
+        let view = self.manager.placement_view(&self.topo, cfg.replica_capacity_mean);
+        let accounts = compute_traffic(&self.topo, &load, &view);
+        self.smoother.update(&load, &accounts);
+        let blocking =
+            server_blocking_probabilities(&self.topo, &accounts, cfg.replica_capacity_mean);
+
+        let ctx = EpochContext {
+            epoch: Epoch(self.epoch),
+            topo: &self.topo,
+            load: &load,
+            accounts: &accounts,
+            smoother: &self.smoother,
+            blocking: &blocking,
+            config: cfg,
+        };
+        let actions = self.policy.decide(&ctx, &self.manager);
+
+        let mut snap = EpochSnapshot {
+            utilization: mean_utilization(&view, &accounts),
+            load_imbalance: epoch_load_imbalance(&self.topo, &accounts),
+            path_length: accounts.mean_path_length(),
+            served: accounts.served_total(),
+            unserved: accounts.unserved_total(),
+            alive_servers: self.topo.alive_server_count(),
+            latency_ms: accounts.mean_latency_ms(),
+            sla_fraction: accounts.sla_fraction(),
+            data_loss: std::mem::take(&mut self.pending_data_loss),
+            ..Default::default()
+        };
+        for action in actions {
+            // A rejected action (bandwidth exhausted, target filled up by
+            // an earlier action this epoch) is simply not executed —
+            // the decision is retried naturally in later epochs.
+            let Ok(applied) = self.manager.apply(&self.topo, action) else {
+                continue;
+            };
+            match action {
+                Action::Replicate { .. } => {
+                    snap.replications += 1;
+                    snap.replication_cost += applied.cost;
+                }
+                Action::Migrate { .. } => {
+                    snap.migrations += 1;
+                    snap.migration_cost += applied.cost;
+                }
+                Action::Suicide { .. } => snap.suicides += 1,
+            }
+        }
+        snap.replicas_total = self.manager.total_replicas();
+        self.metrics.record(&snap);
+        self.epoch += 1;
+        Ok(snap)
+    }
+
+    /// Run to completion and return the metric history.
+    pub fn run(mut self) -> Result<SimResult> {
+        while self.epoch < self.params.epochs {
+            self.step()?;
+        }
+        Ok(SimResult {
+            policy: self.params.policy,
+            scenario: self.params.scenario.name().to_string(),
+            metrics: self.metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params(policy: PolicyKind) -> SimParams {
+        SimParams {
+            config: SimConfig {
+                partitions: 16,
+                replica_capacity_mean: 5.0,
+                ..SimConfig::default()
+            },
+            scenario: Scenario::RandomEven,
+            policy,
+            epochs: 40,
+            seed: 7,
+            events: EventSchedule::new(),
+        }
+    }
+
+    #[test]
+    fn runs_to_completion_for_every_policy() {
+        for kind in PolicyKind::ALL {
+            let sim = Simulation::new(quick_params(kind)).unwrap();
+            let result = sim.run().unwrap();
+            assert_eq!(result.metrics.epochs(), 40, "{kind}");
+            assert_eq!(result.policy, kind);
+        }
+    }
+
+    #[test]
+    fn replica_counts_grow_from_demand() {
+        let sim = Simulation::new(quick_params(PolicyKind::Rfh)).unwrap();
+        let result = sim.run().unwrap();
+        let replicas = result.metrics.series("replicas_total").unwrap();
+        assert_eq!(replicas.values()[0], 16.0 + 16.0, "first epoch: floor growth begins");
+        assert!(
+            replicas.last().unwrap() > 32.0,
+            "demand must add replicas beyond the floor: {:?}",
+            replicas.last()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Simulation::new(quick_params(PolicyKind::Rfh)).unwrap().run().unwrap();
+        let b = Simulation::new(quick_params(PolicyKind::Rfh)).unwrap().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p = quick_params(PolicyKind::Rfh);
+        let a = Simulation::new(p.clone()).unwrap().run().unwrap();
+        p.seed = 8;
+        let b = Simulation::new(p).unwrap().run().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_replay_equals_generation() {
+        let p = quick_params(PolicyKind::OwnerOriented);
+        let generated = Simulation::new(p.clone()).unwrap().run().unwrap();
+        // Record the same generator's stream and replay it.
+        let mut g = WorkloadGenerator::new(
+            p.config.queries_per_epoch,
+            p.config.partitions,
+            10,
+            p.config.partition_skew,
+            p.scenario.clone(),
+            p.epochs,
+            p.seed,
+        );
+        let trace = Arc::new(Trace::record(&mut g, p.epochs));
+        let replayed = Simulation::new(p)
+            .unwrap()
+            .with_shared_trace(trace)
+            .run()
+            .unwrap();
+        assert_eq!(generated, replayed);
+    }
+
+    #[test]
+    fn mass_failure_drops_replicas_then_recovers() {
+        let mut p = quick_params(PolicyKind::Rfh);
+        p.epochs = 120;
+        p.events = EventSchedule::mass_failure_at(60, 30);
+        let result = Simulation::new(p).unwrap().run().unwrap();
+        let replicas = result.metrics.series("replicas_total").unwrap();
+        let alive = result.metrics.series("alive_servers").unwrap();
+        assert_eq!(alive.values()[59], 100.0);
+        assert_eq!(alive.values()[60], 70.0, "30 servers die at epoch 60");
+        let before = replicas.values()[59];
+        let at = replicas.values()[60];
+        assert!(at < before, "replica count must drop with the servers: {before} → {at}");
+        let end = replicas.last().unwrap();
+        assert!(
+            end >= before * 0.8,
+            "re-replication must recover most of the fleet: {before} → {end}"
+        );
+    }
+
+    #[test]
+    fn data_loss_only_under_catastrophic_failure() {
+        // No events: the data-loss series stays flat zero.
+        let clean = Simulation::new(quick_params(PolicyKind::Rfh)).unwrap().run().unwrap();
+        let series = clean.metrics.series("data_loss_total").unwrap();
+        assert!(series.values().iter().all(|&v| v == 0.0));
+        // Kill 95 of 100 servers at once: with replicas capped at r_min=2
+        // early on, some partitions must lose every copy.
+        let mut p = quick_params(PolicyKind::Rfh);
+        p.epochs = 30;
+        p.events = EventSchedule::mass_failure_at(20, 95);
+        let hit = Simulation::new(p).unwrap().run().unwrap();
+        let series = hit.metrics.series("data_loss_total").unwrap();
+        assert!(
+            series.last().unwrap() > 0.0,
+            "a 95-server wipe must create restore events"
+        );
+        assert_eq!(series.get(19), Some(0.0), "no loss before the event");
+    }
+
+    #[test]
+    fn unserved_demand_shrinks_over_time() {
+        let sim = Simulation::new(quick_params(PolicyKind::Rfh)).unwrap();
+        let result = sim.run().unwrap();
+        let unserved = result.metrics.series("unserved").unwrap();
+        let early = unserved.mean_over(0, 5);
+        let late = unserved.mean_over(35, 40);
+        assert!(
+            late < early * 0.5 || late < 1.0,
+            "replication must absorb demand: early {early}, late {late}"
+        );
+    }
+}

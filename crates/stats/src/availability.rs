@@ -1,0 +1,199 @@
+//! Availability lower limit (paper eq. 14, §II-D).
+//!
+//! The paper bounds the minimum replica count `r_min` needed to keep the
+//! expected availability above `A_expect` when each replica fails
+//! independently with probability `f`:
+//!
+//! ```text
+//! 1 − Σ_{j=1}^{m} (−1)^{j+1} · C(m, j) · f^j  ≥  A_expect        (eq. 14)
+//! ```
+//!
+//! By inclusion–exclusion the sum equals `1 − (1 − f)^m`, so the left side
+//! collapses to `(1 − f)^m` — the probability that **no** replica has
+//! failed. This is the *all-replicas-alive* (write / strict) availability,
+//! and it **decreases** with `m`. Taken literally, the inequality is
+//! satisfied for `m = 1 .. m_max`; the paper's worked example
+//! (f = 0.1, A_expect = 0.8 ⇒ r_min = 2) corresponds to the **largest**
+//! `m` still satisfying it, i.e. `m_max = ⌊ln A / ln(1 − f)⌋`.
+//!
+//! We implement the paper's formula literally ([`eq14_availability`],
+//! [`min_replica_count`] reproducing the worked example), and also provide
+//! the conventional redundancy availability `1 − f^m`
+//! ([`read_availability`]) that *increases* with `m` — the quantity a
+//! replication system actually protects. The decision agent uses
+//! [`min_replica_count`] so the simulated algorithm matches the paper;
+//! the discrepancy is documented in EXPERIMENTS.md.
+
+/// The paper's eq. 14 left-hand side for `m` replicas with independent
+/// failure probability `f`: `1 − Σ (−1)^{j+1} C(m,j) f^j = (1 − f)^m`,
+/// the probability that every replica is alive.
+///
+/// Evaluated via the closed form `(1 − f)^m`: the alternating
+/// inclusion–exclusion sum as printed in the paper cancels
+/// catastrophically in floating point once `m·f` grows (the partial sums
+/// reach `C(m, m/2)·f^{m/2}` before collapsing), while the closed form is
+/// exact to ulps. [`eq14_sum_form`] keeps the literal formula for
+/// cross-validation; a test asserts the two agree where the sum is
+/// numerically trustworthy.
+pub fn eq14_availability(m: u32, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "failure probability must be in [0, 1], got {f}");
+    (1.0 - f).powi(m as i32)
+}
+
+/// The paper's eq. 14 evaluated literally as the alternating sum
+/// `1 − Σ_{j=1}^{m} (−1)^{j+1} C(m,j) f^j`. Provided for cross-checking
+/// [`eq14_availability`]; prefer the closed form for real use — this
+/// version loses precision rapidly beyond `m ≈ 30`.
+pub fn eq14_sum_form(m: u32, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "failure probability must be in [0, 1], got {f}");
+    // C(m, j) = C(m, j−1) · (m − j + 1) / j, term_j = C(m,j) f^j.
+    let mut sum = 0.0_f64;
+    let mut binom = 1.0_f64;
+    let mut f_pow = 1.0_f64;
+    for j in 1..=m {
+        binom *= (m - j + 1) as f64 / j as f64;
+        f_pow *= f;
+        let term = binom * f_pow;
+        if j % 2 == 1 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+    }
+    (1.0 - sum).clamp(0.0, 1.0)
+}
+
+/// Conventional redundancy availability: the data survives as long as at
+/// least one of `m` replicas is alive, `1 − f^m`. Increases with `m`.
+pub fn read_availability(m: u32, f: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "failure probability must be in [0, 1], got {f}");
+    if m == 0 {
+        return 0.0;
+    }
+    1.0 - f.powi(m as i32)
+}
+
+/// The paper's `r_min`: the replica count derived from eq. 14 for a given
+/// failure probability and expected availability, reproducing the worked
+/// example of §II-D (f = 0.1, A = 0.8 ⇒ 2).
+///
+/// Since eq. 14's availability decreases with `m`, this is the largest
+/// `m` with `(1 − f)^m ≥ A_expect`, floored at 1 so the system always
+/// keeps at least one copy.
+pub fn min_replica_count(f: f64, a_expect: f64) -> u32 {
+    assert!((0.0..=1.0).contains(&f), "failure probability must be in [0, 1], got {f}");
+    assert!(
+        (0.0..1.0).contains(&a_expect),
+        "expected availability must be in [0, 1), got {a_expect}"
+    );
+    if f == 0.0 {
+        // Perfect nodes: eq. 14 holds for every m; one copy satisfies any
+        // availability target.
+        return 1;
+    }
+    if f == 1.0 {
+        return 1; // nothing helps; keep the floor
+    }
+    // Largest m with (1-f)^m ≥ A  ⇔  m ≤ ln A / ln(1−f).
+    if a_expect == 0.0 {
+        return 1;
+    }
+    let m = (a_expect.ln() / (1.0 - f).ln()).floor();
+    (m as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_paper_sum_where_sum_is_stable() {
+        for m in 0..=24 {
+            for &f in &[0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 1.0] {
+                let sum_form = eq14_sum_form(m, f);
+                let closed = eq14_availability(m, f);
+                assert!(
+                    (sum_form - closed).abs() < 1e-9,
+                    "m={m} f={f}: {sum_form} vs {closed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // "if the system requires a minimum availability of 0.8 and the
+        //  failure probability is 0.1, then the minimum replica number
+        //  is 2 according to this inequation."
+        assert_eq!(min_replica_count(0.1, 0.8), 2);
+        // And indeed m = 2 satisfies eq. 14 while m = 3 does not:
+        assert!(eq14_availability(2, 0.1) >= 0.8);
+        assert!(eq14_availability(3, 0.1) < 0.8);
+    }
+
+    #[test]
+    fn eq14_zero_replicas_is_vacuously_available() {
+        // Empty product: no replica can have failed.
+        assert_eq!(eq14_availability(0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn r_min_edge_cases() {
+        assert_eq!(min_replica_count(0.0, 0.99), 1, "perfect nodes");
+        assert_eq!(min_replica_count(1.0, 0.5), 1, "hopeless nodes floor at 1");
+        assert_eq!(min_replica_count(0.1, 0.0), 1, "no availability demand");
+        // Stricter availability target shrinks the admissible replica set.
+        assert!(min_replica_count(0.1, 0.95) <= min_replica_count(0.1, 0.8));
+        assert!(min_replica_count(0.1, 0.95) >= 1);
+    }
+
+    #[test]
+    fn r_min_result_satisfies_eq14() {
+        for &f in &[0.05, 0.1, 0.2, 0.3] {
+            for &a in &[0.5, 0.7, 0.8, 0.9] {
+                let r = min_replica_count(f, a);
+                if 1.0 - f >= a {
+                    assert!(
+                        eq14_availability(r, f) >= a - 1e-12,
+                        "f={f} a={a} r={r}: {}",
+                        eq14_availability(r, f)
+                    );
+                } else {
+                    // Even a single replica cannot meet the target; the
+                    // floor keeps one copy anyway.
+                    assert_eq!(r, 1, "f={f} a={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_availability_increases_with_replicas() {
+        let f = 0.1;
+        let mut prev = 0.0;
+        for m in 0..10 {
+            let a = read_availability(m, f);
+            assert!(a >= prev);
+            prev = a;
+        }
+        assert_eq!(read_availability(0, 0.1), 0.0);
+        assert!((read_availability(2, 0.1) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq14_decreases_with_replicas() {
+        let f = 0.1;
+        let mut prev = 1.0;
+        for m in 0..10 {
+            let a = eq14_availability(m, f);
+            assert!(a <= prev + 1e-15);
+            prev = a;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn rejects_invalid_failure_probability() {
+        let _ = eq14_availability(3, 1.5);
+    }
+}

@@ -1,0 +1,259 @@
+//! Per-epoch metric time series.
+//!
+//! Every figure in the paper plots a metric against the epoch axis.
+//! `TimeSeries` is the common container the simulator's metric sinks
+//! append to and the experiment harness reads back: a dense `Vec<f64>`
+//! indexed by epoch, plus the summaries the figures need (windowed means
+//! for smoothing jittery series, min/max for axis scaling).
+
+use std::fmt::Write as _;
+
+/// A dense per-epoch series of one metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// New empty series with a display name (used as the CSV header).
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// New empty series with capacity for `epochs` values.
+    pub fn with_capacity(name: impl Into<String>, epochs: usize) -> Self {
+        TimeSeries {
+            name: name.into(),
+            values: Vec::with_capacity(epochs),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append the value for the next epoch.
+    pub fn push(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "metric values must not be NaN");
+        self.values.push(value);
+    }
+
+    /// All recorded values, epoch-ordered.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at `epoch`, if recorded.
+    pub fn get(&self, epoch: usize) -> Option<f64> {
+        self.values.get(epoch).copied()
+    }
+
+    /// Last recorded value.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Mean over the whole series; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Mean over the half-open epoch range `[from, to)` clamped to the
+    /// recorded range; 0 if the clamped window is empty.
+    pub fn mean_over(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.values.len());
+        if from >= to {
+            return 0.0;
+        }
+        let w = &self.values[from..to];
+        w.iter().sum::<f64>() / w.len() as f64
+    }
+
+    /// Minimum recorded value, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum recorded value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Centered moving average with the given window (odd windows are
+    /// symmetric; the window is clipped at the edges). Used to smooth
+    /// figure curves the way the paper's plots visually do.
+    pub fn smoothed(&self, window: usize) -> TimeSeries {
+        let w = window.max(1);
+        let half = w / 2;
+        let mut out = TimeSeries::with_capacity(format!("{} (ma{w})", self.name), self.len());
+        for i in 0..self.values.len() {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(self.values.len());
+            out.push(self.values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64);
+        }
+        out
+    }
+
+    /// Cumulative sum series (e.g. turning per-epoch cost into the
+    /// running totals the cost figures plot).
+    pub fn cumulative(&self) -> TimeSeries {
+        let mut out = TimeSeries::with_capacity(format!("{} (cum)", self.name), self.len());
+        let mut acc = 0.0;
+        for &v in &self.values {
+            acc += v;
+            out.push(acc);
+        }
+        out
+    }
+}
+
+/// Render several series that share an epoch axis as CSV:
+/// `epoch,<name1>,<name2>,...` — rows padded with empty cells where a
+/// series is shorter.
+pub fn to_csv(series: &[&TimeSeries]) -> String {
+    let mut out = String::new();
+    out.push_str("epoch");
+    for s in series {
+        out.push(',');
+        // Quote names containing commas so the CSV stays parseable.
+        if s.name().contains(',') {
+            let _ = write!(out, "\"{}\"", s.name().replace('"', "\"\""));
+        } else {
+            out.push_str(s.name());
+        }
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for epoch in 0..rows {
+        let _ = write!(out, "{epoch}");
+        for s in series {
+            match s.get(epoch) {
+                Some(v) => {
+                    let _ = write!(out, ",{v}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, vals: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for &v in vals {
+            s.push(v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let s = series("util", &[0.1, 0.2, 0.3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(1), Some(0.2));
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.last(), Some(0.3));
+        assert_eq!(s.values(), &[0.1, 0.2, 0.3]);
+        assert_eq!(s.name(), "util");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = series("x", &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.mean_over(1, 3), 2.5);
+        assert_eq!(s.mean_over(2, 100), 3.5, "window clamps to data");
+        assert_eq!(s.mean_over(3, 3), 0.0, "empty window");
+        assert_eq!(s.mean_over(5, 2), 0.0, "inverted window");
+    }
+
+    #[test]
+    fn empty_series_statistics() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let s = series("cost", &[1.0, 2.0, 3.0]);
+        assert_eq!(s.cumulative().values(), &[1.0, 3.0, 6.0]);
+        assert!(s.cumulative().name().contains("cum"));
+        assert!(TimeSeries::new("e").cumulative().is_empty());
+    }
+
+    #[test]
+    fn smoothing_preserves_length_and_constant_series() {
+        let s = series("c", &[5.0; 10]);
+        let sm = s.smoothed(3);
+        assert_eq!(sm.len(), 10);
+        assert!(sm.values().iter().all(|&v| (v - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smoothing_averages_neighbours() {
+        let s = series("x", &[0.0, 3.0, 0.0]);
+        let sm = s.smoothed(3);
+        assert_eq!(sm.values()[1], 1.0);
+        // Edges use the clipped window.
+        assert_eq!(sm.values()[0], 1.5);
+        assert_eq!(sm.values()[2], 1.5);
+        // Window 1 (and 0, clamped) is the identity.
+        assert_eq!(s.smoothed(1).values(), s.values());
+        assert_eq!(s.smoothed(0).values(), s.values());
+    }
+
+    #[test]
+    fn csv_layout() {
+        let a = series("alpha", &[1.0, 2.0]);
+        let b = series("beta", &[9.0]);
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "epoch,alpha,beta");
+        assert_eq!(lines[1], "0,1,9");
+        assert_eq!(lines[2], "1,2,", "short series padded with empty cell");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn csv_quotes_awkward_names() {
+        let s = series("a,b\"c", &[1.0]);
+        let csv = to_csv(&[&s]);
+        assert!(csv.starts_with("epoch,\"a,b\"\"c\"\n"));
+    }
+
+    #[test]
+    fn csv_of_nothing() {
+        assert_eq!(to_csv(&[]), "epoch\n");
+    }
+}

@@ -1,0 +1,105 @@
+//! Datacenters and their internal room → rack structure.
+
+use rfh_types::{Continent, Country, DatacenterId, GeoPoint, ServerId};
+
+/// A rack: an ordered list of the servers bolted into it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Rack {
+    /// Rack name as it appears in labels (e.g. `R02`).
+    pub name: String,
+    /// Servers in this rack, by cluster-wide id.
+    pub servers: Vec<ServerId>,
+}
+
+/// A room: an ordered list of racks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Room {
+    /// Room name as it appears in labels (e.g. `C01`).
+    pub name: String,
+    /// Racks in this room.
+    pub racks: Vec<Rack>,
+}
+
+/// A datacenter: a named site at a geographic location containing rooms
+/// of racks of servers, connected to the WAN backbone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datacenter {
+    /// Dense datacenter id (index into the topology's datacenter list).
+    pub id: DatacenterId,
+    /// Single-letter site name used throughout the paper (A .. J).
+    pub site: String,
+    /// Continent for labels and availability grading.
+    pub continent: Continent,
+    /// Country for labels and availability grading.
+    pub country: Country,
+    /// Datacenter code within the country (e.g. `GA1`).
+    pub code: String,
+    /// Geographic location, used for replication distance (eq. 1).
+    pub location: GeoPoint,
+    /// Rooms in this datacenter.
+    pub rooms: Vec<Room>,
+}
+
+impl Datacenter {
+    /// Iterate over every server id in this datacenter, in
+    /// room → rack → slot order.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.rooms
+            .iter()
+            .flat_map(|room| room.racks.iter())
+            .flat_map(|rack| rack.servers.iter().copied())
+    }
+
+    /// Total number of server slots in this datacenter.
+    pub fn server_count(&self) -> usize {
+        self.rooms
+            .iter()
+            .map(|r| r.racks.iter().map(|k| k.servers.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc() -> Datacenter {
+        Datacenter {
+            id: DatacenterId::new(0),
+            site: "A".into(),
+            continent: Continent::NorthAmerica,
+            country: Country::new("USA").unwrap(),
+            code: "GA1".into(),
+            location: GeoPoint::new(33.7, -84.4),
+            rooms: vec![Room {
+                name: "C01".into(),
+                racks: vec![
+                    Rack {
+                        name: "R01".into(),
+                        servers: vec![ServerId::new(0), ServerId::new(1)],
+                    },
+                    Rack {
+                        name: "R02".into(),
+                        servers: vec![ServerId::new(2)],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn server_enumeration_is_in_rack_order() {
+        let d = dc();
+        let ids: Vec<u32> = d.server_ids().map(u32::from).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(d.server_count(), 3);
+    }
+
+    #[test]
+    fn empty_datacenter_has_no_servers() {
+        let mut d = dc();
+        d.rooms.clear();
+        assert_eq!(d.server_count(), 0);
+        assert_eq!(d.server_ids().count(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rfh-topology
+//!
+//! The physical substrate of the RFH evaluation: a geo-distributed fleet
+//! of datacenters, each a tree of rooms → racks → servers (the label
+//! hierarchy of §II-A), joined by a WAN backbone graph over which queries
+//! are routed.
+//!
+//! * [`server`] — physical storage hosts with labels, liveness, and
+//!   per-server capacity variation ("their capacities are different from
+//!   each other, according to their own physical condition", §III-A).
+//! * [`datacenter`] — the room/rack/server tree per site.
+//! * [`graph`] — the WAN backbone: weighted links, Dijkstra shortest
+//!   paths, and an all-pairs path cache (the routing paths `A_ij` along
+//!   which traffic is measured).
+//! * [`topology`] — the assembled cluster: builder, lookups, distances,
+//!   availability levels, and the runtime mutations (server failure,
+//!   recovery, join) that Fig. 10 exercises.
+//! * [`presets`] — `paper_topology()`, the 10-datacenter deployment of
+//!   Fig. 1 / §III-A.
+
+#![warn(missing_docs)]
+
+pub mod datacenter;
+pub mod graph;
+pub mod presets;
+pub mod server;
+pub mod topology;
+
+pub use datacenter::{Datacenter, Rack, Room};
+pub use graph::{RoutePath, WanGraph};
+pub use presets::{paper_topology, paper_topology_spec, synthetic_topology, PAPER_DC_COUNT};
+pub use server::Server;
+pub use topology::{Topology, TopologyBuilder};

@@ -1,0 +1,320 @@
+//! The paper's deployment (Fig. 1 / §III-A).
+//!
+//! Ten datacenters "geographically distributed in different countries,
+//! different continents. Three of them are in America, two of them are in
+//! Canada, and two are in Swiss. The rest three are in China and Japan.
+//! Initially, each datacenter contains one room and there are two racks
+//! in each room. For each rack, it consists of 5 servers."
+//!
+//! The single-letter site names follow the paper: A holds the running
+//! example's hot partition; H/I/J are the Asian sites where 80% of the
+//! stage-1 flash-crowd queries originate; D, E and F are the transit
+//! sites that become traffic hubs ("it prefers to replicate on
+//! datacenters D and F, which are in necessary routing paths of many
+//! queries from the clients to the hot partition holder A"; §II-F
+//! likewise names "D and E" as the hubs for Asia-origin traffic).
+//!
+//! Backbone latencies are chosen so that the shortest paths from the
+//! Asian sites to A funnel through E and D (the trans-Pacific northern
+//! route), with F carrying Europe-origin and the Eurasian overland
+//! traffic — reproducing the hub structure Fig. 1 describes.
+
+use crate::topology::{Topology, TopologyBuilder};
+use rfh_types::{Continent, GeoPoint, Result};
+
+/// Number of datacenters in the paper preset.
+pub const PAPER_DC_COUNT: usize = 10;
+
+/// Rooms per datacenter in the paper preset.
+pub const PAPER_ROOMS: u32 = 1;
+/// Racks per room in the paper preset.
+pub const PAPER_RACKS_PER_ROOM: u32 = 2;
+/// Servers per rack in the paper preset.
+pub const PAPER_SERVERS_PER_RACK: u32 = 5;
+
+/// The builder for the paper topology, exposed so tests and examples can
+/// tweak it (add sites, drop links) before building.
+pub fn paper_topology_spec() -> TopologyBuilder {
+    let mut b = TopologyBuilder::new();
+    let dc = |b: &mut TopologyBuilder, site, cont, country, code, lat, lon| {
+        b.datacenter(
+            site,
+            cont,
+            country,
+            code,
+            GeoPoint::new(lat, lon),
+            PAPER_ROOMS,
+            PAPER_RACKS_PER_ROOM,
+            PAPER_SERVERS_PER_RACK,
+        )
+        .expect("preset datacenters are valid")
+    };
+    use Continent::{Asia, Europe, NorthAmerica};
+    let a = dc(&mut b, "A", NorthAmerica, "USA", "GA1", 33.749, -84.388); // Atlanta
+    let bb = dc(&mut b, "B", NorthAmerica, "USA", "VA1", 39.043, -77.487); // Ashburn
+    let c = dc(&mut b, "C", NorthAmerica, "USA", "CA1", 37.338, -121.886); // San Jose
+    let d = dc(&mut b, "D", NorthAmerica, "CAN", "ON1", 43.651, -79.383); // Toronto
+    let e = dc(&mut b, "E", NorthAmerica, "CAN", "BC1", 49.283, -123.121); // Vancouver
+    let f = dc(&mut b, "F", Europe, "CHE", "ZH1", 47.377, 8.542); // Zurich
+    let g = dc(&mut b, "G", Europe, "CHE", "GE1", 46.204, 6.143); // Geneva
+    let h = dc(&mut b, "H", Asia, "CHN", "BJ1", 39.904, 116.407); // Beijing
+    let i = dc(&mut b, "I", Asia, "JPN", "TK1", 35.676, 139.650); // Tokyo
+    let j = dc(&mut b, "J", Asia, "CHN", "SH1", 31.230, 121.474); // Shanghai
+
+    // Continental US triangle plus Canadian transit.
+    for (x, y, ms) in [
+        (a, bb, 15.0),
+        (a, c, 35.0),
+        (bb, c, 40.0),
+        (a, d, 25.0),
+        (bb, d, 20.0),
+        (c, e, 30.0),
+        (d, e, 35.0),
+        // Transatlantic.
+        (bb, f, 70.0),
+        (d, f, 65.0),
+        // Swiss pair.
+        (f, g, 10.0),
+        // Eurasian overland.
+        (f, h, 90.0),
+        // Trans-Pacific northern route.
+        (e, i, 80.0),
+        // Asian triangle.
+        (h, i, 30.0),
+        (h, j, 20.0),
+        (i, j, 25.0),
+    ] {
+        b.link(x, y, ms).expect("preset links are valid");
+    }
+    b
+}
+
+/// Build the paper topology with the given per-server capacity spread
+/// and RNG seed (see [`TopologyBuilder::build`]).
+pub fn paper_topology(capacity_spread: f64, seed: u64) -> Result<Topology> {
+    paper_topology_spec().build(capacity_spread, seed)
+}
+
+/// A parameterized synthetic world for scalability studies: `regions`
+/// regions spaced around the globe, each with `dcs_per_region`
+/// datacenters (1 room × 2 racks × `servers_per_rack` servers).
+///
+/// Structure (all deterministic, no RNG beyond capacity factors):
+/// * within a region, datacenters form a ring of ~15 ms links with the
+///   region *head* (first DC) linked to every member (~20 ms) — so the
+///   head is the region's natural traffic hub;
+/// * region heads form a global ring of ~80 ms links plus antipodal
+///   chords (~120 ms) halving the diameter — so inter-region routes
+///   funnel through heads exactly the way Fig. 1's transit sites do.
+pub fn synthetic_topology(
+    regions: u32,
+    dcs_per_region: u32,
+    servers_per_rack: u32,
+    capacity_spread: f64,
+    seed: u64,
+) -> Result<Topology> {
+    use rfh_types::RfhError;
+    if regions == 0 || dcs_per_region == 0 || servers_per_rack == 0 {
+        return Err(RfhError::Topology(
+            "synthetic worlds need at least one region, datacenter and server".into(),
+        ));
+    }
+    let mut b = TopologyBuilder::new();
+    let mut heads = Vec::with_capacity(regions as usize);
+    for r in 0..regions {
+        let continent = Continent::ALL[(r as usize) % Continent::ALL.len()];
+        // Three-letter synthetic country code: RAA, RAB, …
+        let country = format!(
+            "R{}{}",
+            (b'A' + ((r / 26) % 26) as u8) as char,
+            (b'A' + (r % 26) as u8) as char
+        );
+        let lon = -180.0 + 360.0 * (r as f64 + 0.5) / regions as f64;
+        let lat = if r % 2 == 0 { 25.0 } else { -25.0 };
+        let mut members = Vec::with_capacity(dcs_per_region as usize);
+        for d in 0..dcs_per_region {
+            let id = b.datacenter(
+                format!("{r}.{d}"),
+                continent,
+                &country,
+                format!("D{d:02}"),
+                GeoPoint::new(
+                    (lat + (d as f64) * 1.5).clamp(-80.0, 80.0),
+                    lon + (d as f64) * 1.5,
+                ),
+                1,
+                2,
+                servers_per_rack,
+            )?;
+            members.push(id);
+        }
+        // Intra-region ring + star on the head.
+        for w in members.windows(2) {
+            b.link(w[0], w[1], 15.0)?;
+        }
+        for &m in &members[1..] {
+            b.link(members[0], m, 20.0)?;
+        }
+        heads.push(members[0]);
+    }
+    // Global ring over region heads plus antipodal chords.
+    let n = heads.len();
+    if n > 1 {
+        for i in 0..n {
+            b.link(heads[i], heads[(i + 1) % n], 80.0)?;
+        }
+        if n > 3 {
+            for i in 0..n / 2 {
+                b.link(heads[i], heads[(i + n / 2) % n], 120.0)?;
+            }
+        }
+    }
+    b.build(capacity_spread, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_types::DatacenterId;
+
+    fn site(t: &Topology, s: &str) -> DatacenterId {
+        t.datacenter_by_site(s).unwrap().id
+    }
+
+    #[test]
+    fn paper_dimensions() {
+        let t = paper_topology(0.25, 42).unwrap();
+        assert_eq!(t.datacenters().len(), PAPER_DC_COUNT);
+        assert_eq!(t.server_count(), 100, "10 DCs × 1 room × 2 racks × 5 servers");
+        for d in t.datacenters() {
+            assert_eq!(d.rooms.len(), 1);
+            assert_eq!(d.rooms[0].racks.len(), 2);
+            for rack in &d.rooms[0].racks {
+                assert_eq!(rack.servers.len(), 5);
+            }
+        }
+        assert!(t.graph().is_connected());
+    }
+
+    #[test]
+    fn site_letters_match_paper_geography() {
+        let t = paper_topology(0.0, 0).unwrap();
+        // 3 in the US, 2 in Canada, 2 in Switzerland, 3 in China/Japan.
+        let by_country = |code: &str| {
+            t.datacenters()
+                .iter()
+                .filter(|d| d.country.as_str() == code)
+                .count()
+        };
+        assert_eq!(by_country("USA"), 3);
+        assert_eq!(by_country("CAN"), 2);
+        assert_eq!(by_country("CHE"), 2);
+        assert_eq!(by_country("CHN") + by_country("JPN"), 3);
+        // Example label from §II-A: a server in A is NA-USA-GA1-....
+        let a = t.datacenter_by_site("A").unwrap();
+        let first = a.server_ids().next().unwrap();
+        assert_eq!(t.server(first).unwrap().label.to_string(), "NA-USA-GA1-C01-R01-S1");
+    }
+
+    #[test]
+    fn asia_routes_to_a_funnel_through_d_and_e() {
+        // The core structural property behind the whole evaluation: the
+        // routes carrying the stage-1 flash crowd (H, I, J → A) share the
+        // E → D transit, so D and E accumulate forwarded traffic and
+        // become RFH's hubs.
+        let t = paper_topology(0.0, 0).unwrap();
+        let (a, d, e) = (site(&t, "A"), site(&t, "D"), site(&t, "E"));
+        for s in ["H", "I", "J"] {
+            let p = t.path(site(&t, s), a).unwrap();
+            assert!(p.contains(&d), "{s}→A misses D: {p:?}");
+            assert!(p.contains(&e), "{s}→A misses E: {p:?}");
+        }
+        // And the canonical path from the paper's running example:
+        let h_to_a = t.path(site(&t, "H"), a).unwrap();
+        let sites: Vec<&str> = h_to_a
+            .iter()
+            .map(|&id| t.datacenter(id).unwrap().site.as_str())
+            .collect();
+        assert_eq!(sites, vec!["H", "I", "E", "D", "A"]);
+    }
+
+    #[test]
+    fn europe_routes_through_f() {
+        let t = paper_topology(0.0, 0).unwrap();
+        let (a, f) = (site(&t, "A"), site(&t, "F"));
+        let p = t.path(site(&t, "G"), a).unwrap();
+        assert!(p.contains(&f), "G→A must transit Zurich: {p:?}");
+    }
+
+    #[test]
+    fn every_pair_is_routable_within_five_hops() {
+        let t = paper_topology(0.0, 0).unwrap();
+        for x in t.datacenters() {
+            for y in t.datacenters() {
+                let hops = t.hop_count(x.id, y.id).expect("connected");
+                assert!(hops <= 5, "{}-{} takes {hops} hops", x.site, y.site);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_geographically_plausible() {
+        let t = paper_topology(0.0, 0).unwrap();
+        let d_ab = t.distance_km(site(&t, "A"), site(&t, "B")).unwrap();
+        assert!((800.0..1000.0).contains(&d_ab), "Atlanta-Ashburn ≈ 870 km, got {d_ab}");
+        let d_hi = t.distance_km(site(&t, "H"), site(&t, "I")).unwrap();
+        assert!((2000.0..2200.0).contains(&d_hi), "Beijing-Tokyo ≈ 2,100 km, got {d_hi}");
+        let d_fg = t.distance_km(site(&t, "F"), site(&t, "G")).unwrap();
+        assert!((200.0..300.0).contains(&d_fg), "Zurich-Geneva ≈ 225 km, got {d_fg}");
+    }
+
+    #[test]
+    fn synthetic_world_scales_and_routes() {
+        let t = synthetic_topology(6, 4, 5, 0.2, 9).unwrap();
+        assert_eq!(t.datacenters().len(), 24);
+        assert_eq!(t.server_count(), 24 * 10);
+        assert!(t.graph().is_connected());
+        // Cross-region routes pass through region heads.
+        let src = t.datacenter_by_site("0.3").unwrap().id; // member of region 0
+        let dst = t.datacenter_by_site("3.2").unwrap().id; // member of region 3
+        let path = t.path(src, dst).unwrap();
+        let head0 = t.datacenter_by_site("0.0").unwrap().id;
+        let head3 = t.datacenter_by_site("3.0").unwrap().id;
+        assert!(path.contains(&head0), "route must leave via the region head: {path:?}");
+        assert!(path.contains(&head3), "route must enter via the region head: {path:?}");
+    }
+
+    #[test]
+    fn synthetic_world_rejects_degenerate_shapes() {
+        assert!(synthetic_topology(0, 2, 5, 0.1, 0).is_err());
+        assert!(synthetic_topology(2, 0, 5, 0.1, 0).is_err());
+        assert!(synthetic_topology(2, 2, 0, 0.1, 0).is_err());
+        // A single region still builds (no global ring needed).
+        let t = synthetic_topology(1, 3, 2, 0.0, 0).unwrap();
+        assert!(t.graph().is_connected());
+        assert_eq!(t.server_count(), 12);
+    }
+
+    #[test]
+    fn spec_is_customizable() {
+        // Users can extend the preset before building.
+        let mut b = paper_topology_spec();
+        let k = b
+            .datacenter(
+                "K",
+                Continent::Oceania,
+                "AUS",
+                "SY1",
+                GeoPoint::new(-33.87, 151.21),
+                1,
+                2,
+                5,
+            )
+            .unwrap();
+        b.link(k, DatacenterId::new(8), 95.0).unwrap(); // Sydney-Tokyo
+        let t = b.build(0.1, 5).unwrap();
+        assert_eq!(t.datacenters().len(), 11);
+        assert_eq!(t.server_count(), 110);
+        assert!(t.graph().is_connected());
+    }
+}

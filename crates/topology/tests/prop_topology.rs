@@ -1,0 +1,118 @@
+//! Property-based tests for WAN routing invariants.
+
+use proptest::prelude::*;
+use rfh_topology::{paper_topology, WanGraph};
+use rfh_types::DatacenterId;
+
+/// Random connected graph: a spanning chain plus random extra edges.
+fn arb_graph() -> impl Strategy<Value = WanGraph> {
+    (2usize..12)
+        .prop_flat_map(|n| {
+            let chain = proptest::collection::vec(1.0f64..100.0, n - 1);
+            let extras = proptest::collection::vec(
+                (0..n as u32, 0..n as u32, 1.0f64..100.0),
+                0..n * 2,
+            );
+            (Just(n), chain, extras)
+        })
+        .prop_map(|(n, chain, extras)| {
+            let mut g = WanGraph::new(n);
+            for (i, w) in chain.into_iter().enumerate() {
+                g.add_link(DatacenterId::new(i as u32), DatacenterId::new(i as u32 + 1), w)
+                    .unwrap();
+            }
+            for (a, b, w) in extras {
+                if a != b {
+                    g.add_link(DatacenterId::new(a), DatacenterId::new(b), w).unwrap();
+                }
+            }
+            g.rebuild();
+            g
+        })
+}
+
+proptest! {
+    #[test]
+    fn all_pairs_reachable_in_connected_graph(g in arb_graph()) {
+        prop_assert!(g.is_connected());
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (DatacenterId::new(a), DatacenterId::new(b));
+                prop_assert!(g.path(a, b).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn path_endpoints_and_adjacency(g in arb_graph()) {
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (DatacenterId::new(a), DatacenterId::new(b));
+                let p = g.path(a, b).unwrap();
+                prop_assert_eq!(*p.first().unwrap(), a);
+                prop_assert_eq!(*p.last().unwrap(), b);
+                // No repeated node (paths are simple).
+                let mut seen: Vec<u32> = p.iter().map(|d| d.0).collect();
+                seen.sort_unstable();
+                let len = seen.len();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), len, "path revisits a node");
+                // Consecutive nodes are true neighbours.
+                for w in p.windows(2) {
+                    prop_assert!(
+                        g.neighbours(w[0]).any(|(d, _)| d == w[1]),
+                        "{:?} not adjacent", w
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_cost_equals_reported_latency(g in arb_graph()) {
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (DatacenterId::new(a), DatacenterId::new(b));
+                let p = g.path(a, b).unwrap();
+                let cost: f64 = p
+                    .windows(2)
+                    .map(|w| {
+                        g.neighbours(w[0])
+                            .find(|(d, _)| *d == w[1])
+                            .map(|(_, l)| l)
+                            .unwrap()
+                    })
+                    .sum();
+                let reported = g.latency_ms(a, b).unwrap();
+                prop_assert!((cost - reported).abs() < 1e-9, "{cost} vs {reported}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_latencies(g in arb_graph()) {
+        let n = g.node_count() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let ab = g.latency_ms(DatacenterId::new(a), DatacenterId::new(b)).unwrap();
+                    let bc = g.latency_ms(DatacenterId::new(b), DatacenterId::new(c)).unwrap();
+                    let ac = g.latency_ms(DatacenterId::new(a), DatacenterId::new(c)).unwrap();
+                    prop_assert!(ac <= ab + bc + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_topology_spread_and_seed_hold(spread in 0.0f64..0.9, seed in any::<u64>()) {
+        let t = paper_topology(spread, seed).unwrap();
+        for s in t.servers() {
+            prop_assert!(s.capacity_factor >= 1.0 - spread - 1e-12);
+            prop_assert!(s.capacity_factor <= 1.0 + spread + 1e-12);
+        }
+    }
+}

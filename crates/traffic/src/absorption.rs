@@ -1,0 +1,488 @@
+//! The traffic pass: eqs. (2)–(8) evaluated for one epoch.
+//!
+//! For every `(partition, requester)` cell of the query matrix, queries
+//! walk the WAN path toward the partition holder. At each datacenter the
+//! *residual* (queries not yet served) is recorded as that node's
+//! traffic — eq. (5) makes the requester node's traffic the full query
+//! count, and eq. (4) peels off replica capacity hop by hop:
+//!
+//! ```text
+//! tr_ijkt = max(0, q_ijt − Σ_{k^x ∈ A_jk} Σ_l C_ik^x l)      (eq. 6)
+//! ```
+//!
+//! Replica capacity is shared across requesters within an epoch, so the
+//! pass processes requesters in ascending datacenter order against a
+//! single pool of remaining capacity (the paper leaves the intra-epoch
+//! service order unspecified; a deterministic order keeps runs
+//! reproducible). Queries still unserved at the holder are *unserved
+//! residual* — demand the current replica set cannot absorb, which is
+//! what drives the replication decisions.
+//!
+//! The pass also accounts response latency: a query's response time is
+//! one round trip from its requester datacenter to the datacenter that
+//! served it (link latencies from the topology), plus
+//! [`INTRA_DC_LATENCY_MS`] for the local fabric. The paper's
+//! introduction motivates the whole design with Amazon's SLA — "a
+//! response within 300 ms for 99.9% of its requests" — so the accounts
+//! report the fraction of demand answered within
+//! [`SLA_TARGET_MS`]; unserved queries are SLA violations by
+//! definition.
+
+use crate::grid::Grid;
+use crate::placement::PlacementView;
+use rfh_topology::Topology;
+use rfh_types::{DatacenterId, PartitionId, ServerId};
+use rfh_workload::QueryLoad;
+
+/// Response-time SLA bound from the paper's introduction (ms).
+pub const SLA_TARGET_MS: f64 = 300.0;
+
+/// Latency charged for the intra-datacenter fabric hop (ms).
+pub const INTRA_DC_LATENCY_MS: f64 = 1.0;
+
+/// Everything the traffic pass learns about one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficAccounts {
+    /// `dc_traffic[dc][partition]` — residual query flow arriving at
+    /// each datacenter for each partition (`tr_ikt` summed over
+    /// requesters, at datacenter granularity).
+    pub dc_traffic: Grid,
+    /// `dc_outflow[dc][partition]` — residual query flow each datacenter
+    /// *forwards onward* after its local replicas absorbed what they
+    /// could (the "forwarding traffic" of §I; zero at the terminal hop).
+    pub dc_outflow: Grid,
+    /// `served[server][partition]` — queries actually served by replicas
+    /// on each server.
+    pub served: Grid,
+    /// Residual demand per partition that no replica (including the
+    /// holder) could serve this epoch.
+    pub unserved: Vec<f64>,
+    /// Datacenter of each partition's holder at the time of the pass.
+    pub holder_dc: Vec<DatacenterId>,
+    /// Queries served, weighted by the hop at which they were served.
+    pub(crate) hops_weighted: f64,
+    /// Served queries weighted by round-trip response latency (ms).
+    pub(crate) latency_weighted_ms: f64,
+    /// Demand (served queries) answered within [`SLA_TARGET_MS`].
+    pub(crate) sla_within: f64,
+    /// Total queries that found a replica.
+    pub(crate) served_total: f64,
+    /// Total queries dropped (they travelled the full path in vain).
+    pub(crate) unserved_total: f64,
+}
+
+impl TrafficAccounts {
+    /// Traffic arriving at the holder of partition `p` (`tr_iit`,
+    /// the quantity eq. 12 compares against `β·q̄`).
+    pub fn holder_traffic(&self, p: PartitionId) -> f64 {
+        self.dc_traffic.get(self.holder_dc[p.index()].index(), p.index())
+    }
+
+    /// Total queries served across the cluster this epoch.
+    pub fn served_total(&self) -> f64 {
+        self.served_total
+    }
+
+    /// Total queries that could not be served this epoch.
+    pub fn unserved_total(&self) -> f64 {
+        self.unserved_total
+    }
+
+    /// Mean lookup path length in WAN hops: how far a query travelled
+    /// before a replica served it (unserved queries count the full path
+    /// they travelled). 0 when no queries flowed.
+    pub fn mean_path_length(&self) -> f64 {
+        let total = self.served_total + self.unserved_total;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.hops_weighted / total
+        }
+    }
+
+    /// Queries served by one server across all partitions (its workload
+    /// `l_i` for the load-imbalance metric).
+    pub fn server_load(&self, s: ServerId) -> f64 {
+        self.served.row_sum(s.index())
+    }
+
+    /// Mean round-trip response latency of *served* queries (ms); 0 when
+    /// nothing was served.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.served_total == 0.0 {
+            0.0
+        } else {
+            self.latency_weighted_ms / self.served_total
+        }
+    }
+
+    /// Fraction of the epoch's total demand answered within
+    /// [`SLA_TARGET_MS`] (unserved queries violate by definition);
+    /// 1.0 when there was no demand.
+    pub fn sla_fraction(&self) -> f64 {
+        let total = self.served_total + self.unserved_total;
+        if total == 0.0 {
+            1.0
+        } else {
+            // The two accumulators sum the same `take` values in
+            // different groupings; clamp the ulp-level excess.
+            (self.sla_within / total).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Run the traffic pass for one epoch.
+///
+/// `view` must describe the same cluster as `topo` (same server count)
+/// and the same partition count as `load`.
+pub fn compute_traffic(
+    topo: &Topology,
+    load: &QueryLoad,
+    view: &PlacementView,
+) -> TrafficAccounts {
+    let n_dcs = topo.datacenters().len();
+    let n_parts = load.partitions() as usize;
+    let n_servers = topo.server_count();
+    debug_assert_eq!(view.partitions() as usize, n_parts);
+    debug_assert_eq!(view.servers() as usize, n_servers);
+
+    let mut dc_traffic = Grid::zeros(n_dcs, n_parts);
+    let mut dc_outflow = Grid::zeros(n_dcs, n_parts);
+    let mut served = Grid::zeros(n_servers, n_parts);
+    let mut unserved = vec![0.0; n_parts];
+    let mut holder_dc = Vec::with_capacity(n_parts);
+    let mut hops_weighted = 0.0;
+    let mut latency_weighted_ms = 0.0;
+    let mut sla_within = 0.0;
+    let mut served_total = 0.0;
+    let mut unserved_total = 0.0;
+
+    // Remaining per-(partition, server) capacity, shared by requesters.
+    let mut remaining: Vec<Vec<f64>> = (0..n_parts)
+        .map(|p| view.partition_capacities(PartitionId::new(p as u32)).to_vec())
+        .collect();
+
+    for p_idx in 0..n_parts {
+        let p = PartitionId::new(p_idx as u32);
+        let holder = view.holder(p);
+        let hdc = topo
+            .server(holder)
+            .map(|s| s.datacenter)
+            .unwrap_or(DatacenterId::new(0));
+        holder_dc.push(hdc);
+
+        for j_idx in 0..load.datacenters() {
+            let j = DatacenterId::new(j_idx);
+            let q = load.get(p, j) as f64;
+            if q == 0.0 {
+                continue;
+            }
+            let Some(path) = topo.path(j, hdc) else {
+                // Holder unreachable (partitioned WAN): everything drops
+                // without travelling.
+                unserved[p_idx] += q;
+                unserved_total += q;
+                continue;
+            };
+            let mut residual = q;
+            let mut served_here = 0.0;
+            // One-way latency accumulated from the requester to the
+            // current hop (response latency is the round trip).
+            let mut lat_ms = 0.0;
+            for (hop, &dc) in path.iter().enumerate() {
+                if hop > 0 {
+                    lat_ms += topo
+                        .graph()
+                        .latency_ms(path[hop - 1], dc)
+                        .unwrap_or(0.0);
+                }
+                // eq. 4/5: the node's traffic is the residual reaching it.
+                dc_traffic.add(dc.index(), p_idx, residual);
+                // Replicas in this datacenter absorb what they can.
+                for server in topo.datacenter(dc).expect("path nodes exist").server_ids() {
+                    if !topo.servers()[server.index()].alive {
+                        continue;
+                    }
+                    let cap = &mut remaining[p_idx][server.index()];
+                    if *cap <= 0.0 {
+                        continue;
+                    }
+                    let take = cap.min(residual);
+                    if take > 0.0 {
+                        *cap -= take;
+                        served.add(server.index(), p_idx, take);
+                        hops_weighted += hop as f64 * take;
+                        let rtt = 2.0 * lat_ms + INTRA_DC_LATENCY_MS;
+                        latency_weighted_ms += rtt * take;
+                        if rtt <= SLA_TARGET_MS {
+                            sla_within += take;
+                        }
+                        served_here += take;
+                        residual -= take;
+                    }
+                    if residual <= 0.0 {
+                        break;
+                    }
+                }
+                if residual <= 0.0 {
+                    break;
+                }
+                // What leaves this DC toward the next hop is its
+                // forwarding traffic (the terminal hop forwards nothing).
+                if hop + 1 < path.len() {
+                    dc_outflow.add(dc.index(), p_idx, residual);
+                }
+            }
+            served_total += served_here;
+            if residual > 0.0 {
+                // Travelled the whole path and still unserved.
+                unserved[p_idx] += residual;
+                unserved_total += residual;
+                hops_weighted += (path.len() - 1) as f64 * residual;
+            }
+        }
+    }
+
+    TrafficAccounts {
+        dc_traffic,
+        dc_outflow,
+        served,
+        unserved,
+        holder_dc,
+        hops_weighted,
+        latency_weighted_ms,
+        sla_within,
+        served_total,
+        unserved_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_topology::TopologyBuilder;
+    use rfh_types::{Continent, GeoPoint};
+
+    /// Chain A(0) — B(1) — C(2), one server per datacenter
+    /// (server ids 0, 1, 2).
+    fn chain() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let a = b
+            .datacenter("A", Continent::NorthAmerica, "USA", "A1", GeoPoint::new(0.0, 0.0), 1, 1, 1)
+            .unwrap();
+        let m = b
+            .datacenter("B", Continent::NorthAmerica, "USA", "B1", GeoPoint::new(0.0, 10.0), 1, 1, 1)
+            .unwrap();
+        let c = b
+            .datacenter("C", Continent::Asia, "CHN", "C1", GeoPoint::new(0.0, 20.0), 1, 1, 1)
+            .unwrap();
+        b.link(a, m, 10.0).unwrap();
+        b.link(m, c, 10.0).unwrap();
+        b.build(0.0, 0).unwrap()
+    }
+
+    fn p0() -> PartitionId {
+        PartitionId::new(0)
+    }
+    fn d(i: u32) -> DatacenterId {
+        DatacenterId::new(i)
+    }
+    fn s(i: u32) -> ServerId {
+        ServerId::new(i)
+    }
+
+    /// Holder on server 0 (DC A) with given capacity; queries from C.
+    fn view_with(capacities: &[(u32, f64)]) -> PlacementView {
+        let mut v = PlacementView::new(1, 3, vec![s(0)]);
+        for &(srv, cap) in capacities {
+            v.add_capacity(p0(), s(srv), cap);
+        }
+        v
+    }
+
+    #[test]
+    fn full_query_reaches_holder_without_replicas() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 10); // 10 queries from C toward holder in A
+        let view = view_with(&[(0, 100.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        // eq. 5: traffic at the requester (C) is the full load; no
+        // absorption en route, so every hop sees 10.
+        assert_eq!(acc.dc_traffic.get(2, 0), 10.0);
+        assert_eq!(acc.dc_traffic.get(1, 0), 10.0);
+        assert_eq!(acc.dc_traffic.get(0, 0), 10.0);
+        assert_eq!(acc.holder_traffic(p0()), 10.0);
+        // Holder serves everything: 2 hops each.
+        assert_eq!(acc.served.get(0, 0), 10.0);
+        assert_eq!(acc.served_total(), 10.0);
+        assert_eq!(acc.unserved_total(), 0.0);
+        assert_eq!(acc.mean_path_length(), 2.0);
+    }
+
+    #[test]
+    fn on_path_replica_absorbs_and_shields_holder() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 10);
+        // Replica at B (server 1) with capacity 6; holder has plenty.
+        let view = view_with(&[(0, 100.0), (1, 6.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.dc_traffic.get(2, 0), 10.0, "requester sees all");
+        assert_eq!(acc.dc_traffic.get(1, 0), 10.0, "traffic *arriving* at B is still 10");
+        assert_eq!(acc.dc_traffic.get(0, 0), 4.0, "eq. 4: residual after B's capacity");
+        assert_eq!(acc.served.get(1, 0), 6.0);
+        assert_eq!(acc.served.get(0, 0), 4.0);
+        // 6 queries at hop 1, 4 at hop 2 → mean 1.4.
+        assert!((acc.mean_path_length() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requester_local_replica_gives_zero_hops() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 5);
+        let view = view_with(&[(0, 100.0), (2, 50.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.served.get(2, 0), 5.0);
+        assert_eq!(acc.mean_path_length(), 0.0);
+        assert_eq!(acc.dc_traffic.get(1, 0), 0.0, "nothing forwarded");
+        assert_eq!(acc.holder_traffic(p0()), 0.0);
+    }
+
+    #[test]
+    fn off_path_replica_serves_nothing() {
+        // Queries from A to holder at A never pass C; a replica at C is
+        // useless — the mechanism behind the random baseline's low
+        // utilization.
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(0), 8);
+        let view = view_with(&[(0, 100.0), (2, 50.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.served.get(2, 0), 0.0);
+        assert_eq!(acc.served.get(0, 0), 8.0);
+        assert_eq!(acc.mean_path_length(), 0.0, "holder is local to requester");
+    }
+
+    #[test]
+    fn capacity_is_shared_across_requesters() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(1), 4); // B's queries processed first (lower id)
+        load.add(p0(), d(2), 4);
+        // Replica at B with capacity 6, holder tiny.
+        let view = view_with(&[(0, 1.0), (1, 6.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        // B's own 4 queries absorb locally; C's 4 find only 2 left at B,
+        // 1 at the holder, and 1 is unserved.
+        assert_eq!(acc.served.get(1, 0), 6.0);
+        assert_eq!(acc.served.get(0, 0), 1.0);
+        assert_eq!(acc.unserved[0], 1.0);
+        assert_eq!(acc.unserved_total(), 1.0);
+        assert_eq!(acc.served_total(), 7.0);
+    }
+
+    #[test]
+    fn failed_server_serves_nothing() {
+        let mut topo = chain();
+        topo.fail_server(s(1)).unwrap();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 10);
+        let view = view_with(&[(0, 100.0), (1, 50.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.served.get(1, 0), 0.0, "dead replica is skipped");
+        assert_eq!(acc.served.get(0, 0), 10.0);
+    }
+
+    #[test]
+    fn unserved_queries_count_full_path() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 10);
+        let view = view_with(&[(0, 3.0)]); // holder can take only 3
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.served_total(), 3.0);
+        assert_eq!(acc.unserved_total(), 7.0);
+        assert_eq!(acc.unserved[0], 7.0);
+        // All 10 travelled 2 hops.
+        assert_eq!(acc.mean_path_length(), 2.0);
+        assert_eq!(acc.holder_traffic(p0()), 10.0, "overload shows at the holder");
+    }
+
+    #[test]
+    fn multiple_partitions_are_independent() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(2, 3);
+        load.add(PartitionId::new(0), d(2), 5);
+        load.add(PartitionId::new(1), d(0), 7);
+        let mut view = PlacementView::new(2, 3, vec![s(0), s(2)]);
+        view.add_capacity(PartitionId::new(0), s(0), 100.0);
+        view.add_capacity(PartitionId::new(1), s(2), 100.0);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.served.get(0, 0), 5.0);
+        assert_eq!(acc.served.get(2, 1), 7.0);
+        assert_eq!(acc.server_load(s(0)), 5.0);
+        assert_eq!(acc.server_load(s(2)), 7.0);
+        assert_eq!(acc.server_load(s(1)), 0.0);
+        // Partition 1's queries from A travel A→B→C.
+        assert_eq!(acc.dc_traffic.get(1, 1), 7.0);
+        assert_eq!(acc.holder_dc[1], d(2));
+    }
+
+    #[test]
+    fn latency_accounts_round_trips() {
+        // Chain links are 10 ms each. Queries from C (dc 2) served at
+        // B (dc 1): one hop each way → 2·10 + 1 = 21 ms.
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 10);
+        let view = view_with(&[(0, 100.0), (1, 100.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert!((acc.mean_latency_ms() - 21.0).abs() < 1e-9, "{}", acc.mean_latency_ms());
+        assert_eq!(acc.sla_fraction(), 1.0, "21 ms ≪ 300 ms");
+    }
+
+    #[test]
+    fn local_service_is_one_fabric_hop() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 4);
+        let view = view_with(&[(0, 1.0), (2, 100.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert!((acc.mean_latency_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unserved_queries_violate_the_sla() {
+        let topo = chain();
+        let mut load = QueryLoad::zeros(1, 3);
+        load.add(p0(), d(2), 10);
+        let view = view_with(&[(0, 4.0)]); // holder can serve only 4
+        let acc = compute_traffic(&topo, &load, &view);
+        // 4 served (within SLA), 6 unserved → 40% attainment.
+        assert!((acc.sla_fraction() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_demand_means_perfect_sla() {
+        let topo = chain();
+        let load = QueryLoad::zeros(1, 3);
+        let view = view_with(&[(0, 10.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.sla_fraction(), 1.0);
+        assert_eq!(acc.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn zero_load_zero_everything() {
+        let topo = chain();
+        let load = QueryLoad::zeros(1, 3);
+        let view = view_with(&[(0, 10.0)]);
+        let acc = compute_traffic(&topo, &load, &view);
+        assert_eq!(acc.served_total(), 0.0);
+        assert_eq!(acc.unserved_total(), 0.0);
+        assert_eq!(acc.mean_path_length(), 0.0);
+        assert_eq!(acc.dc_traffic.total(), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The per-epoch placement view the traffic pass reads.
+//!
+//! The replica manager (in `rfh-core`) owns the authoritative replica
+//! map; each epoch it renders this flattened view: for every
+//! `(partition, server)` pair, the total query-processing capacity the
+//! replicas of that partition on that server offer this epoch
+//! (`Σ_l C_ikl` in the paper's notation, zero when the server hosts no
+//! replica of the partition), plus each partition's primary holder.
+
+use crate::grid::Grid;
+use rfh_types::{PartitionId, ServerId};
+
+/// Flattened placement + capacity view for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementView {
+    /// `capacity[partition][server]` = Σ over replicas of per-replica
+    /// capacity, queries/epoch.
+    capacity: Grid,
+    /// Primary holder server of each partition.
+    holders: Vec<ServerId>,
+}
+
+impl PlacementView {
+    /// Empty view: no capacity anywhere; holders must be set for every
+    /// partition before use.
+    pub fn new(partitions: u32, servers: u32, holders: Vec<ServerId>) -> Self {
+        assert_eq!(
+            holders.len(),
+            partitions as usize,
+            "one holder per partition required"
+        );
+        PlacementView {
+            capacity: Grid::zeros(partitions as usize, servers as usize),
+            holders,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.capacity.rows() as u32
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> u32 {
+        self.capacity.cols() as u32
+    }
+
+    /// Primary holder of a partition.
+    #[inline]
+    pub fn holder(&self, p: PartitionId) -> ServerId {
+        self.holders[p.index()]
+    }
+
+    /// Capacity of partition `p` replicas on server `s`.
+    #[inline]
+    pub fn capacity(&self, p: PartitionId, s: ServerId) -> f64 {
+        self.capacity.get(p.index(), s.index())
+    }
+
+    /// Add replica capacity for `(p, s)`.
+    pub fn add_capacity(&mut self, p: PartitionId, s: ServerId, queries_per_epoch: f64) {
+        debug_assert!(queries_per_epoch >= 0.0);
+        self.capacity.add(p.index(), s.index(), queries_per_epoch);
+    }
+
+    /// Per-server capacities for one partition.
+    #[inline]
+    pub fn partition_capacities(&self, p: PartitionId) -> &[f64] {
+        self.capacity.row(p.index())
+    }
+
+    /// Total capacity provisioned for a partition across the cluster.
+    pub fn partition_capacity_total(&self, p: PartitionId) -> f64 {
+        self.capacity.row_sum(p.index())
+    }
+
+    /// Servers hosting any replica of `p` (capacity > 0), ascending id.
+    pub fn replica_servers(&self, p: PartitionId) -> impl Iterator<Item = ServerId> + '_ {
+        self.capacity
+            .row(p.index())
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0.0)
+            .map(|(s, _)| ServerId::new(s as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId::new(i)
+    }
+    fn s(i: u32) -> ServerId {
+        ServerId::new(i)
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = PlacementView::new(2, 3, vec![s(0), s(2)]);
+        assert_eq!(v.partitions(), 2);
+        assert_eq!(v.servers(), 3);
+        assert_eq!(v.holder(p(1)), s(2));
+        assert_eq!(v.capacity(p(0), s(0)), 0.0);
+        assert_eq!(v.partition_capacity_total(p(0)), 0.0);
+        assert_eq!(v.replica_servers(p(0)).count(), 0);
+    }
+
+    #[test]
+    fn capacities_accumulate() {
+        let mut v = PlacementView::new(2, 3, vec![s(0), s(2)]);
+        v.add_capacity(p(0), s(1), 10.0);
+        v.add_capacity(p(0), s(1), 5.0);
+        v.add_capacity(p(0), s(2), 20.0);
+        assert_eq!(v.capacity(p(0), s(1)), 15.0);
+        assert_eq!(v.partition_capacity_total(p(0)), 35.0);
+        assert_eq!(v.partition_capacities(p(0)), &[0.0, 15.0, 20.0]);
+        let hosts: Vec<u32> = v.replica_servers(p(0)).map(u32::from).collect();
+        assert_eq!(hosts, vec![1, 2]);
+        assert_eq!(v.partition_capacity_total(p(1)), 0.0, "partitions are independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "one holder per partition")]
+    fn holder_count_must_match() {
+        let _ = PlacementView::new(3, 3, vec![s(0)]);
+    }
+}

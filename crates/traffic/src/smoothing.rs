@@ -1,0 +1,221 @@
+//! EWMA state of eqs. (9)–(11).
+//!
+//! "In order to compensate for steep changes of the query rate, we take
+//! historical data into account and use a smoothing factor α":
+//!
+//! ```text
+//! q̄_it  = α·q̄_i(t−1)  + (1 − α)·q_it         (eq. 10)
+//! t̄r_ikt = α·t̄r_ik(t−1) + (1 − α)·tr_ikt      (eq. 11)
+//! ```
+//!
+//! One smoother instance holds the per-partition smoothed system query
+//! average and the per-(datacenter, partition) smoothed traffic the
+//! decision thresholds (eqs. 12, 13, 15) compare against.
+
+use crate::absorption::TrafficAccounts;
+use rfh_types::{DatacenterId, PartitionId};
+use rfh_workload::QueryLoad;
+
+/// Smoothed query and traffic state across epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSmoother {
+    alpha: f64,
+    partitions: usize,
+    dcs: usize,
+    /// Smoothed `q̄_it` per partition; NaN marks "no observation yet".
+    q_avg: Vec<f64>,
+    /// Smoothed `t̄r_ikt`, `[dc][partition]` flattened; NaN marks unset.
+    traffic: Vec<f64>,
+    /// Smoothed forwarding traffic (outflow), same layout.
+    outflow: Vec<f64>,
+}
+
+impl TrafficSmoother {
+    /// New smoother for the given shape and smoothing factor α.
+    pub fn new(partitions: u32, dcs: u32, alpha: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha.is_finite(),
+            "alpha must be in [0, 1], got {alpha}"
+        );
+        TrafficSmoother {
+            alpha,
+            partitions: partitions as usize,
+            dcs: dcs as usize,
+            q_avg: vec![f64::NAN; partitions as usize],
+            traffic: vec![f64::NAN; dcs as usize * partitions as usize],
+            outflow: vec![f64::NAN; dcs as usize * partitions as usize],
+        }
+    }
+
+    fn smooth(alpha: f64, prev: f64, obs: f64) -> f64 {
+        if prev.is_nan() {
+            obs
+        } else {
+            alpha * prev + (1.0 - alpha) * obs
+        }
+    }
+
+    /// Fold one epoch's raw observations into the smoothed state.
+    pub fn update(&mut self, load: &QueryLoad, accounts: &TrafficAccounts) {
+        debug_assert_eq!(load.partitions() as usize, self.partitions);
+        for p in 0..self.partitions {
+            let obs = load.system_average(PartitionId::new(p as u32));
+            self.q_avg[p] = Self::smooth(self.alpha, self.q_avg[p], obs);
+        }
+        for dc in 0..self.dcs {
+            for p in 0..self.partitions {
+                let i = dc * self.partitions + p;
+                let obs = accounts.dc_traffic.get(dc, p);
+                self.traffic[i] = Self::smooth(self.alpha, self.traffic[i], obs);
+                let out = accounts.dc_outflow.get(dc, p);
+                self.outflow[i] = Self::smooth(self.alpha, self.outflow[i], out);
+            }
+        }
+    }
+
+    /// Smoothed system query average `q̄_it` for a partition (eq. 10);
+    /// zero before any update.
+    pub fn q_avg(&self, p: PartitionId) -> f64 {
+        let v = self.q_avg[p.index()];
+        if v.is_nan() {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    /// Smoothed traffic `t̄r_ikt` of a datacenter for a partition
+    /// (eq. 11); zero before any update.
+    pub fn traffic(&self, dc: DatacenterId, p: PartitionId) -> f64 {
+        let v = self.traffic[dc.index() * self.partitions + p.index()];
+        if v.is_nan() {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    /// Smoothed *forwarding* traffic of a datacenter for a partition:
+    /// the residual it passes onward after local absorption. This is the
+    /// "most forwarding traffic" quantity RFH ranks hubs by (§I); zero
+    /// before any update.
+    pub fn outflow(&self, dc: DatacenterId, p: PartitionId) -> f64 {
+        let v = self.outflow[dc.index() * self.partitions + p.index()];
+        if v.is_nan() {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    /// Average smoothed traffic over all datacenters for a partition —
+    /// `t̄r_i` of eq. (17), the migration-benefit baseline.
+    pub fn mean_traffic(&self, p: PartitionId) -> f64 {
+        if self.dcs == 0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..self.dcs)
+            .map(|dc| self.traffic(DatacenterId::new(dc as u32), p))
+            .sum();
+        sum / self.dcs as f64
+    }
+
+    /// Forget the traffic history of one datacenter (used when all its
+    /// servers failed: stale history must not drive decisions after
+    /// recovery).
+    pub fn reset_dc(&mut self, dc: DatacenterId) {
+        for p in 0..self.partitions {
+            self.traffic[dc.index() * self.partitions + p] = f64::NAN;
+            self.outflow[dc.index() * self.partitions + p] = f64::NAN;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId::new(i)
+    }
+    fn d(i: u32) -> DatacenterId {
+        DatacenterId::new(i)
+    }
+
+    /// Build a TrafficAccounts with chosen dc_traffic values.
+    fn accounts(dcs: usize, parts: usize, cells: &[(usize, usize, f64)]) -> TrafficAccounts {
+        let mut dc_traffic = Grid::zeros(dcs, parts);
+        for &(dc, pp, v) in cells {
+            dc_traffic.set(dc, pp, v);
+        }
+        TrafficAccounts {
+            dc_traffic,
+            dc_outflow: Grid::zeros(dcs, parts),
+            served: Grid::zeros(1, parts),
+            unserved: vec![0.0; parts],
+            holder_dc: vec![DatacenterId::new(0); parts],
+            hops_weighted: 0.0,
+            latency_weighted_ms: 0.0,
+            sla_within: 0.0,
+            served_total: 0.0,
+            unserved_total: 0.0,
+        }
+    }
+
+    #[test]
+    fn before_any_update_everything_is_zero() {
+        let s = TrafficSmoother::new(4, 3, 0.2);
+        assert_eq!(s.q_avg(p(0)), 0.0);
+        assert_eq!(s.traffic(d(2), p(3)), 0.0);
+        assert_eq!(s.mean_traffic(p(1)), 0.0);
+    }
+
+    #[test]
+    fn first_update_initialises_without_bias() {
+        let mut s = TrafficSmoother::new(1, 2, 0.2);
+        let mut load = QueryLoad::zeros(1, 2);
+        load.add(p(0), d(0), 10); // system average = 10/2 = 5
+        let acc = accounts(2, 1, &[(0, 0, 8.0), (1, 0, 2.0)]);
+        s.update(&load, &acc);
+        assert_eq!(s.q_avg(p(0)), 5.0, "first observation taken as-is");
+        assert_eq!(s.traffic(d(0), p(0)), 8.0);
+        assert_eq!(s.traffic(d(1), p(0)), 2.0);
+        assert_eq!(s.mean_traffic(p(0)), 5.0);
+    }
+
+    #[test]
+    fn subsequent_updates_follow_eq_10_11() {
+        let mut s = TrafficSmoother::new(1, 1, 0.2);
+        let mut load = QueryLoad::zeros(1, 1);
+        load.add(p(0), d(0), 10);
+        s.update(&load, &accounts(1, 1, &[(0, 0, 10.0)]));
+        // Second epoch: zero observation.
+        let load2 = QueryLoad::zeros(1, 1);
+        s.update(&load2, &accounts(1, 1, &[(0, 0, 0.0)]));
+        // α·prev + (1−α)·obs = 0.2·10 + 0.8·0 = 2.
+        assert!((s.q_avg(p(0)) - 2.0).abs() < 1e-12);
+        assert!((s.traffic(d(0), p(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_dc_forgets_history() {
+        let mut s = TrafficSmoother::new(1, 2, 0.5);
+        let load = QueryLoad::zeros(1, 2);
+        s.update(&load, &accounts(2, 1, &[(0, 0, 100.0), (1, 0, 40.0)]));
+        s.reset_dc(d(0));
+        assert_eq!(s.traffic(d(0), p(0)), 0.0);
+        assert_eq!(s.traffic(d(1), p(0)), 40.0, "other DCs keep history");
+        // The next observation re-initialises rather than smoothing
+        // against stale state.
+        s.update(&load, &accounts(2, 1, &[(0, 0, 10.0), (1, 0, 0.0)]));
+        assert_eq!(s.traffic(d(0), p(0)), 10.0);
+        assert_eq!(s.traffic(d(1), p(0)), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn invalid_alpha_rejected() {
+        let _ = TrafficSmoother::new(1, 1, 1.5);
+    }
+}

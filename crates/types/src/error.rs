@@ -1,0 +1,110 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced by the RFH library crates.
+///
+/// Hand-rolled (no `thiserror`) to stay within the approved dependency
+/// set; the variants cover configuration, topology and simulation
+/// failures that callers can reasonably match on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RfhError {
+    /// A server label string did not match the
+    /// `continent-country-datacenter-room-rack-server` scheme.
+    InvalidLabel {
+        /// The offending label text.
+        label: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A configuration parameter was outside its valid domain
+    /// (e.g. a smoothing factor not in `(0, 1)`).
+    InvalidConfig {
+        /// Name of the parameter, as written in Table I.
+        parameter: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// An id referred to an entity that does not exist.
+    UnknownEntity {
+        /// What kind of entity (server, datacenter, partition, ...).
+        kind: &'static str,
+        /// The raw id value.
+        id: u64,
+    },
+    /// A topology invariant was violated while building or mutating it
+    /// (e.g. a WAN link to an unknown datacenter, a disconnected graph).
+    Topology(String),
+    /// The consistent-hash ring cannot satisfy a request (e.g. placing a
+    /// partition on an empty ring).
+    Ring(String),
+    /// The simulator reached an inconsistent state; this indicates a bug
+    /// and carries enough context to debug it.
+    Simulation(String),
+    /// An I/O error while writing experiment output, carried as text so
+    /// the error type stays `Clone + PartialEq` for tests.
+    Io(String),
+}
+
+impl fmt::Display for RfhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RfhError::InvalidLabel { label, reason } => {
+                write!(f, "invalid server label {label:?}: {reason}")
+            }
+            RfhError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for {parameter}: {reason}")
+            }
+            RfhError::UnknownEntity { kind, id } => write!(f, "unknown {kind} id {id}"),
+            RfhError::Topology(msg) => write!(f, "topology error: {msg}"),
+            RfhError::Ring(msg) => write!(f, "ring error: {msg}"),
+            RfhError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+            RfhError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RfhError {}
+
+impl From<std::io::Error> for RfhError {
+    fn from(e: std::io::Error) -> Self {
+        RfhError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RfhError::InvalidLabel {
+            label: "bogus".into(),
+            reason: "too short".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("bogus") && s.contains("too short"));
+
+        let e = RfhError::InvalidConfig {
+            parameter: "alpha",
+            reason: "must be in (0,1)".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+
+        let e = RfhError::UnknownEntity { kind: "server", id: 7 };
+        assert!(e.to_string().contains("server") && e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RfhError = io.into();
+        assert!(matches!(e, RfhError::Io(ref m) if m.contains("gone")));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RfhError::Ring("empty".into()));
+    }
+}

@@ -1,0 +1,227 @@
+//! Geographic model.
+//!
+//! Replication cost in the paper (eq. 1) is proportional to the distance
+//! `d_i` between the source and destination of a replica transfer, and
+//! availability levels are derived from geographic diversity. This module
+//! supplies the continent/country taxonomy used by server labels and a
+//! great-circle distance for datacenter coordinates.
+
+use std::fmt;
+
+/// The continents used by the paper's label scheme (Fig. 1 spans North
+/// America, Europe and Asia; the rest are included for completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Continent {
+    /// North America (`NA`).
+    NorthAmerica,
+    /// South America (`SA`).
+    SouthAmerica,
+    /// Europe (`EU`).
+    Europe,
+    /// Asia (`AS`).
+    Asia,
+    /// Africa (`AF`).
+    Africa,
+    /// Oceania (`OC`).
+    Oceania,
+}
+
+impl Continent {
+    /// Two-letter code used in server labels, e.g. `NA` in
+    /// `NA-USA-GA1-C01-R02-S5`.
+    pub const fn code(self) -> &'static str {
+        match self {
+            Continent::NorthAmerica => "NA",
+            Continent::SouthAmerica => "SA",
+            Continent::Europe => "EU",
+            Continent::Asia => "AS",
+            Continent::Africa => "AF",
+            Continent::Oceania => "OC",
+        }
+    }
+
+    /// Parse a two-letter continent code.
+    pub fn from_code(code: &str) -> Option<Self> {
+        Some(match code {
+            "NA" => Continent::NorthAmerica,
+            "SA" => Continent::SouthAmerica,
+            "EU" => Continent::Europe,
+            "AS" => Continent::Asia,
+            "AF" => Continent::Africa,
+            "OC" => Continent::Oceania,
+            _ => return None,
+        })
+    }
+
+    /// All continents, in label-code order.
+    pub const ALL: [Continent; 6] = [
+        Continent::NorthAmerica,
+        Continent::SouthAmerica,
+        Continent::Europe,
+        Continent::Asia,
+        Continent::Africa,
+        Continent::Oceania,
+    ];
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// An ISO-3166-alpha-3-style country code (e.g. `USA`, `CAN`, `CHE`,
+/// `CHN`, `JPN`), stored inline to keep the type `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Country([u8; 3]);
+
+impl Country {
+    /// Build a country code from exactly three ASCII uppercase letters.
+    ///
+    /// Returns `None` if the input is not three ASCII alphabetic bytes.
+    pub fn new(code: &str) -> Option<Self> {
+        let bytes = code.as_bytes();
+        if bytes.len() != 3 || !bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            return None;
+        }
+        Some(Country([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+            bytes[2].to_ascii_uppercase(),
+        ]))
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        // The constructor only admits ASCII letters, so this is valid UTF-8.
+        std::str::from_utf8(&self.0).expect("country codes are ASCII")
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A point on the globe, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180]`.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point; values are taken as-is (the topology presets
+    /// only use valid coordinates).
+    pub const fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle distance to another point in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        haversine_km(*self, *other)
+    }
+}
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Great-circle distance between two points using the haversine formula.
+///
+/// Accurate to well under 0.5% everywhere on the globe, which is far more
+/// precision than the replication-cost model needs.
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat_deg.to_radians();
+    let lat2 = b.lat_deg.to_radians();
+    let dlat = (b.lat_deg - a.lat_deg).to_radians();
+    let dlon = (b.lon_deg - a.lon_deg).to_radians();
+
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ATLANTA: GeoPoint = GeoPoint::new(33.749, -84.388);
+    const TOKYO: GeoPoint = GeoPoint::new(35.6762, 139.6503);
+    const ZURICH: GeoPoint = GeoPoint::new(47.3769, 8.5417);
+    const BEIJING: GeoPoint = GeoPoint::new(39.9042, 116.4074);
+
+    #[test]
+    fn continent_codes_roundtrip() {
+        for c in Continent::ALL {
+            assert_eq!(Continent::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Continent::from_code("XX"), None);
+        assert_eq!(Continent::from_code(""), None);
+        assert_eq!(Continent::from_code("na"), None, "codes are case-sensitive");
+    }
+
+    #[test]
+    fn continent_display_matches_code() {
+        assert_eq!(Continent::Asia.to_string(), "AS");
+        assert_eq!(Continent::NorthAmerica.to_string(), "NA");
+    }
+
+    #[test]
+    fn country_accepts_three_letters_only() {
+        assert!(Country::new("USA").is_some());
+        assert!(Country::new("usa").is_some(), "lowercase is normalized");
+        assert_eq!(Country::new("usa").unwrap().as_str(), "USA");
+        assert!(Country::new("US").is_none());
+        assert!(Country::new("USAA").is_none());
+        assert!(Country::new("U1A").is_none());
+        assert!(Country::new("").is_none());
+    }
+
+    #[test]
+    fn country_display() {
+        assert_eq!(Country::new("CHE").unwrap().to_string(), "CHE");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert_eq!(haversine_km(ATLANTA, ATLANTA), 0.0);
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let d1 = haversine_km(ATLANTA, TOKYO);
+        let d2 = haversine_km(TOKYO, ATLANTA);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        // Reference values from standard great-circle calculators (±1%).
+        let atl_tokyo = haversine_km(ATLANTA, TOKYO);
+        assert!(
+            (11000.0..11300.0).contains(&atl_tokyo),
+            "Atlanta-Tokyo ≈ 11,130 km, got {atl_tokyo}"
+        );
+        let zrh_bj = haversine_km(ZURICH, BEIJING);
+        assert!(
+            (7800.0..8200.0).contains(&zrh_bj),
+            "Zurich-Beijing ≈ 7,970 km, got {zrh_bj}"
+        );
+    }
+
+    #[test]
+    fn haversine_antipodal_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = haversine_km(a, b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1.0, "{d} vs {half}");
+    }
+
+    #[test]
+    fn geopoint_distance_method_delegates() {
+        assert_eq!(ATLANTA.distance_km(&TOKYO), haversine_km(ATLANTA, TOKYO));
+    }
+}

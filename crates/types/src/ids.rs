@@ -1,0 +1,191 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the simulated cloud — datacenter, room, rack, server,
+//! data partition, virtual node, replica — gets its own newtype so the
+//! compiler rejects e.g. indexing a server table with a partition id.
+//! All ids are small dense integers assigned by the topology / ring
+//! builders, which lets downstream code use them as `Vec` indices
+//! (cache-friendly, no hashing) per the HPC guidance of keeping hot data
+//! in flat arrays.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wrap a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, usable directly as a `Vec` offset.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A datacenter, the top-level failure and placement domain.
+    DatacenterId,
+    "dc"
+);
+id_newtype!(
+    /// A room within a datacenter.
+    RoomId,
+    "room"
+);
+id_newtype!(
+    /// A rack within a room.
+    RackId,
+    "rack"
+);
+id_newtype!(
+    /// A physical server (storage host). Dense across the whole cluster,
+    /// not per-rack, so it can index cluster-wide tables.
+    ServerId,
+    "srv"
+);
+id_newtype!(
+    /// A data partition (`B_i` in the paper). Data is striped over the
+    /// storage hosts in fixed-size partitions managed by virtual nodes.
+    PartitionId,
+    "part"
+);
+id_newtype!(
+    /// A virtual node on the consistent-hash ring. Each virtual node
+    /// manages one replica of one partition and is hosted by a physical
+    /// server within its capacity limit.
+    VirtualNodeId,
+    "vn"
+);
+id_newtype!(
+    /// A concrete replica instance of a partition (`l`-th replica of
+    /// `B_i` on node `N_k` in the paper's notation).
+    ReplicaId,
+    "rep"
+);
+
+/// A discrete simulation epoch (`t` in the paper; Table I sets one epoch
+/// to 10 seconds of wall time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// Epoch zero: the start of a simulation.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The epoch after this one.
+    #[inline]
+    pub const fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// The epoch before this one, saturating at zero.
+    #[inline]
+    pub const fn prev(self) -> Epoch {
+        Epoch(self.0.saturating_sub(1))
+    }
+
+    /// Raw epoch counter.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Epoch {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Epoch(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_roundtrip_raw_values() {
+        let s = ServerId::new(17);
+        assert_eq!(s.index(), 17);
+        assert_eq!(u32::from(s), 17);
+        assert_eq!(ServerId::from(17), s);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(DatacenterId::new(3).to_string(), "dc3");
+        assert_eq!(ServerId::new(42).to_string(), "srv42");
+        assert_eq!(PartitionId::new(0).to_string(), "part0");
+        assert_eq!(VirtualNodeId::new(9).to_string(), "vn9");
+        assert_eq!(ReplicaId::new(1).to_string(), "rep1");
+        assert_eq!(RoomId::new(2).to_string(), "room2");
+        assert_eq!(RackId::new(5).to_string(), "rack5");
+    }
+
+    #[test]
+    fn distinct_id_types_hash_independently() {
+        let mut set = HashSet::new();
+        for i in 0..10 {
+            set.insert(ServerId::new(i));
+        }
+        assert_eq!(set.len(), 10);
+        assert!(set.contains(&ServerId::new(5)));
+        assert!(!set.contains(&ServerId::new(10)));
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(PartitionId::new(1) < PartitionId::new(2));
+        assert!(ServerId::new(0) < ServerId::new(100));
+    }
+
+    #[test]
+    fn epoch_next_prev() {
+        let e = Epoch::ZERO;
+        assert_eq!(e.next(), Epoch(1));
+        assert_eq!(e.prev(), Epoch(0), "prev saturates at zero");
+        assert_eq!(Epoch(5).next().prev(), Epoch(5));
+        assert_eq!(Epoch(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn epoch_from_raw() {
+        assert_eq!(Epoch::from(9).raw(), 9);
+    }
+}

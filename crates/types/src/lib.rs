@@ -1,0 +1,39 @@
+//! # rfh-types
+//!
+//! Foundation types shared by every crate in the RFH workspace.
+//!
+//! This crate deliberately has no dependency on the simulator or the
+//! algorithms: it defines the *vocabulary* of the system described in
+//! "RFH: A Resilient, Fault-Tolerant and High-efficient Replication
+//! Algorithm for Distributed Cloud Storage" (Qu & Xiong, ICPP 2012):
+//!
+//! * strongly-typed identifiers for datacenters, rooms, racks, servers,
+//!   partitions and virtual nodes ([`ids`]);
+//! * the geographic model used to compute replication distance and
+//!   availability levels ([`geo`]);
+//! * the `continent-country-datacenter-room-rack-server` label scheme of
+//!   §II-A and the five availability levels derived from it ([`label`]);
+//! * storage/bandwidth units ([`units`]);
+//! * the full parameter set of Table I ([`config`]);
+//! * the error type shared across the workspace ([`error`]).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod geo;
+pub mod ids;
+pub mod label;
+pub mod units;
+
+pub use config::{FlashCrowdConfig, SimConfig, Thresholds};
+pub use error::RfhError;
+pub use geo::{haversine_km, Continent, Country, GeoPoint};
+pub use ids::{
+    DatacenterId, Epoch, PartitionId, RackId, ReplicaId, RoomId, ServerId, VirtualNodeId,
+};
+pub use label::{AvailabilityLevel, ServerLabel};
+pub use units::{Bandwidth, Bytes};
+
+/// Convenient `Result` alias used across the workspace.
+pub type Result<T> = std::result::Result<T, RfhError>;

@@ -1,0 +1,89 @@
+//! Property-based tests for the foundation types.
+
+use proptest::prelude::*;
+use rfh_types::{haversine_km, AvailabilityLevel, Bytes, Continent, Country, GeoPoint, ServerLabel};
+
+fn arb_geopoint() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..=90.0, -180.0f64..=180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+fn arb_field() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9]{0,3}"
+}
+
+fn arb_label() -> impl Strategy<Value = ServerLabel> {
+    (
+        0usize..Continent::ALL.len(),
+        "[A-Z]{3}",
+        arb_field(),
+        arb_field(),
+        arb_field(),
+        arb_field(),
+    )
+        .prop_map(|(ci, country, dc, room, rack, server)| {
+            ServerLabel::new(
+                Continent::ALL[ci],
+                Country::new(&country).unwrap(),
+                dc,
+                room,
+                rack,
+                server,
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn haversine_nonnegative_symmetric(a in arb_geopoint(), b in arb_geopoint()) {
+        let d1 = haversine_km(a, b);
+        let d2 = haversine_km(b, a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        // Never longer than half the circumference (antipodal bound).
+        prop_assert!(d1 <= std::f64::consts::PI * rfh_types::geo::EARTH_RADIUS_KM + 1.0);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_geopoint(), b in arb_geopoint(), c in arb_geopoint()) {
+        let ab = haversine_km(a, b);
+        let bc = haversine_km(b, c);
+        let ac = haversine_km(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn label_display_parse_roundtrip(label in arb_label()) {
+        let text = label.to_string();
+        let parsed: ServerLabel = text.parse().expect("display output must parse");
+        prop_assert_eq!(parsed, label);
+    }
+
+    #[test]
+    fn availability_level_symmetric_and_reflexive(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.availability_level(&a), AvailabilityLevel::SameServer);
+        prop_assert_eq!(a.availability_level(&b), b.availability_level(&a));
+    }
+
+    #[test]
+    fn bytes_fraction_in_unit_interval(used in 0u64..u64::MAX / 2, total in 1u64..u64::MAX / 2) {
+        let f = Bytes(used.min(total)).fraction_of(Bytes(total));
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn bytes_display_parses_back_magnitude(n in 0u64..u64::MAX / 2) {
+        // Display never loses magnitude: the numeric prefix times the unit
+        // equals the original value.
+        let s = Bytes(n).to_string();
+        let (num, unit) = s.split_at(s.find(|c: char| !c.is_ascii_digit()).unwrap());
+        let num: u64 = num.parse().unwrap();
+        let mult = match unit {
+            "B" => 1,
+            "KiB" => 1 << 10,
+            "MiB" => 1 << 20,
+            "GiB" => 1 << 30,
+            other => return Err(TestCaseError::fail(format!("unexpected unit {other}"))),
+        };
+        prop_assert_eq!(num * mult, n);
+    }
+}

@@ -1,0 +1,217 @@
+//! The epoch-by-epoch workload stream.
+//!
+//! Combines the Poisson arrival process (how many queries this epoch),
+//! Zipf partition popularity (which partition each query wants — the
+//! "hot partition" of the paper's running example), and the scenario
+//! (where each query originates) into the `q_ijt` matrix. Fully
+//! deterministic under a seed so all four algorithms replay identical
+//! workloads.
+
+use crate::load::QueryLoad;
+use crate::sampler::{Poisson, Zipf};
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfh_types::{DatacenterId, PartitionId};
+
+/// Deterministic workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    arrivals: Poisson,
+    popularity: Zipf,
+    scenario: Scenario,
+    partitions: u32,
+    dcs: u32,
+    total_epochs: u64,
+    rng: StdRng,
+}
+
+impl WorkloadGenerator {
+    /// Create a generator.
+    ///
+    /// * `lambda` — mean queries per epoch (Table I: 300).
+    /// * `skew` — Zipf skew of partition popularity (0 = uniform).
+    /// * `scenario` — origin distribution over time.
+    /// * `total_epochs` — run length (stage boundaries derive from it).
+    /// * `seed` — RNG seed; identical seeds yield identical streams.
+    pub fn new(
+        lambda: f64,
+        partitions: u32,
+        dcs: u32,
+        skew: f64,
+        scenario: Scenario,
+        total_epochs: u64,
+        seed: u64,
+    ) -> Self {
+        WorkloadGenerator {
+            arrivals: Poisson::new(lambda),
+            popularity: Zipf::new(partitions.max(1) as usize, skew),
+            scenario,
+            partitions,
+            dcs,
+            total_epochs,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The scenario in use.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Generate the `q_ijt` matrix for `epoch`.
+    ///
+    /// Call with consecutive epochs to advance the stream; the matrix for
+    /// a given epoch depends on the RNG state, so out-of-order calls
+    /// produce a different (still valid) workload.
+    pub fn epoch_load(&mut self, epoch: u64) -> QueryLoad {
+        let mut load = QueryLoad::zeros(self.partitions, self.dcs);
+        if self.partitions == 0 || self.dcs == 0 {
+            return load;
+        }
+        let weights = self
+            .scenario
+            .origin_weights(epoch, self.total_epochs, self.dcs);
+        // Cumulative origin distribution for O(log n) origin draws.
+        let mut origin_cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            origin_cdf.push(acc);
+        }
+        if let Some(last) = origin_cdf.last_mut() {
+            *last = 1.0;
+        }
+        let rotation = self
+            .scenario
+            .popularity_rotation(epoch, self.total_epochs, self.partitions);
+
+        let n = self.arrivals.sample(&mut self.rng);
+        for _ in 0..n {
+            // Zipf gives a popularity *rank*; the rotation decides which
+            // partition currently holds that rank.
+            let rank = self.popularity.sample(&mut self.rng) as u32;
+            let partition = (rank + rotation) % self.partitions;
+            let u: f64 = self.rng.gen();
+            let origin = origin_cdf.partition_point(|&c| c < u).min(self.dcs as usize - 1);
+            load.add(
+                PartitionId::new(partition),
+                DatacenterId::new(origin as u32),
+                1,
+            );
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_types::FlashCrowdConfig;
+
+    fn generator(scenario: Scenario, seed: u64) -> WorkloadGenerator {
+        WorkloadGenerator::new(300.0, 64, 10, 0.8, scenario, 400, seed)
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = generator(Scenario::RandomEven, 11);
+        let mut b = generator(Scenario::RandomEven, 11);
+        for e in 0..20 {
+            assert_eq!(a.epoch_load(e), b.epoch_load(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = generator(Scenario::RandomEven, 1);
+        let mut b = generator(Scenario::RandomEven, 2);
+        let la = a.epoch_load(0);
+        let lb = b.epoch_load(0);
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn mean_arrivals_track_lambda() {
+        let mut g = generator(Scenario::RandomEven, 3);
+        let epochs = 200;
+        let total: u64 = (0..epochs).map(|e| g.epoch_load(e).total()).sum();
+        let mean = total as f64 / epochs as f64;
+        assert!((mean - 300.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn popularity_skew_creates_hot_partitions() {
+        let mut g = generator(Scenario::RandomEven, 5);
+        let mut per_partition = vec![0u64; 64];
+        for e in 0..100 {
+            let l = g.epoch_load(e);
+            for p in 0..64 {
+                per_partition[p as usize] += l.partition_total(PartitionId::new(p));
+            }
+        }
+        let hottest = *per_partition.iter().max().unwrap();
+        let coldest = *per_partition.iter().min().unwrap();
+        assert!(
+            hottest > coldest * 5,
+            "Zipf(0.8) should spread hot/cold widely: {hottest} vs {coldest}"
+        );
+        // Rank 0 (partition 0, no rotation) is the hottest.
+        assert_eq!(
+            per_partition
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .unwrap()
+                .0,
+            0
+        );
+    }
+
+    #[test]
+    fn flash_crowd_origins_follow_stage() {
+        let mut g = generator(
+            Scenario::FlashCrowd(FlashCrowdConfig::default()),
+            7,
+        );
+        // Stage 1 (epochs 0..100): H, I, J = DCs 7, 8, 9 get ~80%.
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for e in 0..50 {
+            let l = g.epoch_load(e);
+            for d in [7, 8, 9] {
+                hot += l.requester_total(DatacenterId::new(d));
+            }
+            total += l.total();
+        }
+        let share = hot as f64 / total as f64;
+        assert!((share - 0.8).abs() < 0.05, "hot share {share}");
+    }
+
+    #[test]
+    fn popularity_shift_moves_the_hot_partition() {
+        let mut g = generator(Scenario::PopularityShift, 9);
+        let hot_at = |g: &mut WorkloadGenerator, epochs: std::ops::Range<u64>| {
+            let mut per = vec![0u64; 64];
+            for e in epochs {
+                let l = g.epoch_load(e);
+                for p in 0..64 {
+                    per[p as usize] += l.partition_total(PartitionId::new(p));
+                }
+            }
+            per.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0
+        };
+        let h1 = hot_at(&mut g, 0..50);
+        let h2 = hot_at(&mut g, 100..150);
+        assert_eq!(h1, 0, "rank 0 → partition 0 in stage 1");
+        assert_eq!(h2, 16, "rotation by 16 in stage 2");
+    }
+
+    #[test]
+    fn degenerate_generator_is_empty() {
+        let mut g = WorkloadGenerator::new(300.0, 0, 10, 0.8, Scenario::RandomEven, 10, 0);
+        assert_eq!(g.epoch_load(0).total(), 0);
+        let mut g = WorkloadGenerator::new(300.0, 64, 0, 0.8, Scenario::RandomEven, 10, 0);
+        assert_eq!(g.epoch_load(0).total(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # rfh-workload
+//!
+//! Query workload generation for the RFH evaluation (§III-A):
+//!
+//! * [`sampler`] — Poisson and Zipf samplers implemented from scratch on
+//!   top of `rand`'s uniform source ("the number of generated queries
+//!   follows a Poisson distribution with a mean rate λ").
+//! * [`load`] — the per-epoch query matrix `q_ijt` (queries for
+//!   partition *i* from requester *j* during epoch *t*) that the traffic
+//!   equations consume.
+//! * [`scenario`] — where queries originate over time: uniform random,
+//!   the paper's four-stage flash crowd, a gradual location shift, and a
+//!   partition-popularity shift.
+//! * [`generator`] — ties sampler + scenario into an epoch-by-epoch
+//!   workload stream, deterministic under a seed.
+//! * [`events`] — scheduled cluster events (mass server failure at epoch
+//!   290, recovery, joins) driving the Fig. 10 experiment.
+//! * [`trace`] — record a generated workload and replay it, so the four
+//!   competing algorithms see byte-identical query streams.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod generator;
+pub mod load;
+pub mod sampler;
+pub mod scenario;
+pub mod trace;
+
+pub use events::{ClusterEvent, EventSchedule};
+pub use generator::WorkloadGenerator;
+pub use load::QueryLoad;
+pub use sampler::{Poisson, Zipf};
+pub use scenario::Scenario;
+pub use trace::Trace;

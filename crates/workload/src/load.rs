@@ -1,0 +1,162 @@
+//! The per-epoch query matrix `q_ijt`.
+//!
+//! §II-C: "We define the number of queries for a partition `B_i`, during
+//! a unit time period T, from requester `j`, as `q_ijt`." The matrix is
+//! stored dense and partition-major — both axes are small (64 × 10 in
+//! the paper) and the traffic computation scans whole rows, so a flat
+//! `Vec` beats any map.
+
+use rfh_types::{DatacenterId, PartitionId};
+
+/// Dense `partitions × requester-datacenters` query-count matrix for one
+/// epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryLoad {
+    partitions: u32,
+    dcs: u32,
+    /// `counts[p * dcs + j]` = queries for partition `p` from requester
+    /// datacenter `j`.
+    counts: Vec<u32>,
+}
+
+impl QueryLoad {
+    /// Zero matrix for the given shape.
+    pub fn zeros(partitions: u32, dcs: u32) -> Self {
+        QueryLoad {
+            partitions,
+            dcs,
+            counts: vec![0; partitions as usize * dcs as usize],
+        }
+    }
+
+    /// Number of partitions (rows).
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// Number of requester datacenters (columns).
+    pub fn datacenters(&self) -> u32 {
+        self.dcs
+    }
+
+    #[inline]
+    fn idx(&self, p: PartitionId, j: DatacenterId) -> usize {
+        debug_assert!(p.0 < self.partitions && j.0 < self.dcs);
+        p.index() * self.dcs as usize + j.index()
+    }
+
+    /// `q_ijt`: queries for partition `p` from requester `j`.
+    #[inline]
+    pub fn get(&self, p: PartitionId, j: DatacenterId) -> u32 {
+        self.counts[self.idx(p, j)]
+    }
+
+    /// Record one more query for partition `p` from requester `j`.
+    #[inline]
+    pub fn add(&mut self, p: PartitionId, j: DatacenterId, n: u32) {
+        let i = self.idx(p, j);
+        self.counts[i] += n;
+    }
+
+    /// Row view: per-requester counts for one partition.
+    pub fn partition_row(&self, p: PartitionId) -> &[u32] {
+        let start = p.index() * self.dcs as usize;
+        &self.counts[start..start + self.dcs as usize]
+    }
+
+    /// Total queries for one partition across all requesters.
+    pub fn partition_total(&self, p: PartitionId) -> u64 {
+        self.partition_row(p).iter().map(|&c| c as u64).sum()
+    }
+
+    /// Total queries from one requester datacenter across all partitions.
+    pub fn requester_total(&self, j: DatacenterId) -> u64 {
+        (0..self.partitions)
+            .map(|p| self.get(PartitionId::new(p), j) as u64)
+            .sum()
+    }
+
+    /// Grand total of queries this epoch.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// The system average query per partition, `q̄_it` before smoothing
+    /// (eq. 9): total queries for `p` divided by the number of
+    /// requesters.
+    pub fn system_average(&self, p: PartitionId) -> f64 {
+        if self.dcs == 0 {
+            return 0.0;
+        }
+        self.partition_total(p) as f64 / self.dcs as f64
+    }
+
+    /// Iterate over non-zero cells as `(partition, requester, count)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (PartitionId, DatacenterId, u32)> + '_ {
+        self.counts.iter().enumerate().filter_map(move |(i, &c)| {
+            (c > 0).then(|| {
+                let p = (i / self.dcs as usize) as u32;
+                let j = (i % self.dcs as usize) as u32;
+                (PartitionId::new(p), DatacenterId::new(j), c)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId::new(i)
+    }
+    fn d(i: u32) -> DatacenterId {
+        DatacenterId::new(i)
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let q = QueryLoad::zeros(4, 3);
+        assert_eq!(q.partitions(), 4);
+        assert_eq!(q.datacenters(), 3);
+        assert_eq!(q.total(), 0);
+        assert_eq!(q.get(p(3), d(2)), 0);
+        assert_eq!(q.iter_nonzero().count(), 0);
+    }
+
+    #[test]
+    fn add_and_totals() {
+        let mut q = QueryLoad::zeros(4, 3);
+        q.add(p(0), d(0), 5);
+        q.add(p(0), d(2), 7);
+        q.add(p(3), d(1), 1);
+        q.add(p(0), d(0), 2);
+        assert_eq!(q.get(p(0), d(0)), 7);
+        assert_eq!(q.partition_total(p(0)), 14);
+        assert_eq!(q.partition_total(p(1)), 0);
+        assert_eq!(q.requester_total(d(0)), 7);
+        assert_eq!(q.requester_total(d(1)), 1);
+        assert_eq!(q.total(), 15);
+        assert_eq!(q.partition_row(p(0)), &[7, 0, 7]);
+    }
+
+    #[test]
+    fn system_average_divides_by_requesters() {
+        // eq. 9: q̄_it = Σ_j q_ijt / N.
+        let mut q = QueryLoad::zeros(2, 4);
+        q.add(p(1), d(0), 8);
+        q.add(p(1), d(3), 4);
+        assert_eq!(q.system_average(p(1)), 3.0);
+        assert_eq!(q.system_average(p(0)), 0.0);
+    }
+
+    #[test]
+    fn nonzero_iteration_matches_contents() {
+        let mut q = QueryLoad::zeros(3, 3);
+        q.add(p(1), d(2), 9);
+        q.add(p(2), d(0), 4);
+        let cells: Vec<(u32, u32, u32)> =
+            q.iter_nonzero().map(|(a, b, c)| (a.0, b.0, c)).collect();
+        assert_eq!(cells, vec![(1, 2, 9), (2, 0, 4)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Poisson and Zipf samplers.
+//!
+//! Implemented from scratch over `rand`'s uniform source (the approved
+//! dependency set has no `rand_distr`): Knuth's product-of-uniforms
+//! method for Poisson — chunked so the running product never underflows
+//! even for large λ — and inverse-CDF sampling for Zipf.
+
+use rand::Rng;
+
+/// A Poisson(λ) sampler.
+///
+/// Knuth's algorithm draws uniforms until their product falls below
+/// `e^{-λ}`; it is exact but needs `e^{-λ}` representable. We split
+/// λ into chunks of at most [`Poisson::CHUNK`] (Poisson is additive:
+/// `Poisson(a + b) = Poisson(a) + Poisson(b)` for independent draws),
+/// keeping the method exact for any λ the simulator will see while doing
+/// O(λ) work per sample — ample for λ = 300 per Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Largest per-chunk rate; `e^{-500} ≈ 7e-218` is comfortably inside
+    /// `f64` range.
+    pub const CHUNK: f64 = 500.0;
+
+    /// Create a sampler with rate `lambda ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite rates.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "Poisson rate must be finite and non-negative, got {lambda}"
+        );
+        Poisson { lambda }
+    }
+
+    /// The rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > 0.0 {
+            let chunk = remaining.min(Self::CHUNK);
+            total += Self::knuth(chunk, rng);
+            remaining -= chunk;
+        }
+        total
+    }
+
+    fn knuth<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+        if lambda == 0.0 {
+            return 0;
+        }
+        let threshold = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= threshold {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// A Zipf sampler over ranks `0 .. n`: `P(rank k) ∝ 1 / (k + 1)^s`.
+///
+/// `s = 0` degenerates to the uniform distribution. Sampling is
+/// inverse-CDF with binary search over a precomputed table: O(log n) per
+/// draw, exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(rank ≤ k).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` ranks with skew `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf skew must be finite and ≥ 0, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding: the last entry must be exactly 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (always sampled).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_always_zero() {
+        let p = Poisson::new(0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        // Poisson(λ): mean = variance = λ. With 20k samples the sample
+        // mean of λ=300 is within ±3·sqrt(300/20000) ≈ ±0.37.
+        let p = Poisson::new(300.0);
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| p.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - 300.0).abs() < 1.5, "mean {mean}");
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - 300.0).abs() < 20.0, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_small_rate() {
+        let p = Poisson::new(0.5);
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| p.sample(&mut r)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_chunking_is_exercised() {
+        // λ > CHUNK forces the additive split; the mean must still hold.
+        let p = Poisson::new(1200.0);
+        let mut r = rng();
+        let n = 2_000;
+        let mean = (0..n).map(|_| p.sample(&mut r)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 1200.0).abs() < 4.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_under_seed() {
+        let p = Poisson::new(300.0);
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| p.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| p.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn poisson_rejects_negative_rate() {
+        let _ = Poisson::new(-1.0);
+    }
+
+    #[test]
+    fn zipf_uniform_when_skew_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12, "rank {k}: {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(64, 0.8);
+        let total: f64 = (0..64).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..64 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12, "pmf must decay with rank");
+        }
+        assert_eq!(z.pmf(64), 0.0, "out of range has zero mass");
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_pmf() {
+        let z = Zipf::new(16, 1.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = vec![0u64; 16];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for k in 0..16 {
+            let emp = counts[k] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

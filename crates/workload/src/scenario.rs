@@ -1,0 +1,217 @@
+//! Query-origin scenarios over time.
+//!
+//! §III-A evaluates under two settings — "random and even query rate"
+//! and the four-stage flash crowd — and §II-F describes the two kinds of
+//! query surge (location change, popularity change). Each scenario maps
+//! an epoch to (a) a weight per requester datacenter and (b) a rotation
+//! of partition popularity.
+
+use rfh_types::FlashCrowdConfig;
+
+/// How queries are distributed over requester datacenters (and how
+/// partition popularity moves) as the simulation progresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Queries arrive uniformly from every datacenter for the whole run
+    /// (the paper's "random query" setting).
+    RandomEven,
+    /// The four-stage flash crowd of §III-A: a hot fraction of queries
+    /// concentrates on a per-stage set of datacenters.
+    FlashCrowd(FlashCrowdConfig),
+    /// §II-F's first surge type: origin interest moves gradually from
+    /// one datacenter to another over the run ("queries … first come
+    /// from Tokyo … then … most of the queries is from Beijing").
+    LocationShift {
+        /// Datacenter the interest moves away from.
+        from: u32,
+        /// Datacenter the interest moves toward.
+        to: u32,
+        /// Fraction of queries involved in the shift (rest uniform).
+        hot_fraction: f64,
+    },
+    /// §II-F's second surge type: which partitions are hot changes at
+    /// each quarter of the run ("a hot partition in Datacenter A may
+    /// become cool while another cool partition … becomes hot");
+    /// origins stay uniform.
+    PopularityShift,
+}
+
+impl Scenario {
+    /// Per-datacenter origin weights at `epoch` (sum to 1).
+    pub fn origin_weights(&self, epoch: u64, total_epochs: u64, dcs: u32) -> Vec<f64> {
+        let n = dcs as usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        let uniform = 1.0 / n as f64;
+        match self {
+            Scenario::RandomEven | Scenario::PopularityShift => vec![uniform; n],
+            Scenario::FlashCrowd(cfg) => {
+                let hot: Vec<u32> = cfg
+                    .hot_set(epoch, total_epochs)
+                    .iter()
+                    .copied()
+                    .filter(|&d| d < dcs)
+                    .collect();
+                if hot.is_empty() {
+                    return vec![uniform; n];
+                }
+                let hot_share = cfg.hot_fraction / hot.len() as f64;
+                let cold = (n - hot.len()).max(1);
+                let cold_share = (1.0 - cfg.hot_fraction) / cold as f64;
+                let mut w = vec![cold_share; n];
+                for &h in &hot {
+                    w[h as usize] = hot_share;
+                }
+                // Degenerate case: every DC hot → renormalize.
+                let total: f64 = w.iter().sum();
+                for x in &mut w {
+                    *x /= total;
+                }
+                w
+            }
+            Scenario::LocationShift { from, to, hot_fraction } => {
+                let mut w = vec![(1.0 - hot_fraction) / n as f64; n];
+                // Linear hand-over of the hot share from `from` to `to`.
+                let progress = if total_epochs <= 1 {
+                    1.0
+                } else {
+                    (epoch as f64 / (total_epochs - 1) as f64).clamp(0.0, 1.0)
+                };
+                if (*from as usize) < n {
+                    w[*from as usize] += hot_fraction * (1.0 - progress);
+                }
+                if (*to as usize) < n {
+                    w[*to as usize] += hot_fraction * progress;
+                }
+                let total: f64 = w.iter().sum();
+                for x in &mut w {
+                    *x /= total;
+                }
+                w
+            }
+        }
+    }
+
+    /// Rotation offset applied to partition popularity ranks at `epoch`:
+    /// partition `p` takes the popularity rank of
+    /// `(p + rotation) mod partitions`. Non-zero only for
+    /// [`Scenario::PopularityShift`], which rotates by a quarter of the
+    /// partition space at each quarter of the run.
+    pub fn popularity_rotation(&self, epoch: u64, total_epochs: u64, partitions: u32) -> u32 {
+        match self {
+            Scenario::PopularityShift => {
+                if total_epochs == 0 || partitions == 0 {
+                    return 0;
+                }
+                let stage_len = (total_epochs / 4).max(1);
+                let stage = (epoch / stage_len).min(3) as u32;
+                stage * (partitions / 4)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::RandomEven => "random",
+            Scenario::FlashCrowd(_) => "flash-crowd",
+            Scenario::LocationShift { .. } => "location-shift",
+            Scenario::PopularityShift => "popularity-shift",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_weights_valid(w: &[f64]) {
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{w:?}");
+        assert!(w.iter().all(|&x| x >= 0.0), "{w:?}");
+    }
+
+    #[test]
+    fn random_even_is_uniform() {
+        let s = Scenario::RandomEven;
+        let w = s.origin_weights(17, 100, 10);
+        assert_weights_valid(&w);
+        assert!(w.iter().all(|&x| (x - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_80_percent() {
+        let s = Scenario::FlashCrowd(FlashCrowdConfig::default());
+        // Stage 1: H, I, J (7, 8, 9) carry 80%.
+        let w = s.origin_weights(0, 400, 10);
+        assert_weights_valid(&w);
+        let hot: f64 = w[7] + w[8] + w[9];
+        assert!((hot - 0.8).abs() < 1e-9, "hot share {hot}");
+        assert!(w[7] > w[0], "hot DC outweighs cold DC");
+        // Stage 2: A, B, C.
+        let w = s.origin_weights(150, 400, 10);
+        let hot: f64 = w[0] + w[1] + w[2];
+        assert!((hot - 0.8).abs() < 1e-9);
+        // Stage 4: uniform.
+        let w = s.origin_weights(399, 400, 10);
+        assert!(w.iter().all(|&x| (x - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn flash_crowd_ignores_out_of_range_hot_dcs() {
+        let cfg = FlashCrowdConfig {
+            hot_fraction: 0.8,
+            stages: vec![vec![99]],
+        };
+        let w = Scenario::FlashCrowd(cfg).origin_weights(0, 100, 4);
+        assert_weights_valid(&w);
+        assert!(w.iter().all(|&x| (x - 0.25).abs() < 1e-12), "falls back to uniform");
+    }
+
+    #[test]
+    fn location_shift_hands_over_linearly() {
+        let s = Scenario::LocationShift { from: 8, to: 7, hot_fraction: 0.8 };
+        let start = s.origin_weights(0, 101, 10);
+        assert_weights_valid(&start);
+        assert!(start[8] > 0.8, "all hot mass at `from` initially: {start:?}");
+        let mid = s.origin_weights(50, 101, 10);
+        assert!((mid[7] - mid[8]).abs() < 1e-9, "even split at midpoint");
+        let end = s.origin_weights(100, 101, 10);
+        assert!(end[7] > 0.8, "all hot mass at `to` finally");
+        assert!(end[8] < 0.03);
+    }
+
+    #[test]
+    fn popularity_shift_rotates_by_quarters() {
+        let s = Scenario::PopularityShift;
+        assert_eq!(s.popularity_rotation(0, 400, 64), 0);
+        assert_eq!(s.popularity_rotation(100, 400, 64), 16);
+        assert_eq!(s.popularity_rotation(200, 400, 64), 32);
+        assert_eq!(s.popularity_rotation(399, 400, 64), 48);
+        assert_eq!(s.popularity_rotation(999, 400, 64), 48, "clamps to last stage");
+        // Origins stay uniform.
+        let w = s.origin_weights(100, 400, 10);
+        assert!(w.iter().all(|&x| (x - 0.1).abs() < 1e-12));
+        // Other scenarios never rotate.
+        assert_eq!(Scenario::RandomEven.popularity_rotation(100, 400, 64), 0);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let s = Scenario::RandomEven;
+        assert!(s.origin_weights(0, 100, 0).is_empty());
+        let fc = Scenario::FlashCrowd(FlashCrowdConfig::default());
+        assert_weights_valid(&fc.origin_weights(0, 0, 10));
+        assert_eq!(Scenario::PopularityShift.popularity_rotation(5, 0, 64), 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Scenario::RandomEven.name(), "random");
+        assert_eq!(
+            Scenario::FlashCrowd(FlashCrowdConfig::default()).name(),
+            "flash-crowd"
+        );
+    }
+}

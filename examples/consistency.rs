@@ -1,0 +1,78 @@
+//! The consistency bill of adaptive replication (the paper's stated
+//! future work, §V): run RFH under a flash crowd while writes flow to
+//! every partition, and measure how stale the reads can get as replicas
+//! are created, migrated and reaped.
+//!
+//! ```text
+//! cargo run --release --example consistency
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfh::prelude::*;
+
+const EPOCHS: u64 = 400;
+/// Baseline writes per partition per epoch.
+const WRITE_RATE: u64 = 1;
+/// Every `BURST_PERIOD` epochs one partition takes a write burst.
+const BURST_PERIOD: u64 = 50;
+/// Burst size in writes.
+const BURST_SIZE: u64 = 120;
+/// Events each replica may apply per epoch.
+const SYNC_BUDGET: u64 = 5;
+
+fn main() -> Result<()> {
+    let params = SimParams {
+        config: SimConfig::default(),
+        scenario: Scenario::FlashCrowd(FlashCrowdConfig::default()),
+        policy: PolicyKind::Rfh,
+        epochs: EPOCHS,
+        seed: 42,
+        events: EventSchedule::new(),
+    };
+    let mut sim = Simulation::new(params)?;
+    let mut tracker = ConsistencyTracker::new(64, SYNC_BUDGET);
+    let mut write_rng = StdRng::seed_from_u64(7);
+
+    println!("epoch  replicas  mean_lag  fresh%  stale-read%  events/epoch");
+    let mut worst_stale = 0.0f64;
+    for epoch in 0..EPOCHS {
+        sim.step()?;
+        // A steady trickle of writes everywhere, plus a periodic burst
+        // on a rotating partition — the write-side analogue of the
+        // flash crowd.
+        let burst_target = ((epoch / BURST_PERIOD) % 64) as u32;
+        let bursting = epoch % BURST_PERIOD == 0;
+        let report = tracker.step(sim.manager(), |p| {
+            let jitter = u64::from(write_rng.gen_bool(0.5));
+            if bursting && p.0 == burst_target {
+                BURST_SIZE
+            } else {
+                WRITE_RATE + jitter
+            }
+        });
+        worst_stale = worst_stale.max(report.stale_read_probability);
+        if epoch % 40 == 0 || epoch % BURST_PERIOD == 3 || epoch == EPOCHS - 1 {
+            println!(
+                "{epoch:>5}  {:>8}  {:>8.2}  {:>5.1}%  {:>10.1}%  {:>12}",
+                sim.manager().total_replicas(),
+                report.mean_lag,
+                report.fresh_fraction * 100.0,
+                report.stale_read_probability * 100.0,
+                report.events_propagated,
+            );
+        }
+    }
+
+    println!(
+        "\nEvery {BURST_PERIOD} epochs one partition takes a {BURST_SIZE}-write burst \
+         against a sync budget of {SYNC_BUDGET} events/replica/epoch, so its replicas \
+         go stale and then drain back to freshness over the following epochs \
+         (worst-case stale-read probability seen: {:.1}%). Replicas RFH creates ship \
+         the current snapshot — born fresh — so the staleness here is purely the \
+         write stream outpacing propagation: the consistency-maintenance trade the \
+         paper defers to future work, made measurable.",
+        worst_stale * 100.0
+    );
+    Ok(())
+}

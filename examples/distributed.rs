@@ -1,0 +1,91 @@
+//! The control plane made visible: run RFH as the *message-passing*
+//! agent of §II-B (traffic reports piggybacked hop-by-hop toward the
+//! partition holders) and compare it against the centralized agent —
+//! first with a control plane that keeps up with the epochs, then with
+//! one an order of magnitude slower.
+//!
+//! ```text
+//! cargo run --release --example distributed
+//! ```
+
+use rfh::prelude::*;
+
+const EPOCHS: u64 = 200;
+
+fn run_with(agent: Option<DistributedRfhPolicy>) -> Result<SimResult> {
+    let params = SimParams {
+        config: SimConfig::default(),
+        scenario: Scenario::FlashCrowd(FlashCrowdConfig::default()),
+        policy: PolicyKind::Rfh,
+        epochs: EPOCHS,
+        seed: 42,
+        events: EventSchedule::new(),
+    };
+    let sim = Simulation::new(params)?;
+    match agent {
+        Some(a) => sim.with_custom_policy(Box::new(a)).run(),
+        None => sim.run(),
+    }
+}
+
+fn main() -> Result<()> {
+    let centralized = run_with(None)?;
+    let fast = run_with(Some(DistributedRfhPolicy::new(8)))?; // ≥ WAN diameter
+    let slow = run_with(Some(DistributedRfhPolicy::new(1)))?; // 1 hop/epoch
+
+    let tail = |r: &SimResult, m: &str| {
+        let s = r.metrics.series(m).expect("metric exists");
+        s.mean_over((EPOCHS as usize) * 3 / 4, EPOCHS as usize)
+    };
+
+    println!("{:34} {:>12} {:>12} {:>12}", "", "centralized", "dist (fast)", "dist (slow)");
+    for (label, metric) in [
+        ("replica utilization", "utilization"),
+        ("total replicas", "replicas_total"),
+        ("replication cost (cum)", "replication_cost"),
+        ("unserved queries/epoch", "unserved"),
+    ] {
+        println!(
+            "{label:34} {:>12.2} {:>12.2} {:>12.2}",
+            tail(&centralized, metric),
+            tail(&fast, metric),
+            tail(&slow, metric),
+        );
+    }
+
+    assert_eq!(
+        centralized.metrics, fast.metrics,
+        "same-epoch delivery must reproduce the centralized agent exactly"
+    );
+    println!(
+        "\nWith a tick budget covering the WAN diameter, the distributed agent's \
+         decisions are IDENTICAL to the centralized one — every column matches to \
+         the last bit (asserted above). At one hop per epoch the traffic reports \
+         arrive up to four epochs stale: the agent still tracks the flash crowd, \
+         just later and a little worse.\n"
+    );
+
+    // Control-plane cost: take a stats handle before boxing the agent.
+    let probe = DistributedRfhPolicy::new(8);
+    let stats = probe.stats();
+    let params = SimParams {
+        config: SimConfig::default(),
+        scenario: Scenario::FlashCrowd(FlashCrowdConfig::default()),
+        policy: PolicyKind::Rfh,
+        epochs: 50,
+        seed: 42,
+        events: EventSchedule::new(),
+    };
+    Simulation::new(params)?
+        .with_custom_policy(Box::new(probe))
+        .run()?;
+    println!(
+        "Control-plane bill over 50 flash-crowd epochs: {} traffic reports, \
+         {} WAN hops travelled ({:.1} hops/report), {} still in flight.",
+        stats.reports_sent(),
+        stats.control_hops(),
+        stats.control_hops() as f64 / stats.reports_sent().max(1) as f64,
+        stats.reports_in_flight(),
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Head-to-head: run all four replication algorithms of the paper over
+//! a byte-identical workload and print a steady-state scoreboard.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [seed]
+//! ```
+
+use rfh::prelude::*;
+
+const EPOCHS: u64 = 250;
+
+fn main() -> Result<()> {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let params = SimParams {
+        config: SimConfig::default(),
+        scenario: Scenario::RandomEven,
+        policy: PolicyKind::Rfh, // replaced per policy by the runner
+        epochs: EPOCHS,
+        seed,
+        events: EventSchedule::new(),
+    };
+    let cmp = run_comparison(&params)?;
+
+    let tail = |kind: PolicyKind, metric: &str| {
+        let s = cmp.of(kind).metrics.series(metric).expect("metric exists");
+        s.mean_over((EPOCHS as usize) * 3 / 4, EPOCHS as usize)
+    };
+
+    println!("steady state over the last quarter of {EPOCHS} epochs (seed {seed}):\n");
+    println!(
+        "{:22} {:>9} {:>9} {:>9} {:>9}",
+        "metric", "Request", "Owner", "Random", "RFH"
+    );
+    for (label, metric) in [
+        ("replica utilization", "utilization"),
+        ("total replicas", "replicas_total"),
+        ("replicas / partition", "replicas_avg"),
+        ("replication cost (cum)", "replication_cost"),
+        ("migrations (cum)", "migrations_total"),
+        ("migration cost (cum)", "migration_cost"),
+        ("load imbalance", "load_imbalance"),
+        ("lookup path length", "path_length"),
+        ("unserved queries/epoch", "unserved"),
+    ] {
+        print!("{label:22}");
+        for kind in PolicyKind::ALL {
+            print!(" {:>9.2}", tail(kind, metric));
+        }
+        println!();
+    }
+
+    println!(
+        "\nRFH serves the same workload with the fewest replicas at the highest \
+         utilization and the lowest total replication cost — the paper's headline \
+         (Figs. 3–5). Request-oriented pays for its short lookup paths with the \
+         most migrations (Figs. 6–7)."
+    );
+    Ok(())
+}

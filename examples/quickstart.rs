@@ -1,0 +1,47 @@
+//! Quickstart: simulate the RFH algorithm on the paper's 10-datacenter
+//! deployment for 100 epochs of random-even queries and print what it
+//! did.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rfh::prelude::*;
+
+fn main() -> Result<()> {
+    // Table I parameters, the paper's topology (Fig. 1), uniform query
+    // origins.
+    let params = SimParams {
+        config: SimConfig::default(),
+        scenario: Scenario::RandomEven,
+        policy: PolicyKind::Rfh,
+        epochs: 100,
+        seed: 42,
+        events: EventSchedule::new(),
+    };
+    let mut sim = Simulation::new(params)?;
+
+    println!("epoch  replicas  served  unserved  utilization");
+    for epoch in 0..100u64 {
+        let snap = sim.step()?;
+        if epoch % 10 == 0 {
+            println!(
+                "{epoch:>5}  {:>8}  {:>6.0}  {:>8.1}  {:>10.2}",
+                snap.replicas_total, snap.served, snap.unserved, snap.utilization
+            );
+        }
+    }
+
+    // Where did RFH put the replicas of the hottest partition?
+    let manager = sim.manager();
+    let topo = sim.topology();
+    let hot = PartitionId::new(0); // Zipf rank 0 = hottest
+    println!("\nhottest partition ({hot}) replicas:");
+    for &server in manager.replicas(hot) {
+        let s = topo.server(server)?;
+        let dc = topo.datacenter(s.datacenter)?;
+        let role = if server == manager.holder(hot) { "primary" } else { "replica" };
+        println!("  {role} on {} (site {}, {})", s.label, dc.site, dc.country);
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Full-scale reproduction check: regenerate the data behind every
+//! figure at the paper's scale and assert the qualitative claims
+//! (who wins, where the crossovers are) — the same checks the
+//! experiment binaries print.
+
+use rfh::experiments::figures::{base_params, FigureRun, FLASH_EPOCHS, RANDOM_EPOCHS};
+use rfh::experiments::{figures, shapes};
+use rfh::prelude::*;
+
+/// Run the two underlying comparisons once and reuse them for every
+/// figure's checks (figs. 3–9 all plot metrics of the same two runs).
+fn shared_run() -> FigureRun {
+    let random = run_comparison(&base_params(Scenario::RandomEven, RANDOM_EPOCHS, 42))
+        .expect("random-query comparison runs");
+    let flash = run_comparison(&base_params(
+        Scenario::FlashCrowd(FlashCrowdConfig::default()),
+        FLASH_EPOCHS,
+        42,
+    ))
+    .expect("flash-crowd comparison runs");
+    FigureRun {
+        id: "all",
+        caption: "shared",
+        metrics: &[],
+        random,
+        flash: Some(flash),
+    }
+}
+
+#[test]
+fn figures_3_to_9_reproduce_paper_claims() {
+    let run = shared_run();
+    let mut all = Vec::new();
+    all.extend(shapes::check_fig3(&run));
+    all.extend(shapes::check_fig4(&run));
+    all.extend(shapes::check_fig5(&run));
+    all.extend(shapes::check_fig6(&run));
+    all.extend(shapes::check_fig7(&run));
+    all.extend(shapes::check_fig8(&run));
+    all.extend(shapes::check_fig9(&run));
+    let failures: Vec<String> = all
+        .iter()
+        .filter(|c| !c.acceptable())
+        .map(|c| format!("{}: {} ({})", c.id, c.claim, c.detail))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "unexpected shape regressions:\n{}",
+        failures.join("\n")
+    );
+    // The deviations must be exactly the documented ones, no more.
+    let deviations: Vec<&str> = all
+        .iter()
+        .filter(|c| !c.holds && c.known_deviation)
+        .map(|c| c.id.as_str())
+        .collect();
+    assert_eq!(
+        deviations,
+        vec!["fig9.rfh-short-paths"],
+        "the set of known deviations changed — update EXPERIMENTS.md"
+    );
+    // And the core headline claims must genuinely hold.
+    for required in [
+        "fig3a.rfh-highest",
+        "fig3b.request-collapses",
+        "fig3b.rfh-recovers",
+        "fig4a.random-most",
+        "fig4cd.rfh-flash-insensitive",
+        "fig5a.rfh-lowest-total",
+        "fig6.request-most",
+        "fig7.zero-for-random-and-owner",
+    ] {
+        let check = all.iter().find(|c| c.id == required).expect("check exists");
+        assert!(check.holds, "headline claim failed: {required} ({})", check.detail);
+    }
+}
+
+#[test]
+fn figure_10_failure_and_recovery() {
+    let result = figures::fig10(42).expect("fig10 runs");
+    for check in shapes::check_fig10(&result) {
+        assert!(check.holds, "{}: {}", check.id, check.detail);
+    }
+    // The alive-server series records the event precisely.
+    let alive = result.metrics.series("alive_servers").unwrap();
+    assert_eq!(alive.get(289), Some(100.0));
+    assert_eq!(alive.get(290), Some(70.0));
+    assert_eq!(alive.last(), Some(70.0), "no recovery event in Fig. 10");
+}

@@ -1,0 +1,64 @@
+//! System-level sanity of the latency / SLA extension: every policy's
+//! reported latencies and SLA fractions stay within physical bounds and
+//! relate to each other the way the placement strategies predict.
+
+use rfh::prelude::*;
+
+#[test]
+fn latency_and_sla_are_physical_for_every_policy() {
+    let base = SimParams {
+        config: SimConfig {
+            partitions: 32,
+            ..SimConfig::default()
+        },
+        scenario: Scenario::RandomEven,
+        policy: PolicyKind::Rfh,
+        epochs: 120,
+        seed: 21,
+        events: EventSchedule::new(),
+    };
+    let cmp = run_comparison(&base).unwrap();
+    for kind in PolicyKind::ALL {
+        let m = &cmp.of(kind).metrics;
+        let lat = m.series("latency_ms").unwrap();
+        let sla = m.series("sla_300ms").unwrap();
+        for epoch in 0..120 {
+            let l = lat.get(epoch).unwrap();
+            let s = sla.get(epoch).unwrap();
+            // Round trip over the paper WAN tops out well under 500 ms.
+            assert!((0.0..=500.0).contains(&l), "{kind} epoch {epoch}: latency {l}");
+            assert!((0.0..=1.0).contains(&s), "{kind} epoch {epoch}: sla {s}");
+        }
+        // Once warmed up, served queries dominate and attainment is high.
+        let warm_sla = sla.mean_over(60, 120);
+        assert!(warm_sla > 0.85, "{kind}: steady-state SLA {warm_sla}");
+    }
+}
+
+#[test]
+fn requester_local_placement_is_fastest() {
+    // Request-oriented parks replicas next to requesters, so its mean
+    // latency must beat RFH's hub placement.
+    let base = SimParams {
+        config: SimConfig {
+            partitions: 32,
+            ..SimConfig::default()
+        },
+        scenario: Scenario::RandomEven,
+        policy: PolicyKind::Rfh,
+        epochs: 150,
+        seed: 33,
+        events: EventSchedule::new(),
+    };
+    let cmp = run_comparison(&base).unwrap();
+    let tail = |kind: PolicyKind| {
+        let s = cmp.of(kind).metrics.series("latency_ms").unwrap();
+        s.mean_over(100, 150)
+    };
+    assert!(
+        tail(PolicyKind::RequestOriented) < tail(PolicyKind::Rfh),
+        "request {} vs RFH {}",
+        tail(PolicyKind::RequestOriented),
+        tail(PolicyKind::Rfh)
+    );
+}
