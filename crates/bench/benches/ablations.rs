@@ -13,10 +13,7 @@ use rfh_workload::Scenario;
 const EPOCHS: u64 = 100;
 
 fn run_variant(thresholds: Option<Thresholds>, policy: Option<RfhPolicy>) -> rfh_sim::SimResult {
-    let mut params = bench_params(
-        Scenario::FlashCrowd(FlashCrowdConfig::default()),
-        EPOCHS,
-    );
+    let mut params = bench_params(Scenario::FlashCrowd(FlashCrowdConfig::default()), EPOCHS);
     if let Some(t) = thresholds {
         params.config.thresholds = t;
     }

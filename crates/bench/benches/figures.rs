@@ -30,7 +30,7 @@ fn comparison_bench(c: &mut Criterion, name: &str, scenario: Scenario, epochs: u
         b.iter(|| {
             let cmp = run_comparison(&bench_params(scenario.clone(), epochs)).unwrap();
             for kind in rfh_core::PolicyKind::ALL {
-                assert!(cmp.of(kind).metrics.series(metric).is_some());
+                assert!(cmp.of(kind).is_some_and(|r| r.metrics.series(metric).is_some()));
             }
             black_box(cmp)
         })

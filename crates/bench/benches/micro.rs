@@ -5,9 +5,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfh_bench::{bench_load, bench_manager, bench_ring, bench_topology};
 use rfh_ring::PrefixRouter;
-use rfh_stats::{erlang_b, eq14_availability, min_replica_count};
+use rfh_stats::{eq14_availability, erlang_b, min_replica_count};
 use rfh_topology::paper_topology_spec;
-use rfh_traffic::{compute_traffic, TrafficSmoother};
+use rfh_traffic::{compute_traffic, TrafficEngine, TrafficSmoother};
 use rfh_types::{DatacenterId, Epoch, PartitionId, ServerId, SimConfig};
 use rfh_workload::{Poisson, Zipf};
 
@@ -76,9 +76,7 @@ fn stats_benches(c: &mut Criterion) {
 fn sampler_benches(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let poisson = Poisson::new(300.0);
-    c.bench_function("workload/poisson_300", |b| {
-        b.iter(|| black_box(poisson.sample(&mut rng)))
-    });
+    c.bench_function("workload/poisson_300", |b| b.iter(|| black_box(poisson.sample(&mut rng))));
     let zipf = Zipf::new(64, 0.8);
     c.bench_function("workload/zipf_64", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
 }
@@ -92,6 +90,13 @@ fn traffic_benches(c: &mut Criterion) {
     let view = manager.placement_view(&topo, cfg.replica_capacity_mean);
     c.bench_function("traffic/compute_pass_paper_scale", |b| {
         b.iter(|| black_box(compute_traffic(&topo, &load, &view)))
+    });
+    c.bench_function("traffic/engine_account_reused", |b| {
+        let mut engine = TrafficEngine::new();
+        engine.account(&topo, &load, &view); // warm the caches once
+        b.iter(|| {
+            black_box(engine.account(&topo, &load, &view));
+        })
     });
     let accounts = compute_traffic(&topo, &load, &view);
     c.bench_function("traffic/smoother_update", |b| {

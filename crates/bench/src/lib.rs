@@ -37,7 +37,11 @@ pub fn bench_ring(topo: &Topology) -> ConsistentHashRing {
 }
 
 /// A replica manager at initial (primary-only) placement.
-pub fn bench_manager(cfg: &SimConfig, topo: &Topology, ring: &ConsistentHashRing) -> ReplicaManager {
+pub fn bench_manager(
+    cfg: &SimConfig,
+    topo: &Topology,
+    ring: &ConsistentHashRing,
+) -> ReplicaManager {
     let holders = (0..cfg.partitions)
         .map(|p| ring.primary(PartitionId::new(p)).expect("ring populated"))
         .collect();

@@ -14,8 +14,7 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 8] =
-    ["policy", "scenario", "epochs", "seed", "csv", "csv-dir", "out", "trace"];
+const KNOWN: [&str; 8] = ["policy", "scenario", "epochs", "seed", "csv", "csv-dir", "out", "trace"];
 
 /// Split an argument list into `(command, options)`.
 pub fn parse(argv: &[String]) -> Result<(String, Options)> {

@@ -64,10 +64,8 @@ pub fn topology(opts: &Options) -> Result<String> {
     for site in ["H", "I", "J"] {
         let from = topo.datacenter_by_site(site).expect("preset site").id;
         let path = topo.path(from, a).expect("connected");
-        let names: Vec<&str> = path
-            .iter()
-            .map(|&id| topo.datacenters()[id.index()].site.as_str())
-            .collect();
+        let names: Vec<&str> =
+            path.iter().map(|&id| topo.datacenters()[id.index()].site.as_str()).collect();
         let _ = writeln!(
             out,
             "  {} → A: {}  ({:.0} ms)",
@@ -136,7 +134,8 @@ pub fn compare(opts: &Options) -> Result<String> {
     for (name, metric) in SUMMARY_METRICS {
         let _ = write!(out, "{name:26}");
         for kind in PolicyKind::ALL {
-            let _ = write!(out, " {:>10.3}", tail(cmp.of(kind), metric));
+            let r = cmp.of(kind).expect("comparison carries every policy");
+            let _ = write!(out, " {:>10.3}", tail(r, metric));
         }
         out.push('\n');
     }
@@ -172,12 +171,12 @@ pub fn replay(opts: &Options) -> Result<String> {
         trace.len(),
         trace.total_queries()
     );
-    let result = Simulation::new(p)?
-        .with_shared_trace(Arc::new(trace))
-        .run()?;
-    let mut out = format!("{label}
+    let result = Simulation::new(p)?.with_shared_trace(Arc::new(trace)).run()?;
+    let mut out = format!(
+        "{label}
 steady state (last quarter):
-");
+"
+    );
     for (name, metric) in SUMMARY_METRICS {
         let _ = writeln!(out, "  {name:24} {:>12.3}", tail(&result, metric));
     }
@@ -268,11 +267,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("trace.csv");
         trace(&opts(&format!("trace --epochs 8 --seed 2 --out {}", file.display()))).unwrap();
-        let out = replay(&opts(&format!(
-            "replay --trace {} --policy owner",
-            file.display()
-        )))
-        .unwrap();
+        let out =
+            replay(&opts(&format!("replay --trace {} --policy owner", file.display()))).unwrap();
         assert!(out.contains("Owner replaying"));
         assert!(out.contains("8 epochs"));
         assert!(out.contains("replica utilization"));
@@ -287,11 +283,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("rfh_cli_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let csv = dir.join("run.csv");
-        let out = run_one(&opts(&format!(
-            "run --epochs 5 --csv {}",
-            csv.display()
-        )))
-        .unwrap();
+        let out = run_one(&opts(&format!("run --epochs 5 --csv {}", csv.display()))).unwrap();
         assert!(out.contains("written"));
         let content = std::fs::read_to_string(&csv).unwrap();
         assert!(content.starts_with("epoch,"));

@@ -46,33 +46,6 @@ pub fn run(argv: &[String]) -> Result<String, RfhError> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn argv(s: &str) -> Vec<String> {
-        s.split_whitespace().map(str::to_string).collect()
-    }
-
-    #[test]
-    fn help_paths() {
-        assert_eq!(run(&[]).unwrap(), HELP);
-        assert_eq!(run(&argv("help")).unwrap(), HELP);
-    }
-
-    #[test]
-    fn unknown_command_is_an_error() {
-        let err = run(&argv("frobnicate")).unwrap_err();
-        assert!(err.to_string().contains("frobnicate"));
-    }
-
-    #[test]
-    fn dispatch_reaches_commands() {
-        let out = run(&argv("table1")).unwrap();
-        assert!(out.contains("TABLE I"));
-    }
-}
-
 /// The help text.
 pub const HELP: &str = "\
 rfh — the RFH replication simulator (ICPP 2012 reproduction)
@@ -102,3 +75,30 @@ COMMON OPTIONS:
 The figure-by-figure harness lives in the experiment binaries:
     cargo run -p rfh-experiments --bin all | fig3..fig10 | table1 | ablations | sla
 ";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(run(&[]).unwrap(), HELP);
+        assert_eq!(run(&argv("help")).unwrap(), HELP);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn dispatch_reaches_commands() {
+        let out = run(&argv("table1")).unwrap();
+        assert!(out.contains("TABLE I"));
+    }
+}

@@ -51,10 +51,7 @@ impl PartitionVersions {
     /// applies it to the primary's own replica immediately.
     pub fn write(&mut self, primary: ServerId) {
         self.committed.bump(primary);
-        self.applied
-            .entry(primary.0)
-            .or_default()
-            .merge(&self.committed.clone());
+        self.applied.entry(primary.0).or_default().merge(&self.committed.clone());
     }
 
     /// Apply pending updates at one replica, at most `budget` events;
@@ -112,9 +109,7 @@ impl PartitionVersions {
 
     /// Iterate `(server, lag)` over all tracked replicas.
     pub fn lags(&self) -> impl Iterator<Item = (ServerId, u64)> + '_ {
-        self.applied
-            .iter()
-            .map(|(&s, v)| (ServerId::new(s), v.lag_behind(&self.committed)))
+        self.applied.iter().map(|(&s, v)| (ServerId::new(s), v.lag_behind(&self.committed)))
     }
 
     /// Number of tracked replicas.

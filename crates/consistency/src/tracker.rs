@@ -104,8 +104,7 @@ impl ConsistencyTracker {
             let replicas: Vec<ServerId> = state.lags().map(|(s, _)| s).collect();
             for s in replicas {
                 if s != primary {
-                    report.events_propagated +=
-                        state.sync_replica(s, self.sync_budget_per_replica);
+                    report.events_propagated += state.sync_replica(s, self.sync_budget_per_replica);
                 }
             }
             // Measure.

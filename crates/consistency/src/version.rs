@@ -57,12 +57,8 @@ impl VersionVector {
     pub fn causality(&self, other: &VersionVector) -> Causality {
         let mut some_greater = false;
         let mut some_less = false;
-        let keys: std::collections::BTreeSet<u32> = self
-            .counters
-            .keys()
-            .chain(other.counters.keys())
-            .copied()
-            .collect();
+        let keys: std::collections::BTreeSet<u32> =
+            self.counters.keys().chain(other.counters.keys()).copied().collect();
         for k in keys {
             let a = self.counters.get(&k).copied().unwrap_or(0);
             let b = other.counters.get(&k).copied().unwrap_or(0);

@@ -201,9 +201,7 @@ impl ReplicaManager {
                     return Err(RfhError::Simulation(format!("{target} is not alive")));
                 }
                 if !self.can_accept(partition, target) {
-                    return Err(RfhError::Simulation(format!(
-                        "{target} storage would exceed φ"
-                    )));
+                    return Err(RfhError::Simulation(format!("{target} storage would exceed φ")));
                 }
                 let source = self.holder(partition);
                 if self.repl_out[source.index()] + self.partition_size.as_u64() > self.repl_bw {
@@ -214,9 +212,8 @@ impl ReplicaManager {
                 self.repl_out[source.index()] += self.partition_size.as_u64();
                 self.storage_used[target.index()] += self.partition_size;
                 self.replica_sets[partition.index()].push(target);
-                let distance_km = topo
-                    .server_distance_km(source, target)?
-                    .max(MIN_COST_DISTANCE_KM);
+                let distance_km =
+                    topo.server_distance_km(source, target)?.max(MIN_COST_DISTANCE_KM);
                 Ok(AppliedAction {
                     action,
                     cost: self.transfer_cost(distance_km, self.repl_bw, topo),
@@ -340,23 +337,44 @@ impl ReplicaManager {
     /// Render the placement view for the traffic pass: each replica of a
     /// partition on a server offers `capacity_mean × capacity_factor`
     /// queries/epoch.
+    ///
+    /// One-shot convenience around [`render_view`](Self::render_view);
+    /// epoch loops keep a view alive and re-render only what changed
+    /// (see [`render_partition`](Self::render_partition)).
     pub fn placement_view(&self, topo: &Topology, capacity_mean: f64) -> PlacementView {
-        let holders = self.replica_sets.iter().map(|s| s[0]).collect();
-        let mut view = PlacementView::new(
-            self.replica_sets.len() as u32,
-            self.storage_used.len() as u32,
-            holders,
-        );
-        for (p_idx, set) in self.replica_sets.iter().enumerate() {
-            let p = PartitionId::new(p_idx as u32);
-            for &server in set {
-                let factor = topo.servers()[server.index()].capacity_factor;
-                view.add_capacity(p, server, capacity_mean * factor);
-            }
-        }
+        let mut view = PlacementView::new(0, 0, Vec::new());
+        self.render_view(topo, capacity_mean, &mut view);
         view
     }
 
+    /// Rebuild `view` in place from the full replica map, reusing its
+    /// allocations. Use after shape changes (server join, prune) or to
+    /// initialise a fresh view.
+    pub fn render_view(&self, topo: &Topology, capacity_mean: f64, view: &mut PlacementView) {
+        view.reset(self.replica_sets.len() as u32, self.storage_used.len() as u32);
+        for p_idx in 0..self.replica_sets.len() {
+            self.render_partition(topo, capacity_mean, PartitionId::new(p_idx as u32), view);
+        }
+    }
+
+    /// Re-render one partition's row of `view` in place — the delta
+    /// update for a partition whose replica set (or holder) changed.
+    /// Produces exactly what a full rebuild would for that row.
+    pub fn render_partition(
+        &self,
+        topo: &Topology,
+        capacity_mean: f64,
+        p: PartitionId,
+        view: &mut PlacementView,
+    ) {
+        let set = &self.replica_sets[p.index()];
+        view.clear_partition(p);
+        view.set_holder(p, set[0]);
+        for &server in set {
+            let factor = topo.servers()[server.index()].capacity_factor;
+            view.add_capacity(p, server, capacity_mean * factor);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -379,10 +397,7 @@ mod tests {
     }
 
     fn cfg() -> SimConfig {
-        SimConfig {
-            partitions: 2,
-            ..SimConfig::default()
-        }
+        SimConfig { partitions: 2, ..SimConfig::default() }
     }
 
     fn p(i: u32) -> PartitionId {
@@ -420,9 +435,7 @@ mod tests {
     fn replicate_moves_data_and_charges_cost() {
         let t = topo();
         let mut m = manager();
-        let applied = m
-            .apply(&t, Action::Replicate { partition: p(0), target: s(3) })
-            .unwrap();
+        let applied = m.apply(&t, Action::Replicate { partition: p(0), target: s(3) }).unwrap();
         assert!(m.hosts(p(0), s(3)));
         assert_eq!(m.replica_count(p(0)), 2);
         // Cross-continent distance → meaningful cost.
@@ -430,9 +443,7 @@ mod tests {
         let expect = applied.distance_km * 0.1 * (512.0 * 1024.0) / (300.0 * 1024.0 * 1024.0);
         assert!((applied.cost - expect).abs() < 1e-9);
         // Intra-DC replication is much cheaper but not free.
-        let local = m
-            .apply(&t, Action::Replicate { partition: p(0), target: s(1) })
-            .unwrap();
+        let local = m.apply(&t, Action::Replicate { partition: p(0), target: s(1) }).unwrap();
         assert_eq!(local.distance_km, 1.0);
         assert!(local.cost > 0.0 && local.cost < applied.cost / 1000.0);
     }
@@ -441,13 +452,9 @@ mod tests {
     fn replicate_rejects_duplicates_and_dead_targets() {
         let mut t = topo();
         let mut m = manager();
-        assert!(m
-            .apply(&t, Action::Replicate { partition: p(0), target: s(0) })
-            .is_err());
+        assert!(m.apply(&t, Action::Replicate { partition: p(0), target: s(0) }).is_err());
         t.fail_server(s(3)).unwrap();
-        assert!(m
-            .apply(&t, Action::Replicate { partition: p(0), target: s(3) })
-            .is_err());
+        assert!(m.apply(&t, Action::Replicate { partition: p(0), target: s(3) }).is_err());
         assert_eq!(m.total_replicas(), 2, "rejected actions change nothing");
     }
 
@@ -466,9 +473,7 @@ mod tests {
         assert!(m.can_accept(p(0), s(1)));
         m.apply(&t, Action::Replicate { partition: p(0), target: s(1) }).unwrap();
         assert!(!m.can_accept(p(1), s(1)), "second copy would exceed φ");
-        assert!(m
-            .apply(&t, Action::Replicate { partition: p(1), target: s(1) })
-            .is_err());
+        assert!(m.apply(&t, Action::Replicate { partition: p(1), target: s(1) }).is_err());
     }
 
     #[test]
@@ -495,9 +500,8 @@ mod tests {
         let mut m = manager();
         m.apply(&t, Action::Replicate { partition: p(0), target: s(2) }).unwrap();
         let before_frac = m.storage_fraction(s(2));
-        let applied = m
-            .apply(&t, Action::Migrate { partition: p(0), from: s(2), to: s(3) })
-            .unwrap();
+        let applied =
+            m.apply(&t, Action::Migrate { partition: p(0), from: s(2), to: s(3) }).unwrap();
         assert!(!m.hosts(p(0), s(2)));
         assert!(m.hosts(p(0), s(3)));
         assert!(m.storage_fraction(s(2)) < before_frac);
@@ -514,29 +518,31 @@ mod tests {
     fn migrate_rejects_bad_moves() {
         let t = topo();
         let mut m = manager();
-        assert!(m
-            .apply(&t, Action::Migrate { partition: p(0), from: s(1), to: s(2) })
-            .is_err(), "no replica on from");
+        assert!(
+            m.apply(&t, Action::Migrate { partition: p(0), from: s(1), to: s(2) }).is_err(),
+            "no replica on from"
+        );
         m.apply(&t, Action::Replicate { partition: p(0), target: s(1) }).unwrap();
-        assert!(m
-            .apply(&t, Action::Migrate { partition: p(0), from: s(1), to: s(0) })
-            .is_err(), "target already hosts");
+        assert!(
+            m.apply(&t, Action::Migrate { partition: p(0), from: s(1), to: s(0) }).is_err(),
+            "target already hosts"
+        );
     }
 
     #[test]
     fn suicide_protects_the_last_copy_and_the_primary() {
         let t = topo();
         let mut m = manager();
-        assert!(m
-            .apply(&t, Action::Suicide { partition: p(0), server: s(0) })
-            .is_err(), "last replica");
+        assert!(
+            m.apply(&t, Action::Suicide { partition: p(0), server: s(0) }).is_err(),
+            "last replica"
+        );
         m.apply(&t, Action::Replicate { partition: p(0), target: s(1) }).unwrap();
-        assert!(m
-            .apply(&t, Action::Suicide { partition: p(0), server: s(0) })
-            .is_err(), "primary cannot suicide");
-        let applied = m
-            .apply(&t, Action::Suicide { partition: p(0), server: s(1) })
-            .unwrap();
+        assert!(
+            m.apply(&t, Action::Suicide { partition: p(0), server: s(0) }).is_err(),
+            "primary cannot suicide"
+        );
+        let applied = m.apply(&t, Action::Suicide { partition: p(0), server: s(1) }).unwrap();
         assert_eq!(applied.cost, 0.0);
         assert_eq!(m.replica_count(p(0)), 1);
         assert_eq!(m.storage_fraction(s(1)), 0.0);
@@ -576,6 +582,28 @@ mod tests {
         assert_eq!(view.capacity(p(0), s(1)), 0.0);
         assert_eq!(view.capacity(p(1), s(2)), 20.0);
         assert_eq!(view.partition_capacity_total(p(0)), 40.0);
+    }
+
+    #[test]
+    fn partition_delta_render_matches_full_rebuild() {
+        let t = topo();
+        let mut m = manager();
+        let mut view = m.placement_view(&t, 20.0);
+
+        // Mutate two partitions, delta-render only those rows.
+        m.apply(&t, Action::Replicate { partition: p(0), target: s(3) }).unwrap();
+        m.apply(&t, Action::Migrate { partition: p(1), from: s(2), to: s(1) }).unwrap();
+        m.render_partition(&t, 20.0, p(0), &mut view);
+        m.render_partition(&t, 20.0, p(1), &mut view);
+        assert_eq!(view, m.placement_view(&t, 20.0));
+        assert_eq!(view.holder(p(1)), s(1), "migration re-points the holder");
+
+        // Shape change: a join grows the server axis; full re-render
+        // in place matches a fresh build.
+        m.add_server_slot();
+        m.render_view(&t, 20.0, &mut view);
+        assert_eq!(view, m.placement_view(&t, 20.0));
+        assert_eq!(view.servers(), 5);
     }
 
     #[test]

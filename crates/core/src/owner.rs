@@ -42,29 +42,22 @@ impl OwnerOrientedPolicy {
     ) -> Option<ServerId> {
         let holder = manager.holder(p);
         let replicas = manager.replicas(p);
-        accepting_servers_anywhere(ctx.topo, manager, p)
-            .into_iter()
-            .max_by(|&a, &b| {
-                let key = |s: ServerId| {
-                    let min_level = replicas
-                        .iter()
-                        .map(|&r| {
-                            ctx.topo
-                                .availability_level(s, r)
-                                .map(|l| l.value())
-                                .unwrap_or(1)
-                        })
-                        .min()
-                        .unwrap_or(5);
-                    let dist = ctx.topo.server_distance_km(s, holder).unwrap_or(f64::MAX);
-                    (min_level, dist)
-                };
-                let (la, da) = key(a);
-                let (lb, db) = key(b);
-                la.cmp(&lb)
-                    .then_with(|| db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal))
-                    .then_with(|| b.cmp(&a))
-            })
+        accepting_servers_anywhere(ctx.topo, manager, p).into_iter().max_by(|&a, &b| {
+            let key = |s: ServerId| {
+                let min_level = replicas
+                    .iter()
+                    .map(|&r| ctx.topo.availability_level(s, r).map(|l| l.value()).unwrap_or(1))
+                    .min()
+                    .unwrap_or(5);
+                let dist = ctx.topo.server_distance_km(s, holder).unwrap_or(f64::MAX);
+                (min_level, dist)
+            };
+            let (la, da) = key(a);
+            let (lb, db) = key(b);
+            la.cmp(&lb)
+                .then_with(|| db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal))
+                .then_with(|| b.cmp(&a))
+        })
     }
 }
 

@@ -125,17 +125,8 @@ mod tests {
 
     #[test]
     fn actions_are_comparable() {
-        let a = Action::Replicate {
-            partition: PartitionId::new(1),
-            target: ServerId::new(2),
-        };
+        let a = Action::Replicate { partition: PartitionId::new(1), target: ServerId::new(2) };
         assert_eq!(a, a);
-        assert_ne!(
-            a,
-            Action::Suicide {
-                partition: PartitionId::new(1),
-                server: ServerId::new(2),
-            }
-        );
+        assert_ne!(a, Action::Suicide { partition: PartitionId::new(1), server: ServerId::new(2) });
     }
 }

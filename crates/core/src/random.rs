@@ -91,9 +91,7 @@ mod tests {
         let actions = policy.decide(&ctx, &manager);
         // Every partition has 1 replica < r_min = 2 → one action each.
         assert_eq!(actions.len(), manager.partitions() as usize);
-        assert!(actions
-            .iter()
-            .all(|a| matches!(a, Action::Replicate { .. })));
+        assert!(actions.iter().all(|a| matches!(a, Action::Replicate { .. })));
     }
 
     #[test]

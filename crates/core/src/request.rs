@@ -67,10 +67,7 @@ impl RequestOrientedPolicy {
         let mut idx: Vec<usize> =
             (0..self.dcs as usize).filter(|&j| row[j] >= Self::ACTIVE_RATE).collect();
         idx.sort_by(|&a, &b| {
-            row[b]
-                .partial_cmp(&row[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.cmp(&b))
+            row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.cmp(&b))
         });
         idx.truncate(3);
         idx.into_iter().map(|j| DatacenterId::new(j as u32)).collect()

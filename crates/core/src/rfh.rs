@@ -98,10 +98,7 @@ pub trait TrafficView {
         if n == 0 {
             return 0.0;
         }
-        (0..n)
-            .map(|dc| self.traffic(DatacenterId::new(dc), p))
-            .sum::<f64>()
-            / n as f64
+        (0..n).map(|dc| self.traffic(DatacenterId::new(dc), p)).sum::<f64>() / n as f64
     }
 }
 
@@ -132,9 +129,7 @@ impl RfhDecisionCore {
     }
 
     fn in_grace(&self, epoch: Epoch, p: PartitionId, s: ServerId) -> bool {
-        self.born
-            .get(&(p.0, s.0))
-            .is_some_and(|&b| epoch.raw() < b + self.grace_epochs)
+        self.born.get(&(p.0, s.0)).is_some_and(|&b| epoch.raw() < b + self.grace_epochs)
     }
 
     fn note_birth(&mut self, epoch: Epoch, actions: &[Action]) {
@@ -328,9 +323,7 @@ impl RfhDecisionCore {
                     .filter(|&s| s != holder)
                     .filter(|&s| !self.in_grace(epoch, p, s))
                     .filter(|&s| {
-                        self.idle_streak
-                            .get(&(p.0, s.0))
-                            .is_some_and(|&n| n >= SUICIDE_PATIENCE)
+                        self.idle_streak.get(&(p.0, s.0)).is_some_and(|&n| n >= SUICIDE_PATIENCE)
                     })
                     .map(|s| (s, view.traffic(replica_dc(s), p)))
                     .min_by(|a, b| {
@@ -363,9 +356,7 @@ pub fn bootstrap_candidate_near(
 ) -> Option<ServerId> {
     let mut neighbours: Vec<(DatacenterId, f64)> = topo.graph().neighbours(holder_dc).collect();
     neighbours.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0 .0.cmp(&b.0 .0))
+        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0 .0.cmp(&b.0 .0))
     });
     neighbours
         .into_iter()
@@ -456,10 +447,7 @@ impl RfhPolicy {
     /// Override the suicide grace period (0 disables it) — exposed for
     /// the ablation benchmarks.
     pub fn with_grace(grace_epochs: u64) -> Self {
-        RfhPolicy {
-            core: RfhDecisionCore::new(grace_epochs),
-            use_blocking: true,
-        }
+        RfhPolicy { core: RfhDecisionCore::new(grace_epochs), use_blocking: true }
     }
 
     /// Disable (or re-enable) the blocking-probability server choice —
@@ -479,14 +467,7 @@ impl ReplicationPolicy for RfhPolicy {
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let view = CentralizedView { ctx, manager, use_blocking: self.use_blocking };
-        self.core.decide_all(
-            ctx.epoch,
-            &ctx.config.thresholds,
-            r_min,
-            ctx.topo,
-            manager,
-            &view,
-        )
+        self.core.decide_all(ctx.epoch, &ctx.config.thresholds, r_min, ctx.topo, manager, &view)
     }
 }
 
@@ -539,8 +520,7 @@ mod tests {
             let Action::Replicate { partition, target } = a else {
                 panic!("expected replicate, got {a:?}");
             };
-            let holder_dc =
-                ctx.topo.servers()[manager.holder(partition).index()].datacenter;
+            let holder_dc = ctx.topo.servers()[manager.holder(partition).index()].datacenter;
             let target_dc = ctx.topo.servers()[target.index()].datacenter;
             assert_ne!(target_dc, holder_dc, "{partition}: diversity required");
             assert!(
@@ -616,9 +596,7 @@ mod tests {
             h.topo.alive_servers_in(DatacenterId::new(5)).next().unwrap().id,
         ] {
             if manager.can_accept(p, target) {
-                manager
-                    .apply(&h.topo, Action::Replicate { partition: p, target })
-                    .unwrap();
+                manager.apply(&h.topo, Action::Replicate { partition: p, target }).unwrap();
             }
         }
         let start = manager.replica_count(p);
@@ -642,9 +620,7 @@ mod tests {
         let (_, mut manager) = h.epoch_at_r_min();
         let p = PartitionId::new(0);
         let target = h.topo.alive_servers_in(DatacenterId::new(3)).next().unwrap().id;
-        manager
-            .apply(&h.topo, Action::Replicate { partition: p, target })
-            .unwrap();
+        manager.apply(&h.topo, Action::Replicate { partition: p, target }).unwrap();
         // Fewer quiet epochs than SUICIDE_PATIENCE: nothing dies.
         for _ in 0..(SUICIDE_PATIENCE as usize - 1) {
             let parts = h.epoch_with_load(&manager, |_| {});

@@ -12,24 +12,18 @@ pub(crate) fn accepting_servers_in_dc(
     p: PartitionId,
     dc: DatacenterId,
 ) -> Vec<ServerId> {
-    topo.alive_servers_in(dc)
-        .map(|s| s.id)
-        .filter(|&s| manager.can_accept(p, s))
-        .collect()
+    topo.alive_servers_in(dc).map(|s| s.id).filter(|&s| manager.can_accept(p, s)).collect()
 }
 
 /// The candidate with the lowest blocking probability (ties toward the
 /// lower id, so selection is deterministic).
 pub(crate) fn least_blocked(candidates: &[ServerId], blocking: &[f64]) -> Option<ServerId> {
-    candidates
-        .iter()
-        .copied()
-        .min_by(|&a, &b| {
-            blocking[a.index()]
-                .partial_cmp(&blocking[b.index()])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.cmp(&b))
-        })
+    candidates.iter().copied().min_by(|&a, &b| {
+        blocking[a.index()]
+            .partial_cmp(&blocking[b.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    })
 }
 
 /// The least-blocked accepting server in `dc`, if any.

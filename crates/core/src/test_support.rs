@@ -4,9 +4,10 @@ use crate::manager::ReplicaManager;
 use crate::policy::EpochContext;
 use rfh_ring::ConsistentHashRing;
 use rfh_topology::{paper_topology, Topology};
-use rfh_traffic::{compute_traffic, TrafficAccounts, TrafficSmoother};
+use rfh_traffic::{TrafficAccounts, TrafficEngine, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, SimConfig};
 use rfh_workload::QueryLoad;
+use std::cell::RefCell;
 
 /// A small paper-shaped cluster: the 10-DC topology with 8 partitions.
 pub(crate) struct Harness {
@@ -14,6 +15,9 @@ pub(crate) struct Harness {
     pub topo: Topology,
     pub ring: ConsistentHashRing,
     pub manager: ReplicaManager,
+    /// Reused traffic engine: route/membership caches survive across
+    /// the many epochs a single test assembles.
+    engine: RefCell<TrafficEngine>,
 }
 
 /// The owned pieces an `EpochContext` borrows.
@@ -43,11 +47,7 @@ impl CtxParts {
 impl Harness {
     /// Paper topology (100 servers), 8 partitions, capacity mean 5.
     pub fn paper_small() -> Self {
-        let cfg = SimConfig {
-            partitions: 8,
-            replica_capacity_mean: 5.0,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig { partitions: 8, replica_capacity_mean: 5.0, ..SimConfig::default() };
         let topo = paper_topology(0.0, 1).expect("preset builds");
         let mut ring = ConsistentHashRing::new(32);
         for s in topo.servers() {
@@ -58,12 +58,12 @@ impl Harness {
             .collect();
         let manager =
             ReplicaManager::new(&cfg, topo.server_count(), holders).expect("valid placement");
-        Harness { cfg, topo, ring, manager }
+        Harness { cfg, topo, ring, manager, engine: RefCell::new(TrafficEngine::new()) }
     }
 
     fn parts_for(&self, manager: &ReplicaManager, load: QueryLoad) -> CtxParts {
         let view = manager.placement_view(&self.topo, self.cfg.replica_capacity_mean);
-        let accounts = compute_traffic(&self.topo, &load, &view);
+        let accounts = self.engine.borrow_mut().account(&self.topo, &load, &view).clone();
         let mut smoother = TrafficSmoother::new(
             self.cfg.partitions,
             self.topo.datacenters().len() as u32,
@@ -75,13 +75,7 @@ impl Harness {
             &accounts,
             self.cfg.replica_capacity_mean,
         );
-        CtxParts {
-            epoch: Epoch::ZERO,
-            load,
-            accounts,
-            smoother,
-            blocking,
-        }
+        CtxParts { epoch: Epoch::ZERO, load, accounts, smoother, blocking }
     }
 
     /// An epoch with zero queries, manager at initial placement.
@@ -98,10 +92,8 @@ impl Harness {
         for p_idx in 0..self.cfg.partitions {
             let p = PartitionId::new(p_idx);
             let pref = self.ring.successors(p, 4).expect("ring populated");
-            let target = pref
-                .into_iter()
-                .find(|&s| manager.can_accept(p, s))
-                .expect("spare server exists");
+            let target =
+                pref.into_iter().find(|&s| manager.can_accept(p, s)).expect("spare server exists");
             manager
                 .apply(&self.topo, crate::policy::Action::Replicate { partition: p, target })
                 .expect("placement fits");
@@ -117,8 +109,7 @@ impl Harness {
         manager: &ReplicaManager,
         fill: impl FnOnce(&mut QueryLoad),
     ) -> CtxParts {
-        let mut load =
-            QueryLoad::zeros(self.cfg.partitions, self.topo.datacenters().len() as u32);
+        let mut load = QueryLoad::zeros(self.cfg.partitions, self.topo.datacenters().len() as u32);
         fill(&mut load);
         self.parts_for(manager, load)
     }

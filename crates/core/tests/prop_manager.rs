@@ -30,8 +30,11 @@ enum Op {
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..PARTITIONS, 0..SERVERS).prop_map(|(p, target)| Op::Replicate { p, target }),
-        (0..PARTITIONS, 0..8u32, 0..SERVERS)
-            .prop_map(|(p, from_idx, target)| Op::Migrate { p, from_idx, target }),
+        (0..PARTITIONS, 0..8u32, 0..SERVERS).prop_map(|(p, from_idx, target)| Op::Migrate {
+            p,
+            from_idx,
+            target
+        }),
         (0..PARTITIONS, 0..8u32).prop_map(|(p, victim_idx)| Op::Suicide { p, victim_idx }),
         Just(Op::BeginEpoch),
         (0..SERVERS).prop_map(|s| Op::FailServer { s }),

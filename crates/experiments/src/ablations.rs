@@ -41,20 +41,14 @@ impl AblationResult {
 }
 
 fn flash_params(seed: u64) -> rfh_sim::SimParams {
-    let mut p = base_params(
-        Scenario::FlashCrowd(FlashCrowdConfig::default()),
-        ABLATION_EPOCHS,
-        seed,
-    );
+    let mut p =
+        base_params(Scenario::FlashCrowd(FlashCrowdConfig::default()), ABLATION_EPOCHS, seed);
     p.policy = PolicyKind::Rfh;
     p
 }
 
 fn run(label: String, params: rfh_sim::SimParams) -> Result<AblationResult> {
-    Ok(AblationResult {
-        label,
-        result: Simulation::new(params)?.run()?,
-    })
+    Ok(AblationResult { label, result: Simulation::new(params)?.run()? })
 }
 
 fn run_with_policy(
@@ -64,9 +58,7 @@ fn run_with_policy(
 ) -> Result<AblationResult> {
     Ok(AblationResult {
         label,
-        result: Simulation::new(params)?
-            .with_custom_policy(Box::new(policy))
-            .run()?,
+        result: Simulation::new(params)?.with_custom_policy(Box::new(policy)).run()?,
     })
 }
 

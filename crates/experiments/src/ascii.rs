@@ -24,19 +24,16 @@ pub fn chart(title: &str, series: &[(&str, &[f64])]) -> String {
         out.push_str("(no data)\n");
         return out;
     }
-    let lo = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .fold(f64::INFINITY, f64::min);
-    let hi = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = series.iter().flat_map(|(_, v)| v.iter().copied()).fold(f64::INFINITY, f64::min);
+    let hi = series.iter().flat_map(|(_, v)| v.iter().copied()).fold(f64::NEG_INFINITY, f64::max);
     let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
 
     let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
     for (si, (_, values)) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
+        // Columns index `grid[y][x]` with a per-column `y`, so an
+        // iterator over `grid` rows cannot replace this loop.
+        #[allow(clippy::needless_range_loop)]
         for x in 0..WIDTH {
             // Average the bucket of samples that maps onto column x.
             let start = x * values.len() / WIDTH;
@@ -44,8 +41,7 @@ pub fn chart(title: &str, series: &[(&str, &[f64])]) -> String {
             if start >= values.len() {
                 break;
             }
-            let avg: f64 =
-                values[start..end].iter().sum::<f64>() / (end - start) as f64;
+            let avg: f64 = values[start..end].iter().sum::<f64>() / (end - start) as f64;
             let norm = (avg - lo) / span;
             let y = ((1.0 - norm) * (HEIGHT - 1) as f64).round() as usize;
             let y = y.min(HEIGHT - 1);

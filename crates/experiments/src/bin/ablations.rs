@@ -5,9 +5,11 @@
 use rfh_experiments::ablations::{self, render};
 use rfh_experiments::output::seed_from_args;
 
+type AblationFamily = fn(u64) -> rfh_types::Result<Vec<ablations::AblationResult>>;
+
 fn main() {
     let seed = seed_from_args();
-    let families: [(&str, fn(u64) -> rfh_types::Result<Vec<ablations::AblationResult>>); 5] = [
+    let families: [(&str, AblationFamily); 5] = [
         ("alpha (traffic smoothing, eqs. 10-11)", ablations::ablation_alpha),
         ("gamma (hub threshold, eq. 13)", ablations::ablation_gamma),
         ("suicide (eq. 15)", ablations::ablation_suicide),

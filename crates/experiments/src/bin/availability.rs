@@ -46,7 +46,7 @@ fn main() {
             "policy", "data-loss", "replicas(end)", "unserved/ep", "SLA %"
         );
         for kind in PolicyKind::ALL {
-            let m = &cmp.of(kind).metrics;
+            let m = &cmp.of(kind).expect("comparison carries every policy").metrics;
             let last = |name: &str| m.series(name).unwrap().last().unwrap_or(0.0);
             let tail = |name: &str| {
                 let s = m.series(name).unwrap();

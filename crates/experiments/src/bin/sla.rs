@@ -15,11 +15,7 @@ fn main() {
     println!("Response-time SLA (300 ms round trip), steady-state means, seed {seed}:\n");
     for (name, scenario, epochs) in [
         ("random query", Scenario::RandomEven, RANDOM_EPOCHS),
-        (
-            "flash crowd",
-            Scenario::FlashCrowd(FlashCrowdConfig::default()),
-            FLASH_EPOCHS,
-        ),
+        ("flash crowd", Scenario::FlashCrowd(FlashCrowdConfig::default()), FLASH_EPOCHS),
     ] {
         let cmp = run_comparison(&base_params(scenario, epochs, seed)).expect("runs");
         println!("== {name} ==");
@@ -29,7 +25,12 @@ fn main() {
         );
         for kind in PolicyKind::ALL {
             let tail = |metric: &str| {
-                let s = cmp.of(kind).metrics.series(metric).expect("metric exists");
+                let s = cmp
+                    .of(kind)
+                    .expect("comparison carries every policy")
+                    .metrics
+                    .series(metric)
+                    .expect("metric exists");
                 s.mean_over(s.len() * 3 / 4, s.len())
             };
             println!(

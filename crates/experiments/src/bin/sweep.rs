@@ -14,7 +14,11 @@ fn main() {
     let base: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
     let seeds: Vec<u64> = (0..n).map(|i| base + i).collect();
 
-    println!("sweeping {n} seeds ({}..{}), {RANDOM_EPOCHS} epochs each, random query\n", base, base + n - 1);
+    println!(
+        "sweeping {n} seeds ({}..{}), {RANDOM_EPOCHS} epochs each, random query\n",
+        base,
+        base + n - 1
+    );
     let t0 = std::time::Instant::now();
     let result = sweep(Scenario::RandomEven, RANDOM_EPOCHS, &seeds).expect("sweep runs");
     println!("({n} four-way comparisons in {:.1} s)\n", t0.elapsed().as_secs_f64());

@@ -64,13 +64,7 @@ fn both_settings(
         FLASH_EPOCHS,
         seed,
     ))?;
-    Ok(FigureRun {
-        id,
-        caption,
-        metrics,
-        random,
-        flash: Some(flash),
-    })
+    Ok(FigureRun { id, caption, metrics, random, flash: Some(flash) })
 }
 
 /// Fig. 3: replica utilization rate under (a) random query and (b) flash
@@ -176,7 +170,7 @@ mod tests {
         ] {
             for kind in PolicyKind::ALL {
                 assert!(
-                    cmp.of(kind).metrics.series(metric).is_some(),
+                    cmp.of(kind).is_some_and(|r| r.metrics.series(metric).is_some()),
                     "{kind} missing {metric}"
                 );
             }

@@ -14,10 +14,7 @@ pub const DEFAULT_SEED: u64 = 42;
 
 /// Parse the optional seed argument of a figure binary.
 pub fn seed_from_args() -> u64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
 }
 
 fn chart_of(cmp: &ComparisonResult, metric: &str, title: &str) -> String {
@@ -26,7 +23,12 @@ fn chart_of(cmp: &ComparisonResult, metric: &str, title: &str) -> String {
         .map(|&k| {
             (
                 k.name(),
-                cmp.of(k).metrics.series(metric).expect("metric exists").values(),
+                cmp.of(k)
+                    .expect("comparison carries every policy")
+                    .metrics
+                    .series(metric)
+                    .expect("metric exists")
+                    .values(),
             )
         })
         .collect();
@@ -37,15 +39,9 @@ fn chart_of(cmp: &ComparisonResult, metric: &str, title: &str) -> String {
 pub fn print_figure(run: &FigureRun, checks: &[ShapeCheck]) {
     println!("==== {} — {} ====\n", run.id, run.caption);
     for metric in run.metrics {
-        println!(
-            "{}",
-            chart_of(&run.random, metric, &format!("{metric} under random query"))
-        );
+        println!("{}", chart_of(&run.random, metric, &format!("{metric} under random query")));
         if let Some(flash) = &run.flash {
-            println!(
-                "{}",
-                chart_of(flash, metric, &format!("{metric} under flash crowd"))
-            );
+            println!("{}", chart_of(flash, metric, &format!("{metric} under flash crowd")));
         }
     }
     println!("{}", render_checks(checks));

@@ -54,7 +54,12 @@ impl ShapeCheck {
 /// Mean of a metric's final quarter for one policy — the steady state
 /// the paper's text quotes.
 pub fn tail(cmp: &ComparisonResult, kind: PolicyKind, metric: &str) -> f64 {
-    let s = cmp.of(kind).metrics.series(metric).expect("metric exists");
+    let s = cmp
+        .of(kind)
+        .expect("comparison carries every policy")
+        .metrics
+        .series(metric)
+        .expect("metric exists");
     s.mean_over(s.len() * 3 / 4, s.len())
 }
 
@@ -75,17 +80,13 @@ pub fn check_fig3(run: &FigureRun) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "fig3a.rfh-highest",
             "RFH has the highest replica utilization under random query",
-            PolicyKind::ALL
-                .iter()
-                .all(|&k| util(r, PolicyKind::Rfh) >= util(r, k)),
+            PolicyKind::ALL.iter().all(|&k| util(r, PolicyKind::Rfh) >= util(r, k)),
             fmt_all(r, "utilization"),
         ),
         ShapeCheck::new(
             "fig3a.random-lowest",
             "the random algorithm has the lowest utilization",
-            PolicyKind::ALL
-                .iter()
-                .all(|&k| util(r, PolicyKind::Random) <= util(r, k)),
+            PolicyKind::ALL.iter().all(|&k| util(r, PolicyKind::Random) <= util(r, k)),
             fmt_all(r, "utilization"),
         ),
         ShapeCheck::new(
@@ -98,7 +99,7 @@ pub fn check_fig3(run: &FigureRun) -> Vec<ShapeCheck> {
     // Flash crowd: request-oriented collapses after the first stage;
     // RFH recovers to roughly its initial level.
     let stage = |c: &ComparisonResult, k: PolicyKind, range: std::ops::Range<usize>| {
-        let s = c.of(k).metrics.series("utilization").unwrap();
+        let s = c.of(k).unwrap().metrics.series("utilization").unwrap();
         s.mean_over(range.start, range.end)
     };
     let req_s1 = stage(f, PolicyKind::RequestOriented, 20..100);
@@ -120,9 +121,7 @@ pub fn check_fig3(run: &FigureRun) -> Vec<ShapeCheck> {
     checks.push(ShapeCheck::new(
         "fig3b.rfh-best-under-flash",
         "RFH has the best utilization under flash crowd",
-        PolicyKind::ALL
-            .iter()
-            .all(|&k| util(f, PolicyKind::Rfh) >= util(f, k)),
+        PolicyKind::ALL.iter().all(|&k| util(f, PolicyKind::Rfh) >= util(f, k)),
         fmt_all(f, "utilization"),
     ));
     checks
@@ -245,7 +244,11 @@ pub fn check_fig7(run: &FigureRun) -> Vec<ShapeCheck> {
             "request-oriented has the highest migration cost; RFH's is much lower",
             m(r, PolicyKind::RequestOriented) > m(r, PolicyKind::Rfh)
                 && m(f, PolicyKind::RequestOriented) > m(f, PolicyKind::Rfh),
-            format!("random: {} | flash: {}", fmt_all(r, "migration_cost"), fmt_all(f, "migration_cost")),
+            format!(
+                "random: {} | flash: {}",
+                fmt_all(r, "migration_cost"),
+                fmt_all(f, "migration_cost")
+            ),
         ),
         ShapeCheck::new(
             "fig7.zero-for-random-and-owner",
@@ -261,9 +264,8 @@ pub fn check_fig8(run: &FigureRun) -> Vec<ShapeCheck> {
     let r = &run.random;
     let f = run.flash.as_ref().expect("fig8 has a flash panel");
     let lb = |c: &ComparisonResult, k| tail(c, k, "load_imbalance");
-    let rfh_best_or_close = PolicyKind::ALL.iter().all(|&k| {
-        lb(r, PolicyKind::Rfh) <= lb(r, k) * 1.25
-    });
+    let rfh_best_or_close =
+        PolicyKind::ALL.iter().all(|&k| lb(r, PolicyKind::Rfh) <= lb(r, k) * 1.25);
     vec![
         ShapeCheck::new(
             "fig8.rfh-best-balance",
@@ -288,7 +290,7 @@ pub fn check_fig9(run: &FigureRun) -> Vec<ShapeCheck> {
     let f = run.flash.as_ref().expect("fig9 has a flash panel");
     let pl = |c: &ComparisonResult, k| tail(c, k, "path_length");
     let drop_check = |c: &ComparisonResult, k: PolicyKind| {
-        let s = c.of(k).metrics.series("path_length").unwrap();
+        let s = c.of(k).unwrap().metrics.series("path_length").unwrap();
         let early = s.mean_over(0, 5);
         let late = s.mean_over(s.len() * 3 / 4, s.len());
         late <= early + 1e-9
@@ -303,9 +305,7 @@ pub fn check_fig9(run: &FigureRun) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "fig9.request-shortest",
             "request-oriented reaches near-zero path length (most queries are served in place)",
-            PolicyKind::ALL
-                .iter()
-                .all(|&k| pl(r, PolicyKind::RequestOriented) <= pl(r, k)),
+            PolicyKind::ALL.iter().all(|&k| pl(r, PolicyKind::RequestOriented) <= pl(r, k)),
             fmt_all(r, "path_length"),
         ),
         // Known deviation: in our absorption model the baselines buy
@@ -316,9 +316,7 @@ pub fn check_fig9(run: &FigureRun) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "fig9.rfh-short-paths",
             "RFH achieves the best path length among all algorithms (paper claim)",
-            PolicyKind::ALL
-                .iter()
-                .all(|&k| pl(r, PolicyKind::Rfh) <= pl(r, k)),
+            PolicyKind::ALL.iter().all(|&k| pl(r, PolicyKind::Rfh) <= pl(r, k)),
             format!("random: {} | flash: {}", fmt_all(r, "path_length"), fmt_all(f, "path_length")),
         )
         .deviation(),

@@ -53,7 +53,12 @@ impl SweepResult {
 }
 
 fn tail(cmp: &ComparisonResult, kind: PolicyKind, metric: &str) -> f64 {
-    let s = cmp.of(kind).metrics.series(metric).expect("metric exists");
+    let s = cmp
+        .of(kind)
+        .expect("comparison carries every policy")
+        .metrics
+        .series(metric)
+        .expect("metric exists");
     s.mean_over(s.len() * 3 / 4, s.len())
 }
 
@@ -72,12 +77,7 @@ pub fn sweep(scenario: Scenario, epochs: u64, seeds: &[u64]) -> Result<SweepResu
         let cmp = run_comparison(&base_params(scenario.clone(), epochs, seed))?;
         Ok(PolicyKind::ALL
             .iter()
-            .map(|&kind| {
-                SWEEP_METRICS
-                    .iter()
-                    .map(|&metric| tail(&cmp, kind, metric))
-                    .collect()
-            })
+            .map(|&kind| SWEEP_METRICS.iter().map(|&metric| tail(&cmp, kind, metric)).collect())
             .collect())
     };
 
@@ -102,8 +102,7 @@ pub fn sweep(scenario: Scenario, epochs: u64, seeds: &[u64]) -> Result<SweepResu
         .map(|pi| {
             (0..SWEEP_METRICS.len())
                 .map(|mi| {
-                    let w: Welford =
-                        per_seed.iter().map(|(_, cells)| cells[pi][mi]).collect();
+                    let w: Welford = per_seed.iter().map(|(_, cells)| cells[pi][mi]).collect();
                     CellStats { mean: w.mean(), stddev: w.stddev_population() }
                 })
                 .collect()
@@ -125,18 +124,9 @@ pub fn ordering_claims(r: &SweepResult) -> Vec<(String, bool)> {
             "RFH highest utilization (mean over seeds)".into(),
             PolicyKind::ALL.iter().all(|&k| u(Rfh) >= u(k)),
         ),
-        (
-            "random lowest utilization".into(),
-            PolicyKind::ALL.iter().all(|&k| u(Random) <= u(k)),
-        ),
-        (
-            "RFH fewest replicas".into(),
-            PolicyKind::ALL.iter().all(|&k| n(Rfh) <= n(k)),
-        ),
-        (
-            "random most replicas".into(),
-            PolicyKind::ALL.iter().all(|&k| n(Random) >= n(k)),
-        ),
+        ("random lowest utilization".into(), PolicyKind::ALL.iter().all(|&k| u(Random) <= u(k))),
+        ("RFH fewest replicas".into(), PolicyKind::ALL.iter().all(|&k| n(Rfh) <= n(k))),
+        ("random most replicas".into(), PolicyKind::ALL.iter().all(|&k| n(Random) >= n(k))),
         (
             "RFH lowest total replication cost".into(),
             PolicyKind::ALL.iter().all(|&k| c(Rfh) <= c(k)),

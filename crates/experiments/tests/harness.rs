@@ -39,7 +39,7 @@ fn persisted_figure_csvs_parse_back() {
             let cells: Vec<&str> = row.split(',').collect();
             assert_eq!(cells[0], epoch.to_string());
             for (ci, kind) in PolicyKind::ALL.iter().enumerate() {
-                let series = run.random.of(*kind).metrics.series(metric).unwrap();
+                let series = run.random.of(*kind).unwrap().metrics.series(metric).unwrap();
                 let expect = series.get(epoch).unwrap();
                 let got: f64 = cells[ci + 1].parse().unwrap();
                 assert_eq!(got, expect, "{metric} epoch {epoch} policy {kind}");

@@ -163,14 +163,8 @@ impl DistributedRfhPolicy {
                 // The reporter evaluates its own datacenter's capacity —
                 // node-local knowledge (§II-B: "calculates its …
                 // replication storage capacity"; §II-E: BP piggybacked).
-                let candidate = best_candidate_in_dc(
-                    ctx.topo,
-                    manager,
-                    ctx.blocking,
-                    self.use_blocking,
-                    p,
-                    dc,
-                );
+                let candidate =
+                    best_candidate_in_dc(ctx.topo, manager, ctx.blocking, self.use_blocking, p, dc);
                 let blocking_probability =
                     candidate.map(|s| ctx.blocking[s.index()]).unwrap_or(1.0);
                 let Some(route) = ctx.topo.path(dc, holder_dc) else {
@@ -208,9 +202,7 @@ impl DistributedRfhPolicy {
                     ..
                 } = message.payload;
                 let table = &mut self.tables[partition.index()];
-                let stale = table
-                    .get(&reporter.0)
-                    .is_some_and(|e| e.observed_at > observed_at);
+                let stale = table.get(&reporter.0).is_some_and(|e| e.observed_at > observed_at);
                 if !stale {
                     table.insert(
                         reporter.0,
@@ -279,9 +271,7 @@ impl TrafficView for ReportView<'_> {
             // Trust the reporter's piggybacked candidate, but re-check
             // acceptance against the holder's current replica map so a
             // same-epoch earlier action cannot double-place.
-            self.entry(p, dc)
-                .and_then(|e| e.candidate)
-                .filter(|&s| self.manager.can_accept(p, s))
+            self.entry(p, dc).and_then(|e| e.candidate).filter(|&s| self.manager.can_accept(p, s))
         }
     }
     fn bootstrap_candidate(&self, p: PartitionId, holder_dc: DatacenterId) -> Option<ServerId> {
@@ -322,20 +312,9 @@ impl ReplicationPolicy for DistributedRfhPolicy {
         // 4. The shared decision tree runs over the report view.
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
-        let view = ReportView {
-            ctx,
-            manager,
-            tables: &self.tables,
-            use_blocking: self.use_blocking,
-        };
-        self.core.decide_all(
-            ctx.epoch,
-            &ctx.config.thresholds,
-            r_min,
-            ctx.topo,
-            manager,
-            &view,
-        )
+        let view =
+            ReportView { ctx, manager, tables: &self.tables, use_blocking: self.use_blocking };
+        self.core.decide_all(ctx.epoch, &ctx.config.thresholds, r_min, ctx.topo, manager, &view)
     }
 }
 

@@ -22,6 +22,9 @@ pub struct Network {
     sent: u64,
     delivered: u64,
     hops_travelled: u64,
+    /// Tick scratch: swapped with `in_flight` each tick so survivors
+    /// are re-collected without allocating. Empty between ticks.
+    scratch: Vec<Message>,
 }
 
 impl Network {
@@ -36,6 +39,7 @@ impl Network {
             sent: 0,
             delivered: 0,
             hops_travelled: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -59,19 +63,20 @@ impl Network {
 
     /// Advance one tick: every in-flight message moves one hop.
     pub fn tick(&mut self) {
-        let mut still_flying = Vec::with_capacity(self.in_flight.len());
-        for mut m in self.in_flight.drain(..) {
+        // Swap the queue into the scratch buffer and refill `in_flight`
+        // with the survivors: the two vectors trade capacities every
+        // tick, so steady-state ticks allocate nothing.
+        let mut moving = std::mem::take(&mut self.scratch);
+        std::mem::swap(&mut self.in_flight, &mut moving);
+        for mut m in moving.drain(..) {
             self.hops_travelled += 1;
             if m.advance() {
-                // Inline `deliver`, avoiding the &mut self conflict.
-                self.delivered += 1;
-                let dst = m.destination().index();
-                self.inboxes[dst].push(m);
+                self.deliver(m);
             } else {
-                still_flying.push(m);
+                self.in_flight.push(m);
             }
         }
-        self.in_flight = still_flying;
+        self.scratch = moving;
     }
 
     /// Run the epoch's tick budget.

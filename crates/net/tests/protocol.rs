@@ -1,9 +1,7 @@
 //! Protocol-level integration: drive the distributed agent epoch by
 //! epoch against a hand-built cluster and observe the control plane.
 
-use rfh_core::{
-    server_blocking_probabilities, EpochContext, ReplicaManager, ReplicationPolicy,
-};
+use rfh_core::{server_blocking_probabilities, EpochContext, ReplicaManager, ReplicationPolicy};
 use rfh_net::DistributedRfhPolicy;
 use rfh_ring::ConsistentHashRing;
 use rfh_topology::{paper_topology, Topology};
@@ -27,9 +25,7 @@ impl Cluster {
         for s in topo.servers() {
             ring.join(s.id);
         }
-        let holders = (0..partitions)
-            .map(|p| ring.primary(PartitionId::new(p)).unwrap())
-            .collect();
+        let holders = (0..partitions).map(|p| ring.primary(PartitionId::new(p)).unwrap()).collect();
         let manager = ReplicaManager::new(&cfg, topo.server_count(), holders).unwrap();
         let smoother = TrafficSmoother::new(partitions, 10, cfg.thresholds.alpha);
         Cluster { cfg, topo, manager, smoother, epoch: 0 }
@@ -38,16 +34,11 @@ impl Cluster {
     /// One epoch: given a load, run traffic + policy, apply actions.
     fn step(&mut self, policy: &mut DistributedRfhPolicy, load: QueryLoad) {
         self.manager.begin_epoch();
-        let view = self
-            .manager
-            .placement_view(&self.topo, self.cfg.replica_capacity_mean);
+        let view = self.manager.placement_view(&self.topo, self.cfg.replica_capacity_mean);
         let accounts = compute_traffic(&self.topo, &load, &view);
         self.smoother.update(&load, &accounts);
-        let blocking = server_blocking_probabilities(
-            &self.topo,
-            &accounts,
-            self.cfg.replica_capacity_mean,
-        );
+        let blocking =
+            server_blocking_probabilities(&self.topo, &accounts, self.cfg.replica_capacity_mean);
         let ctx = EpochContext {
             epoch: Epoch(self.epoch),
             topo: &self.topo,

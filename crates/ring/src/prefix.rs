@@ -88,9 +88,7 @@ impl PrefixRouter {
             return Err(RfhError::Ring("routing on an empty overlay".into()));
         }
         let idx = self.nodes.partition_point(|&(i, _)| i < key);
-        let candidates = [idx.wrapping_sub(1), idx]
-            .into_iter()
-            .filter(|&i| i < self.nodes.len());
+        let candidates = [idx.wrapping_sub(1), idx].into_iter().filter(|&i| i < self.nodes.len());
         let best = candidates
             .min_by_key(|&i| {
                 let id = self.nodes[i].0;
@@ -130,7 +128,9 @@ impl PrefixRouter {
                 .filter(|&&(_, s)| s != cur_server)
                 .map(|&(id, s)| (shared_prefix(id, key), id, s))
                 .filter(|&(sp, _, _)| sp > p)
-                .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.abs_diff(key).cmp(&a.1.abs_diff(key))))
+                .max_by(|a, b| {
+                    a.0.cmp(&b.0).then_with(|| b.1.abs_diff(key).cmp(&a.1.abs_diff(key)))
+                })
                 .map(|(_, id, s)| (id, s));
             match next {
                 Some((id, s)) => {

@@ -28,10 +28,7 @@ impl ConsistentHashRing {
     /// Panics if `tokens_per_server` is zero.
     pub fn new(tokens_per_server: u32) -> Self {
         assert!(tokens_per_server > 0, "servers need at least one token");
-        ConsistentHashRing {
-            tokens: Vec::new(),
-            tokens_per_server,
-        }
+        ConsistentHashRing { tokens: Vec::new(), tokens_per_server }
     }
 
     /// Tokens per server.
@@ -275,10 +272,7 @@ mod tests {
             let pid = PartitionId::new(p);
             let before = r_before.primary(pid).unwrap();
             let after = r_after.primary(pid).unwrap();
-            assert!(
-                after == before || after == newcomer,
-                "partition {p} moved to a third party"
-            );
+            assert!(after == before || after == newcomer, "partition {p} moved to a third party");
         }
     }
 

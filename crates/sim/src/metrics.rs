@@ -281,7 +281,7 @@ mod tests {
     mod utilization {
         use super::super::*;
         use rfh_topology::TopologyBuilder;
-        use rfh_traffic::compute_traffic;
+        use rfh_traffic::TrafficEngine;
         use rfh_types::{Continent, DatacenterId, GeoPoint};
         use rfh_workload::QueryLoad;
 
@@ -300,7 +300,7 @@ mod tests {
             view.add_capacity(PartitionId::new(0), ServerId::new(1), 10.0);
             let mut load = QueryLoad::zeros(1, 1);
             load.add(PartitionId::new(0), DatacenterId::new(0), 10);
-            let acc = compute_traffic(&topo, &load, &view);
+            let acc = TrafficEngine::new().account(&topo, &load, &view).clone();
             // Server 0 absorbs all 10 (first in DC order): 1.0; server 1
             // idles: 0.0 → mean 0.5.
             assert!((mean_utilization(&view, &acc) - 0.5).abs() < 1e-12);
@@ -311,7 +311,7 @@ mod tests {
             let topo = one_dc();
             let view = PlacementView::new(1, 2, vec![ServerId::new(0)]);
             let load = QueryLoad::zeros(1, 1);
-            let acc = compute_traffic(&topo, &load, &view);
+            let acc = TrafficEngine::new().account(&topo, &load, &view).clone();
             assert_eq!(mean_utilization(&view, &acc), 0.0);
         }
 
@@ -322,7 +322,7 @@ mod tests {
             view.add_capacity(PartitionId::new(0), ServerId::new(0), 100.0);
             let mut load = QueryLoad::zeros(1, 1);
             load.add(PartitionId::new(0), DatacenterId::new(0), 50);
-            let acc = compute_traffic(&topo, &load, &view);
+            let acc = TrafficEngine::new().account(&topo, &load, &view).clone();
             // Loads are [50, 0] → stddev 25.
             assert!((epoch_load_imbalance(&topo, &acc) - 25.0).abs() < 1e-12);
         }

@@ -13,7 +13,7 @@ use std::path::Path;
 pub fn comparison_csv(cmp: &ComparisonResult, metric: &str) -> String {
     let mut renamed: Vec<TimeSeries> = Vec::new();
     for kind in PolicyKind::ALL {
-        let r = cmp.of(kind);
+        let Some(r) = cmp.of(kind) else { continue };
         if let Some(series) = r.metrics.series(metric) {
             let mut s = TimeSeries::with_capacity(kind.name(), series.len());
             for &v in series.values() {
@@ -53,11 +53,7 @@ mod tests {
 
     fn tiny_comparison() -> ComparisonResult {
         run_comparison(&SimParams {
-            config: SimConfig {
-                partitions: 4,
-                replica_capacity_mean: 5.0,
-                ..SimConfig::default()
-            },
+            config: SimConfig { partitions: 4, replica_capacity_mean: 5.0, ..SimConfig::default() },
             scenario: Scenario::RandomEven,
             policy: PolicyKind::Rfh,
             epochs: 5,
@@ -86,7 +82,7 @@ mod tests {
     #[test]
     fn run_csv_contains_all_metrics() {
         let cmp = tiny_comparison();
-        let csv = run_csv(cmp.of(PolicyKind::Rfh));
+        let csv = run_csv(cmp.of(PolicyKind::Rfh).expect("RFH ran"));
         let header = csv.lines().next().unwrap();
         for name in crate::metrics::Metrics::series_names() {
             assert!(header.contains(name), "{name} missing from {header}");

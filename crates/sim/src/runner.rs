@@ -1,14 +1,17 @@
 //! Run the four algorithms over identical workloads, in parallel.
 //!
 //! Each run is fully deterministic given `(params, seed)` and shares no
-//! mutable state with the others, so running them on crossbeam scoped
+//! mutable state with the others — every policy thread owns its
+//! `Simulation`, which owns its own `TrafficEngine` (route and
+//! membership caches included), so running them on crossbeam scoped
 //! threads is a pure wall-clock optimization — results are identical to
-//! sequential execution (a test asserts this).
+//! sequential execution (a test asserts this). The only shared state is
+//! the immutable recorded workload trace.
 
 use crate::simulation::{SimParams, SimResult, Simulation};
 use rfh_core::PolicyKind;
 use rfh_types::{Result, RfhError};
-use rfh_workload::{Trace, WorkloadGenerator};
+use rfh_workload::Trace;
 use std::sync::Arc;
 
 /// Results of the four policies over one workload.
@@ -19,12 +22,11 @@ pub struct ComparisonResult {
 }
 
 impl ComparisonResult {
-    /// The result of one policy.
-    pub fn of(&self, kind: PolicyKind) -> &SimResult {
-        self.results
-            .iter()
-            .find(|r| r.policy == kind)
-            .expect("all four policies present")
+    /// The result of one policy, or `None` if it is absent (a
+    /// [`run_comparison`] product always carries all four, but sliced
+    /// or hand-built results may not).
+    pub fn of(&self, kind: PolicyKind) -> Option<&SimResult> {
+        self.results.iter().find(|r| r.policy == kind)
     }
 }
 
@@ -33,17 +35,9 @@ impl ComparisonResult {
 /// `base` supplies everything but the policy; the workload trace is
 /// recorded once and shared.
 pub fn run_comparison(base: &SimParams) -> Result<ComparisonResult> {
-    // Record the workload once. The generator shape must match what
-    // Simulation::new would build internally.
-    let mut generator = WorkloadGenerator::new(
-        base.config.queries_per_epoch,
-        base.config.partitions,
-        rfh_topology::PAPER_DC_COUNT as u32,
-        base.config.partition_skew,
-        base.scenario.clone(),
-        base.epochs,
-        base.seed,
-    );
+    // Record the workload once, from the same constructor
+    // Simulation::new uses internally (so the shapes cannot drift).
+    let mut generator = base.workload_generator(rfh_topology::PAPER_DC_COUNT as u32);
     let trace = Arc::new(Trace::record(&mut generator, base.epochs));
 
     let outcome: std::result::Result<Vec<SimResult>, RfhError> =
@@ -51,14 +45,9 @@ pub fn run_comparison(base: &SimParams) -> Result<ComparisonResult> {
             let handles: Vec<_> = PolicyKind::ALL
                 .into_iter()
                 .map(|kind| {
-                    let params = SimParams {
-                        policy: kind,
-                        ..base.clone()
-                    };
+                    let params = SimParams { policy: kind, ..base.clone() };
                     let trace = Arc::clone(&trace);
-                    scope.spawn(move |_| {
-                        Simulation::new(params)?.with_shared_trace(trace).run()
-                    })
+                    scope.spawn(move |_| Simulation::new(params)?.with_shared_trace(trace).run())
                 })
                 .collect();
             handles
@@ -97,7 +86,7 @@ mod tests {
         let cmp = run_comparison(&base()).unwrap();
         assert_eq!(cmp.results.len(), 4);
         for kind in PolicyKind::ALL {
-            let r = cmp.of(kind);
+            let r = cmp.of(kind).expect("comparison carries every policy");
             assert_eq!(r.policy, kind);
             assert_eq!(r.metrics.epochs(), 30);
         }
@@ -110,7 +99,8 @@ mod tests {
         for kind in PolicyKind::ALL {
             let params = SimParams { policy: kind, ..b.clone() };
             let sequential = Simulation::new(params).unwrap().run().unwrap();
-            assert_eq!(&sequential, parallel.of(kind), "{kind}");
+            let parallel = parallel.of(kind).expect("comparison carries every policy");
+            assert_eq!(&sequential, parallel, "{kind}");
         }
     }
 
@@ -119,7 +109,7 @@ mod tests {
         let cmp = run_comparison(&base()).unwrap();
         let series: Vec<&[f64]> = PolicyKind::ALL
             .iter()
-            .map(|&k| cmp.of(k).metrics.series("replicas_total").unwrap().values())
+            .map(|&k| cmp.of(k).unwrap().metrics.series("replicas_total").unwrap().values())
             .collect();
         // At least the random baseline should diverge from RFH.
         assert_ne!(series[2], series[3], "Random vs RFH must differ");

@@ -9,7 +9,7 @@ use rfh_core::{
 };
 use rfh_ring::ConsistentHashRing;
 use rfh_topology::{paper_topology, Topology};
-use rfh_traffic::{compute_traffic, TrafficSmoother};
+use rfh_traffic::{PlacementView, TrafficEngine, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, Result, RfhError, ServerId, SimConfig};
 use rfh_workload::{ClusterEvent, EventSchedule, Scenario, Trace, WorkloadGenerator};
 use std::sync::Arc;
@@ -48,6 +48,22 @@ impl SimParams {
             events: EventSchedule::new(),
         }
     }
+
+    /// The workload generator these parameters describe. The single
+    /// construction point shared by [`Simulation`] and
+    /// [`crate::runner::run_comparison`]: equal params and `dc_count`
+    /// yield byte-identical query streams.
+    pub fn workload_generator(&self, dc_count: u32) -> WorkloadGenerator {
+        WorkloadGenerator::new(
+            self.config.queries_per_epoch,
+            self.config.partitions,
+            dc_count,
+            self.config.partition_skew,
+            self.scenario.clone(),
+            self.epochs,
+            self.seed,
+        )
+    }
 }
 
 /// The outcome of a finished run.
@@ -77,6 +93,17 @@ pub struct Simulation {
     generator: WorkloadGenerator,
     /// RNG for scheduled random events (mass failure).
     event_rng: StdRng,
+    /// Reused traffic engine: route table and membership caches persist
+    /// across epochs, refreshed only when the topology generation moves.
+    engine: TrafficEngine,
+    /// The placement view the traffic pass reads, maintained in place
+    /// from replica-map deltas instead of rebuilt every epoch.
+    view: PlacementView,
+    /// Partitions whose replica set changed since the last render.
+    dirty_parts: Vec<PartitionId>,
+    /// The view's shape is invalid (first epoch, join, prune): the next
+    /// step re-renders it wholesale.
+    view_stale: bool,
     epoch: u64,
     metrics: Metrics,
 }
@@ -109,15 +136,7 @@ impl Simulation {
             cfg.thresholds.alpha,
         );
         let policy = Self::build_policy(&params, &topo, &ring);
-        let generator = WorkloadGenerator::new(
-            cfg.queries_per_epoch,
-            cfg.partitions,
-            topo.datacenters().len() as u32,
-            cfg.partition_skew,
-            params.scenario.clone(),
-            params.epochs,
-            params.seed,
-        );
+        let generator = params.workload_generator(topo.datacenters().len() as u32);
         let metrics = Metrics::new(cfg.partitions);
         Ok(Simulation {
             pending_data_loss: 0,
@@ -130,6 +149,10 @@ impl Simulation {
             policy,
             trace: None,
             generator,
+            engine: TrafficEngine::new(),
+            view: PlacementView::new(0, 0, Vec::new()),
+            dirty_parts: Vec::new(),
+            view_stale: true,
             epoch: 0,
             metrics,
         })
@@ -185,8 +208,7 @@ impl Simulation {
 
     fn apply_events(&mut self) -> Result<()> {
         // Clone the events at this epoch to end the borrow of params.
-        let evs: Vec<ClusterEvent> =
-            self.params.events.at(self.epoch).cloned().collect();
+        let evs: Vec<ClusterEvent> = self.params.events.at(self.epoch).cloned().collect();
         if evs.is_empty() {
             return Ok(());
         }
@@ -215,13 +237,8 @@ impl Simulation {
                     }
                 }
                 ClusterEvent::RecoverAll => {
-                    let dead: Vec<ServerId> = self
-                        .topo
-                        .servers()
-                        .iter()
-                        .filter(|s| !s.alive)
-                        .map(|s| s.id)
-                        .collect();
+                    let dead: Vec<ServerId> =
+                        self.topo.servers().iter().filter(|s| !s.alive).map(|s| s.id).collect();
                     for id in dead {
                         self.topo.recover_server(id)?;
                         self.ring.join(id);
@@ -231,6 +248,7 @@ impl Simulation {
                     let id = self.topo.add_server(datacenter, room, rack, 1.0)?;
                     self.manager.add_server_slot();
                     self.ring.join(id);
+                    self.view_stale = true;
                 }
             }
         }
@@ -254,6 +272,7 @@ impl Simulation {
                     })
             });
             self.pending_data_loss += outcome.restored_partitions.len();
+            self.view_stale = true;
         }
         Ok(())
     }
@@ -266,25 +285,37 @@ impl Simulation {
         let load = match &self.trace {
             Some(t) => t
                 .epoch(self.epoch)
-                .ok_or_else(|| {
-                    RfhError::Simulation(format!("trace has no epoch {}", self.epoch))
-                })?
+                .ok_or_else(|| RfhError::Simulation(format!("trace has no epoch {}", self.epoch)))?
                 .clone(),
             None => self.generator.epoch_load(self.epoch),
         };
 
         let cfg = &self.params.config;
-        let view = self.manager.placement_view(&self.topo, cfg.replica_capacity_mean);
-        let accounts = compute_traffic(&self.topo, &load, &view);
-        self.smoother.update(&load, &accounts);
+        if self.view_stale {
+            self.manager.render_view(&self.topo, cfg.replica_capacity_mean, &mut self.view);
+            self.view_stale = false;
+            self.dirty_parts.clear();
+        } else {
+            for &p in &self.dirty_parts {
+                self.manager.render_partition(
+                    &self.topo,
+                    cfg.replica_capacity_mean,
+                    p,
+                    &mut self.view,
+                );
+            }
+            self.dirty_parts.clear();
+        }
+        let accounts = self.engine.account(&self.topo, &load, &self.view);
+        self.smoother.update(&load, accounts);
         let blocking =
-            server_blocking_probabilities(&self.topo, &accounts, cfg.replica_capacity_mean);
+            server_blocking_probabilities(&self.topo, accounts, cfg.replica_capacity_mean);
 
         let ctx = EpochContext {
             epoch: Epoch(self.epoch),
             topo: &self.topo,
             load: &load,
-            accounts: &accounts,
+            accounts,
             smoother: &self.smoother,
             blocking: &blocking,
             config: cfg,
@@ -292,8 +323,8 @@ impl Simulation {
         let actions = self.policy.decide(&ctx, &self.manager);
 
         let mut snap = EpochSnapshot {
-            utilization: mean_utilization(&view, &accounts),
-            load_imbalance: epoch_load_imbalance(&self.topo, &accounts),
+            utilization: mean_utilization(&self.view, accounts),
+            load_imbalance: epoch_load_imbalance(&self.topo, accounts),
             path_length: accounts.mean_path_length(),
             served: accounts.served_total(),
             unserved: accounts.unserved_total(),
@@ -311,15 +342,20 @@ impl Simulation {
                 continue;
             };
             match action {
-                Action::Replicate { .. } => {
+                Action::Replicate { partition, .. } => {
                     snap.replications += 1;
                     snap.replication_cost += applied.cost;
+                    self.dirty_parts.push(partition);
                 }
-                Action::Migrate { .. } => {
+                Action::Migrate { partition, .. } => {
                     snap.migrations += 1;
                     snap.migration_cost += applied.cost;
+                    self.dirty_parts.push(partition);
                 }
-                Action::Suicide { .. } => snap.suicides += 1,
+                Action::Suicide { partition, .. } => {
+                    snap.suicides += 1;
+                    self.dirty_parts.push(partition);
+                }
             }
         }
         snap.replicas_total = self.manager.total_replicas();
@@ -404,21 +440,9 @@ mod tests {
         let p = quick_params(PolicyKind::OwnerOriented);
         let generated = Simulation::new(p.clone()).unwrap().run().unwrap();
         // Record the same generator's stream and replay it.
-        let mut g = WorkloadGenerator::new(
-            p.config.queries_per_epoch,
-            p.config.partitions,
-            10,
-            p.config.partition_skew,
-            p.scenario.clone(),
-            p.epochs,
-            p.seed,
-        );
+        let mut g = p.workload_generator(10);
         let trace = Arc::new(Trace::record(&mut g, p.epochs));
-        let replayed = Simulation::new(p)
-            .unwrap()
-            .with_shared_trace(trace)
-            .run()
-            .unwrap();
+        let replayed = Simulation::new(p).unwrap().with_shared_trace(trace).run().unwrap();
         assert_eq!(generated, replayed);
     }
 
@@ -455,10 +479,7 @@ mod tests {
         p.events = EventSchedule::mass_failure_at(20, 95);
         let hit = Simulation::new(p).unwrap().run().unwrap();
         let series = hit.metrics.series("data_loss_total").unwrap();
-        assert!(
-            series.last().unwrap() > 0.0,
-            "a 95-server wipe must create restore events"
-        );
+        assert!(series.last().unwrap() > 0.0, "a 95-server wipe must create restore events");
         assert_eq!(series.get(19), Some(0.0), "no loss before the event");
     }
 

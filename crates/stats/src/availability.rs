@@ -112,10 +112,7 @@ mod tests {
             for &f in &[0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 1.0] {
                 let sum_form = eq14_sum_form(m, f);
                 let closed = eq14_availability(m, f);
-                assert!(
-                    (sum_form - closed).abs() < 1e-9,
-                    "m={m} f={f}: {sum_form} vs {closed}"
-                );
+                assert!((sum_form - closed).abs() < 1e-9, "m={m} f={f}: {sum_form} vs {closed}");
             }
         }
     }

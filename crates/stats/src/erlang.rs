@@ -105,10 +105,7 @@ mod tests {
             for c in 1..=20u32 {
                 let fast = erlang_b(a, c);
                 let direct = erlang_b_direct(a, c);
-                assert!(
-                    (fast - direct).abs() < 1e-12,
-                    "a={a} c={c}: {fast} vs {direct}"
-                );
+                assert!((fast - direct).abs() < 1e-12, "a={a} c={c}: {fast} vs {direct}");
             }
         }
     }

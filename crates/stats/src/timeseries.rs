@@ -18,18 +18,12 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// New empty series with a display name (used as the CSV header).
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries {
-            name: name.into(),
-            values: Vec::new(),
-        }
+        TimeSeries { name: name.into(), values: Vec::new() }
     }
 
     /// New empty series with capacity for `epochs` values.
     pub fn with_capacity(name: impl Into<String>, epochs: usize) -> Self {
-        TimeSeries {
-            name: name.into(),
-            values: Vec::with_capacity(epochs),
-        }
+        TimeSeries { name: name.into(), values: Vec::with_capacity(epochs) }
     }
 
     /// The series name.

@@ -52,10 +52,7 @@ impl Datacenter {
 
     /// Total number of server slots in this datacenter.
     pub fn server_count(&self) -> usize {
-        self.rooms
-            .iter()
-            .map(|r| r.racks.iter().map(|k| k.servers.len()).sum::<usize>())
-            .sum()
+        self.rooms.iter().map(|r| r.racks.iter().map(|k| k.servers.len()).sum::<usize>()).sum()
     }
 }
 
@@ -74,14 +71,8 @@ mod tests {
             rooms: vec![Room {
                 name: "C01".into(),
                 racks: vec![
-                    Rack {
-                        name: "R01".into(),
-                        servers: vec![ServerId::new(0), ServerId::new(1)],
-                    },
-                    Rack {
-                        name: "R02".into(),
-                        servers: vec![ServerId::new(2)],
-                    },
+                    Rack { name: "R01".into(), servers: vec![ServerId::new(0), ServerId::new(1)] },
+                    Rack { name: "R02".into(), servers: vec![ServerId::new(2)] },
                 ],
             }],
         }

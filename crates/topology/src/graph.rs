@@ -43,11 +43,7 @@ pub struct WanGraph {
 impl WanGraph {
     /// Create a graph with `nodes` datacenters and no links.
     pub fn new(nodes: usize) -> Self {
-        WanGraph {
-            adjacency: vec![Vec::new(); nodes],
-            next_hop: Vec::new(),
-            dist_ms: Vec::new(),
-        }
+        WanGraph { adjacency: vec![Vec::new(); nodes], next_hop: Vec::new(), dist_ms: Vec::new() }
     }
 
     /// Number of datacenters.
@@ -156,8 +152,8 @@ impl WanGraph {
             for link in &self.adjacency[u] {
                 let v = link.to as usize;
                 let nd = d + link.latency_ms;
-                let better = nd < dist[v] - 1e-12
-                    || ((nd - dist[v]).abs() <= 1e-12 && node < prev[v]);
+                let better =
+                    nd < dist[v] - 1e-12 || ((nd - dist[v]).abs() <= 1e-12 && node < prev[v]);
                 if better {
                     dist[v] = nd;
                     prev[v] = node;
@@ -166,8 +162,8 @@ impl WanGraph {
             }
         }
         // Convert predecessor tree into next-hop entries for this source.
-        for dst in 0..n {
-            if dst == src || dist[dst].is_infinite() {
+        for (dst, d) in dist.iter().enumerate() {
+            if dst == src || d.is_infinite() {
                 continue;
             }
             // Walk back from dst to src; the node just after src is the
@@ -224,10 +220,7 @@ impl WanGraph {
         if n <= 1 {
             return true;
         }
-        self.dist_ms
-            .first()
-            .map(|row| row.iter().all(|d| d.is_finite()))
-            .unwrap_or(false)
+        self.dist_ms.first().map(|row| row.iter().all(|d| d.is_finite())).unwrap_or(false)
             && self.dist_ms.len() == n
     }
 }
@@ -255,10 +248,7 @@ mod tests {
     fn shortest_path_prefers_low_latency() {
         let g = diamond();
         // 0 → 2 via 1 (2ms) beats the direct 5ms link.
-        assert_eq!(
-            g.path(dc(0), dc(2)).unwrap(),
-            vec![dc(0), dc(1), dc(2)]
-        );
+        assert_eq!(g.path(dc(0), dc(2)).unwrap(), vec![dc(0), dc(1), dc(2)]);
         assert_eq!(g.latency_ms(dc(0), dc(2)), Some(2.0));
         assert_eq!(g.hop_count(dc(0), dc(3)), Some(3));
     }
@@ -268,11 +258,7 @@ mod tests {
         let g = diamond();
         for a in 0..4 {
             for b in 0..4 {
-                assert_eq!(
-                    g.latency_ms(dc(a), dc(b)),
-                    g.latency_ms(dc(b), dc(a)),
-                    "{a}->{b}"
-                );
+                assert_eq!(g.latency_ms(dc(a), dc(b)), g.latency_ms(dc(b), dc(a)), "{a}->{b}");
             }
         }
     }

@@ -23,11 +23,13 @@
 pub mod datacenter;
 pub mod graph;
 pub mod presets;
+pub mod routes;
 pub mod server;
 pub mod topology;
 
 pub use datacenter::{Datacenter, Rack, Room};
 pub use graph::{RoutePath, WanGraph};
 pub use presets::{paper_topology, paper_topology_spec, synthetic_topology, PAPER_DC_COUNT};
+pub use routes::RouteTable;
 pub use server::Server;
 pub use topology::{Topology, TopologyBuilder};

@@ -138,10 +138,7 @@ pub fn synthetic_topology(
                 continent,
                 &country,
                 format!("D{d:02}"),
-                GeoPoint::new(
-                    (lat + (d as f64) * 1.5).clamp(-80.0, 80.0),
-                    lon + (d as f64) * 1.5,
-                ),
+                GeoPoint::new((lat + (d as f64) * 1.5).clamp(-80.0, 80.0), lon + (d as f64) * 1.5),
                 1,
                 2,
                 servers_per_rack,
@@ -200,12 +197,8 @@ mod tests {
     fn site_letters_match_paper_geography() {
         let t = paper_topology(0.0, 0).unwrap();
         // 3 in the US, 2 in Canada, 2 in Switzerland, 3 in China/Japan.
-        let by_country = |code: &str| {
-            t.datacenters()
-                .iter()
-                .filter(|d| d.country.as_str() == code)
-                .count()
-        };
+        let by_country =
+            |code: &str| t.datacenters().iter().filter(|d| d.country.as_str() == code).count();
         assert_eq!(by_country("USA"), 3);
         assert_eq!(by_country("CAN"), 2);
         assert_eq!(by_country("CHE"), 2);
@@ -231,10 +224,8 @@ mod tests {
         }
         // And the canonical path from the paper's running example:
         let h_to_a = t.path(site(&t, "H"), a).unwrap();
-        let sites: Vec<&str> = h_to_a
-            .iter()
-            .map(|&id| t.datacenter(id).unwrap().site.as_str())
-            .collect();
+        let sites: Vec<&str> =
+            h_to_a.iter().map(|&id| t.datacenter(id).unwrap().site.as_str()).collect();
         assert_eq!(sites, vec!["H", "I", "E", "D", "A"]);
     }
 

@@ -39,15 +39,7 @@ impl Server {
         capacity_factor: f64,
     ) -> Self {
         debug_assert!(capacity_factor > 0.0, "capacity factor must be positive");
-        Server {
-            id,
-            datacenter,
-            room,
-            rack,
-            label,
-            capacity_factor,
-            alive: true,
-        }
+        Server { id, datacenter, room, rack, label, capacity_factor, alive: true }
     }
 }
 

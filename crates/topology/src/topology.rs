@@ -89,10 +89,7 @@ impl TopologyBuilder {
             .map(|r| RoomSpec {
                 name: format!("C{r:02}"),
                 racks: (1..=racks_per_room)
-                    .map(|k| RackSpec {
-                        name: format!("R{k:02}"),
-                        servers: servers_per_rack,
-                    })
+                    .map(|k| RackSpec { name: format!("R{k:02}"), servers: servers_per_rack })
                     .collect(),
             })
             .collect();
@@ -181,10 +178,7 @@ impl TopologyBuilder {
                     }
                     racks.push(rack);
                 }
-                rooms.push(Room {
-                    name: room_spec.name.clone(),
-                    racks,
-                });
+                rooms.push(Room { name: room_spec.name.clone(), racks });
             }
             datacenters.push(Datacenter {
                 id: dc_id,
@@ -207,11 +201,7 @@ impl TopologyBuilder {
                 "the WAN backbone is disconnected; every datacenter must reach every other".into(),
             ));
         }
-        Ok(Topology {
-            datacenters,
-            servers,
-            graph,
-        })
+        Ok(Topology { datacenters, servers, graph, generation: 0 })
     }
 }
 
@@ -221,6 +211,11 @@ pub struct Topology {
     datacenters: Vec<Datacenter>,
     servers: Vec<Server>,
     graph: WanGraph,
+    /// Membership era: bumped by every effective liveness or shape
+    /// change (server failure, recovery, join). Consumers that cache
+    /// derived state — route tables, alive lists — key their caches on
+    /// this and refresh when it moves.
+    generation: u64,
 }
 
 impl Topology {
@@ -278,6 +273,15 @@ impl Topology {
         &self.graph
     }
 
+    /// The membership era. Starts at 0 and increments on every
+    /// *effective* membership change: a server actually failing (not an
+    /// idempotent re-fail), actually recovering, or joining. Caches of
+    /// membership-derived state (see [`crate::routes::RouteTable`])
+    /// compare this against the era they were built for.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Shortest routing path between two datacenters (both inclusive).
     pub fn path(&self, from: DatacenterId, to: DatacenterId) -> Option<RoutePath> {
         self.graph.path(from, to)
@@ -320,6 +324,9 @@ impl Topology {
         debug_assert!((id.0 as u64) < n);
         let was = s.alive;
         s.alive = false;
+        if was {
+            self.generation += 1;
+        }
         Ok(was)
     }
 
@@ -331,6 +338,9 @@ impl Topology {
             .ok_or(RfhError::UnknownEntity { kind: "server", id: id.0 as u64 })?;
         let was = s.alive;
         s.alive = true;
+        if !was {
+            self.generation += 1;
+        }
         Ok(!was)
     }
 
@@ -349,6 +359,9 @@ impl Topology {
         let failed: Vec<ServerId> = alive[..take].to_vec();
         for &id in &failed {
             self.servers[id.index()].alive = false;
+        }
+        if !failed.is_empty() {
+            self.generation += 1;
         }
         failed
     }
@@ -385,6 +398,7 @@ impl Topology {
         );
         rack_ref.servers.push(id);
         self.servers.push(Server::new(id, dc, room, rack, label, capacity_factor));
+        self.generation += 1;
         Ok(id)
     }
 }
@@ -397,7 +411,16 @@ mod tests {
     fn two_dc() -> Topology {
         let mut b = TopologyBuilder::new();
         let a = b
-            .datacenter("A", Continent::NorthAmerica, "USA", "GA1", GeoPoint::new(33.7, -84.4), 1, 2, 5)
+            .datacenter(
+                "A",
+                Continent::NorthAmerica,
+                "USA",
+                "GA1",
+                GeoPoint::new(33.7, -84.4),
+                1,
+                2,
+                5,
+            )
             .unwrap();
         let h = b
             .datacenter("H", Continent::Asia, "CHN", "BJ1", GeoPoint::new(39.9, 116.4), 1, 2, 5)
@@ -436,7 +459,16 @@ mod tests {
     fn zero_spread_gives_uniform_capacity() {
         let mut b = TopologyBuilder::new();
         let a = b
-            .datacenter("A", Continent::NorthAmerica, "USA", "GA1", GeoPoint::new(0.0, 0.0), 1, 1, 3)
+            .datacenter(
+                "A",
+                Continent::NorthAmerica,
+                "USA",
+                "GA1",
+                GeoPoint::new(0.0, 0.0),
+                1,
+                1,
+                3,
+            )
             .unwrap();
         let _ = a;
         let t = b.build(0.0, 1).unwrap();
@@ -517,17 +549,13 @@ mod tests {
     #[test]
     fn node_join_extends_rack() {
         let mut t = two_dc();
-        let id = t
-            .add_server(DatacenterId::new(0), RoomId::new(0), RackId::new(1), 1.0)
-            .unwrap();
+        let id = t.add_server(DatacenterId::new(0), RoomId::new(0), RackId::new(1), 1.0).unwrap();
         assert_eq!(id, ServerId::new(20));
         assert_eq!(t.server_count(), 21);
         let s = t.server(id).unwrap();
         assert_eq!(s.label.to_string(), "NA-USA-GA1-C01-R02-S6");
         assert!(s.alive);
-        assert!(t
-            .add_server(DatacenterId::new(9), RoomId::new(0), RackId::new(0), 1.0)
-            .is_err());
+        assert!(t.add_server(DatacenterId::new(9), RoomId::new(0), RackId::new(0), 1.0).is_err());
     }
 
     #[test]

@@ -9,10 +9,8 @@ fn arb_graph() -> impl Strategy<Value = WanGraph> {
     (2usize..12)
         .prop_flat_map(|n| {
             let chain = proptest::collection::vec(1.0f64..100.0, n - 1);
-            let extras = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 1.0f64..100.0),
-                0..n * 2,
-            );
+            let extras =
+                proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..100.0), 0..n * 2);
             (Just(n), chain, extras)
         })
         .prop_map(|(n, chain, extras)| {

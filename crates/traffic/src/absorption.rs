@@ -72,6 +72,39 @@ pub struct TrafficAccounts {
 }
 
 impl TrafficAccounts {
+    /// A zero-shaped accounts block for engine reuse; the first
+    /// [`reset`](Self::reset) gives it its real shape.
+    pub(crate) fn empty() -> Self {
+        TrafficAccounts {
+            dc_traffic: Grid::zeros(0, 0),
+            dc_outflow: Grid::zeros(0, 0),
+            served: Grid::zeros(0, 0),
+            unserved: Vec::new(),
+            holder_dc: Vec::new(),
+            hops_weighted: 0.0,
+            latency_weighted_ms: 0.0,
+            sla_within: 0.0,
+            served_total: 0.0,
+            unserved_total: 0.0,
+        }
+    }
+
+    /// Reshape for a fresh pass and zero every account, reusing all
+    /// backing allocations.
+    pub(crate) fn reset(&mut self, n_dcs: usize, n_parts: usize, n_servers: usize) {
+        self.dc_traffic.reset(n_dcs, n_parts);
+        self.dc_outflow.reset(n_dcs, n_parts);
+        self.served.reset(n_servers, n_parts);
+        self.unserved.clear();
+        self.unserved.resize(n_parts, 0.0);
+        self.holder_dc.clear();
+        self.hops_weighted = 0.0;
+        self.latency_weighted_ms = 0.0;
+        self.sla_within = 0.0;
+        self.served_total = 0.0;
+        self.unserved_total = 0.0;
+    }
+
     /// Traffic arriving at the holder of partition `p` (`tr_iit`,
     /// the quantity eq. 12 compares against `β·q̄`).
     pub fn holder_traffic(&self, p: PartitionId) -> f64 {
@@ -135,126 +168,16 @@ impl TrafficAccounts {
 ///
 /// `view` must describe the same cluster as `topo` (same server count)
 /// and the same partition count as `load`.
-pub fn compute_traffic(
-    topo: &Topology,
-    load: &QueryLoad,
-    view: &PlacementView,
-) -> TrafficAccounts {
-    let n_dcs = topo.datacenters().len();
-    let n_parts = load.partitions() as usize;
-    let n_servers = topo.server_count();
-    debug_assert_eq!(view.partitions() as usize, n_parts);
-    debug_assert_eq!(view.servers() as usize, n_servers);
-
-    let mut dc_traffic = Grid::zeros(n_dcs, n_parts);
-    let mut dc_outflow = Grid::zeros(n_dcs, n_parts);
-    let mut served = Grid::zeros(n_servers, n_parts);
-    let mut unserved = vec![0.0; n_parts];
-    let mut holder_dc = Vec::with_capacity(n_parts);
-    let mut hops_weighted = 0.0;
-    let mut latency_weighted_ms = 0.0;
-    let mut sla_within = 0.0;
-    let mut served_total = 0.0;
-    let mut unserved_total = 0.0;
-
-    // Remaining per-(partition, server) capacity, shared by requesters.
-    let mut remaining: Vec<Vec<f64>> = (0..n_parts)
-        .map(|p| view.partition_capacities(PartitionId::new(p as u32)).to_vec())
-        .collect();
-
-    for p_idx in 0..n_parts {
-        let p = PartitionId::new(p_idx as u32);
-        let holder = view.holder(p);
-        let hdc = topo
-            .server(holder)
-            .map(|s| s.datacenter)
-            .unwrap_or(DatacenterId::new(0));
-        holder_dc.push(hdc);
-
-        for j_idx in 0..load.datacenters() {
-            let j = DatacenterId::new(j_idx);
-            let q = load.get(p, j) as f64;
-            if q == 0.0 {
-                continue;
-            }
-            let Some(path) = topo.path(j, hdc) else {
-                // Holder unreachable (partitioned WAN): everything drops
-                // without travelling.
-                unserved[p_idx] += q;
-                unserved_total += q;
-                continue;
-            };
-            let mut residual = q;
-            let mut served_here = 0.0;
-            // One-way latency accumulated from the requester to the
-            // current hop (response latency is the round trip).
-            let mut lat_ms = 0.0;
-            for (hop, &dc) in path.iter().enumerate() {
-                if hop > 0 {
-                    lat_ms += topo
-                        .graph()
-                        .latency_ms(path[hop - 1], dc)
-                        .unwrap_or(0.0);
-                }
-                // eq. 4/5: the node's traffic is the residual reaching it.
-                dc_traffic.add(dc.index(), p_idx, residual);
-                // Replicas in this datacenter absorb what they can.
-                for server in topo.datacenter(dc).expect("path nodes exist").server_ids() {
-                    if !topo.servers()[server.index()].alive {
-                        continue;
-                    }
-                    let cap = &mut remaining[p_idx][server.index()];
-                    if *cap <= 0.0 {
-                        continue;
-                    }
-                    let take = cap.min(residual);
-                    if take > 0.0 {
-                        *cap -= take;
-                        served.add(server.index(), p_idx, take);
-                        hops_weighted += hop as f64 * take;
-                        let rtt = 2.0 * lat_ms + INTRA_DC_LATENCY_MS;
-                        latency_weighted_ms += rtt * take;
-                        if rtt <= SLA_TARGET_MS {
-                            sla_within += take;
-                        }
-                        served_here += take;
-                        residual -= take;
-                    }
-                    if residual <= 0.0 {
-                        break;
-                    }
-                }
-                if residual <= 0.0 {
-                    break;
-                }
-                // What leaves this DC toward the next hop is its
-                // forwarding traffic (the terminal hop forwards nothing).
-                if hop + 1 < path.len() {
-                    dc_outflow.add(dc.index(), p_idx, residual);
-                }
-            }
-            served_total += served_here;
-            if residual > 0.0 {
-                // Travelled the whole path and still unserved.
-                unserved[p_idx] += residual;
-                unserved_total += residual;
-                hops_weighted += (path.len() - 1) as f64 * residual;
-            }
-        }
-    }
-
-    TrafficAccounts {
-        dc_traffic,
-        dc_outflow,
-        served,
-        unserved,
-        holder_dc,
-        hops_weighted,
-        latency_weighted_ms,
-        sla_within,
-        served_total,
-        unserved_total,
-    }
+///
+/// This is the one-shot compatibility entry point: it builds a
+/// throwaway [`crate::engine::TrafficEngine`], runs a single
+/// [`account`](crate::engine::TrafficEngine::account) pass, and hands
+/// the accounts back by value. Callers in a loop should hold an engine
+/// instead and reuse its buffers across epochs.
+pub fn compute_traffic(topo: &Topology, load: &QueryLoad, view: &PlacementView) -> TrafficAccounts {
+    let mut engine = crate::engine::TrafficEngine::new();
+    engine.account(topo, load, view);
+    engine.into_accounts()
 }
 
 #[cfg(test)]
@@ -271,7 +194,16 @@ mod tests {
             .datacenter("A", Continent::NorthAmerica, "USA", "A1", GeoPoint::new(0.0, 0.0), 1, 1, 1)
             .unwrap();
         let m = b
-            .datacenter("B", Continent::NorthAmerica, "USA", "B1", GeoPoint::new(0.0, 10.0), 1, 1, 1)
+            .datacenter(
+                "B",
+                Continent::NorthAmerica,
+                "USA",
+                "B1",
+                GeoPoint::new(0.0, 10.0),
+                1,
+                1,
+                1,
+            )
             .unwrap();
         let c = b
             .datacenter("C", Continent::Asia, "CHN", "C1", GeoPoint::new(0.0, 20.0), 1, 1, 1)

@@ -1,0 +1,413 @@
+//! The reusable per-epoch traffic engine.
+//!
+//! [`compute_traffic`](crate::absorption::compute_traffic) allocates
+//! its whole working set — three grids, the remaining-capacity matrix,
+//! and a routing path per `(requester, holder)` pair — on every call.
+//! Inside a simulation that pass runs once per epoch per policy, so the
+//! allocations and the repeated shortest-path walks dominate the hot
+//! loop.
+//!
+//! [`TrafficEngine`] hoists all of that into reusable state:
+//!
+//! * a [`RouteTable`] caching every DC pair's path *and* the cumulative
+//!   latency at each hop, refreshed only when the topology's
+//!   [`generation`](rfh_topology::Topology::generation) moves;
+//! * per-generation membership caches (each server's datacenter, each
+//!   datacenter's alive servers in `server_ids()` order);
+//! * the [`TrafficAccounts`] block and the remaining-capacity scratch
+//!   grid, zeroed in place each pass.
+//!
+//! The pass itself replays the legacy accounting loop *verbatim* — same
+//! iteration order, same `f64` accumulation sequence — so an engine's
+//! output is bit-identical to `compute_traffic` on the same inputs
+//! (property-tested in `tests/prop_engine.rs`). Determinism of the
+//! simulator therefore survives the refactor unchanged.
+
+use rfh_topology::{RouteTable, Topology};
+use rfh_types::{DatacenterId, PartitionId, ServerId};
+use rfh_workload::QueryLoad;
+
+use crate::absorption::{TrafficAccounts, INTRA_DC_LATENCY_MS, SLA_TARGET_MS};
+use crate::grid::Grid;
+use crate::placement::PlacementView;
+
+/// A stateful traffic pass: all buffers preallocated, routes cached.
+///
+/// One engine serves one topology lineage: it keys its caches on
+/// [`Topology::generation`] and refreshes them lazily inside
+/// [`account`](Self::account). Engines are cheap to create but only pay
+/// off when reused; they are deliberately *not* shared between policy
+/// threads — give each thread its own (share-nothing).
+#[derive(Debug, Clone)]
+pub struct TrafficEngine {
+    routes: RouteTable,
+    /// Generation the membership caches below were built for.
+    synced: Option<u64>,
+    /// Datacenter of each server, indexed by server id.
+    server_dc: Vec<DatacenterId>,
+    /// Alive servers of each datacenter, in `server_ids()` order —
+    /// the exact order the legacy pass visits them.
+    dc_alive: Vec<Vec<ServerId>>,
+    /// Remaining per-(partition, server) capacity scratch.
+    remaining: Grid,
+    /// Per-(partition, datacenter) segment bounds into
+    /// [`cap_servers`](Self::cap_servers): `partition * n_dcs + dc`
+    /// and the next entry delimit that pair's capacity-bearing servers.
+    cap_offsets: Vec<u32>,
+    /// Alive servers holding non-zero capacity, grouped per
+    /// (partition, datacenter) in visit order. Skipping the rest up
+    /// front is behavior-neutral: the pass performs no arithmetic on a
+    /// zero-capacity server.
+    cap_servers: Vec<ServerId>,
+    /// [`PlacementView::version`] the capacity index above was built
+    /// for: while neither it nor the topology generation moves, the
+    /// index stays valid and only the consumed capacities need
+    /// restoring between passes.
+    view_version: Option<u64>,
+    accounts: TrafficAccounts,
+}
+
+impl Default for TrafficEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TrafficEngine {
+    /// A fresh engine with empty buffers; the first
+    /// [`account`](Self::account) sizes everything.
+    pub fn new() -> Self {
+        TrafficEngine {
+            routes: RouteTable::new(),
+            synced: None,
+            server_dc: Vec::new(),
+            dc_alive: Vec::new(),
+            remaining: Grid::zeros(0, 0),
+            cap_offsets: Vec::new(),
+            cap_servers: Vec::new(),
+            view_version: None,
+            accounts: TrafficAccounts::empty(),
+        }
+    }
+
+    /// The topology generation the caches are currently valid for.
+    pub fn generation(&self) -> Option<u64> {
+        self.synced
+    }
+
+    /// Refresh route + membership caches if `topo`'s generation moved
+    /// (or on first use). Called by [`account`](Self::account); exposed
+    /// for tests and for callers that want to pay the rebuild outside
+    /// the measured pass.
+    pub fn sync_topology(&mut self, topo: &Topology) -> bool {
+        self.routes.sync(topo);
+        if self.synced == Some(topo.generation()) && self.server_dc.len() == topo.server_count() {
+            return false;
+        }
+        self.server_dc.clear();
+        self.server_dc.extend(topo.servers().iter().map(|s| s.datacenter));
+
+        let n_dcs = topo.datacenters().len();
+        self.dc_alive.truncate(n_dcs);
+        while self.dc_alive.len() < n_dcs {
+            self.dc_alive.push(Vec::new());
+        }
+        for (d, alive) in self.dc_alive.iter_mut().enumerate() {
+            alive.clear();
+            let dc = topo.datacenter(DatacenterId::new(d as u32)).expect("dense dc ids");
+            for server in dc.server_ids() {
+                if topo.servers()[server.index()].alive {
+                    alive.push(server);
+                }
+            }
+        }
+        self.synced = Some(topo.generation());
+        true
+    }
+
+    /// Run the traffic pass for one epoch, reusing every buffer.
+    ///
+    /// Semantics (and bit-level output) match
+    /// [`compute_traffic`](crate::absorption::compute_traffic):
+    /// `view` must describe the same cluster as `topo` (same server
+    /// count) and the same partition count as `load`. The returned
+    /// borrow is valid until the next call on this engine.
+    pub fn account(
+        &mut self,
+        topo: &Topology,
+        load: &QueryLoad,
+        view: &PlacementView,
+    ) -> &TrafficAccounts {
+        let rebuilt = self.sync_topology(topo);
+
+        let n_dcs = topo.datacenters().len();
+        let n_parts = load.partitions() as usize;
+        let n_servers = topo.server_count();
+        debug_assert_eq!(view.partitions() as usize, n_parts);
+        debug_assert_eq!(view.servers() as usize, n_servers);
+
+        self.accounts.reset(n_dcs, n_parts, n_servers);
+        // The scratch grid only needs reshaping (with its zero-fill) on
+        // shape change: the sweeps below rewrite every cell the pass
+        // will read (zero-capacity and dead servers are never read).
+        let shape_ok = self.remaining.rows() == n_parts
+            && self.remaining.cols() == n_servers
+            && self.cap_offsets.len() == n_parts * n_dcs + 1;
+        if !shape_ok {
+            self.remaining.reset(n_parts, n_servers);
+        }
+        if rebuilt || !shape_ok || self.view_version != Some(view.version()) {
+            // Full sweep: load the remaining-capacity scratch and, in
+            // the same pass, index which servers are worth visiting —
+            // most (partition, datacenter) pairs hold no capacity at
+            // all, and the legacy pass burns its time discovering that
+            // inside the hot loop.
+            self.cap_servers.clear();
+            self.cap_offsets.clear();
+            self.cap_offsets.reserve(n_parts * n_dcs + 1);
+            for p_idx in 0..n_parts {
+                let caps = view.partition_capacities(PartitionId::new(p_idx as u32));
+                let row = self.remaining.row_mut(p_idx);
+                for alive in &self.dc_alive {
+                    self.cap_offsets.push(self.cap_servers.len() as u32);
+                    for &server in alive {
+                        let cap = caps[server.index()];
+                        if cap > 0.0 {
+                            row[server.index()] = cap;
+                            self.cap_servers.push(server);
+                        }
+                    }
+                }
+            }
+            self.cap_offsets.push(self.cap_servers.len() as u32);
+            self.view_version = Some(view.version());
+        } else {
+            // Neither the membership nor the placement moved since the
+            // index was built: only the capacities the last pass
+            // consumed need restoring, and the index already knows
+            // exactly which cells those are.
+            for p_idx in 0..n_parts {
+                let caps = view.partition_capacities(PartitionId::new(p_idx as u32));
+                let row = self.remaining.row_mut(p_idx);
+                let start = self.cap_offsets[p_idx * n_dcs] as usize;
+                let end = self.cap_offsets[(p_idx + 1) * n_dcs] as usize;
+                for &server in &self.cap_servers[start..end] {
+                    row[server.index()] = caps[server.index()];
+                }
+            }
+        }
+
+        let acc = &mut self.accounts;
+        let routes = &self.routes;
+        let remaining = &mut self.remaining;
+        let server_dc = &self.server_dc;
+        let cap_offsets = &self.cap_offsets;
+        let cap_servers = &self.cap_servers;
+
+        for p_idx in 0..n_parts {
+            let p = PartitionId::new(p_idx as u32);
+            let holder = view.holder(p);
+            let hdc = server_dc.get(holder.index()).copied().unwrap_or(DatacenterId::new(0));
+            acc.holder_dc.push(hdc);
+
+            for j_idx in 0..load.datacenters() {
+                let j = DatacenterId::new(j_idx);
+                let q = load.get(p, j) as f64;
+                if q == 0.0 {
+                    continue;
+                }
+                let Some((hops, cum_ms)) = routes.route(j, hdc) else {
+                    // Holder unreachable (partitioned WAN): everything
+                    // drops without travelling.
+                    acc.unserved[p_idx] += q;
+                    acc.unserved_total += q;
+                    continue;
+                };
+                let mut residual = q;
+                let mut served_here = 0.0;
+                let row = remaining.row_mut(p_idx);
+                for (hop, &dc) in hops.iter().enumerate() {
+                    // One-way latency from the requester to this hop,
+                    // precomputed in path order by the route table.
+                    let lat_ms = cum_ms[hop];
+                    // eq. 4/5: the node's traffic is the residual
+                    // reaching it.
+                    acc.dc_traffic.add(dc.index(), p_idx, residual);
+                    // Replicas in this datacenter absorb what they can:
+                    // only the prefiltered capacity-bearing servers,
+                    // in the same order the legacy pass visits them.
+                    let seg = p_idx * n_dcs + dc.index();
+                    let servers =
+                        &cap_servers[cap_offsets[seg] as usize..cap_offsets[seg + 1] as usize];
+                    for &server in servers {
+                        let cap = &mut row[server.index()];
+                        if *cap <= 0.0 {
+                            continue;
+                        }
+                        let take = cap.min(residual);
+                        if take > 0.0 {
+                            *cap -= take;
+                            acc.served.add(server.index(), p_idx, take);
+                            acc.hops_weighted += hop as f64 * take;
+                            let rtt = 2.0 * lat_ms + INTRA_DC_LATENCY_MS;
+                            acc.latency_weighted_ms += rtt * take;
+                            if rtt <= SLA_TARGET_MS {
+                                acc.sla_within += take;
+                            }
+                            served_here += take;
+                            residual -= take;
+                        }
+                        if residual <= 0.0 {
+                            break;
+                        }
+                    }
+                    if residual <= 0.0 {
+                        break;
+                    }
+                    // What leaves this DC toward the next hop is its
+                    // forwarding traffic (the terminal hop forwards
+                    // nothing).
+                    if hop + 1 < hops.len() {
+                        acc.dc_outflow.add(dc.index(), p_idx, residual);
+                    }
+                }
+                acc.served_total += served_here;
+                if residual > 0.0 {
+                    // Travelled the whole path and still unserved.
+                    acc.unserved[p_idx] += residual;
+                    acc.unserved_total += residual;
+                    acc.hops_weighted += (hops.len() - 1) as f64 * residual;
+                }
+            }
+        }
+
+        &self.accounts
+    }
+
+    /// The accounts from the most recent pass (all-zero shapes before
+    /// the first).
+    pub fn accounts(&self) -> &TrafficAccounts {
+        &self.accounts
+    }
+
+    /// Consume the engine, keeping only the last pass's accounts — the
+    /// one-shot path [`compute_traffic`](crate::absorption::compute_traffic)
+    /// uses.
+    pub fn into_accounts(self) -> TrafficAccounts {
+        self.accounts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absorption::compute_traffic;
+    use rfh_topology::TopologyBuilder;
+    use rfh_types::{Continent, GeoPoint};
+    use rfh_workload::QueryLoad;
+
+    /// Chain A(0) — B(1) — C(2), one server per datacenter.
+    fn chain() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let a = b
+            .datacenter("A", Continent::NorthAmerica, "USA", "A1", GeoPoint::new(0.0, 0.0), 1, 1, 1)
+            .unwrap();
+        let m = b
+            .datacenter(
+                "B",
+                Continent::NorthAmerica,
+                "USA",
+                "B1",
+                GeoPoint::new(0.0, 10.0),
+                1,
+                1,
+                1,
+            )
+            .unwrap();
+        let c = b
+            .datacenter(
+                "C",
+                Continent::NorthAmerica,
+                "USA",
+                "C1",
+                GeoPoint::new(0.0, 20.0),
+                1,
+                1,
+                1,
+            )
+            .unwrap();
+        b.link(a, m, 10.0).unwrap();
+        b.link(m, c, 10.0).unwrap();
+        b.build(0.0, 1).unwrap()
+    }
+
+    fn sample_load(parts: u32, dcs: u32) -> QueryLoad {
+        let mut load = QueryLoad::zeros(parts, dcs);
+        for p in 0..parts {
+            for d in 0..dcs {
+                load.add(PartitionId::new(p), DatacenterId::new(d), p * 7 + d * 3 + 1);
+            }
+        }
+        load
+    }
+
+    fn sample_view(parts: u32, servers: u32) -> PlacementView {
+        let holders: Vec<ServerId> = (0..parts).map(|p| ServerId::new(p % servers)).collect();
+        let mut view = PlacementView::new(parts, servers, holders);
+        for p in 0..parts {
+            view.add_capacity(PartitionId::new(p), ServerId::new((p + 1) % servers), 8.0);
+        }
+        view
+    }
+
+    #[test]
+    fn reused_engine_is_bit_identical_to_one_shot_pass() {
+        let topo = chain();
+        let load = sample_load(4, 3);
+        let view = sample_view(4, 3);
+        let mut engine = TrafficEngine::new();
+        // Run twice on the same engine: the second pass exercises the
+        // zero-in-place reset path.
+        engine.account(&topo, &load, &view);
+        let reused = engine.account(&topo, &load, &view).clone();
+        assert_eq!(reused, compute_traffic(&topo, &load, &view));
+    }
+
+    #[test]
+    fn view_mutation_between_passes_invalidates_capacity_index() {
+        let topo = chain();
+        let load = sample_load(4, 3);
+        let mut view = sample_view(4, 3);
+        let mut engine = TrafficEngine::new();
+        engine.account(&topo, &load, &view);
+        // Same view object, same version: the fast reload path.
+        assert_eq!(engine.account(&topo, &load, &view), &compute_traffic(&topo, &load, &view));
+
+        // Mutate the view in place (capacity appears on a new server
+        // and a holder moves): the version stamp must force a full
+        // re-index, keeping the engine bit-identical to the one-shot.
+        view.add_capacity(PartitionId::new(2), ServerId::new(0), 3.0);
+        view.set_holder(PartitionId::new(0), ServerId::new(2));
+        assert_eq!(engine.account(&topo, &load, &view), &compute_traffic(&topo, &load, &view));
+    }
+
+    #[test]
+    fn generation_bump_invalidates_caches() {
+        let mut topo = chain();
+        let load = sample_load(4, 3);
+        let view = sample_view(4, 3);
+        let mut engine = TrafficEngine::new();
+        engine.account(&topo, &load, &view);
+        assert_eq!(engine.generation(), Some(topo.generation()));
+        assert!(!engine.sync_topology(&topo), "same generation must not rebuild");
+
+        // Kill the middle server: the engine must notice and match a
+        // fresh engine built against the failed topology.
+        topo.fail_server(ServerId::new(1)).unwrap();
+        assert_ne!(engine.generation(), Some(topo.generation()));
+        let stale_refreshed = engine.account(&topo, &load, &view).clone();
+        let mut fresh = TrafficEngine::new();
+        assert_eq!(&stale_refreshed, fresh.account(&topo, &load, &view));
+        assert_eq!(engine.generation(), Some(topo.generation()));
+    }
+}

@@ -17,11 +17,7 @@ pub struct Grid {
 impl Grid {
     /// Zero-filled grid.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Grid {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Grid { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Number of rows.
@@ -36,7 +32,12 @@ impl Grid {
 
     #[inline]
     fn idx(&self, r: usize, c: usize) -> usize {
-        debug_assert!(r < self.rows && c < self.cols, "({r},{c}) out of {}×{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {}×{}",
+            self.rows,
+            self.cols
+        );
         r * self.cols + c
     }
 
@@ -86,6 +87,22 @@ impl Grid {
     pub fn clear(&mut self) {
         self.data.fill(0.0);
     }
+
+    /// Reshape to `rows × cols` and zero every cell, reusing the
+    /// backing allocation when it is already large enough.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +149,27 @@ mod tests {
         g.clear();
         assert_eq!(g.total(), 0.0);
         assert_eq!(g.rows(), 2);
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut g = Grid::zeros(2, 2);
+        g.set(1, 1, 9.0);
+        g.reset(3, 4);
+        assert_eq!((g.rows(), g.cols()), (3, 4));
+        assert_eq!(g.total(), 0.0);
+        g.set(2, 3, 1.0);
+        g.reset(2, 2);
+        assert_eq!((g.rows(), g.cols()), (2, 2));
+        assert_eq!(g.total(), 0.0);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut g = Grid::zeros(2, 3);
+        g.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(g.row(0), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -16,20 +16,24 @@
 //! * [`grid`] — dense 2-D arrays used by the accounting pass.
 //! * [`placement`] — the per-epoch view of where replicas are and how
 //!   much capacity each offers.
-//! * [`absorption`] — the traffic pass itself: produces per-DC traffic,
-//!   per-server served counts, unserved residuals, and lookup path
-//!   lengths in one sweep.
+//! * [`absorption`] — the traffic pass semantics and the one-shot
+//!   [`compute_traffic`] entry point.
+//! * [`engine`] — the reusable [`TrafficEngine`]: route-cached,
+//!   zero-allocation accounting for callers that run the pass every
+//!   epoch.
 //! * [`smoothing`] — the EWMA state of eqs. (9)–(11): smoothed system
 //!   query averages `q̄_it` and smoothed per-node traffic `t̄r_ikt`.
 
 #![warn(missing_docs)]
 
 pub mod absorption;
+pub mod engine;
 pub mod grid;
 pub mod placement;
 pub mod smoothing;
 
 pub use absorption::{compute_traffic, TrafficAccounts};
+pub use engine::TrafficEngine;
 pub use grid::Grid;
 pub use placement::PlacementView;
 pub use smoothing::TrafficSmoother;

@@ -9,30 +9,55 @@
 
 use crate::grid::Grid;
 use rfh_types::{PartitionId, ServerId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stamp source for [`PlacementView::version`]. Every mutation takes a
+/// globally fresh value, so two views with equal versions necessarily
+/// hold identical content (one is an unmutated clone of the other).
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Flattened placement + capacity view for one epoch.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PlacementView {
     /// `capacity[partition][server]` = Σ over replicas of per-replica
     /// capacity, queries/epoch.
     capacity: Grid,
     /// Primary holder server of each partition.
     holders: Vec<ServerId>,
+    /// Content stamp, see [`version`](Self::version).
+    version: u64,
+}
+
+impl PartialEq for PlacementView {
+    /// Content equality: the version stamp is bookkeeping, not state.
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.holders == other.holders
+    }
 }
 
 impl PlacementView {
     /// Empty view: no capacity anywhere; holders must be set for every
     /// partition before use.
     pub fn new(partitions: u32, servers: u32, holders: Vec<ServerId>) -> Self {
-        assert_eq!(
-            holders.len(),
-            partitions as usize,
-            "one holder per partition required"
-        );
+        assert_eq!(holders.len(), partitions as usize, "one holder per partition required");
         PlacementView {
             capacity: Grid::zeros(partitions as usize, servers as usize),
             holders,
+            version: next_version(),
         }
+    }
+
+    /// Content stamp. Every mutation moves it to a globally fresh
+    /// value, so equal versions imply identical capacities and holders
+    /// — an unmutated clone keeps its original's stamp. Consumers
+    /// (e.g. the traffic engine) key caches on it.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of partitions.
@@ -61,6 +86,7 @@ impl PlacementView {
     pub fn add_capacity(&mut self, p: PartitionId, s: ServerId, queries_per_epoch: f64) {
         debug_assert!(queries_per_epoch >= 0.0);
         self.capacity.add(p.index(), s.index(), queries_per_epoch);
+        self.version = next_version();
     }
 
     /// Per-server capacities for one partition.
@@ -72,6 +98,30 @@ impl PlacementView {
     /// Total capacity provisioned for a partition across the cluster.
     pub fn partition_capacity_total(&self, p: PartitionId) -> f64 {
         self.capacity.row_sum(p.index())
+    }
+
+    /// Reshape in place to `partitions × servers`, zeroing all capacity
+    /// and resetting every holder to server 0 (callers re-set holders
+    /// before use). Reuses both backing allocations — this is the
+    /// "rebuild" half of delta maintenance when the cluster shape moved.
+    pub fn reset(&mut self, partitions: u32, servers: u32) {
+        self.capacity.reset(partitions as usize, servers as usize);
+        self.holders.clear();
+        self.holders.resize(partitions as usize, ServerId::new(0));
+        self.version = next_version();
+    }
+
+    /// Re-point a partition's primary holder (delta update).
+    pub fn set_holder(&mut self, p: PartitionId, holder: ServerId) {
+        self.holders[p.index()] = holder;
+        self.version = next_version();
+    }
+
+    /// Zero one partition's capacity row (delta update: callers then
+    /// re-add the partition's current replica capacities).
+    pub fn clear_partition(&mut self, p: PartitionId) {
+        self.capacity.row_mut(p.index()).fill(0.0);
+        self.version = next_version();
     }
 
     /// Servers hosting any replica of `p` (capacity > 0), ascending id.
@@ -125,5 +175,57 @@ mod tests {
     #[should_panic(expected = "one holder per partition")]
     fn holder_count_must_match() {
         let _ = PlacementView::new(3, 3, vec![s(0)]);
+    }
+
+    #[test]
+    fn version_moves_on_every_mutation_and_clones_keep_it() {
+        let mut v = PlacementView::new(2, 3, vec![s(0), s(2)]);
+        let clone = v.clone();
+        assert_eq!(clone.version(), v.version(), "unmutated clone shares the stamp");
+
+        let mut seen = vec![v.version()];
+        v.add_capacity(p(0), s(1), 1.0);
+        seen.push(v.version());
+        v.set_holder(p(0), s(1));
+        seen.push(v.version());
+        v.clear_partition(p(0));
+        seen.push(v.version());
+        v.reset(2, 3);
+        seen.push(v.version());
+        let mut unique = seen.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seen.len(), "every mutation takes a fresh stamp");
+
+        // The stamp is bookkeeping: equality is content-only.
+        assert_ne!(clone.version(), v.version());
+        let fresh = PlacementView::new(2, 3, vec![s(0), s(0)]);
+        v.set_holder(p(1), s(0));
+        assert_eq!(v, fresh);
+    }
+
+    #[test]
+    fn delta_updates_match_fresh_construction() {
+        let mut v = PlacementView::new(2, 3, vec![s(0), s(2)]);
+        v.add_capacity(p(0), s(1), 10.0);
+        v.add_capacity(p(1), s(2), 4.0);
+
+        // Partition 0 moves: clear its row, re-add, re-point the holder.
+        v.clear_partition(p(0));
+        v.set_holder(p(0), s(2));
+        v.add_capacity(p(0), s(2), 7.0);
+
+        let mut fresh = PlacementView::new(2, 3, vec![s(2), s(2)]);
+        fresh.add_capacity(p(0), s(2), 7.0);
+        fresh.add_capacity(p(1), s(2), 4.0);
+        assert_eq!(v, fresh);
+
+        // Shape change: reset rebuilds in place.
+        v.reset(1, 4);
+        v.set_holder(p(0), s(3));
+        v.add_capacity(p(0), s(3), 2.0);
+        let mut fresh = PlacementView::new(1, 4, vec![s(3)]);
+        fresh.add_capacity(p(0), s(3), 2.0);
+        assert_eq!(v, fresh);
     }
 }

@@ -114,9 +114,7 @@ impl TrafficSmoother {
         if self.dcs == 0 {
             return 0.0;
         }
-        let sum: f64 = (0..self.dcs)
-            .map(|dc| self.traffic(DatacenterId::new(dc as u32), p))
-            .sum();
+        let sum: f64 = (0..self.dcs).map(|dc| self.traffic(DatacenterId::new(dc as u32), p)).sum();
         sum / self.dcs as f64
     }
 

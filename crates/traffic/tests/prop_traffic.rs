@@ -18,9 +18,9 @@ fn topo() -> Topology {
 
 #[derive(Debug, Clone)]
 struct Setup {
-    load: Vec<(u32, u32, u32)>,            // (partition, dc, count)
-    capacity: Vec<(u32, u32, u16)>,        // (partition, server, capacity)
-    holders: Vec<u32>,                     // per partition
+    load: Vec<(u32, u32, u32)>,     // (partition, dc, count)
+    capacity: Vec<(u32, u32, u16)>, // (partition, server, capacity)
+    holders: Vec<u32>,              // per partition
 }
 
 fn arb_setup() -> impl Strategy<Value = Setup> {

@@ -18,10 +18,9 @@
 
 use crate::units::{Bandwidth, Bytes};
 use crate::{Result, RfhError};
-use serde::{Deserialize, Serialize};
 
 /// Decision thresholds of the RFH algorithm (§II-C to §II-E).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Thresholds {
     /// Smoothing factor `α ∈ (0, 1)` for query and traffic EWMA
     /// (eqs. 10–11). Larger α gives more weight to history.
@@ -44,14 +43,7 @@ pub struct Thresholds {
 
 impl Default for Thresholds {
     fn default() -> Self {
-        Thresholds {
-            alpha: 0.2,
-            beta: 2.0,
-            gamma: 1.5,
-            delta: 0.2,
-            mu: 1.0,
-            phi: 0.7,
-        }
+        Thresholds { alpha: 0.2, beta: 2.0, gamma: 1.5, delta: 0.2, mu: 1.0, phi: 0.7 }
     }
 }
 
@@ -104,7 +96,7 @@ impl Thresholds {
 /// `hot_fraction` of all queries on the datacenters named in its hot set;
 /// the final stage is uniform. Datacenters are referenced by their index
 /// in the topology (A = 0, B = 1, ... J = 9 in the paper preset).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlashCrowdConfig {
     /// Fraction of queries that originate near the stage's hot
     /// datacenters (0.8 in the paper: "80% of queries").
@@ -148,7 +140,7 @@ impl FlashCrowdConfig {
 }
 
 /// Complete simulation configuration (Table I plus structural knobs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Maximum storage per server; 10 GB in Table I.
     pub max_server_storage: Bytes,
@@ -300,7 +292,10 @@ mod tests {
         assert_eq!(c.failure_rate, 0.1);
         assert_eq!(c.min_availability, 0.8);
         let t = c.thresholds;
-        assert_eq!((t.alpha, t.beta, t.gamma, t.delta, t.mu, t.phi), (0.2, 2.0, 1.5, 0.2, 1.0, 0.7));
+        assert_eq!(
+            (t.alpha, t.beta, t.gamma, t.delta, t.mu, t.phi),
+            (0.2, 2.0, 1.5, 0.2, 1.0, 0.7)
+        );
         c.validate().expect("paper defaults are valid");
     }
 
@@ -332,10 +327,7 @@ mod tests {
         assert!(SimConfig { replica_capacity_mean: 0.0, ..ok.clone() }.validate().is_err());
         assert!(SimConfig { capacity_spread: 1.0, ..ok.clone() }.validate().is_err());
         assert!(SimConfig { partition_skew: -0.5, ..ok.clone() }.validate().is_err());
-        let too_big = SimConfig {
-            partition_size: Bytes::gib(20),
-            ..ok
-        };
+        let too_big = SimConfig { partition_size: Bytes::gib(20), ..ok };
         assert!(too_big.validate().is_err(), "partition larger than a server");
     }
 
@@ -344,11 +336,8 @@ mod tests {
         let c = SimConfig::default();
         // 70% of 10 GiB / 512 KiB = 14336 copies.
         assert_eq!(c.max_replicas_per_server(), 14336);
-        let tight = SimConfig {
-            max_server_storage: Bytes::mib(1),
-            partition_size: Bytes::kib(512),
-            ..c
-        };
+        let tight =
+            SimConfig { max_server_storage: Bytes::mib(1), partition_size: Bytes::kib(512), ..c };
         // 70% of 1 MiB holds one 512 KiB partition.
         assert_eq!(tight.max_replicas_per_server(), 1);
     }
@@ -385,15 +374,5 @@ mod tests {
     fn flash_crowd_fraction_validated() {
         let bad = FlashCrowdConfig { hot_fraction: 1.5, ..Default::default() };
         assert!(bad.validate().is_err());
-    }
-
-    #[test]
-    fn config_is_serde_capable() {
-        // The experiments persist their configuration; assert at compile
-        // time that the derives are in place.
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<SimConfig>();
-        assert_serde::<Thresholds>();
-        assert_serde::<FlashCrowdConfig>();
     }
 }

@@ -78,17 +78,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RfhError::InvalidLabel {
-            label: "bogus".into(),
-            reason: "too short".into(),
-        };
+        let e = RfhError::InvalidLabel { label: "bogus".into(), reason: "too short".into() };
         let s = e.to_string();
         assert!(s.contains("bogus") && s.contains("too short"));
 
-        let e = RfhError::InvalidConfig {
-            parameter: "alpha",
-            reason: "must be in (0,1)".into(),
-        };
+        let e = RfhError::InvalidConfig { parameter: "alpha", reason: "must be in (0,1)".into() };
         assert!(e.to_string().contains("alpha"));
 
         let e = RfhError::UnknownEntity { kind: "server", id: 7 };

@@ -205,10 +205,7 @@ mod tests {
             "Atlanta-Tokyo ≈ 11,130 km, got {atl_tokyo}"
         );
         let zrh_bj = haversine_km(ZURICH, BEIJING);
-        assert!(
-            (7800.0..8200.0).contains(&zrh_bj),
-            "Zurich-Beijing ≈ 7,970 km, got {zrh_bj}"
-        );
+        assert!((7800.0..8200.0).contains(&zrh_bj), "Zurich-Beijing ≈ 7,970 km, got {zrh_bj}");
     }
 
     #[test]

@@ -154,7 +154,8 @@ impl FromStr for ServerLabel {
             label: s.to_string(),
             reason: format!("invalid country code {country:?}"),
         })?;
-        for (field, name) in [(dc, "datacenter"), (room, "room"), (rack, "rack"), (server, "server")]
+        for (field, name) in
+            [(dc, "datacenter"), (room, "room"), (rack, "rack"), (server, "server")]
         {
             if field.is_empty() {
                 return Err(RfhError::InvalidLabel {

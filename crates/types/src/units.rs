@@ -5,13 +5,12 @@
 //! replication, 100 MB/epoch migration). Using newtypes keeps the two
 //! from being mixed up and documents every interface.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
 /// A byte count (storage size).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bytes(pub u64);
 
 impl Bytes {
@@ -105,11 +104,11 @@ impl fmt::Display for Bytes {
         const MIB: u64 = 1024 * KIB;
         const GIB: u64 = 1024 * MIB;
         let b = self.0;
-        if b >= GIB && b % GIB == 0 {
+        if b >= GIB && b.is_multiple_of(GIB) {
             write!(f, "{}GiB", b / GIB)
-        } else if b >= MIB && b % MIB == 0 {
+        } else if b >= MIB && b.is_multiple_of(MIB) {
             write!(f, "{}MiB", b / MIB)
-        } else if b >= KIB && b % KIB == 0 {
+        } else if b >= KIB && b.is_multiple_of(KIB) {
             write!(f, "{}KiB", b / KIB)
         } else {
             write!(f, "{b}B")
@@ -121,7 +120,7 @@ impl fmt::Display for Bytes {
 ///
 /// One epoch is the simulator's unit of time (10 s in Table I); a
 /// bandwidth bounds how much replica data a server can ship per epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bandwidth(pub u64);
 
 impl Bandwidth {

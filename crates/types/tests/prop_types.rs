@@ -1,7 +1,9 @@
 //! Property-based tests for the foundation types.
 
 use proptest::prelude::*;
-use rfh_types::{haversine_km, AvailabilityLevel, Bytes, Continent, Country, GeoPoint, ServerLabel};
+use rfh_types::{
+    haversine_km, AvailabilityLevel, Bytes, Continent, Country, GeoPoint, ServerLabel,
+};
 
 fn arb_geopoint() -> impl Strategy<Value = GeoPoint> {
     (-90.0f64..=90.0, -180.0f64..=180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
@@ -12,14 +14,7 @@ fn arb_field() -> impl Strategy<Value = String> {
 }
 
 fn arb_label() -> impl Strategy<Value = ServerLabel> {
-    (
-        0usize..Continent::ALL.len(),
-        "[A-Z]{3}",
-        arb_field(),
-        arb_field(),
-        arb_field(),
-        arb_field(),
-    )
+    (0usize..Continent::ALL.len(), "[A-Z]{3}", arb_field(), arb_field(), arb_field(), arb_field())
         .prop_map(|(ci, country, dc, room, rack, server)| {
             ServerLabel::new(
                 Continent::ALL[ci],

@@ -62,10 +62,7 @@ impl EventSchedule {
     /// Events scheduled exactly at `epoch`, in scheduling order.
     pub fn at(&self, epoch: u64) -> impl Iterator<Item = &ClusterEvent> + '_ {
         let start = self.events.partition_point(|&(e, _)| e < epoch);
-        self.events[start..]
-            .iter()
-            .take_while(move |&&(e, _)| e == epoch)
-            .map(|(_, ev)| ev)
+        self.events[start..].iter().take_while(move |&&(e, _)| e == epoch).map(|(_, ev)| ev)
     }
 
     /// Total scheduled events.
@@ -116,11 +113,14 @@ mod tests {
         let mut s = EventSchedule::new();
         s.add(300, ClusterEvent::RecoverAll);
         s.add(10, ClusterEvent::FailRandomServers { count: 2 });
-        s.add(100, ClusterEvent::JoinServer {
-            datacenter: DatacenterId::new(1),
-            room: RoomId::new(0),
-            rack: RackId::new(0),
-        });
+        s.add(
+            100,
+            ClusterEvent::JoinServer {
+                datacenter: DatacenterId::new(1),
+                room: RoomId::new(0),
+                rack: RackId::new(0),
+            },
+        );
         assert_eq!(s.at(10).count(), 1);
         assert_eq!(s.at(100).count(), 1);
         assert_eq!(s.at(300).count(), 1);

@@ -69,9 +69,7 @@ impl WorkloadGenerator {
         if self.partitions == 0 || self.dcs == 0 {
             return load;
         }
-        let weights = self
-            .scenario
-            .origin_weights(epoch, self.total_epochs, self.dcs);
+        let weights = self.scenario.origin_weights(epoch, self.total_epochs, self.dcs);
         // Cumulative origin distribution for O(log n) origin draws.
         let mut origin_cdf = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
@@ -82,9 +80,7 @@ impl WorkloadGenerator {
         if let Some(last) = origin_cdf.last_mut() {
             *last = 1.0;
         }
-        let rotation = self
-            .scenario
-            .popularity_rotation(epoch, self.total_epochs, self.partitions);
+        let rotation = self.scenario.popularity_rotation(epoch, self.total_epochs, self.partitions);
 
         let n = self.arrivals.sample(&mut self.rng);
         for _ in 0..n {
@@ -94,11 +90,7 @@ impl WorkloadGenerator {
             let partition = (rank + rotation) % self.partitions;
             let u: f64 = self.rng.gen();
             let origin = origin_cdf.partition_point(|&c| c < u).min(self.dcs as usize - 1);
-            load.add(
-                PartitionId::new(partition),
-                DatacenterId::new(origin as u32),
-                1,
-            );
+            load.add(PartitionId::new(partition), DatacenterId::new(origin as u32), 1);
         }
         load
     }
@@ -157,23 +149,12 @@ mod tests {
             "Zipf(0.8) should spread hot/cold widely: {hottest} vs {coldest}"
         );
         // Rank 0 (partition 0, no rotation) is the hottest.
-        assert_eq!(
-            per_partition
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &c)| c)
-                .unwrap()
-                .0,
-            0
-        );
+        assert_eq!(per_partition.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0, 0);
     }
 
     #[test]
     fn flash_crowd_origins_follow_stage() {
-        let mut g = generator(
-            Scenario::FlashCrowd(FlashCrowdConfig::default()),
-            7,
-        );
+        let mut g = generator(Scenario::FlashCrowd(FlashCrowdConfig::default()), 7);
         // Stage 1 (epochs 0..100): H, I, J = DCs 7, 8, 9 get ~80%.
         let mut hot = 0u64;
         let mut total = 0u64;

@@ -22,11 +22,7 @@ pub struct QueryLoad {
 impl QueryLoad {
     /// Zero matrix for the given shape.
     pub fn zeros(partitions: u32, dcs: u32) -> Self {
-        QueryLoad {
-            partitions,
-            dcs,
-            counts: vec![0; partitions as usize * dcs as usize],
-        }
+        QueryLoad { partitions, dcs, counts: vec![0; partitions as usize * dcs as usize] }
     }
 
     /// Number of partitions (rows).
@@ -71,9 +67,7 @@ impl QueryLoad {
 
     /// Total queries from one requester datacenter across all partitions.
     pub fn requester_total(&self, j: DatacenterId) -> u64 {
-        (0..self.partitions)
-            .map(|p| self.get(PartitionId::new(p), j) as u64)
-            .sum()
+        (0..self.partitions).map(|p| self.get(PartitionId::new(p), j) as u64).sum()
     }
 
     /// Grand total of queries this epoch.
@@ -93,12 +87,10 @@ impl QueryLoad {
 
     /// Iterate over non-zero cells as `(partition, requester, count)`.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (PartitionId, DatacenterId, u32)> + '_ {
-        self.counts.iter().enumerate().filter_map(move |(i, &c)| {
-            (c > 0).then(|| {
-                let p = (i / self.dcs as usize) as u32;
-                let j = (i % self.dcs as usize) as u32;
-                (PartitionId::new(p), DatacenterId::new(j), c)
-            })
+        self.counts.iter().enumerate().filter(|&(_i, &c)| c > 0).map(|(i, &c)| {
+            let p = (i / self.dcs as usize) as u32;
+            let j = (i % self.dcs as usize) as u32;
+            (PartitionId::new(p), DatacenterId::new(j), c)
         })
     }
 }
@@ -155,8 +147,7 @@ mod tests {
         let mut q = QueryLoad::zeros(3, 3);
         q.add(p(1), d(2), 9);
         q.add(p(2), d(0), 4);
-        let cells: Vec<(u32, u32, u32)> =
-            q.iter_nonzero().map(|(a, b, c)| (a.0, b.0, c)).collect();
+        let cells: Vec<(u32, u32, u32)> = q.iter_nonzero().map(|(a, b, c)| (a.0, b.0, c)).collect();
         assert_eq!(cells, vec![(1, 2, 9), (2, 0, 4)]);
     }
 }

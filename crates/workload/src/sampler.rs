@@ -163,11 +163,7 @@ mod tests {
         let samples: Vec<u64> = (0..n).map(|_| p.sample(&mut r)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / n as f64;
         assert!((mean - 300.0).abs() < 1.5, "mean {mean}");
-        let var = samples
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((var - 300.0).abs() < 20.0, "variance {var}");
     }
 
@@ -234,17 +230,13 @@ mod tests {
         let z = Zipf::new(16, 1.0);
         let mut r = rng();
         let n = 100_000;
-        let mut counts = vec![0u64; 16];
+        let mut counts = [0u64; 16];
         for _ in 0..n {
             counts[z.sample(&mut r)] += 1;
         }
-        for k in 0..16 {
-            let emp = counts[k] as f64 / n as f64;
-            assert!(
-                (emp - z.pmf(k)).abs() < 0.01,
-                "rank {k}: empirical {emp} vs pmf {}",
-                z.pmf(k)
-            );
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!((emp - z.pmf(k)).abs() < 0.01, "rank {k}: empirical {emp} vs pmf {}", z.pmf(k));
         }
     }
 

@@ -47,12 +47,8 @@ impl Scenario {
         match self {
             Scenario::RandomEven | Scenario::PopularityShift => vec![uniform; n],
             Scenario::FlashCrowd(cfg) => {
-                let hot: Vec<u32> = cfg
-                    .hot_set(epoch, total_epochs)
-                    .iter()
-                    .copied()
-                    .filter(|&d| d < dcs)
-                    .collect();
+                let hot: Vec<u32> =
+                    cfg.hot_set(epoch, total_epochs).iter().copied().filter(|&d| d < dcs).collect();
                 if hot.is_empty() {
                     return vec![uniform; n];
                 }
@@ -160,10 +156,7 @@ mod tests {
 
     #[test]
     fn flash_crowd_ignores_out_of_range_hot_dcs() {
-        let cfg = FlashCrowdConfig {
-            hot_fraction: 0.8,
-            stages: vec![vec![99]],
-        };
+        let cfg = FlashCrowdConfig { hot_fraction: 0.8, stages: vec![vec![99]] };
         let w = Scenario::FlashCrowd(cfg).origin_weights(0, 100, 4);
         assert_weights_valid(&w);
         assert!(w.iter().all(|&x| (x - 0.25).abs() < 1e-12), "falls back to uniform");
@@ -209,9 +202,6 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(Scenario::RandomEven.name(), "random");
-        assert_eq!(
-            Scenario::FlashCrowd(FlashCrowdConfig::default()).name(),
-            "flash-crowd"
-        );
+        assert_eq!(Scenario::FlashCrowd(FlashCrowdConfig::default()).name(), "flash-crowd");
     }
 }

@@ -19,9 +19,7 @@ pub struct Trace {
 impl Trace {
     /// Record `epochs` epochs from a generator.
     pub fn record(generator: &mut WorkloadGenerator, epochs: u64) -> Self {
-        Trace {
-            epochs: (0..epochs).map(|e| generator.epoch_load(e)).collect(),
-        }
+        Trace { epochs: (0..epochs).map(|e| generator.epoch_load(e)).collect() }
     }
 
     /// Build a trace from explicit epoch matrices (tests, synthetic
@@ -65,9 +63,7 @@ impl Trace {
         for (lineno, line) in csv.lines().enumerate() {
             if lineno == 0 {
                 if line.trim() != "epoch,partition,requester,count" {
-                    return Err(RfhError::Io(format!(
-                        "unexpected trace header {line:?}"
-                    )));
+                    return Err(RfhError::Io(format!("unexpected trace header {line:?}")));
                 }
                 continue;
             }
@@ -83,9 +79,9 @@ impl Trace {
                 )));
             };
             let parse = |s: &str, what: &str| -> Result<u64> {
-                s.trim().parse().map_err(|_| {
-                    RfhError::Io(format!("line {}: bad {what} {s:?}", lineno + 1))
-                })
+                s.trim()
+                    .parse()
+                    .map_err(|_| RfhError::Io(format!("line {}: bad {what} {s:?}", lineno + 1)))
             };
             rows.push((
                 parse(e, "epoch")?,
@@ -95,18 +91,9 @@ impl Trace {
             ));
         }
         let epochs = rows.iter().map(|&(e, ..)| e + 1).max().unwrap_or(0);
-        let partitions = rows
-            .iter()
-            .map(|&(_, p, ..)| p + 1)
-            .max()
-            .unwrap_or(0)
-            .max(min_partitions);
-        let dcs = rows
-            .iter()
-            .map(|&(_, _, j, _)| j + 1)
-            .max()
-            .unwrap_or(0)
-            .max(min_dcs);
+        let partitions =
+            rows.iter().map(|&(_, p, ..)| p + 1).max().unwrap_or(0).max(min_partitions);
+        let dcs = rows.iter().map(|&(_, _, j, _)| j + 1).max().unwrap_or(0).max(min_dcs);
         let mut loads: Vec<QueryLoad> =
             (0..epochs).map(|_| QueryLoad::zeros(partitions, dcs)).collect();
         for (e, p, j, c) in rows {
@@ -186,36 +173,61 @@ mod tests {
 
     #[test]
     fn from_csv_rejects_garbage() {
-        assert!(Trace::from_csv("wrong,header
-", 1, 1).is_err());
+        assert!(Trace::from_csv(
+            "wrong,header
+",
+            1,
+            1
+        )
+        .is_err());
         assert!(
-            Trace::from_csv("epoch,partition,requester,count
+            Trace::from_csv(
+                "epoch,partition,requester,count
 1,2
-", 1, 1).is_err(),
+",
+                1,
+                1
+            )
+            .is_err(),
             "short row"
         );
         assert!(
-            Trace::from_csv("epoch,partition,requester,count
+            Trace::from_csv(
+                "epoch,partition,requester,count
 x,0,0,1
-", 1, 1).is_err(),
+",
+                1,
+                1
+            )
+            .is_err(),
             "non-numeric"
         );
     }
 
     #[test]
     fn from_csv_respects_minimum_shape() {
-        let t = Trace::from_csv("epoch,partition,requester,count
+        let t = Trace::from_csv(
+            "epoch,partition,requester,count
 0,1,1,5
-", 16, 10).unwrap();
+",
+            16,
+            10,
+        )
+        .unwrap();
         assert_eq!(t.len(), 1);
         let l = t.epoch(0).unwrap();
         assert_eq!(l.partitions(), 16);
         assert_eq!(l.datacenters(), 10);
         assert_eq!(l.get(PartitionId::new(1), DatacenterId::new(1)), 5);
         // Blank lines tolerated, empty body yields empty trace.
-        let e = Trace::from_csv("epoch,partition,requester,count
+        let e = Trace::from_csv(
+            "epoch,partition,requester,count
 
-", 4, 4).unwrap();
+",
+            4,
+            4,
+        )
+        .unwrap();
         assert!(e.is_empty());
     }
 

@@ -31,11 +31,7 @@ fn main() -> Result<()> {
     // All interest comes from Sydney: a permanent antipodean hot spot.
     let params = SimParams {
         config: SimConfig::default(),
-        scenario: Scenario::LocationShift {
-            from: sydney.0,
-            to: sydney.0,
-            hot_fraction: 0.8,
-        },
+        scenario: Scenario::LocationShift { from: sydney.0, to: sydney.0, hot_fraction: 0.8 },
         policy: PolicyKind::Rfh,
         epochs: 150,
         seed: 7,
@@ -50,11 +46,8 @@ fn main() -> Result<()> {
     // plenty, since 80% of every partition's traffic flows through it.
     let topo = sim.topology();
     let manager = sim.manager();
-    let mut per_site: Vec<(String, usize)> = topo
-        .datacenters()
-        .iter()
-        .map(|d| (format!("{} ({})", d.site, d.code), 0))
-        .collect();
+    let mut per_site: Vec<(String, usize)> =
+        topo.datacenters().iter().map(|d| (format!("{} ({})", d.site, d.code), 0)).collect();
     for p in 0..64 {
         for &s in manager.replicas(PartitionId::new(p)) {
             per_site[topo.server(s)?.datacenter.index()].1 += 1;

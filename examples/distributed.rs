@@ -76,9 +76,7 @@ fn main() -> Result<()> {
         seed: 42,
         events: EventSchedule::new(),
     };
-    Simulation::new(params)?
-        .with_custom_policy(Box::new(probe))
-        .run()?;
+    Simulation::new(params)?.with_custom_policy(Box::new(probe)).run()?;
     println!(
         "Control-plane bill over 50 flash-crowd epochs: {} traffic reports, \
          {} WAN hops travelled ({:.1} hops/report), {} still in flight.",

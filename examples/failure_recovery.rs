@@ -38,9 +38,7 @@ fn main() -> Result<()> {
     }
 
     let before = replicas.mean_over(280, 290);
-    let trough = (290..340)
-        .filter_map(|e| replicas.get(e))
-        .fold(f64::INFINITY, f64::min);
+    let trough = (290..340).filter_map(|e| replicas.get(e)).fold(f64::INFINITY, f64::min);
     let recovered = replicas.mean_over(420, 450);
     println!(
         "\nThe failure wiped out {:.0} replicas ({:.0} → {:.0}); the availability floor \

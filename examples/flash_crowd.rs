@@ -25,7 +25,8 @@ fn main() -> Result<()> {
     println!("mean replica utilization per stage:");
     println!("{:8} {:>8} {:>8} {:>8} {:>8}", "policy", "stage1", "stage2", "stage3", "stage4");
     for kind in PolicyKind::ALL {
-        let s = cmp.of(kind).metrics.series("utilization").expect("metric exists");
+        let r = cmp.of(kind).expect("comparison carries every policy");
+        let s = r.metrics.series("utilization").expect("metric exists");
         let q = (EPOCHS / 4) as usize;
         print!("{:8}", kind.name());
         for stage in 0..4 {
@@ -37,19 +38,27 @@ fn main() -> Result<()> {
 
     println!("\nmigrations accumulated by the end:");
     for kind in PolicyKind::ALL {
-        let m = cmp.of(kind).metrics.series("migrations_total").expect("metric exists");
+        let r = cmp.of(kind).expect("comparison carries every policy");
+        let m = r.metrics.series("migrations_total").expect("metric exists");
         println!("  {:8} {:>8.0}", kind.name(), m.last().unwrap_or(0.0));
     }
 
     println!("\ntotal replicas at the end (adaptation overhead):");
     for kind in PolicyKind::ALL {
-        let r = cmp.of(kind).metrics.series("replicas_total").expect("metric exists");
+        let res = cmp.of(kind).expect("comparison carries every policy");
+        let r = res.metrics.series("replicas_total").expect("metric exists");
         println!("  {:8} {:>8.0}", kind.name(), r.last().unwrap_or(0.0));
     }
 
-    let rfh = cmp.of(PolicyKind::Rfh).metrics.series("utilization").expect("metric exists");
+    let rfh = cmp
+        .of(PolicyKind::Rfh)
+        .expect("comparison carries every policy")
+        .metrics
+        .series("utilization")
+        .expect("metric exists");
     let req = cmp
         .of(PolicyKind::RequestOriented)
+        .expect("comparison carries every policy")
         .metrics
         .series("utilization")
         .expect("metric exists");

@@ -22,15 +22,17 @@ fn main() -> Result<()> {
     let cmp = run_comparison(&params)?;
 
     let tail = |kind: PolicyKind, metric: &str| {
-        let s = cmp.of(kind).metrics.series(metric).expect("metric exists");
+        let s = cmp
+            .of(kind)
+            .expect("comparison carries every policy")
+            .metrics
+            .series(metric)
+            .expect("metric exists");
         s.mean_over((EPOCHS as usize) * 3 / 4, EPOCHS as usize)
     };
 
     println!("steady state over the last quarter of {EPOCHS} epochs (seed {seed}):\n");
-    println!(
-        "{:22} {:>9} {:>9} {:>9} {:>9}",
-        "metric", "Request", "Owner", "Random", "RFH"
-    );
+    println!("{:22} {:>9} {:>9} {:>9} {:>9}", "metric", "Request", "Owner", "Random", "RFH");
     for (label, metric) in [
         ("replica utilization", "utilization"),
         ("total replicas", "replicas_total"),

@@ -16,8 +16,10 @@
 //! | [`ring`] | `rfh-ring` | consistent hashing, prefix-overlay routing |
 //! | [`stats`] | `rfh-stats` | EWMA, Erlang-B, availability bound, metrics math |
 //! | [`workload`] | `rfh-workload` | Poisson/Zipf query generation, scenarios, traces |
-//! | [`traffic`] | `rfh-traffic` | the traffic-determination pass (eqs. 2–11) |
+//! | [`traffic`] | `rfh-traffic` | the traffic-determination pass (eqs. 2–11) and the reusable, route-cached [`TrafficEngine`](rfh_traffic::TrafficEngine) |
 //! | [`core`] | `rfh-core` | the RFH decision tree + the three baselines |
+//! | [`net`] | `rfh-net` | the §II-B control plane: traffic reports over the WAN |
+//! | [`consistency`] | `rfh-consistency` | version vectors, staleness under replica churn |
 //! | [`sim`] | `rfh-sim` | the epoch simulator and the four-way comparison runner |
 //! | [`experiments`] | `rfh-experiments` | per-figure regeneration harnesses |
 //!
@@ -40,7 +42,7 @@
 //! };
 //! let cmp = run_comparison(&params).unwrap();
 //! let util = |k| {
-//!     let s = cmp.of(k).metrics.series("utilization").unwrap();
+//!     let s = cmp.of(k).expect("policy ran").metrics.series("utilization").unwrap();
 //!     s.mean_over(40, 50)
 //! };
 //! assert!(util(PolicyKind::Rfh) > util(PolicyKind::Random));
@@ -65,11 +67,11 @@ pub use rfh_workload as workload;
 
 /// The names most programs need, in one import.
 pub mod prelude {
+    pub use rfh_consistency::{ConsistencyReport, ConsistencyTracker};
     pub use rfh_core::{
         Action, EpochContext, OwnerOrientedPolicy, PolicyKind, RandomPolicy, ReplicaManager,
         ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
     };
-    pub use rfh_consistency::{ConsistencyReport, ConsistencyTracker};
     pub use rfh_net::{DistributedRfhPolicy, Network};
     pub use rfh_ring::ConsistentHashRing;
     pub use rfh_sim::{run_comparison, ComparisonResult, SimParams, SimResult, Simulation};

@@ -9,10 +9,7 @@ use rfh::prelude::*;
 
 fn params(scenario: Scenario, epochs: u64, seed: u64) -> SimParams {
     SimParams {
-        config: SimConfig {
-            partitions: 32,
-            ..SimConfig::default()
-        },
+        config: SimConfig { partitions: 32, ..SimConfig::default() },
         scenario,
         policy: PolicyKind::Rfh,
         epochs,
@@ -27,14 +24,11 @@ const FULL_BUDGET: usize = 8;
 
 #[test]
 fn distributed_equals_centralized_with_same_epoch_delivery() {
-    for (scenario, epochs) in [
-        (Scenario::RandomEven, 120u64),
-        (Scenario::FlashCrowd(FlashCrowdConfig::default()), 160),
-    ] {
-        let centralized = Simulation::new(params(scenario.clone(), epochs, 11))
-            .unwrap()
-            .run()
-            .unwrap();
+    for (scenario, epochs) in
+        [(Scenario::RandomEven, 120u64), (Scenario::FlashCrowd(FlashCrowdConfig::default()), 160)]
+    {
+        let centralized =
+            Simulation::new(params(scenario.clone(), epochs, 11)).unwrap().run().unwrap();
         let distributed = Simulation::new(params(scenario.clone(), epochs, 11))
             .unwrap()
             .with_custom_policy(Box::new(DistributedRfhPolicy::new(FULL_BUDGET)))

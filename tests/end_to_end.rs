@@ -7,10 +7,7 @@ use std::sync::Arc;
 
 fn small_params(policy: PolicyKind, scenario: Scenario, epochs: u64) -> SimParams {
     SimParams {
-        config: SimConfig {
-            partitions: 24,
-            ..SimConfig::default()
-        },
+        config: SimConfig { partitions: 24, ..SimConfig::default() },
         scenario,
         policy,
         epochs,
@@ -53,17 +50,13 @@ fn every_partition_always_has_a_live_primary() {
 #[test]
 fn storage_never_exceeds_phi() {
     for kind in PolicyKind::ALL {
-        let mut sim =
-            Simulation::new(small_params(kind, Scenario::RandomEven, 50)).unwrap();
+        let mut sim = Simulation::new(small_params(kind, Scenario::RandomEven, 50)).unwrap();
         for _ in 0..50 {
             sim.step().unwrap();
             let manager = sim.manager();
             for s in 0..manager.servers() {
                 let frac = manager.storage_fraction(ServerId::new(s as u32));
-                assert!(
-                    frac <= 0.7 + 1e-12,
-                    "{kind}: server {s} at {frac} exceeds φ = 0.7"
-                );
+                assert!(frac <= 0.7 + 1e-12, "{kind}: server {s} at {frac} exceeds φ = 0.7");
             }
         }
     }
@@ -124,9 +117,7 @@ fn served_plus_unserved_equals_demand() {
         params.seed,
     );
     let trace = Arc::new(Trace::record(&mut generator, params.epochs));
-    let mut sim = Simulation::new(params)
-        .unwrap()
-        .with_shared_trace(Arc::clone(&trace));
+    let mut sim = Simulation::new(params).unwrap().with_shared_trace(Arc::clone(&trace));
     for epoch in 0..40u64 {
         let snap = sim.step().unwrap();
         let demand = trace.epoch(epoch).unwrap().total() as f64;
@@ -152,10 +143,7 @@ fn facade_prelude_covers_a_full_workflow() {
     spec.link(a, b, 12.0).unwrap();
     let topo = spec.build(0.1, 3).unwrap();
     let params = SimParams {
-        config: SimConfig {
-            partitions: 8,
-            ..SimConfig::default()
-        },
+        config: SimConfig { partitions: 8, ..SimConfig::default() },
         scenario: Scenario::RandomEven,
         policy: PolicyKind::Rfh,
         epochs: 30,

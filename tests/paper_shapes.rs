@@ -18,13 +18,7 @@ fn shared_run() -> FigureRun {
         42,
     ))
     .expect("flash-crowd comparison runs");
-    FigureRun {
-        id: "all",
-        caption: "shared",
-        metrics: &[],
-        random,
-        flash: Some(flash),
-    }
+    FigureRun { id: "all", caption: "shared", metrics: &[], random, flash: Some(flash) }
 }
 
 #[test]
@@ -43,17 +37,10 @@ fn figures_3_to_9_reproduce_paper_claims() {
         .filter(|c| !c.acceptable())
         .map(|c| format!("{}: {} ({})", c.id, c.claim, c.detail))
         .collect();
-    assert!(
-        failures.is_empty(),
-        "unexpected shape regressions:\n{}",
-        failures.join("\n")
-    );
+    assert!(failures.is_empty(), "unexpected shape regressions:\n{}", failures.join("\n"));
     // The deviations must be exactly the documented ones, no more.
-    let deviations: Vec<&str> = all
-        .iter()
-        .filter(|c| !c.holds && c.known_deviation)
-        .map(|c| c.id.as_str())
-        .collect();
+    let deviations: Vec<&str> =
+        all.iter().filter(|c| !c.holds && c.known_deviation).map(|c| c.id.as_str()).collect();
     assert_eq!(
         deviations,
         vec!["fig9.rfh-short-paths"],

@@ -7,10 +7,7 @@ use rfh::prelude::*;
 #[test]
 fn latency_and_sla_are_physical_for_every_policy() {
     let base = SimParams {
-        config: SimConfig {
-            partitions: 32,
-            ..SimConfig::default()
-        },
+        config: SimConfig { partitions: 32, ..SimConfig::default() },
         scenario: Scenario::RandomEven,
         policy: PolicyKind::Rfh,
         epochs: 120,
@@ -19,7 +16,7 @@ fn latency_and_sla_are_physical_for_every_policy() {
     };
     let cmp = run_comparison(&base).unwrap();
     for kind in PolicyKind::ALL {
-        let m = &cmp.of(kind).metrics;
+        let m = &cmp.of(kind).expect("comparison carries every policy").metrics;
         let lat = m.series("latency_ms").unwrap();
         let sla = m.series("sla_300ms").unwrap();
         for epoch in 0..120 {
@@ -40,10 +37,7 @@ fn requester_local_placement_is_fastest() {
     // Request-oriented parks replicas next to requesters, so its mean
     // latency must beat RFH's hub placement.
     let base = SimParams {
-        config: SimConfig {
-            partitions: 32,
-            ..SimConfig::default()
-        },
+        config: SimConfig { partitions: 32, ..SimConfig::default() },
         scenario: Scenario::RandomEven,
         policy: PolicyKind::Rfh,
         epochs: 150,
@@ -52,7 +46,7 @@ fn requester_local_placement_is_fastest() {
     };
     let cmp = run_comparison(&base).unwrap();
     let tail = |kind: PolicyKind| {
-        let s = cmp.of(kind).metrics.series("latency_ms").unwrap();
+        let s = cmp.of(kind).unwrap().metrics.series("latency_ms").unwrap();
         s.mean_over(100, 150)
     };
     assert!(

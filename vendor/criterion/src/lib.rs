@@ -1,0 +1,155 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`, `Bencher::{iter, iter_batched}`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros —
+//! measured with plain `std::time::Instant` and reported as mean
+//! ns/iteration on stdout. No statistics, plots, or baselines.
+//!
+//! Like upstream criterion, running the bench binary with `--test`
+//! (what `cargo test` does for `harness = false` bench targets)
+//! executes every routine exactly once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per setup batch upstream.
+    SmallInput,
+    /// Large inputs: few iterations per setup batch upstream.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` only, re-running `setup` outside the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test"), sample_size: 100 }
+    }
+}
+
+/// Run one benchmark closure and return (iterations, elapsed).
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> (u64, Duration) {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    (iters, b.elapsed)
+}
+
+impl Criterion {
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if self.test_mode {
+            run_once(&mut f, 1);
+            println!("Testing {id} ... ok");
+            return;
+        }
+        // Calibrate: aim for ~200 ms of measurement, capped by
+        // sample_size-scaled iteration growth for slow routines.
+        let (_, probe) = run_once(&mut f, 1);
+        let per_iter = probe.max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(200).min(per_iter * self.sample_size as u32);
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000_000) as u64;
+        let (n, elapsed) = run_once(&mut f, iters);
+        let mean_ns = elapsed.as_nanos() as f64 / n as f64;
+        println!("{id}: {} iters, mean {:.1} ns/iter", n, mean_ns);
+    }
+
+    /// Benchmark a single function under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_named(id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower/raise the per-benchmark sample budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` as `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_named(&full, f);
+        self
+    }
+
+    /// Close the group (restores the default sample size).
+    pub fn finish(self) {
+        self.criterion.sample_size = 100;
+    }
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided — the
+//! one API this workspace uses — implemented directly on top of
+//! `std::thread::scope` (stable since Rust 1.63, which postdates the
+//! original choice of crossbeam for scoped threads).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// The error half of [`scope`]'s and [`ScopedJoinHandle::join`]'s
+    /// result: the payload of a panicked thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope in which child threads may borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may outlive the closure creating it but
+        /// not the enclosing [`scope`] call. The closure receives the
+        /// scope back, crossbeam-style, so nested spawns work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. Unlike crossbeam, an unjoined
+    /// panicked child propagates its panic here instead of surfacing as
+    /// `Err` — every caller in this workspace joins all of its handles,
+    /// so the distinction never materializes.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let res = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(res.is_err());
+    }
+}

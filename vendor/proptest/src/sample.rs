@@ -1,0 +1,24 @@
+//! Sampling helpers: the [`Index`] type.
+
+use crate::Arbitrary;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A length-independent index: drawn once, projected onto any
+/// collection length with [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        Index(rng.gen::<u64>())
+    }
+}

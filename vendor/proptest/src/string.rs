@@ -1,0 +1,128 @@
+//! String strategies from `&'static str` regex-like patterns.
+//!
+//! Supports the subset used in this workspace: a concatenation of
+//! character classes, each optionally repeated — `"[A-Z]{3}"`,
+//! `"[A-Z][A-Z0-9]{0,3}"`, `"[ -~]{0,40}"`. Classes may contain single
+//! characters and `a-b` ranges.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct Atom {
+    /// Inclusive character ranges (a single char is `(c, c)`).
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        assert_eq!(c, '[', "unsupported pattern {pattern:?}: expected '['");
+        let mut class: Vec<char> = Vec::new();
+        for d in chars.by_ref() {
+            if d == ']' {
+                break;
+            }
+            class.push(d);
+        }
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                ranges.push((class[i], class[i + 2]));
+                i += 3;
+            } else if i + 2 == class.len() && class[i + 1] == '-' {
+                // Trailing literal '-': e.g. "[a-z-]".
+                ranges.push((class[i], class[i]));
+                ranges.push(('-', '-'));
+                i += 2;
+            } else {
+                ranges.push((class[i], class[i]));
+                i += 1;
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    (lo.parse().expect("bad repeat count"), hi.parse().expect("bad repeat count"))
+                }
+                None => {
+                    let n = spec.parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repeat range in {pattern:?}");
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn sample_char(ranges: &[(char, char)], rng: &mut StdRng) -> char {
+    let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+    let mut pick = rng.gen_range(0..total as usize) as u32;
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick).expect("range stays in scalar values");
+        }
+        pick -= span;
+    }
+    unreachable!()
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(sample_char(&atom.ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn patterns_generate_within_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = "[A-Z]{3}".generate(&mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+
+            let s = "[A-Z][A-Z0-9]{0,3}".generate(&mut rng);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            assert!(s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
+
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}
