@@ -128,6 +128,7 @@ fn decision_benches(c: &mut Criterion) {
                 smoother: &smoother,
                 blocking: &blocking,
                 config: &cfg,
+                recorder: &rfh_obs::NullRecorder,
             };
             black_box(policy.decide(&ctx, &manager))
         })

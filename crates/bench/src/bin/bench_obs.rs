@@ -1,0 +1,117 @@
+//! Cost of the observability layer, emitted as `BENCH_obs.json` for the
+//! repo's records.
+//!
+//! Run from the workspace root (release profile matters):
+//!
+//! ```text
+//! cargo run --release -p rfh-bench --bin bench_obs
+//! ```
+//!
+//! Three configurations of the same paper-scale simulation are timed in
+//! interleaved rounds (so frequency or scheduler drift hits all alike),
+//! each reporting its *median* round:
+//!
+//! * `baseline` — `Simulation::run()` as every caller gets it. The
+//!   decision hooks are compiled in and dispatch to [`NullRecorder`],
+//!   whose `enabled()` gate skips event assembly.
+//! * `disabled` — the same null path wired explicitly through
+//!   `with_recorder` + `with_profiling(false)`, i.e. what the CLI runs
+//!   when `--trace`/`--profile` are absent. The baseline/disabled gap
+//!   (`disabled_overhead_pct`) is the cost of the disabled
+//!   observability plumbing and must stay under 2%.
+//! * `traced` — a [`TraceRecorder`] capturing every decision plus the
+//!   per-phase profiler, the full `--trace --profile` configuration.
+
+use rfh_bench::bench_params;
+use rfh_obs::{NullRecorder, Recorder, TraceRecorder};
+use rfh_sim::Simulation;
+use rfh_workload::Scenario;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROUNDS: usize = 9;
+const EPOCHS: u64 = 40;
+
+/// ns per simulated epoch for one full run of `sim`.
+fn time_run(sim: Simulation) -> f64 {
+    let start = Instant::now();
+    let result = sim.run().expect("simulation runs");
+    let elapsed = start.elapsed().as_nanos() as f64;
+    black_box(result);
+    elapsed / EPOCHS as f64
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let params = bench_params(Scenario::RandomEven, EPOCHS);
+
+    // Warm-up: page in code and the topology caches once.
+    time_run(Simulation::new(params.clone()).expect("simulation builds"));
+
+    let mut baseline = Vec::with_capacity(ROUNDS);
+    let mut disabled = Vec::with_capacity(ROUNDS);
+    let mut traced = Vec::with_capacity(ROUNDS);
+    let mut events_per_run = 0usize;
+    for _ in 0..ROUNDS {
+        baseline.push(time_run(Simulation::new(params.clone()).expect("simulation builds")));
+
+        let null: Arc<dyn Recorder> = Arc::new(NullRecorder);
+        disabled.push(time_run(
+            Simulation::new(params.clone())
+                .expect("simulation builds")
+                .with_recorder(null)
+                .with_profiling(false),
+        ));
+
+        let rec = Arc::new(TraceRecorder::new());
+        traced.push(time_run(
+            Simulation::new(params.clone())
+                .expect("simulation builds")
+                .with_recorder(rec.clone())
+                .with_profiling(true),
+        ));
+        events_per_run = rec.len();
+    }
+    let baseline_ns = median(baseline);
+    let disabled_ns = median(disabled);
+    let traced_ns = median(traced);
+
+    let disabled_overhead_pct = 100.0 * (disabled_ns - baseline_ns) / baseline_ns;
+    let traced_overhead_pct = 100.0 * (traced_ns - baseline_ns) / baseline_ns;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"observability overhead, paper topology ({} epochs/run)\",\n",
+            "  \"rounds\": {},\n",
+            "  \"baseline_epoch_ns\": {:.1},\n",
+            "  \"disabled_epoch_ns\": {:.1},\n",
+            "  \"traced_epoch_ns\": {:.1},\n",
+            "  \"disabled_overhead_pct\": {:.2},\n",
+            "  \"traced_overhead_pct\": {:.2},\n",
+            "  \"trace_events_per_run\": {}\n",
+            "}}\n"
+        ),
+        EPOCHS,
+        ROUNDS,
+        baseline_ns,
+        disabled_ns,
+        traced_ns,
+        disabled_overhead_pct,
+        traced_overhead_pct,
+        events_per_run
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    print!("{json}");
+    if disabled_overhead_pct >= 2.0 {
+        eprintln!("WARNING: disabled observability overhead {disabled_overhead_pct:.2}% >= 2%");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote BENCH_obs.json (disabled {disabled_overhead_pct:+.2}%, traced {traced_overhead_pct:+.2}%)"
+    );
+}

@@ -1,8 +1,9 @@
 //! Hand-rolled argument parsing.
 //!
-//! Grammar: `<command> (--key value)*`. Every option takes exactly one
-//! value; unknown options are rejected at parse time (commands validate
-//! which options they accept semantically).
+//! Grammar: `<command> (--key value | --flag)*`. Value options take
+//! exactly one value; flags ([`FLAGS`]) take none. Unknown options are
+//! rejected at parse time (commands validate which options they accept
+//! semantically).
 
 use rfh_core::PolicyKind;
 use rfh_types::{FlashCrowdConfig, Result, RfhError};
@@ -16,6 +17,9 @@ pub type Options = BTreeMap<String, String>;
 /// typos should not pass silently).
 const KNOWN: [&str; 8] = ["policy", "scenario", "epochs", "seed", "csv", "csv-dir", "out", "trace"];
 
+/// Valueless options, stored as `"true"` when present.
+pub const FLAGS: [&str; 1] = ["profile"];
+
 /// Split an argument list into `(command, options)`.
 pub fn parse(argv: &[String]) -> Result<(String, Options)> {
     let mut it = argv.iter();
@@ -28,6 +32,10 @@ pub fn parse(argv: &[String]) -> Result<(String, Options)> {
                 reason: format!("expected --option, got {arg:?}"),
             });
         };
+        if FLAGS.contains(&key) {
+            opts.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         if !KNOWN.contains(&key) {
             return Err(RfhError::InvalidConfig {
                 parameter: "arguments",
@@ -43,6 +51,11 @@ pub fn parse(argv: &[String]) -> Result<(String, Options)> {
         opts.insert(key.to_string(), value.clone());
     }
     Ok((command, opts))
+}
+
+/// Whether a valueless flag (one of [`FLAGS`]) was given.
+pub fn flag(opts: &Options, key: &str) -> bool {
+    opts.get(key).map(String::as_str) == Some("true")
 }
 
 /// `--policy` (default RFH).
@@ -115,6 +128,15 @@ mod tests {
         let (cmd, opts) = parse(&[]).unwrap();
         assert_eq!(cmd, "");
         assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn profile_flag_takes_no_value() {
+        let (_, opts) = parse(&argv("run --profile --epochs 3")).unwrap();
+        assert!(flag(&opts, "profile"));
+        assert_eq!(epochs(&opts).unwrap(), 3, "--profile must not eat the next token");
+        let (_, opts) = parse(&argv("run --epochs 3")).unwrap();
+        assert!(!flag(&opts, "profile"));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use crate::args::{self, Options};
 use rfh_core::PolicyKind;
 use rfh_experiments::table1 as table1_mod;
-use rfh_sim::{report, run_comparison, SimParams, Simulation};
+use rfh_obs::{MetricsRegistry, Recorder, TraceRecorder};
+use rfh_sim::{report, run_comparison_observed, ObsOptions, SimParams, Simulation};
 use rfh_topology::paper_topology;
 use rfh_types::{Result, SimConfig};
 use rfh_workload::{EventSchedule, Trace, WorkloadGenerator};
@@ -93,9 +94,13 @@ const SUMMARY_METRICS: [(&str, &str); 8] = [
     ("SLA within 300 ms", "sla_300ms"),
 ];
 
-/// `rfh run`: one policy, steady-state summary, optional CSV.
+/// `rfh run`: one policy, steady-state summary, optional CSV, optional
+/// decision trace (`--trace FILE.jsonl`) and phase profile
+/// (`--profile`). Observation only: the summary is identical with and
+/// without them.
 pub fn run_one(opts: &Options) -> Result<String> {
     let p = params(opts)?;
+    let epochs = p.epochs;
     let label = format!(
         "{} under {} for {} epochs (seed {})",
         p.policy.name(),
@@ -103,10 +108,34 @@ pub fn run_one(opts: &Options) -> Result<String> {
         p.epochs,
         p.seed
     );
-    let result = Simulation::new(p)?.run()?;
+    let profiled = args::flag(opts, "profile");
+    let recorder = opts.get("trace").map(|_| Arc::new(TraceRecorder::new()));
+    let mut sim = Simulation::new(p)?.with_profiling(profiled);
+    if let Some(rec) = &recorder {
+        sim = sim.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+    }
+    while sim.epoch() < epochs {
+        sim.step()?;
+    }
+    let mut registry = MetricsRegistry::new();
+    sim.collect_metrics(&mut registry);
+    let result = sim.finish();
     let mut out = format!("{label}\nsteady state (last quarter):\n");
     for (name, metric) in SUMMARY_METRICS {
         let _ = writeln!(out, "  {name:24} {:>12.3}", tail(&result, metric));
+    }
+    if let Some(profile) = &result.profile {
+        out.push_str("\nper-phase epoch budget:\n");
+        out.push_str(&profile.render());
+        out.push_str("\ncounters:\n");
+        out.push_str(&registry.render());
+    }
+    if let (Some(path), Some(rec)) = (opts.get("trace"), &recorder) {
+        std::fs::write(path, rec.to_jsonl())?;
+        let _ = writeln!(out, "{} decision events written to {path}", rec.len());
+        if rec.dropped() > 0 {
+            let _ = writeln!(out, "({} older events evicted from the trace ring)", rec.dropped());
+        }
     }
     if let Some(path) = opts.get("csv") {
         std::fs::write(path, report::run_csv(&result))?;
@@ -115,7 +144,9 @@ pub fn run_one(opts: &Options) -> Result<String> {
     Ok(out)
 }
 
-/// `rfh compare`: the four-way comparison table.
+/// `rfh compare`: the four-way comparison table, with optional
+/// per-policy phase budgets (`--profile`) and a shared decision trace
+/// (`--trace FILE.jsonl`, events tagged by policy).
 pub fn compare(opts: &Options) -> Result<String> {
     let p = params(opts)?;
     let label = format!(
@@ -124,7 +155,13 @@ pub fn compare(opts: &Options) -> Result<String> {
         p.epochs,
         p.seed
     );
-    let cmp = run_comparison(&p)?;
+    let profiled = args::flag(opts, "profile");
+    let recorder = opts.get("trace").map(|_| Arc::new(TraceRecorder::new()));
+    let obs = ObsOptions {
+        profile: profiled,
+        recorder: recorder.clone().map(|r| r as Arc<dyn Recorder>),
+    };
+    let cmp = run_comparison_observed(&p, &obs)?;
     let mut out = format!("{label}\nsteady state (last quarter):\n\n");
     let _ = write!(out, "{:26}", "metric");
     for kind in PolicyKind::ALL {
@@ -134,10 +171,18 @@ pub fn compare(opts: &Options) -> Result<String> {
     for (name, metric) in SUMMARY_METRICS {
         let _ = write!(out, "{name:26}");
         for kind in PolicyKind::ALL {
-            let r = cmp.of(kind).expect("comparison carries every policy");
+            let r = cmp.require(kind)?;
             let _ = write!(out, " {:>10.3}", tail(r, metric));
         }
         out.push('\n');
+    }
+    if profiled {
+        out.push('\n');
+        out.push_str(&report::profile_table(&cmp));
+    }
+    if let (Some(path), Some(rec)) = (opts.get("trace"), &recorder) {
+        std::fs::write(path, rec.to_jsonl())?;
+        let _ = writeln!(out, "\n{} decision events written to {path}", rec.len());
     }
     if let Some(dir) = opts.get("csv-dir") {
         let metrics: Vec<&str> = SUMMARY_METRICS.iter().map(|&(_, m)| m).collect();
@@ -251,6 +296,39 @@ mod tests {
         let out = compare(&opts("compare --epochs 5")).unwrap();
         for name in ["Request", "Owner", "Random", "RFH"] {
             assert!(out.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn run_traces_and_profiles() {
+        let dir = std::env::temp_dir().join(format!("rfh_obs_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("decisions.jsonl");
+        let out = run_one(&opts(&format!("run --epochs 10 --profile --trace {}", jsonl.display())))
+            .unwrap();
+        assert!(out.contains("per-phase epoch budget"));
+        assert!(out.contains("traffic"), "phase rows present");
+        assert!(out.contains("traffic.engine.passes"), "engine counters present");
+        assert!(out.contains("decision events written"));
+        let content = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(!content.is_empty(), "10 RFH epochs must emit decisions");
+        for line in content.lines() {
+            assert!(line.starts_with("{\"epoch\":"), "JSONL line: {line}");
+            assert!(line.ends_with('}'), "JSONL line: {line}");
+        }
+        // Observation must not perturb: plain run prints the same summary.
+        let plain = run_one(&opts("run --epochs 10")).unwrap();
+        let summary_of =
+            |s: &str| s.lines().take(1 + SUMMARY_METRICS.len()).collect::<Vec<_>>().join("\n");
+        assert_eq!(summary_of(&plain), summary_of(&out));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_profile_prints_phase_budgets() {
+        let out = compare(&opts("compare --epochs 5 --profile")).unwrap();
+        for kind in PolicyKind::ALL {
+            assert!(out.contains(&format!("=== {} phase budget ===", kind.name())));
         }
     }
 

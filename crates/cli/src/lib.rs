@@ -9,8 +9,10 @@
 //! rfh topology [--seed N]                     inspect the 10-DC world and its routes
 //! rfh run [--policy rfh] [--scenario flash]   one simulation, summary + optional CSV
 //!         [--epochs N] [--seed N] [--csv FILE]
+//!         [--trace OUT.jsonl] [--profile]      decision trace + phase timing
 //! rfh compare [--scenario random] [--epochs N] four-way comparison table
 //!             [--seed N] [--csv-dir DIR]
+//!             [--trace OUT.jsonl] [--profile]
 //! rfh trace [--epochs N] [--seed N]           dump a workload trace as CSV
 //!           [--scenario S] [--out FILE]
 //! rfh help                                    this text
@@ -70,7 +72,10 @@ COMMON OPTIONS:
     --csv FILE        write the run's full metrics as CSV (run)
     --csv-dir DIR     write per-metric comparison CSVs (compare)
     --out FILE        trace output file (trace; default stdout)
-    --trace FILE      recorded trace to replay (replay)
+    --trace FILE      recorded workload trace to replay (replay), or the
+                      decision-event JSONL to write (run, compare)
+    --profile         print the per-phase epoch timing table and counters
+                      (run, compare)
 
 The figure-by-figure harness lives in the experiment binaries:
     cargo run -p rfh-experiments --bin all | fig3..fig10 | table1 | ablations | sla

@@ -17,6 +17,7 @@
 //! rate, `s` the partition size and `b` the relevant bandwidth.
 
 use crate::policy::Action;
+use rfh_obs::Recorder;
 use rfh_topology::Topology;
 use rfh_traffic::PlacementView;
 use rfh_types::{Bytes, PartitionId, Result, RfhError, ServerId, SimConfig};
@@ -280,6 +281,32 @@ impl ReplicaManager {
                 Ok(AppliedAction { action, cost: 0.0, distance_km: 0.0 })
             }
         }
+    }
+
+    /// [`ReplicaManager::apply`], mirroring the executor's verdict to a
+    /// trace recorder: the pending decision event for the partition gets
+    /// its `applied` flag and eq. (1) cost filled in (0 on rejection).
+    /// The recorder observes only — the action's outcome is identical to
+    /// a plain `apply`.
+    pub fn apply_recorded(
+        &mut self,
+        topo: &Topology,
+        action: Action,
+        recorder: &dyn Recorder,
+    ) -> Result<AppliedAction> {
+        let outcome = self.apply(topo, action);
+        if recorder.enabled() {
+            let partition = match action {
+                Action::Replicate { partition, .. }
+                | Action::Migrate { partition, .. }
+                | Action::Suicide { partition, .. } => partition,
+            };
+            match &outcome {
+                Ok(applied) => recorder.outcome(partition.0, true, applied.cost),
+                Err(_) => recorder.outcome(partition.0, false, 0.0),
+            }
+        }
+        outcome
     }
 
     fn check_server(&self, s: ServerId) -> Result<()> {

@@ -19,7 +19,7 @@
 
 use crate::manager::ReplicaManager;
 use crate::policy::{Action, EpochContext, ReplicationPolicy};
-use crate::random::UNSERVED_TRIGGER;
+use crate::random::{growth_event, UNSERVED_TRIGGER};
 use crate::selection::accepting_servers_anywhere;
 use rfh_stats::min_replica_count;
 use rfh_types::{PartitionId, ServerId};
@@ -78,6 +78,9 @@ impl ReplicationPolicy for OwnerOrientedPolicy {
                 continue;
             }
             if let Some(target) = Self::pick_target(ctx, manager, p) {
+                if ctx.recorder.enabled() {
+                    ctx.recorder.decision(growth_event(ctx, manager, "Owner", p, target, r_min));
+                }
                 actions.push(Action::Replicate { partition: p, target });
             }
         }

@@ -8,6 +8,7 @@
 //! inputs.
 
 use crate::manager::ReplicaManager;
+use rfh_obs::Recorder;
 use rfh_topology::Topology;
 use rfh_traffic::{TrafficAccounts, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, ServerId, SimConfig};
@@ -29,6 +30,9 @@ pub struct EpochContext<'a> {
     pub blocking: &'a [f64],
     /// Simulation parameters (Table I).
     pub config: &'a SimConfig,
+    /// Decision-event sink (observation-only; `&NullRecorder` when the
+    /// run is untraced).
+    pub recorder: &'a dyn Recorder,
 }
 
 /// One decision a policy can make.

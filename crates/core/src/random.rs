@@ -19,12 +19,43 @@
 
 use crate::manager::ReplicaManager;
 use crate::policy::{Action, EpochContext, ReplicationPolicy};
+use rfh_obs::{DecisionEvent, DecisionKind, Trigger};
 use rfh_ring::ConsistentHashRing;
 use rfh_stats::min_replica_count;
-use rfh_types::PartitionId;
+use rfh_types::{PartitionId, ServerId};
 
 /// Residual demand (queries/epoch) that triggers growth.
 pub(crate) const UNSERVED_TRIGGER: f64 = 0.5;
+
+/// The trace event for a baseline growth decision: below the floor it is
+/// an availability replication (count vs `r_min`), otherwise an
+/// unserved-demand one (residual vs [`UNSERVED_TRIGGER`]). Shared by the
+/// owner and random baselines, which grow on the same predicate.
+pub(crate) fn growth_event(
+    ctx: &EpochContext<'_>,
+    manager: &ReplicaManager,
+    policy: &'static str,
+    p: PartitionId,
+    target: ServerId,
+    r_min: usize,
+) -> DecisionEvent {
+    let below_floor = manager.replica_count(p) < r_min;
+    let unserved = ctx.accounts.unserved[p.index()];
+    let (trigger, traffic, threshold) = if below_floor {
+        (Trigger::AvailabilityFloor, manager.replica_count(p) as f64, r_min as f64)
+    } else {
+        (Trigger::UnservedDemand, unserved, UNSERVED_TRIGGER)
+    };
+    DecisionEvent {
+        target: Some(target.0),
+        traffic,
+        threshold,
+        q_avg: ctx.smoother.q_avg(p),
+        blocking: ctx.blocking.get(target.index()).copied().unwrap_or(f64::NAN),
+        unserved,
+        ..DecisionEvent::new(ctx.epoch.raw(), policy, DecisionKind::Replicate, p.0, trigger)
+    }
+}
 
 /// The random placement baseline.
 #[derive(Debug, Clone)]
@@ -68,6 +99,9 @@ impl ReplicationPolicy for RandomPolicy {
                     && manager.can_accept(p, s)
             });
             if let Some(target) = target {
+                if ctx.recorder.enabled() {
+                    ctx.recorder.decision(growth_event(ctx, manager, "Random", p, target, r_min));
+                }
                 actions.push(Action::Replicate { partition: p, target });
             }
         }

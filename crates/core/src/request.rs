@@ -12,6 +12,7 @@ use crate::random::UNSERVED_TRIGGER;
 use crate::selection::accepting_servers_in_dc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rfh_obs::{DecisionEvent, DecisionKind, Trigger};
 use rfh_stats::min_replica_count;
 use rfh_types::{DatacenterId, PartitionId};
 
@@ -133,6 +134,29 @@ impl ReplicationPolicy for RequestOrientedPolicy {
                     let candidates = accepting_servers_in_dc(ctx.topo, manager, p, dc);
                     if !candidates.is_empty() {
                         let target = candidates[self.rng.gen_range(0..candidates.len())];
+                        if ctx.recorder.enabled() {
+                            ctx.recorder.decision(DecisionEvent {
+                                target: Some(target.0),
+                                // The requester DC's smoothed rate vs the
+                                // active-requester bar.
+                                traffic: self.rate(p, dc),
+                                threshold: Self::ACTIVE_RATE,
+                                q_avg: ctx.smoother.q_avg(p),
+                                blocking: ctx
+                                    .blocking
+                                    .get(target.index())
+                                    .copied()
+                                    .unwrap_or(f64::NAN),
+                                unserved: ctx.accounts.unserved[p.index()],
+                                ..DecisionEvent::new(
+                                    ctx.epoch.raw(),
+                                    "Request",
+                                    DecisionKind::Replicate,
+                                    p.0,
+                                    Trigger::RequesterTop3,
+                                )
+                            });
+                        }
                         actions.push(Action::Replicate { partition: p, target });
                         break 'dcs;
                     }
@@ -171,6 +195,32 @@ impl ReplicationPolicy for RequestOrientedPolicy {
                         let candidates = accepting_servers_in_dc(ctx.topo, manager, p, dest_dc);
                         if !candidates.is_empty() {
                             let to = candidates[self.rng.gen_range(0..candidates.len())];
+                            if ctx.recorder.enabled() {
+                                let from_dc = ctx.topo.servers()[from.index()].datacenter;
+                                ctx.recorder.decision(DecisionEvent {
+                                    source: Some(from.0),
+                                    target: Some(to.0),
+                                    // §III-D: destination rate vs the
+                                    // margin over the victim's rate.
+                                    traffic: dest_rate,
+                                    threshold: MIGRATION_RATE_MARGIN
+                                        * self.rate(p, from_dc).max(0.05),
+                                    q_avg: ctx.smoother.q_avg(p),
+                                    blocking: ctx
+                                        .blocking
+                                        .get(to.index())
+                                        .copied()
+                                        .unwrap_or(f64::NAN),
+                                    unserved: ctx.accounts.unserved[p.index()],
+                                    ..DecisionEvent::new(
+                                        ctx.epoch.raw(),
+                                        "Request",
+                                        DecisionKind::Migrate,
+                                        p.0,
+                                        Trigger::Top3Shift,
+                                    )
+                                });
+                            }
                             actions.push(Action::Migrate { partition: p, from, to });
                         }
                     }

@@ -44,6 +44,7 @@ use crate::selection::{accepting_servers_in_dc, least_blocked_in_dc};
 use crate::thresholds::{
     holder_overloaded, is_traffic_hub, migration_beneficial, suicide_candidate,
 };
+use rfh_obs::{DecisionEvent, DecisionKind, Recorder, Trigger};
 use rfh_stats::min_replica_count;
 use rfh_topology::Topology;
 use rfh_types::{DatacenterId, Epoch, PartitionId, ServerId, Thresholds};
@@ -91,6 +92,13 @@ pub trait TrafficView {
     /// take a copy — geographic diversity for the availability floor —
     /// falling back to its own datacenter, then giving up.
     fn bootstrap_candidate(&self, p: PartitionId, holder_dc: DatacenterId) -> Option<ServerId>;
+
+    /// Erlang-B blocking probability (eq. 18) at a server, for trace
+    /// events. NaN when the view has no blocking information (e.g. a
+    /// distributed view for a datacenter that sent no report).
+    fn blocking_of(&self, _s: ServerId) -> f64 {
+        f64::NAN
+    }
 
     /// `t̄r_i` of eq. (17): mean arrival traffic over all datacenters.
     fn mean_traffic(&self, p: PartitionId) -> f64 {
@@ -206,7 +214,11 @@ impl RfhDecisionCore {
     /// Run the decision tree for every partition.
     ///
     /// `replica_dc` must map a replica server to its datacenter (the
-    /// holder knows where its replicas live).
+    /// holder knows where its replicas live). Each emitted action is
+    /// mirrored to `recorder` as a [`DecisionEvent`] carrying the model
+    /// inputs that fired, labelled `policy` — observation-only, so the
+    /// decisions are identical under any recorder.
+    #[allow(clippy::too_many_arguments)]
     pub fn decide_all(
         &mut self,
         epoch: Epoch,
@@ -215,9 +227,12 @@ impl RfhDecisionCore {
         topo: &Topology,
         manager: &ReplicaManager,
         view: &dyn TrafficView,
+        recorder: &dyn Recorder,
+        policy: &'static str,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
         let replica_dc = |s: ServerId| topo.servers()[s.index()].datacenter;
+        let traced = recorder.enabled();
 
         for p_idx in 0..manager.partitions() {
             let p = PartitionId::new(p_idx);
@@ -243,6 +258,24 @@ impl RfhDecisionCore {
             // ── 1. Availability floor ─────────────────────────────────
             if manager.replica_count(p) < r_min {
                 if let Some(target) = Self::most_forwarding_target(view, p, holder_dc) {
+                    if traced {
+                        recorder.decision(DecisionEvent {
+                            target: Some(target.0),
+                            // eq. 14: the count/floor comparison fired.
+                            traffic: manager.replica_count(p) as f64,
+                            threshold: r_min as f64,
+                            q_avg,
+                            blocking: view.blocking_of(target),
+                            unserved: view.unserved(p),
+                            ..DecisionEvent::new(
+                                epoch.raw(),
+                                policy,
+                                DecisionKind::Replicate,
+                                p.0,
+                                Trigger::AvailabilityFloor,
+                            )
+                        });
+                    }
                     actions.push(Action::Replicate { partition: p, target });
                 }
                 continue; // one structural action per partition per epoch
@@ -299,15 +332,72 @@ impl RfhDecisionCore {
                         })
                         .flatten();
                     match victim {
-                        Some((from, _)) => {
+                        Some((from, from_tr)) => {
+                            if traced {
+                                recorder.decision(DecisionEvent {
+                                    source: Some(from.0),
+                                    target: Some(target.0),
+                                    // eq. 16: benefit tr_to − tr_from vs μ·t̄r.
+                                    traffic: hub_tr - from_tr,
+                                    threshold: t.mu * mean_tr,
+                                    q_avg,
+                                    blocking: view.blocking_of(target),
+                                    unserved: view.unserved(p),
+                                    ..DecisionEvent::new(
+                                        epoch.raw(),
+                                        policy,
+                                        DecisionKind::Migrate,
+                                        p.0,
+                                        Trigger::MigrationBenefit,
+                                    )
+                                });
+                            }
                             self.last_migration.insert(p.0, epoch.raw());
                             actions.push(Action::Migrate { partition: p, from, to: target })
                         }
-                        None => actions.push(Action::Replicate { partition: p, target }),
+                        None => {
+                            if traced {
+                                recorder.decision(DecisionEvent {
+                                    target: Some(target.0),
+                                    // eq. 13: the hub's traffic vs γ·q̄.
+                                    traffic: hub_tr,
+                                    threshold: t.gamma * q_avg,
+                                    q_avg,
+                                    blocking: view.blocking_of(target),
+                                    unserved: view.unserved(p),
+                                    ..DecisionEvent::new(
+                                        epoch.raw(),
+                                        policy,
+                                        DecisionKind::Replicate,
+                                        p.0,
+                                        Trigger::TrafficHub,
+                                    )
+                                });
+                            }
+                            actions.push(Action::Replicate { partition: p, target })
+                        }
                     }
                 } else if hubs.is_empty() {
                     // Local surge: relieve inside the holder's own DC.
                     if let Some(target) = view.candidate(p, holder_dc) {
+                        if traced {
+                            recorder.decision(DecisionEvent {
+                                target: Some(target.0),
+                                // eq. 12: the holder's own traffic vs β·q̄.
+                                traffic: holder_tr,
+                                threshold: t.beta * q_avg,
+                                q_avg,
+                                blocking: view.blocking_of(target),
+                                unserved: view.unserved(p),
+                                ..DecisionEvent::new(
+                                    epoch.raw(),
+                                    policy,
+                                    DecisionKind::Replicate,
+                                    p.0,
+                                    Trigger::LocalOverload,
+                                )
+                            });
+                        }
                         actions.push(Action::Replicate { partition: p, target });
                     }
                 }
@@ -331,7 +421,24 @@ impl RfhDecisionCore {
                             .unwrap_or(std::cmp::Ordering::Equal)
                             .then_with(|| a.0.cmp(&b.0))
                     });
-                if let Some((server, _)) = doomed {
+                if let Some((server, tr)) = doomed {
+                    if traced {
+                        recorder.decision(DecisionEvent {
+                            source: Some(server.0),
+                            // eq. 15: the replica's traffic vs δ·q̄.
+                            traffic: tr,
+                            threshold: t.delta * q_avg,
+                            q_avg,
+                            unserved: view.unserved(p),
+                            ..DecisionEvent::new(
+                                epoch.raw(),
+                                policy,
+                                DecisionKind::Suicide,
+                                p.0,
+                                Trigger::IdleSuicide,
+                            )
+                        });
+                    }
                     actions.push(Action::Suicide { partition: p, server });
                 }
             }
@@ -426,6 +533,9 @@ impl TrafficView for CentralizedView<'_> {
             holder_dc,
         )
     }
+    fn blocking_of(&self, s: ServerId) -> f64 {
+        self.ctx.blocking.get(s.index()).copied().unwrap_or(f64::NAN)
+    }
 }
 
 /// The RFH decision agent over the centralized (simulator) view.
@@ -467,7 +577,16 @@ impl ReplicationPolicy for RfhPolicy {
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let view = CentralizedView { ctx, manager, use_blocking: self.use_blocking };
-        self.core.decide_all(ctx.epoch, &ctx.config.thresholds, r_min, ctx.topo, manager, &view)
+        self.core.decide_all(
+            ctx.epoch,
+            &ctx.config.thresholds,
+            r_min,
+            ctx.topo,
+            manager,
+            &view,
+            ctx.recorder,
+            "RFH",
+        )
     }
 }
 

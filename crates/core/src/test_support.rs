@@ -40,6 +40,7 @@ impl CtxParts {
             smoother: &self.smoother,
             blocking: &self.blocking,
             config: &h.cfg,
+            recorder: &rfh_obs::NullRecorder,
         }
     }
 }

@@ -162,6 +162,7 @@ mod tests {
                     m.record(&rfh_sim::EpochSnapshot::default());
                     m
                 },
+                profile: None,
             },
         };
         let table = render("demo", &[fake]);

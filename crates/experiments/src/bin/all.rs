@@ -8,7 +8,7 @@ use rfh_experiments::shapes::ShapeCheck;
 use rfh_experiments::{figures, shapes, table1};
 use rfh_types::SimConfig;
 
-fn main() {
+fn main() -> rfh_types::Result<()> {
     let seed = seed_from_args();
     let root = results_root();
     println!("{}", table1::render(&SimConfig::default()));
@@ -16,7 +16,7 @@ fn main() {
     let mut all_checks: Vec<ShapeCheck> = Vec::new();
     type Runner = (
         fn(u64) -> rfh_types::Result<figures::FigureRun>,
-        fn(&figures::FigureRun) -> Vec<ShapeCheck>,
+        fn(&figures::FigureRun) -> rfh_types::Result<Vec<ShapeCheck>>,
     );
     let runners: [Runner; 7] = [
         (figures::fig3, shapes::check_fig3),
@@ -28,16 +28,16 @@ fn main() {
         (figures::fig9, shapes::check_fig9),
     ];
     for (run_fn, check_fn) in runners {
-        let run = run_fn(seed).expect("simulation runs");
-        let checks = check_fn(&run);
-        print_figure(&run, &checks);
-        persist_figure(&run, &root).expect("results written");
+        let run = run_fn(seed)?;
+        let checks = check_fn(&run)?;
+        print_figure(&run, &checks)?;
+        persist_figure(&run, &root)?;
         all_checks.extend(checks);
     }
-    let fig10 = figures::fig10(seed).expect("simulation runs");
-    let checks = shapes::check_fig10(&fig10);
-    print_fig10(&fig10, &checks);
-    persist_fig10(&fig10, &root).expect("results written");
+    let fig10 = figures::fig10(seed)?;
+    let checks = shapes::check_fig10(&fig10)?;
+    print_fig10(&fig10, &checks)?;
+    persist_fig10(&fig10, &root)?;
     all_checks.extend(checks);
 
     let pass = all_checks.iter().filter(|c| c.holds).count();
@@ -49,4 +49,5 @@ fn main() {
     if fail > 0 {
         std::process::exit(1);
     }
+    Ok(())
 }

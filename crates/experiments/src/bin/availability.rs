@@ -30,7 +30,7 @@ fn params_with_waves(burst: usize, seed: u64) -> SimParams {
     p
 }
 
-fn main() {
+fn main() -> rfh_types::Result<()> {
     let seed = seed_from_args();
     println!(
         "Recurring failure waves (every {WAVE_PERIOD} epochs, recovery after \
@@ -39,26 +39,31 @@ fn main() {
         WAVE_PERIOD / 2
     );
     for burst in [10usize, 30, 50] {
-        let cmp = run_comparison(&params_with_waves(burst, seed)).expect("runs");
+        let cmp = run_comparison(&params_with_waves(burst, seed))?;
         println!("== {burst} servers per wave ==");
         println!(
             "{:8} {:>10} {:>14} {:>14} {:>12}",
             "policy", "data-loss", "replicas(end)", "unserved/ep", "SLA %"
         );
         for kind in PolicyKind::ALL {
-            let m = &cmp.of(kind).expect("comparison carries every policy").metrics;
-            let last = |name: &str| m.series(name).unwrap().last().unwrap_or(0.0);
-            let tail = |name: &str| {
-                let s = m.series(name).unwrap();
-                s.mean_over(s.len() * 3 / 4, s.len())
+            let m = &cmp.require(kind)?.metrics;
+            let series = |name: &str| {
+                m.series(name).ok_or_else(|| {
+                    rfh_types::RfhError::Simulation(format!(
+                        "{} run has no {name} series",
+                        kind.name()
+                    ))
+                })
             };
+            let last = |name: &str| series(name).map(|s| s.last().unwrap_or(0.0));
+            let tail = |name: &str| series(name).map(|s| s.mean_over(s.len() * 3 / 4, s.len()));
             println!(
                 "{:8} {:>10.0} {:>14.0} {:>14.2} {:>12.1}",
                 kind.name(),
-                last("data_loss_total"),
-                last("replicas_total"),
-                tail("unserved"),
-                tail("sla_300ms") * 100.0,
+                last("data_loss_total")?,
+                last("replicas_total")?,
+                tail("unserved")?,
+                tail("sla_300ms")? * 100.0,
             );
         }
         println!();
@@ -73,4 +78,5 @@ fn main() {
          is a knob (raise `min_availability`, eq. 14) — the paper's own worked example \
          is what sets it to 2."
     );
+    Ok(())
 }

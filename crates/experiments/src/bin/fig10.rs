@@ -5,11 +5,12 @@ use rfh_experiments::figures;
 use rfh_experiments::output::{persist_fig10, print_fig10, results_root, seed_from_args};
 use rfh_experiments::shapes;
 
-fn main() {
+fn main() -> rfh_types::Result<()> {
     let seed = seed_from_args();
-    let result = figures::fig10(seed).expect("simulation runs");
-    let checks = shapes::check_fig10(&result);
-    print_fig10(&result, &checks);
-    persist_fig10(&result, &results_root()).expect("results written");
+    let result = figures::fig10(seed)?;
+    let checks = shapes::check_fig10(&result)?;
+    print_fig10(&result, &checks)?;
+    persist_fig10(&result, &results_root())?;
     println!("CSV written under {}/fig10/", results_root().display());
+    Ok(())
 }

@@ -4,11 +4,12 @@ use rfh_experiments::figures;
 use rfh_experiments::output::{persist_figure, print_figure, results_root, seed_from_args};
 use rfh_experiments::shapes;
 
-fn main() {
+fn main() -> rfh_types::Result<()> {
     let seed = seed_from_args();
-    let run = figures::fig7(seed).expect("simulation runs");
-    let checks = shapes::check_fig7(&run);
-    print_figure(&run, &checks);
-    persist_figure(&run, &results_root()).expect("results written");
+    let run = figures::fig7(seed)?;
+    let checks = shapes::check_fig7(&run)?;
+    print_figure(&run, &checks)?;
+    persist_figure(&run, &results_root())?;
     println!("CSV written under {}/fig7/", results_root().display());
+    Ok(())
 }

@@ -8,6 +8,7 @@
 //! an artifact of the small world. Optional argument: RNG seed.
 
 use rfh_core::PolicyKind;
+use rfh_obs::Profiler;
 use rfh_sim::{SimParams, Simulation};
 use rfh_topology::synthetic_topology;
 use rfh_types::SimConfig;
@@ -37,7 +38,7 @@ fn main() {
         let dcs = sc.regions * sc.dcs_per_region;
         let mut line = format!("{:>6} {:>8} {:>10.0} |", dcs, dcs * 10, sc.lambda);
         let mut util_unserved = String::new();
-        let t0 = std::time::Instant::now();
+        let mut prof = Profiler::new(true);
         let mut epoch_count = 0u64;
         for kind in PolicyKind::ALL {
             let topo = synthetic_topology(sc.regions, sc.dcs_per_region, 5, 0.25, seed)
@@ -54,10 +55,12 @@ fn main() {
                 seed,
                 events: EventSchedule::new(),
             };
-            let result = Simulation::with_topology(params, topo)
-                .expect("simulation builds")
-                .run()
-                .expect("simulation runs");
+            let result = prof.time(kind.name(), || {
+                Simulation::with_topology(params, topo)
+                    .expect("simulation builds")
+                    .run()
+                    .expect("simulation runs")
+            });
             epoch_count += EPOCHS;
             let tail = |m: &str| {
                 let s = result.metrics.series(m).unwrap();
@@ -70,11 +73,11 @@ fn main() {
                 tail("unserved"),
             ));
         }
-        let elapsed = t0.elapsed();
+        let secs = prof.report().total_nanos() as f64 / 1e9;
         line.push_str(&format!(
             " {:>9.2} {:>9.2} |{}",
-            elapsed.as_secs_f64() * 1000.0 / epoch_count as f64,
-            elapsed.as_secs_f64(),
+            secs * 1000.0 / epoch_count as f64,
+            secs,
             util_unserved,
         ));
         println!("{line}");

@@ -10,35 +10,36 @@ use rfh_sim::run_comparison;
 use rfh_types::FlashCrowdConfig;
 use rfh_workload::Scenario;
 
-fn main() {
+fn main() -> rfh_types::Result<()> {
     let seed = seed_from_args();
     println!("Response-time SLA (300 ms round trip), steady-state means, seed {seed}:\n");
     for (name, scenario, epochs) in [
         ("random query", Scenario::RandomEven, RANDOM_EPOCHS),
         ("flash crowd", Scenario::FlashCrowd(FlashCrowdConfig::default()), FLASH_EPOCHS),
     ] {
-        let cmp = run_comparison(&base_params(scenario, epochs, seed)).expect("runs");
+        let cmp = run_comparison(&base_params(scenario, epochs, seed))?;
         println!("== {name} ==");
         println!(
             "{:8} {:>16} {:>18} {:>16}",
             "policy", "mean latency ms", "within 300ms (%)", "unserved/epoch"
         );
         for kind in PolicyKind::ALL {
-            let tail = |metric: &str| {
-                let s = cmp
-                    .of(kind)
-                    .expect("comparison carries every policy")
-                    .metrics
-                    .series(metric)
-                    .expect("metric exists");
-                s.mean_over(s.len() * 3 / 4, s.len())
+            let r = cmp.require(kind)?;
+            let tail = |metric: &str| -> rfh_types::Result<f64> {
+                let s = r.metrics.series(metric).ok_or_else(|| {
+                    rfh_types::RfhError::Simulation(format!(
+                        "{} run has no {metric} series",
+                        kind.name()
+                    ))
+                })?;
+                Ok(s.mean_over(s.len() * 3 / 4, s.len()))
             };
             println!(
                 "{:8} {:>16.1} {:>18.1} {:>16.2}",
                 kind.name(),
-                tail("latency_ms"),
-                tail("sla_300ms") * 100.0,
-                tail("unserved"),
+                tail("latency_ms")?,
+                tail("sla_300ms")? * 100.0,
+                tail("unserved")?,
             );
         }
         println!();
@@ -49,4 +50,5 @@ fn main() {
          to a distant holder pay the full route. Unserved queries count as SLA \
          violations outright."
     );
+    Ok(())
 }

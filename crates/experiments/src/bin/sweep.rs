@@ -6,6 +6,7 @@
 use rfh_core::PolicyKind;
 use rfh_experiments::figures::RANDOM_EPOCHS;
 use rfh_experiments::sweep::{ordering_claims, sweep, SWEEP_METRICS};
+use rfh_obs::Profiler;
 use rfh_workload::Scenario;
 
 fn main() {
@@ -19,9 +20,11 @@ fn main() {
         base,
         base + n - 1
     );
-    let t0 = std::time::Instant::now();
-    let result = sweep(Scenario::RandomEven, RANDOM_EPOCHS, &seeds).expect("sweep runs");
-    println!("({n} four-way comparisons in {:.1} s)\n", t0.elapsed().as_secs_f64());
+    let mut prof = Profiler::new(true);
+    let result = prof
+        .time("sweep", || sweep(Scenario::RandomEven, RANDOM_EPOCHS, &seeds))
+        .expect("sweep runs");
+    println!("({n} four-way comparisons in {:.1} s)\n", prof.report().total_nanos() as f64 / 1e9);
 
     println!("steady state, mean ± stddev over seeds:");
     print!("{:22}", "metric");

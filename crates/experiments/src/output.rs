@@ -17,34 +17,30 @@ pub fn seed_from_args() -> u64 {
     std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
 }
 
-fn chart_of(cmp: &ComparisonResult, metric: &str, title: &str) -> String {
+fn chart_of(cmp: &ComparisonResult, metric: &str, title: &str) -> Result<String> {
     let series: Vec<(&str, &[f64])> = PolicyKind::ALL
         .iter()
         .map(|&k| {
-            (
-                k.name(),
-                cmp.of(k)
-                    .expect("comparison carries every policy")
-                    .metrics
-                    .series(metric)
-                    .expect("metric exists")
-                    .values(),
-            )
+            let s = cmp.require(k)?.metrics.series(metric).ok_or_else(|| {
+                rfh_types::RfhError::Simulation(format!("{} run has no {metric} series", k.name()))
+            })?;
+            Ok((k.name(), s.values()))
         })
-        .collect();
-    ascii::chart(title, &series)
+        .collect::<Result<_>>()?;
+    Ok(ascii::chart(title, &series))
 }
 
 /// Print a figure's charts and shape checks to stdout.
-pub fn print_figure(run: &FigureRun, checks: &[ShapeCheck]) {
+pub fn print_figure(run: &FigureRun, checks: &[ShapeCheck]) -> Result<()> {
     println!("==== {} — {} ====\n", run.id, run.caption);
     for metric in run.metrics {
-        println!("{}", chart_of(&run.random, metric, &format!("{metric} under random query")));
+        println!("{}", chart_of(&run.random, metric, &format!("{metric} under random query"))?);
         if let Some(flash) = &run.flash {
-            println!("{}", chart_of(flash, metric, &format!("{metric} under flash crowd")));
+            println!("{}", chart_of(flash, metric, &format!("{metric} under flash crowd"))?);
         }
     }
     println!("{}", render_checks(checks));
+    Ok(())
 }
 
 /// Write a figure's CSVs under `root/<fig>/{random,flash}/<metric>.csv`.
@@ -58,10 +54,16 @@ pub fn persist_figure(run: &FigureRun, root: &Path) -> Result<()> {
 }
 
 /// Print the Fig. 10 single-run chart and checks.
-pub fn print_fig10(result: &SimResult, checks: &[ShapeCheck]) {
+pub fn print_fig10(result: &SimResult, checks: &[ShapeCheck]) -> Result<()> {
     println!("==== fig10 — Node failure and recovery (RFH) ====\n");
-    let replicas = result.metrics.series("replicas_total").expect("series exists");
-    let alive = result.metrics.series("alive_servers").expect("series exists");
+    let series = |name: &str| {
+        result
+            .metrics
+            .series(name)
+            .ok_or_else(|| rfh_types::RfhError::Simulation(format!("run has no {name} series")))
+    };
+    let replicas = series("replicas_total")?;
+    let alive = series("alive_servers")?;
     println!(
         "{}",
         ascii::chart(
@@ -70,6 +72,7 @@ pub fn print_fig10(result: &SimResult, checks: &[ShapeCheck]) {
         )
     );
     println!("{}", render_checks(checks));
+    Ok(())
 }
 
 /// Persist the Fig. 10 run CSV.

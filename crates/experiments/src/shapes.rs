@@ -12,6 +12,7 @@
 use crate::figures::{FigureRun, FIG10_FAIL_EPOCH};
 use rfh_core::PolicyKind;
 use rfh_sim::{ComparisonResult, SimResult};
+use rfh_types::{Result, RfhError};
 
 /// Outcome of one qualitative check.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +52,27 @@ impl ShapeCheck {
     }
 }
 
+/// Validate up front that a comparison carries all four policies, so
+/// the per-check accessors below cannot fail mid-way: a sliced or
+/// hand-built comparison yields an [`RfhError`] instead of a panic.
+fn require_all(cmp: &ComparisonResult) -> Result<()> {
+    for kind in PolicyKind::ALL {
+        cmp.require(kind)?;
+    }
+    Ok(())
+}
+
+/// The flash-crowd panel of a figure, or an [`RfhError`] naming the
+/// figure when it is missing.
+fn flash_panel<'a>(run: &'a FigureRun, fig: &str) -> Result<&'a ComparisonResult> {
+    let f = run
+        .flash
+        .as_ref()
+        .ok_or_else(|| RfhError::Simulation(format!("{fig} needs a flash-crowd panel")))?;
+    require_all(f)?;
+    Ok(f)
+}
+
 /// Mean of a metric's final quarter for one policy — the steady state
 /// the paper's text quotes.
 pub fn tail(cmp: &ComparisonResult, kind: PolicyKind, metric: &str) -> f64 {
@@ -72,9 +94,10 @@ fn fmt_all(cmp: &ComparisonResult, metric: &str) -> String {
 }
 
 /// Fig. 3 claims.
-pub fn check_fig3(run: &FigureRun) -> Vec<ShapeCheck> {
+pub fn check_fig3(run: &FigureRun) -> Result<Vec<ShapeCheck>> {
     let r = &run.random;
-    let f = run.flash.as_ref().expect("fig3 has a flash panel");
+    require_all(r)?;
+    let f = flash_panel(run, "fig3")?;
     let util = |c: &ComparisonResult, k| tail(c, k, "utilization");
     let mut checks = vec![
         ShapeCheck::new(
@@ -124,17 +147,18 @@ pub fn check_fig3(run: &FigureRun) -> Vec<ShapeCheck> {
         PolicyKind::ALL.iter().all(|&k| util(f, PolicyKind::Rfh) >= util(f, k)),
         fmt_all(f, "utilization"),
     ));
-    checks
+    Ok(checks)
 }
 
 /// Fig. 4 claims.
-pub fn check_fig4(run: &FigureRun) -> Vec<ShapeCheck> {
+pub fn check_fig4(run: &FigureRun) -> Result<Vec<ShapeCheck>> {
     let r = &run.random;
-    let f = run.flash.as_ref().expect("fig4 has a flash panel");
+    require_all(r)?;
+    let f = flash_panel(run, "fig4")?;
     let total = |c: &ComparisonResult, k| tail(c, k, "replicas_total");
     let rfh_r = total(r, PolicyKind::Rfh);
     let rfh_f = total(f, PolicyKind::Rfh);
-    vec![
+    Ok(vec![
         ShapeCheck::new(
             "fig4a.random-most",
             "the random algorithm needs the most replicas for the same workload",
@@ -162,16 +186,17 @@ pub fn check_fig4(run: &FigureRun) -> Vec<ShapeCheck> {
                 fmt_all(f, "replicas_total")
             ),
         ),
-    ]
+    ])
 }
 
 /// Fig. 5 claims.
-pub fn check_fig5(run: &FigureRun) -> Vec<ShapeCheck> {
+pub fn check_fig5(run: &FigureRun) -> Result<Vec<ShapeCheck>> {
     let r = &run.random;
-    let f = run.flash.as_ref().expect("fig5 has a flash panel");
+    require_all(r)?;
+    let f = flash_panel(run, "fig5")?;
     let total = |c: &ComparisonResult, k| tail(c, k, "replication_cost");
     let avg = |c: &ComparisonResult, k| tail(c, k, "replication_cost_avg");
-    vec![
+    Ok(vec![
         ShapeCheck::new(
             "fig5a.random-highest",
             "the random algorithm has the highest total replication cost",
@@ -202,15 +227,16 @@ pub fn check_fig5(run: &FigureRun) -> Vec<ShapeCheck> {
                 .all(|&k| total(f, PolicyKind::Rfh) <= total(f, k)),
             fmt_all(f, "replication_cost"),
         ),
-    ]
+    ])
 }
 
 /// Fig. 6 claims.
-pub fn check_fig6(run: &FigureRun) -> Vec<ShapeCheck> {
+pub fn check_fig6(run: &FigureRun) -> Result<Vec<ShapeCheck>> {
     let r = &run.random;
-    let f = run.flash.as_ref().expect("fig6 has a flash panel");
+    require_all(r)?;
+    let f = flash_panel(run, "fig6")?;
     let m = |c: &ComparisonResult, k| tail(c, k, "migrations_total");
-    vec![
+    Ok(vec![
         ShapeCheck::new(
             "fig6.request-most",
             "request-oriented migrates the most, under both settings",
@@ -230,15 +256,16 @@ pub fn check_fig6(run: &FigureRun) -> Vec<ShapeCheck> {
             m(r, PolicyKind::OwnerOriented) == 0.0,
             fmt_all(r, "migrations_total"),
         ),
-    ]
+    ])
 }
 
 /// Fig. 7 claims.
-pub fn check_fig7(run: &FigureRun) -> Vec<ShapeCheck> {
+pub fn check_fig7(run: &FigureRun) -> Result<Vec<ShapeCheck>> {
     let r = &run.random;
-    let f = run.flash.as_ref().expect("fig7 has a flash panel");
+    require_all(r)?;
+    let f = flash_panel(run, "fig7")?;
     let m = |c: &ComparisonResult, k| tail(c, k, "migration_cost");
-    vec![
+    Ok(vec![
         ShapeCheck::new(
             "fig7.request-highest-cost",
             "request-oriented has the highest migration cost; RFH's is much lower",
@@ -256,17 +283,18 @@ pub fn check_fig7(run: &FigureRun) -> Vec<ShapeCheck> {
             m(r, PolicyKind::Random) == 0.0 && m(r, PolicyKind::OwnerOriented) == 0.0,
             fmt_all(r, "migration_cost"),
         ),
-    ]
+    ])
 }
 
 /// Fig. 8 claims.
-pub fn check_fig8(run: &FigureRun) -> Vec<ShapeCheck> {
+pub fn check_fig8(run: &FigureRun) -> Result<Vec<ShapeCheck>> {
     let r = &run.random;
-    let f = run.flash.as_ref().expect("fig8 has a flash panel");
+    require_all(r)?;
+    let f = flash_panel(run, "fig8")?;
     let lb = |c: &ComparisonResult, k| tail(c, k, "load_imbalance");
     let rfh_best_or_close =
         PolicyKind::ALL.iter().all(|&k| lb(r, PolicyKind::Rfh) <= lb(r, k) * 1.25);
-    vec![
+    Ok(vec![
         ShapeCheck::new(
             "fig8.rfh-best-balance",
             "RFH's blocking-probability placement gives the best load balance (we accept within 25% of best: RFH's demand-matched replica set concentrates more load per replica than the over-provisioned baselines, a tension analysed in EXPERIMENTS.md)",
@@ -281,13 +309,14 @@ pub fn check_fig8(run: &FigureRun) -> Vec<ShapeCheck> {
                 .all(|&k| lb(r, PolicyKind::OwnerOriented) >= lb(r, k)),
             fmt_all(r, "load_imbalance"),
         ),
-    ]
+    ])
 }
 
 /// Fig. 9 claims.
-pub fn check_fig9(run: &FigureRun) -> Vec<ShapeCheck> {
+pub fn check_fig9(run: &FigureRun) -> Result<Vec<ShapeCheck>> {
     let r = &run.random;
-    let f = run.flash.as_ref().expect("fig9 has a flash panel");
+    require_all(r)?;
+    let f = flash_panel(run, "fig9")?;
     let pl = |c: &ComparisonResult, k| tail(c, k, "path_length");
     let drop_check = |c: &ComparisonResult, k: PolicyKind| {
         let s = c.of(k).unwrap().metrics.series("path_length").unwrap();
@@ -295,7 +324,7 @@ pub fn check_fig9(run: &FigureRun) -> Vec<ShapeCheck> {
         let late = s.mean_over(s.len() * 3 / 4, s.len());
         late <= early + 1e-9
     };
-    vec![
+    Ok(vec![
         ShapeCheck::new(
             "fig9.initial-drop",
             "all curves drop sharply at first: replication raises hit chances and shortens lookups",
@@ -320,18 +349,24 @@ pub fn check_fig9(run: &FigureRun) -> Vec<ShapeCheck> {
             format!("random: {} | flash: {}", fmt_all(r, "path_length"), fmt_all(f, "path_length")),
         )
         .deviation(),
-    ]
+    ])
 }
 
 /// Fig. 10 claims (single RFH run with the epoch-290 mass failure).
-pub fn check_fig10(result: &SimResult) -> Vec<ShapeCheck> {
-    let replicas = result.metrics.series("replicas_total").expect("series exists");
-    let alive = result.metrics.series("alive_servers").expect("series exists");
+pub fn check_fig10(result: &SimResult) -> Result<Vec<ShapeCheck>> {
+    let series = |name: &str| {
+        result
+            .metrics
+            .series(name)
+            .ok_or_else(|| RfhError::Simulation(format!("fig10 run has no {name} series")))
+    };
+    let replicas = series("replicas_total")?;
+    let alive = series("alive_servers")?;
     let fail = FIG10_FAIL_EPOCH as usize;
     let before = replicas.mean_over(fail - 10, fail);
     let at = replicas.get(fail).unwrap_or(0.0);
     let end = replicas.mean_over(replicas.len() - 20, replicas.len());
-    vec![
+    Ok(vec![
         ShapeCheck::new(
             "fig10.sharp-drop",
             "removing 30 servers at epoch 290 causes a sharp decrease of the replica number",
@@ -344,7 +379,7 @@ pub fn check_fig10(result: &SimResult) -> Vec<ShapeCheck> {
             end >= before * 0.85,
             format!("before={before:.0} end={end:.0}"),
         ),
-    ]
+    ])
 }
 
 /// Render a check list as a text block for the binaries.

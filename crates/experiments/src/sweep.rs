@@ -52,14 +52,11 @@ impl SweepResult {
     }
 }
 
-fn tail(cmp: &ComparisonResult, kind: PolicyKind, metric: &str) -> f64 {
-    let s = cmp
-        .of(kind)
-        .expect("comparison carries every policy")
-        .metrics
-        .series(metric)
-        .expect("metric exists");
-    s.mean_over(s.len() * 3 / 4, s.len())
+fn tail(cmp: &ComparisonResult, kind: PolicyKind, metric: &str) -> Result<f64> {
+    let s = cmp.require(kind)?.metrics.series(metric).ok_or_else(|| {
+        rfh_types::RfhError::Simulation(format!("{} run has no {metric} series", kind.name()))
+    })?;
+    Ok(s.mean_over(s.len() * 3 / 4, s.len()))
 }
 
 /// Run the comparison over `seeds` in parallel and aggregate.
@@ -75,10 +72,12 @@ pub fn sweep(scenario: Scenario, epochs: u64, seeds: &[u64]) -> Result<SweepResu
 
     let worker = |seed: u64| -> Result<SeedCells> {
         let cmp = run_comparison(&base_params(scenario.clone(), epochs, seed))?;
-        Ok(PolicyKind::ALL
+        PolicyKind::ALL
             .iter()
-            .map(|&kind| SWEEP_METRICS.iter().map(|&metric| tail(&cmp, kind, metric)).collect())
-            .collect())
+            .map(|&kind| {
+                SWEEP_METRICS.iter().map(|&metric| tail(&cmp, kind, metric)).collect::<Result<_>>()
+            })
+            .collect()
     };
 
     let per_seed: Result<Vec<(u64, SeedCells)>> = crossbeam::thread::scope(|scope| {

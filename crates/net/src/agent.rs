@@ -33,6 +33,7 @@ use rfh_core::{
     best_candidate_in_dc, rfh::bootstrap_candidate_near, Action, EpochContext, ReplicaManager,
     ReplicationPolicy, RfhDecisionCore, TrafficView,
 };
+use rfh_obs::{ProfileReport, Profiler, PHASE_DECIDE, PHASE_NETWORK};
 use rfh_stats::min_replica_count;
 use rfh_types::{DatacenterId, Epoch, PartitionId, ServerId};
 use std::collections::HashMap;
@@ -92,6 +93,9 @@ pub struct DistributedRfhPolicy {
     tables: Vec<HashMap<u32, ReportEntry>>,
     reports_sent: u64,
     stats: ControlPlaneStats,
+    /// Times the control-plane tick vs the decision pass (disabled by
+    /// default; see [`DistributedRfhPolicy::enable_profiling`]).
+    profiler: Profiler,
 }
 
 impl DistributedRfhPolicy {
@@ -108,6 +112,27 @@ impl DistributedRfhPolicy {
             tables: Vec::new(),
             reports_sent: 0,
             stats: ControlPlaneStats::default(),
+            profiler: Profiler::new(false),
+        }
+    }
+
+    /// Turn per-phase timing of the agent on or off: the WAN tick
+    /// (report emission, delivery, absorption) vs the decision pass.
+    pub fn enable_profiling(&mut self, enabled: bool) {
+        self.profiler = Profiler::new(enabled);
+    }
+
+    /// The accumulated phase timings (empty unless profiling is on).
+    pub fn profile(&self) -> ProfileReport {
+        self.profiler.report()
+    }
+
+    /// Export the agent's control-plane metrics (report volume plus the
+    /// underlying network's counters) into a registry.
+    pub fn collect_metrics(&self, registry: &mut rfh_obs::MetricsRegistry) {
+        registry.counter("net.reports_sent", self.reports_sent);
+        if let Some(network) = &self.network {
+            network.collect_metrics(registry);
         }
     }
 
@@ -287,6 +312,11 @@ impl TrafficView for ReportView<'_> {
             holder_dc,
         )
     }
+    fn blocking_of(&self, s: ServerId) -> f64 {
+        // Trace annotation only, never a decision input — so reading the
+        // simulator's blocking vector does not break locality.
+        self.ctx.blocking.get(s.index()).copied().unwrap_or(f64::NAN)
+    }
 }
 
 impl ReplicationPolicy for DistributedRfhPolicy {
@@ -298,12 +328,14 @@ impl ReplicationPolicy for DistributedRfhPolicy {
         let dcs = ctx.topo.datacenters().len();
         self.ensure_shapes(manager.partitions(), dcs);
 
+        let net_t0 = self.profiler.start();
         // 1. Reporters piggyback this epoch's observations.
         self.emit_reports(ctx, manager);
         // 2. The WAN carries them for this epoch's tick budget.
         self.network.as_mut().expect("shapes ensured").run_epoch();
         // 3. Holders fold delivered reports into their tables.
         self.absorb_deliveries(dcs);
+        self.profiler.stop(PHASE_NETWORK, net_t0);
         // Publish control-plane counters to any stats handles.
         let net = self.network.as_ref().expect("shapes ensured");
         self.stats.inner.reports_sent.store(self.reports_sent, Ordering::Relaxed);
@@ -314,7 +346,19 @@ impl ReplicationPolicy for DistributedRfhPolicy {
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let view =
             ReportView { ctx, manager, tables: &self.tables, use_blocking: self.use_blocking };
-        self.core.decide_all(ctx.epoch, &ctx.config.thresholds, r_min, ctx.topo, manager, &view)
+        let decide_t0 = self.profiler.start();
+        let actions = self.core.decide_all(
+            ctx.epoch,
+            &ctx.config.thresholds,
+            r_min,
+            ctx.topo,
+            manager,
+            &view,
+            ctx.recorder,
+            "RFH-dist",
+        );
+        self.profiler.stop(PHASE_DECIDE, decide_t0);
+        actions
     }
 }
 

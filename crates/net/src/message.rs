@@ -44,6 +44,13 @@ impl MessagePayload {
             MessagePayload::TrafficReport { partition, .. } => *partition,
         }
     }
+
+    /// Metric label for this payload variant (`net.sent.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MessagePayload::TrafficReport { .. } => "traffic_report",
+        }
+    }
 }
 
 /// A source-routed message in flight.

@@ -9,6 +9,8 @@
 //! of magnitude slower than the data plane.
 
 use crate::message::Message;
+use rfh_obs::MetricsRegistry;
+use rfh_stats::Histogram;
 use rfh_types::DatacenterId;
 
 /// The tick-driven message transport.
@@ -22,10 +24,21 @@ pub struct Network {
     sent: u64,
     delivered: u64,
     hops_travelled: u64,
+    /// Sends by payload kind (`MessagePayload::kind`), first-seen order.
+    sent_by_kind: Vec<(&'static str, u64)>,
+    /// Deepest the in-flight queue has ever been.
+    max_in_flight: usize,
+    /// Route length (hops) of each delivered message — the transport's
+    /// delivery-latency distribution in ticks.
+    delivery_hops: Histogram,
     /// Tick scratch: swapped with `in_flight` each tick so survivors
     /// are re-collected without allocating. Empty between ticks.
     scratch: Vec<Message>,
 }
+
+/// Histogram range for delivery hops: the paper WAN's diameter is 5;
+/// 16 leaves headroom for custom topologies before overflow counting.
+const MAX_TRACKED_HOPS: f64 = 16.0;
 
 impl Network {
     /// Create a transport over `dcs` datacenters granting
@@ -39,6 +52,9 @@ impl Network {
             sent: 0,
             delivered: 0,
             hops_travelled: 0,
+            sent_by_kind: Vec::new(),
+            max_in_flight: 0,
+            delivery_hops: Histogram::new(0.0, MAX_TRACKED_HOPS, MAX_TRACKED_HOPS as usize),
             scratch: Vec::new(),
         }
     }
@@ -47,15 +63,22 @@ impl Network {
     /// origin) are delivered instantly.
     pub fn send(&mut self, message: Message) {
         self.sent += 1;
+        let kind = message.payload.kind();
+        match self.sent_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.sent_by_kind.push((kind, 1)),
+        }
         if message.delivered() {
             self.deliver(message);
         } else {
             self.in_flight.push(message);
+            self.max_in_flight = self.max_in_flight.max(self.in_flight.len());
         }
     }
 
     fn deliver(&mut self, message: Message) {
         self.delivered += 1;
+        self.delivery_hops.record((message.route.len() - 1) as f64);
         let dst = message.destination().index();
         assert!(dst < self.inboxes.len(), "destination outside the network");
         self.inboxes[dst].push(message);
@@ -117,6 +140,31 @@ impl Network {
     /// The configured tick budget.
     pub fn ticks_per_epoch(&self) -> usize {
         self.ticks_per_epoch
+    }
+
+    /// Deepest the in-flight queue has ever been.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// The delivery-latency distribution: hops each delivered message
+    /// travelled (equal to ticks in flight, as one tick moves one hop).
+    pub fn delivery_hops(&self) -> &Histogram {
+        &self.delivery_hops
+    }
+
+    /// Export the transport's counters into a metrics registry:
+    /// messages by type, queue depth, and delivery latency.
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.counter("net.sent", self.sent);
+        for (kind, n) in &self.sent_by_kind {
+            registry.counter(&format!("net.sent.{kind}"), *n);
+        }
+        registry.counter("net.delivered", self.delivered);
+        registry.counter("net.hops_travelled", self.hops_travelled);
+        registry.gauge("net.in_flight", self.in_flight.len() as f64);
+        registry.gauge("net.max_in_flight", self.max_in_flight as f64);
+        registry.histogram("net.delivery_hops", &self.delivery_hops);
     }
 }
 
@@ -208,5 +256,30 @@ mod tests {
     #[should_panic(expected = "at least one tick")]
     fn zero_tick_budget_rejected() {
         let _ = Network::new(3, 0);
+    }
+
+    #[test]
+    fn metrics_export_counts_kinds_depth_and_latency() {
+        let mut net = Network::new(6, 8);
+        net.send(msg(vec![0, 1, 2]));
+        net.send(msg(vec![3, 4]));
+        net.send(msg(vec![5])); // zero-hop: instant
+        assert_eq!(net.max_in_flight(), 2);
+        net.run_epoch();
+        let mut reg = rfh_obs::MetricsRegistry::new();
+        net.collect_metrics(&mut reg);
+        use rfh_obs::Metric;
+        assert_eq!(reg.get("net.sent"), Some(&Metric::Counter(3)));
+        assert_eq!(reg.get("net.sent.traffic_report"), Some(&Metric::Counter(3)));
+        assert_eq!(reg.get("net.delivered"), Some(&Metric::Counter(3)));
+        assert_eq!(reg.get("net.in_flight"), Some(&Metric::Gauge(0.0)));
+        assert_eq!(reg.get("net.max_in_flight"), Some(&Metric::Gauge(2.0)));
+        match reg.get("net.delivery_hops") {
+            Some(Metric::Summary { count, mean, .. }) => {
+                assert_eq!(*count, 3);
+                assert!((mean - 1.0).abs() < 1e-9, "hops 2+1+0 over 3 deliveries");
+            }
+            other => panic!("expected summary, got {other:?}"),
+        }
     }
 }

@@ -47,6 +47,7 @@ impl Cluster {
             smoother: &self.smoother,
             blocking: &blocking,
             config: &self.cfg,
+            recorder: &rfh_obs::NullRecorder,
         };
         let actions = policy.decide(&ctx, &self.manager);
         for a in actions {

@@ -1,0 +1,212 @@
+//! The structured decision event and its pinned JSONL schema.
+
+/// What the decision does to the replica set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Add a copy of the partition on `target`.
+    Replicate,
+    /// Move a copy from `source` to `target`.
+    Migrate,
+    /// Remove the copy held by `source`.
+    Suicide,
+}
+
+impl DecisionKind {
+    /// The schema string for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionKind::Replicate => "replicate",
+            DecisionKind::Migrate => "migrate",
+            DecisionKind::Suicide => "suicide",
+        }
+    }
+}
+
+/// Which model predicate fired. For RFH these map onto the paper's
+/// equations; the baselines use their own (coarser) triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Replica count below the eq. (14) availability floor `r_min`.
+    AvailabilityFloor,
+    /// A forwarding node crossed the eq. (13) hub bar `γ·q̄`.
+    TrafficHub,
+    /// Moving a replica clears the eq. (16) benefit bar `μ·t̄r`.
+    MigrationBenefit,
+    /// The holder itself crossed the eq. (12) overload bar `β·q̄`
+    /// with no forwarding hub to offload to (local surge).
+    LocalOverload,
+    /// Traffic stayed under the eq. (15) suicide bar `δ·q̄` for the
+    /// patience window.
+    IdleSuicide,
+    /// Unserved demand above the baseline trigger (owner/random).
+    UnservedDemand,
+    /// Growth toward a top-3 requester datacenter (request-oriented).
+    RequesterTop3,
+    /// The top-3 requester set shifted; migrate toward it
+    /// (request-oriented).
+    Top3Shift,
+}
+
+impl Trigger {
+    /// The schema string for this trigger.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Trigger::AvailabilityFloor => "availability_floor",
+            Trigger::TrafficHub => "traffic_hub",
+            Trigger::MigrationBenefit => "migration_benefit",
+            Trigger::LocalOverload => "local_overload",
+            Trigger::IdleSuicide => "idle_suicide",
+            Trigger::UnservedDemand => "unserved_demand",
+            Trigger::RequesterTop3 => "requester_top3",
+            Trigger::Top3Shift => "top3_shift",
+        }
+    }
+}
+
+/// One replication decision and the model inputs that produced it.
+///
+/// `traffic`, `q_avg` and `threshold` carry the comparison that fired
+/// (`traffic` vs `threshold`, with `q_avg` the smoothed system average
+/// the threshold was derived from); `blocking` is the Erlang-B value
+/// (eq. 18) at the target, NaN when the policy did not consult it.
+/// `cost` and `applied` are filled in by the executor once the action
+/// is applied (eq. 1 transfer cost) or rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Epoch the decision was made in.
+    pub epoch: u64,
+    /// Policy label ("RFH", "Owner", …).
+    pub policy: &'static str,
+    /// Replicate / migrate / suicide.
+    pub kind: DecisionKind,
+    /// The partition acted on.
+    pub partition: u32,
+    /// Server losing a copy (migrate source, suicide holder).
+    pub source: Option<u32>,
+    /// Server gaining a copy (replicate / migrate target).
+    pub target: Option<u32>,
+    /// The predicate that fired.
+    pub trigger: Trigger,
+    /// The traffic load input to the predicate.
+    pub traffic: f64,
+    /// Smoothed system query average `q̄` (eq. 10/11).
+    pub q_avg: f64,
+    /// The bar `traffic` was compared against.
+    pub threshold: f64,
+    /// Erlang-B blocking probability at the target (eq. 18).
+    pub blocking: f64,
+    /// Unserved demand for the partition this epoch.
+    pub unserved: f64,
+    /// eq. (1) transfer cost, once executed.
+    pub cost: Option<f64>,
+    /// Whether the executor applied the action.
+    pub applied: Option<bool>,
+}
+
+/// A float as JSON: non-finite values become `null`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_u32(v: Option<u32>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+fn opt_num(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), num)
+}
+
+fn opt_bool(v: Option<bool>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+impl DecisionEvent {
+    /// An event with empty optionals and NaN model inputs; decision
+    /// sites fill in what their predicate actually consulted via struct
+    /// update syntax.
+    pub fn new(
+        epoch: u64,
+        policy: &'static str,
+        kind: DecisionKind,
+        partition: u32,
+        trigger: Trigger,
+    ) -> Self {
+        DecisionEvent {
+            epoch,
+            policy,
+            kind,
+            partition,
+            source: None,
+            target: None,
+            trigger,
+            traffic: f64::NAN,
+            q_avg: f64::NAN,
+            threshold: f64::NAN,
+            blocking: f64::NAN,
+            unserved: f64::NAN,
+            cost: None,
+            applied: None,
+        }
+    }
+
+    /// One JSONL line (no trailing newline). The field set and order
+    /// are part of the public schema, pinned by a golden test.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"epoch\":{},\"policy\":\"{}\",\"kind\":\"{}\",\"partition\":{},",
+                "\"source\":{},\"target\":{},\"trigger\":\"{}\",\"traffic\":{},",
+                "\"q_avg\":{},\"threshold\":{},\"blocking\":{},\"unserved\":{},",
+                "\"cost\":{},\"applied\":{}}}"
+            ),
+            self.epoch,
+            self.policy,
+            self.kind.as_str(),
+            self.partition,
+            opt_u32(self.source),
+            opt_u32(self.target),
+            self.trigger.as_str(),
+            num(self.traffic),
+            num(self.q_avg),
+            num(self.threshold),
+            num(self.blocking),
+            num(self.unserved),
+            opt_num(self.cost),
+            opt_bool(self.applied),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_finite_inputs_serialize_as_null() {
+        let ev = DecisionEvent {
+            epoch: 3,
+            policy: "RFH",
+            kind: DecisionKind::Suicide,
+            partition: 9,
+            source: Some(4),
+            target: None,
+            trigger: Trigger::IdleSuicide,
+            traffic: 0.5,
+            q_avg: f64::NAN,
+            threshold: f64::INFINITY,
+            blocking: f64::NAN,
+            unserved: 0.0,
+            cost: None,
+            applied: None,
+        };
+        let line = ev.to_json();
+        assert!(line.contains("\"q_avg\":null"));
+        assert!(line.contains("\"threshold\":null"));
+        assert!(line.contains("\"target\":null"));
+        assert!(!line.contains("NaN") && !line.contains("inf"));
+    }
+}

@@ -1,0 +1,157 @@
+//! A lightweight, insertion-ordered metrics registry.
+
+use rfh_stats::Histogram;
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(u64),
+    /// Point-in-time value.
+    Gauge(f64),
+    /// Distribution summary snapshotted from a [`Histogram`].
+    Summary {
+        /// Recorded samples.
+        count: u64,
+        /// Sample mean.
+        mean: f64,
+        /// Median (NaN when empty).
+        p50: f64,
+        /// 99th percentile (NaN when empty).
+        p99: f64,
+    },
+}
+
+/// Counters, gauges and histogram summaries, keyed by dotted name
+/// (`net.sent`, `traffic.engine.fast_restores`), in insertion order.
+///
+/// Subsystems expose a `collect_metrics(&self, &mut MetricsRegistry)`
+/// hook; callers compose one registry from however many subsystems a
+/// run used and render it with [`MetricsRegistry::render`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Metric)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn upsert(&mut self, name: &str, value: Metric) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = value,
+            None => self.entries.push((name.to_string(), value)),
+        }
+    }
+
+    /// Add `delta` to a counter (created at zero).
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        let prior = match self.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        };
+        self.upsert(name, Metric::Counter(prior + delta));
+    }
+
+    /// Set a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.upsert(name, Metric::Gauge(value));
+    }
+
+    /// Snapshot a histogram into a summary.
+    pub fn histogram(&mut self, name: &str, hist: &Histogram) {
+        self.upsert(
+            name,
+            Metric::Summary {
+                count: hist.count(),
+                mean: hist.mean(),
+                p50: hist.quantile(0.5).unwrap_or(f64::NAN),
+                p99: hist.quantile(0.99).unwrap_or(f64::NAN),
+            },
+        );
+    }
+
+    /// The metric registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// All metrics in insertion order.
+    pub fn entries(&self) -> &[(String, Metric)] {
+        &self.entries
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A two-column text table (name, value), one metric per line.
+    pub fn render(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let rendered = match value {
+                Metric::Counter(v) => format!("{v}"),
+                Metric::Gauge(v) => format!("{v:.3}"),
+                Metric::Summary { count, mean, p50, p99 } => {
+                    format!("count={count} mean={mean:.3} p50={p50:.3} p99={p99:.3}")
+                }
+            };
+            out.push_str(&format!("{name:width$}  {rendered}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("net.sent", 3);
+        reg.counter("net.sent", 4);
+        reg.gauge("net.depth", 1.0);
+        reg.gauge("net.depth", 2.5);
+        assert_eq!(reg.get("net.sent"), Some(&Metric::Counter(7)));
+        assert_eq!(reg.get("net.depth"), Some(&Metric::Gauge(2.5)));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn histogram_summaries_snapshot_quantiles() {
+        let mut hist = Histogram::new(0.0, 10.0, 10);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            hist.record(v);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("net.hops", &hist);
+        match reg.get("net.hops") {
+            Some(Metric::Summary { count, mean, .. }) => {
+                assert_eq!(*count, 4);
+                assert!((mean - 2.5).abs() < 1e-9);
+            }
+            other => panic!("expected summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_keeps_insertion_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("b.second", 1);
+        reg.counter("a.first", 2);
+        let table = reg.render();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("b.second"));
+        assert!(lines[1].starts_with("a.first"));
+    }
+}

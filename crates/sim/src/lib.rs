@@ -20,7 +20,14 @@
 //! * [`runner`] — run the four policies over identical workloads, in
 //!   parallel (crossbeam scoped threads; each run is independent and
 //!   deterministic, so parallelism cannot change results).
-//! * [`report`] — CSV rendering of results.
+//! * [`report`] — CSV rendering of results and per-policy phase-budget
+//!   tables.
+//!
+//! Observability (the `rfh-obs` crate) threads through without touching
+//! semantics: [`Simulation::with_recorder`] streams decision events,
+//! [`Simulation::with_profiling`] times each epoch phase, and
+//! [`runner::run_comparison_observed`] does both across all four
+//! policies — none of which can change a run's results.
 
 #![warn(missing_docs)]
 
@@ -30,5 +37,5 @@ pub mod runner;
 pub mod simulation;
 
 pub use metrics::{EpochSnapshot, Metrics};
-pub use runner::{run_comparison, ComparisonResult};
+pub use runner::{run_comparison, run_comparison_observed, ComparisonResult, ObsOptions};
 pub use simulation::{SimParams, SimResult, Simulation};

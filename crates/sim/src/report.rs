@@ -32,6 +32,21 @@ pub fn run_csv(result: &SimResult) -> String {
     to_csv(&refs)
 }
 
+/// The per-policy phase budgets of a profiled comparison: one timing
+/// table per policy that carries a profile (empty string when the
+/// comparison ran unprofiled).
+pub fn profile_table(cmp: &ComparisonResult) -> String {
+    let mut out = String::new();
+    for kind in PolicyKind::ALL {
+        let Some(r) = cmp.of(kind) else { continue };
+        let Some(profile) = &r.profile else { continue };
+        out.push_str(&format!("=== {} phase budget ===\n", kind.name()));
+        out.push_str(&profile.render());
+        out.push('\n');
+    }
+    out
+}
+
 /// Write a comparison's metric CSVs into a directory, one file per
 /// metric (`<dir>/<metric>.csv`). Creates the directory.
 pub fn write_comparison(cmp: &ComparisonResult, dir: &Path, metrics: &[&str]) -> Result<()> {
@@ -87,6 +102,33 @@ mod tests {
         for name in crate::metrics::Metrics::series_names() {
             assert!(header.contains(name), "{name} missing from {header}");
         }
+    }
+
+    #[test]
+    fn profile_table_lists_profiled_policies_only() {
+        let cmp = tiny_comparison();
+        assert_eq!(profile_table(&cmp), "", "unprofiled comparison has no tables");
+        let profiled = crate::runner::run_comparison_observed(
+            &SimParams {
+                config: SimConfig {
+                    partitions: 4,
+                    replica_capacity_mean: 5.0,
+                    ..SimConfig::default()
+                },
+                scenario: Scenario::RandomEven,
+                policy: PolicyKind::Rfh,
+                epochs: 5,
+                seed: 3,
+                events: EventSchedule::new(),
+            },
+            &crate::runner::ObsOptions { profile: true, recorder: None },
+        )
+        .unwrap();
+        let table = profile_table(&profiled);
+        for kind in PolicyKind::ALL {
+            assert!(table.contains(kind.name()), "{kind} missing from:\n{table}");
+        }
+        assert!(table.contains("traffic"), "phase rows present:\n{table}");
     }
 
     #[test]

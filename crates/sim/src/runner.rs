@@ -10,6 +10,7 @@
 
 use crate::simulation::{SimParams, SimResult, Simulation};
 use rfh_core::PolicyKind;
+use rfh_obs::Recorder;
 use rfh_types::{Result, RfhError};
 use rfh_workload::Trace;
 use std::sync::Arc;
@@ -28,6 +29,25 @@ impl ComparisonResult {
     pub fn of(&self, kind: PolicyKind) -> Option<&SimResult> {
         self.results.iter().find(|r| r.policy == kind)
     }
+
+    /// The result of one policy, or [`RfhError::Simulation`] if it is
+    /// absent — for callers that would otherwise `unwrap` the
+    /// [`Self::of`] option.
+    pub fn require(&self, kind: PolicyKind) -> Result<&SimResult> {
+        self.of(kind)
+            .ok_or_else(|| RfhError::Simulation(format!("comparison has no {kind} result")))
+    }
+}
+
+/// Observability options for [`run_comparison_observed`].
+#[derive(Default)]
+pub struct ObsOptions {
+    /// Time each policy's epoch phases and attach the profile to its
+    /// [`SimResult`].
+    pub profile: bool,
+    /// Shared decision-event sink; events from all four policies land
+    /// in it (each tagged with its policy label).
+    pub recorder: Option<Arc<dyn Recorder>>,
 }
 
 /// Run all four policies with identical parameters and workload.
@@ -35,6 +55,16 @@ impl ComparisonResult {
 /// `base` supplies everything but the policy; the workload trace is
 /// recorded once and shared.
 pub fn run_comparison(base: &SimParams) -> Result<ComparisonResult> {
+    run_comparison_observed(base, &ObsOptions::default())
+}
+
+/// [`run_comparison`] with observability attached: optional per-policy
+/// phase profiling and an optional shared decision-event recorder.
+///
+/// Observation-only: the recorder cannot feed state back and the
+/// profiler only reads the clock, so the results are bit-identical to
+/// a plain [`run_comparison`] (a test asserts this).
+pub fn run_comparison_observed(base: &SimParams, obs: &ObsOptions) -> Result<ComparisonResult> {
     // Record the workload once, from the same constructor
     // Simulation::new uses internally (so the shapes cannot drift).
     let mut generator = base.workload_generator(rfh_topology::PAPER_DC_COUNT as u32);
@@ -47,7 +77,17 @@ pub fn run_comparison(base: &SimParams) -> Result<ComparisonResult> {
                 .map(|kind| {
                     let params = SimParams { policy: kind, ..base.clone() };
                     let trace = Arc::clone(&trace);
-                    scope.spawn(move |_| Simulation::new(params)?.with_shared_trace(trace).run())
+                    let recorder = obs.recorder.clone();
+                    let profile = obs.profile;
+                    scope.spawn(move |_| {
+                        let mut sim = Simulation::new(params)?
+                            .with_shared_trace(trace)
+                            .with_profiling(profile);
+                        if let Some(rec) = recorder {
+                            sim = sim.with_recorder(rec);
+                        }
+                        sim.run()
+                    })
                 })
                 .collect();
             handles

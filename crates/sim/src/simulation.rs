@@ -7,6 +7,10 @@ use rfh_core::{
     server_blocking_probabilities, Action, EpochContext, OwnerOrientedPolicy, PolicyKind,
     RandomPolicy, ReplicaManager, ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
 };
+use rfh_obs::{
+    MetricsRegistry, NullRecorder, ProfileReport, Profiler, Recorder, PHASE_APPLY, PHASE_DECIDE,
+    PHASE_EVENTS, PHASE_METRICS, PHASE_TRAFFIC, PHASE_WORKLOAD,
+};
 use rfh_ring::ConsistentHashRing;
 use rfh_topology::{paper_topology, Topology};
 use rfh_traffic::{PlacementView, TrafficEngine, TrafficSmoother};
@@ -67,7 +71,7 @@ impl SimParams {
 }
 
 /// The outcome of a finished run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// The algorithm that produced it.
     pub policy: PolicyKind,
@@ -75,6 +79,19 @@ pub struct SimResult {
     pub scenario: String,
     /// The full metric history.
     pub metrics: Metrics,
+    /// Per-phase epoch timing, present when profiling was enabled.
+    pub profile: Option<ProfileReport>,
+}
+
+/// Equality ignores the profile: two runs are the *same run* iff their
+/// decisions and metric histories match — wall-clock never counts, so
+/// determinism tests hold whether or not profiling was on.
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.scenario == other.scenario
+            && self.metrics == other.metrics
+    }
 }
 
 /// One policy's simulation state.
@@ -104,6 +121,11 @@ pub struct Simulation {
     /// The view's shape is invalid (first epoch, join, prune): the next
     /// step re-renders it wholesale.
     view_stale: bool,
+    /// Decision-event sink; [`NullRecorder`] unless traced.
+    recorder: Arc<dyn Recorder>,
+    /// Per-phase epoch timer; disabled (one branch per phase) unless
+    /// [`with_profiling`](Self::with_profiling) turned it on.
+    profiler: Profiler,
     epoch: u64,
     metrics: Metrics,
 }
@@ -153,6 +175,8 @@ impl Simulation {
             view: PlacementView::new(0, 0, Vec::new()),
             dirty_parts: Vec::new(),
             view_stale: true,
+            recorder: Arc::new(NullRecorder),
+            profiler: Profiler::new(false),
             epoch: 0,
             metrics,
         })
@@ -171,6 +195,22 @@ impl Simulation {
     /// saves regeneration work).
     pub fn with_shared_trace(mut self, trace: Arc<Trace>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Attach a decision-event recorder. Observation-only: the policy's
+    /// decisions are identical under any recorder (the recorder trait
+    /// cannot feed state back), so a traced run stays bit-identical to
+    /// an untraced one.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Enable (or disable) per-phase epoch timing. Off by default; when
+    /// off the cost is one branch per phase boundary.
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.profiler = Profiler::new(enabled);
         self
     }
 
@@ -279,9 +319,12 @@ impl Simulation {
 
     /// Simulate one epoch; returns its snapshot.
     pub fn step(&mut self) -> Result<EpochSnapshot> {
+        let ev_t0 = self.profiler.start();
         self.apply_events()?;
         self.manager.begin_epoch();
+        self.profiler.stop(PHASE_EVENTS, ev_t0);
 
+        let wl_t0 = self.profiler.start();
         let load = match &self.trace {
             Some(t) => t
                 .epoch(self.epoch)
@@ -289,7 +332,9 @@ impl Simulation {
                 .clone(),
             None => self.generator.epoch_load(self.epoch),
         };
+        self.profiler.stop(PHASE_WORKLOAD, wl_t0);
 
+        let tr_t0 = self.profiler.start();
         let cfg = &self.params.config;
         if self.view_stale {
             self.manager.render_view(&self.topo, cfg.replica_capacity_mean, &mut self.view);
@@ -310,7 +355,9 @@ impl Simulation {
         self.smoother.update(&load, accounts);
         let blocking =
             server_blocking_probabilities(&self.topo, accounts, cfg.replica_capacity_mean);
+        self.profiler.stop(PHASE_TRAFFIC, tr_t0);
 
+        let de_t0 = self.profiler.start();
         let ctx = EpochContext {
             epoch: Epoch(self.epoch),
             topo: &self.topo,
@@ -319,9 +366,12 @@ impl Simulation {
             smoother: &self.smoother,
             blocking: &blocking,
             config: cfg,
+            recorder: &*self.recorder,
         };
         let actions = self.policy.decide(&ctx, &self.manager);
+        self.profiler.stop(PHASE_DECIDE, de_t0);
 
+        let me_t0 = self.profiler.start();
         let mut snap = EpochSnapshot {
             utilization: mean_utilization(&self.view, accounts),
             load_imbalance: epoch_load_imbalance(&self.topo, accounts),
@@ -334,11 +384,15 @@ impl Simulation {
             data_loss: std::mem::take(&mut self.pending_data_loss),
             ..Default::default()
         };
+        self.profiler.stop(PHASE_METRICS, me_t0);
+
+        let ap_t0 = self.profiler.start();
         for action in actions {
             // A rejected action (bandwidth exhausted, target filled up by
             // an earlier action this epoch) is simply not executed —
             // the decision is retried naturally in later epochs.
-            let Ok(applied) = self.manager.apply(&self.topo, action) else {
+            let Ok(applied) = self.manager.apply_recorded(&self.topo, action, &*self.recorder)
+            else {
                 continue;
             };
             match action {
@@ -358,10 +412,35 @@ impl Simulation {
                 }
             }
         }
+        self.profiler.stop(PHASE_APPLY, ap_t0);
+
+        let me_t1 = self.profiler.start();
         snap.replicas_total = self.manager.total_replicas();
         self.metrics.record(&snap);
+        self.profiler.stop(PHASE_METRICS, me_t1);
+        self.recorder.end_epoch(self.epoch);
         self.epoch += 1;
         Ok(snap)
+    }
+
+    /// Export the run's counters into a metrics registry: epoch and
+    /// replica totals plus the traffic engine's cache effectiveness.
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.counter("sim.epochs", self.epoch);
+        registry.gauge("sim.replicas_total", self.manager.total_replicas() as f64);
+        self.engine.stats().collect_metrics(registry);
+    }
+
+    /// Package the metrics recorded so far (and the profile, if timing
+    /// was on) without running further epochs.
+    pub fn finish(self) -> SimResult {
+        let profile = if self.profiler.enabled() { Some(self.profiler.report()) } else { None };
+        SimResult {
+            policy: self.params.policy,
+            scenario: self.params.scenario.name().to_string(),
+            metrics: self.metrics,
+            profile,
+        }
     }
 
     /// Run to completion and return the metric history.
@@ -369,11 +448,7 @@ impl Simulation {
         while self.epoch < self.params.epochs {
             self.step()?;
         }
-        Ok(SimResult {
-            policy: self.params.policy,
-            scenario: self.params.scenario.name().to_string(),
-            metrics: self.metrics,
-        })
+        Ok(self.finish())
     }
 }
 

@@ -23,6 +23,7 @@
 //! (property-tested in `tests/prop_engine.rs`). Determinism of the
 //! simulator therefore survives the refactor unchanged.
 
+use rfh_obs::MetricsRegistry;
 use rfh_topology::{RouteTable, Topology};
 use rfh_types::{DatacenterId, PartitionId, ServerId};
 use rfh_workload::QueryLoad;
@@ -65,6 +66,35 @@ pub struct TrafficEngine {
     /// restoring between passes.
     view_version: Option<u64>,
     accounts: TrafficAccounts,
+    stats: EngineStats,
+}
+
+/// Cache-effectiveness counters of a [`TrafficEngine`]: how often the
+/// per-epoch pass got away with the fast capacity-restore path versus
+/// paying a topology rebuild or a full capacity re-index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Traffic passes run ([`TrafficEngine::account`] calls).
+    pub passes: u64,
+    /// Route/membership cache rebuilds (topology generation moved).
+    pub topo_rebuilds: u64,
+    /// Full capacity-index sweeps (rebuild, reshape, or the
+    /// [`PlacementView::version`] stamp moved).
+    pub index_rebuilds: u64,
+    /// Fast-path passes: index valid, only consumed capacities restored
+    /// — the capacity sweep was skipped entirely.
+    pub fast_restores: u64,
+}
+
+impl EngineStats {
+    /// Export the counters into a metrics registry under
+    /// `traffic.engine.*`.
+    pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.counter("traffic.engine.passes", self.passes);
+        registry.counter("traffic.engine.topo_rebuilds", self.topo_rebuilds);
+        registry.counter("traffic.engine.index_rebuilds", self.index_rebuilds);
+        registry.counter("traffic.engine.fast_restores", self.fast_restores);
+    }
 }
 
 impl Default for TrafficEngine {
@@ -87,7 +117,13 @@ impl TrafficEngine {
             cap_servers: Vec::new(),
             view_version: None,
             accounts: TrafficAccounts::empty(),
+            stats: EngineStats::default(),
         }
+    }
+
+    /// Cache-effectiveness counters accumulated over this engine's life.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// The topology generation the caches are currently valid for.
@@ -122,6 +158,7 @@ impl TrafficEngine {
             }
         }
         self.synced = Some(topo.generation());
+        self.stats.topo_rebuilds += 1;
         true
     }
 
@@ -139,6 +176,7 @@ impl TrafficEngine {
         view: &PlacementView,
     ) -> &TrafficAccounts {
         let rebuilt = self.sync_topology(topo);
+        self.stats.passes += 1;
 
         let n_dcs = topo.datacenters().len();
         let n_parts = load.partitions() as usize;
@@ -157,6 +195,7 @@ impl TrafficEngine {
             self.remaining.reset(n_parts, n_servers);
         }
         if rebuilt || !shape_ok || self.view_version != Some(view.version()) {
+            self.stats.index_rebuilds += 1;
             // Full sweep: load the remaining-capacity scratch and, in
             // the same pass, index which servers are worth visiting —
             // most (partition, datacenter) pairs hold no capacity at
@@ -182,6 +221,7 @@ impl TrafficEngine {
             self.cap_offsets.push(self.cap_servers.len() as u32);
             self.view_version = Some(view.version());
         } else {
+            self.stats.fast_restores += 1;
             // Neither the membership nor the placement moved since the
             // index was built: only the capacities the last pass
             // consumed need restoring, and the index already knows
@@ -389,6 +429,32 @@ mod tests {
         view.add_capacity(PartitionId::new(2), ServerId::new(0), 3.0);
         view.set_holder(PartitionId::new(0), ServerId::new(2));
         assert_eq!(engine.account(&topo, &load, &view), &compute_traffic(&topo, &load, &view));
+    }
+
+    #[test]
+    fn stats_count_fast_and_slow_paths() {
+        let topo = chain();
+        let load = sample_load(4, 3);
+        let mut view = sample_view(4, 3);
+        let mut engine = TrafficEngine::new();
+        engine.account(&topo, &load, &view);
+        engine.account(&topo, &load, &view);
+        engine.account(&topo, &load, &view);
+        assert_eq!(
+            engine.stats(),
+            EngineStats { passes: 3, topo_rebuilds: 1, index_rebuilds: 1, fast_restores: 2 }
+        );
+        // A placement change forces a re-index on the next pass only.
+        view.add_capacity(PartitionId::new(1), ServerId::new(0), 2.0);
+        engine.account(&topo, &load, &view);
+        engine.account(&topo, &load, &view);
+        let stats = engine.stats();
+        assert_eq!((stats.index_rebuilds, stats.fast_restores), (2, 3));
+
+        let mut reg = MetricsRegistry::new();
+        stats.collect_metrics(&mut reg);
+        assert_eq!(reg.get("traffic.engine.passes"), Some(&rfh_obs::Metric::Counter(5)));
+        assert_eq!(reg.get("traffic.engine.fast_restores"), Some(&rfh_obs::Metric::Counter(3)));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod placement;
 pub mod smoothing;
 
 pub use absorption::{compute_traffic, TrafficAccounts};
-pub use engine::TrafficEngine;
+pub use engine::{EngineStats, TrafficEngine};
 pub use grid::Grid;
 pub use placement::PlacementView;
 pub use smoothing::TrafficSmoother;

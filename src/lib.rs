@@ -15,6 +15,7 @@
 //! | [`topology`] | `rfh-topology` | datacenters, WAN routing, the Fig. 1 preset |
 //! | [`ring`] | `rfh-ring` | consistent hashing, prefix-overlay routing |
 //! | [`stats`] | `rfh-stats` | EWMA, Erlang-B, availability bound, metrics math |
+//! | [`obs`] | `rfh-obs` | decision tracing (JSONL), metrics registry, per-phase epoch profiler |
 //! | [`workload`] | `rfh-workload` | Poisson/Zipf query generation, scenarios, traces |
 //! | [`traffic`] | `rfh-traffic` | the traffic-determination pass (eqs. 2–11) and the reusable, route-cached [`TrafficEngine`](rfh_traffic::TrafficEngine) |
 //! | [`core`] | `rfh-core` | the RFH decision tree + the three baselines |
@@ -57,6 +58,7 @@ pub use rfh_consistency as consistency;
 pub use rfh_core as core;
 pub use rfh_experiments as experiments;
 pub use rfh_net as net;
+pub use rfh_obs as obs;
 pub use rfh_ring as ring;
 pub use rfh_sim as sim;
 pub use rfh_stats as stats;
@@ -73,8 +75,15 @@ pub mod prelude {
         ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
     };
     pub use rfh_net::{DistributedRfhPolicy, Network};
+    pub use rfh_obs::{
+        DecisionEvent, MetricsRegistry, NullRecorder, ProfileReport, Profiler, Recorder,
+        TraceRecorder,
+    };
     pub use rfh_ring::ConsistentHashRing;
-    pub use rfh_sim::{run_comparison, ComparisonResult, SimParams, SimResult, Simulation};
+    pub use rfh_sim::{
+        run_comparison, run_comparison_observed, ComparisonResult, ObsOptions, SimParams,
+        SimResult, Simulation,
+    };
     pub use rfh_topology::{paper_topology, paper_topology_spec, Topology, TopologyBuilder};
     pub use rfh_types::{
         Bandwidth, Bytes, Continent, DatacenterId, Epoch, FlashCrowdConfig, GeoPoint, PartitionId,

@@ -25,13 +25,13 @@ fn shared_run() -> FigureRun {
 fn figures_3_to_9_reproduce_paper_claims() {
     let run = shared_run();
     let mut all = Vec::new();
-    all.extend(shapes::check_fig3(&run));
-    all.extend(shapes::check_fig4(&run));
-    all.extend(shapes::check_fig5(&run));
-    all.extend(shapes::check_fig6(&run));
-    all.extend(shapes::check_fig7(&run));
-    all.extend(shapes::check_fig8(&run));
-    all.extend(shapes::check_fig9(&run));
+    all.extend(shapes::check_fig3(&run).expect("fig3 checks run"));
+    all.extend(shapes::check_fig4(&run).expect("fig4 checks run"));
+    all.extend(shapes::check_fig5(&run).expect("fig5 checks run"));
+    all.extend(shapes::check_fig6(&run).expect("fig6 checks run"));
+    all.extend(shapes::check_fig7(&run).expect("fig7 checks run"));
+    all.extend(shapes::check_fig8(&run).expect("fig8 checks run"));
+    all.extend(shapes::check_fig9(&run).expect("fig9 checks run"));
     let failures: Vec<String> = all
         .iter()
         .filter(|c| !c.acceptable())
@@ -65,7 +65,7 @@ fn figures_3_to_9_reproduce_paper_claims() {
 #[test]
 fn figure_10_failure_and_recovery() {
     let result = figures::fig10(42).expect("fig10 runs");
-    for check in shapes::check_fig10(&result) {
+    for check in shapes::check_fig10(&result).expect("fig10 checks run") {
         assert!(check.holds, "{}: {}", check.id, check.detail);
     }
     // The alive-server series records the event precisely.
