@@ -181,8 +181,24 @@ pub fn compare(opts: &Options) -> Result<String> {
         out.push_str(&report::profile_table(&cmp));
     }
     if let (Some(path), Some(rec)) = (opts.get("trace"), &recorder) {
-        std::fs::write(path, rec.to_jsonl())?;
-        let _ = writeln!(out, "\n{} decision events written to {path}", rec.len());
+        // The four policy threads interleave their pushes into the
+        // shared ring nondeterministically; order the file by epoch,
+        // then by the comparison's policy order (each policy's events
+        // are already in its own proposal order, and the sort is
+        // stable), so equal runs write equal traces.
+        let mut events = rec.events();
+        let rank = |p: &str| PolicyKind::ALL.iter().position(|k| k.name() == p);
+        events.sort_by_key(|e| (e.epoch, rank(e.policy)));
+        let mut jsonl = String::new();
+        for ev in &events {
+            jsonl.push_str(&ev.to_json());
+            jsonl.push('\n');
+        }
+        std::fs::write(path, jsonl)?;
+        let _ = writeln!(out, "\n{} decision events written to {path}", events.len());
+        if rec.dropped() > 0 {
+            let _ = writeln!(out, "({} older events evicted from the trace ring)", rec.dropped());
+        }
     }
     if let Some(dir) = opts.get("csv-dir") {
         let metrics: Vec<&str> = SUMMARY_METRICS.iter().map(|&(_, m)| m).collect();
@@ -321,6 +337,34 @@ mod tests {
         let summary_of =
             |s: &str| s.lines().take(1 + SUMMARY_METRICS.len()).collect::<Vec<_>>().join("\n");
         assert_eq!(summary_of(&plain), summary_of(&out));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compare_trace_is_deterministic_and_ordered() {
+        let dir = std::env::temp_dir().join(format!("rfh_cmp_trace_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (a, b) = (dir.join("a.jsonl"), dir.join("b.jsonl"));
+        let out = compare(&opts(&format!("compare --epochs 8 --trace {}", a.display()))).unwrap();
+        assert!(out.contains("decision events written"));
+        compare(&opts(&format!("compare --epochs 8 --trace {}", b.display()))).unwrap();
+        let (a, b) = (std::fs::read_to_string(&a).unwrap(), std::fs::read_to_string(&b).unwrap());
+        assert_eq!(a, b, "equal runs must write equal traces");
+        // Epoch-major order, all four policies present.
+        let mut last_epoch = 0u64;
+        for line in a.lines() {
+            let epoch: u64 = line
+                .strip_prefix("{\"epoch\":")
+                .and_then(|r| r.split(',').next())
+                .and_then(|n| n.parse().ok())
+                .unwrap();
+            assert!(epoch >= last_epoch, "events out of epoch order: {line}");
+            last_epoch = epoch;
+        }
+        for kind in PolicyKind::ALL {
+            let tag = format!("\"policy\":\"{}\"", kind.name());
+            assert!(a.contains(&tag), "no events tagged {}", kind.name());
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

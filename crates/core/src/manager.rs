@@ -286,13 +286,17 @@ impl ReplicaManager {
     /// [`ReplicaManager::apply`], mirroring the executor's verdict to a
     /// trace recorder: the pending decision event for the partition gets
     /// its `applied` flag and eq. (1) cost filled in (0 on rejection).
-    /// The recorder observes only — the action's outcome is identical to
-    /// a plain `apply`.
+    /// `policy` must be the label the deciding policy stamped into its
+    /// events ([`crate::ReplicationPolicy::name`]) — the recorder may be
+    /// shared across concurrently running policies and matches outcomes
+    /// by (policy, partition). The recorder observes only — the action's
+    /// outcome is identical to a plain `apply`.
     pub fn apply_recorded(
         &mut self,
         topo: &Topology,
         action: Action,
         recorder: &dyn Recorder,
+        policy: &'static str,
     ) -> Result<AppliedAction> {
         let outcome = self.apply(topo, action);
         if recorder.enabled() {
@@ -302,8 +306,8 @@ impl ReplicaManager {
                 | Action::Suicide { partition, .. } => partition,
             };
             match &outcome {
-                Ok(applied) => recorder.outcome(partition.0, true, applied.cost),
-                Err(_) => recorder.outcome(partition.0, false, 0.0),
+                Ok(applied) => recorder.outcome(policy, partition.0, true, applied.cost),
+                Err(_) => recorder.outcome(policy, partition.0, false, 0.0),
             }
         }
         outcome

@@ -130,7 +130,7 @@ impl DistributedRfhPolicy {
     /// Export the agent's control-plane metrics (report volume plus the
     /// underlying network's counters) into a registry.
     pub fn collect_metrics(&self, registry: &mut rfh_obs::MetricsRegistry) {
-        registry.counter("net.reports_sent", self.reports_sent);
+        registry.counter_total("net.reports_sent", self.reports_sent);
         if let Some(network) = &self.network {
             network.collect_metrics(registry);
         }

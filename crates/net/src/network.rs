@@ -154,14 +154,16 @@ impl Network {
     }
 
     /// Export the transport's counters into a metrics registry:
-    /// messages by type, queue depth, and delivery latency.
+    /// messages by type, queue depth, and delivery latency. The counts
+    /// are lifetime totals, written set-style so re-collecting into the
+    /// same registry is idempotent.
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
-        registry.counter("net.sent", self.sent);
+        registry.counter_total("net.sent", self.sent);
         for (kind, n) in &self.sent_by_kind {
-            registry.counter(&format!("net.sent.{kind}"), *n);
+            registry.counter_total(&format!("net.sent.{kind}"), *n);
         }
-        registry.counter("net.delivered", self.delivered);
-        registry.counter("net.hops_travelled", self.hops_travelled);
+        registry.counter_total("net.delivered", self.delivered);
+        registry.counter_total("net.hops_travelled", self.hops_travelled);
         registry.gauge("net.in_flight", self.in_flight.len() as f64);
         registry.gauge("net.max_in_flight", self.max_in_flight as f64);
         registry.histogram("net.delivery_hops", &self.delivery_hops);

@@ -20,13 +20,19 @@ pub trait Recorder: Send + Sync {
     /// A policy proposed an action.
     fn decision(&self, _event: DecisionEvent) {}
 
-    /// The executor applied (or rejected) the oldest pending decision
-    /// for `partition`, at eq. (1) cost `cost`.
-    fn outcome(&self, _partition: u32, _applied: bool, _cost: f64) {}
+    /// `policy`'s executor applied (or rejected) the oldest pending
+    /// decision for `partition`, at eq. (1) cost `cost`. The label must
+    /// match the one the policy stamped into the event: one recorder
+    /// may serve several concurrently running policies (the comparison
+    /// runner), and the label keeps each outcome on its own policy's
+    /// events.
+    fn outcome(&self, _policy: &'static str, _partition: u32, _applied: bool, _cost: f64) {}
 
-    /// The epoch finished; flush decisions that never reached the
-    /// executor (e.g. proposed by a policy but filtered upstream).
-    fn end_epoch(&self, _epoch: u64) {}
+    /// `policy`'s epoch finished; flush *its* decisions that never
+    /// reached the executor (e.g. proposed but filtered upstream).
+    /// Other policies sharing the recorder run their own epochs at
+    /// their own pace, so their pending decisions stay untouched.
+    fn end_epoch(&self, _policy: &'static str, _epoch: u64) {}
 }
 
 /// The do-nothing default. A `&NullRecorder` rvalue promotes to
@@ -52,10 +58,12 @@ struct TraceState {
 ///
 /// Decisions arrive via [`Recorder::decision`] and are held pending
 /// until the executor reports their [`Recorder::outcome`] (matched by
-/// partition id, FIFO); completed events land in the ring, evicting the
-/// oldest once `capacity` is reached. Interior mutability via a mutex
-/// keeps the recorder `Sync`, so one instance can be shared across the
-/// comparison runner's policy threads.
+/// policy label and partition id, FIFO); completed events land in the
+/// ring, evicting the oldest once `capacity` is reached. Interior
+/// mutability via a mutex keeps the recorder `Sync`, so one instance
+/// can be shared across the comparison runner's policy threads — the
+/// policy label on every outcome and epoch flush keeps the four
+/// interleaved policies from completing each other's events.
 #[derive(Debug)]
 pub struct TraceRecorder {
     capacity: usize,
@@ -143,11 +151,16 @@ impl Recorder for TraceRecorder {
         self.lock().pending.push_back(event);
     }
 
-    fn outcome(&self, partition: u32, applied: bool, cost: f64) {
+    fn outcome(&self, policy: &'static str, partition: u32, applied: bool, cost: f64) {
         let mut state = self.lock();
-        // FIFO by partition: executors apply actions in proposal order,
-        // so the first pending event for the partition is the one.
-        let Some(pos) = state.pending.iter().position(|e| e.partition == partition) else {
+        // FIFO by (policy, partition): each policy's executor applies
+        // its actions in proposal order, so the first pending event for
+        // the pair is the one. Matching on the policy too keeps the
+        // comparison runner's interleaved threads from completing each
+        // other's events for the same partition.
+        let Some(pos) =
+            state.pending.iter().position(|e| e.policy == policy && e.partition == partition)
+        else {
             return; // outcome for a decision nobody recorded
         };
         let mut event = state.pending.remove(pos).expect("position is in range");
@@ -156,11 +169,20 @@ impl Recorder for TraceRecorder {
         Self::push_ring(&mut state, self.capacity, event);
     }
 
-    fn end_epoch(&self, _epoch: u64) {
+    fn end_epoch(&self, policy: &'static str, _epoch: u64) {
         let mut state = self.lock();
-        // Decisions the executor never saw keep cost/applied = null.
-        while let Some(event) = state.pending.pop_front() {
-            Self::push_ring(&mut state, self.capacity, event);
+        // Flush only the calling policy's unexecuted decisions (they
+        // keep cost/applied = null). Other policies run their epochs at
+        // their own pace on other threads; their still-pending decisions
+        // must survive so their later outcomes can complete them.
+        let mut i = 0;
+        while i < state.pending.len() {
+            if state.pending[i].policy == policy {
+                let event = state.pending.remove(i).expect("index is in range");
+                Self::push_ring(&mut state, self.capacity, event);
+            } else {
+                i += 1;
+            }
         }
     }
 }
@@ -170,10 +192,10 @@ mod tests {
     use super::*;
     use crate::event::{DecisionKind, Trigger};
 
-    fn ev(partition: u32) -> DecisionEvent {
+    fn ev_for(policy: &'static str, partition: u32) -> DecisionEvent {
         DecisionEvent {
             epoch: 1,
-            policy: "RFH",
+            policy,
             kind: DecisionKind::Replicate,
             partition,
             source: None,
@@ -189,20 +211,65 @@ mod tests {
         }
     }
 
+    fn ev(partition: u32) -> DecisionEvent {
+        ev_for("RFH", partition)
+    }
+
     #[test]
     fn outcome_completes_matching_pending_event() {
         let rec = TraceRecorder::new();
         rec.decision(ev(3));
         rec.decision(ev(5));
-        rec.outcome(5, true, 12.5);
+        rec.outcome("RFH", 5, true, 12.5);
         assert_eq!(rec.len(), 1);
         let done = &rec.events()[0];
         assert_eq!(done.partition, 5);
         assert_eq!(done.applied, Some(true));
         assert_eq!(done.cost, Some(12.5));
-        rec.end_epoch(1);
+        rec.end_epoch("RFH", 1);
         assert_eq!(rec.len(), 2, "unmatched decision flushed at epoch end");
         assert_eq!(rec.events()[1].applied, None);
+    }
+
+    #[test]
+    fn outcome_only_matches_its_own_policy() {
+        // Two concurrently running policies decide on the same
+        // partition; each executor's outcome must land on its own
+        // policy's event, whatever the interleaving.
+        let rec = TraceRecorder::new();
+        rec.decision(ev_for("RFH", 9));
+        rec.decision(ev_for("Owner", 9));
+        rec.outcome("Owner", 9, true, 7.0);
+        rec.outcome("RFH", 9, false, 0.0);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            (events[0].policy, events[0].applied, events[0].cost),
+            ("Owner", Some(true), Some(7.0))
+        );
+        assert_eq!(
+            (events[1].policy, events[1].applied, events[1].cost),
+            ("RFH", Some(false), Some(0.0))
+        );
+        // An outcome for a policy with nothing pending is dropped.
+        rec.outcome("Random", 9, true, 1.0);
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn end_epoch_flushes_only_the_calling_policy() {
+        // Policy threads reach their epoch boundaries at different
+        // times; one policy's flush must not steal another's pending
+        // decision mid-epoch (its outcome would then silently no-op).
+        let rec = TraceRecorder::new();
+        rec.decision(ev_for("RFH", 1));
+        rec.decision(ev_for("Owner", 2));
+        rec.end_epoch("RFH", 1);
+        assert_eq!(rec.len(), 1, "only RFH's decision is flushed");
+        assert_eq!(rec.events()[0].policy, "RFH");
+        rec.outcome("Owner", 2, true, 3.0);
+        assert_eq!(rec.len(), 2, "Owner's decision still completes");
+        assert_eq!(rec.events()[1].applied, Some(true));
     }
 
     #[test]
@@ -210,7 +277,7 @@ mod tests {
         let rec = TraceRecorder::with_capacity(2);
         for p in 0..5 {
             rec.decision(ev(p));
-            rec.outcome(p, true, 1.0);
+            rec.outcome("RFH", p, true, 1.0);
         }
         assert_eq!(rec.len(), 2);
         assert_eq!(rec.dropped(), 3);
@@ -224,15 +291,15 @@ mod tests {
         let rec = NullRecorder;
         assert!(!rec.enabled());
         rec.decision(ev(0));
-        rec.outcome(0, true, 1.0);
-        rec.end_epoch(0);
+        rec.outcome("RFH", 0, true, 1.0);
+        rec.end_epoch("RFH", 0);
     }
 
     #[test]
     fn jsonl_has_one_line_per_event() {
         let rec = TraceRecorder::new();
         rec.decision(ev(1));
-        rec.outcome(1, false, 0.0);
+        rec.outcome("RFH", 1, false, 0.0);
         let jsonl = rec.to_jsonl();
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.starts_with("{\"epoch\":1,"));

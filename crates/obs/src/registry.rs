@@ -46,13 +46,25 @@ impl MetricsRegistry {
         }
     }
 
-    /// Add `delta` to a counter (created at zero).
+    /// Add `delta` to a counter (created at zero). For incremental
+    /// contributions; a subsystem exporting a lifetime total it already
+    /// accumulated itself should use [`MetricsRegistry::counter_total`],
+    /// which stays correct when `collect_metrics` runs more than once.
     pub fn counter(&mut self, name: &str, delta: u64) {
         let prior = match self.get(name) {
             Some(Metric::Counter(v)) => *v,
             _ => 0,
         };
         self.upsert(name, Metric::Counter(prior + delta));
+    }
+
+    /// Set a counter to its lifetime `total`, overwriting any prior
+    /// value — the counter equivalent of [`MetricsRegistry::gauge`].
+    /// `collect_metrics` hooks exporting totals they track themselves
+    /// use this so re-collecting into the same registry is idempotent
+    /// rather than double-counting.
+    pub fn counter_total(&mut self, name: &str, total: u64) {
+        self.upsert(name, Metric::Counter(total));
     }
 
     /// Set a gauge.
@@ -125,6 +137,16 @@ mod tests {
         assert_eq!(reg.get("net.sent"), Some(&Metric::Counter(7)));
         assert_eq!(reg.get("net.depth"), Some(&Metric::Gauge(2.5)));
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn counter_total_overwrites_so_recollection_is_idempotent() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_total("sim.epochs", 250);
+        reg.counter_total("sim.epochs", 250);
+        assert_eq!(reg.get("sim.epochs"), Some(&Metric::Counter(250)));
+        reg.counter_total("sim.epochs", 300);
+        assert_eq!(reg.get("sim.epochs"), Some(&Metric::Counter(300)));
     }
 
     #[test]

@@ -387,11 +387,16 @@ impl Simulation {
         self.profiler.stop(PHASE_METRICS, me_t0);
 
         let ap_t0 = self.profiler.start();
+        // The recorder matches outcomes and epoch flushes by the label
+        // the policy stamps into its events — ask the policy itself, so
+        // custom (ablated) policies stay correctly attributed too.
+        let policy_label = self.policy.name();
         for action in actions {
             // A rejected action (bandwidth exhausted, target filled up by
             // an earlier action this epoch) is simply not executed —
             // the decision is retried naturally in later epochs.
-            let Ok(applied) = self.manager.apply_recorded(&self.topo, action, &*self.recorder)
+            let Ok(applied) =
+                self.manager.apply_recorded(&self.topo, action, &*self.recorder, policy_label)
             else {
                 continue;
             };
@@ -418,15 +423,17 @@ impl Simulation {
         snap.replicas_total = self.manager.total_replicas();
         self.metrics.record(&snap);
         self.profiler.stop(PHASE_METRICS, me_t1);
-        self.recorder.end_epoch(self.epoch);
+        self.recorder.end_epoch(policy_label, self.epoch);
         self.epoch += 1;
         Ok(snap)
     }
 
     /// Export the run's counters into a metrics registry: epoch and
     /// replica totals plus the traffic engine's cache effectiveness.
+    /// All values are lifetime totals written set-style, so collecting
+    /// into the same registry repeatedly is idempotent.
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
-        registry.counter("sim.epochs", self.epoch);
+        registry.counter_total("sim.epochs", self.epoch);
         registry.gauge("sim.replicas_total", self.manager.total_replicas() as f64);
         self.engine.stats().collect_metrics(registry);
     }

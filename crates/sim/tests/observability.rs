@@ -66,6 +66,31 @@ fn observed_comparison_matches_plain_comparison() {
     }
 }
 
+/// The shared recorder serves four concurrently running policy threads;
+/// outcomes and epoch flushes are matched by (policy, partition), so
+/// whatever the interleaving, each policy's slice of the shared ring
+/// must equal the trace of that policy run solo with a private recorder
+/// — same events, same order, same applied flags and costs.
+#[test]
+fn shared_recorder_attributes_events_to_the_right_policy() {
+    let params = base(Scenario::RandomEven);
+    let shared = Arc::new(TraceRecorder::new());
+    let obs = ObsOptions { profile: false, recorder: Some(shared.clone()) };
+    run_comparison_observed(&params, &obs).unwrap();
+    let merged = shared.events();
+
+    for kind in PolicyKind::ALL {
+        let solo_rec = Arc::new(TraceRecorder::new());
+        let solo_params = SimParams { policy: kind, ..params.clone() };
+        Simulation::new(solo_params).unwrap().with_recorder(solo_rec.clone()).run().unwrap();
+        let solo = solo_rec.events();
+        let from_shared: Vec<_> =
+            merged.iter().filter(|e| e.policy == kind.name()).cloned().collect();
+        assert!(!solo.is_empty(), "{kind} solo run must emit events");
+        assert_eq!(from_shared, solo, "{kind} events misattributed in the shared recorder");
+    }
+}
+
 #[test]
 fn trace_jsonl_is_wellformed() {
     let rec = Arc::new(TraceRecorder::new());

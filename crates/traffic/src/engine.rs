@@ -88,12 +88,13 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Export the counters into a metrics registry under
-    /// `traffic.engine.*`.
+    /// `traffic.engine.*`. The stats are lifetime totals, written
+    /// set-style so re-collecting into the same registry is idempotent.
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
-        registry.counter("traffic.engine.passes", self.passes);
-        registry.counter("traffic.engine.topo_rebuilds", self.topo_rebuilds);
-        registry.counter("traffic.engine.index_rebuilds", self.index_rebuilds);
-        registry.counter("traffic.engine.fast_restores", self.fast_restores);
+        registry.counter_total("traffic.engine.passes", self.passes);
+        registry.counter_total("traffic.engine.topo_rebuilds", self.topo_rebuilds);
+        registry.counter_total("traffic.engine.index_rebuilds", self.index_rebuilds);
+        registry.counter_total("traffic.engine.fast_restores", self.fast_restores);
     }
 }
 
