@@ -71,6 +71,7 @@ pub fn bench_params(scenario: Scenario, epochs: u64) -> SimParams {
         epochs,
         seed: 42,
         events: EventSchedule::new(),
+        faults: rfh_sim::FaultPlan::default(),
     }
 }
 

@@ -6,6 +6,7 @@
 //! semantically).
 
 use rfh_core::PolicyKind;
+use rfh_faults::FaultPlan;
 use rfh_types::{FlashCrowdConfig, Result, RfhError};
 use rfh_workload::Scenario;
 use std::collections::BTreeMap;
@@ -15,7 +16,18 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 8] = ["policy", "scenario", "epochs", "seed", "csv", "csv-dir", "out", "trace"];
+const KNOWN: [&str; 10] = [
+    "policy",
+    "scenario",
+    "epochs",
+    "seed",
+    "csv",
+    "csv-dir",
+    "out",
+    "trace",
+    "faults",
+    "fault-seed",
+];
 
 /// Valueless options, stored as `"true"` when present.
 pub const FLAGS: [&str; 1] = ["profile"];
@@ -95,6 +107,25 @@ pub fn seed(opts: &Options) -> Result<u64> {
     numeric(opts, "seed", 42)
 }
 
+/// `--faults PLAN.toml` / `--fault-seed N`: the chaos schedule. With no
+/// `--faults` file the plan is empty (and `--fault-seed` alone changes
+/// nothing: an empty plan builds no injector). `--fault-seed` overrides
+/// the `seed =` line of the plan file, so one schedule can be replayed
+/// under different stochastic churn.
+pub fn fault_plan(opts: &Options) -> Result<FaultPlan> {
+    let mut plan = match opts.get("faults") {
+        None => FaultPlan::default(),
+        Some(path) => FaultPlan::from_toml_str(&std::fs::read_to_string(path)?)?,
+    };
+    if let Some(v) = opts.get("fault-seed") {
+        plan.seed = v.parse().map_err(|_| RfhError::InvalidConfig {
+            parameter: "fault-seed",
+            reason: format!("{v:?} is not a non-negative integer"),
+        })?;
+    }
+    Ok(plan)
+}
+
 fn numeric(opts: &Options, key: &'static str, default: u64) -> Result<u64> {
     match opts.get(key) {
         None => Ok(default),
@@ -146,6 +177,33 @@ mod tests {
         assert!(parse(&argv("run --bogus 1")).is_err(), "unknown option");
         let (_, opts) = parse(&argv("run --epochs twelve")).unwrap();
         assert!(epochs(&opts).is_err(), "non-numeric value");
+    }
+
+    #[test]
+    fn fault_plan_option_loads_and_overrides_seed() {
+        let (_, o) = parse(&argv("run")).unwrap();
+        assert!(fault_plan(&o).unwrap().is_empty(), "no --faults means no chaos");
+        let (_, o) = parse(&argv("run --fault-seed 9")).unwrap();
+        assert!(fault_plan(&o).unwrap().is_empty(), "a seed alone injects nothing");
+
+        let dir = std::env::temp_dir().join(format!("rfh_fault_args_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plan.toml");
+        std::fs::write(&file, "seed = 4\n\n[[at]]\nepoch = 10\nfail_dc = 3\n").unwrap();
+        let (_, o) = parse(&argv(&format!("run --faults {}", file.display()))).unwrap();
+        let plan = fault_plan(&o).unwrap();
+        assert_eq!(plan.seed, 4);
+        assert_eq!(plan.scheduled.len(), 1);
+        let (_, o) =
+            parse(&argv(&format!("run --faults {} --fault-seed 99", file.display()))).unwrap();
+        assert_eq!(fault_plan(&o).unwrap().seed, 99, "--fault-seed wins over the file");
+
+        let (_, o) = parse(&argv("run --faults /nonexistent/plan.toml")).unwrap();
+        assert!(fault_plan(&o).is_err(), "missing plan file errors cleanly");
+        std::fs::write(&file, "epoch = broken [[").unwrap();
+        let (_, o) = parse(&argv(&format!("run --faults {}", file.display()))).unwrap();
+        assert!(fault_plan(&o).is_err(), "malformed plan errors cleanly");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

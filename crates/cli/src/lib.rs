@@ -10,9 +10,11 @@
 //! rfh run [--policy rfh] [--scenario flash]   one simulation, summary + optional CSV
 //!         [--epochs N] [--seed N] [--csv FILE]
 //!         [--trace OUT.jsonl] [--profile]      decision trace + phase timing
+//!         [--faults PLAN.toml] [--fault-seed N] chaos schedule (see DESIGN.md)
 //! rfh compare [--scenario random] [--epochs N] four-way comparison table
 //!             [--seed N] [--csv-dir DIR]
 //!             [--trace OUT.jsonl] [--profile]
+//!             [--faults PLAN.toml] [--fault-seed N]
 //! rfh trace [--epochs N] [--seed N]           dump a workload trace as CSV
 //!           [--scenario S] [--out FILE]
 //! rfh help                                    this text
@@ -76,6 +78,10 @@ COMMON OPTIONS:
                       decision-event JSONL to write (run, compare)
     --profile         print the per-phase epoch timing table and counters
                       (run, compare)
+    --faults FILE     fault-plan TOML: correlated outages, WAN link faults,
+                      partitions, gray failures, background churn (run, compare)
+    --fault-seed N    override the plan file's chaos seed (replay the same
+                      schedule under different churn)
 
 The figure-by-figure harness lives in the experiment binaries:
     cargo run -p rfh-experiments --bin all | fig3..fig10 | table1 | ablations | sla

@@ -35,6 +35,12 @@ pub struct PruneOutcome {
     /// archive onto the fallback server — the data-loss events a
     /// replication scheme exists to prevent.
     pub restored_partitions: Vec<PartitionId>,
+    /// Partitions that lost every replica while *no* fallback server was
+    /// available (the fallback closure returned `None`, e.g. the whole
+    /// cluster is down). They stay pinned to their dead primary, serve
+    /// nothing, and await [`ReplicaManager::restore_partition`] once
+    /// capacity returns.
+    pub unrestored_partitions: Vec<PartitionId>,
 }
 
 /// The outcome of one successfully executed action.
@@ -64,6 +70,10 @@ pub struct ReplicaManager {
     phi: f64,
     repl_bw: u64,
     migr_bw: u64,
+    /// WAN bandwidth-cut factors in (0, 1]: effective transfer budgets
+    /// are `bw × factor`. 1.0 (the default) is a healthy backbone.
+    repl_bw_factor: f64,
+    migr_bw_factor: f64,
     /// eq. (1)'s `f`, from Table I.
     failure_rate: f64,
 }
@@ -96,6 +106,8 @@ impl ReplicaManager {
             phi: cfg.thresholds.phi,
             repl_bw: cfg.replication_bandwidth.0,
             migr_bw: cfg.migration_bandwidth.0,
+            repl_bw_factor: 1.0,
+            migr_bw_factor: 1.0,
             failure_rate: cfg.failure_rate,
         };
         for &h in &initial_holders {
@@ -122,6 +134,25 @@ impl ReplicaManager {
     pub fn begin_epoch(&mut self) {
         self.repl_out.fill(0);
         self.migr_out.fill(0);
+    }
+
+    /// Apply a WAN bandwidth cut: scale the per-epoch replication and
+    /// migration budgets by factors in (0, 1]. `(1.0, 1.0)` restores
+    /// the healthy backbone. Values outside (0, 1] are clamped.
+    pub fn set_bandwidth_factors(&mut self, replication: f64, migration: f64) {
+        let clamp = |f: f64| if f.is_finite() { f.clamp(f64::MIN_POSITIVE, 1.0) } else { 1.0 };
+        self.repl_bw_factor = clamp(replication);
+        self.migr_bw_factor = clamp(migration);
+    }
+
+    /// Effective per-epoch replication budget under any bandwidth cut.
+    fn effective_repl_bw(&self) -> u64 {
+        (self.repl_bw as f64 * self.repl_bw_factor) as u64
+    }
+
+    /// Effective per-epoch migration budget under any bandwidth cut.
+    fn effective_migr_bw(&self) -> u64 {
+        (self.migr_bw as f64 * self.migr_bw_factor) as u64
     }
 
     /// Number of partitions managed.
@@ -205,7 +236,9 @@ impl ReplicaManager {
                     return Err(RfhError::Simulation(format!("{target} storage would exceed φ")));
                 }
                 let source = self.holder(partition);
-                if self.repl_out[source.index()] + self.partition_size.as_u64() > self.repl_bw {
+                if self.repl_out[source.index()] + self.partition_size.as_u64()
+                    > self.effective_repl_bw()
+                {
                     return Err(RfhError::Simulation(format!(
                         "replication bandwidth of {source} exhausted this epoch"
                     )));
@@ -240,7 +273,9 @@ impl ReplicaManager {
                 if !self.can_accept(partition, to) {
                     return Err(RfhError::Simulation(format!("{to} storage would exceed φ")));
                 }
-                if self.migr_out[from.index()] + self.partition_size.as_u64() > self.migr_bw {
+                if self.migr_out[from.index()] + self.partition_size.as_u64()
+                    > self.effective_migr_bw()
+                {
                     return Err(RfhError::Simulation(format!(
                         "migration bandwidth of {from} exhausted this epoch"
                     )));
@@ -333,16 +368,21 @@ impl ReplicaManager {
     ///
     /// If a partition loses *all* replicas, it is restored on
     /// `fallback(p)` (modelling recovery from cold archive) and recorded
-    /// as a data-loss event in the outcome.
+    /// as a data-loss event in the outcome. When the fallback closure
+    /// returns `None` (no live server anywhere), the partition stays
+    /// pinned to its dead primary — serving nothing — and is reported in
+    /// [`PruneOutcome::unrestored_partitions`] so the caller can retry
+    /// the restore once servers recover.
     pub fn prune_dead(
         &mut self,
         topo: &Topology,
-        mut fallback: impl FnMut(PartitionId) -> ServerId,
+        mut fallback: impl FnMut(PartitionId) -> Option<ServerId>,
     ) -> PruneOutcome {
         let mut outcome = PruneOutcome::default();
         for p_idx in 0..self.replica_sets.len() {
             let p = PartitionId::new(p_idx as u32);
             let set = &mut self.replica_sets[p_idx];
+            let primary = set[0];
             let mut i = 0;
             while i < set.len() {
                 let s = set[i];
@@ -355,14 +395,56 @@ impl ReplicaManager {
                 }
             }
             if set.is_empty() {
-                let fb = fallback(p);
-                debug_assert!(topo.servers()[fb.index()].alive, "fallback must be alive");
-                set.push(fb);
-                self.storage_used[fb.index()] += self.partition_size;
-                outcome.restored_partitions.push(p);
+                match fallback(p) {
+                    Some(fb) => {
+                        debug_assert!(topo.servers()[fb.index()].alive, "fallback must be alive");
+                        set.push(fb);
+                        self.storage_used[fb.index()] += self.partition_size;
+                        outcome.restored_partitions.push(p);
+                    }
+                    None => {
+                        set.push(primary);
+                        self.storage_used[primary.index()] += self.partition_size;
+                        outcome.unrestored_partitions.push(p);
+                    }
+                }
             }
         }
         outcome
+    }
+
+    /// Restore a partition whose every replica is on a dead server
+    /// (the deferred branch of [`ReplicaManager::prune_dead`]): drop the
+    /// dead pins and place a single fresh copy from cold archive on
+    /// `to`. Counts as a data-loss restore for the caller's accounting.
+    ///
+    /// # Errors
+    /// Fails when `to` is unknown or dead, when some replica of the
+    /// partition is still alive (nothing to restore), or when `to`
+    /// cannot take the copy under the storage cap.
+    pub fn restore_partition(
+        &mut self,
+        topo: &Topology,
+        p: PartitionId,
+        to: ServerId,
+    ) -> Result<()> {
+        self.check_server(to)?;
+        if !topo.servers()[to.index()].alive {
+            return Err(RfhError::Simulation(format!("{to} is not alive")));
+        }
+        if self.replica_sets[p.index()].iter().any(|&s| topo.servers()[s.index()].alive) {
+            return Err(RfhError::Simulation(format!("{p} still has a live replica")));
+        }
+        if !self.fits(self.storage_used[to.index()] + self.partition_size) {
+            return Err(RfhError::Simulation(format!("{to} storage would exceed φ")));
+        }
+        let dead: Vec<ServerId> = self.replica_sets[p.index()].drain(..).collect();
+        for s in dead {
+            self.storage_used[s.index()] -= self.partition_size;
+        }
+        self.replica_sets[p.index()].push(to);
+        self.storage_used[to.index()] += self.partition_size;
+        Ok(())
     }
 
     /// Render the placement view for the traffic pass: each replica of a
@@ -586,7 +668,7 @@ mod tests {
         m.apply(&t, Action::Replicate { partition: p(0), target: s(3) }).unwrap();
         // Kill the primary of partition 0.
         t.fail_server(s(0)).unwrap();
-        let outcome = m.prune_dead(&t, |_| s(1));
+        let outcome = m.prune_dead(&t, |_| Some(s(1)));
         assert_eq!(outcome.lost_replicas, vec![(p(0), s(0))]);
         assert!(outcome.restored_partitions.is_empty(), "a copy survived");
         assert_eq!(m.holder(p(0)), s(3), "surviving replica promoted to primary");
@@ -594,11 +676,83 @@ mod tests {
         // Kill everything holding partition 1 → fallback restore, which
         // counts as a data-loss event.
         t.fail_server(s(2)).unwrap();
-        let outcome = m.prune_dead(&t, |_| s(1));
+        let outcome = m.prune_dead(&t, |_| Some(s(1)));
         assert_eq!(outcome.lost_replicas, vec![(p(1), s(2))]);
         assert_eq!(outcome.restored_partitions, vec![p(1)]);
         assert_eq!(m.holder(p(1)), s(1));
         assert!(m.storage_fraction(s(1)) > 0.0);
+    }
+
+    #[test]
+    fn prune_without_fallback_pins_to_dead_primary_until_restore() {
+        let mut t = topo();
+        let mut m = manager();
+        // Kill the whole cluster: no fallback exists anywhere.
+        for i in 0..4 {
+            t.fail_server(s(i)).unwrap();
+        }
+        let outcome = m.prune_dead(&t, |_| None);
+        assert_eq!(outcome.lost_replicas, vec![(p(0), s(0)), (p(1), s(2))]);
+        assert!(outcome.restored_partitions.is_empty());
+        assert_eq!(outcome.unrestored_partitions, vec![p(0), p(1)]);
+        // Pinned to the dead primaries — the map stays total.
+        assert_eq!(m.holder(p(0)), s(0));
+        assert_eq!(m.holder(p(1)), s(2));
+        assert!(m.storage_fraction(s(0)) > 0.0, "pin keeps the dead ledger consistent");
+
+        // Restore is refused while no target is alive…
+        assert!(m.restore_partition(&t, p(0), s(1)).is_err());
+        // …and succeeds once one recovers, moving storage off the pin.
+        t.recover_server(s(1)).unwrap();
+        m.restore_partition(&t, p(0), s(1)).unwrap();
+        assert_eq!(m.holder(p(0)), s(1));
+        assert_eq!(m.replica_count(p(0)), 1);
+        assert_eq!(m.storage_fraction(s(0)), 0.0);
+        // A second restore of the same partition is a no-op error: a
+        // live replica exists now.
+        assert!(m.restore_partition(&t, p(0), s(1)).is_err());
+    }
+
+    #[test]
+    fn restore_partition_validates_target() {
+        let mut t = topo();
+        let mut m = manager();
+        t.fail_server(s(0)).unwrap();
+        m.prune_dead(&t, |_| None);
+        assert!(m.restore_partition(&t, p(0), s(9)).is_err(), "unknown server");
+        // A target already full under φ is refused.
+        let small = SimConfig {
+            partitions: 2,
+            max_server_storage: Bytes::mib(1),
+            partition_size: Bytes::kib(512),
+            ..SimConfig::default()
+        };
+        let mut m = ReplicaManager::new(&small, 4, vec![s(0), s(2)]).unwrap();
+        m.apply(&t, Action::Replicate { partition: p(1), target: s(1) }).unwrap();
+        m.prune_dead(&t, |_| None);
+        assert!(m.restore_partition(&t, p(0), s(1)).is_err(), "φ exceeded");
+        m.restore_partition(&t, p(0), s(3)).unwrap();
+    }
+
+    #[test]
+    fn bandwidth_factors_scale_the_per_epoch_budgets() {
+        let t = topo();
+        let mut m = manager();
+        // Cut replication bandwidth to a sliver: one 512 KiB transfer no
+        // longer fits in 300 MiB × 1e-6.
+        m.set_bandwidth_factors(1e-6, 1.0);
+        assert!(m.apply(&t, Action::Replicate { partition: p(0), target: s(3) }).is_err());
+        // Migration budget is independent and still whole.
+        m.apply(&t, Action::Migrate { partition: p(1), from: s(2), to: s(3) }).unwrap();
+        // Restoring the factor restores the budget (same epoch: the
+        // failed attempt consumed nothing).
+        m.set_bandwidth_factors(1.0, 1.0);
+        m.apply(&t, Action::Replicate { partition: p(0), target: s(1) }).unwrap();
+        // Degenerate inputs clamp instead of poisoning the budget.
+        m.set_bandwidth_factors(f64::NAN, -3.0);
+        m.begin_epoch();
+        m.apply(&t, Action::Replicate { partition: p(0), target: s(3) })
+            .expect("NaN clamps to 1.0, a full budget");
     }
 
     #[test]

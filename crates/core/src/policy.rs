@@ -73,6 +73,12 @@ pub trait ReplicationPolicy {
     /// map (read-only); actions are applied by the caller afterwards, so
     /// decisions within one epoch see a consistent snapshot.
     fn decide(&mut self, ctx: &EpochContext<'_>, manager: &ReplicaManager) -> Vec<Action>;
+
+    /// Gray-failure hook: set the per-hop drop probability of the
+    /// policy's control plane (`0.0` heals). Centralized policies have
+    /// no message plane, so the default ignores it; the distributed
+    /// agent overrides it to corrupt its WAN transport.
+    fn set_message_loss(&mut self, _probability: f64) {}
 }
 
 /// The four algorithms of the paper's evaluation, as a value — handy for

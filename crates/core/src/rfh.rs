@@ -405,12 +405,24 @@ impl RfhDecisionCore {
             }
 
             // ── 3. Suicide ────────────────────────────────────────────
-            if manager.replica_count(p) > r_min {
+            // Degraded mode under WAN partitions: a replica whose
+            // datacenter cannot route to the holder sees zero traffic
+            // *because of the fault*, not because demand died — it may
+            // be the only copy serving its island. Isolated replicas
+            // are never suicided, and only reachable copies count
+            // toward the floor here, so a partition-split replica set
+            // also stops shrinking. On a healthy backbone every
+            // replica is reachable and this is exactly eq. 15.
+            let reachable =
+                |s: ServerId| topo.graph().latency_ms(holder_dc, replica_dc(s)).is_some();
+            let reachable_count = manager.replicas(p).iter().filter(|&&s| reachable(s)).count();
+            if reachable_count > r_min {
                 let doomed = manager
                     .replicas(p)
                     .iter()
                     .copied()
                     .filter(|&s| s != holder)
+                    .filter(|&s| reachable(s))
                     .filter(|&s| !self.in_grace(epoch, p, s))
                     .filter(|&s| {
                         self.idle_streak.get(&(p.0, s.0)).is_some_and(|&n| n >= SUICIDE_PATIENCE)
@@ -791,6 +803,63 @@ mod tests {
                 let _ = manager.apply(&h.topo, a);
             }
         }
+    }
+
+    #[test]
+    fn partition_isolated_replicas_never_suicide() {
+        use rfh_types::{DatacenterId, ServerId};
+        let mut h = Harness::paper_small();
+        let mut pol = RfhPolicy::with_grace(0);
+        let mut manager = h.manager.clone();
+        let p = PartitionId::new(0);
+        let holder_dc = h.topo.servers()[manager.holder(p).index()].datacenter;
+        // Two extra replicas: X in a DC we will isolate, Y elsewhere.
+        let mut others = (0..10).map(DatacenterId::new).filter(|&d| d != holder_dc).map(|d| d.0);
+        let iso_dc = DatacenterId::new(others.next().unwrap());
+        let y_dc = DatacenterId::new(others.next().unwrap());
+        let pick = |topo: &rfh_topology::Topology, dc: DatacenterId| -> ServerId {
+            topo.alive_servers_in(dc).next().unwrap().id
+        };
+        let x = pick(&h.topo, iso_dc);
+        manager.apply(&h.topo, Action::Replicate { partition: p, target: x }).unwrap();
+        manager.begin_epoch();
+        let y = pick(&h.topo, y_dc);
+        manager.apply(&h.topo, Action::Replicate { partition: p, target: y }).unwrap();
+        assert_eq!(manager.replica_count(p), 3, "r_min is 2; one spare above the floor");
+
+        // Cut X's datacenter off the WAN. Zero demand everywhere: under
+        // eq. 15 alone the spare replica would die once the idle streak
+        // accrues — degraded mode must hold the whole set instead,
+        // because only two copies are still reachable from the holder.
+        let cut = h.topo.isolate_island(&[iso_dc]);
+        assert!(!cut.is_empty());
+        for _ in 0..12 {
+            let parts = h.epoch_with_load(&manager, |_| {});
+            let ctx = parts.ctx(&h);
+            for a in pol.decide(&ctx, &manager) {
+                if let Action::Suicide { partition, .. } = a {
+                    assert_ne!(partition, p, "suicide while partition-isolated");
+                }
+            }
+        }
+        assert_eq!(manager.replica_count(p), 3);
+
+        // Heal the cut: every copy is reachable again, the spare is
+        // fair game and the set shrinks back to the floor.
+        for (a, b) in cut {
+            h.topo.set_link_state(a, b, true).unwrap();
+        }
+        for _ in 0..12 {
+            manager.begin_epoch();
+            let parts = h.epoch_with_load(&manager, |_| {});
+            let ctx = parts.ctx(&h);
+            for a in pol.decide(&ctx, &manager) {
+                if matches!(a, Action::Suicide { partition, .. } if partition == p) {
+                    manager.apply(&h.topo, a).unwrap();
+                }
+            }
+        }
+        assert_eq!(manager.replica_count(p), 2, "healed WAN resumes eq. 15");
     }
 
     #[test]

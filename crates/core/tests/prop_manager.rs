@@ -114,7 +114,7 @@ proptest! {
                     // as the prune fallback.
                     if s != 0 {
                         let _ = topo.fail_server(ServerId::new(s));
-                        manager.prune_dead(&topo, |_| ServerId::new(0));
+                        manager.prune_dead(&topo, |_| Some(ServerId::new(0)));
                     }
                 }
             }

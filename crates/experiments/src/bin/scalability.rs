@@ -54,6 +54,7 @@ fn main() {
                 epochs: EPOCHS,
                 seed,
                 events: EventSchedule::new(),
+                faults: rfh_sim::FaultPlan::default(),
             };
             let result = prof.time(kind.name(), || {
                 Simulation::with_topology(params, topo)

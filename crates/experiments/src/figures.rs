@@ -49,6 +49,7 @@ pub fn base_params(scenario: Scenario, epochs: u64, seed: u64) -> SimParams {
         epochs,
         seed,
         events: EventSchedule::new(),
+        faults: rfh_sim::FaultPlan::default(),
     }
 }
 

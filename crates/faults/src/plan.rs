@@ -1,0 +1,587 @@
+//! Declarative fault schedules.
+//!
+//! A [`FaultPlan`] is data, not behaviour: a list of scheduled one-shot
+//! [`FaultAction`]s plus an optional stochastic [`ChurnConfig`]. Plans
+//! are built in code or parsed from a small TOML subset
+//! ([`FaultPlan::from_toml_str`]) so chaos scenarios can live in files
+//! alongside experiment configs:
+//!
+//! ```toml
+//! seed = 42
+//!
+//! [churn]
+//! mtbf = 400      # mean epochs between failures, per server
+//! mttr = 25       # mean epochs to repair
+//! start = 0
+//! end = 600       # optional; churn runs to the end of the sim if absent
+//!
+//! [[at]]
+//! epoch = 100
+//! fail_dc = 3
+//!
+//! [[at]]
+//! epoch = 160
+//! recover_dc = 3
+//!
+//! [[at]]
+//! epoch = 120
+//! partition = [7, 8, 9]   # cut these DCs off the backbone
+//!
+//! [[at]]
+//! epoch = 150
+//! heal_partition = true
+//! ```
+//!
+//! The parser is hand-rolled (the workspace vendors no TOML crate) and
+//! accepts exactly the constructs above: top-level `key = value`, `[churn]`
+//! tables, `[[at]]` array-of-table blocks, integer / float / boolean
+//! scalars and flat numeric arrays, with `#` comments. That subset is
+//! valid TOML, so plans stay readable by standard tooling.
+
+use rfh_types::{DatacenterId, RackId, Result, RfhError, RoomId, ServerId};
+
+/// One fault (or healing) applied at a scheduled epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Correlated outage: every alive server in the datacenter fails.
+    FailDatacenter(DatacenterId),
+    /// Heal a datacenter outage: every failed server in it recovers.
+    RecoverDatacenter(DatacenterId),
+    /// Correlated outage of one room.
+    FailRoom(DatacenterId, RoomId),
+    /// Heal a room outage.
+    RecoverRoom(DatacenterId, RoomId),
+    /// Correlated outage of one rack.
+    FailRack(DatacenterId, RoomId, RackId),
+    /// Heal a rack outage.
+    RecoverRack(DatacenterId, RoomId, RackId),
+    /// Fail specific servers (already-dead ones are skipped).
+    FailServers(Vec<ServerId>),
+    /// Recover specific servers (already-alive ones are skipped).
+    RecoverServers(Vec<ServerId>),
+    /// Fail `count` random alive servers, clamped to the alive
+    /// population (the paper's Fig. 10 event, seeded).
+    FailRandom(u32),
+    /// Take one WAN link down.
+    LinkDown(DatacenterId, DatacenterId),
+    /// Bring one WAN link back up.
+    LinkUp(DatacenterId, DatacenterId),
+    /// Inflate one link's latency by a factor (1.0 heals it).
+    LinkLatency(DatacenterId, DatacenterId, f64),
+    /// Split the backbone: cut every link with exactly one endpoint in
+    /// the island. The injector remembers the cut for [`Self::HealPartition`].
+    Partition(Vec<DatacenterId>),
+    /// Restore every link cut by earlier `Partition` actions.
+    HealPartition,
+    /// Set the control-plane per-hop message drop probability (sticky
+    /// until set again; 0.0 heals).
+    MessageLoss(f64),
+    /// Scale the replication / migration bandwidth budgets (sticky;
+    /// 1.0, 1.0 heals).
+    Bandwidth(f64, f64),
+}
+
+/// A [`FaultAction`] pinned to the epoch it fires at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledFault {
+    /// Epoch the action is applied at (start of the epoch, before the
+    /// workload runs).
+    pub epoch: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Stochastic background churn: each alive server fails independently
+/// with probability `1/mtbf` per epoch and repairs after an
+/// exponentially distributed time with mean `mttr` epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean epochs between failures for one server (must be ≥ 1).
+    pub mtbf: f64,
+    /// Mean epochs to repair (must be ≥ 1).
+    pub mttr: f64,
+    /// First epoch churn is active.
+    pub start: u64,
+    /// Epoch churn stops drawing new failures (`None` = never stops).
+    /// Outstanding repairs still complete.
+    pub end: Option<u64>,
+}
+
+/// A complete fault schedule for one run.
+///
+/// The default plan is empty; [`FaultInjector::new`](crate::FaultInjector::new)
+/// maps an empty plan to `None`, so runs without faults skip the chaos
+/// path entirely and stay bit-identical to builds that never linked it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for every stochastic choice the plan makes (churn timing,
+    /// random-server selection). Independent of the simulation seed so
+    /// the same workload can be replayed under different chaos.
+    pub seed: u64,
+    /// One-shot faults; applied in epoch order, ties in listed order.
+    pub scheduled: Vec<ScheduledFault>,
+    /// Optional background failure/repair process.
+    pub churn: Option<ChurnConfig>,
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty() && self.churn.is_none()
+    }
+
+    /// Add a scheduled action (builder style).
+    pub fn at(mut self, epoch: u64, action: FaultAction) -> Self {
+        self.scheduled.push(ScheduledFault { epoch, action });
+        self
+    }
+
+    /// Parse a plan from the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    /// Fails with [`RfhError::InvalidConfig`] on syntax errors, unknown
+    /// keys, missing `epoch`, or an `[[at]]` block without exactly one
+    /// action.
+    pub fn from_toml_str(text: &str) -> Result<FaultPlan> {
+        parse(text)
+    }
+}
+
+// ---------------------------------------------------------------------
+// TOML-subset parser
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<f64>),
+}
+
+impl Value {
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    fn as_ids(&self) -> Option<Vec<u32>> {
+        match self {
+            Value::Array(xs) => xs
+                .iter()
+                .map(|&x| {
+                    (x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64).then_some(x as u32)
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+fn err(line_no: usize, reason: impl Into<String>) -> RfhError {
+    RfhError::InvalidConfig {
+        parameter: "fault_plan",
+        reason: format!("line {line_no}: {}", reason.into()),
+    }
+}
+
+fn parse_scalar(raw: &str, line_no: usize) -> Result<Value> {
+    let raw = raw.trim();
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err(line_no, "unterminated array (arrays must be single-line)"))?;
+        let mut xs = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            xs.push(
+                part.parse::<f64>()
+                    .map_err(|_| err(line_no, format!("bad array element {part:?}")))?,
+            );
+        }
+        return Ok(Value::Array(xs));
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(err(line_no, format!("unparseable value {raw:?}")))
+}
+
+/// One `[[at]]` block being accumulated.
+#[derive(Default)]
+struct AtBlock {
+    line_no: usize,
+    epoch: Option<u64>,
+    action: Option<FaultAction>,
+}
+
+impl AtBlock {
+    fn set_action(&mut self, a: FaultAction, line_no: usize) -> Result<()> {
+        if self.action.is_some() {
+            return Err(err(line_no, "an [[at]] block takes exactly one action"));
+        }
+        self.action = Some(a);
+        Ok(())
+    }
+
+    fn finish(self, out: &mut FaultPlan) -> Result<()> {
+        let epoch = self.epoch.ok_or_else(|| err(self.line_no, "[[at]] block missing `epoch`"))?;
+        let action =
+            self.action.ok_or_else(|| err(self.line_no, "[[at]] block missing an action"))?;
+        out.scheduled.push(ScheduledFault { epoch, action });
+        Ok(())
+    }
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Top,
+    Churn,
+    At,
+}
+
+fn ids_of(v: &Value, n: usize, key: &str, line_no: usize) -> Result<Vec<u32>> {
+    let ids = v.as_ids().ok_or_else(|| err(line_no, format!("{key} wants an id array")))?;
+    if n != 0 && ids.len() != n {
+        return Err(err(line_no, format!("{key} wants exactly {n} ids, got {}", ids.len())));
+    }
+    Ok(ids)
+}
+
+fn parse(text: &str) -> Result<FaultPlan> {
+    let mut plan = FaultPlan::default();
+    let mut section = Section::Top;
+    let mut at: Option<AtBlock> = None;
+    let mut churn: Option<(ChurnConfig, usize)> = None;
+
+    let finish_at = |at: &mut Option<AtBlock>, plan: &mut FaultPlan| -> Result<()> {
+        if let Some(block) = at.take() {
+            block.finish(plan)?;
+        }
+        Ok(())
+    };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[at]]" {
+            finish_at(&mut at, &mut plan)?;
+            at = Some(AtBlock { line_no, ..AtBlock::default() });
+            section = Section::At;
+            continue;
+        }
+        if line == "[churn]" {
+            finish_at(&mut at, &mut plan)?;
+            if churn.is_some() {
+                return Err(err(line_no, "duplicate [churn] table"));
+            }
+            churn = Some((ChurnConfig { mtbf: 0.0, mttr: 1.0, start: 0, end: None }, line_no));
+            section = Section::Churn;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(line_no, format!("unknown table {line:?}")));
+        }
+        let (key, raw_val) = line
+            .split_once('=')
+            .ok_or_else(|| err(line_no, format!("expected `key = value`, got {line:?}")))?;
+        let key = key.trim();
+        let val = parse_scalar(raw_val, line_no)?;
+        match section {
+            Section::Top => match key {
+                "seed" => {
+                    plan.seed =
+                        val.as_u64().ok_or_else(|| err(line_no, "seed wants a non-negative int"))?
+                }
+                _ => return Err(err(line_no, format!("unknown top-level key {key:?}"))),
+            },
+            Section::Churn => {
+                let c = &mut churn.as_mut().expect("section implies table").0;
+                match key {
+                    "mtbf" => {
+                        c.mtbf = val
+                            .as_f64()
+                            .filter(|&x| x >= 1.0)
+                            .ok_or_else(|| err(line_no, "mtbf wants a number ≥ 1"))?
+                    }
+                    "mttr" => {
+                        c.mttr = val
+                            .as_f64()
+                            .filter(|&x| x >= 1.0)
+                            .ok_or_else(|| err(line_no, "mttr wants a number ≥ 1"))?
+                    }
+                    "start" => {
+                        c.start =
+                            val.as_u64().ok_or_else(|| err(line_no, "start wants an epoch"))?
+                    }
+                    "end" => {
+                        c.end =
+                            Some(val.as_u64().ok_or_else(|| err(line_no, "end wants an epoch"))?)
+                    }
+                    _ => return Err(err(line_no, format!("unknown [churn] key {key:?}"))),
+                }
+            }
+            Section::At => {
+                let block = at.as_mut().expect("section implies block");
+                match key {
+                    "epoch" => {
+                        block.epoch =
+                            Some(val.as_u64().ok_or_else(|| err(line_no, "epoch wants an int"))?)
+                    }
+                    "fail_dc" | "recover_dc" => {
+                        let id = val
+                            .as_u64()
+                            .ok_or_else(|| err(line_no, format!("{key} wants a dc id")))?;
+                        let dc = DatacenterId::new(id as u32);
+                        let a = if key == "fail_dc" {
+                            FaultAction::FailDatacenter(dc)
+                        } else {
+                            FaultAction::RecoverDatacenter(dc)
+                        };
+                        block.set_action(a, line_no)?;
+                    }
+                    "fail_room" | "recover_room" => {
+                        let ids = ids_of(&val, 2, key, line_no)?;
+                        let (dc, room) = (DatacenterId::new(ids[0]), RoomId::new(ids[1]));
+                        let a = if key == "fail_room" {
+                            FaultAction::FailRoom(dc, room)
+                        } else {
+                            FaultAction::RecoverRoom(dc, room)
+                        };
+                        block.set_action(a, line_no)?;
+                    }
+                    "fail_rack" | "recover_rack" => {
+                        let ids = ids_of(&val, 3, key, line_no)?;
+                        let (dc, room, rack) =
+                            (DatacenterId::new(ids[0]), RoomId::new(ids[1]), RackId::new(ids[2]));
+                        let a = if key == "fail_rack" {
+                            FaultAction::FailRack(dc, room, rack)
+                        } else {
+                            FaultAction::RecoverRack(dc, room, rack)
+                        };
+                        block.set_action(a, line_no)?;
+                    }
+                    "fail_servers" | "recover_servers" => {
+                        let ids =
+                            ids_of(&val, 0, key, line_no)?.into_iter().map(ServerId::new).collect();
+                        let a = if key == "fail_servers" {
+                            FaultAction::FailServers(ids)
+                        } else {
+                            FaultAction::RecoverServers(ids)
+                        };
+                        block.set_action(a, line_no)?;
+                    }
+                    "fail_random" => {
+                        let n = val
+                            .as_u64()
+                            .ok_or_else(|| err(line_no, "fail_random wants a count"))?;
+                        block.set_action(FaultAction::FailRandom(n as u32), line_no)?;
+                    }
+                    "link_down" | "link_up" => {
+                        let ids = ids_of(&val, 2, key, line_no)?;
+                        let (a_dc, b_dc) = (DatacenterId::new(ids[0]), DatacenterId::new(ids[1]));
+                        let a = if key == "link_down" {
+                            FaultAction::LinkDown(a_dc, b_dc)
+                        } else {
+                            FaultAction::LinkUp(a_dc, b_dc)
+                        };
+                        block.set_action(a, line_no)?;
+                    }
+                    "link_latency" => {
+                        let xs = match &val {
+                            Value::Array(xs) if xs.len() == 3 => xs,
+                            _ => return Err(err(line_no, "link_latency wants [dc, dc, factor]")),
+                        };
+                        let ids = ids_of(&Value::Array(xs[..2].to_vec()), 2, key, line_no)?;
+                        block.set_action(
+                            FaultAction::LinkLatency(
+                                DatacenterId::new(ids[0]),
+                                DatacenterId::new(ids[1]),
+                                xs[2],
+                            ),
+                            line_no,
+                        )?;
+                    }
+                    "partition" => {
+                        let ids = ids_of(&val, 0, key, line_no)?
+                            .into_iter()
+                            .map(DatacenterId::new)
+                            .collect();
+                        block.set_action(FaultAction::Partition(ids), line_no)?;
+                    }
+                    "heal_partition" => {
+                        if val != Value::Bool(true) {
+                            return Err(err(line_no, "heal_partition wants `true`"));
+                        }
+                        block.set_action(FaultAction::HealPartition, line_no)?;
+                    }
+                    "message_loss" => {
+                        let p = val
+                            .as_f64()
+                            .filter(|&p| (0.0..=1.0).contains(&p))
+                            .ok_or_else(|| err(line_no, "message_loss wants p in [0, 1]"))?;
+                        block.set_action(FaultAction::MessageLoss(p), line_no)?;
+                    }
+                    "bandwidth" => {
+                        let xs = match &val {
+                            Value::Array(xs) if xs.len() == 2 => xs,
+                            _ => {
+                                return Err(err(
+                                    line_no,
+                                    "bandwidth wants [replication_factor, migration_factor]",
+                                ))
+                            }
+                        };
+                        block.set_action(FaultAction::Bandwidth(xs[0], xs[1]), line_no)?;
+                    }
+                    _ => return Err(err(line_no, format!("unknown [[at]] key {key:?}"))),
+                }
+            }
+        }
+    }
+    finish_at(&mut at, &mut plan)?;
+    if let Some((c, line_no)) = churn {
+        if c.mtbf < 1.0 {
+            return Err(err(line_no, "[churn] requires `mtbf`"));
+        }
+        plan.churn = Some(c);
+    }
+    // Deterministic application order: epoch, then listing order.
+    plan.scheduled.sort_by_key(|s| s.epoch);
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_default_plans_are_empty() {
+        assert!(FaultPlan::default().is_empty());
+        let p = FaultPlan::from_toml_str("# nothing but comments\n\n").unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn parses_a_full_plan() {
+        let text = r#"
+            seed = 42            # chaos seed
+
+            [churn]
+            mtbf = 400
+            mttr = 25
+            start = 10
+            end = 600
+
+            [[at]]
+            epoch = 160
+            recover_dc = 3
+
+            [[at]]
+            epoch = 100
+            fail_dc = 3
+
+            [[at]]
+            epoch = 100
+            link_latency = [0, 4, 3.5]
+
+            [[at]]
+            epoch = 120
+            partition = [7, 8]
+
+            [[at]]
+            epoch = 150
+            heal_partition = true
+
+            [[at]]
+            epoch = 30
+            message_loss = 0.2
+
+            [[at]]
+            epoch = 40
+            bandwidth = [0.25, 0.5]
+
+            [[at]]
+            epoch = 60
+            fail_rack = [2, 0, 1]
+
+            [[at]]
+            epoch = 90
+            fail_servers = [10, 11, 12]
+
+            [[at]]
+            epoch = 95
+            fail_random = 30
+        "#;
+        let p = FaultPlan::from_toml_str(text).unwrap();
+        assert_eq!(p.seed, 42);
+        let c = p.churn.as_ref().unwrap();
+        assert_eq!((c.mtbf, c.mttr, c.start, c.end), (400.0, 25.0, 10, Some(600)));
+        // Sorted by epoch; the two epoch-100 entries keep listing order.
+        let epochs: Vec<u64> = p.scheduled.iter().map(|s| s.epoch).collect();
+        assert_eq!(epochs, vec![30, 40, 60, 90, 95, 100, 100, 120, 150, 160]);
+        assert_eq!(p.scheduled[5].action, FaultAction::FailDatacenter(DatacenterId::new(3)));
+        assert_eq!(
+            p.scheduled[6].action,
+            FaultAction::LinkLatency(DatacenterId::new(0), DatacenterId::new(4), 3.5)
+        );
+        assert_eq!(
+            p.scheduled[3].action,
+            FaultAction::FailServers(vec![ServerId::new(10), ServerId::new(11), ServerId::new(12)])
+        );
+        assert_eq!(p.scheduled[4].action, FaultAction::FailRandom(30));
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for (bad, why) in [
+            ("epoch = 3", "action keys outside [[at]]"),
+            ("[[at]]\nfail_dc = 1", "missing epoch"),
+            ("[[at]]\nepoch = 5", "missing action"),
+            ("[[at]]\nepoch = 5\nfail_dc = 1\nlink_up = [0, 1]", "two actions"),
+            ("[[at]]\nepoch = 5\nmessage_loss = 1.5", "p out of range"),
+            ("[[at]]\nepoch = 5\nlink_down = [0]", "arity"),
+            ("[churn]\nmttr = 5", "churn without mtbf"),
+            ("[bogus]", "unknown table"),
+            ("seed = -3", "negative seed"),
+            ("[[at]]\nepoch = 5\nfail_servers = [1.5]", "fractional id"),
+        ] {
+            assert!(FaultPlan::from_toml_str(bad).is_err(), "{why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn builder_shorthand() {
+        let p = FaultPlan::default()
+            .at(5, FaultAction::FailDatacenter(DatacenterId::new(1)))
+            .at(2, FaultAction::MessageLoss(0.1));
+        assert!(!p.is_empty());
+        assert_eq!(p.scheduled.len(), 2);
+    }
+}

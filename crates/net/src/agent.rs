@@ -28,7 +28,7 @@
 //! becomes measurable.
 
 use crate::message::{Message, MessagePayload};
-use crate::network::Network;
+use crate::network::{Network, NetworkFaults};
 use rfh_core::{
     best_candidate_in_dc, rfh::bootstrap_candidate_near, Action, EpochContext, ReplicaManager,
     ReplicationPolicy, RfhDecisionCore, TrafficView,
@@ -91,6 +91,9 @@ pub struct DistributedRfhPolicy {
     network: Option<Network>,
     /// `tables[partition][reporter dc] → last delivered report`.
     tables: Vec<HashMap<u32, ReportEntry>>,
+    /// Gray-failure profile for the control plane; installed on the
+    /// network as soon as it exists.
+    fault_profile: Option<NetworkFaults>,
     reports_sent: u64,
     stats: ControlPlaneStats,
     /// Times the control-plane tick vs the decision pass (disabled by
@@ -110,6 +113,7 @@ impl DistributedRfhPolicy {
             ticks_per_epoch,
             network: None,
             tables: Vec::new(),
+            fault_profile: None,
             reports_sent: 0,
             stats: ControlPlaneStats::default(),
             profiler: Profiler::new(false),
@@ -120,6 +124,16 @@ impl DistributedRfhPolicy {
     /// (report emission, delivery, absorption) vs the decision pass.
     pub fn enable_profiling(&mut self, enabled: bool) {
         self.profiler = Profiler::new(enabled);
+    }
+
+    /// Subject the control plane to gray failures: per-hop report loss
+    /// and a TTL after which a stalled report times out instead of
+    /// counting as delivered. `None` restores a perfect transport.
+    pub fn set_network_faults(&mut self, profile: Option<NetworkFaults>) {
+        self.fault_profile = profile.clone();
+        if let Some(network) = self.network.as_mut() {
+            network.set_faults(profile);
+        }
     }
 
     /// The accumulated phase timings (empty unless profiling is on).
@@ -159,7 +173,9 @@ impl DistributedRfhPolicy {
 
     fn ensure_shapes(&mut self, partitions: u32, dcs: usize) {
         if self.network.is_none() {
-            self.network = Some(Network::new(dcs, self.ticks_per_epoch));
+            let mut network = Network::new(dcs, self.ticks_per_epoch);
+            network.set_faults(self.fault_profile.clone());
+            self.network = Some(network);
         }
         if self.tables.len() < partitions as usize {
             self.tables.resize_with(partitions as usize, HashMap::new);
@@ -359,6 +375,20 @@ impl ReplicationPolicy for DistributedRfhPolicy {
         );
         self.profiler.stop(PHASE_DECIDE, decide_t0);
         actions
+    }
+
+    fn set_message_loss(&mut self, probability: f64) {
+        // TTL of two epochs' worth of ticks: a report that lossy links
+        // stalled for that long is stale anyway.
+        let ttl = (self.ticks_per_epoch as u32).saturating_mul(2).max(1);
+        let profile = (probability > 0.0).then(|| NetworkFaults {
+            drop_probability: probability,
+            ttl_ticks: Some(ttl),
+            // Derived, not random: the same loss level always corrupts
+            // the transport the same way, keeping runs replayable.
+            seed: probability.to_bits(),
+        });
+        self.set_network_faults(profile);
     }
 }
 

@@ -42,4 +42,4 @@ pub mod network;
 
 pub use agent::{ControlPlaneStats, DistributedRfhPolicy};
 pub use message::{Message, MessagePayload};
-pub use network::Network;
+pub use network::{Network, NetworkFaults};

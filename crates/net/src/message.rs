@@ -61,6 +61,8 @@ pub struct Message {
     pub route: Vec<DatacenterId>,
     /// Index into `route` of the message's current position.
     pub position: usize,
+    /// Ticks spent in flight (drives TTL timeouts under faults).
+    pub age: u32,
     /// The payload.
     pub payload: MessagePayload,
 }
@@ -73,7 +75,7 @@ impl Message {
     /// destination.
     pub fn new(route: Vec<DatacenterId>, payload: MessagePayload) -> Self {
         assert!(!route.is_empty(), "messages need a route");
-        Message { route, position: 0, payload }
+        Message { route, position: 0, age: 0, payload }
     }
 
     /// The datacenter the message currently sits in.

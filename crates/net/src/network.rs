@@ -9,9 +9,64 @@
 //! of magnitude slower than the data plane.
 
 use crate::message::Message;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rfh_obs::MetricsRegistry;
 use rfh_stats::Histogram;
 use rfh_types::DatacenterId;
+
+/// Gray-failure profile for the transport: per-hop probabilistic
+/// message loss plus a TTL after which a stalled request times out
+/// instead of counting as delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkFaults {
+    /// Probability that any single hop silently drops the message.
+    pub drop_probability: f64,
+    /// Ticks a message may stay in flight before it times out.
+    /// `None` = requests never expire (messages stalled on a blocked
+    /// link wait for it to heal).
+    pub ttl_ticks: Option<u32>,
+    /// Seed for the loss process (deterministic given the seed and the
+    /// message sequence).
+    pub seed: u64,
+}
+
+impl NetworkFaults {
+    /// A profile that drops nothing and never times out; useful as a
+    /// base for blocking links only.
+    pub fn lossless(seed: u64) -> Self {
+        NetworkFaults { drop_probability: 0.0, ttl_ticks: None, seed }
+    }
+}
+
+/// Installed fault state: the profile, its RNG, and the set of
+/// currently blocked (down) inter-DC links, endpoint-normalized.
+#[derive(Debug, Clone)]
+struct FaultRuntime {
+    profile: NetworkFaults,
+    rng: StdRng,
+    blocked: Vec<(u32, u32)>,
+}
+
+impl FaultRuntime {
+    fn new(profile: NetworkFaults) -> Self {
+        let rng = StdRng::seed_from_u64(profile.seed);
+        FaultRuntime { profile, rng, blocked: Vec::new() }
+    }
+
+    fn is_blocked(&self, a: DatacenterId, b: DatacenterId) -> bool {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.blocked.contains(&key)
+    }
+}
+
+/// Runtime equality ignores RNG internals: two transports with the
+/// same profile and blocked set are interchangeable for assertions.
+impl PartialEq for FaultRuntime {
+    fn eq(&self, other: &Self) -> bool {
+        self.profile == other.profile && self.blocked == other.blocked
+    }
+}
 
 /// The tick-driven message transport.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +89,13 @@ pub struct Network {
     /// Tick scratch: swapped with `in_flight` each tick so survivors
     /// are re-collected without allocating. Empty between ticks.
     scratch: Vec<Message>,
+    /// Gray-failure state; `None` (the default) keeps the transport
+    /// perfectly reliable and adds no per-tick work.
+    faults: Option<FaultRuntime>,
+    /// Messages lost to probabilistic per-hop drops.
+    dropped: u64,
+    /// Messages that exceeded their TTL before delivery.
+    timed_out: u64,
 }
 
 /// Histogram range for delivery hops: the paper WAN's diameter is 5;
@@ -56,6 +118,32 @@ impl Network {
             max_in_flight: 0,
             delivery_hops: Histogram::new(0.0, MAX_TRACKED_HOPS, MAX_TRACKED_HOPS as usize),
             scratch: Vec::new(),
+            faults: None,
+            dropped: 0,
+            timed_out: 0,
+        }
+    }
+
+    /// Install (or clear) a gray-failure profile. Installing resets the
+    /// loss RNG to the profile's seed; clearing also unblocks every
+    /// link.
+    pub fn set_faults(&mut self, profile: Option<NetworkFaults>) {
+        self.faults = profile.map(FaultRuntime::new);
+    }
+
+    /// Block or unblock the link between two datacenters: in-flight
+    /// messages whose next hop crosses a blocked link stall (and time
+    /// out if a TTL is set). Blocking with no profile installed
+    /// installs a lossless one.
+    pub fn set_link_blocked(&mut self, a: DatacenterId, b: DatacenterId, blocked: bool) {
+        let f = self.faults.get_or_insert_with(|| FaultRuntime::new(NetworkFaults::lossless(0)));
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        match (blocked, f.blocked.iter().position(|&k| k == key)) {
+            (true, None) => f.blocked.push(key),
+            (false, Some(i)) => {
+                f.blocked.remove(i);
+            }
+            _ => {}
         }
     }
 
@@ -84,7 +172,9 @@ impl Network {
         self.inboxes[dst].push(message);
     }
 
-    /// Advance one tick: every in-flight message moves one hop.
+    /// Advance one tick: every in-flight message moves one hop — unless
+    /// a fault profile stalls it on a blocked link, drops it on a lossy
+    /// hop, or expires it past its TTL.
     pub fn tick(&mut self) {
         // Swap the queue into the scratch buffer and refill `in_flight`
         // with the survivors: the two vectors trade capacities every
@@ -92,6 +182,26 @@ impl Network {
         let mut moving = std::mem::take(&mut self.scratch);
         std::mem::swap(&mut self.in_flight, &mut moving);
         for mut m in moving.drain(..) {
+            if let Some(f) = self.faults.as_mut() {
+                m.age += 1;
+                if f.profile.ttl_ticks.is_some_and(|ttl| m.age > ttl) {
+                    self.timed_out += 1;
+                    continue;
+                }
+                let next = m.route[m.position + 1];
+                if f.is_blocked(m.current(), next) {
+                    // Stalled at the near end of a downed link; waits
+                    // for the link (or its own TTL) while aging.
+                    self.in_flight.push(m);
+                    continue;
+                }
+                if f.profile.drop_probability > 0.0
+                    && f.rng.gen::<f64>() < f.profile.drop_probability
+                {
+                    self.dropped += 1;
+                    continue;
+                }
+            }
             self.hops_travelled += 1;
             if m.advance() {
                 self.deliver(m);
@@ -137,6 +247,17 @@ impl Network {
         self.hops_travelled
     }
 
+    /// Messages lost to probabilistic per-hop drops.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages that exceeded their TTL before delivery (requests the
+    /// sender must treat as timed out, not delivered).
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out
+    }
+
     /// The configured tick budget.
     pub fn ticks_per_epoch(&self) -> usize {
         self.ticks_per_epoch
@@ -163,6 +284,8 @@ impl Network {
             registry.counter_total(&format!("net.sent.{kind}"), *n);
         }
         registry.counter_total("net.delivered", self.delivered);
+        registry.counter_total("net.dropped", self.dropped);
+        registry.counter_total("net.timed_out", self.timed_out);
         registry.counter_total("net.hops_travelled", self.hops_travelled);
         registry.gauge("net.in_flight", self.in_flight.len() as f64);
         registry.gauge("net.max_in_flight", self.max_in_flight as f64);
@@ -258,6 +381,65 @@ mod tests {
     #[should_panic(expected = "at least one tick")]
     fn zero_tick_budget_rejected() {
         let _ = Network::new(3, 0);
+    }
+
+    #[test]
+    fn blocked_link_stalls_until_it_heals() {
+        let mut net = Network::new(5, 10);
+        net.set_faults(Some(NetworkFaults::lossless(1)));
+        net.set_link_blocked(dc(1), dc(2), true);
+        net.send(msg(vec![0, 1, 2, 3]));
+        net.run_epoch();
+        assert_eq!(net.in_flight(), 1, "stalled at dc 1");
+        assert_eq!(net.delivered(), 0);
+        net.set_link_blocked(dc(2), dc(1), false); // endpoint order is irrelevant
+        net.run_epoch();
+        assert_eq!(net.delivered(), 1);
+        assert_eq!(net.drain_inbox(dc(3)).len(), 1);
+    }
+
+    #[test]
+    fn stalled_messages_time_out_instead_of_delivering() {
+        let mut net = Network::new(5, 4);
+        net.set_faults(Some(NetworkFaults { drop_probability: 0.0, ttl_ticks: Some(3), seed: 1 }));
+        net.set_link_blocked(dc(0), dc(1), true);
+        net.send(msg(vec![0, 1, 2]));
+        net.run_epoch();
+        assert_eq!(net.in_flight(), 0, "expired");
+        assert_eq!(net.timed_out(), 1);
+        assert_eq!(net.delivered(), 0, "timeouts never count as delivered");
+    }
+
+    #[test]
+    fn per_hop_loss_is_probabilistic_and_deterministic() {
+        let run = |seed: u64| {
+            let mut net = Network::new(4, 16);
+            net.set_faults(Some(NetworkFaults { drop_probability: 0.5, ttl_ticks: None, seed }));
+            for _ in 0..64 {
+                net.send(msg(vec![0, 1, 2, 3]));
+            }
+            net.run_epoch();
+            (net.delivered(), net.dropped())
+        };
+        let (d1, l1) = run(42);
+        let (d2, l2) = run(42);
+        assert_eq!((d1, l1), (d2, l2), "same seed, same losses");
+        assert_eq!(d1 + l1, 64, "every message either delivered or dropped");
+        assert!(l1 > 0, "a 50% per-hop loss over 3 hops must drop some");
+        assert!(d1 > 0, "and deliver some");
+        let (d3, _) = run(43);
+        assert_ne!(d1, d3, "different seed, different losses");
+    }
+
+    #[test]
+    fn no_fault_profile_means_perfect_delivery() {
+        let mut net = Network::new(4, 8);
+        net.set_faults(Some(NetworkFaults::lossless(9)));
+        net.set_faults(None); // cleared: blocked set and loss both gone
+        net.send(msg(vec![0, 1, 2, 3]));
+        net.run_epoch();
+        assert_eq!(net.delivered(), 1);
+        assert_eq!(net.dropped() + net.timed_out(), 0);
     }
 
     #[test]

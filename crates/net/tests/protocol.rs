@@ -2,7 +2,7 @@
 //! epoch against a hand-built cluster and observe the control plane.
 
 use rfh_core::{server_blocking_probabilities, EpochContext, ReplicaManager, ReplicationPolicy};
-use rfh_net::DistributedRfhPolicy;
+use rfh_net::{DistributedRfhPolicy, NetworkFaults};
 use rfh_ring::ConsistentHashRing;
 use rfh_topology::{paper_topology, Topology};
 use rfh_traffic::{compute_traffic, TrafficSmoother};
@@ -104,6 +104,37 @@ fn starved_budget_leaves_reports_in_flight() {
     assert!(
         agent.reports_in_flight() > 0,
         "1 tick/epoch cannot deliver multi-hop reports immediately"
+    );
+}
+
+#[test]
+fn lossy_control_plane_degrades_but_still_replicates() {
+    // A heavily lossy control plane (40% per-hop drop, tight TTL) must
+    // not stop the agent: enough reports eventually land for the
+    // availability floor to act, and losses are properly accounted as
+    // drops/timeouts rather than deliveries.
+    let mut cluster = Cluster::new(4);
+    let mut agent = DistributedRfhPolicy::new(8);
+    agent.set_network_faults(Some(NetworkFaults {
+        drop_probability: 0.4,
+        ttl_ticks: Some(6),
+        seed: 11,
+    }));
+    for _ in 0..10 {
+        let load = cluster.load_from(0, 8, 40);
+        cluster.step(&mut agent, load);
+    }
+    assert!(agent.reports_sent() > 0);
+    let mut reg = rfh_obs::MetricsRegistry::new();
+    agent.collect_metrics(&mut reg);
+    let dropped = match reg.get("net.dropped") {
+        Some(rfh_obs::Metric::Counter(n)) => *n,
+        other => panic!("expected drop counter, got {other:?}"),
+    };
+    assert!(dropped > 0, "a 40% loss rate over 10 epochs must drop reports");
+    assert!(
+        cluster.manager.replica_count(PartitionId::new(0)) >= 2,
+        "replication must still converge under gray failure"
     );
 }
 

@@ -32,10 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod repair;
 pub mod report;
 pub mod runner;
 pub mod simulation;
 
-pub use metrics::{EpochSnapshot, Metrics};
+pub use metrics::{recovery_epochs, EpochSnapshot, Metrics};
+pub use repair::RepairQueue;
+pub use rfh_faults::{FaultAction, FaultPlan};
 pub use runner::{run_comparison, run_comparison_observed, ComparisonResult, ObsOptions};
 pub use simulation::{SimParams, SimResult, Simulation};

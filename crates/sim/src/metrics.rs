@@ -18,6 +18,9 @@
 //! | `latency_ms` | (SLA discussion, §I) | mean round-trip response latency |
 //! | `sla_300ms` | (SLA discussion, §I) | fraction of demand answered within 300 ms |
 //! | `data_loss_total` | (availability extension) | cumulative partitions that lost every replica |
+//! | `repairs_total` | (robustness extension) | cumulative deferred transfers/restores that completed |
+//! | `dead_letters_total` | (robustness extension) | cumulative transfers dropped after exhausting retries |
+//! | `invariant_violations` | (robustness extension) | cumulative safety/liveness violations from the auditor |
 
 use rfh_stats::{load_imbalance, TimeSeries};
 use rfh_topology::Topology;
@@ -58,6 +61,14 @@ pub struct EpochSnapshot {
     /// Partitions that lost every replica this epoch (restored from
     /// cold archive — the failure replication exists to prevent).
     pub data_loss: usize,
+    /// Deferred transfers and archive restores that completed this
+    /// epoch (the repair path working through its backlog).
+    pub repairs: usize,
+    /// Transfers dropped this epoch after exhausting their retry
+    /// budget.
+    pub dead_letters: usize,
+    /// Invariant violations the auditor flagged this epoch.
+    pub invariant_violations: usize,
 }
 
 /// The full metric history of one simulation run.
@@ -68,6 +79,9 @@ pub struct Metrics {
     replications_cum: usize,
     migrations_cum: usize,
     data_loss_cum: usize,
+    repairs_cum: usize,
+    dead_letters_cum: usize,
+    violations_cum: usize,
     replication_cost_cum: f64,
     migration_cost_cum: f64,
     /// The recorded series, in documentation order.
@@ -93,7 +107,10 @@ const SUICIDES: usize = 14;
 const LATENCY_MS: usize = 15;
 const SLA_300MS: usize = 16;
 const DATA_LOSS_TOTAL: usize = 17;
-const SERIES_NAMES: [&str; 18] = [
+const REPAIRS_TOTAL: usize = 18;
+const DEAD_LETTERS_TOTAL: usize = 19;
+const INVARIANT_VIOLATIONS: usize = 20;
+const SERIES_NAMES: [&str; 21] = [
     "utilization",
     "replicas_total",
     "replicas_avg",
@@ -112,6 +129,9 @@ const SERIES_NAMES: [&str; 18] = [
     "latency_ms",
     "sla_300ms",
     "data_loss_total",
+    "repairs_total",
+    "dead_letters_total",
+    "invariant_violations",
 ];
 
 impl Metrics {
@@ -122,6 +142,9 @@ impl Metrics {
             replications_cum: 0,
             migrations_cum: 0,
             data_loss_cum: 0,
+            repairs_cum: 0,
+            dead_letters_cum: 0,
+            violations_cum: 0,
             replication_cost_cum: 0.0,
             migration_cost_cum: 0.0,
             series: SERIES_NAMES.iter().map(|n| TimeSeries::new(*n)).collect(),
@@ -133,6 +156,9 @@ impl Metrics {
         self.replications_cum += snap.replications;
         self.migrations_cum += snap.migrations;
         self.data_loss_cum += snap.data_loss;
+        self.repairs_cum += snap.repairs;
+        self.dead_letters_cum += snap.dead_letters;
+        self.violations_cum += snap.invariant_violations;
         self.replication_cost_cum += snap.replication_cost;
         self.migration_cost_cum += snap.migration_cost;
 
@@ -171,6 +197,9 @@ impl Metrics {
         s[LATENCY_MS].push(snap.latency_ms);
         s[SLA_300MS].push(snap.sla_fraction);
         s[DATA_LOSS_TOTAL].push(self.data_loss_cum as f64);
+        s[REPAIRS_TOTAL].push(self.repairs_cum as f64);
+        s[DEAD_LETTERS_TOTAL].push(self.dead_letters_cum as f64);
+        s[INVARIANT_VIOLATIONS].push(self.violations_cum as f64);
     }
 
     /// Number of recorded epochs.
@@ -193,6 +222,23 @@ impl Metrics {
     pub fn series_names() -> &'static [&'static str] {
         &SERIES_NAMES
     }
+}
+
+/// Time-to-repair: epochs after `fail_epoch` until the replica
+/// population first returns to within `tolerance` (a fraction, e.g.
+/// `0.05`) of its pre-failure level. `Some(0)` means the population
+/// never effectively dipped; `None` means it had not reconverged by the
+/// end of the run (or `fail_epoch` is out of range / epoch 0, which has
+/// no pre-failure baseline).
+pub fn recovery_epochs(metrics: &Metrics, fail_epoch: u64, tolerance: f64) -> Option<u64> {
+    let series = metrics.series("replicas_total")?;
+    let fail = usize::try_from(fail_epoch).ok()?;
+    if fail == 0 || fail >= series.len() {
+        return None;
+    }
+    let baseline = series.values()[fail - 1];
+    let floor = baseline * (1.0 - tolerance);
+    series.values()[fail..].iter().position(|&v| v >= floor).map(|i| i as u64)
 }
 
 /// Compute the mean replica utilization of eq. (23) for one epoch:
@@ -267,6 +313,30 @@ mod tests {
         assert_eq!(avg.values()[2], 4.0, "no new replications keeps the average");
         assert_eq!(m.series("replicas_avg").unwrap().values()[1], 1.5);
         assert_eq!(m.epochs(), 3);
+    }
+
+    #[test]
+    fn recovery_epochs_measures_the_dip() {
+        let mut m = Metrics::new(4);
+        for replicas in [100, 100, 60, 70, 80, 96, 100] {
+            m.record(&snap(replicas, 0, 0.0));
+        }
+        // Failure at epoch 2 (baseline 100): within 5% means ≥ 95,
+        // first reached at epoch 5 → 3 epochs to repair.
+        assert_eq!(recovery_epochs(&m, 2, 0.05), Some(3));
+        // A 50% tolerance is already met at the dip itself.
+        assert_eq!(recovery_epochs(&m, 2, 0.5), Some(0));
+        // Zero tolerance needs the full 100 back.
+        assert_eq!(recovery_epochs(&m, 2, 0.0), Some(4));
+        // Never reconverges within the run.
+        let mut short = Metrics::new(4);
+        for replicas in [100, 50, 51] {
+            short.record(&snap(replicas, 0, 0.0));
+        }
+        assert_eq!(recovery_epochs(&short, 1, 0.05), None);
+        // No baseline before epoch 0; out-of-range epochs.
+        assert_eq!(recovery_epochs(&m, 0, 0.05), None);
+        assert_eq!(recovery_epochs(&m, 99, 0.05), None);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Retryable transfers: bounded exponential backoff for replication and
+//! migration actions whose destination is unreachable.
+//!
+//! Under WAN faults a decided transfer can be impossible to execute —
+//! the target server is down, or no route reaches its datacenter. The
+//! execution layer must not count such transfers as done (that would be
+//! replicating into a black hole) nor silently discard them (the policy
+//! believes the transfer is in flight). Instead the simulation defers
+//! them here and retries with exponentially growing spacing: attempt
+//! `k` waits `2^k` epochs, so a transfer blocked by a long outage backs
+//! off instead of hammering every epoch. After [`RepairQueue::MAX_ATTEMPTS`]
+//! failed attempts the action is *dead-lettered*: dropped permanently
+//! and accounted, mirroring how production replication pipelines
+//! surface permanently failed work instead of retrying forever.
+//!
+//! The queue is deterministic: actions retain FIFO order within an
+//! epoch, delays are pure functions of the attempt count, and no
+//! randomness is involved — a chaos run replays bit-identically.
+
+use rfh_core::{Action, ReplicaManager};
+use rfh_topology::Topology;
+use rfh_types::ServerId;
+
+/// A deferred action plus its retry state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingRepair {
+    /// The transfer to retry.
+    pub action: Action,
+    /// Attempts already failed (0 = first deferral).
+    pub attempts: u32,
+    /// Epoch the next attempt is due.
+    pub due: u64,
+}
+
+/// FIFO retry queue with exponential backoff and dead-letter
+/// accounting. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct RepairQueue {
+    pending: Vec<PendingRepair>,
+    dead_letters: u64,
+    completed: u64,
+}
+
+impl RepairQueue {
+    /// Retries allowed before an action is dead-lettered. With backoff
+    /// `2^k` this covers an outage of `2+4+…+2^6 ≈ 126` epochs.
+    pub const MAX_ATTEMPTS: u32 = 6;
+
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defer `action` after a failed attempt number `attempts`
+    /// (0-based). Returns `false` — and counts a dead letter — once the
+    /// attempt budget is exhausted.
+    pub fn defer(&mut self, action: Action, attempts: u32, epoch: u64) -> bool {
+        if attempts >= Self::MAX_ATTEMPTS {
+            self.dead_letters += 1;
+            return false;
+        }
+        let due = epoch + (1u64 << (attempts + 1).min(6));
+        self.pending.push(PendingRepair { action, attempts, due });
+        true
+    }
+
+    /// Remove and return every action due at `epoch`, oldest first.
+    pub fn take_due(&mut self, epoch: u64) -> Vec<PendingRepair> {
+        let mut due = Vec::new();
+        self.pending.retain(|item| {
+            if item.due <= epoch {
+                due.push(*item);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Count a deferred action that finally applied.
+    pub fn note_completed(&mut self) {
+        self.completed += 1;
+    }
+
+    /// Actions currently waiting for a retry.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Actions dropped after exhausting their attempts.
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letters
+    }
+
+    /// Deferred actions that eventually applied.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+/// Whether `action`'s destination cannot take a transfer right now:
+/// the target server is dead, or the WAN has no route from the
+/// transfer's source datacenter to the target's. Suicides never
+/// transfer anything and are always executable.
+pub fn destination_unreachable(topo: &Topology, manager: &ReplicaManager, action: &Action) -> bool {
+    let dc_of = |s: ServerId| topo.servers()[s.index()].datacenter;
+    let blocked = |src: ServerId, dst: ServerId| {
+        !topo.servers()[dst.index()].alive
+            || topo.graph().latency_ms(dc_of(src), dc_of(dst)).is_none()
+    };
+    match *action {
+        Action::Replicate { partition, target } => blocked(manager.holder(partition), target),
+        Action::Migrate { from, to, .. } => blocked(from, to),
+        Action::Suicide { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfh_types::PartitionId;
+
+    fn act(i: u32) -> Action {
+        Action::Replicate { partition: PartitionId::new(i), target: ServerId::new(0) }
+    }
+
+    #[test]
+    fn backoff_doubles_and_preserves_order() {
+        let mut q = RepairQueue::new();
+        assert!(q.defer(act(0), 0, 10));
+        assert!(q.defer(act(1), 0, 10));
+        assert!(q.defer(act(2), 1, 10));
+        assert!(q.take_due(11).is_empty(), "first retry waits 2 epochs");
+        let due = q.take_due(12);
+        assert_eq!(due.len(), 2, "attempt 0 comes due at +2");
+        assert_eq!(due[0].action, act(0), "FIFO within an epoch");
+        assert_eq!(due[1].action, act(1));
+        assert_eq!(q.len(), 1);
+        let due = q.take_due(14);
+        assert_eq!(due[0].action, act(2), "attempt 1 waits 4 epochs");
+    }
+
+    #[test]
+    fn backoff_caps_and_dead_letters() {
+        let mut q = RepairQueue::new();
+        // Attempt 9 would want 2^10 epochs; the exponent caps at 6.
+        assert!(!q.defer(act(0), RepairQueue::MAX_ATTEMPTS, 0));
+        assert_eq!(q.dead_letters(), 1);
+        assert!(q.defer(act(0), RepairQueue::MAX_ATTEMPTS - 1, 0));
+        assert_eq!(q.take_due(64).len(), 1, "last attempt waits 2^6");
+    }
+}

@@ -74,6 +74,7 @@ mod tests {
             epochs: 5,
             seed: 3,
             events: EventSchedule::new(),
+            faults: crate::FaultPlan::default(),
         })
         .unwrap()
     }
@@ -120,6 +121,7 @@ mod tests {
                 epochs: 5,
                 seed: 3,
                 events: EventSchedule::new(),
+                faults: crate::FaultPlan::default(),
             },
             &crate::runner::ObsOptions { profile: true, recorder: None },
         )

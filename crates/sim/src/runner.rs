@@ -118,6 +118,7 @@ mod tests {
             epochs: 30,
             seed: 11,
             events: EventSchedule::new(),
+            faults: crate::FaultPlan::default(),
         }
     }
 

@@ -1,17 +1,20 @@
 //! The epoch loop for one policy.
 
 use crate::metrics::{epoch_load_imbalance, mean_utilization, EpochSnapshot, Metrics};
+use crate::repair::{destination_unreachable, RepairQueue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfh_core::{
     server_blocking_probabilities, Action, EpochContext, OwnerOrientedPolicy, PolicyKind,
     RandomPolicy, ReplicaManager, ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
 };
+use rfh_faults::{FaultInjector, FaultPlan, InvariantAuditor};
 use rfh_obs::{
     MetricsRegistry, NullRecorder, ProfileReport, Profiler, Recorder, PHASE_APPLY, PHASE_DECIDE,
     PHASE_EVENTS, PHASE_METRICS, PHASE_TRAFFIC, PHASE_WORKLOAD,
 };
 use rfh_ring::ConsistentHashRing;
+use rfh_stats::min_replica_count;
 use rfh_topology::{paper_topology, Topology};
 use rfh_traffic::{PlacementView, TrafficEngine, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, Result, RfhError, ServerId, SimConfig};
@@ -38,6 +41,11 @@ pub struct SimParams {
     pub seed: u64,
     /// Scheduled cluster events (failures / recoveries / joins).
     pub events: EventSchedule,
+    /// Fault schedule (correlated outages, WAN faults, churn). The
+    /// default empty plan builds no injector at all, so a run without
+    /// faults is bit-identical to one from before the fault layer
+    /// existed.
+    pub faults: FaultPlan,
 }
 
 impl SimParams {
@@ -50,6 +58,7 @@ impl SimParams {
             epochs: 250,
             seed: 42,
             events: EventSchedule::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -121,6 +130,20 @@ pub struct Simulation {
     /// The view's shape is invalid (first epoch, join, prune): the next
     /// step re-renders it wholesale.
     view_stale: bool,
+    /// Chaos driver; `None` for the empty plan (the zero-cost path).
+    injector: Option<FaultInjector>,
+    /// Always-on safety/liveness checker (see `rfh_faults::audit`).
+    auditor: InvariantAuditor,
+    /// Deferred transfers awaiting a reachable destination.
+    repair_queue: RepairQueue,
+    /// Partitions whose every replica died with no live server to
+    /// restore onto: pinned to their dead primary until one recovers.
+    pinned: Vec<PartitionId>,
+    /// Servers requested by `FailRandomServers` beyond the alive
+    /// population (the clamp's accounting).
+    fault_shortfall: u64,
+    /// Archive restores completed this epoch, pending the snapshot.
+    pending_repairs: usize,
     /// Decision-event sink; [`NullRecorder`] unless traced.
     recorder: Arc<dyn Recorder>,
     /// Per-phase epoch timer; disabled (one branch per phase) unless
@@ -160,9 +183,16 @@ impl Simulation {
         let policy = Self::build_policy(&params, &topo, &ring);
         let generator = params.workload_generator(topo.datacenters().len() as u32);
         let metrics = Metrics::new(cfg.partitions);
+        let r_min = min_replica_count(cfg.failure_rate, cfg.min_availability) as usize;
         Ok(Simulation {
             pending_data_loss: 0,
             event_rng: StdRng::seed_from_u64(params.seed ^ 0x4556_454E_5453), // "EVENTS"
+            injector: FaultInjector::new(&params.faults),
+            auditor: InvariantAuditor::new(cfg.partitions, r_min),
+            repair_queue: RepairQueue::new(),
+            pinned: Vec::new(),
+            fault_shortfall: 0,
+            pending_repairs: 0,
             params,
             topo,
             ring,
@@ -246,6 +276,97 @@ impl Simulation {
         &self.topo
     }
 
+    /// Drive the fault plan for this epoch: inject what is due, update
+    /// ring membership, prune replicas on freshly-dead servers, and
+    /// apply the sticky gray-failure knobs.
+    fn inject_faults(&mut self) -> Result<()> {
+        let Some(injector) = self.injector.as_mut() else {
+            return Ok(());
+        };
+        let report = injector.begin_epoch(self.epoch, &mut self.topo)?;
+        if !report.failed.is_empty() || report.routes_changed || report.random_shortfall > 0 {
+            self.auditor.note_fault(self.epoch);
+        }
+        for &id in &report.failed {
+            self.ring.leave(id);
+        }
+        for &id in &report.recovered {
+            self.ring.join(id);
+        }
+        if let Some(p) = report.message_loss {
+            self.policy.set_message_loss(p);
+        }
+        if let Some((repl, migr)) = report.bandwidth {
+            self.manager.set_bandwidth_factors(repl, migr);
+        }
+        self.fault_shortfall += report.random_shortfall as u64;
+        // Route changes need no handling here: the topology generation
+        // bump re-keys the traffic engine's caches automatically.
+        if !report.failed.is_empty() {
+            self.prune_dead_replicas();
+        }
+        Ok(())
+    }
+
+    /// Drop replicas on dead servers. Partitions that lost every copy
+    /// are restored onto a surviving ring successor when one exists;
+    /// with no live server anywhere they stay pinned to their dead
+    /// primary and are retried by [`Self::retry_restores`].
+    fn prune_dead_replicas(&mut self) {
+        let ring = &self.ring;
+        let topo = &self.topo;
+        let outcome = self.manager.prune_dead(topo, |p| {
+            ring.successors(p, topo.server_count())
+                .ok()
+                .into_iter()
+                .flatten()
+                .find(|&s| topo.servers()[s.index()].alive)
+                .or_else(|| topo.servers().iter().find(|s| s.alive).map(|s| s.id))
+        });
+        self.pending_data_loss += outcome.restored_partitions.len();
+        for p in outcome.unrestored_partitions {
+            if !self.pinned.contains(&p) {
+                self.pinned.push(p);
+            }
+        }
+        self.view_stale = true;
+    }
+
+    /// Retry archive restores for partitions pinned to dead servers.
+    /// Data loss is accounted when the restore actually lands.
+    fn retry_restores(&mut self) {
+        if self.pinned.is_empty() {
+            return;
+        }
+        let mut still_pinned = Vec::new();
+        for p in std::mem::take(&mut self.pinned) {
+            // A pinned server that recovered brings its disk back with
+            // it: the partition is whole again without touching the
+            // archive, so no data loss and no repair to account.
+            if self.manager.replicas(p).iter().any(|&s| self.topo.servers()[s.index()].alive) {
+                self.view_stale = true;
+                continue;
+            }
+            let target = self
+                .ring
+                .successors(p, self.topo.server_count())
+                .ok()
+                .into_iter()
+                .flatten()
+                .find(|&s| self.topo.servers()[s.index()].alive)
+                .or_else(|| self.topo.servers().iter().find(|s| s.alive).map(|s| s.id));
+            match target {
+                Some(to) if self.manager.restore_partition(&self.topo, p, to).is_ok() => {
+                    self.pending_data_loss += 1;
+                    self.pending_repairs += 1;
+                    self.view_stale = true;
+                }
+                _ => still_pinned.push(p),
+            }
+        }
+        self.pinned = still_pinned;
+    }
+
     fn apply_events(&mut self) -> Result<()> {
         // Clone the events at this epoch to end the borrow of params.
         let evs: Vec<ClusterEvent> = self.params.events.at(self.epoch).cloned().collect();
@@ -256,7 +377,11 @@ impl Simulation {
         for ev in evs {
             match ev {
                 ClusterEvent::FailRandomServers { count } => {
-                    for id in self.topo.fail_random_servers(count, &mut self.event_rng) {
+                    let failed = self.topo.fail_random_servers(count, &mut self.event_rng);
+                    // Asking for more than the alive population is not
+                    // an error: everyone dies and the gap is recorded.
+                    self.fault_shortfall += (count - failed.len()) as u64;
+                    for id in failed {
                         self.ring.leave(id);
                         membership_changed = true;
                     }
@@ -293,26 +418,8 @@ impl Simulation {
             }
         }
         if membership_changed {
-            // Drop replicas on dead servers; restore partitions that
-            // lost every copy onto a surviving ring successor.
-            let ring = &self.ring;
-            let topo = &self.topo;
-            let outcome = self.manager.prune_dead(topo, |p| {
-                ring.successors(p, topo.server_count())
-                    .ok()
-                    .into_iter()
-                    .flatten()
-                    .find(|&s| topo.servers()[s.index()].alive)
-                    .unwrap_or_else(|| {
-                        topo.servers()
-                            .iter()
-                            .find(|s| s.alive)
-                            .map(|s| s.id)
-                            .expect("at least one server must survive")
-                    })
-            });
-            self.pending_data_loss += outcome.restored_partitions.len();
-            self.view_stale = true;
+            self.auditor.note_fault(self.epoch);
+            self.prune_dead_replicas();
         }
         Ok(())
     }
@@ -320,7 +427,9 @@ impl Simulation {
     /// Simulate one epoch; returns its snapshot.
     pub fn step(&mut self) -> Result<EpochSnapshot> {
         let ev_t0 = self.profiler.start();
+        self.inject_faults()?;
         self.apply_events()?;
+        self.retry_restores();
         self.manager.begin_epoch();
         self.profiler.stop(PHASE_EVENTS, ev_t0);
 
@@ -391,7 +500,61 @@ impl Simulation {
         // the policy stamps into its events — ask the policy itself, so
         // custom (ablated) policies stay correctly attributed too.
         let policy_label = self.policy.name();
+        snap.repairs = std::mem::take(&mut self.pending_repairs);
+        // Deferred transfers first: they were admitted in an earlier
+        // epoch and compete for this epoch's bandwidth ahead of new
+        // decisions.
+        for item in self.repair_queue.take_due(self.epoch) {
+            if destination_unreachable(&self.topo, &self.manager, &item.action) {
+                if !self.repair_queue.defer(item.action, item.attempts + 1, self.epoch) {
+                    snap.dead_letters += 1;
+                }
+                continue;
+            }
+            // An unapplicable retry (partition re-replicated elsewhere
+            // meanwhile, target filled up) is moot, not a failure: the
+            // policy re-decides every epoch.
+            let Ok(applied) =
+                self.manager.apply_recorded(&self.topo, item.action, &*self.recorder, policy_label)
+            else {
+                continue;
+            };
+            self.repair_queue.note_completed();
+            snap.repairs += 1;
+            match item.action {
+                Action::Replicate { partition, .. } => {
+                    snap.replications += 1;
+                    snap.replication_cost += applied.cost;
+                    self.dirty_parts.push(partition);
+                }
+                Action::Migrate { partition, .. } => {
+                    snap.migrations += 1;
+                    snap.migration_cost += applied.cost;
+                    self.dirty_parts.push(partition);
+                }
+                Action::Suicide { .. } => unreachable!("suicides are never deferred"),
+            }
+        }
         for action in actions {
+            // Under WAN faults a transfer whose destination is dead or
+            // unreachable is deferred and retried with backoff instead
+            // of silently counting as done. The check only runs when a
+            // fault plan is active: scripted-event runs keep their
+            // historical behaviour bit for bit.
+            if self.injector.is_some()
+                && destination_unreachable(&self.topo, &self.manager, &action)
+            {
+                let partition = match action {
+                    Action::Replicate { partition, .. }
+                    | Action::Migrate { partition, .. }
+                    | Action::Suicide { partition, .. } => partition,
+                };
+                self.recorder.outcome(policy_label, partition.0, false, 0.0);
+                if !self.repair_queue.defer(action, 0, self.epoch) {
+                    snap.dead_letters += 1;
+                }
+                continue;
+            }
             // A rejected action (bandwidth exhausted, target filled up by
             // an earlier action this epoch) is simply not executed —
             // the decision is retried naturally in later epochs.
@@ -421,6 +584,14 @@ impl Simulation {
 
         let me_t1 = self.profiler.start();
         snap.replicas_total = self.manager.total_replicas();
+        let manager = &self.manager;
+        let pinned = &self.pinned;
+        snap.invariant_violations = self.auditor.audit(
+            self.epoch,
+            &self.topo,
+            |p, buf| buf.extend_from_slice(manager.replicas(p)),
+            |p| pinned.contains(&p),
+        ) as usize;
         self.metrics.record(&snap);
         self.profiler.stop(PHASE_METRICS, me_t1);
         self.recorder.end_epoch(policy_label, self.epoch);
@@ -435,7 +606,17 @@ impl Simulation {
     pub fn collect_metrics(&self, registry: &mut MetricsRegistry) {
         registry.counter_total("sim.epochs", self.epoch);
         registry.gauge("sim.replicas_total", self.manager.total_replicas() as f64);
+        registry.counter_total("sim.fault_shortfall", self.fault_shortfall);
+        registry.counter_total("sim.repairs.completed", self.repair_queue.completed());
+        registry.counter_total("sim.repairs.dead_letters", self.repair_queue.dead_letters());
+        registry.gauge("sim.repairs.pending", self.repair_queue.len() as f64);
+        registry.counter_total("sim.invariant_violations", self.auditor.total());
         self.engine.stats().collect_metrics(registry);
+    }
+
+    /// The invariant auditor's findings so far (tests and diagnostics).
+    pub fn auditor(&self) -> &InvariantAuditor {
+        &self.auditor
     }
 
     /// Package the metrics recorded so far (and the profile, if timing
@@ -475,6 +656,7 @@ mod tests {
             epochs: 40,
             seed: 7,
             events: EventSchedule::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -528,24 +710,36 @@ mod tests {
         assert_eq!(generated, replayed);
     }
 
-    #[test]
-    fn mass_failure_drops_replicas_then_recovers() {
+    /// Time-to-repair harness behind
+    /// [`mass_failure_drops_replicas_then_recovers`]: kill `burst`
+    /// servers at `fail_epoch` and return how many epochs the replica
+    /// count takes to climb back within `tolerance` of its pre-failure
+    /// level, as measured by [`crate::recovery_epochs`].
+    fn time_to_repair(fail_epoch: u64, burst: usize, tolerance: f64) -> Option<u64> {
         let mut p = quick_params(PolicyKind::Rfh);
-        p.epochs = 120;
-        p.events = EventSchedule::mass_failure_at(60, 30);
+        p.epochs = fail_epoch * 2;
+        p.events = EventSchedule::mass_failure_at(fail_epoch, burst);
         let result = Simulation::new(p).unwrap().run().unwrap();
         let replicas = result.metrics.series("replicas_total").unwrap();
         let alive = result.metrics.series("alive_servers").unwrap();
-        assert_eq!(alive.values()[59], 100.0);
-        assert_eq!(alive.values()[60], 70.0, "30 servers die at epoch 60");
-        let before = replicas.values()[59];
-        let at = replicas.values()[60];
+        let fe = fail_epoch as usize;
+        assert_eq!(alive.values()[fe - 1], 100.0);
+        assert_eq!(alive.values()[fe], (100 - burst) as f64, "{burst} servers die at {fail_epoch}");
+        let before = replicas.values()[fe - 1];
+        let at = replicas.values()[fe];
         assert!(at < before, "replica count must drop with the servers: {before} → {at}");
-        let end = replicas.last().unwrap();
-        assert!(
-            end >= before * 0.8,
-            "re-replication must recover most of the fleet: {before} → {end}"
-        );
+        crate::recovery_epochs(&result.metrics, fail_epoch, tolerance)
+    }
+
+    #[test]
+    fn mass_failure_drops_replicas_then_recovers() {
+        let ttr = time_to_repair(60, 30, 0.05)
+            .expect("re-replication must return within 5% of the pre-failure fleet");
+        assert!(ttr <= 40, "recovery must converge within bounded epochs, took {ttr}");
+        // A smaller wave heals no slower than the big one measured with
+        // the same tolerance.
+        let small = time_to_repair(60, 10, 0.05).expect("small wave recovers too");
+        assert!(small <= ttr.max(10), "10-server wave took {small}, 30-server took {ttr}");
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn base(scenario: Scenario) -> SimParams {
         epochs: 30,
         seed: 7,
         events: EventSchedule::new(),
+        faults: rfh_sim::FaultPlan::default(),
     }
 }
 

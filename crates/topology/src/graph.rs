@@ -20,8 +20,19 @@ pub type RoutePath = Vec<DatacenterId>;
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Link {
     to: u32,
-    /// Routing weight (one-way latency in milliseconds).
-    latency_ms: f64,
+    /// Nominal one-way latency in milliseconds (healthy link).
+    base_ms: f64,
+    /// Fault-injected latency multiplier (1.0 when healthy).
+    factor: f64,
+    /// False while the link is administratively or fault down.
+    up: bool,
+}
+
+impl Link {
+    /// Routing weight: the effective one-way latency.
+    fn weight(&self) -> f64 {
+        self.base_ms * self.factor
+    }
 }
 
 /// An undirected weighted graph over datacenters with all-pairs
@@ -80,20 +91,105 @@ impl WanGraph {
         for (x, y) in [(a, b), (b, a)] {
             let adj = &mut self.adjacency[x.index()];
             match adj.iter_mut().find(|l| l.to == y.0) {
-                Some(existing) => existing.latency_ms = existing.latency_ms.min(latency_ms),
-                None => adj.push(Link { to: y.0, latency_ms }),
+                Some(existing) => existing.base_ms = existing.base_ms.min(latency_ms),
+                None => adj.push(Link { to: y.0, base_ms: latency_ms, factor: 1.0, up: true }),
             }
         }
         Ok(())
     }
 
-    /// Direct neighbours of `dc`, with link latencies.
+    /// Direct neighbours of `dc` over *up* links, with effective link
+    /// latencies. Downed links are invisible here, so bootstrap probing
+    /// and routing agree on reachability.
     pub fn neighbours(&self, dc: DatacenterId) -> impl Iterator<Item = (DatacenterId, f64)> + '_ {
         self.adjacency
             .get(dc.index())
             .into_iter()
             .flatten()
-            .map(|l| (DatacenterId::new(l.to), l.latency_ms))
+            .filter(|l| l.up)
+            .map(|l| (DatacenterId::new(l.to), l.weight()))
+    }
+
+    /// Every undirected link as `(low, high, base_ms, factor, up)`,
+    /// ascending by endpoint ids. Includes downed links.
+    pub fn links(&self) -> Vec<(DatacenterId, DatacenterId, f64, f64, bool)> {
+        let mut out = Vec::new();
+        for (a, adj) in self.adjacency.iter().enumerate() {
+            for l in adj {
+                if (a as u32) < l.to {
+                    out.push((
+                        DatacenterId::new(a as u32),
+                        DatacenterId::new(l.to),
+                        l.base_ms,
+                        l.factor,
+                        l.up,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn mutate_link(
+        &mut self,
+        a: DatacenterId,
+        b: DatacenterId,
+        f: impl Fn(&mut Link) -> bool,
+    ) -> Result<bool> {
+        let n = self.adjacency.len() as u32;
+        if a.0 >= n || b.0 >= n || a == b {
+            return Err(RfhError::Topology(format!("no such link {a}-{b}")));
+        }
+        let mut changed = false;
+        let mut found = 0;
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(l) = self.adjacency[x.index()].iter_mut().find(|l| l.to == y.0) {
+                found += 1;
+                changed |= f(l);
+            }
+        }
+        if found != 2 {
+            return Err(RfhError::Topology(format!("no such link {a}-{b}")));
+        }
+        Ok(changed)
+    }
+
+    /// Bring the link between `a` and `b` up or down. Returns whether
+    /// the state actually changed. Call [`WanGraph::rebuild`] after.
+    ///
+    /// # Errors
+    /// Fails when no such link exists.
+    pub fn set_link_up(&mut self, a: DatacenterId, b: DatacenterId, up: bool) -> Result<bool> {
+        self.mutate_link(a, b, |l| {
+            let changed = l.up != up;
+            l.up = up;
+            changed
+        })
+    }
+
+    /// Set the latency multiplier on the link between `a` and `b`
+    /// (1.0 = healthy). Returns whether the factor actually changed.
+    /// Call [`WanGraph::rebuild`] after.
+    ///
+    /// # Errors
+    /// Fails when no such link exists or the factor is not positive
+    /// and finite.
+    pub fn set_link_factor(
+        &mut self,
+        a: DatacenterId,
+        b: DatacenterId,
+        factor: f64,
+    ) -> Result<bool> {
+        if !(factor > 0.0 && factor.is_finite()) {
+            return Err(RfhError::Topology(format!(
+                "link {a}-{b} latency factor must be positive and finite, got {factor}"
+            )));
+        }
+        self.mutate_link(a, b, |l| {
+            let changed = l.factor != factor;
+            l.factor = factor;
+            changed
+        })
     }
 
     /// Recompute the all-pairs routing tables. Must be called after any
@@ -150,8 +246,11 @@ impl WanGraph {
             }
             done[u] = true;
             for link in &self.adjacency[u] {
+                if !link.up {
+                    continue;
+                }
                 let v = link.to as usize;
-                let nd = d + link.latency_ms;
+                let nd = d + link.weight();
                 let better =
                     nd < dist[v] - 1e-12 || ((nd - dist[v]).abs() <= 1e-12 && node < prev[v]);
                 if better {
@@ -348,6 +447,70 @@ mod tests {
         g.rebuild();
         assert_eq!(g.path(new, dc(1)).unwrap(), vec![dc(4), dc(0), dc(1)]);
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn link_down_reroutes_and_link_up_restores() {
+        let mut g = diamond();
+        // Healthy: 0 → 2 via 1 (2ms).
+        assert_eq!(g.latency_ms(dc(0), dc(2)), Some(2.0));
+        assert!(g.set_link_up(dc(1), dc(2), false).unwrap());
+        g.rebuild();
+        // Forced onto the direct 5ms link.
+        assert_eq!(g.path(dc(0), dc(2)).unwrap(), vec![dc(0), dc(2)]);
+        assert_eq!(g.latency_ms(dc(0), dc(2)), Some(5.0));
+        // Downing again is a no-op.
+        assert!(!g.set_link_up(dc(1), dc(2), false).unwrap());
+        assert!(g.set_link_up(dc(1), dc(2), true).unwrap());
+        g.rebuild();
+        assert_eq!(g.latency_ms(dc(0), dc(2)), Some(2.0));
+    }
+
+    #[test]
+    fn downed_links_split_the_graph() {
+        let mut g = diamond();
+        g.set_link_up(dc(2), dc(3), false).unwrap();
+        g.rebuild();
+        assert_eq!(g.path(dc(0), dc(3)), None);
+        assert!(!g.is_connected());
+        assert_eq!(g.neighbours(dc(3)).count(), 0, "downed link hidden from neighbours");
+    }
+
+    #[test]
+    fn latency_factor_inflates_routing_weight() {
+        let mut g = diamond();
+        // Inflate 0-1 by 10x: 0 → 2 now prefers the direct 5ms link.
+        assert!(g.set_link_factor(dc(0), dc(1), 10.0).unwrap());
+        g.rebuild();
+        assert_eq!(g.path(dc(0), dc(2)).unwrap(), vec![dc(0), dc(2)]);
+        // 0 → 1 routes around the inflated link: 0-2-1 = 5 + 1 = 6ms.
+        assert_eq!(g.path(dc(0), dc(1)).unwrap(), vec![dc(0), dc(2), dc(1)]);
+        assert_eq!(g.latency_ms(dc(0), dc(1)), Some(6.0));
+        // Healing restores the original route.
+        g.set_link_factor(dc(0), dc(1), 1.0).unwrap();
+        g.rebuild();
+        assert_eq!(g.latency_ms(dc(0), dc(1)), Some(1.0));
+    }
+
+    #[test]
+    fn link_mutations_validate_arguments() {
+        let mut g = diamond();
+        assert!(g.set_link_up(dc(0), dc(3), false).is_err(), "no such link");
+        assert!(g.set_link_up(dc(0), dc(0), false).is_err(), "self link");
+        assert!(g.set_link_up(dc(0), dc(9), false).is_err(), "unknown node");
+        assert!(g.set_link_factor(dc(0), dc(1), 0.0).is_err());
+        assert!(g.set_link_factor(dc(0), dc(1), f64::NAN).is_err());
+        assert!(!g.set_link_factor(dc(0), dc(1), 1.0).unwrap(), "already 1.0");
+    }
+
+    #[test]
+    fn links_enumerates_undirected_edges() {
+        let mut g = diamond();
+        g.set_link_up(dc(0), dc(2), false).unwrap();
+        let links = g.links();
+        assert_eq!(links.len(), 4);
+        assert!(links.contains(&(dc(0), dc(2), 5.0, 1.0, false)));
+        assert!(links.contains(&(dc(1), dc(2), 1.0, 1.0, true)));
     }
 
     #[test]

@@ -401,6 +401,153 @@ impl Topology {
         self.generation += 1;
         Ok(id)
     }
+
+    /// Server ids in one failure domain: a whole datacenter, one room,
+    /// or one rack (narrowest non-`None` selector wins).
+    ///
+    /// # Errors
+    /// Fails when the selector names an unknown domain.
+    pub fn domain_servers(
+        &self,
+        dc: DatacenterId,
+        room: Option<RoomId>,
+        rack: Option<RackId>,
+    ) -> Result<Vec<ServerId>> {
+        let d = self.datacenter(dc)?;
+        match room {
+            None => Ok(d.server_ids().collect()),
+            Some(r) => {
+                let room_ref = d
+                    .rooms
+                    .get(r.index())
+                    .ok_or(RfhError::UnknownEntity { kind: "room", id: r.0 as u64 })?;
+                match rack {
+                    None => {
+                        Ok(room_ref.racks.iter().flat_map(|k| k.servers.iter().copied()).collect())
+                    }
+                    Some(k) => Ok(room_ref
+                        .racks
+                        .get(k.index())
+                        .ok_or(RfhError::UnknownEntity { kind: "rack", id: k.0 as u64 })?
+                        .servers
+                        .clone()),
+                }
+            }
+        }
+    }
+
+    /// Fail every alive server in a failure domain (correlated outage:
+    /// a rack losing power, a room flooding, a datacenter going dark).
+    /// Returns the ids that actually went down, in id order.
+    ///
+    /// # Errors
+    /// Fails when the selector names an unknown domain.
+    pub fn fail_domain(
+        &mut self,
+        dc: DatacenterId,
+        room: Option<RoomId>,
+        rack: Option<RackId>,
+    ) -> Result<Vec<ServerId>> {
+        let ids = self.domain_servers(dc, room, rack)?;
+        let mut downed = Vec::new();
+        for id in ids {
+            let s = &mut self.servers[id.index()];
+            if s.alive {
+                s.alive = false;
+                downed.push(id);
+            }
+        }
+        if !downed.is_empty() {
+            self.generation += 1;
+        }
+        Ok(downed)
+    }
+
+    /// Recover every failed server in a failure domain (the outage
+    /// healing). Returns the ids that actually came back, in id order.
+    ///
+    /// # Errors
+    /// Fails when the selector names an unknown domain.
+    pub fn recover_domain(
+        &mut self,
+        dc: DatacenterId,
+        room: Option<RoomId>,
+        rack: Option<RackId>,
+    ) -> Result<Vec<ServerId>> {
+        let ids = self.domain_servers(dc, room, rack)?;
+        let mut revived = Vec::new();
+        for id in ids {
+            let s = &mut self.servers[id.index()];
+            if !s.alive {
+                s.alive = true;
+                revived.push(id);
+            }
+        }
+        if !revived.is_empty() {
+            self.generation += 1;
+        }
+        Ok(revived)
+    }
+
+    /// Take a WAN link down or bring it back up. Routes are recomputed
+    /// and the generation bumped when the state actually changes, so
+    /// every generation-keyed route cache refreshes. Returns whether it
+    /// changed.
+    ///
+    /// # Errors
+    /// Fails when no such link exists.
+    pub fn set_link_state(&mut self, a: DatacenterId, b: DatacenterId, up: bool) -> Result<bool> {
+        let changed = self.graph.set_link_up(a, b, up)?;
+        if changed {
+            self.graph.rebuild();
+            self.generation += 1;
+        }
+        Ok(changed)
+    }
+
+    /// Set the latency-inflation factor on a WAN link (1.0 = healthy).
+    /// Routes are recomputed and the generation bumped when the factor
+    /// actually changes. Returns whether it changed.
+    ///
+    /// # Errors
+    /// Fails when no such link exists or the factor is invalid.
+    pub fn set_link_latency_factor(
+        &mut self,
+        a: DatacenterId,
+        b: DatacenterId,
+        factor: f64,
+    ) -> Result<bool> {
+        let changed = self.graph.set_link_factor(a, b, factor)?;
+        if changed {
+            self.graph.rebuild();
+            self.generation += 1;
+        }
+        Ok(changed)
+    }
+
+    /// Split the backbone: take down every up link with exactly one
+    /// endpoint in `island`, isolating those datacenters from the rest.
+    /// Returns the links that went down (for the caller to heal later).
+    /// No-op (empty vec) when the cut is already in place.
+    pub fn isolate_island(&mut self, island: &[DatacenterId]) -> Vec<(DatacenterId, DatacenterId)> {
+        let inside = |d: DatacenterId| island.contains(&d);
+        let cut: Vec<(DatacenterId, DatacenterId)> = self
+            .graph
+            .links()
+            .into_iter()
+            .filter(|&(a, b, _, _, up)| up && (inside(a) != inside(b)))
+            .map(|(a, b, _, _, _)| (a, b))
+            .collect();
+        for &(a, b) in &cut {
+            // Links came from `links()`, so they exist; state is `up`.
+            let _ = self.graph.set_link_up(a, b, false);
+        }
+        if !cut.is_empty() {
+            self.graph.rebuild();
+            self.generation += 1;
+        }
+        cut
+    }
 }
 
 #[cfg(test)]
@@ -583,6 +730,95 @@ mod tests {
             .unwrap();
         assert!(b.link(a, DatacenterId::new(5), 1.0).is_err());
         assert!(b.build(1.0, 0).is_err(), "spread must be < 1");
+    }
+
+    /// Triangle A-B-C so link cuts can reroute instead of only split.
+    fn three_dc() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let a = b
+            .datacenter(
+                "A",
+                Continent::NorthAmerica,
+                "USA",
+                "GA1",
+                GeoPoint::new(33.7, -84.4),
+                1,
+                2,
+                5,
+            )
+            .unwrap();
+        let h = b
+            .datacenter("H", Continent::Asia, "CHN", "BJ1", GeoPoint::new(39.9, 116.4), 1, 2, 5)
+            .unwrap();
+        let z = b
+            .datacenter("Z", Continent::Europe, "CHE", "ZH1", GeoPoint::new(47.4, 8.5), 1, 2, 5)
+            .unwrap();
+        b.link(a, h, 90.0).unwrap();
+        b.link(a, z, 40.0).unwrap();
+        b.link(h, z, 60.0).unwrap();
+        b.build(0.25, 7).unwrap()
+    }
+
+    #[test]
+    fn fail_domain_takes_down_rack_room_or_datacenter() {
+        let mut t = two_dc();
+        let dc0 = DatacenterId::new(0);
+        let g0 = t.generation();
+        // One rack: 5 servers.
+        let rack = t.fail_domain(dc0, Some(RoomId::new(0)), Some(RackId::new(0))).unwrap();
+        assert_eq!(rack, (0..5).map(ServerId::new).collect::<Vec<_>>());
+        assert_eq!(t.alive_server_count(), 15);
+        assert_eq!(t.generation(), g0 + 1);
+        // Whole room (= rest of the DC here): only the 5 still-alive fall.
+        let room = t.fail_domain(dc0, Some(RoomId::new(0)), None).unwrap();
+        assert_eq!(room, (5..10).map(ServerId::new).collect::<Vec<_>>());
+        // Re-failing the DC is a no-op: everyone is already down.
+        let g = t.generation();
+        assert!(t.fail_domain(dc0, None, None).unwrap().is_empty());
+        assert_eq!(t.generation(), g, "ineffective fail must not bump the era");
+        // Recovery brings the whole DC back in one step.
+        let back = t.recover_domain(dc0, None, None).unwrap();
+        assert_eq!(back.len(), 10);
+        assert_eq!(t.alive_server_count(), 20);
+        assert!(t.fail_domain(dc0, Some(RoomId::new(3)), None).is_err(), "unknown room");
+    }
+
+    #[test]
+    fn link_faults_bump_generation_and_reroute() {
+        let mut t = three_dc();
+        let (a, h, z) = (DatacenterId::new(0), DatacenterId::new(1), DatacenterId::new(2));
+        assert_eq!(t.path(a, h).unwrap(), vec![a, h]);
+        let g0 = t.generation();
+        assert!(t.set_link_state(a, h, false).unwrap());
+        assert_eq!(t.generation(), g0 + 1);
+        assert_eq!(t.path(a, h).unwrap(), vec![a, z, h], "rerouted around the cut");
+        assert!(!t.set_link_state(a, h, false).unwrap(), "idempotent");
+        assert_eq!(t.generation(), g0 + 1);
+        assert!(t.set_link_state(a, h, true).unwrap());
+        assert_eq!(t.path(a, h).unwrap(), vec![a, h]);
+        // Latency inflation diverts the A-H route through Z (90·2 > 100).
+        assert!(t.set_link_latency_factor(a, h, 2.0).unwrap());
+        assert_eq!(t.path(a, h).unwrap(), vec![a, z, h]);
+        assert!(t.set_link_state(a, DatacenterId::new(9), false).is_err(), "unknown link");
+    }
+
+    #[test]
+    fn isolate_island_cuts_every_crossing_link() {
+        let mut t = three_dc();
+        let (a, h, z) = (DatacenterId::new(0), DatacenterId::new(1), DatacenterId::new(2));
+        let g0 = t.generation();
+        let mut cut = t.isolate_island(&[h]);
+        cut.sort();
+        assert_eq!(cut, vec![(a, h), (h, z)]);
+        assert_eq!(t.generation(), g0 + 1);
+        assert_eq!(t.path(a, h), None, "H is unreachable");
+        assert_eq!(t.path(a, z).unwrap(), vec![a, z], "survivors still route");
+        assert!(t.isolate_island(&[h]).is_empty(), "already cut");
+        // Healing restores exactly the recorded links.
+        for (x, y) in cut {
+            t.set_link_state(x, y, true).unwrap();
+        }
+        assert_eq!(t.path(a, h).unwrap(), vec![a, h]);
     }
 
     #[test]

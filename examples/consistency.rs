@@ -29,6 +29,7 @@ fn main() -> Result<()> {
         epochs: EPOCHS,
         seed: 42,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let mut sim = Simulation::new(params)?;
     let mut tracker = ConsistencyTracker::new(64, SYNC_BUDGET);

@@ -36,6 +36,7 @@ fn main() -> Result<()> {
         epochs: 150,
         seed: 7,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let mut sim = Simulation::with_topology(params, topo)?;
     for _ in 0..150 {

@@ -20,6 +20,7 @@ fn run_with(agent: Option<DistributedRfhPolicy>) -> Result<SimResult> {
         epochs: EPOCHS,
         seed: 42,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let sim = Simulation::new(params)?;
     match agent {
@@ -75,6 +76,7 @@ fn main() -> Result<()> {
         epochs: 50,
         seed: 42,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     Simulation::new(params)?.with_custom_policy(Box::new(probe)).run()?;
     println!(

@@ -20,6 +20,7 @@ fn main() -> Result<()> {
         epochs: 600,
         seed: 42,
         events,
+        faults: FaultPlan::default(),
     };
     let result = Simulation::new(params)?.run()?;
 

@@ -18,6 +18,7 @@ fn main() -> Result<()> {
         epochs: EPOCHS,
         seed: 42,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let cmp = run_comparison(&params)?;
 

@@ -18,6 +18,7 @@ fn main() -> Result<()> {
         epochs: 100,
         seed: 42,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let mut sim = Simulation::new(params)?;
 

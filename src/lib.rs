@@ -20,6 +20,7 @@
 //! | [`traffic`] | `rfh-traffic` | the traffic-determination pass (eqs. 2–11) and the reusable, route-cached [`TrafficEngine`](rfh_traffic::TrafficEngine) |
 //! | [`core`] | `rfh-core` | the RFH decision tree + the three baselines |
 //! | [`net`] | `rfh-net` | the §II-B control plane: traffic reports over the WAN |
+//! | [`faults`] | `rfh-faults` | deterministic fault plans, chaos injection, invariant auditing |
 //! | [`consistency`] | `rfh-consistency` | version vectors, staleness under replica churn |
 //! | [`sim`] | `rfh-sim` | the epoch simulator and the four-way comparison runner |
 //! | [`experiments`] | `rfh-experiments` | per-figure regeneration harnesses |
@@ -40,6 +41,7 @@
 //!     epochs: 50,
 //!     seed: 7,
 //!     events: EventSchedule::new(),
+//!     faults: FaultPlan::default(),
 //! };
 //! let cmp = run_comparison(&params).unwrap();
 //! let util = |k| {
@@ -57,6 +59,7 @@
 pub use rfh_consistency as consistency;
 pub use rfh_core as core;
 pub use rfh_experiments as experiments;
+pub use rfh_faults as faults;
 pub use rfh_net as net;
 pub use rfh_obs as obs;
 pub use rfh_ring as ring;
@@ -74,7 +77,10 @@ pub mod prelude {
         Action, EpochContext, OwnerOrientedPolicy, PolicyKind, RandomPolicy, ReplicaManager,
         ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
     };
-    pub use rfh_net::{DistributedRfhPolicy, Network};
+    pub use rfh_faults::{
+        FaultAction, FaultInjector, FaultPlan, InvariantAuditor, Violation, ViolationKind,
+    };
+    pub use rfh_net::{DistributedRfhPolicy, Network, NetworkFaults};
     pub use rfh_obs::{
         DecisionEvent, MetricsRegistry, NullRecorder, ProfileReport, Profiler, Recorder,
         TraceRecorder,

@@ -11,6 +11,7 @@ fn params(policy: PolicyKind, scenario: Scenario, seed: u64) -> SimParams {
         epochs: 40,
         seed,
         events: EventSchedule::mass_failure_at(20, 10),
+        faults: FaultPlan::default(),
     }
 }
 

@@ -15,6 +15,7 @@ fn params(scenario: Scenario, epochs: u64, seed: u64) -> SimParams {
         epochs,
         seed,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     }
 }
 

@@ -13,6 +13,7 @@ fn small_params(policy: PolicyKind, scenario: Scenario, epochs: u64) -> SimParam
         epochs,
         seed: 9,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     }
 }
 
@@ -149,6 +150,7 @@ fn facade_prelude_covers_a_full_workflow() {
         epochs: 30,
         seed: 3,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let result = Simulation::with_topology(params, topo).unwrap().run().unwrap();
     assert_eq!(result.metrics.epochs(), 30);

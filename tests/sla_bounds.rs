@@ -13,6 +13,7 @@ fn latency_and_sla_are_physical_for_every_policy() {
         epochs: 120,
         seed: 21,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let cmp = run_comparison(&base).unwrap();
     for kind in PolicyKind::ALL {
@@ -43,6 +44,7 @@ fn requester_local_placement_is_fastest() {
         epochs: 150,
         seed: 33,
         events: EventSchedule::new(),
+        faults: FaultPlan::default(),
     };
     let cmp = run_comparison(&base).unwrap();
     let tail = |kind: PolicyKind| {
