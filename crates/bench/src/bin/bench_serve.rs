@@ -1,0 +1,81 @@
+//! End-to-end serving benchmark, emitted as `BENCH_serve.json` for the
+//! repo's records.
+//!
+//! Run from the workspace root (release profile matters):
+//!
+//! ```text
+//! cargo run --release -p rfh-bench --bin bench_serve
+//! ```
+//!
+//! Brings up a 60-node loopback cluster (the scaled paper topology at
+//! 3 servers per rack) under the online RFH control loop, kills one
+//! server mid-run via a fault plan, and drives a closed-loop mixed
+//! read/write workload through real TCP connections. The report
+//! records throughput and p50/p99/p999 latency, and the process exits
+//! nonzero if any acknowledged write was lost or corrupted — the same
+//! guarantee the serve smoke tests assert, here at benchmark scale.
+
+use rfh_faults::FaultPlan;
+use rfh_serve::{run_loadgen, ArrivalMode, Cluster, ClusterConfig, LoadGenConfig};
+
+fn main() {
+    let cluster_cfg = ClusterConfig {
+        servers_per_rack: 3, // 10 DCs × 2 racks × 3 = 60 nodes
+        partitions: 64,
+        seed: 42,
+        control_interval_ms: 100,
+        capacity_spread: 0.25,
+    };
+    // One server dies four ticks (~400 ms) into the run, while the
+    // load generator is writing at full tilt.
+    let plan = FaultPlan::from_toml_str("[[at]]\nepoch = 4\nfail_servers = [17]\n")
+        .expect("inline plan parses");
+    let load_cfg = LoadGenConfig {
+        mode: ArrivalMode::Closed,
+        workers: 8,
+        ops: 20_000,
+        rate: 2_000.0,
+        read_fraction: 0.5,
+        keys: 5_000,
+        zipf_s: 0.9,
+        value_bytes: 128,
+        seed: 1,
+    };
+
+    eprintln!("starting {}-node cluster…", cluster_cfg.nodes());
+    let cluster = Cluster::start(&cluster_cfg, plan).expect("cluster starts");
+    eprintln!("driving {} ops across {} workers…", load_cfg.ops, load_cfg.workers);
+    let report = run_loadgen(&load_cfg, cluster.node_infos()).expect("loadgen runs");
+    let summary = cluster.shutdown().expect("clean shutdown");
+
+    let json = format!(
+        "{{\n  \"cluster\": {{ \"nodes\": {}, \"partitions\": {}, \"killed_servers\": 1, \
+         \"control_ticks\": {}, \"replications\": {}, \"migrations\": {}, \
+         \"repairs_completed\": {}, \"invariant_violations\": {} }},\n  \"load\": {}\n}}\n",
+        summary.nodes,
+        cluster_cfg.partitions,
+        summary.ticks,
+        summary.replications,
+        summary.migrations,
+        summary.repairs_completed,
+        summary.invariant_violations,
+        report.to_json().replace('\n', "\n  "),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+
+    eprint!("{}", report.render());
+    eprintln!("alive at shutdown: {}/{}", summary.alive_nodes, summary.nodes);
+    println!("{json}");
+
+    if report.lost_acked_writes > 0 || report.value_mismatches > 0 {
+        eprintln!(
+            "FAIL: {} lost acked writes, {} value mismatches",
+            report.lost_acked_writes, report.value_mismatches
+        );
+        std::process::exit(1);
+    }
+    if summary.alive_nodes != summary.nodes - 1 {
+        eprintln!("FAIL: expected exactly one dead server, {} alive", summary.alive_nodes);
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,7 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 10] = [
+const KNOWN: [&str; 17] = [
     "policy",
     "scenario",
     "epochs",
@@ -27,6 +27,13 @@ const KNOWN: [&str; 10] = [
     "trace",
     "faults",
     "fault-seed",
+    "config",
+    "cluster-config",
+    "connect",
+    "addr-file",
+    "report",
+    "duration-secs",
+    "ops",
 ];
 
 /// Valueless options, stored as `"true"` when present.
@@ -126,7 +133,8 @@ pub fn fault_plan(opts: &Options) -> Result<FaultPlan> {
     Ok(plan)
 }
 
-fn numeric(opts: &Options, key: &'static str, default: u64) -> Result<u64> {
+/// A `--key N` numeric option with a default.
+pub fn numeric(opts: &Options, key: &'static str, default: u64) -> Result<u64> {
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| RfhError::InvalidConfig {

@@ -3,10 +3,11 @@
 use crate::args::{self, Options};
 use rfh_core::PolicyKind;
 use rfh_experiments::table1 as table1_mod;
-use rfh_obs::{MetricsRegistry, Recorder, TraceRecorder};
+use rfh_obs::{Metric, MetricsRegistry, Recorder, TraceRecorder};
+use rfh_serve::{run_loadgen, Cluster, ClusterConfig, LoadGenConfig, ServeClient};
 use rfh_sim::{report, run_comparison_observed, ObsOptions, SimParams, Simulation};
 use rfh_topology::paper_topology;
-use rfh_types::{Result, SimConfig};
+use rfh_types::{Result, RfhError, SimConfig};
 use rfh_workload::{EventSchedule, Trace, WorkloadGenerator};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -125,6 +126,14 @@ pub fn run_one(opts: &Options) -> Result<String> {
     for (name, metric) in SUMMARY_METRICS {
         let _ = writeln!(out, "  {name:24} {:>12.3}", tail(&result, metric));
     }
+    let counter = |name: &str| match registry.get(name) {
+        Some(Metric::Counter(v)) => *v,
+        _ => 0,
+    };
+    out.push_str("robustness:\n");
+    let _ = writeln!(out, "  repairs_total            {:>12}", counter("sim.repairs.completed"));
+    let _ = writeln!(out, "  dead_letters_total       {:>12}", counter("sim.repairs.dead_letters"));
+    let _ = writeln!(out, "  invariant_violations     {:>12}", counter("sim.invariant_violations"));
     if let Some(profile) = &result.profile {
         out.push_str("\nper-phase epoch budget:\n");
         out.push_str(&profile.render());
@@ -275,6 +284,84 @@ pub fn trace(opts: &Options) -> Result<String> {
     }
 }
 
+fn cluster_config(opts: &Options, key: &'static str) -> Result<ClusterConfig> {
+    match opts.get(key) {
+        None => Ok(ClusterConfig::default()),
+        Some(path) => ClusterConfig::from_toml_str(&std::fs::read_to_string(path)?),
+    }
+}
+
+/// `rfh serve`: run a live loopback cluster under the online RFH
+/// control loop for `--duration-secs` (default 10), then shut down
+/// cleanly and print the serving summary. `--addr-file FILE` writes the
+/// node address list a concurrent `rfh loadgen --connect FILE` needs;
+/// `--faults PLAN.toml` runs a chaos plan against the live cluster
+/// (one control tick = one plan epoch).
+pub fn serve(opts: &Options) -> Result<String> {
+    let cfg = cluster_config(opts, "config")?;
+    let faults = args::fault_plan(opts)?;
+    let duration = args::numeric(opts, "duration-secs", 10)?;
+    let cluster = Cluster::start(&cfg, faults)?;
+    let mut out = format!(
+        "cluster up: {} nodes, {} partitions, control tick every {} ms\n",
+        cfg.nodes(),
+        cfg.partitions,
+        cfg.control_interval_ms
+    );
+    if let Some(path) = opts.get("addr-file") {
+        std::fs::write(path, cluster.render_addr_file())?;
+        let _ = writeln!(out, "node addresses written to {path}");
+    }
+    std::thread::sleep(std::time::Duration::from_secs(duration));
+    let summary = cluster.shutdown()?;
+    let _ = writeln!(out, "served {} seconds; clean shutdown\n", duration);
+    out.push_str(&summary.render());
+    Ok(out)
+}
+
+/// `rfh loadgen`: drive a cluster and report throughput, latency
+/// percentiles, and the acked-write verification. With
+/// `--connect ADDRFILE` it targets a cluster started by `rfh serve
+/// --addr-file`; without it, it self-hosts one (shaped by
+/// `--cluster-config`, chaos from `--faults`) for the duration of the
+/// run. `--config` is the loadgen TOML, `--ops N` overrides the op
+/// count, `--report FILE` writes the JSON report.
+pub fn loadgen(opts: &Options) -> Result<String> {
+    let mut lg = match opts.get("config") {
+        None => LoadGenConfig::default(),
+        Some(path) => LoadGenConfig::from_toml_str(&std::fs::read_to_string(path)?)?,
+    };
+    lg.ops = args::numeric(opts, "ops", lg.ops)?;
+    let (report, hosted) = match opts.get("connect") {
+        Some(path) => {
+            let nodes = ServeClient::parse_addr_file(&std::fs::read_to_string(path)?)?;
+            (run_loadgen(&lg, &nodes)?, None)
+        }
+        None => {
+            let cfg = cluster_config(opts, "cluster-config")?;
+            let cluster = Cluster::start(&cfg, args::fault_plan(opts)?)?;
+            let report = run_loadgen(&lg, cluster.node_infos());
+            let summary = cluster.shutdown()?;
+            (report?, Some(summary))
+        }
+    };
+    let mut out = report.render();
+    if report.lost_acked_writes > 0 || report.value_mismatches > 0 {
+        return Err(RfhError::Simulation(format!(
+            "acknowledged writes were lost or corrupted:\n{out}"
+        )));
+    }
+    if let Some(path) = opts.get("report") {
+        std::fs::write(path, report.to_json())?;
+        let _ = writeln!(out, "JSON report written to {path}");
+    }
+    if let Some(summary) = hosted {
+        out.push_str("\nself-hosted cluster summary:\n");
+        out.push_str(&summary.render());
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +506,62 @@ mod tests {
         let again =
             run_one(&opts(&format!("run --epochs 20 --faults {}", plan.display()))).unwrap();
         assert_eq!(chaos, again, "seeded chaos runs are reproducible");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_prints_robustness_counters() {
+        let out = run_one(&opts("run --epochs 8")).unwrap();
+        assert!(out.contains("robustness:"));
+        assert!(out.contains("repairs_total"));
+        assert!(out.contains("dead_letters_total"));
+        assert!(out.contains("invariant_violations"));
+    }
+
+    #[test]
+    fn serve_and_loadgen_roundtrip_through_addr_file() {
+        let dir = std::env::temp_dir().join(format!("rfh_cli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cluster_toml = dir.join("cluster.toml");
+        std::fs::write(
+            &cluster_toml,
+            "servers_per_rack = 1\npartitions = 16\ncontrol_interval_ms = 50\n",
+        )
+        .unwrap();
+        let loadgen_toml = dir.join("loadgen.toml");
+        std::fs::write(&loadgen_toml, "workers = 4\nops = 300\nkeys = 100\nvalue_bytes = 32\n")
+            .unwrap();
+        let report_json = dir.join("report.json");
+
+        // Self-hosted loadgen: one command brings the cluster up, drives
+        // it, verifies, and tears it down.
+        let out = loadgen(&opts(&format!(
+            "loadgen --cluster-config {} --config {} --report {}",
+            cluster_toml.display(),
+            loadgen_toml.display(),
+            report_json.display()
+        )))
+        .unwrap();
+        assert!(out.contains("lost 0"), "output:\n{out}");
+        assert!(out.contains("self-hosted cluster summary"));
+        assert!(out.contains("invariant_violations  0"));
+        let json = std::fs::read_to_string(&report_json).unwrap();
+        assert!(json.contains("\"lost_acked_writes\": 0"));
+        assert!(json.contains("\"p99\""));
+
+        // serve writes an addr file the client parser accepts.
+        let addr_file = dir.join("nodes.txt");
+        let out = serve(&opts(&format!(
+            "serve --config {} --duration-secs 1 --addr-file {}",
+            cluster_toml.display(),
+            addr_file.display()
+        )))
+        .unwrap();
+        assert!(out.contains("cluster up: 20 nodes"));
+        assert!(out.contains("clean shutdown"));
+        let nodes =
+            ServeClient::parse_addr_file(&std::fs::read_to_string(&addr_file).unwrap()).unwrap();
+        assert_eq!(nodes.len(), 20);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

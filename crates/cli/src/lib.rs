@@ -17,6 +17,11 @@
 //!             [--faults PLAN.toml] [--fault-seed N]
 //! rfh trace [--epochs N] [--seed N]           dump a workload trace as CSV
 //!           [--scenario S] [--out FILE]
+//! rfh serve [--config C.toml] [--faults P.toml] live loopback cluster under the
+//!           [--duration-secs N] [--addr-file F]  online RFH control loop
+//! rfh loadgen [--connect F | --cluster-config C] drive a cluster, measure
+//!             [--config L.toml] [--ops N]        latency, verify acked writes
+//!             [--report OUT.json]
 //! rfh help                                    this text
 //! ```
 //!
@@ -42,6 +47,8 @@ pub fn run(argv: &[String]) -> Result<String, RfhError> {
         "compare" => commands::compare(&opts),
         "trace" => commands::trace(&opts),
         "replay" => commands::replay(&opts),
+        "serve" => commands::serve(&opts),
+        "loadgen" => commands::loadgen(&opts),
         "help" | "" => Ok(HELP.to_string()),
         other => Err(RfhError::InvalidConfig {
             parameter: "command",
@@ -64,6 +71,8 @@ COMMANDS:
     compare       run all four policies over an identical workload
     trace         generate a workload trace and dump it as CSV
     replay        run a policy against a recorded trace (--trace FILE)
+    serve         run a live loopback cluster (TCP nodes + online RFH loop)
+    loadgen       drive a cluster with load; report latency, verify acked writes
     help          show this text
 
 COMMON OPTIONS:
@@ -82,6 +91,16 @@ COMMON OPTIONS:
                       partitions, gray failures, background churn (run, compare)
     --fault-seed N    override the plan file's chaos seed (replay the same
                       schedule under different churn)
+
+SERVING OPTIONS:
+    --config FILE         cluster TOML (serve) / loadgen TOML (loadgen)
+    --duration-secs N     how long `serve` stays up             (default 10)
+    --addr-file FILE      `serve` writes node addresses here for clients
+    --connect FILE        `loadgen` targets the cluster behind this addr file;
+                          without it, loadgen self-hosts a cluster
+    --cluster-config FILE cluster TOML for the self-hosted loadgen cluster
+    --ops N               override the loadgen operation count
+    --report FILE         write the loadgen JSON report (BENCH_serve format)
 
 The figure-by-figure harness lives in the experiment binaries:
     cargo run -p rfh-experiments --bin all | fig3..fig10 | table1 | ablations | sla

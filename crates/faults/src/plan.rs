@@ -32,12 +32,14 @@
 //! heal_partition = true
 //! ```
 //!
-//! The parser is hand-rolled (the workspace vendors no TOML crate) and
-//! accepts exactly the constructs above: top-level `key = value`, `[churn]`
-//! tables, `[[at]]` array-of-table blocks, integer / float / boolean
-//! scalars and flat numeric arrays, with `#` comments. That subset is
-//! valid TOML, so plans stay readable by standard tooling.
+//! Syntax is handled by the workspace's shared TOML-subset reader
+//! ([`rfh_types::toml`]): top-level `key = value`, `[churn]` tables,
+//! `[[at]]` array-of-table blocks, integer / float / boolean scalars and
+//! flat numeric arrays, with `#` comments. That subset is valid TOML, so
+//! plans stay readable by standard tooling. This module owns the
+//! schema: which tables and keys exist and what their domains are.
 
+use rfh_types::toml::{self, BlockKind, TomlBlock, TomlValue};
 use rfh_types::{DatacenterId, RackId, Result, RfhError, RoomId, ServerId};
 
 /// One fault (or healing) applied at a scheduled epoch.
@@ -148,121 +150,14 @@ impl FaultPlan {
 }
 
 // ---------------------------------------------------------------------
-// TOML-subset parser
+// Schema validation over the shared TOML-subset reader
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Int(i64),
-    Float(f64),
-    Bool(bool),
-    Array(Vec<f64>),
-}
-
-impl Value {
-    fn as_f64(&self) -> Option<f64> {
-        match *self {
-            Value::Int(i) => Some(i as f64),
-            Value::Float(f) => Some(f),
-            _ => None,
-        }
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        match *self {
-            Value::Int(i) if i >= 0 => Some(i as u64),
-            _ => None,
-        }
-    }
-
-    fn as_ids(&self) -> Option<Vec<u32>> {
-        match self {
-            Value::Array(xs) => xs
-                .iter()
-                .map(|&x| {
-                    (x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64).then_some(x as u32)
-                })
-                .collect(),
-            _ => None,
-        }
-    }
-}
-
 fn err(line_no: usize, reason: impl Into<String>) -> RfhError {
-    RfhError::InvalidConfig {
-        parameter: "fault_plan",
-        reason: format!("line {line_no}: {}", reason.into()),
-    }
+    toml::config_err("fault_plan", line_no, reason)
 }
 
-fn parse_scalar(raw: &str, line_no: usize) -> Result<Value> {
-    let raw = raw.trim();
-    if raw == "true" {
-        return Ok(Value::Bool(true));
-    }
-    if raw == "false" {
-        return Ok(Value::Bool(false));
-    }
-    if let Some(inner) = raw.strip_prefix('[') {
-        let inner = inner
-            .strip_suffix(']')
-            .ok_or_else(|| err(line_no, "unterminated array (arrays must be single-line)"))?;
-        let mut xs = Vec::new();
-        for part in inner.split(',') {
-            let part = part.trim();
-            if part.is_empty() {
-                continue;
-            }
-            xs.push(
-                part.parse::<f64>()
-                    .map_err(|_| err(line_no, format!("bad array element {part:?}")))?,
-            );
-        }
-        return Ok(Value::Array(xs));
-    }
-    if let Ok(i) = raw.parse::<i64>() {
-        return Ok(Value::Int(i));
-    }
-    if let Ok(f) = raw.parse::<f64>() {
-        return Ok(Value::Float(f));
-    }
-    Err(err(line_no, format!("unparseable value {raw:?}")))
-}
-
-/// One `[[at]]` block being accumulated.
-#[derive(Default)]
-struct AtBlock {
-    line_no: usize,
-    epoch: Option<u64>,
-    action: Option<FaultAction>,
-}
-
-impl AtBlock {
-    fn set_action(&mut self, a: FaultAction, line_no: usize) -> Result<()> {
-        if self.action.is_some() {
-            return Err(err(line_no, "an [[at]] block takes exactly one action"));
-        }
-        self.action = Some(a);
-        Ok(())
-    }
-
-    fn finish(self, out: &mut FaultPlan) -> Result<()> {
-        let epoch = self.epoch.ok_or_else(|| err(self.line_no, "[[at]] block missing `epoch`"))?;
-        let action =
-            self.action.ok_or_else(|| err(self.line_no, "[[at]] block missing an action"))?;
-        out.scheduled.push(ScheduledFault { epoch, action });
-        Ok(())
-    }
-}
-
-#[derive(PartialEq)]
-enum Section {
-    Top,
-    Churn,
-    At,
-}
-
-fn ids_of(v: &Value, n: usize, key: &str, line_no: usize) -> Result<Vec<u32>> {
+fn ids_of(v: &TomlValue, n: usize, key: &str, line_no: usize) -> Result<Vec<u32>> {
     let ids = v.as_ids().ok_or_else(|| err(line_no, format!("{key} wants an id array")))?;
     if n != 0 && ids.len() != n {
         return Err(err(line_no, format!("{key} wants exactly {n} ids, got {}", ids.len())));
@@ -270,207 +165,199 @@ fn ids_of(v: &Value, n: usize, key: &str, line_no: usize) -> Result<Vec<u32>> {
     Ok(ids)
 }
 
-fn parse(text: &str) -> Result<FaultPlan> {
-    let mut plan = FaultPlan::default();
-    let mut section = Section::Top;
-    let mut at: Option<AtBlock> = None;
-    let mut churn: Option<(ChurnConfig, usize)> = None;
-
-    let finish_at = |at: &mut Option<AtBlock>, plan: &mut FaultPlan| -> Result<()> {
-        if let Some(block) = at.take() {
-            block.finish(plan)?;
+fn parse_top(block: &TomlBlock, plan: &mut FaultPlan) -> Result<()> {
+    for item in &block.items {
+        match item.key.as_str() {
+            "seed" => {
+                plan.seed = item
+                    .value
+                    .as_u64()
+                    .ok_or_else(|| err(item.line, "seed wants a non-negative int"))?
+            }
+            key => return Err(err(item.line, format!("unknown top-level key {key:?}"))),
         }
+    }
+    Ok(())
+}
+
+fn parse_churn(block: &TomlBlock) -> Result<ChurnConfig> {
+    let mut c = ChurnConfig { mtbf: 0.0, mttr: 1.0, start: 0, end: None };
+    for item in &block.items {
+        let (val, line_no) = (&item.value, item.line);
+        match item.key.as_str() {
+            "mtbf" => {
+                c.mtbf = val
+                    .as_f64()
+                    .filter(|&x| x >= 1.0)
+                    .ok_or_else(|| err(line_no, "mtbf wants a number ≥ 1"))?
+            }
+            "mttr" => {
+                c.mttr = val
+                    .as_f64()
+                    .filter(|&x| x >= 1.0)
+                    .ok_or_else(|| err(line_no, "mttr wants a number ≥ 1"))?
+            }
+            "start" => {
+                c.start = val.as_u64().ok_or_else(|| err(line_no, "start wants an epoch"))?
+            }
+            "end" => c.end = Some(val.as_u64().ok_or_else(|| err(line_no, "end wants an epoch"))?),
+            key => return Err(err(line_no, format!("unknown [churn] key {key:?}"))),
+        }
+    }
+    if c.mtbf < 1.0 {
+        return Err(err(block.line, "[churn] requires `mtbf`"));
+    }
+    Ok(c)
+}
+
+fn parse_at(block: &TomlBlock) -> Result<ScheduledFault> {
+    let mut epoch: Option<u64> = None;
+    let mut action: Option<FaultAction> = None;
+    let set_action = |a: FaultAction, action: &mut Option<FaultAction>, line_no| {
+        if action.is_some() {
+            return Err(err(line_no, "an [[at]] block takes exactly one action"));
+        }
+        *action = Some(a);
         Ok(())
     };
-
-    for (idx, raw_line) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw_line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        if line == "[[at]]" {
-            finish_at(&mut at, &mut plan)?;
-            at = Some(AtBlock { line_no, ..AtBlock::default() });
-            section = Section::At;
-            continue;
-        }
-        if line == "[churn]" {
-            finish_at(&mut at, &mut plan)?;
-            if churn.is_some() {
-                return Err(err(line_no, "duplicate [churn] table"));
+    for item in &block.items {
+        let (key, val, line_no) = (item.key.as_str(), &item.value, item.line);
+        match key {
+            "epoch" => {
+                epoch = Some(val.as_u64().ok_or_else(|| err(line_no, "epoch wants an int"))?)
             }
-            churn = Some((ChurnConfig { mtbf: 0.0, mttr: 1.0, start: 0, end: None }, line_no));
-            section = Section::Churn;
-            continue;
-        }
-        if line.starts_with('[') {
-            return Err(err(line_no, format!("unknown table {line:?}")));
-        }
-        let (key, raw_val) = line
-            .split_once('=')
-            .ok_or_else(|| err(line_no, format!("expected `key = value`, got {line:?}")))?;
-        let key = key.trim();
-        let val = parse_scalar(raw_val, line_no)?;
-        match section {
-            Section::Top => match key {
-                "seed" => {
-                    plan.seed =
-                        val.as_u64().ok_or_else(|| err(line_no, "seed wants a non-negative int"))?
-                }
-                _ => return Err(err(line_no, format!("unknown top-level key {key:?}"))),
-            },
-            Section::Churn => {
-                let c = &mut churn.as_mut().expect("section implies table").0;
-                match key {
-                    "mtbf" => {
-                        c.mtbf = val
-                            .as_f64()
-                            .filter(|&x| x >= 1.0)
-                            .ok_or_else(|| err(line_no, "mtbf wants a number ≥ 1"))?
-                    }
-                    "mttr" => {
-                        c.mttr = val
-                            .as_f64()
-                            .filter(|&x| x >= 1.0)
-                            .ok_or_else(|| err(line_no, "mttr wants a number ≥ 1"))?
-                    }
-                    "start" => {
-                        c.start =
-                            val.as_u64().ok_or_else(|| err(line_no, "start wants an epoch"))?
-                    }
-                    "end" => {
-                        c.end =
-                            Some(val.as_u64().ok_or_else(|| err(line_no, "end wants an epoch"))?)
-                    }
-                    _ => return Err(err(line_no, format!("unknown [churn] key {key:?}"))),
-                }
+            "fail_dc" | "recover_dc" => {
+                let id =
+                    val.as_u64().ok_or_else(|| err(line_no, format!("{key} wants a dc id")))?;
+                let dc = DatacenterId::new(id as u32);
+                let a = if key == "fail_dc" {
+                    FaultAction::FailDatacenter(dc)
+                } else {
+                    FaultAction::RecoverDatacenter(dc)
+                };
+                set_action(a, &mut action, line_no)?;
             }
-            Section::At => {
-                let block = at.as_mut().expect("section implies block");
-                match key {
-                    "epoch" => {
-                        block.epoch =
-                            Some(val.as_u64().ok_or_else(|| err(line_no, "epoch wants an int"))?)
-                    }
-                    "fail_dc" | "recover_dc" => {
-                        let id = val
-                            .as_u64()
-                            .ok_or_else(|| err(line_no, format!("{key} wants a dc id")))?;
-                        let dc = DatacenterId::new(id as u32);
-                        let a = if key == "fail_dc" {
-                            FaultAction::FailDatacenter(dc)
-                        } else {
-                            FaultAction::RecoverDatacenter(dc)
-                        };
-                        block.set_action(a, line_no)?;
-                    }
-                    "fail_room" | "recover_room" => {
-                        let ids = ids_of(&val, 2, key, line_no)?;
-                        let (dc, room) = (DatacenterId::new(ids[0]), RoomId::new(ids[1]));
-                        let a = if key == "fail_room" {
-                            FaultAction::FailRoom(dc, room)
-                        } else {
-                            FaultAction::RecoverRoom(dc, room)
-                        };
-                        block.set_action(a, line_no)?;
-                    }
-                    "fail_rack" | "recover_rack" => {
-                        let ids = ids_of(&val, 3, key, line_no)?;
-                        let (dc, room, rack) =
-                            (DatacenterId::new(ids[0]), RoomId::new(ids[1]), RackId::new(ids[2]));
-                        let a = if key == "fail_rack" {
-                            FaultAction::FailRack(dc, room, rack)
-                        } else {
-                            FaultAction::RecoverRack(dc, room, rack)
-                        };
-                        block.set_action(a, line_no)?;
-                    }
-                    "fail_servers" | "recover_servers" => {
-                        let ids =
-                            ids_of(&val, 0, key, line_no)?.into_iter().map(ServerId::new).collect();
-                        let a = if key == "fail_servers" {
-                            FaultAction::FailServers(ids)
-                        } else {
-                            FaultAction::RecoverServers(ids)
-                        };
-                        block.set_action(a, line_no)?;
-                    }
-                    "fail_random" => {
-                        let n = val
-                            .as_u64()
-                            .ok_or_else(|| err(line_no, "fail_random wants a count"))?;
-                        block.set_action(FaultAction::FailRandom(n as u32), line_no)?;
-                    }
-                    "link_down" | "link_up" => {
-                        let ids = ids_of(&val, 2, key, line_no)?;
-                        let (a_dc, b_dc) = (DatacenterId::new(ids[0]), DatacenterId::new(ids[1]));
-                        let a = if key == "link_down" {
-                            FaultAction::LinkDown(a_dc, b_dc)
-                        } else {
-                            FaultAction::LinkUp(a_dc, b_dc)
-                        };
-                        block.set_action(a, line_no)?;
-                    }
-                    "link_latency" => {
-                        let xs = match &val {
-                            Value::Array(xs) if xs.len() == 3 => xs,
-                            _ => return Err(err(line_no, "link_latency wants [dc, dc, factor]")),
-                        };
-                        let ids = ids_of(&Value::Array(xs[..2].to_vec()), 2, key, line_no)?;
-                        block.set_action(
-                            FaultAction::LinkLatency(
-                                DatacenterId::new(ids[0]),
-                                DatacenterId::new(ids[1]),
-                                xs[2],
-                            ),
+            "fail_room" | "recover_room" => {
+                let ids = ids_of(val, 2, key, line_no)?;
+                let (dc, room) = (DatacenterId::new(ids[0]), RoomId::new(ids[1]));
+                let a = if key == "fail_room" {
+                    FaultAction::FailRoom(dc, room)
+                } else {
+                    FaultAction::RecoverRoom(dc, room)
+                };
+                set_action(a, &mut action, line_no)?;
+            }
+            "fail_rack" | "recover_rack" => {
+                let ids = ids_of(val, 3, key, line_no)?;
+                let (dc, room, rack) =
+                    (DatacenterId::new(ids[0]), RoomId::new(ids[1]), RackId::new(ids[2]));
+                let a = if key == "fail_rack" {
+                    FaultAction::FailRack(dc, room, rack)
+                } else {
+                    FaultAction::RecoverRack(dc, room, rack)
+                };
+                set_action(a, &mut action, line_no)?;
+            }
+            "fail_servers" | "recover_servers" => {
+                let ids = ids_of(val, 0, key, line_no)?.into_iter().map(ServerId::new).collect();
+                let a = if key == "fail_servers" {
+                    FaultAction::FailServers(ids)
+                } else {
+                    FaultAction::RecoverServers(ids)
+                };
+                set_action(a, &mut action, line_no)?;
+            }
+            "fail_random" => {
+                let n = val.as_u64().ok_or_else(|| err(line_no, "fail_random wants a count"))?;
+                set_action(FaultAction::FailRandom(n as u32), &mut action, line_no)?;
+            }
+            "link_down" | "link_up" => {
+                let ids = ids_of(val, 2, key, line_no)?;
+                let (a_dc, b_dc) = (DatacenterId::new(ids[0]), DatacenterId::new(ids[1]));
+                let a = if key == "link_down" {
+                    FaultAction::LinkDown(a_dc, b_dc)
+                } else {
+                    FaultAction::LinkUp(a_dc, b_dc)
+                };
+                set_action(a, &mut action, line_no)?;
+            }
+            "link_latency" => {
+                let xs = match val {
+                    TomlValue::Array(xs) if xs.len() == 3 => xs,
+                    _ => return Err(err(line_no, "link_latency wants [dc, dc, factor]")),
+                };
+                let ids = ids_of(&TomlValue::Array(xs[..2].to_vec()), 2, key, line_no)?;
+                set_action(
+                    FaultAction::LinkLatency(
+                        DatacenterId::new(ids[0]),
+                        DatacenterId::new(ids[1]),
+                        xs[2],
+                    ),
+                    &mut action,
+                    line_no,
+                )?;
+            }
+            "partition" => {
+                let ids =
+                    ids_of(val, 0, key, line_no)?.into_iter().map(DatacenterId::new).collect();
+                set_action(FaultAction::Partition(ids), &mut action, line_no)?;
+            }
+            "heal_partition" => {
+                if *val != TomlValue::Bool(true) {
+                    return Err(err(line_no, "heal_partition wants `true`"));
+                }
+                set_action(FaultAction::HealPartition, &mut action, line_no)?;
+            }
+            "message_loss" => {
+                let p = val
+                    .as_f64()
+                    .filter(|&p| (0.0..=1.0).contains(&p))
+                    .ok_or_else(|| err(line_no, "message_loss wants p in [0, 1]"))?;
+                set_action(FaultAction::MessageLoss(p), &mut action, line_no)?;
+            }
+            "bandwidth" => {
+                let xs = match val {
+                    TomlValue::Array(xs) if xs.len() == 2 => xs,
+                    _ => {
+                        return Err(err(
                             line_no,
-                        )?;
+                            "bandwidth wants [replication_factor, migration_factor]",
+                        ))
                     }
-                    "partition" => {
-                        let ids = ids_of(&val, 0, key, line_no)?
-                            .into_iter()
-                            .map(DatacenterId::new)
-                            .collect();
-                        block.set_action(FaultAction::Partition(ids), line_no)?;
-                    }
-                    "heal_partition" => {
-                        if val != Value::Bool(true) {
-                            return Err(err(line_no, "heal_partition wants `true`"));
-                        }
-                        block.set_action(FaultAction::HealPartition, line_no)?;
-                    }
-                    "message_loss" => {
-                        let p = val
-                            .as_f64()
-                            .filter(|&p| (0.0..=1.0).contains(&p))
-                            .ok_or_else(|| err(line_no, "message_loss wants p in [0, 1]"))?;
-                        block.set_action(FaultAction::MessageLoss(p), line_no)?;
-                    }
-                    "bandwidth" => {
-                        let xs = match &val {
-                            Value::Array(xs) if xs.len() == 2 => xs,
-                            _ => {
-                                return Err(err(
-                                    line_no,
-                                    "bandwidth wants [replication_factor, migration_factor]",
-                                ))
-                            }
-                        };
-                        block.set_action(FaultAction::Bandwidth(xs[0], xs[1]), line_no)?;
-                    }
-                    _ => return Err(err(line_no, format!("unknown [[at]] key {key:?}"))),
+                };
+                set_action(FaultAction::Bandwidth(xs[0], xs[1]), &mut action, line_no)?;
+            }
+            _ => return Err(err(line_no, format!("unknown [[at]] key {key:?}"))),
+        }
+    }
+    let epoch = epoch.ok_or_else(|| err(block.line, "[[at]] block missing `epoch`"))?;
+    let action = action.ok_or_else(|| err(block.line, "[[at]] block missing an action"))?;
+    Ok(ScheduledFault { epoch, action })
+}
+
+fn parse(text: &str) -> Result<FaultPlan> {
+    let doc = toml::parse_toml(text, "fault_plan")?;
+    let mut plan = FaultPlan::default();
+    let mut churn: Option<ChurnConfig> = None;
+    for block in &doc.blocks {
+        match (block.kind, block.name.as_str()) {
+            (BlockKind::Top, _) => parse_top(block, &mut plan)?,
+            (BlockKind::Table, "churn") => {
+                if churn.is_some() {
+                    return Err(err(block.line, "duplicate [churn] table"));
                 }
+                churn = Some(parse_churn(block)?);
+            }
+            (BlockKind::ArrayOfTables, "at") => plan.scheduled.push(parse_at(block)?),
+            (BlockKind::Table, name) => {
+                return Err(err(block.line, format!("unknown table {:?}", format!("[{name}]"))))
+            }
+            (BlockKind::ArrayOfTables, name) => {
+                return Err(err(block.line, format!("unknown table {:?}", format!("[[{name}]]"))))
             }
         }
     }
-    finish_at(&mut at, &mut plan)?;
-    if let Some((c, line_no)) = churn {
-        if c.mtbf < 1.0 {
-            return Err(err(line_no, "[churn] requires `mtbf`"));
-        }
-        plan.churn = Some(c);
-    }
+    plan.churn = churn;
     // Deterministic application order: epoch, then listing order.
     plan.scheduled.sort_by_key(|s| s.epoch);
     Ok(plan)

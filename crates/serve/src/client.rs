@@ -1,0 +1,169 @@
+//! A client handle for a running cluster.
+//!
+//! Each [`ServeClient`] models one front-end in a specific datacenter:
+//! it keeps a single connection to a coordinator node *in that
+//! datacenter* (requests enter the system locally, as the paper's
+//! traffic model assumes) and fails over to the next local node when
+//! the connection breaks or the node refuses service.
+
+use crate::cluster::NodeInfo;
+use crate::wire::{AckStatus, Conn, Frame};
+use rfh_types::{Result, RfhError};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Connect + read timeout for client requests. Generous: a request can
+/// sit behind a partition transfer holding the lock.
+const CLIENT_TIMEOUT: Duration = Duration::from_millis(5_000);
+
+/// Attempts per operation before giving up (each attempt may rotate to
+/// a different coordinator).
+const MAX_TRIES: usize = 8;
+
+/// The outcome of a read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// The key exists with this version and value.
+    Found {
+        /// Stored write version.
+        seq: u64,
+        /// Stored bytes.
+        value: Vec<u8>,
+    },
+    /// No replica holds the key.
+    NotFound,
+}
+
+/// One datacenter-local client connection with failover.
+pub struct ServeClient {
+    /// Coordinator candidates, all in the client's datacenter.
+    addrs: Vec<SocketAddr>,
+    /// Index into `addrs` of the current coordinator.
+    cursor: usize,
+    conn: Option<Conn<TcpStream>>,
+    /// The datacenter this client issues from.
+    dc: u32,
+}
+
+impl ServeClient {
+    /// A client homed in `dc`, coordinating through that datacenter's
+    /// nodes. `offset` staggers which local node different clients pick
+    /// first so load spreads.
+    pub fn new(nodes: &[NodeInfo], dc: u32, offset: usize) -> Result<Self> {
+        let addrs: Vec<SocketAddr> = nodes.iter().filter(|n| n.dc == dc).map(|n| n.addr).collect();
+        if addrs.is_empty() {
+            return Err(RfhError::Topology(format!("no nodes in datacenter {dc}")));
+        }
+        let cursor = offset % addrs.len();
+        Ok(ServeClient { addrs, cursor, conn: None, dc })
+    }
+
+    /// Parse the address-file format `Cluster::render_addr_file` emits
+    /// (`server dc ip:port` per line) back into node infos.
+    pub fn parse_addr_file(text: &str) -> Result<Vec<NodeInfo>> {
+        let bad = |line: &str| RfhError::Io(format!("bad addr line {line:?}"));
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|line| {
+                let mut parts = line.split_whitespace();
+                let server: u32 =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad(line))?;
+                let dc: u32 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad(line))?;
+                let addr: SocketAddr =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad(line))?;
+                Ok(NodeInfo { server: rfh_types::ServerId::new(server), dc, addr })
+            })
+            .collect()
+    }
+
+    /// The datacenter this client issues from.
+    pub fn datacenter(&self) -> u32 {
+        self.dc
+    }
+
+    /// Read `key`. Retries through coordinator failover; errors only
+    /// when every attempt failed.
+    pub fn get(&mut self, key: u64) -> Result<GetOutcome> {
+        let ack = self.request(&Frame::Get { key })?;
+        match ack {
+            Frame::Ack { status: AckStatus::Ok, seq, value } => {
+                Ok(GetOutcome::Found { seq, value })
+            }
+            Frame::Ack { status: AckStatus::NotFound, .. } => Ok(GetOutcome::NotFound),
+            _ => Err(RfhError::Io("read unavailable".into())),
+        }
+    }
+
+    /// Write `key = value` at version `seq`. Returns only after a
+    /// coordinator acknowledged the write on every live replica; safe
+    /// to retry with the same `seq` (idempotent last-writer-wins).
+    pub fn put(&mut self, key: u64, seq: u64, value: &[u8]) -> Result<()> {
+        match self.request(&Frame::Put { key, seq, value: value.to_vec() })? {
+            Frame::Ack { status: AckStatus::Ok, .. } => Ok(()),
+            _ => Err(RfhError::Io("write unavailable".into())),
+        }
+    }
+
+    /// One request with retry + failover. An `Unavailable` ack rotates
+    /// coordinators and backs off briefly — during a node kill the
+    /// route row may be mid-repair.
+    fn request(&mut self, frame: &Frame) -> Result<Frame> {
+        let mut last_err = String::from("no attempt made");
+        for attempt in 0..MAX_TRIES {
+            match self.try_once(frame) {
+                Ok(Frame::Ack { status: AckStatus::Unavailable, .. }) => {
+                    last_err = "ack: unavailable".into();
+                    self.rotate();
+                }
+                Ok(ack) => return Ok(ack),
+                Err(e) => {
+                    last_err = e.to_string();
+                    self.rotate();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10 << attempt.min(5)));
+        }
+        Err(RfhError::Io(format!("request failed after {MAX_TRIES} tries: {last_err}")))
+    }
+
+    fn try_once(&mut self, frame: &Frame) -> io::Result<Frame> {
+        if self.conn.is_none() {
+            let addr = self.addrs[self.cursor];
+            let stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
+            stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(Conn::new(stream));
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        match conn.roundtrip(frame) {
+            Ok(ack) => Ok(ack),
+            Err(e) => {
+                self.conn = None; // broken or refused: reconnect next try
+                Err(e)
+            }
+        }
+    }
+
+    fn rotate(&mut self) {
+        self.conn = None;
+        self.cursor = (self.cursor + 1) % self.addrs.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_file_roundtrip() {
+        let text = "0 0 127.0.0.1:4000\n7 3 127.0.0.1:4007\n\n";
+        let nodes = ServeClient::parse_addr_file(text).unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[1].server.0, 7);
+        assert_eq!(nodes[1].dc, 3);
+        assert_eq!(nodes[1].addr, "127.0.0.1:4007".parse().unwrap());
+        assert!(ServeClient::parse_addr_file("nonsense").is_err());
+        assert!(ServeClient::new(&nodes, 9, 0).is_err(), "unknown datacenter");
+    }
+}

@@ -1,0 +1,372 @@
+//! The live cluster: shared state, startup, and clean shutdown.
+//!
+//! [`Cluster::start`] builds the scaled paper topology, places
+//! partitions on the consistent-hash ring, floor-replicates them to
+//! `r_min` copies (so a single-server kill never strands a partition),
+//! then turns every topology server into a node thread behind its own
+//! loopback TCP listener and starts the online control loop.
+//!
+//! ## Shared state and locking
+//!
+//! The data plane (node threads) and the control plane (the RFH loop)
+//! meet in [`Shared`]:
+//!
+//! * `alive[i]` — fail-stop flags; a killed node accepts connections
+//!   and immediately drops them, and serves nothing.
+//! * `routes` — the published replica map (partition → servers, holder
+//!   first), read per request, rewritten by the control loop.
+//! * `locks[p]` — one mutex per partition. A coordinator holds it for
+//!   the whole write-all-replicas sequence; the control loop holds it
+//!   while copying partition data and republishing the route. This is
+//!   what makes "zero lost acknowledged writes" provable: no write can
+//!   slip between a transfer's copy and its route flip.
+//! * `load` — the live `q_ijt` counters ([`rfh_workload::SharedLoad`])
+//!   the control loop drains into the real `TrafficEngine`.
+//!
+//! Lock order is always partition lock → store mutex; forward handlers
+//! touch only their own store, so no cycle exists.
+
+use crate::config::ClusterConfig;
+use crate::control::{ControlStats, Controller};
+use crate::node;
+use crate::store::NodeStore;
+use crate::wire::Conn;
+use rfh_core::{Action, ReplicaManager};
+use rfh_faults::FaultPlan;
+use rfh_obs::MetricsRegistry;
+use rfh_ring::ConsistentHashRing;
+use rfh_stats::min_replica_count;
+use rfh_topology::{scaled_paper_topology, Topology};
+use rfh_types::{PartitionId, Result, RfhError, ServerId};
+use rfh_workload::SharedLoad;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Tokens per server on the placement ring (same constant the offline
+/// simulator uses).
+pub const RING_TOKENS: u32 = 64;
+
+/// Monotonic counters the data plane bumps per request.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Client get requests coordinated.
+    pub gets: AtomicU64,
+    /// Client put requests coordinated.
+    pub puts: AtomicU64,
+    /// Requests forwarded to a replica on another node.
+    pub forwards: AtomicU64,
+    /// Acks sent with status Ok.
+    pub acks_ok: AtomicU64,
+    /// Acks sent with status NotFound.
+    pub acks_not_found: AtomicU64,
+    /// Acks sent with status Unavailable.
+    pub acks_unavailable: AtomicU64,
+}
+
+/// State shared between node threads and the control loop.
+pub(crate) struct Shared {
+    /// Partition count (shape of `routes`, `locks`, `load`).
+    pub partitions: u32,
+    /// Node index → datacenter id.
+    pub dc_of: Vec<u32>,
+    /// Fail-stop flags, one per node.
+    pub alive: Vec<AtomicBool>,
+    /// Published replica sets, holder first.
+    pub routes: RwLock<Vec<Vec<ServerId>>>,
+    /// Per-partition mutex serializing writes against transfers.
+    pub locks: Vec<Mutex<()>>,
+    /// Live `q_ijt` counters.
+    pub load: SharedLoad,
+    /// Per-node shard maps.
+    pub stores: Vec<NodeStore>,
+    /// Listener address of each node.
+    pub addrs: Vec<SocketAddr>,
+    /// Per-source-node pools of idle peer connections.
+    pub peers: Vec<Mutex<HashMap<usize, Vec<Conn<TcpStream>>>>>,
+    /// Request counters.
+    pub counters: Counters,
+    /// Set once at shutdown; every thread polls it.
+    pub shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Route row for one partition (cloned snapshot).
+    pub fn route(&self, p: PartitionId) -> Vec<ServerId> {
+        self.routes.read().expect("routes lock")[p.index()].clone()
+    }
+
+    /// Whether node `i` is currently alive.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i].load(Ordering::Acquire)
+    }
+}
+
+/// One node's identity as seen by clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The topology server this node incarnates.
+    pub server: ServerId,
+    /// Its datacenter.
+    pub dc: u32,
+    /// Its loopback listener address.
+    pub addr: SocketAddr,
+}
+
+/// Final accounting returned by [`Cluster::shutdown`].
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Node count at startup.
+    pub nodes: usize,
+    /// Nodes alive at shutdown.
+    pub alive_nodes: usize,
+    /// Control ticks executed.
+    pub ticks: u64,
+    /// Client gets coordinated.
+    pub gets: u64,
+    /// Client puts coordinated.
+    pub puts: u64,
+    /// Peer forwards performed.
+    pub forwards: u64,
+    /// Ok acks sent.
+    pub acks_ok: u64,
+    /// NotFound acks sent.
+    pub acks_not_found: u64,
+    /// Unavailable acks sent.
+    pub acks_unavailable: u64,
+    /// Replicate actions executed online.
+    pub replications: u64,
+    /// Migrate actions executed online.
+    pub migrations: u64,
+    /// Suicide actions executed online.
+    pub suicides: u64,
+    /// Deferred transfers completed by the repair queue.
+    pub repairs_completed: u64,
+    /// Transfers dropped after exhausting retries.
+    pub dead_letters: u64,
+    /// Invariant-auditor findings.
+    pub invariant_violations: u64,
+    /// Partitions restored from the archive (all replicas lost).
+    pub data_restores: u64,
+    /// Total replicas placed at shutdown.
+    pub replicas_total: usize,
+    /// The control loop's metrics registry (serve.* counters).
+    pub registry: MetricsRegistry,
+}
+
+impl ServeSummary {
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("nodes                 {}\n", self.nodes));
+        out.push_str(&format!("alive_at_shutdown     {}\n", self.alive_nodes));
+        out.push_str(&format!("control_ticks         {}\n", self.ticks));
+        out.push_str(&format!("gets                  {}\n", self.gets));
+        out.push_str(&format!("puts                  {}\n", self.puts));
+        out.push_str(&format!("forwards              {}\n", self.forwards));
+        out.push_str(&format!("acks_ok               {}\n", self.acks_ok));
+        out.push_str(&format!("acks_not_found        {}\n", self.acks_not_found));
+        out.push_str(&format!("acks_unavailable      {}\n", self.acks_unavailable));
+        out.push_str(&format!("replications          {}\n", self.replications));
+        out.push_str(&format!("migrations            {}\n", self.migrations));
+        out.push_str(&format!("suicides              {}\n", self.suicides));
+        out.push_str(&format!("repairs_completed     {}\n", self.repairs_completed));
+        out.push_str(&format!("dead_letters          {}\n", self.dead_letters));
+        out.push_str(&format!("invariant_violations  {}\n", self.invariant_violations));
+        out.push_str(&format!("data_restores         {}\n", self.data_restores));
+        out.push_str(&format!("replicas_total        {}\n", self.replicas_total));
+        out
+    }
+}
+
+/// A running cluster. Dropping without [`shutdown`](Cluster::shutdown)
+/// leaks threads; always shut down.
+pub struct Cluster {
+    shared: Arc<Shared>,
+    infos: Vec<NodeInfo>,
+    listeners: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    control: JoinHandle<ControlStats>,
+}
+
+impl Cluster {
+    /// Build and start a cluster. Returns once every listener is bound
+    /// and the control loop is running — the cluster is immediately
+    /// serveable (partitions already at their replication floor).
+    pub fn start(config: &ClusterConfig, faults: FaultPlan) -> Result<Cluster> {
+        config.validate()?;
+        let cfg = config.sim_config();
+        let topo =
+            scaled_paper_topology(config.servers_per_rack, config.capacity_spread, config.seed)?;
+        let n = topo.server_count();
+        let dc_count = topo.datacenters().len() as u32;
+
+        let mut ring = ConsistentHashRing::new(RING_TOKENS);
+        for s in topo.servers() {
+            if s.alive {
+                ring.join(s.id);
+            }
+        }
+        let holders = (0..cfg.partitions)
+            .map(|p| ring.primary(PartitionId::new(p)))
+            .collect::<Result<Vec<_>>>()?;
+        let mut manager = ReplicaManager::new(&cfg, n, holders)?;
+        let r_min = min_replica_count(cfg.failure_rate, cfg.min_availability) as usize;
+        floor_replicate(&topo, &ring, &mut manager, cfg.partitions, r_min);
+
+        // Bind every node's listener before any thread starts, so the
+        // address list is complete from the first request on.
+        let mut listeners_raw = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| RfhError::Io(format!("bind loopback listener: {e}")))?;
+            l.set_nonblocking(true).map_err(|e| RfhError::Io(e.to_string()))?;
+            addrs.push(l.local_addr().map_err(|e| RfhError::Io(e.to_string()))?);
+            listeners_raw.push(l);
+        }
+
+        let routes: Vec<Vec<ServerId>> =
+            (0..cfg.partitions).map(|p| manager.replicas(PartitionId::new(p)).to_vec()).collect();
+        let shared = Arc::new(Shared {
+            partitions: cfg.partitions,
+            dc_of: topo.servers().iter().map(|s| s.datacenter.0).collect(),
+            alive: topo.servers().iter().map(|s| AtomicBool::new(s.alive)).collect(),
+            routes: RwLock::new(routes),
+            locks: (0..cfg.partitions).map(|_| Mutex::new(())).collect(),
+            load: SharedLoad::zeros(cfg.partitions, dc_count),
+            stores: (0..n).map(|_| NodeStore::new()).collect(),
+            addrs,
+            peers: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let infos: Vec<NodeInfo> = topo
+            .servers()
+            .iter()
+            .map(|s| NodeInfo {
+                server: s.id,
+                dc: s.datacenter.0,
+                addr: shared.addrs[s.id.index()],
+            })
+            .collect();
+
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let mut listeners = Vec::with_capacity(n);
+        for (i, l) in listeners_raw.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            listeners.push(
+                std::thread::Builder::new()
+                    .name(format!("rfh-node-{i}"))
+                    .spawn(move || node::run_listener(i, l, shared, handlers))
+                    .map_err(|e| RfhError::Io(format!("spawn node thread: {e}")))?,
+            );
+        }
+
+        let controller =
+            Controller::new(Arc::clone(&shared), topo, ring, manager, cfg, faults, r_min);
+        let interval = std::time::Duration::from_millis(config.control_interval_ms);
+        let control = std::thread::Builder::new()
+            .name("rfh-control".into())
+            .spawn(move || controller.run(interval))
+            .map_err(|e| RfhError::Io(format!("spawn control thread: {e}")))?;
+
+        Ok(Cluster { shared, infos, listeners, handlers, control })
+    }
+
+    /// Per-node identity and address, for clients and the address file.
+    pub fn node_infos(&self) -> &[NodeInfo] {
+        &self.infos
+    }
+
+    /// Render the address file consumed by `rfh loadgen --connect`:
+    /// one `server dc addr` line per node.
+    pub fn render_addr_file(&self) -> String {
+        let mut out = String::new();
+        for i in &self.infos {
+            out.push_str(&format!("{} {} {}\n", i.server.0, i.dc, i.addr));
+        }
+        out
+    }
+
+    /// Stop everything: control loop first (one final tick), then
+    /// listeners and handlers. Returns the run's accounting.
+    pub fn shutdown(self) -> Result<ServeSummary> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let stats = self
+            .control
+            .join()
+            .map_err(|_| RfhError::Simulation("control loop panicked".into()))?;
+        for h in self.listeners {
+            h.join().map_err(|_| RfhError::Simulation("node listener panicked".into()))?;
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handlers lock"));
+        for h in handlers {
+            h.join().map_err(|_| RfhError::Simulation("connection handler panicked".into()))?;
+        }
+        let c = &self.shared.counters;
+        let alive_nodes = self.shared.alive.iter().filter(|a| a.load(Ordering::Acquire)).count();
+        Ok(ServeSummary {
+            nodes: self.shared.alive.len(),
+            alive_nodes,
+            ticks: stats.ticks,
+            gets: c.gets.load(Ordering::Relaxed),
+            puts: c.puts.load(Ordering::Relaxed),
+            forwards: c.forwards.load(Ordering::Relaxed),
+            acks_ok: c.acks_ok.load(Ordering::Relaxed),
+            acks_not_found: c.acks_not_found.load(Ordering::Relaxed),
+            acks_unavailable: c.acks_unavailable.load(Ordering::Relaxed),
+            replications: stats.replications,
+            migrations: stats.migrations,
+            suicides: stats.suicides,
+            repairs_completed: stats.repairs_completed,
+            dead_letters: stats.dead_letters,
+            invariant_violations: stats.invariant_violations,
+            data_restores: stats.data_restores,
+            replicas_total: stats.replicas_total,
+            registry: stats.registry,
+        })
+    }
+}
+
+/// Grow every partition to `r_min` replicas before serving starts,
+/// one ring successor at a time, cycling the manager's per-epoch
+/// bandwidth budget as needed. Stores are empty at this point, so no
+/// data moves — only the replica map.
+fn floor_replicate(
+    topo: &Topology,
+    ring: &ConsistentHashRing,
+    manager: &mut ReplicaManager,
+    partitions: u32,
+    r_min: usize,
+) {
+    for _round in 0..r_min.max(1) * 4 {
+        manager.begin_epoch();
+        let mut progressed = false;
+        for p in (0..partitions).map(PartitionId::new) {
+            if manager.replica_count(p) >= r_min {
+                continue;
+            }
+            let target =
+                ring.successors(p, topo.server_count()).ok().into_iter().flatten().find(|&s| {
+                    topo.servers()[s.index()].alive
+                        && !manager.hosts(p, s)
+                        && manager.can_accept(p, s)
+                });
+            if let Some(target) = target {
+                if manager.apply(topo, Action::Replicate { partition: p, target }).is_ok() {
+                    progressed = true;
+                }
+            }
+        }
+        let done = (0..partitions).all(|p| manager.replica_count(PartitionId::new(p)) >= r_min);
+        if done || !progressed {
+            break;
+        }
+    }
+    manager.begin_epoch();
+}

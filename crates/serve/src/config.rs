@@ -1,0 +1,343 @@
+//! Cluster and load-generator configuration, read through the shared
+//! TOML-subset reader in `rfh_types::toml` (the same parser fault plans
+//! use — one config dialect across the workspace).
+
+use rfh_types::toml::{self, BlockKind, TomlDoc};
+use rfh_types::{Result, RfhError, SimConfig};
+
+/// Shape and cadence of a serving cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Servers per rack in the scaled paper topology: the cluster has
+    /// `10 DCs × 2 racks × servers_per_rack` nodes (5 → the paper's
+    /// 100-server deployment).
+    pub servers_per_rack: u32,
+    /// Number of partitions the key space hashes into.
+    pub partitions: u32,
+    /// Master seed (topology capacity factors, placement).
+    pub seed: u64,
+    /// Online control-loop period: one tick plays the role of one
+    /// offline epoch (snapshot counters, run RFH, execute transfers).
+    pub control_interval_ms: u64,
+    /// Per-server capacity spread (Table I's heterogeneity).
+    pub capacity_spread: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            servers_per_rack: 5,
+            partitions: 64,
+            seed: 42,
+            control_interval_ms: 200,
+            capacity_spread: 0.25,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The Table I simulation parameters this cluster config implies:
+    /// defaults with the partition count overridden.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            partitions: self.partitions,
+            capacity_spread: self.capacity_spread,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Total node count of the scaled paper topology.
+    pub fn nodes(&self) -> u32 {
+        10 * 2 * self.servers_per_rack
+    }
+
+    /// Domain checks beyond parsing.
+    pub fn validate(&self) -> Result<()> {
+        let err = |reason: &str| RfhError::InvalidConfig {
+            parameter: "serve_config",
+            reason: reason.to_string(),
+        };
+        if self.servers_per_rack == 0 {
+            return Err(err("servers_per_rack must be at least 1"));
+        }
+        if self.control_interval_ms == 0 {
+            return Err(err("control_interval_ms must be at least 1"));
+        }
+        self.sim_config().validate()
+    }
+
+    /// Parse from the TOML subset. All keys are top-level and optional:
+    ///
+    /// ```toml
+    /// servers_per_rack = 3
+    /// partitions = 64
+    /// seed = 42
+    /// control_interval_ms = 200
+    /// capacity_spread = 0.25
+    /// ```
+    pub fn from_toml_str(text: &str) -> Result<Self> {
+        let doc = toml::parse_toml(text, "serve_config")?;
+        reject_tables(&doc, "serve_config")?;
+        let mut cfg = ClusterConfig::default();
+        for item in &doc.top().items {
+            let (val, line) = (&item.value, item.line);
+            let e = |reason: String| toml::config_err("serve_config", line, reason);
+            match item.key.as_str() {
+                "servers_per_rack" => {
+                    cfg.servers_per_rack = val
+                        .as_u64()
+                        .filter(|&x| x >= 1)
+                        .ok_or_else(|| e("servers_per_rack wants an int ≥ 1".into()))?
+                        as u32
+                }
+                "partitions" => {
+                    cfg.partitions = val
+                        .as_u64()
+                        .filter(|&x| x >= 1)
+                        .ok_or_else(|| e("partitions wants an int ≥ 1".into()))?
+                        as u32
+                }
+                "seed" => {
+                    cfg.seed =
+                        val.as_u64().ok_or_else(|| e("seed wants a non-negative int".into()))?
+                }
+                "control_interval_ms" => {
+                    cfg.control_interval_ms = val
+                        .as_u64()
+                        .filter(|&x| x >= 1)
+                        .ok_or_else(|| e("control_interval_ms wants an int ≥ 1".into()))?
+                }
+                "capacity_spread" => {
+                    cfg.capacity_spread = val
+                        .as_f64()
+                        .filter(|&x| (0.0..1.0).contains(&x))
+                        .ok_or_else(|| e("capacity_spread wants a number in [0, 1)".into()))?
+                }
+                key => return Err(e(format!("unknown serve key {key:?}"))),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// How the load generator paces requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Each worker issues its next request as soon as the previous one
+    /// completes — measures capacity.
+    Closed,
+    /// Requests arrive on a Poisson process at `rate` per second,
+    /// independent of completions — measures latency under a fixed
+    /// offered load (queueing delay counts against latency).
+    Open,
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGenConfig {
+    /// Arrival pacing.
+    pub mode: ArrivalMode,
+    /// Concurrent client workers (each owns one connection set).
+    pub workers: u32,
+    /// Total operations to issue.
+    pub ops: u64,
+    /// Open-loop arrival rate, requests per second.
+    pub rate: f64,
+    /// Fraction of operations that are reads.
+    pub read_fraction: f64,
+    /// Size of the key universe.
+    pub keys: u64,
+    /// Zipf skew over keys (0 = uniform), via `rfh_workload::Zipf`.
+    pub zipf_s: f64,
+    /// Payload bytes per write.
+    pub value_bytes: u32,
+    /// Seed for key popularity, origin datacenters and read/write mix.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            mode: ArrivalMode::Closed,
+            workers: 8,
+            ops: 10_000,
+            rate: 2_000.0,
+            read_fraction: 0.5,
+            keys: 10_000,
+            zipf_s: 0.9,
+            value_bytes: 128,
+            seed: 1,
+        }
+    }
+}
+
+impl LoadGenConfig {
+    /// Domain checks beyond parsing.
+    pub fn validate(&self) -> Result<()> {
+        let err = |reason: &str| RfhError::InvalidConfig {
+            parameter: "loadgen_config",
+            reason: reason.to_string(),
+        };
+        if self.workers == 0 {
+            return Err(err("workers must be at least 1"));
+        }
+        if self.keys == 0 {
+            return Err(err("keys must be at least 1"));
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err(err("read_fraction must be in [0, 1]"));
+        }
+        if self.mode == ArrivalMode::Open && !(self.rate.is_finite() && self.rate > 0.0) {
+            return Err(err("open-loop mode needs rate > 0"));
+        }
+        if self.zipf_s < 0.0 {
+            return Err(err("zipf_s must be non-negative"));
+        }
+        if self.value_bytes as u64 > (crate::wire::MAX_FRAME as u64) / 2 {
+            return Err(err("value_bytes larger than half a wire frame"));
+        }
+        Ok(())
+    }
+
+    /// Parse from the TOML subset. All keys top-level and optional:
+    ///
+    /// ```toml
+    /// mode = "closed"          # or "open"
+    /// workers = 8
+    /// ops = 10000
+    /// rate = 2000.0            # open-loop arrivals/sec
+    /// read_fraction = 0.5
+    /// keys = 10000
+    /// zipf_s = 0.9
+    /// value_bytes = 128
+    /// seed = 1
+    /// ```
+    pub fn from_toml_str(text: &str) -> Result<Self> {
+        let doc = toml::parse_toml(text, "loadgen_config")?;
+        reject_tables(&doc, "loadgen_config")?;
+        let mut cfg = LoadGenConfig::default();
+        for item in &doc.top().items {
+            let (val, line) = (&item.value, item.line);
+            let e = |reason: String| toml::config_err("loadgen_config", line, reason);
+            match item.key.as_str() {
+                "mode" => {
+                    cfg.mode = match val.as_str() {
+                        Some("closed") => ArrivalMode::Closed,
+                        Some("open") => ArrivalMode::Open,
+                        _ => return Err(e("mode wants \"closed\" or \"open\"".into())),
+                    }
+                }
+                "workers" => {
+                    cfg.workers = val
+                        .as_u64()
+                        .filter(|&x| x >= 1)
+                        .ok_or_else(|| e("workers wants an int ≥ 1".into()))?
+                        as u32
+                }
+                "ops" => cfg.ops = val.as_u64().ok_or_else(|| e("ops wants an int".into()))?,
+                "rate" => {
+                    cfg.rate = val
+                        .as_f64()
+                        .filter(|&x| x > 0.0)
+                        .ok_or_else(|| e("rate wants a number > 0".into()))?
+                }
+                "read_fraction" => {
+                    cfg.read_fraction = val
+                        .as_f64()
+                        .filter(|&x| (0.0..=1.0).contains(&x))
+                        .ok_or_else(|| e("read_fraction wants a number in [0, 1]".into()))?
+                }
+                "keys" => {
+                    cfg.keys = val
+                        .as_u64()
+                        .filter(|&x| x >= 1)
+                        .ok_or_else(|| e("keys wants an int ≥ 1".into()))?
+                }
+                "zipf_s" => {
+                    cfg.zipf_s = val
+                        .as_f64()
+                        .filter(|&x| x >= 0.0)
+                        .ok_or_else(|| e("zipf_s wants a non-negative number".into()))?
+                }
+                "value_bytes" => {
+                    cfg.value_bytes =
+                        val.as_u64().ok_or_else(|| e("value_bytes wants an int".into()))? as u32
+                }
+                "seed" => {
+                    cfg.seed =
+                        val.as_u64().ok_or_else(|| e("seed wants a non-negative int".into()))?
+                }
+                key => return Err(e(format!("unknown loadgen key {key:?}"))),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+fn reject_tables(doc: &TomlDoc, parameter: &'static str) -> Result<()> {
+    for block in &doc.blocks {
+        if block.kind != BlockKind::Top {
+            return Err(toml::config_err(
+                parameter,
+                block.line,
+                format!("unknown table {:?}", block.name),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_config_parses_and_defaults() {
+        let cfg = ClusterConfig::from_toml_str("servers_per_rack = 3\nseed = 9\n").unwrap();
+        assert_eq!(cfg.servers_per_rack, 3);
+        assert_eq!(cfg.nodes(), 60);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.partitions, 64, "unset keys keep defaults");
+        assert_eq!(ClusterConfig::from_toml_str("").unwrap(), ClusterConfig::default());
+    }
+
+    #[test]
+    fn cluster_config_rejects_bad_values() {
+        for bad in [
+            "servers_per_rack = 0",
+            "partitions = -1",
+            "capacity_spread = 1.5",
+            "control_interval_ms = 0",
+            "nope = 1",
+            "[table]\nx = 1",
+        ] {
+            assert!(ClusterConfig::from_toml_str(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn loadgen_config_parses_modes() {
+        let c = LoadGenConfig::from_toml_str("mode = \"open\"\nrate = 500.0\nops = 42\n").unwrap();
+        assert_eq!(c.mode, ArrivalMode::Open);
+        assert_eq!(c.ops, 42);
+        let c = LoadGenConfig::from_toml_str("mode = \"closed\"\n").unwrap();
+        assert_eq!(c.mode, ArrivalMode::Closed);
+    }
+
+    #[test]
+    fn loadgen_config_rejects_bad_values() {
+        for bad in [
+            "mode = \"wat\"",
+            "workers = 0",
+            "read_fraction = 2.0",
+            "keys = 0",
+            "zipf_s = -1.0",
+            "value_bytes = 999999999",
+            "mystery = true",
+        ] {
+            assert!(LoadGenConfig::from_toml_str(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

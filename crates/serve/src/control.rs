@@ -1,0 +1,408 @@
+//! The online RFH control loop.
+//!
+//! One thread owns the entire control plane — topology, ring, replica
+//! manager, traffic engine/smoother, policy, fault injector, repair
+//! queue, auditor — exactly the state the offline simulator's epoch
+//! loop owns. Every `control_interval_ms` it runs one *tick*, which is
+//! the offline epoch loop transplanted onto live counters:
+//!
+//! 1. drive the fault plan (kill/recover nodes, flip the data plane's
+//!    alive flags, prune dead replicas, retry archive restores);
+//! 2. atomically drain the live `q_ijt` counters into a `QueryLoad`;
+//! 3. run the **real** traffic pass (`TrafficEngine`), EWMA smoothing,
+//!    and Erlang-B blocking over the drained matrix;
+//! 4. let the **real** `RfhPolicy` decide replicate/migrate/suicide;
+//! 5. execute transfers through the `ReplicaManager`, deferring
+//!    unreachable destinations to the PR 3 repair queue (retried with
+//!    backoff ahead of new decisions), copying partition data and
+//!    republishing routes under the per-partition lock;
+//! 6. audit placement invariants.
+//!
+//! The loop is paced by wall-clock, so a live run is *not*
+//! bit-deterministic — how many requests land in each tick depends on
+//! scheduling. Everything downstream of the drained matrix is the same
+//! deterministic code the simulator runs.
+
+use crate::cluster::Shared;
+use crate::store::Versioned;
+use rfh_core::{
+    server_blocking_probabilities, Action, EpochContext, ReplicaManager, ReplicationPolicy,
+    RfhPolicy,
+};
+use rfh_faults::{FaultInjector, FaultPlan, InvariantAuditor};
+use rfh_obs::{MetricsRegistry, NullRecorder};
+use rfh_ring::ConsistentHashRing;
+use rfh_sim::{destination_unreachable, RepairQueue};
+use rfh_topology::Topology;
+use rfh_traffic::{PlacementView, TrafficEngine, TrafficSmoother};
+use rfh_types::{Epoch, PartitionId, ServerId, SimConfig};
+use rfh_workload::QueryLoad;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lifetime totals the control loop hands back at shutdown.
+#[derive(Debug)]
+pub struct ControlStats {
+    /// Ticks executed (including the final drain tick).
+    pub ticks: u64,
+    /// Replicate actions executed.
+    pub replications: u64,
+    /// Migrate actions executed.
+    pub migrations: u64,
+    /// Suicide actions executed.
+    pub suicides: u64,
+    /// Deferred transfers completed.
+    pub repairs_completed: u64,
+    /// Deferred transfers dropped after max retries.
+    pub dead_letters: u64,
+    /// Invariant-auditor findings.
+    pub invariant_violations: u64,
+    /// Partitions restored from the archive (all replicas lost).
+    pub data_restores: u64,
+    /// Replicas placed at shutdown.
+    pub replicas_total: usize,
+    /// serve.* counters plus the traffic engine's cache stats.
+    pub registry: MetricsRegistry,
+}
+
+pub(crate) struct Controller {
+    shared: Arc<Shared>,
+    topo: Topology,
+    ring: ConsistentHashRing,
+    manager: ReplicaManager,
+    engine: TrafficEngine,
+    smoother: TrafficSmoother,
+    policy: RfhPolicy,
+    injector: Option<FaultInjector>,
+    auditor: InvariantAuditor,
+    repair_queue: RepairQueue,
+    pinned: Vec<PartitionId>,
+    view: PlacementView,
+    scratch: QueryLoad,
+    cfg: SimConfig,
+    tick: u64,
+    replications: u64,
+    migrations: u64,
+    suicides: u64,
+    data_restores: u64,
+}
+
+impl Controller {
+    pub fn new(
+        shared: Arc<Shared>,
+        topo: Topology,
+        ring: ConsistentHashRing,
+        manager: ReplicaManager,
+        cfg: SimConfig,
+        faults: FaultPlan,
+        r_min: usize,
+    ) -> Self {
+        let dc_count = topo.datacenters().len() as u32;
+        Controller {
+            injector: FaultInjector::new(&faults),
+            auditor: InvariantAuditor::new(cfg.partitions, r_min),
+            repair_queue: RepairQueue::new(),
+            pinned: Vec::new(),
+            smoother: TrafficSmoother::new(cfg.partitions, dc_count, cfg.thresholds.alpha),
+            engine: TrafficEngine::new(),
+            view: PlacementView::new(0, 0, Vec::new()),
+            scratch: QueryLoad::zeros(cfg.partitions, dc_count),
+            policy: RfhPolicy::new(),
+            shared,
+            topo,
+            ring,
+            manager,
+            cfg,
+            tick: 0,
+            replications: 0,
+            migrations: 0,
+            suicides: 0,
+            data_restores: 0,
+        }
+    }
+
+    /// Run ticks until shutdown; always executes one final tick after
+    /// the flag flips so the last interval's counters are drained and
+    /// audited.
+    pub fn run(mut self, interval: Duration) -> ControlStats {
+        loop {
+            let last = self.shared.shutdown.load(Ordering::Acquire);
+            self.step();
+            if last {
+                break;
+            }
+            let mut slept = Duration::ZERO;
+            while slept < interval && !self.shared.shutdown.load(Ordering::Acquire) {
+                let nap = (interval - slept).min(Duration::from_millis(10));
+                std::thread::sleep(nap);
+                slept += nap;
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> ControlStats {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_total("serve.control.ticks", self.tick);
+        registry.counter_total("serve.actions.replications", self.replications);
+        registry.counter_total("serve.actions.migrations", self.migrations);
+        registry.counter_total("serve.actions.suicides", self.suicides);
+        registry.counter_total("serve.repairs.completed", self.repair_queue.completed());
+        registry.counter_total("serve.repairs.dead_letters", self.repair_queue.dead_letters());
+        registry.counter_total("serve.data_restores", self.data_restores);
+        registry.counter_total("serve.invariant_violations", self.auditor.total());
+        registry.gauge("serve.replicas_total", self.manager.total_replicas() as f64);
+        self.engine.stats().collect_metrics(&mut registry);
+        ControlStats {
+            ticks: self.tick,
+            replications: self.replications,
+            migrations: self.migrations,
+            suicides: self.suicides,
+            repairs_completed: self.repair_queue.completed(),
+            dead_letters: self.repair_queue.dead_letters(),
+            invariant_violations: self.auditor.total(),
+            data_restores: self.data_restores,
+            replicas_total: self.manager.total_replicas(),
+            registry,
+        }
+    }
+
+    /// One control tick — the offline epoch loop on live counters.
+    fn step(&mut self) {
+        self.inject_faults();
+        self.retry_restores();
+        self.manager.begin_epoch();
+
+        self.scratch.clear();
+        self.shared.load.drain_into(&mut self.scratch);
+
+        self.manager.render_view(&self.topo, self.cfg.replica_capacity_mean, &mut self.view);
+        let accounts = self.engine.account(&self.topo, &self.scratch, &self.view);
+        self.smoother.update(&self.scratch, accounts);
+        let blocking =
+            server_blocking_probabilities(&self.topo, accounts, self.cfg.replica_capacity_mean);
+
+        let recorder = NullRecorder;
+        let ctx = EpochContext {
+            epoch: Epoch(self.tick),
+            topo: &self.topo,
+            load: &self.scratch,
+            accounts,
+            smoother: &self.smoother,
+            blocking: &blocking,
+            config: &self.cfg,
+            recorder: &recorder,
+        };
+        let actions = self.policy.decide(&ctx, &self.manager);
+
+        // Deferred transfers compete for bandwidth ahead of new
+        // decisions, exactly as in the offline loop.
+        for item in self.repair_queue.take_due(self.tick) {
+            if destination_unreachable(&self.topo, &self.manager, &item.action) {
+                self.repair_queue.defer(item.action, item.attempts + 1, self.tick);
+                continue;
+            }
+            if self.execute(item.action) {
+                self.repair_queue.note_completed();
+            }
+        }
+        for action in actions {
+            if self.injector.is_some()
+                && destination_unreachable(&self.topo, &self.manager, &action)
+            {
+                self.repair_queue.defer(action, 0, self.tick);
+                continue;
+            }
+            self.execute(action);
+        }
+
+        let manager = &self.manager;
+        let pinned = &self.pinned;
+        self.auditor.audit(
+            self.tick,
+            &self.topo,
+            |p, buf| buf.extend_from_slice(manager.replicas(p)),
+            |p| pinned.contains(&p),
+        );
+        self.tick += 1;
+    }
+
+    /// Apply one action through the replica manager and mirror it on
+    /// the data plane: partition lock → control-plane apply → data copy
+    /// → route publish. Holding the lock for the whole sequence means
+    /// no client write can land between the copy and the new route.
+    fn execute(&mut self, action: Action) -> bool {
+        let partition = match action {
+            Action::Replicate { partition, .. }
+            | Action::Migrate { partition, .. }
+            | Action::Suicide { partition, .. } => partition,
+        };
+        let guard = self.shared.locks[partition.index()].lock().expect("partition lock");
+        let old_route = self.shared.route(partition);
+        if self.manager.apply(&self.topo, action).is_err() {
+            return false; // budget/capacity rejection: the policy re-decides next tick
+        }
+        match action {
+            Action::Replicate { target, .. } => {
+                self.copy_partition(partition, &old_route, target);
+                self.replications += 1;
+            }
+            Action::Migrate { to, .. } => {
+                self.copy_partition(partition, &old_route, to);
+                self.migrations += 1;
+            }
+            Action::Suicide { .. } => {
+                // The shard's data stays in place but unrouted; a
+                // later re-replication to this node finds a warm copy
+                // and merge makes that safe.
+                self.suicides += 1;
+            }
+        }
+        self.publish(partition);
+        drop(guard);
+        true
+    }
+
+    /// Copy a full partition onto `to`: from the first live member of
+    /// the pre-transfer route when one exists, else merged from every
+    /// store (dead disks double as the archive).
+    fn copy_partition(&self, p: PartitionId, old_route: &[ServerId], to: ServerId) {
+        let source = old_route.iter().copied().find(|&s| self.shared.is_alive(s.index()));
+        let entries: Vec<(u64, Versioned)> = match source {
+            Some(s) => self.shared.stores[s.index()].snapshot_partition(p, self.shared.partitions),
+            None => self.archive_snapshot(p),
+        };
+        self.shared.stores[to.index()].merge(&entries);
+    }
+
+    /// The archive stand-in: the union of every node's shard of `p`,
+    /// LWW-merged. Dead nodes' stores are included — a failed server's
+    /// disk outlives its process, which is what makes catastrophic
+    /// restores lossless for acknowledged writes.
+    fn archive_snapshot(&self, p: PartitionId) -> Vec<(u64, Versioned)> {
+        let mut best: std::collections::HashMap<u64, Versioned> = std::collections::HashMap::new();
+        for store in &self.shared.stores {
+            for (k, v) in store.snapshot_partition(p, self.shared.partitions) {
+                match best.get(&k) {
+                    Some(cur) if cur.seq >= v.seq => {}
+                    _ => {
+                        best.insert(k, v);
+                    }
+                }
+            }
+        }
+        best.into_iter().collect()
+    }
+
+    /// Republish one partition's route row from the replica manager.
+    /// Caller holds the partition lock.
+    fn publish(&self, p: PartitionId) {
+        self.shared.routes.write().expect("routes lock")[p.index()] =
+            self.manager.replicas(p).to_vec();
+    }
+
+    /// Republish every route row (after prune/recovery sweeps). Takes
+    /// each partition lock in turn.
+    fn publish_all(&self) {
+        for p in (0..self.shared.partitions).map(PartitionId::new) {
+            let _guard = self.shared.locks[p.index()].lock().expect("partition lock");
+            self.publish(p);
+        }
+    }
+
+    fn inject_faults(&mut self) {
+        let Some(injector) = self.injector.as_mut() else {
+            return;
+        };
+        let Ok(report) = injector.begin_epoch(self.tick, &mut self.topo) else {
+            return;
+        };
+        if !report.failed.is_empty() || report.routes_changed || report.random_shortfall > 0 {
+            self.auditor.note_fault(self.tick);
+        }
+        for &id in &report.failed {
+            self.ring.leave(id);
+            self.shared.alive[id.index()].store(false, Ordering::Release);
+        }
+        for &id in &report.recovered {
+            self.ring.join(id);
+            self.shared.alive[id.index()].store(true, Ordering::Release);
+        }
+        if let Some(p) = report.message_loss {
+            self.policy.set_message_loss(p);
+        }
+        if let Some((repl, migr)) = report.bandwidth {
+            self.manager.set_bandwidth_factors(repl, migr);
+        }
+        if !report.failed.is_empty() {
+            self.prune_dead();
+        }
+    }
+
+    /// Drop replicas on dead nodes; partitions that lost every copy
+    /// are restored from the archive onto a ring successor (or pinned
+    /// until any server is alive again).
+    fn prune_dead(&mut self) {
+        let ring = &self.ring;
+        let topo = &self.topo;
+        let outcome = self.manager.prune_dead(topo, |p| {
+            ring.successors(p, topo.server_count())
+                .ok()
+                .into_iter()
+                .flatten()
+                .find(|&s| topo.servers()[s.index()].alive)
+                .or_else(|| topo.servers().iter().find(|s| s.alive).map(|s| s.id))
+        });
+        for &p in &outcome.restored_partitions {
+            let _guard = self.shared.locks[p.index()].lock().expect("partition lock");
+            if let Some(&to) = self.manager.replicas(p).first() {
+                let entries = self.archive_snapshot(p);
+                self.shared.stores[to.index()].merge(&entries);
+            }
+            self.publish(p);
+            self.data_restores += 1;
+        }
+        for p in outcome.unrestored_partitions {
+            if !self.pinned.contains(&p) {
+                self.pinned.push(p);
+            }
+        }
+        self.publish_all();
+    }
+
+    /// Retry archive restores for partitions pinned to dead nodes.
+    fn retry_restores(&mut self) {
+        if self.pinned.is_empty() {
+            return;
+        }
+        let mut still_pinned = Vec::new();
+        for p in std::mem::take(&mut self.pinned) {
+            // A pinned node that recovered brings its disk back.
+            if self.manager.replicas(p).iter().any(|&s| self.topo.servers()[s.index()].alive) {
+                let _guard = self.shared.locks[p.index()].lock().expect("partition lock");
+                self.publish(p);
+                continue;
+            }
+            let target = self
+                .ring
+                .successors(p, self.topo.server_count())
+                .ok()
+                .into_iter()
+                .flatten()
+                .find(|&s| self.topo.servers()[s.index()].alive)
+                .or_else(|| self.topo.servers().iter().find(|s| s.alive).map(|s| s.id));
+            match target {
+                Some(to) if self.manager.restore_partition(&self.topo, p, to).is_ok() => {
+                    let _guard = self.shared.locks[p.index()].lock().expect("partition lock");
+                    let entries = self.archive_snapshot(p);
+                    self.shared.stores[to.index()].merge(&entries);
+                    self.publish(p);
+                    self.data_restores += 1;
+                }
+                _ => still_pinned.push(p),
+            }
+        }
+        self.pinned = still_pinned;
+    }
+}

@@ -1,0 +1,42 @@
+//! # rfh-serve
+//!
+//! A live key-value serving runtime on the RFH stack: the offline
+//! simulator's control plane (ring placement, `TrafficEngine`
+//! accounting, the real `RfhPolicy`, fault injection, repair queue,
+//! invariant auditor) driving a real cluster of node threads behind
+//! loopback TCP listeners.
+//!
+//! * [`wire`] — the length-prefixed binary protocol
+//!   (get/put/forward/ack).
+//! * [`store`] — per-node LWW shard maps and the key → partition hash.
+//! * [`cluster`] — startup, shared state, clean shutdown.
+//! * `node` (internal) — listener/handler threads: the data plane.
+//! * `control` (internal) — the online RFH loop; its lifetime totals
+//!   surface as [`ControlStats`].
+//! * [`client`] — datacenter-homed client handle with failover.
+//! * [`loadgen`] — closed/open-loop load generation, latency
+//!   histograms, and the acked-write verify pass.
+//! * [`config`] — cluster and loadgen TOML-subset configs.
+//!
+//! The live runtime is **not** bit-deterministic — thread scheduling
+//! decides how many requests land in each control tick. Everything
+//! downstream of the drained traffic matrix is the same deterministic
+//! code the offline simulator runs, and the offline simulator itself is
+//! untouched by this crate.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+mod control;
+pub mod loadgen;
+mod node;
+pub mod store;
+pub mod wire;
+
+pub use client::{GetOutcome, ServeClient};
+pub use cluster::{Cluster, NodeInfo, ServeSummary};
+pub use config::{ArrivalMode, ClusterConfig, LoadGenConfig};
+pub use control::ControlStats;
+pub use loadgen::{run_loadgen, LoadReport};

@@ -1,0 +1,256 @@
+//! Node threads: the data plane.
+//!
+//! Each topology server runs one listener thread; every accepted
+//! connection gets a handler thread. A node that receives a client
+//! `Get`/`Put` acts as the *coordinator*: it charges the request to
+//! `q_ijt` at its own datacenter (the requester column the traffic
+//! equations use), takes the partition lock, and reads or writes the
+//! published replica set — forwarding to peer nodes over the same wire
+//! protocol when a replica lives elsewhere.
+//!
+//! Writes ack only after landing on **every live replica** of the
+//! route row (read under the partition lock). Combined with transfers
+//! copying full partitions under that same lock, an acknowledged write
+//! is durable as long as any replica that held it — alive or dead,
+//! since dead stores double as the archive — survives in memory.
+
+use crate::cluster::Shared;
+use crate::store::partition_of;
+use crate::wire::{AckStatus, Conn, Frame};
+use rfh_types::{DatacenterId, ServerId};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked handler read waits before re-checking the
+/// shutdown and alive flags.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Read timeout for coordinator → replica round-trips.
+const PEER_TIMEOUT: Duration = Duration::from_millis(2_000);
+
+/// Idle peer connections kept per (source, destination) pair.
+const PEER_POOL_CAP: usize = 4;
+
+/// The accept loop of one node. Fail-stop is modelled as
+/// accept-then-drop: a dead node's listener stays bound (its port must
+/// not be reused) but every connection is closed immediately and no
+/// frame is served.
+pub(crate) fn run_listener(
+    node: usize,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if !shared.is_alive(node) {
+                    drop(stream); // fail-stop: refuse service
+                    continue;
+                }
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("rfh-conn-{node}"))
+                    .spawn(move || handle_conn(node, stream, shared2));
+                match handle {
+                    Ok(h) => handlers.lock().expect("handlers lock").push(h),
+                    Err(_) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_conn(node: usize, stream: TcpStream, shared: Arc<Shared>) {
+    if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut conn = Conn::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match conn.recv() {
+            Ok(None) => return,
+            Ok(Some(frame)) => {
+                if !shared.is_alive(node) {
+                    return; // killed mid-connection: drop without reply
+                }
+                let reply = serve_frame(node, frame, &shared);
+                if conn.send(&reply).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_frame(node: usize, frame: Frame, shared: &Shared) -> Frame {
+    match frame {
+        Frame::Get { key } => coordinate_get(node, key, shared),
+        Frame::Put { key, seq, value } => coordinate_put(node, key, seq, &value, shared),
+        // Forwarded requests touch only the local shard; the
+        // coordinator already charged q_ijt at the origin datacenter.
+        Frame::ForwardGet { key, origin_dc: _ } => match shared.stores[node].get(key) {
+            Some(v) => Frame::Ack { status: AckStatus::Ok, seq: v.seq, value: v.value },
+            None => Frame::Ack { status: AckStatus::NotFound, seq: 0, value: Vec::new() },
+        },
+        Frame::ForwardPut { key, seq, origin_dc: _, value } => {
+            // An older seq losing LWW is still success: the store
+            // holds a version at least as new as the write.
+            let _ = shared.stores[node].put(key, seq, &value);
+            Frame::Ack { status: AckStatus::Ok, seq, value: Vec::new() }
+        }
+        Frame::Ack { .. } => {
+            // An unsolicited ack is a protocol violation; answer with
+            // Unavailable rather than crashing the handler.
+            Frame::Ack { status: AckStatus::Unavailable, seq: 0, value: Vec::new() }
+        }
+    }
+}
+
+fn count_ack(shared: &Shared, ack: &Frame) -> Frame {
+    if let Frame::Ack { status, .. } = ack {
+        match status {
+            AckStatus::Ok => shared.counters.acks_ok.fetch_add(1, Ordering::Relaxed),
+            AckStatus::NotFound => shared.counters.acks_not_found.fetch_add(1, Ordering::Relaxed),
+            AckStatus::Unavailable => {
+                shared.counters.acks_unavailable.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+    }
+    ack.clone()
+}
+
+fn coordinate_get(node: usize, key: u64, shared: &Shared) -> Frame {
+    let p = partition_of(key, shared.partitions);
+    let origin = shared.dc_of[node];
+    shared.load.add(p, DatacenterId::new(origin), 1);
+    shared.counters.gets.fetch_add(1, Ordering::Relaxed);
+
+    let _guard = shared.locks[p.index()].lock().expect("partition lock");
+    let replicas = shared.route(p);
+    let me = ServerId::new(node as u32);
+    // Serve locally when possible; otherwise walk replicas in holder
+    // order. Every current replica holds the full partition (writes go
+    // to all live replicas; transfers copy whole partitions under this
+    // same lock), so the first live answer is authoritative.
+    let ordered = replicas
+        .iter()
+        .copied()
+        .filter(|&r| r == me)
+        .chain(replicas.iter().copied().filter(|&r| r != me));
+    for r in ordered {
+        if !shared.is_alive(r.index()) {
+            continue;
+        }
+        if r == me {
+            return count_ack(
+                shared,
+                &match shared.stores[node].get(key) {
+                    Some(v) => Frame::Ack { status: AckStatus::Ok, seq: v.seq, value: v.value },
+                    None => Frame::Ack { status: AckStatus::NotFound, seq: 0, value: Vec::new() },
+                },
+            );
+        }
+        match forward(shared, node, r, &Frame::ForwardGet { key, origin_dc: origin }) {
+            Ok(ack) => return count_ack(shared, &ack),
+            // The peer died or the connection broke: try the next
+            // replica rather than failing the read.
+            Err(_) => continue,
+        }
+    }
+    count_ack(shared, &Frame::Ack { status: AckStatus::Unavailable, seq: 0, value: Vec::new() })
+}
+
+fn coordinate_put(node: usize, key: u64, seq: u64, value: &[u8], shared: &Shared) -> Frame {
+    let p = partition_of(key, shared.partitions);
+    let origin = shared.dc_of[node];
+    shared.load.add(p, DatacenterId::new(origin), 1);
+    shared.counters.puts.fetch_add(1, Ordering::Relaxed);
+
+    let _guard = shared.locks[p.index()].lock().expect("partition lock");
+    let replicas = shared.route(p);
+    let me = ServerId::new(node as u32);
+    let mut landed = 0usize;
+    for r in replicas {
+        if !shared.is_alive(r.index()) {
+            continue; // dead at write time: its copy is repaired by the control loop
+        }
+        let ok = if r == me {
+            shared.stores[node].put(key, seq, value);
+            true
+        } else {
+            let f = Frame::ForwardPut { key, seq, origin_dc: origin, value: value.to_vec() };
+            matches!(forward(shared, node, r, &f), Ok(Frame::Ack { status: AckStatus::Ok, .. }))
+        };
+        if ok {
+            landed += 1;
+        } else if shared.is_alive(r.index()) {
+            // A *live* replica failed the write: the all-live-replicas
+            // guarantee is broken, so refuse the ack. The client
+            // retries with the same seq (idempotent).
+            return count_ack(
+                shared,
+                &Frame::Ack { status: AckStatus::Unavailable, seq, value: Vec::new() },
+            );
+        }
+        // Replica died mid-write: treat like dead-at-write-time.
+    }
+    if landed == 0 {
+        return count_ack(
+            shared,
+            &Frame::Ack { status: AckStatus::Unavailable, seq, value: Vec::new() },
+        );
+    }
+    count_ack(shared, &Frame::Ack { status: AckStatus::Ok, seq, value: Vec::new() })
+}
+
+/// One request/ack round-trip to a peer node, using (and replenishing)
+/// the source node's connection pool.
+fn forward(shared: &Shared, src: usize, dst: ServerId, frame: &Frame) -> io::Result<Frame> {
+    shared.counters.forwards.fetch_add(1, Ordering::Relaxed);
+    let mut conn = take_peer(shared, src, dst)?;
+    match conn.roundtrip(frame) {
+        Ok(ack) => {
+            put_peer(shared, src, dst, conn);
+            Ok(ack)
+        }
+        Err(e) => Err(e), // broken conn is dropped, not pooled
+    }
+}
+
+fn take_peer(shared: &Shared, src: usize, dst: ServerId) -> io::Result<Conn<TcpStream>> {
+    if let Some(conn) =
+        shared.peers[src].lock().expect("peer pool lock").get_mut(&dst.index()).and_then(Vec::pop)
+    {
+        return Ok(conn);
+    }
+    let stream = TcpStream::connect(shared.addrs[dst.index()])?;
+    stream.set_read_timeout(Some(PEER_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    Ok(Conn::new(stream))
+}
+
+fn put_peer(shared: &Shared, src: usize, dst: ServerId, conn: Conn<TcpStream>) {
+    let mut pool = shared.peers[src].lock().expect("peer pool lock");
+    let slot = pool.entry(dst.index()).or_default();
+    if slot.len() < PEER_POOL_CAP {
+        slot.push(conn);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-node key-value shards with last-writer-wins versions.
+//!
+//! Every node owns one [`NodeStore`]. Keys map to partitions by hash
+//! ([`partition_of`]) — the same `PartitionId` space the ring, the
+//! replica manager and the traffic equations use — so "node X holds
+//! partition p" means X's store serves every key with
+//! `partition_of(key) == p`.
+//!
+//! Values carry a client-chosen `seq`; a write applies only if its seq
+//! is higher than the stored one, making put retries idempotent and
+//! replica merges (transfers, archive restores) order-independent.
+
+use rfh_ring::splitmix64;
+use rfh_types::PartitionId;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The partition a key belongs to. Hash-distributes the key space over
+/// `partitions` buckets.
+#[inline]
+pub fn partition_of(key: u64, partitions: u32) -> PartitionId {
+    PartitionId::new((splitmix64(key) % partitions as u64) as u32)
+}
+
+/// One stored version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Versioned {
+    /// Write version (last-writer-wins).
+    pub seq: u64,
+    /// The value bytes.
+    pub value: Vec<u8>,
+}
+
+/// One node's shard map, internally synchronized.
+#[derive(Debug, Default)]
+pub struct NodeStore {
+    map: Mutex<HashMap<u64, Versioned>>,
+}
+
+impl NodeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        NodeStore::default()
+    }
+
+    /// Read the current version of `key`.
+    pub fn get(&self, key: u64) -> Option<Versioned> {
+        self.map.lock().expect("store lock").get(&key).cloned()
+    }
+
+    /// Apply a write if `seq` beats the stored version. Returns whether
+    /// the store now holds `seq` (so an equal-seq retry reports true).
+    pub fn put(&self, key: u64, seq: u64, value: &[u8]) -> bool {
+        let mut map = self.map.lock().expect("store lock");
+        match map.get(&key) {
+            Some(v) if v.seq > seq => false,
+            Some(v) if v.seq == seq => true,
+            _ => {
+                map.insert(key, Versioned { seq, value: value.to_vec() });
+                true
+            }
+        }
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys of one partition, for transfers.
+    pub fn snapshot_partition(&self, p: PartitionId, partitions: u32) -> Vec<(u64, Versioned)> {
+        let map = self.map.lock().expect("store lock");
+        map.iter()
+            .filter(|(&k, _)| partition_of(k, partitions) == p)
+            .map(|(&k, v)| (k, v.clone()))
+            .collect()
+    }
+
+    /// Merge transferred entries (LWW per key).
+    pub fn merge(&self, entries: &[(u64, Versioned)]) {
+        let mut map = self.map.lock().expect("store lock");
+        for (k, v) in entries {
+            match map.get(k) {
+                Some(cur) if cur.seq >= v.seq => {}
+                _ => {
+                    map.insert(*k, v.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            let p = partition_of(key, 64);
+            assert!(p.0 < 64);
+            assert_eq!(p, partition_of(key, 64));
+        }
+        // The hash actually spreads keys.
+        let hit: std::collections::HashSet<u32> =
+            (0..1000u64).map(|k| partition_of(k, 64).0).collect();
+        assert!(hit.len() > 48, "only {} of 64 partitions hit", hit.len());
+    }
+
+    #[test]
+    fn lww_and_idempotent_retries() {
+        let s = NodeStore::new();
+        assert!(s.put(1, 5, b"a"));
+        assert!(!s.put(1, 4, b"stale"), "older seq must lose");
+        assert!(s.put(1, 5, b"a"), "same-seq retry reports success");
+        assert!(s.put(1, 6, b"b"));
+        assert_eq!(s.get(1).unwrap(), Versioned { seq: 6, value: b"b".to_vec() });
+        assert_eq!(s.get(2), None);
+    }
+
+    #[test]
+    fn snapshot_and_merge_move_partitions() {
+        let a = NodeStore::new();
+        for key in 0..200u64 {
+            a.put(key, 1, &key.to_le_bytes());
+        }
+        let p = partition_of(7, 16);
+        let snap = a.snapshot_partition(p, 16);
+        assert!(snap.iter().any(|&(k, _)| k == 7));
+        assert!(snap.iter().all(|&(k, _)| partition_of(k, 16) == p));
+
+        let b = NodeStore::new();
+        b.put(7, 9, b"newer");
+        b.merge(&snap);
+        assert_eq!(b.get(7).unwrap().seq, 9, "merge must not clobber newer data");
+        let other = snap.iter().find(|&&(k, _)| k != 7).expect("partition has >1 key");
+        assert_eq!(b.get(other.0).unwrap(), other.1);
+    }
+}

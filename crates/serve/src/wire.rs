@@ -1,0 +1,392 @@
+//! The hand-rolled length-prefixed binary wire protocol.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! ┌──────────────┬─────────┬──────────────────────────────┐
+//! │ len: u32 LE  │ tag: u8 │ fields, little-endian ...    │
+//! └──────────────┴─────────┴──────────────────────────────┘
+//! ```
+//!
+//! `len` counts the body (tag + fields). Variable-length values are
+//! always the final field, so their length is implied by the frame
+//! length — no inner length word to disagree with the outer one.
+//!
+//! The protocol is deliberately tiny: clients speak [`Frame::Get`] /
+//! [`Frame::Put`], nodes forward to replica peers with
+//! [`Frame::ForwardGet`] / [`Frame::ForwardPut`] (tagged with the
+//! requester's datacenter so traffic attribution survives the hop), and
+//! every request is answered by exactly one [`Frame::Ack`].
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on the body of a single frame. Larger length prefixes
+/// are rejected before any allocation, so a corrupt or hostile peer
+/// cannot make a node allocate unbounded memory.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// How a request ended, carried inside [`Frame::Ack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckStatus {
+    /// The operation succeeded (for gets: key found).
+    Ok,
+    /// The key does not exist on any reachable replica.
+    NotFound,
+    /// The operation could not be completed now (dead replicas,
+    /// mid-transfer state); the client should retry.
+    Unavailable,
+}
+
+impl AckStatus {
+    /// The status's wire byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            AckStatus::Ok => 0,
+            AckStatus::NotFound => 1,
+            AckStatus::Unavailable => 2,
+        }
+    }
+
+    /// Parse a wire status byte; anything but 0–2 is a protocol error.
+    pub fn from_byte(b: u8) -> io::Result<Self> {
+        match b {
+            0 => Ok(AckStatus::Ok),
+            1 => Ok(AckStatus::NotFound),
+            2 => Ok(AckStatus::Unavailable),
+            _ => Err(bad(format!("unknown ack status {b}"))),
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → coordinator: read `key`.
+    Get {
+        /// The key to read.
+        key: u64,
+    },
+    /// Client → coordinator: write `value` under `key`. `seq` is the
+    /// client-chosen version; replicas keep the highest seq per key, so
+    /// retrying the same put is idempotent.
+    Put {
+        /// The key to write.
+        key: u64,
+        /// Monotonic write version (last-writer-wins).
+        seq: u64,
+        /// The value bytes (final field; length implied by the frame).
+        value: Vec<u8>,
+    },
+    /// Coordinator → replica: serve a get from the local shard.
+    /// `origin_dc` is the requesting client's datacenter, carried so a
+    /// forwarded hop stays attributed to the requester in `q_ijt`.
+    ForwardGet {
+        /// The key to read.
+        key: u64,
+        /// Datacenter the client request entered at.
+        origin_dc: u32,
+    },
+    /// Coordinator → replica: apply a put to the local shard.
+    ForwardPut {
+        /// The key to write.
+        key: u64,
+        /// Write version (last-writer-wins).
+        seq: u64,
+        /// Datacenter the client request entered at.
+        origin_dc: u32,
+        /// The value bytes (final field; length implied by the frame).
+        value: Vec<u8>,
+    },
+    /// The single response to any request. For gets, `seq`/`value`
+    /// carry the stored version; for puts they echo the written seq
+    /// with an empty value.
+    Ack {
+        /// How the request ended.
+        status: AckStatus,
+        /// Stored / written version.
+        seq: u64,
+        /// Value bytes for get responses (final field).
+        value: Vec<u8>,
+    },
+}
+
+const TAG_GET: u8 = 1;
+const TAG_PUT: u8 = 2;
+const TAG_FWD_GET: u8 = 3;
+const TAG_FWD_PUT: u8 = 4;
+const TAG_ACK: u8 = 5;
+
+fn bad(reason: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason)
+}
+
+impl Frame {
+    /// Encode into a complete on-wire frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            Frame::Get { key } => {
+                body.push(TAG_GET);
+                body.extend_from_slice(&key.to_le_bytes());
+            }
+            Frame::Put { key, seq, value } => {
+                body.push(TAG_PUT);
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(value);
+            }
+            Frame::ForwardGet { key, origin_dc } => {
+                body.push(TAG_FWD_GET);
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(&origin_dc.to_le_bytes());
+            }
+            Frame::ForwardPut { key, seq, origin_dc, value } => {
+                body.push(TAG_FWD_PUT);
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&origin_dc.to_le_bytes());
+                body.extend_from_slice(value);
+            }
+            Frame::Ack { status, seq, value } => {
+                body.push(TAG_ACK);
+                body.push(status.to_byte());
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(value);
+            }
+        }
+        debug_assert!(body.len() <= MAX_FRAME as usize);
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a frame body (everything after the length prefix).
+    pub fn decode_body(body: &[u8]) -> io::Result<Frame> {
+        let mut r = Cursor { buf: body, pos: 0 };
+        let tag = r.u8()?;
+        let frame = match tag {
+            TAG_GET => Frame::Get { key: r.u64()? },
+            TAG_PUT => Frame::Put { key: r.u64()?, seq: r.u64()?, value: r.rest().to_vec() },
+            TAG_FWD_GET => Frame::ForwardGet { key: r.u64()?, origin_dc: r.u32()? },
+            TAG_FWD_PUT => Frame::ForwardPut {
+                key: r.u64()?,
+                seq: r.u64()?,
+                origin_dc: r.u32()?,
+                value: r.rest().to_vec(),
+            },
+            TAG_ACK => Frame::Ack {
+                status: AckStatus::from_byte(r.u8()?)?,
+                seq: r.u64()?,
+                value: r.rest().to_vec(),
+            },
+            t => return Err(bad(format!("unknown frame tag {t}"))),
+        };
+        if !r.done() {
+            return Err(bad(format!("{} trailing bytes after frame", body.len() - r.pos)));
+        }
+        Ok(frame)
+    }
+}
+
+/// Fixed-field reader over a frame body. Variable-length `value`
+/// fields use [`Cursor::rest`], which consumes everything remaining.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(bad(format!(
+                "truncated frame: wanted {n} bytes at offset {}, body is {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// A framed, buffered connection over any byte stream (in practice a
+/// `TcpStream`).
+///
+/// Reading accumulates into an internal buffer, so a read timeout in
+/// the middle of a frame loses nothing: the partial bytes stay
+/// buffered and the next [`recv`](Conn::recv) call resumes where the
+/// interrupted one stopped.
+pub struct Conn<S> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl<S: Read + Write> Conn<S> {
+    /// Wrap a byte stream.
+    pub fn new(stream: S) -> Self {
+        Conn { stream, buf: Vec::new() }
+    }
+
+    /// The underlying stream (to set timeouts, peer addresses, ...).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Write one complete frame.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.stream.write_all(&frame.encode())
+    }
+
+    /// Read one complete frame. Returns `Ok(None)` on clean EOF at a
+    /// frame boundary; EOF mid-frame is an error. `WouldBlock` /
+    /// `TimedOut` bubble up with the partial frame still buffered.
+    pub fn recv(&mut self) -> io::Result<Option<Frame>> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("length checked"));
+                if len > MAX_FRAME {
+                    return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+                }
+                let total = 4 + len as usize;
+                if self.buf.len() >= total {
+                    let frame = Frame::decode_body(&self.buf[4..total])?;
+                    self.buf.drain(..total);
+                    return Ok(Some(frame));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("EOF with {} buffered bytes mid-frame", self.buf.len()),
+                    ));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send a request and block for its single [`Frame::Ack`].
+    pub fn roundtrip(&mut self, frame: &Frame) -> io::Result<Frame> {
+        self.send(frame)?;
+        match self.recv()? {
+            Some(ack @ Frame::Ack { .. }) => Ok(ack),
+            Some(other) => Err(bad(format!("expected an ack, got {other:?}"))),
+            None => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before ack")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::Get { key: 7 },
+            Frame::Put { key: 1, seq: 2, value: vec![9, 8, 7] },
+            Frame::ForwardGet { key: u64::MAX, origin_dc: 3 },
+            Frame::ForwardPut { key: 0, seq: 1, origin_dc: 9, value: Vec::new() },
+            Frame::Ack { status: AckStatus::NotFound, seq: 0, value: Vec::new() },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for f in frames() {
+            let bytes = f.encode();
+            let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+            assert_eq!(bytes.len(), 4 + len);
+            assert_eq!(Frame::decode_body(&bytes[4..]).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn conn_reassembles_split_frames() {
+        // Feed two frames byte-by-byte through an in-memory stream.
+        let a = Frame::Put { key: 5, seq: 6, value: vec![1, 2, 3, 4] };
+        let b = Frame::Ack { status: AckStatus::Ok, seq: 6, value: Vec::new() };
+        let mut wire = a.encode();
+        wire.extend_from_slice(&b.encode());
+        let mut conn = Conn::new(OneByteReader { data: wire, pos: 0 });
+        assert_eq!(conn.recv().unwrap(), Some(a));
+        assert_eq!(conn.recv().unwrap(), Some(b));
+        assert_eq!(conn.recv().unwrap(), None, "clean EOF at frame boundary");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut wire = Frame::Get { key: 3 }.encode();
+        wire.truncate(wire.len() - 1);
+        let mut conn = Conn::new(OneByteReader { data: wire, pos: 0 });
+        let err = conn.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        wire.push(TAG_GET);
+        let mut conn = Conn::new(OneByteReader { data: wire, pos: 0 });
+        let err = conn.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("MAX_FRAME"), "{err}");
+    }
+
+    /// Reader that returns one byte per call — the worst-case stream
+    /// fragmentation — and ignores writes.
+    struct OneByteReader {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for OneByteReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    impl Write for OneByteReader {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+}

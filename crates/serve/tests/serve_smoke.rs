@@ -1,0 +1,121 @@
+//! End-to-end smoke tests: a real loopback cluster served by the
+//! online RFH control loop, driven by the load generator, with and
+//! without chaos. The headline assertion everywhere: **zero lost
+//! acknowledged writes**.
+
+use rfh_faults::FaultPlan;
+use rfh_serve::{
+    run_loadgen, ArrivalMode, Cluster, ClusterConfig, GetOutcome, LoadGenConfig, ServeClient,
+};
+
+fn small_cluster() -> ClusterConfig {
+    ClusterConfig {
+        servers_per_rack: 1, // 10 DCs × 2 racks × 1 = 20 nodes
+        partitions: 16,
+        seed: 7,
+        control_interval_ms: 50,
+        capacity_spread: 0.25,
+    }
+}
+
+fn small_load(ops: u64) -> LoadGenConfig {
+    LoadGenConfig {
+        mode: ArrivalMode::Closed,
+        workers: 4,
+        ops,
+        rate: 2_000.0,
+        read_fraction: 0.5,
+        keys: 200,
+        zipf_s: 0.9,
+        value_bytes: 32,
+        seed: 11,
+    }
+}
+
+#[test]
+fn serves_reads_and_writes_without_loss() {
+    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
+    let report = run_loadgen(&small_load(600), cluster.node_infos()).unwrap();
+    let summary = cluster.shutdown().unwrap();
+
+    assert!(report.completed > 0, "no operations completed:\n{}", report.render());
+    assert_eq!(report.failed, 0, "healthy cluster must not fail ops:\n{}", report.render());
+    assert_eq!(report.lost_acked_writes, 0, "lost writes:\n{}", report.render());
+    assert_eq!(report.value_mismatches, 0, "corrupt values:\n{}", report.render());
+    assert!(report.acked_writes > 0, "mixed workload must ack writes");
+    assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+
+    assert_eq!(summary.nodes, 20);
+    assert_eq!(summary.alive_nodes, 20);
+    assert!(summary.ticks > 0, "control loop never ticked");
+    assert!(summary.gets + summary.puts >= report.completed, "coordinators saw every op");
+    assert_eq!(summary.invariant_violations, 0, "auditor findings:\n{}", summary.render());
+}
+
+#[test]
+fn open_loop_mode_measures_latency() {
+    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
+    let cfg = LoadGenConfig {
+        mode: ArrivalMode::Open,
+        workers: 2,
+        ops: 200,
+        rate: 4_000.0,
+        ..small_load(200)
+    };
+    let report = run_loadgen(&cfg, cluster.node_infos()).unwrap();
+    cluster.shutdown().unwrap();
+    assert_eq!(report.mode, "open");
+    assert_eq!(report.completed + report.failed, 200);
+    assert_eq!(report.lost_acked_writes, 0, "lost writes:\n{}", report.render());
+    assert!(report.p999_us >= report.p50_us);
+}
+
+#[test]
+fn survives_a_server_kill_without_losing_acked_writes() {
+    // Kill one server two ticks in (≈100 ms with a 50 ms interval),
+    // while the load generator is still writing.
+    let plan = FaultPlan::from_toml_str("[[at]]\nepoch = 2\nfail_servers = [5]\n").unwrap();
+    let cluster = Cluster::start(&small_cluster(), plan).unwrap();
+    let report = run_loadgen(&small_load(1_200), cluster.node_infos()).unwrap();
+    let summary = cluster.shutdown().unwrap();
+
+    assert!(report.completed > 0, "no operations completed:\n{}", report.render());
+    assert_eq!(report.lost_acked_writes, 0, "lost acked writes:\n{}", report.render());
+    assert_eq!(report.value_mismatches, 0, "corrupt values:\n{}", report.render());
+    assert_eq!(summary.alive_nodes, 19, "exactly one server stays dead");
+    assert!(summary.ticks >= 2, "the kill epoch must have run");
+}
+
+#[test]
+fn data_survives_across_direct_client_use() {
+    // Drive the client API directly (not through the load generator):
+    // write through one datacenter, read through another.
+    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
+    let nodes = cluster.node_infos().to_vec();
+    let mut writer = ServeClient::new(&nodes, 0, 0).unwrap();
+    let mut reader = ServeClient::new(&nodes, 7, 0).unwrap();
+    for key in 0..50u64 {
+        writer.put(key, key + 1, &key.to_le_bytes()).unwrap();
+    }
+    for key in 0..50u64 {
+        match reader.get(key).unwrap() {
+            GetOutcome::Found { seq, value } => {
+                assert_eq!(seq, key + 1);
+                assert_eq!(value, key.to_le_bytes());
+            }
+            GetOutcome::NotFound => panic!("key {key} vanished"),
+        }
+    }
+    assert!(matches!(reader.get(10_000).unwrap(), GetOutcome::NotFound));
+    let summary = cluster.shutdown().unwrap();
+    assert!(summary.forwards > 0, "cross-datacenter reads must forward");
+}
+
+#[test]
+fn addr_file_roundtrips_through_client_parser() {
+    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
+    let text = cluster.render_addr_file();
+    let parsed = ServeClient::parse_addr_file(&text).unwrap();
+    assert_eq!(parsed, cluster.node_infos());
+    cluster.shutdown().unwrap();
+}

@@ -1,0 +1,153 @@
+//! Property tests for the wire protocol: encode→decode identity for
+//! every frame type, plus rejection of truncated and oversized frames.
+
+use proptest::prelude::*;
+use rfh_serve::wire::{AckStatus, Conn, Frame, MAX_FRAME};
+use std::io::{self, Read, Write};
+
+fn value_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..300)
+}
+
+fn any_frame() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        any::<u64>().prop_map(|key| Frame::Get { key }),
+        (any::<u64>(), any::<u64>(), value_bytes()).prop_map(|(key, seq, value)| Frame::Put {
+            key,
+            seq,
+            value
+        }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(key, origin_dc)| Frame::ForwardGet { key, origin_dc }),
+        (any::<u64>(), any::<u64>(), any::<u32>(), value_bytes()).prop_map(
+            |(key, seq, origin_dc, value)| Frame::ForwardPut { key, seq, origin_dc, value }
+        ),
+        (0u32..3, any::<u64>(), value_bytes()).prop_map(|(s, seq, value)| Frame::Ack {
+            status: AckStatus::from_byte(s as u8).expect("0..=2 are the valid status bytes"),
+            seq,
+            value,
+        }),
+    ]
+    .boxed()
+}
+
+/// An in-memory duplex: everything written is readable back.
+#[derive(Default)]
+struct Loopback {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for Loopback {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for Loopback {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.data.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_identity(frame in any_frame()) {
+        let bytes = frame.encode();
+        prop_assert!(bytes.len() >= 4);
+        let body_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(body_len, bytes.len() - 4, "prefix counts the body exactly");
+        let decoded = Frame::decode_body(&bytes[4..]).expect("own encoding must decode");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn conn_roundtrips_frames(frames in proptest::collection::vec(any_frame(), 1..10)) {
+        let mut conn = Conn::new(Loopback::default());
+        for f in &frames {
+            conn.send(f).unwrap();
+        }
+        for f in &frames {
+            let got = conn.recv().expect("stream healthy").expect("frame available");
+            prop_assert_eq!(&got, f);
+        }
+        prop_assert!(conn.recv().expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected(frame in any_frame(), cut in any::<prop::sample::Index>()) {
+        let bytes = frame.encode();
+        // Cut inside the fixed fields: decode_body must error, never
+        // panic and never fabricate a frame. (A cut inside a trailing
+        // value merely shortens it — the length prefix guards that
+        // region, which the mid-frame EOF check below exercises.)
+        let body = &bytes[4..];
+        let header_len = match &frame {
+            Frame::Get { .. } => 9,
+            Frame::Put { .. } => 17,
+            Frame::ForwardGet { .. } => 13,
+            Frame::ForwardPut { .. } => 21,
+            Frame::Ack { .. } => 10,
+        };
+        let cut = cut.index(header_len);
+        prop_assert!(Frame::decode_body(&body[..cut]).is_err());
+        // A connection dying mid-frame is an UnexpectedEof, not a clean
+        // close and not a bogus frame.
+        let cut_stream = Loopback { data: bytes[..bytes.len() - 1].to_vec(), pos: 0 };
+        let err = Conn::new(cut_stream).recv().expect_err("mid-frame EOF is an error");
+        prop_assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(frame in any_frame(), extra in 1usize..8) {
+        let mut body = frame.encode()[4..].to_vec();
+        body.extend(std::iter::repeat_n(0xAB, extra));
+        match &frame {
+            // Fixed-size frames must reject any surplus bytes.
+            Frame::Get { .. } | Frame::ForwardGet { .. } => {
+                prop_assert!(Frame::decode_body(&body).is_err());
+            }
+            // Value-carrying frames end in the value, whose length is
+            // implied by the body: surplus bytes extend the value.
+            Frame::Put { key, seq, value } => {
+                let mut longer = value.clone();
+                longer.extend(std::iter::repeat_n(0xAB, extra));
+                prop_assert_eq!(
+                    Frame::decode_body(&body).unwrap(),
+                    Frame::Put { key: *key, seq: *seq, value: longer }
+                );
+            }
+            _ => {
+                prop_assert!(Frame::decode_body(&body).is_ok());
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let mut evil = Vec::new();
+    evil.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    evil.extend_from_slice(&[1u8; 16]);
+    let err = Conn::new(Loopback { data: evil, pos: 0 })
+        .recv()
+        .expect_err("oversized prefix must be rejected");
+    assert!(err.to_string().contains("MAX_FRAME"), "unexpected error: {err}");
+}
+
+#[test]
+fn status_bytes_roundtrip() {
+    for s in [AckStatus::Ok, AckStatus::NotFound, AckStatus::Unavailable] {
+        assert_eq!(AckStatus::from_byte(s.to_byte()).unwrap(), s);
+    }
+    assert!(AckStatus::from_byte(3).is_err());
+}

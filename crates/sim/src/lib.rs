@@ -38,7 +38,7 @@ pub mod runner;
 pub mod simulation;
 
 pub use metrics::{recovery_epochs, EpochSnapshot, Metrics};
-pub use repair::RepairQueue;
+pub use repair::{destination_unreachable, RepairQueue};
 pub use rfh_faults::{FaultAction, FaultPlan};
 pub use runner::{run_comparison, run_comparison_observed, ComparisonResult, ObsOptions};
 pub use simulation::{SimParams, SimResult, Simulation};

@@ -106,6 +106,28 @@ impl Histogram {
         Some(self.hi)
     }
 
+    /// Fold another histogram's observations into this one — used to
+    /// combine per-thread latency histograms after a load-generation
+    /// run.
+    ///
+    /// # Panics
+    /// Panics unless both histograms share the same range and bucket
+    /// count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.lo, self.hi, self.buckets.len()),
+            (other.lo, other.hi, other.buckets.len()),
+            "can only merge histograms of identical shape"
+        );
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Fraction of observations at or below `threshold` (inclusive by
     /// bucket upper edge) — e.g. "what fraction of lookups finished
     /// within 3 hops". Bucket-resolution, conservative (rounds down).
@@ -208,6 +230,31 @@ mod tests {
         assert_eq!(h.fraction_within(-1.0), 0.0);
         assert_eq!(h.fraction_within(10.0), 1.0);
         assert_eq!(Histogram::new(0.0, 1.0, 1).fraction_within(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        for x in [1.5, 2.5, -1.0] {
+            a.record(x);
+        }
+        for x in [1.5, 50.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.buckets()[1], 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert!((a.mean() - (1.5 + 2.5 - 1.0 + 1.5 + 50.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shape")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        a.merge(&Histogram::new(0.0, 10.0, 5));
     }
 
     #[test]

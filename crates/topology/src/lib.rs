@@ -29,7 +29,10 @@ pub mod topology;
 
 pub use datacenter::{Datacenter, Rack, Room};
 pub use graph::{RoutePath, WanGraph};
-pub use presets::{paper_topology, paper_topology_spec, synthetic_topology, PAPER_DC_COUNT};
+pub use presets::{
+    paper_topology, paper_topology_spec, scaled_paper_topology, scaled_paper_topology_spec,
+    synthetic_topology, PAPER_DC_COUNT,
+};
 pub use routes::RouteTable;
 pub use server::Server;
 pub use topology::{Topology, TopologyBuilder};

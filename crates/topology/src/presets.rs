@@ -35,6 +35,16 @@ pub const PAPER_SERVERS_PER_RACK: u32 = 5;
 /// The builder for the paper topology, exposed so tests and examples can
 /// tweak it (add sites, drop links) before building.
 pub fn paper_topology_spec() -> TopologyBuilder {
+    scaled_paper_topology_spec(PAPER_SERVERS_PER_RACK)
+}
+
+/// The paper topology's sites and links with a custom rack density:
+/// the same ten datacenters and backbone, but `servers_per_rack`
+/// servers in each rack instead of the paper's 5. Used by the serving
+/// runtime to stand up clusters of `10 × 2 × servers_per_rack` nodes
+/// while keeping Fig. 1's routing structure (and thus RFH's transit
+/// hubs) intact.
+pub fn scaled_paper_topology_spec(servers_per_rack: u32) -> TopologyBuilder {
     let mut b = TopologyBuilder::new();
     let dc = |b: &mut TopologyBuilder, site, cont, country, code, lat, lon| {
         b.datacenter(
@@ -45,7 +55,7 @@ pub fn paper_topology_spec() -> TopologyBuilder {
             GeoPoint::new(lat, lon),
             PAPER_ROOMS,
             PAPER_RACKS_PER_ROOM,
-            PAPER_SERVERS_PER_RACK,
+            servers_per_rack,
         )
         .expect("preset datacenters are valid")
     };
@@ -93,6 +103,20 @@ pub fn paper_topology_spec() -> TopologyBuilder {
 /// and RNG seed (see [`TopologyBuilder::build`]).
 pub fn paper_topology(capacity_spread: f64, seed: u64) -> Result<Topology> {
     paper_topology_spec().build(capacity_spread, seed)
+}
+
+/// Build the paper topology at a custom rack density (see
+/// [`scaled_paper_topology_spec`]).
+pub fn scaled_paper_topology(
+    servers_per_rack: u32,
+    capacity_spread: f64,
+    seed: u64,
+) -> Result<Topology> {
+    if servers_per_rack == 0 {
+        use rfh_types::RfhError;
+        return Err(RfhError::Topology("scaled paper topology needs at least one server".into()));
+    }
+    scaled_paper_topology_spec(servers_per_rack).build(capacity_spread, seed)
 }
 
 /// A parameterized synthetic world for scalability studies: `regions`
@@ -284,6 +308,19 @@ mod tests {
         let t = synthetic_topology(1, 3, 2, 0.0, 0).unwrap();
         assert!(t.graph().is_connected());
         assert_eq!(t.server_count(), 12);
+    }
+
+    #[test]
+    fn scaled_paper_topology_keeps_structure_at_any_density() {
+        let t = scaled_paper_topology(3, 0.0, 0).unwrap();
+        assert_eq!(t.datacenters().len(), PAPER_DC_COUNT);
+        assert_eq!(t.server_count(), 60, "10 DCs × 1 room × 2 racks × 3 servers");
+        assert!(t.graph().is_connected());
+        // Routing structure is unchanged: Asia still funnels through E, D.
+        let (a, d, e) = (site(&t, "A"), site(&t, "D"), site(&t, "E"));
+        let p = t.path(site(&t, "H"), a).unwrap();
+        assert!(p.contains(&d) && p.contains(&e), "H→A misses the transit hubs: {p:?}");
+        assert!(scaled_paper_topology(0, 0.0, 0).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   §II-A and the five availability levels derived from it ([`label`]);
 //! * storage/bandwidth units ([`units`]);
 //! * the full parameter set of Table I ([`config`]);
-//! * the error type shared across the workspace ([`error`]).
+//! * the error type shared across the workspace ([`error`]);
+//! * the TOML-subset config reader shared by fault plans and serve
+//!   configs ([`toml`]).
 
 #![warn(missing_docs)]
 
@@ -24,6 +26,7 @@ pub mod error;
 pub mod geo;
 pub mod ids;
 pub mod label;
+pub mod toml;
 pub mod units;
 
 pub use config::{FlashCrowdConfig, SimConfig, Thresholds};

@@ -1,0 +1,308 @@
+//! A hand-rolled TOML-subset reader shared by every config file the
+//! workspace accepts (fault plans, serve cluster configs, load-generator
+//! profiles).
+//!
+//! The workspace vendors no TOML crate, so the subset is deliberately
+//! small — exactly what declarative experiment configs need:
+//!
+//! * top-level `key = value` pairs,
+//! * `[table]` headers,
+//! * `[[array-of-table]]` block headers,
+//! * integer / float / boolean / quoted-string scalars,
+//! * flat single-line numeric arrays,
+//! * `#` comments.
+//!
+//! Everything accepted here is valid TOML, so config files stay readable
+//! by standard tooling. The reader is *syntax only*: it produces a
+//! [`TomlDoc`] of blocks and typed values with source line numbers, and
+//! each consumer validates names and domains itself — that keeps error
+//! messages specific ("unknown [churn] key", "mtbf wants a number ≥ 1")
+//! without this module knowing any schema.
+
+use crate::{Result, RfhError};
+
+/// One scalar (or flat array) value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A double-quoted string (no escapes).
+    Str(String),
+    /// A flat, single-line numeric array.
+    Array(Vec<f64>),
+}
+
+impl TomlValue {
+    /// Numeric view of an int or float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            TomlValue::Int(i) => Some(i as f64),
+            TomlValue::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            TomlValue::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            TomlValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view as ids: every element must be a non-negative integer
+    /// that fits `u32`.
+    pub fn as_ids(&self) -> Option<Vec<u32>> {
+        match self {
+            TomlValue::Array(xs) => xs
+                .iter()
+                .map(|&x| {
+                    (x >= 0.0 && x.fract() == 0.0 && x <= u32::MAX as f64).then_some(x as u32)
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+/// One `key = value` pair with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlItem {
+    /// The key (left of `=`, trimmed).
+    pub key: String,
+    /// The parsed value.
+    pub value: TomlValue,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// What kind of header opened a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// The implicit top-level block before any header.
+    Top,
+    /// A `[name]` table.
+    Table,
+    /// One `[[name]]` array-of-tables entry.
+    ArrayOfTables,
+}
+
+/// A run of `key = value` items under one header (or the implicit top).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlBlock {
+    /// Header kind.
+    pub kind: BlockKind,
+    /// Header name (empty for the top block).
+    pub name: String,
+    /// 1-based line of the header (0 for the top block).
+    pub line: usize,
+    /// The block's items in source order.
+    pub items: Vec<TomlItem>,
+}
+
+/// A parsed document: the top block first, then each headed block in
+/// source order. Duplicate names are preserved — consumers decide
+/// whether repetition is an error (`[churn]`) or the point (`[[at]]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlDoc {
+    /// All blocks, top block first.
+    pub blocks: Vec<TomlBlock>,
+}
+
+impl TomlDoc {
+    /// The implicit top-level block.
+    pub fn top(&self) -> &TomlBlock {
+        &self.blocks[0]
+    }
+}
+
+/// Build the standard config error for `parameter` at a source line.
+pub fn config_err(parameter: &'static str, line: usize, reason: impl Into<String>) -> RfhError {
+    RfhError::InvalidConfig { parameter, reason: format!("line {line}: {}", reason.into()) }
+}
+
+fn parse_scalar(raw: &str, parameter: &'static str, line: usize) -> Result<TomlValue> {
+    let raw = raw.trim();
+    if raw == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if let Some(inner) = raw.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| config_err(parameter, line, "unterminated string"))?;
+        if inner.contains('"') {
+            return Err(config_err(parameter, line, "strings cannot contain quotes"));
+        }
+        return Ok(TomlValue::Str(inner.to_string()));
+    }
+    if let Some(inner) = raw.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| {
+            config_err(parameter, line, "unterminated array (arrays must be single-line)")
+        })?;
+        let mut xs = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            xs.push(
+                part.parse::<f64>().map_err(|_| {
+                    config_err(parameter, line, format!("bad array element {part:?}"))
+                })?,
+            );
+        }
+        return Ok(TomlValue::Array(xs));
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(TomlValue::Int(i));
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Ok(TomlValue::Float(f));
+    }
+    Err(config_err(parameter, line, format!("unparseable value {raw:?}")))
+}
+
+/// Parse `text` into a [`TomlDoc`]. `parameter` names the config in
+/// error messages (e.g. `"fault_plan"`).
+///
+/// # Errors
+/// Fails with [`RfhError::InvalidConfig`] on syntax errors only —
+/// malformed headers, lines that are not `key = value`, unparseable
+/// scalars. Unknown names are the consumer's concern.
+pub fn parse_toml(text: &str, parameter: &'static str) -> Result<TomlDoc> {
+    let mut blocks =
+        vec![TomlBlock { kind: BlockKind::Top, name: String::new(), line: 0, items: Vec::new() }];
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw_line.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("[[") {
+            let name =
+                rest.strip_suffix("]]").map(str::trim).filter(|n| !n.is_empty()).ok_or_else(
+                    || config_err(parameter, line, format!("malformed table header {trimmed:?}")),
+                )?;
+            blocks.push(TomlBlock {
+                kind: BlockKind::ArrayOfTables,
+                name: name.to_string(),
+                line,
+                items: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .map(str::trim)
+                .filter(|n| !n.is_empty() && !n.contains('['))
+                .ok_or_else(|| {
+                    config_err(parameter, line, format!("malformed table header {trimmed:?}"))
+                })?;
+            blocks.push(TomlBlock {
+                kind: BlockKind::Table,
+                name: name.to_string(),
+                line,
+                items: Vec::new(),
+            });
+            continue;
+        }
+        let (key, raw_val) = trimmed.split_once('=').ok_or_else(|| {
+            config_err(parameter, line, format!("expected `key = value`, got {trimmed:?}"))
+        })?;
+        let value = parse_scalar(raw_val, parameter, line)?;
+        blocks.last_mut().expect("top block always present").items.push(TomlItem {
+            key: key.trim().to_string(),
+            value,
+            line,
+        });
+    }
+    Ok(TomlDoc { blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_blocks_values_and_lines() {
+        let doc = parse_toml(
+            "seed = 42   # comment\nname = \"closed\"\n\n[churn]\nmtbf = 4.5\n\n[[at]]\nepoch = 7\nids = [1, 2, 3]\nflag = true\n",
+            "test",
+        )
+        .unwrap();
+        assert_eq!(doc.blocks.len(), 3);
+        let top = doc.top();
+        assert_eq!(top.kind, BlockKind::Top);
+        assert_eq!(top.items[0].key, "seed");
+        assert_eq!(top.items[0].value, TomlValue::Int(42));
+        assert_eq!(top.items[0].line, 1);
+        assert_eq!(top.items[1].value.as_str(), Some("closed"));
+        let churn = &doc.blocks[1];
+        assert_eq!((churn.kind, churn.name.as_str(), churn.line), (BlockKind::Table, "churn", 4));
+        assert_eq!(churn.items[0].value.as_f64(), Some(4.5));
+        let at = &doc.blocks[2];
+        assert_eq!(at.kind, BlockKind::ArrayOfTables);
+        assert_eq!(at.items[0].value.as_u64(), Some(7));
+        assert_eq!(at.items[1].value.as_ids(), Some(vec![1, 2, 3]));
+        assert_eq!(at.items[2].value.as_bool(), Some(true));
+    }
+
+    #[test]
+    fn duplicate_blocks_are_preserved_in_order() {
+        let doc = parse_toml("[[at]]\na = 1\n[[at]]\na = 2\n[x]\n[x]\n", "test").unwrap();
+        let names: Vec<&str> = doc.blocks.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["", "at", "at", "x", "x"]);
+    }
+
+    #[test]
+    fn rejects_syntax_errors_with_line_numbers() {
+        for (bad, needle) in [
+            ("a b c", "expected `key = value`"),
+            ("x = [1, 2", "unterminated array"),
+            ("x = \"abc", "unterminated string"),
+            ("x = what", "unparseable value"),
+            ("[unclosed", "malformed table header"),
+            ("[[]]", "malformed table header"),
+            ("[]", "malformed table header"),
+        ] {
+            let err = parse_toml(&format!("ok = 1\n{bad}\n"), "test").unwrap_err().to_string();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+            assert!(err.contains("line 2"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn value_accessors_enforce_types() {
+        assert_eq!(TomlValue::Int(-1).as_u64(), None);
+        assert_eq!(TomlValue::Float(2.0).as_u64(), None);
+        assert_eq!(TomlValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(TomlValue::Bool(true).as_f64(), None);
+        assert_eq!(TomlValue::Array(vec![1.5]).as_ids(), None, "fractional id");
+        assert_eq!(TomlValue::Array(vec![-1.0]).as_ids(), None, "negative id");
+        assert_eq!(TomlValue::Int(1).as_str(), None);
+    }
+}

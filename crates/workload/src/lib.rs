@@ -17,11 +17,14 @@
 //!   290, recovery, joins) driving the Fig. 10 experiment.
 //! * [`trace`] — record a generated workload and replay it, so the four
 //!   competing algorithms see byte-identical query streams.
+//! * [`live`] — the atomic-counter variant of the query matrix that the
+//!   serving runtime's request threads increment concurrently.
 
 #![warn(missing_docs)]
 
 pub mod events;
 pub mod generator;
+pub mod live;
 pub mod load;
 pub mod sampler;
 pub mod scenario;
@@ -29,6 +32,7 @@ pub mod trace;
 
 pub use events::{ClusterEvent, EventSchedule};
 pub use generator::WorkloadGenerator;
+pub use live::SharedLoad;
 pub use load::QueryLoad;
 pub use sampler::{Poisson, Zipf};
 pub use scenario::Scenario;

@@ -1,0 +1,161 @@
+//! Lock-free live traffic counters for the serving runtime.
+//!
+//! The offline simulator fills a [`QueryLoad`] synchronously; a live
+//! cluster has many request-handler threads incrementing `q_ijt`
+//! concurrently while a control loop periodically snapshots it. This
+//! module provides the shared, atomic variant: handlers call
+//! [`SharedLoad::add`] on the hot path (one relaxed fetch-add), and the
+//! control loop calls [`SharedLoad::drain_into`] to move the counts into
+//! an ordinary [`QueryLoad`] — atomically swapping each cell to zero so
+//! every query is counted in exactly one control interval.
+
+use crate::load::QueryLoad;
+use rfh_types::{DatacenterId, PartitionId};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A `partitions × requester-datacenters` matrix of atomic counters.
+#[derive(Debug)]
+pub struct SharedLoad {
+    partitions: u32,
+    dcs: u32,
+    counts: Vec<AtomicU32>,
+}
+
+impl SharedLoad {
+    /// Zeroed counter matrix for the given shape.
+    pub fn zeros(partitions: u32, dcs: u32) -> Self {
+        let mut counts = Vec::with_capacity(partitions as usize * dcs as usize);
+        counts.resize_with(partitions as usize * dcs as usize, || AtomicU32::new(0));
+        SharedLoad { partitions, dcs, counts }
+    }
+
+    /// Number of partitions (rows).
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// Number of requester datacenters (columns).
+    pub fn datacenters(&self) -> u32 {
+        self.dcs
+    }
+
+    #[inline]
+    fn idx(&self, p: PartitionId, j: DatacenterId) -> usize {
+        debug_assert!(p.0 < self.partitions && j.0 < self.dcs);
+        p.index() * self.dcs as usize + j.index()
+    }
+
+    /// Record `n` more queries for partition `p` from requester `j`.
+    /// Saturates instead of wrapping if an interval somehow exceeds
+    /// `u32::MAX` queries in one cell.
+    #[inline]
+    pub fn add(&self, p: PartitionId, j: DatacenterId, n: u32) {
+        let cell = &self.counts[self.idx(p, j)];
+        let prev = cell.fetch_add(n, Ordering::Relaxed);
+        if prev.checked_add(n).is_none() {
+            cell.store(u32::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of one cell (racy snapshot, test/debug use).
+    pub fn get(&self, p: PartitionId, j: DatacenterId) -> u32 {
+        self.counts[self.idx(p, j)].load(Ordering::Relaxed)
+    }
+
+    /// Move all counts into `out`, zeroing the shared matrix cell by
+    /// cell. Each increment lands in exactly one drain. Returns the
+    /// total drained this call.
+    ///
+    /// # Panics
+    /// If `out` has a different shape.
+    pub fn drain_into(&self, out: &mut QueryLoad) -> u64 {
+        assert_eq!(
+            (out.partitions(), out.datacenters()),
+            (self.partitions, self.dcs),
+            "drain target shape mismatch"
+        );
+        let mut total = 0u64;
+        for (i, cell) in self.counts.iter().enumerate() {
+            let n = cell.swap(0, Ordering::Relaxed);
+            if n > 0 {
+                let p = PartitionId::new((i / self.dcs as usize) as u32);
+                let j = DatacenterId::new((i % self.dcs as usize) as u32);
+                out.add(p, j, n);
+                total += n as u64;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId::new(i)
+    }
+    fn d(i: u32) -> DatacenterId {
+        DatacenterId::new(i)
+    }
+
+    #[test]
+    fn add_drain_and_reset() {
+        let shared = SharedLoad::zeros(3, 2);
+        shared.add(p(0), d(1), 4);
+        shared.add(p(2), d(0), 1);
+        shared.add(p(0), d(1), 2);
+        assert_eq!(shared.get(p(0), d(1)), 6);
+        let mut q = QueryLoad::zeros(3, 2);
+        assert_eq!(shared.drain_into(&mut q), 7);
+        assert_eq!(q.get(p(0), d(1)), 6);
+        assert_eq!(q.get(p(2), d(0)), 1);
+        assert_eq!(shared.get(p(0), d(1)), 0, "drain must zero the source");
+        assert_eq!(shared.drain_into(&mut q), 0, "second drain finds nothing");
+        assert_eq!(q.get(p(0), d(1)), 6, "drain adds into the target");
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted_once() {
+        let shared = SharedLoad::zeros(4, 4);
+        let drained = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in 0..10_000u32 {
+                        shared.add(p(i % 4), d(t % 4), 1);
+                    }
+                });
+            }
+            // Drain concurrently with the writers.
+            let (shared, drained) = (&shared, &drained);
+            s.spawn(move || {
+                let mut q = QueryLoad::zeros(4, 4);
+                for _ in 0..50 {
+                    drained.fetch_add(shared.drain_into(&mut q), Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let mut q = QueryLoad::zeros(4, 4);
+        let total = drained.load(Ordering::Relaxed) + shared.drain_into(&mut q);
+        assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn saturates_at_u32_max() {
+        let shared = SharedLoad::zeros(1, 1);
+        shared.add(p(0), d(0), u32::MAX - 1);
+        shared.add(p(0), d(0), 5);
+        assert_eq!(shared.get(p(0), d(0)), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn drain_rejects_shape_mismatch() {
+        let shared = SharedLoad::zeros(2, 2);
+        let mut q = QueryLoad::zeros(2, 3);
+        shared.drain_into(&mut q);
+    }
+}

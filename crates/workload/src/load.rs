@@ -54,6 +54,11 @@ impl QueryLoad {
         self.counts[i] += n;
     }
 
+    /// Reset every cell to zero, keeping the shape and allocation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+
     /// Row view: per-requester counts for one partition.
     pub fn partition_row(&self, p: PartitionId) -> &[u32] {
         let start = p.index() * self.dcs as usize;
@@ -130,6 +135,16 @@ mod tests {
         assert_eq!(q.requester_total(d(1)), 1);
         assert_eq!(q.total(), 15);
         assert_eq!(q.partition_row(p(0)), &[7, 0, 7]);
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_shape() {
+        let mut q = QueryLoad::zeros(2, 2);
+        q.add(p(1), d(1), 3);
+        q.clear();
+        assert_eq!(q.total(), 0);
+        assert_eq!(q.partitions(), 2);
+        assert_eq!(q.datacenters(), 2);
     }
 
     #[test]

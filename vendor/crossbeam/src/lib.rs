@@ -1,9 +1,14 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided — the
-//! one API this workspace uses — implemented directly on top of
-//! `std::thread::scope` (stable since Rust 1.63, which postdates the
-//! original choice of crossbeam for scoped threads).
+//! Two APIs are provided — the ones this workspace uses:
+//!
+//! * `crossbeam::thread::scope` / `Scope::spawn`, implemented directly
+//!   on top of `std::thread::scope` (stable since Rust 1.63, which
+//!   postdates the original choice of crossbeam for scoped threads);
+//! * `crossbeam::channel` with `unbounded` / `bounded`, implemented on
+//!   `std::sync::mpsc`. Crossbeam's senders are MPMC and clonable for
+//!   both flavors; mpsc gives us that for senders (which is all the
+//!   serve runtime needs — each receiver has exactly one owner thread).
 
 pub mod thread {
     //! Scoped threads.
@@ -59,8 +64,88 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Multi-producer channels with the crossbeam surface, backed by
+    //! `std::sync::mpsc`.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of a channel. Clonable; `send` blocks only for
+    /// bounded channels at capacity.
+    pub enum Sender<T> {
+        /// Sender for an [`unbounded`] channel.
+        Unbounded(mpsc::Sender<T>),
+        /// Sender for a [`bounded`] channel.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        /// Fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value),
+                Sender::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Block for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Blocking iterator over messages; ends when all senders drop.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     #[test]
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
@@ -80,5 +165,39 @@ mod tests {
         })
         .unwrap();
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn unbounded_channel_delivers_from_cloned_senders() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_channel_blocks_at_capacity_and_times_out_when_empty() {
+        let (tx, rx) = crate::channel::bounded::<u32>(1);
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(crate::channel::RecvTimeoutError::Timeout)
+        ));
+        crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| {
+                tx.send(1).unwrap();
+                tx.send(2).unwrap(); // blocks until the first is drained
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap();
+        })
+        .unwrap();
+        drop(tx);
+        assert!(rx.recv().is_err());
     }
 }
