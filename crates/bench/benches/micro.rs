@@ -127,6 +127,7 @@ fn decision_benches(c: &mut Criterion) {
                 accounts: &accounts,
                 smoother: &smoother,
                 blocking: &blocking,
+                view: &view,
                 config: &cfg,
                 recorder: &rfh_obs::NullRecorder,
             };

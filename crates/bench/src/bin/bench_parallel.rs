@@ -1,0 +1,110 @@
+//! Wall-clock scaling of the parallel epoch engine, emitted as
+//! `BENCH_parallel.json` for the repo's records.
+//!
+//! Run from the workspace root (release profile matters):
+//!
+//! ```text
+//! cargo run --release -p rfh-bench --bin bench_parallel
+//! ```
+//!
+//! Methodology: full RFH simulations on the scaled paper topology are
+//! timed at each thread count in interleaved rounds (so frequency or
+//! scheduler drift hits every configuration alike) and each thread
+//! count reports its *median* round. Before any timing, every
+//! configuration's `SimResult` is checked bit-identical to the serial
+//! run — the engine's contract is that threads buy wall-clock only.
+//!
+//! `host_cpus` is recorded because it bounds the achievable speedup:
+//! on a single-CPU host every thread count time-slices one core and
+//! the ratio is ~1.0 (pool overhead included) by construction.
+
+use rfh_core::PolicyKind;
+use rfh_sim::{SimParams, SimResult, Simulation};
+use rfh_topology::scaled_paper_topology;
+use rfh_types::SimConfig;
+use rfh_workload::{EventSchedule, Scenario};
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const ROUNDS: usize = 5;
+const EPOCHS: u64 = 12;
+const PARTITIONS: u32 = 256;
+const SERVERS_PER_RACK: u32 = 20;
+
+fn params(threads: usize) -> SimParams {
+    SimParams {
+        config: SimConfig { partitions: PARTITIONS, ..SimConfig::default() },
+        scenario: Scenario::RandomEven,
+        policy: PolicyKind::Rfh,
+        epochs: EPOCHS,
+        seed: 42,
+        events: EventSchedule::new(),
+        faults: rfh_sim::FaultPlan::default(),
+        threads,
+    }
+}
+
+fn run(threads: usize) -> (SimResult, f64) {
+    let topo = scaled_paper_topology(SERVERS_PER_RACK, 0.25, 42).expect("preset builds");
+    let sim = Simulation::with_topology(params(threads), topo).expect("params valid");
+    let start = Instant::now();
+    let result = sim.run().expect("run completes");
+    (result, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Contract check before timing: bit-identity across thread counts.
+    let (serial, _) = run(1);
+    for t in THREADS {
+        let (r, _) = run(t);
+        assert_eq!(serial, r, "{t}-thread result diverged from serial — refusing to bench");
+    }
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(ROUNDS); THREADS.len()];
+    for _ in 0..ROUNDS {
+        for (i, &t) in THREADS.iter().enumerate() {
+            samples[i].push(run(t).1);
+        }
+    }
+    let medians: Vec<f64> = samples.into_iter().map(median).collect();
+    let serial_ms = medians[0];
+
+    let mut per_thread = String::new();
+    for (i, &t) in THREADS.iter().enumerate() {
+        per_thread.push_str(&format!(
+            "    {{ \"threads\": {}, \"run_ms\": {:.1}, \"speedup\": {:.2} }}{}\n",
+            t,
+            medians[i],
+            serial_ms / medians[i],
+            if i + 1 < THREADS.len() { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"parallel epoch engine, scaled paper topology ",
+            "(10 DCs, {} servers/rack, {} partitions, {} RFH epochs)\",\n",
+            "  \"host_cpus\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"bit_identical_across_thread_counts\": true,\n",
+            "  \"results\": [\n{}  ],\n",
+            "  \"note\": \"speedup is bounded above by host_cpus; on a 1-CPU host all ",
+            "thread counts time-slice one core and the expected ratio is ~1.0\"\n",
+            "}}\n"
+        ),
+        SERVERS_PER_RACK, PARTITIONS, EPOCHS, host_cpus, ROUNDS, per_thread
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    print!("{json}");
+    eprintln!(
+        "wrote BENCH_parallel.json (4 threads: {:.2}x on {host_cpus} cpu(s))",
+        serial_ms / medians[2]
+    );
+}

@@ -25,6 +25,7 @@ fn main() {
         seed: 42,
         control_interval_ms: 100,
         capacity_spread: 0.25,
+        threads: 1,
     };
     // One server dies four ticks (~400 ms) into the run, while the
     // load generator is writing at full tilt.

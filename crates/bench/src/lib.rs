@@ -72,6 +72,7 @@ pub fn bench_params(scenario: Scenario, epochs: u64) -> SimParams {
         seed: 42,
         events: EventSchedule::new(),
         faults: rfh_sim::FaultPlan::default(),
+        threads: 1,
     }
 }
 

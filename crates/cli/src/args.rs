@@ -16,11 +16,12 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 17] = [
+const KNOWN: [&str; 18] = [
     "policy",
     "scenario",
     "epochs",
     "seed",
+    "threads",
     "csv",
     "csv-dir",
     "out",
@@ -112,6 +113,21 @@ pub fn epochs(opts: &Options) -> Result<u64> {
 /// `--seed` (default 42).
 pub fn seed(opts: &Options) -> Result<u64> {
     numeric(opts, "seed", 42)
+}
+
+/// `--threads` (default: the machine's available parallelism). Worker
+/// threads for the epoch hot path; results are bit-identical for any
+/// value, so the default trades nothing for speed.
+pub fn threads(opts: &Options) -> Result<usize> {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = numeric(opts, "threads", default as u64)?;
+    if n == 0 {
+        return Err(RfhError::InvalidConfig {
+            parameter: "threads",
+            reason: "--threads must be at least 1".into(),
+        });
+    }
+    Ok(n as usize)
 }
 
 /// `--faults PLAN.toml` / `--fault-seed N`: the chaos schedule. With no

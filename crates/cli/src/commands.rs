@@ -21,6 +21,7 @@ fn params(opts: &Options) -> Result<SimParams> {
         seed: args::seed(opts)?,
         events: EventSchedule::new(),
         faults: args::fault_plan(opts)?,
+        threads: args::threads(opts)?,
     })
 }
 

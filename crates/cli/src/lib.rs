@@ -9,6 +9,7 @@
 //! rfh topology [--seed N]                     inspect the 10-DC world and its routes
 //! rfh run [--policy rfh] [--scenario flash]   one simulation, summary + optional CSV
 //!         [--epochs N] [--seed N] [--csv FILE]
+//!         [--threads N]                        parallel epoch engine (bit-identical)
 //!         [--trace OUT.jsonl] [--profile]      decision trace + phase timing
 //!         [--faults PLAN.toml] [--fault-seed N] chaos schedule (see DESIGN.md)
 //! rfh compare [--scenario random] [--epochs N] four-way comparison table
@@ -80,6 +81,8 @@ COMMON OPTIONS:
     --scenario  random | flash | popularity           (default random)
     --epochs N                                        (default 250)
     --seed N                                          (default 42)
+    --threads N       worker threads for the epoch hot path; results are
+                      bit-identical for any value (default: all cores)
     --csv FILE        write the run's full metrics as CSV (run)
     --csv-dir DIR     write per-metric comparison CSVs (compare)
     --out FILE        trace output file (trace; default stdout)

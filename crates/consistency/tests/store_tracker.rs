@@ -1,0 +1,307 @@
+//! Unit + property tests for the store's restore/migration semantics and
+//! the tracker's epoch accounting — the behaviours `prop_versions.rs`
+//! does not reach: last-write-wins restore ordering, concurrent-version
+//! dominance with multiple writers, and the tracker's budget invariants.
+
+use proptest::prelude::*;
+use rfh_consistency::version::Causality;
+use rfh_consistency::{ConsistencyTracker, PartitionVersions, VersionVector};
+use rfh_core::{Action, ReplicaManager};
+use rfh_topology::paper_topology;
+use rfh_types::{PartitionId, ServerId, SimConfig};
+
+fn s(i: u32) -> ServerId {
+    ServerId::new(i)
+}
+
+// ---------------------------------------------------------------------
+// Store: restore ordering (last write wins)
+// ---------------------------------------------------------------------
+
+/// A replica removed and later restored with its carried vector must see
+/// exactly the writes committed while it was away — and the committed
+/// vector (the latest writes) always wins over the stale carried state.
+#[test]
+fn restore_after_downtime_observes_later_writes() {
+    let mut p = PartitionVersions::new();
+    p.add_replica(s(0), None);
+    p.add_replica(s(1), None);
+    for _ in 0..4 {
+        p.write(s(0));
+    }
+    p.sync_replica(s(1), 4);
+    let carried = p.remove_replica(s(1)).expect("tracked");
+    // Writes land while the replica is away.
+    for _ in 0..3 {
+        p.write(s(0));
+    }
+    p.add_replica(s(1), Some(carried.clone()));
+    assert_eq!(p.lag(s(1)), 3, "exactly the writes missed during downtime");
+    assert_eq!(
+        p.committed().causality(&carried),
+        Causality::Dominates,
+        "the later writes win over the restored state"
+    );
+    // Catch-up converges on the committed vector, never beyond it.
+    p.sync_replica(s(1), 100);
+    assert_eq!(p.lag(s(1)), 0);
+}
+
+/// Restoring an *old* snapshot after newer replicas were promoted must
+/// not roll anything back: a cold re-add starts at the committed vector,
+/// a carried re-add starts at the carried vector, and in both cases the
+/// committed history is untouched.
+#[test]
+fn restore_never_rolls_back_committed_history() {
+    let mut p = PartitionVersions::new();
+    p.add_replica(s(0), None);
+    p.write(s(0));
+    let stale = p.remove_replica(s(0)).expect("tracked");
+    for _ in 0..5 {
+        p.write(s(0));
+    }
+    let committed_before = p.committed().clone();
+    p.add_replica(s(0), Some(stale));
+    assert_eq!(p.committed(), &committed_before, "restore is read-only on history");
+    assert_eq!(p.lag(s(0)), 5);
+}
+
+proptest! {
+    /// Migration (remove with carry, re-add elsewhere) is lag-neutral for
+    /// any interleaving of writes and partial syncs, and the destination
+    /// replica converges to exactly the committed vector.
+    #[test]
+    fn migration_is_lag_neutral_and_convergent(
+        pre_writes in 0u64..30,
+        synced in 0u64..30,
+        post_writes in 0u64..30,
+    ) {
+        let mut p = PartitionVersions::new();
+        p.add_replica(s(0), None);
+        p.add_replica(s(1), None);
+        for _ in 0..pre_writes {
+            p.write(s(0));
+        }
+        p.sync_replica(s(1), synced);
+        let lag_before = p.lag(s(1));
+        let carried = p.remove_replica(s(1)).unwrap();
+        p.add_replica(s(2), Some(carried));
+        prop_assert_eq!(p.lag(s(2)), lag_before, "the move itself costs nothing");
+        for _ in 0..post_writes {
+            p.write(s(0));
+        }
+        prop_assert_eq!(p.lag(s(2)), lag_before + post_writes);
+        while p.lag(s(2)) > 0 {
+            p.sync_replica(s(2), 7);
+        }
+        prop_assert_eq!(
+            p.committed().causality(&VersionVector::new()),
+            if pre_writes + post_writes == 0 { Causality::Equal } else { Causality::Dominates }
+        );
+    }
+
+    /// Multi-writer concurrent-version dominance: two primaries write
+    /// interleaved, so their *applied* views are generally concurrent
+    /// (each has local writes the other has not applied). The committed
+    /// vector must dominate every applied view, and a full sync resolves
+    /// the concurrency — both replicas end equal to committed.
+    #[test]
+    fn committed_dominates_concurrent_applied_views(
+        a_writes in 1u64..20,
+        b_writes in 1u64..20,
+    ) {
+        let mut p = PartitionVersions::new();
+        p.add_replica(s(0), None);
+        p.add_replica(s(1), None);
+        // Interleave writes at two primaries (a migration window where
+        // the writer role moved mid-epoch).
+        for i in 0..a_writes.max(b_writes) {
+            if i < a_writes {
+                p.write(s(0));
+            }
+            if i < b_writes {
+                p.write(s(1));
+            }
+        }
+        // Extract the real applied views (remove_replica hands back the
+        // vector a migration would carry) and put them back unchanged.
+        let committed = p.committed().clone();
+        let view_a = p.remove_replica(s(0)).unwrap();
+        let view_b = p.remove_replica(s(1)).unwrap();
+        p.add_replica(s(0), Some(view_a.clone()));
+        p.add_replica(s(1), Some(view_b.clone()));
+        for view in [&view_a, &view_b] {
+            prop_assert!(
+                matches!(committed.causality(view), Causality::Dominates | Causality::Equal),
+                "committed must dominate every applied view"
+            );
+        }
+        // The two applied views disagree on local-only writes; their
+        // lattice join still cannot exceed the committed history.
+        let mut joined = view_a.clone();
+        joined.merge(&view_b);
+        prop_assert!(
+            matches!(committed.causality(&joined), Causality::Dominates | Causality::Equal),
+            "join of applied views invented events"
+        );
+        // Full sync resolves all concurrency: both views equal committed.
+        for srv in [s(0), s(1)] {
+            while p.lag(srv) > 0 {
+                p.sync_replica(srv, 5);
+            }
+            let synced = p.remove_replica(srv).unwrap();
+            prop_assert_eq!(synced.causality(&committed), Causality::Equal);
+            p.add_replica(srv, Some(synced));
+        }
+    }
+
+    /// Partial sync under multiple writers advances counters in
+    /// writer-id order, deterministically: two identical replicas given
+    /// the same budget end with identical applied state (same lag), and
+    /// the budget is charged exactly.
+    #[test]
+    fn multi_writer_partial_sync_is_deterministic(
+        writes in proptest::collection::vec(0u32..4, 1..40),
+        budget in 1u64..8,
+    ) {
+        let build = || {
+            let mut p = PartitionVersions::new();
+            p.add_replica(s(9), None);
+            for &w in &writes {
+                p.write(s(w));
+            }
+            p
+        };
+        let mut a = build();
+        let mut b = build();
+        let total = writes.len() as u64;
+        let mut applied = 0;
+        while a.lag(s(9)) > 0 {
+            let stepped = a.sync_replica(s(9), budget);
+            prop_assert_eq!(stepped, b.sync_replica(s(9), budget), "divergent partial sync");
+            prop_assert!(stepped <= budget);
+            prop_assert_eq!(a.lag(s(9)), b.lag(s(9)));
+            applied += stepped;
+        }
+        prop_assert_eq!(applied, total, "every committed event shipped exactly once");
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tracker: epoch accounting invariants
+// ---------------------------------------------------------------------
+
+fn manager(partitions: u32) -> ReplicaManager {
+    let cfg = SimConfig { partitions, ..SimConfig::default() };
+    let holders = (0..partitions).map(|p| ServerId::new(p % 4)).collect();
+    ReplicaManager::new(&cfg, 16, holders).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any write pattern and budget: the propagated-events bill is
+    /// bounded by budget × non-primary replicas, report fields stay in
+    /// range, the primary never lags, and enough quiet epochs always
+    /// reach full freshness (stale-read probability exactly zero).
+    #[test]
+    fn tracker_reports_are_bounded_and_converge(
+        writes in proptest::collection::vec(0u64..15, 4),
+        budget in 1u64..10,
+        extra_replicas in proptest::collection::vec((0u32..4, 8u32..16), 0..6),
+    ) {
+        let topo = paper_topology(0.0, 0).unwrap();
+        let mut m = manager(4);
+        let mut non_primary = 0u64;
+        for &(p, srv) in &extra_replicas {
+            let action = Action::Replicate {
+                partition: PartitionId::new(p),
+                target: ServerId::new(srv),
+            };
+            if m.apply(&topo, action).is_ok() {
+                non_primary += 1;
+            }
+        }
+        let mut t = ConsistencyTracker::new(4, budget);
+        let r = t.step(&m, |p| writes[p.index()]);
+        prop_assert_eq!(r.writes_committed, writes.iter().sum::<u64>());
+        prop_assert!(r.events_propagated <= budget * non_primary);
+        prop_assert!((0.0..=1.0).contains(&r.fresh_fraction));
+        prop_assert!((0.0..=1.0).contains(&r.stale_read_probability));
+        prop_assert!(r.mean_lag >= 0.0);
+        for p in 0..4 {
+            let pid = PartitionId::new(p);
+            prop_assert_eq!(t.partition(pid).lag(m.holder(pid)), 0, "primary lags");
+        }
+        // Quiet epochs drain all lag; freshness and staleness agree.
+        for _ in 0..200 {
+            let quiet = t.step(&m, |_| 0);
+            if quiet.fresh_fraction == 1.0 {
+                prop_assert_eq!(quiet.stale_read_probability, 0.0);
+                prop_assert_eq!(quiet.mean_lag, 0.0);
+                return Ok(());
+            }
+        }
+        prop_assert!(false, "tracker failed to converge in 200 quiet epochs");
+    }
+
+    /// Conservation: with a fixed replica set, every committed write is
+    /// eventually propagated to every non-primary replica exactly once —
+    /// summed over epochs, events_propagated == writes × non_primaries.
+    #[test]
+    fn propagation_conserves_events(
+        epochs in proptest::collection::vec(0u64..10, 1..8),
+        budget in 1u64..12,
+    ) {
+        let topo = paper_topology(0.0, 0).unwrap();
+        let mut m = manager(1);
+        for srv in [8u32, 9] {
+            m.apply(&topo, Action::Replicate {
+                partition: PartitionId::new(0),
+                target: ServerId::new(srv),
+            }).unwrap();
+        }
+        let mut t = ConsistencyTracker::new(1, budget);
+        t.step(&m, |_| 0); // establish tracking before any writes
+        let mut propagated = 0u64;
+        let mut committed = 0u64;
+        for &n in &epochs {
+            let r = t.step(&m, |_| n);
+            propagated += r.events_propagated;
+            committed += n;
+        }
+        let mut drained = 0;
+        loop {
+            let r = t.step(&m, |_| 0);
+            propagated += r.events_propagated;
+            if r.fresh_fraction == 1.0 {
+                break;
+            }
+            drained += 1;
+            prop_assert!(drained < 500, "must converge");
+        }
+        prop_assert_eq!(propagated, committed * 2, "each write ships to both replicas once");
+    }
+}
+
+/// Reconcile after a suicide drops the dead replica's version state and
+/// a re-replication to the same server starts from the fresh snapshot —
+/// the restore ordering the simulator's repair path relies on.
+#[test]
+fn reconcile_resurrection_is_snapshot_fresh() {
+    let topo = paper_topology(0.0, 0).unwrap();
+    let mut m = manager(1);
+    let p0 = PartitionId::new(0);
+    m.apply(&topo, Action::Replicate { partition: p0, target: s(9) }).unwrap();
+    let mut t = ConsistencyTracker::new(1, 1);
+    t.step(&m, |_| 8); // replica 9 now lags 7 (budget 1)
+    assert!(t.partition(p0).lag(s(9)) > 0);
+    m.apply(&topo, Action::Suicide { partition: p0, server: s(9) }).unwrap();
+    t.step(&m, |_| 0);
+    assert!(!t.partition(p0).has_replica(s(9)), "suicide drops version state");
+    m.apply(&topo, Action::Replicate { partition: p0, target: s(9) }).unwrap();
+    let r = t.step(&m, |_| 0);
+    assert_eq!(t.partition(p0).lag(s(9)), 0, "re-replication ships the snapshot");
+    assert_eq!(r.fresh_fraction, 1.0);
+}

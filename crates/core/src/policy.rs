@@ -10,7 +10,7 @@
 use crate::manager::ReplicaManager;
 use rfh_obs::Recorder;
 use rfh_topology::Topology;
-use rfh_traffic::{TrafficAccounts, TrafficSmoother};
+use rfh_traffic::{PlacementView, TrafficAccounts, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, ServerId, SimConfig};
 use rfh_workload::QueryLoad;
 
@@ -28,6 +28,11 @@ pub struct EpochContext<'a> {
     pub smoother: &'a TrafficSmoother,
     /// Per-server blocking probabilities (eq. 18), indexed by server.
     pub blocking: &'a [f64],
+    /// The frozen placement snapshot the traffic pass ran against —
+    /// consistent with `manager` at decide time (no mutation happens
+    /// between render and decide), and what the parallel decision pass
+    /// evaluates partitions against.
+    pub view: &'a PlacementView,
     /// Simulation parameters (Table I).
     pub config: &'a SimConfig,
     /// Decision-event sink (observation-only; `&NullRecorder` when the

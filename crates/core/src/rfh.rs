@@ -44,10 +44,13 @@ use crate::selection::{accepting_servers_in_dc, least_blocked_in_dc};
 use crate::thresholds::{
     holder_overloaded, is_traffic_hub, migration_beneficial, suicide_candidate,
 };
-use rfh_obs::{DecisionEvent, DecisionKind, Recorder, Trigger};
+use rfh_obs::{BufferedRecorder, DecisionEvent, DecisionKind, Recorder, Trigger};
+use rfh_pool::{shard_bounds, WorkerPool};
 use rfh_stats::min_replica_count;
 use rfh_topology::Topology;
+use rfh_traffic::PlacementView;
 use rfh_types::{DatacenterId, Epoch, PartitionId, ServerId, Thresholds};
+use std::sync::Arc;
 
 /// Consecutive suicide-candidate epochs required before a replica dies.
 pub const SUICIDE_PATIENCE: u32 = 4;
@@ -211,13 +214,15 @@ impl RfhDecisionCore {
             .or_else(|| view.bootstrap_candidate(p, holder_dc))
     }
 
-    /// Run the decision tree for every partition.
+    /// Run the decision tree for every partition, serially.
     ///
-    /// `replica_dc` must map a replica server to its datacenter (the
-    /// holder knows where its replicas live). Each emitted action is
-    /// mirrored to `recorder` as a [`DecisionEvent`] carrying the model
-    /// inputs that fired, labelled `policy` — observation-only, so the
-    /// decisions are identical under any recorder.
+    /// `snapshot` is the frozen per-epoch placement view decisions are
+    /// evaluated against; `manager` supplies the replica sets it was
+    /// rendered from (read-only until the caller applies the returned
+    /// actions). Each emitted action is mirrored to `recorder` as a
+    /// [`DecisionEvent`] carrying the model inputs that fired, labelled
+    /// `policy` — observation-only, so the decisions are identical
+    /// under any recorder.
     #[allow(clippy::too_many_arguments)]
     pub fn decide_all(
         &mut self,
@@ -226,166 +231,263 @@ impl RfhDecisionCore {
         r_min: usize,
         topo: &Topology,
         manager: &ReplicaManager,
+        snapshot: &PlacementView,
         view: &dyn TrafficView,
         recorder: &dyn Recorder,
         policy: &'static str,
     ) -> Vec<Action> {
         let mut actions = Vec::new();
-        let replica_dc = |s: ServerId| topo.servers()[s.index()].datacenter;
-        let traced = recorder.enabled();
-
         for p_idx in 0..manager.partitions() {
             let p = PartitionId::new(p_idx);
-            let holder = manager.holder(p);
-            let holder_dc = replica_dc(holder);
-            let q_avg = view.q_avg(p);
+            let d = self.decide_partition(
+                epoch, t, r_min, topo, manager, snapshot, view, recorder, policy, p,
+            );
+            self.absorb(epoch, p, d, &mut actions);
+        }
+        self.note_birth(epoch, &actions);
+        actions
+    }
 
-            // Update idle streaks for every non-primary replica (eq. 15
-            // sampled per epoch; suicide waits for a sustained streak).
-            for &s in manager.replicas(p) {
-                if s == holder {
-                    continue;
+    /// [`decide_all`](Self::decide_all) with the per-partition
+    /// evaluation fanned out over `pool`.
+    ///
+    /// Partitions are split into contiguous shards (one per worker).
+    /// Workers evaluate their partitions read-only against the frozen
+    /// `snapshot` and record trace events into per-shard
+    /// [`BufferedRecorder`]s; the coordinator then walks shards — hence
+    /// partitions — in ascending order, forwarding events to the real
+    /// recorder and absorbing each partition's state updates, exactly
+    /// as the serial loop would have. Actions, decision-core state, and
+    /// the recorder's event sequence are therefore bit-identical to
+    /// [`decide_all`](Self::decide_all) for any pool size.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_all_pooled(
+        &mut self,
+        epoch: Epoch,
+        t: &Thresholds,
+        r_min: usize,
+        topo: &Topology,
+        manager: &ReplicaManager,
+        snapshot: &PlacementView,
+        view: &(dyn TrafficView + Sync),
+        recorder: &dyn Recorder,
+        policy: &'static str,
+        pool: &WorkerPool,
+    ) -> Vec<Action> {
+        let n = manager.partitions() as usize;
+        if pool.size() <= 1 || n <= 1 {
+            return self
+                .decide_all(epoch, t, r_min, topo, manager, snapshot, view, recorder, policy);
+        }
+        let traced = recorder.enabled();
+        let n_shards = pool.size().min(n);
+        struct ShardOut {
+            lo: u32,
+            hi: u32,
+            events: BufferedRecorder,
+            decisions: Vec<PartitionDecision>,
+        }
+        let mut outs: Vec<ShardOut> = (0..n_shards)
+            .map(|k| {
+                let (lo, hi) = shard_bounds(n, n_shards, k);
+                ShardOut {
+                    lo: lo as u32,
+                    hi: hi as u32,
+                    events: BufferedRecorder::new(traced),
+                    decisions: Vec::with_capacity(hi - lo),
                 }
-                let tr = view.traffic(replica_dc(s), p);
-                let key = (p.0, s.0);
-                if suicide_candidate(t, tr, q_avg) {
-                    *self.idle_streak.entry(key).or_insert(0) += 1;
-                } else {
-                    self.idle_streak.remove(&key);
-                }
-            }
-
-            // ── 1. Availability floor ─────────────────────────────────
-            if manager.replica_count(p) < r_min {
-                if let Some(target) = Self::most_forwarding_target(view, p, holder_dc) {
-                    if traced {
-                        recorder.decision(DecisionEvent {
-                            target: Some(target.0),
-                            // eq. 14: the count/floor comparison fired.
-                            traffic: manager.replica_count(p) as f64,
-                            threshold: r_min as f64,
-                            q_avg,
-                            blocking: view.blocking_of(target),
-                            unserved: view.unserved(p),
-                            ..DecisionEvent::new(
-                                epoch.raw(),
+            })
+            .collect();
+        {
+            let core: &RfhDecisionCore = self;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = outs
+                .iter_mut()
+                .map(|out| {
+                    Box::new(move || {
+                        for p_idx in out.lo..out.hi {
+                            let d = core.decide_partition(
+                                epoch,
+                                t,
+                                r_min,
+                                topo,
+                                manager,
+                                snapshot,
+                                view as &dyn TrafficView,
+                                &out.events,
                                 policy,
-                                DecisionKind::Replicate,
-                                p.0,
-                                Trigger::AvailabilityFloor,
-                            )
-                        });
-                    }
-                    actions.push(Action::Replicate { partition: p, target });
-                }
-                continue; // one structural action per partition per epoch
+                                PartitionId::new(p_idx),
+                            );
+                            out.decisions.push(d);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        let mut actions = Vec::new();
+        for out in outs {
+            for event in out.events.drain() {
+                recorder.decision(event);
             }
+            for (i, d) in out.decisions.into_iter().enumerate() {
+                self.absorb(epoch, PartitionId::new(out.lo + i as u32), d, &mut actions);
+            }
+        }
+        self.note_birth(epoch, &actions);
+        actions
+    }
 
-            // ── 2. Overload relief via traffic hubs ───────────────────
-            // eq. 12 alone is scale-free (the holder of any queried,
-            // under-replicated partition trivially exceeds β·q̄ = β/N of
-            // its own demand), so relief also requires real unserved
-            // residual — replication exists to absorb demand the current
-            // replica set cannot.
-            let holder_tr = view.traffic(holder_dc, p);
-            if holder_overloaded(t, holder_tr, q_avg) && view.unserved(p) > UNSERVED_FLOOR {
-                let hubs = Self::top_hubs(view, t, p, holder_dc, q_avg);
-                // The hottest hub that can still take a copy (a hub DC
-                // scales out over its servers as demand grows).
-                let chosen = hubs
-                    .iter()
-                    .copied()
-                    .find_map(|(dc, tr)| view.candidate(p, dc).map(|srv| (dc, tr, srv)));
-                if let Some((hub_dc, hub_tr, target)) = chosen {
-                    // Migration beats replication only for a hub gaining
-                    // its *first* replica (the paper's "if there's any
-                    // replica of it is not at these three nodes"): an
-                    // idle replica parked outside the hubs moves in if
-                    // the benefit clears μ·t̄r and the partition is off
-                    // migration cooldown.
-                    let hub_is_fresh =
-                        !manager.replicas(p).iter().any(|&s| replica_dc(s) == hub_dc);
-                    let off_cooldown = self
-                        .last_migration
-                        .get(&p.0)
-                        .is_none_or(|&e| epoch.raw() >= e + MIGRATION_COOLDOWN);
-                    let mean_tr = view.mean_traffic(p);
-                    let victim = (hub_is_fresh && off_cooldown)
-                        .then(|| {
-                            manager
-                                .replicas(p)
-                                .iter()
-                                .copied()
-                                .filter(|&s| s != holder)
-                                .filter(|&s| !self.in_grace(epoch, p, s))
-                                .filter(|&s| {
-                                    let dc = replica_dc(s);
-                                    dc != hub_dc && !hubs.iter().any(|&(h, _)| h == dc)
-                                })
-                                .map(|s| (s, view.traffic(replica_dc(s), p)))
-                                .filter(|&(_, tr)| migration_beneficial(t, hub_tr, tr, mean_tr))
-                                .min_by(|a, b| {
-                                    a.1.partial_cmp(&b.1)
-                                        .unwrap_or(std::cmp::Ordering::Equal)
-                                        .then_with(|| a.0.cmp(&b.0))
-                                })
-                        })
-                        .flatten();
-                    match victim {
-                        Some((from, from_tr)) => {
-                            if traced {
-                                recorder.decision(DecisionEvent {
-                                    source: Some(from.0),
-                                    target: Some(target.0),
-                                    // eq. 16: benefit tr_to − tr_from vs μ·t̄r.
-                                    traffic: hub_tr - from_tr,
-                                    threshold: t.mu * mean_tr,
-                                    q_avg,
-                                    blocking: view.blocking_of(target),
-                                    unserved: view.unserved(p),
-                                    ..DecisionEvent::new(
-                                        epoch.raw(),
-                                        policy,
-                                        DecisionKind::Migrate,
-                                        p.0,
-                                        Trigger::MigrationBenefit,
-                                    )
-                                });
-                            }
-                            self.last_migration.insert(p.0, epoch.raw());
-                            actions.push(Action::Migrate { partition: p, from, to: target })
+    /// Evaluate the decision tree for one partition, read-only.
+    ///
+    /// All state `decide_all` historically mutated mid-loop is keyed by
+    /// partition (idle streaks by `(partition, server)`, the migration
+    /// cooldown by partition), so evaluating partitions against `&self`
+    /// and absorbing the returned updates afterwards — in partition
+    /// order — reproduces the serial loop exactly. That is the property
+    /// the parallel pass rests on.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_partition(
+        &self,
+        epoch: Epoch,
+        t: &Thresholds,
+        r_min: usize,
+        topo: &Topology,
+        manager: &ReplicaManager,
+        snapshot: &PlacementView,
+        view: &dyn TrafficView,
+        recorder: &dyn Recorder,
+        policy: &'static str,
+        p: PartitionId,
+    ) -> PartitionDecision {
+        let replica_dc = |s: ServerId| topo.servers()[s.index()].datacenter;
+        let traced = recorder.enabled();
+        let holder = snapshot.holder(p);
+        let holder_dc = replica_dc(holder);
+        let q_avg = view.q_avg(p);
+        let mut d = PartitionDecision::default();
+
+        // Update idle streaks for every non-primary replica (eq. 15
+        // sampled per epoch; suicide waits for a sustained streak).
+        for &s in manager.replicas(p) {
+            if s == holder {
+                continue;
+            }
+            let tr = view.traffic(replica_dc(s), p);
+            let key = (p.0, s.0);
+            if suicide_candidate(t, tr, q_avg) {
+                let next = self.idle_streak.get(&key).copied().unwrap_or(0) + 1;
+                d.streaks.push((key, Some(next)));
+            } else {
+                d.streaks.push((key, None));
+            }
+        }
+
+        // ── 1. Availability floor ─────────────────────────────────
+        if manager.replica_count(p) < r_min {
+            if let Some(target) = Self::most_forwarding_target(view, p, holder_dc) {
+                if traced {
+                    recorder.decision(DecisionEvent {
+                        target: Some(target.0),
+                        // eq. 14: the count/floor comparison fired.
+                        traffic: manager.replica_count(p) as f64,
+                        threshold: r_min as f64,
+                        q_avg,
+                        blocking: view.blocking_of(target),
+                        unserved: view.unserved(p),
+                        ..DecisionEvent::new(
+                            epoch.raw(),
+                            policy,
+                            DecisionKind::Replicate,
+                            p.0,
+                            Trigger::AvailabilityFloor,
+                        )
+                    });
+                }
+                d.action = Some(Action::Replicate { partition: p, target });
+            }
+            return d; // one structural action per partition per epoch
+        }
+
+        // ── 2. Overload relief via traffic hubs ───────────────────
+        // eq. 12 alone is scale-free (the holder of any queried,
+        // under-replicated partition trivially exceeds β·q̄ = β/N of
+        // its own demand), so relief also requires real unserved
+        // residual — replication exists to absorb demand the current
+        // replica set cannot.
+        let holder_tr = view.traffic(holder_dc, p);
+        if holder_overloaded(t, holder_tr, q_avg) && view.unserved(p) > UNSERVED_FLOOR {
+            let hubs = Self::top_hubs(view, t, p, holder_dc, q_avg);
+            // The hottest hub that can still take a copy (a hub DC
+            // scales out over its servers as demand grows).
+            let chosen = hubs
+                .iter()
+                .copied()
+                .find_map(|(dc, tr)| view.candidate(p, dc).map(|srv| (dc, tr, srv)));
+            if let Some((hub_dc, hub_tr, target)) = chosen {
+                // Migration beats replication only for a hub gaining
+                // its *first* replica (the paper's "if there's any
+                // replica of it is not at these three nodes"): an
+                // idle replica parked outside the hubs moves in if
+                // the benefit clears μ·t̄r and the partition is off
+                // migration cooldown.
+                let hub_is_fresh = !manager.replicas(p).iter().any(|&s| replica_dc(s) == hub_dc);
+                let off_cooldown = self
+                    .last_migration
+                    .get(&p.0)
+                    .is_none_or(|&e| epoch.raw() >= e + MIGRATION_COOLDOWN);
+                let mean_tr = view.mean_traffic(p);
+                let victim = (hub_is_fresh && off_cooldown)
+                    .then(|| {
+                        manager
+                            .replicas(p)
+                            .iter()
+                            .copied()
+                            .filter(|&s| s != holder)
+                            .filter(|&s| !self.in_grace(epoch, p, s))
+                            .filter(|&s| {
+                                let dc = replica_dc(s);
+                                dc != hub_dc && !hubs.iter().any(|&(h, _)| h == dc)
+                            })
+                            .map(|s| (s, view.traffic(replica_dc(s), p)))
+                            .filter(|&(_, tr)| migration_beneficial(t, hub_tr, tr, mean_tr))
+                            .min_by(|a, b| {
+                                a.1.partial_cmp(&b.1)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                                    .then_with(|| a.0.cmp(&b.0))
+                            })
+                    })
+                    .flatten();
+                match victim {
+                    Some((from, from_tr)) => {
+                        if traced {
+                            recorder.decision(DecisionEvent {
+                                source: Some(from.0),
+                                target: Some(target.0),
+                                // eq. 16: benefit tr_to − tr_from vs μ·t̄r.
+                                traffic: hub_tr - from_tr,
+                                threshold: t.mu * mean_tr,
+                                q_avg,
+                                blocking: view.blocking_of(target),
+                                unserved: view.unserved(p),
+                                ..DecisionEvent::new(
+                                    epoch.raw(),
+                                    policy,
+                                    DecisionKind::Migrate,
+                                    p.0,
+                                    Trigger::MigrationBenefit,
+                                )
+                            });
                         }
-                        None => {
-                            if traced {
-                                recorder.decision(DecisionEvent {
-                                    target: Some(target.0),
-                                    // eq. 13: the hub's traffic vs γ·q̄.
-                                    traffic: hub_tr,
-                                    threshold: t.gamma * q_avg,
-                                    q_avg,
-                                    blocking: view.blocking_of(target),
-                                    unserved: view.unserved(p),
-                                    ..DecisionEvent::new(
-                                        epoch.raw(),
-                                        policy,
-                                        DecisionKind::Replicate,
-                                        p.0,
-                                        Trigger::TrafficHub,
-                                    )
-                                });
-                            }
-                            actions.push(Action::Replicate { partition: p, target })
-                        }
+                        d.migrated = true;
+                        d.action = Some(Action::Migrate { partition: p, from, to: target });
                     }
-                } else if hubs.is_empty() {
-                    // Local surge: relieve inside the holder's own DC.
-                    if let Some(target) = view.candidate(p, holder_dc) {
+                    None => {
                         if traced {
                             recorder.decision(DecisionEvent {
                                 target: Some(target.0),
-                                // eq. 12: the holder's own traffic vs β·q̄.
-                                traffic: holder_tr,
-                                threshold: t.beta * q_avg,
+                                // eq. 13: the hub's traffic vs γ·q̄.
+                                traffic: hub_tr,
+                                threshold: t.gamma * q_avg,
                                 q_avg,
                                 blocking: view.blocking_of(target),
                                 unserved: view.unserved(p),
@@ -394,71 +496,136 @@ impl RfhDecisionCore {
                                     policy,
                                     DecisionKind::Replicate,
                                     p.0,
-                                    Trigger::LocalOverload,
+                                    Trigger::TrafficHub,
                                 )
                             });
                         }
-                        actions.push(Action::Replicate { partition: p, target });
+                        d.action = Some(Action::Replicate { partition: p, target });
                     }
                 }
-                continue;
-            }
-
-            // ── 3. Suicide ────────────────────────────────────────────
-            // Degraded mode under WAN partitions: a replica whose
-            // datacenter cannot route to the holder sees zero traffic
-            // *because of the fault*, not because demand died — it may
-            // be the only copy serving its island. Isolated replicas
-            // are never suicided, and only reachable copies count
-            // toward the floor here, so a partition-split replica set
-            // also stops shrinking. On a healthy backbone every
-            // replica is reachable and this is exactly eq. 15.
-            let reachable =
-                |s: ServerId| topo.graph().latency_ms(holder_dc, replica_dc(s)).is_some();
-            let reachable_count = manager.replicas(p).iter().filter(|&&s| reachable(s)).count();
-            if reachable_count > r_min {
-                let doomed = manager
-                    .replicas(p)
-                    .iter()
-                    .copied()
-                    .filter(|&s| s != holder)
-                    .filter(|&s| reachable(s))
-                    .filter(|&s| !self.in_grace(epoch, p, s))
-                    .filter(|&s| {
-                        self.idle_streak.get(&(p.0, s.0)).is_some_and(|&n| n >= SUICIDE_PATIENCE)
-                    })
-                    .map(|s| (s, view.traffic(replica_dc(s), p)))
-                    .min_by(|a, b| {
-                        a.1.partial_cmp(&b.1)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then_with(|| a.0.cmp(&b.0))
-                    });
-                if let Some((server, tr)) = doomed {
+            } else if hubs.is_empty() {
+                // Local surge: relieve inside the holder's own DC.
+                if let Some(target) = view.candidate(p, holder_dc) {
                     if traced {
                         recorder.decision(DecisionEvent {
-                            source: Some(server.0),
-                            // eq. 15: the replica's traffic vs δ·q̄.
-                            traffic: tr,
-                            threshold: t.delta * q_avg,
+                            target: Some(target.0),
+                            // eq. 12: the holder's own traffic vs β·q̄.
+                            traffic: holder_tr,
+                            threshold: t.beta * q_avg,
                             q_avg,
+                            blocking: view.blocking_of(target),
                             unserved: view.unserved(p),
                             ..DecisionEvent::new(
                                 epoch.raw(),
                                 policy,
-                                DecisionKind::Suicide,
+                                DecisionKind::Replicate,
                                 p.0,
-                                Trigger::IdleSuicide,
+                                Trigger::LocalOverload,
                             )
                         });
                     }
-                    actions.push(Action::Suicide { partition: p, server });
+                    d.action = Some(Action::Replicate { partition: p, target });
+                }
+            }
+            return d;
+        }
+
+        // ── 3. Suicide ────────────────────────────────────────────
+        // Degraded mode under WAN partitions: a replica whose
+        // datacenter cannot route to the holder sees zero traffic
+        // *because of the fault*, not because demand died — it may
+        // be the only copy serving its island. Isolated replicas
+        // are never suicided, and only reachable copies count
+        // toward the floor here, so a partition-split replica set
+        // also stops shrinking. On a healthy backbone every
+        // replica is reachable and this is exactly eq. 15.
+        let reachable = |s: ServerId| topo.graph().latency_ms(holder_dc, replica_dc(s)).is_some();
+        let reachable_count = manager.replicas(p).iter().filter(|&&s| reachable(s)).count();
+        if reachable_count > r_min {
+            // This epoch's streak values: the updates computed above,
+            // not yet absorbed into the map (the serial loop updated
+            // the map just before reading it — same values).
+            let streak_of = |s: ServerId| {
+                d.streaks.iter().find(|(k, _)| *k == (p.0, s.0)).and_then(|(_, v)| *v)
+            };
+            let doomed = manager
+                .replicas(p)
+                .iter()
+                .copied()
+                .filter(|&s| s != holder)
+                .filter(|&s| reachable(s))
+                .filter(|&s| !self.in_grace(epoch, p, s))
+                .filter(|&s| streak_of(s).is_some_and(|n| n >= SUICIDE_PATIENCE))
+                .map(|s| (s, view.traffic(replica_dc(s), p)))
+                .min_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+            if let Some((server, tr)) = doomed {
+                if traced {
+                    recorder.decision(DecisionEvent {
+                        source: Some(server.0),
+                        // eq. 15: the replica's traffic vs δ·q̄.
+                        traffic: tr,
+                        threshold: t.delta * q_avg,
+                        q_avg,
+                        unserved: view.unserved(p),
+                        ..DecisionEvent::new(
+                            epoch.raw(),
+                            policy,
+                            DecisionKind::Suicide,
+                            p.0,
+                            Trigger::IdleSuicide,
+                        )
+                    });
+                }
+                d.action = Some(Action::Suicide { partition: p, server });
+            }
+        }
+        d
+    }
+
+    /// Fold one partition's evaluation back into the core's state, in
+    /// partition order — the serial half of the snapshot/apply split.
+    fn absorb(
+        &mut self,
+        epoch: Epoch,
+        p: PartitionId,
+        d: PartitionDecision,
+        actions: &mut Vec<Action>,
+    ) {
+        for (key, streak) in d.streaks {
+            match streak {
+                Some(n) => {
+                    self.idle_streak.insert(key, n);
+                }
+                None => {
+                    self.idle_streak.remove(&key);
                 }
             }
         }
-
-        self.note_birth(epoch, &actions);
-        actions
+        if d.migrated {
+            self.last_migration.insert(p.0, epoch.raw());
+        }
+        if let Some(action) = d.action {
+            actions.push(action);
+        }
     }
+}
+
+/// Everything evaluating one partition wants to change: applied by
+/// [`RfhDecisionCore::absorb`] on the coordinating thread, in partition
+/// order.
+#[derive(Debug, Default)]
+struct PartitionDecision {
+    /// `(partition, server) →` new idle-streak value (`None`: the
+    /// streak broke and the entry is removed).
+    streaks: Vec<((u32, u32), Option<u32>)>,
+    /// At most one structural action per partition per epoch.
+    action: Option<Action>,
+    /// The action is a migration: stamp the cooldown on absorb.
+    migrated: bool,
 }
 
 /// The neighbour-probe bootstrap placement both agents use for
@@ -558,6 +725,9 @@ pub struct RfhPolicy {
     /// in-datacenter server choice. Disabled by the `ablation_blocking`
     /// study, which falls back to the lowest-id accepting server.
     use_blocking: bool,
+    /// Worker pool for the parallel decision pass; `None` (or a
+    /// single-worker pool) keeps the pass on the calling thread.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl RfhPolicy {
@@ -569,7 +739,20 @@ impl RfhPolicy {
     /// Override the suicide grace period (0 disables it) — exposed for
     /// the ablation benchmarks.
     pub fn with_grace(grace_epochs: u64) -> Self {
-        RfhPolicy { core: RfhDecisionCore::new(grace_epochs), use_blocking: true }
+        RfhPolicy { core: RfhDecisionCore::new(grace_epochs), use_blocking: true, pool: None }
+    }
+
+    /// Fan the per-partition evaluation out over `pool` — decisions are
+    /// bit-identical to the serial pass for any pool size.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Attach (or detach) the decision-pass worker pool in place.
+    pub fn set_pool(&mut self, pool: Option<Arc<WorkerPool>>) {
+        self.pool = pool;
     }
 
     /// Disable (or re-enable) the blocking-probability server choice —
@@ -589,16 +772,31 @@ impl ReplicationPolicy for RfhPolicy {
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let view = CentralizedView { ctx, manager, use_blocking: self.use_blocking };
-        self.core.decide_all(
-            ctx.epoch,
-            &ctx.config.thresholds,
-            r_min,
-            ctx.topo,
-            manager,
-            &view,
-            ctx.recorder,
-            "RFH",
-        )
+        match self.pool.as_deref() {
+            Some(pool) if pool.size() > 1 => self.core.decide_all_pooled(
+                ctx.epoch,
+                &ctx.config.thresholds,
+                r_min,
+                ctx.topo,
+                manager,
+                ctx.view,
+                &view,
+                ctx.recorder,
+                "RFH",
+                pool,
+            ),
+            _ => self.core.decide_all(
+                ctx.epoch,
+                &ctx.config.thresholds,
+                r_min,
+                ctx.topo,
+                manager,
+                ctx.view,
+                &view,
+                ctx.recorder,
+                "RFH",
+            ),
+        }
     }
 }
 

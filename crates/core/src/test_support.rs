@@ -4,7 +4,7 @@ use crate::manager::ReplicaManager;
 use crate::policy::EpochContext;
 use rfh_ring::ConsistentHashRing;
 use rfh_topology::{paper_topology, Topology};
-use rfh_traffic::{TrafficAccounts, TrafficEngine, TrafficSmoother};
+use rfh_traffic::{PlacementView, TrafficAccounts, TrafficEngine, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, SimConfig};
 use rfh_workload::QueryLoad;
 use std::cell::RefCell;
@@ -27,6 +27,7 @@ pub(crate) struct CtxParts {
     pub accounts: TrafficAccounts,
     pub smoother: TrafficSmoother,
     pub blocking: Vec<f64>,
+    pub view: PlacementView,
 }
 
 impl CtxParts {
@@ -39,6 +40,7 @@ impl CtxParts {
             accounts: &self.accounts,
             smoother: &self.smoother,
             blocking: &self.blocking,
+            view: &self.view,
             config: &h.cfg,
             recorder: &rfh_obs::NullRecorder,
         }
@@ -76,7 +78,7 @@ impl Harness {
             &accounts,
             self.cfg.replica_capacity_mean,
         );
-        CtxParts { epoch: Epoch::ZERO, load, accounts, smoother, blocking }
+        CtxParts { epoch: Epoch::ZERO, load, accounts, smoother, blocking, view }
     }
 
     /// An epoch with zero queries, manager at initial placement.

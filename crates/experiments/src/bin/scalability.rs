@@ -55,6 +55,7 @@ fn main() {
                 seed,
                 events: EventSchedule::new(),
                 faults: rfh_sim::FaultPlan::default(),
+                threads: 1,
             };
             let result = prof.time(kind.name(), || {
                 Simulation::with_topology(params, topo)

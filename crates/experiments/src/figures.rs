@@ -50,6 +50,7 @@ pub fn base_params(scenario: Scenario, epochs: u64, seed: u64) -> SimParams {
         seed,
         events: EventSchedule::new(),
         faults: rfh_sim::FaultPlan::default(),
+        threads: 1,
     }
 }
 

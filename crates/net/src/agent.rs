@@ -369,6 +369,7 @@ impl ReplicationPolicy for DistributedRfhPolicy {
             r_min,
             ctx.topo,
             manager,
+            ctx.view,
             &view,
             ctx.recorder,
             "RFH-dist",

@@ -46,6 +46,7 @@ impl Cluster {
             accounts: &accounts,
             smoother: &self.smoother,
             blocking: &blocking,
+            view: &view,
             config: &self.cfg,
             recorder: &rfh_obs::NullRecorder,
         };

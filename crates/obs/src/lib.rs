@@ -32,5 +32,5 @@ pub use profiler::{
     PhaseStat, ProfileReport, Profiler, PHASE_APPLY, PHASE_DECIDE, PHASE_EVENTS, PHASE_METRICS,
     PHASE_NETWORK, PHASE_TRAFFIC, PHASE_WORKLOAD,
 };
-pub use recorder::{NullRecorder, Recorder, TraceRecorder};
+pub use recorder::{BufferedRecorder, NullRecorder, Recorder, TraceRecorder};
 pub use registry::{Metric, MetricsRegistry};

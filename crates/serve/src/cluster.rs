@@ -267,8 +267,16 @@ impl Cluster {
             );
         }
 
-        let controller =
-            Controller::new(Arc::clone(&shared), topo, ring, manager, cfg, faults, r_min);
+        let controller = Controller::new(
+            Arc::clone(&shared),
+            topo,
+            ring,
+            manager,
+            cfg,
+            faults,
+            r_min,
+            config.threads as usize,
+        );
         let interval = std::time::Duration::from_millis(config.control_interval_ms);
         let control = std::thread::Builder::new()
             .name("rfh-control".into())

@@ -21,6 +21,11 @@ pub struct ClusterConfig {
     pub control_interval_ms: u64,
     /// Per-server capacity spread (Table I's heterogeneity).
     pub capacity_spread: f64,
+    /// Worker threads for the control loop's hot path (traffic pass
+    /// and RFH decision pass). `1` keeps the tick single-threaded; any
+    /// value produces the same decisions from the same drained
+    /// counters.
+    pub threads: u64,
 }
 
 impl Default for ClusterConfig {
@@ -31,6 +36,7 @@ impl Default for ClusterConfig {
             seed: 42,
             control_interval_ms: 200,
             capacity_spread: 0.25,
+            threads: 1,
         }
     }
 }
@@ -63,6 +69,9 @@ impl ClusterConfig {
         if self.control_interval_ms == 0 {
             return Err(err("control_interval_ms must be at least 1"));
         }
+        if self.threads == 0 {
+            return Err(err("threads must be at least 1"));
+        }
         self.sim_config().validate()
     }
 
@@ -74,6 +83,7 @@ impl ClusterConfig {
     /// seed = 42
     /// control_interval_ms = 200
     /// capacity_spread = 0.25
+    /// threads = 1
     /// ```
     pub fn from_toml_str(text: &str) -> Result<Self> {
         let doc = toml::parse_toml(text, "serve_config")?;
@@ -106,6 +116,12 @@ impl ClusterConfig {
                         .as_u64()
                         .filter(|&x| x >= 1)
                         .ok_or_else(|| e("control_interval_ms wants an int ≥ 1".into()))?
+                }
+                "threads" => {
+                    cfg.threads = val
+                        .as_u64()
+                        .filter(|&x| x >= 1)
+                        .ok_or_else(|| e("threads wants an int ≥ 1".into()))?
                 }
                 "capacity_spread" => {
                     cfg.capacity_spread = val

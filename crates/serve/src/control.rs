@@ -31,6 +31,7 @@ use rfh_core::{
 };
 use rfh_faults::{FaultInjector, FaultPlan, InvariantAuditor};
 use rfh_obs::{MetricsRegistry, NullRecorder};
+use rfh_pool::WorkerPool;
 use rfh_ring::ConsistentHashRing;
 use rfh_sim::{destination_unreachable, RepairQueue};
 use rfh_topology::Topology;
@@ -79,6 +80,9 @@ pub(crate) struct Controller {
     repair_queue: RepairQueue,
     pinned: Vec<PartitionId>,
     view: PlacementView,
+    /// Shared worker pool for the tick's traffic pass; the policy holds
+    /// a second handle for its decision pass. `None` when `threads <= 1`.
+    pool: Option<Arc<WorkerPool>>,
     scratch: QueryLoad,
     cfg: SimConfig,
     tick: u64,
@@ -89,6 +93,7 @@ pub(crate) struct Controller {
 }
 
 impl Controller {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         shared: Arc<Shared>,
         topo: Topology,
@@ -97,8 +102,12 @@ impl Controller {
         cfg: SimConfig,
         faults: FaultPlan,
         r_min: usize,
+        threads: usize,
     ) -> Self {
         let dc_count = topo.datacenters().len() as u32;
+        let pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
+        let mut policy = RfhPolicy::new();
+        policy.set_pool(pool.clone());
         Controller {
             injector: FaultInjector::new(&faults),
             auditor: InvariantAuditor::new(cfg.partitions, r_min),
@@ -107,8 +116,9 @@ impl Controller {
             smoother: TrafficSmoother::new(cfg.partitions, dc_count, cfg.thresholds.alpha),
             engine: TrafficEngine::new(),
             view: PlacementView::new(0, 0, Vec::new()),
+            pool,
             scratch: QueryLoad::zeros(cfg.partitions, dc_count),
-            policy: RfhPolicy::new(),
+            policy,
             shared,
             topo,
             ring,
@@ -178,7 +188,10 @@ impl Controller {
         self.shared.load.drain_into(&mut self.scratch);
 
         self.manager.render_view(&self.topo, self.cfg.replica_capacity_mean, &mut self.view);
-        let accounts = self.engine.account(&self.topo, &self.scratch, &self.view);
+        let accounts = match &self.pool {
+            Some(pool) => self.engine.account_sharded(&self.topo, &self.scratch, &self.view, pool),
+            None => self.engine.account(&self.topo, &self.scratch, &self.view),
+        };
         self.smoother.update(&self.scratch, accounts);
         let blocking =
             server_blocking_probabilities(&self.topo, accounts, self.cfg.replica_capacity_mean);
@@ -191,6 +204,7 @@ impl Controller {
             accounts,
             smoother: &self.smoother,
             blocking: &blocking,
+            view: &self.view,
             config: &self.cfg,
             recorder: &recorder,
         };

@@ -75,6 +75,7 @@ mod tests {
             seed: 3,
             events: EventSchedule::new(),
             faults: crate::FaultPlan::default(),
+            threads: 1,
         })
         .unwrap()
     }
@@ -122,6 +123,7 @@ mod tests {
                 seed: 3,
                 events: EventSchedule::new(),
                 faults: crate::FaultPlan::default(),
+                threads: 1,
             },
             &crate::runner::ObsOptions { profile: true, recorder: None },
         )

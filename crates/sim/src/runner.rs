@@ -119,6 +119,7 @@ mod tests {
             seed: 11,
             events: EventSchedule::new(),
             faults: crate::FaultPlan::default(),
+            threads: 1,
         }
     }
 

@@ -13,6 +13,7 @@ use rfh_obs::{
     MetricsRegistry, NullRecorder, ProfileReport, Profiler, Recorder, PHASE_APPLY, PHASE_DECIDE,
     PHASE_EVENTS, PHASE_METRICS, PHASE_TRAFFIC, PHASE_WORKLOAD,
 };
+use rfh_pool::WorkerPool;
 use rfh_ring::ConsistentHashRing;
 use rfh_stats::min_replica_count;
 use rfh_topology::{paper_topology, Topology};
@@ -46,6 +47,11 @@ pub struct SimParams {
     /// faults is bit-identical to one from before the fault layer
     /// existed.
     pub faults: FaultPlan,
+    /// Worker threads for the epoch hot path (traffic pass and RFH
+    /// decision pass). `0` or `1` keeps everything on the calling
+    /// thread; any value produces bit-identical results — parallelism
+    /// changes wall-clock only, never the run.
+    pub threads: usize,
 }
 
 impl SimParams {
@@ -59,6 +65,7 @@ impl SimParams {
             seed: 42,
             events: EventSchedule::new(),
             faults: FaultPlan::default(),
+            threads: 1,
         }
     }
 
@@ -144,6 +151,9 @@ pub struct Simulation {
     fault_shortfall: u64,
     /// Archive restores completed this epoch, pending the snapshot.
     pending_repairs: usize,
+    /// Shared worker pool for the traffic and decision passes; `None`
+    /// when `params.threads <= 1` (the serial path, zero overhead).
+    pool: Option<Arc<WorkerPool>>,
     /// Decision-event sink; [`NullRecorder`] unless traced.
     recorder: Arc<dyn Recorder>,
     /// Per-phase epoch timer; disabled (one branch per phase) unless
@@ -180,7 +190,8 @@ impl Simulation {
             topo.datacenters().len() as u32,
             cfg.thresholds.alpha,
         );
-        let policy = Self::build_policy(&params, &topo, &ring);
+        let pool = (params.threads > 1).then(|| Arc::new(WorkerPool::new(params.threads)));
+        let policy = Self::build_policy(&params, &topo, &ring, pool.as_ref());
         let generator = params.workload_generator(topo.datacenters().len() as u32);
         let metrics = Metrics::new(cfg.partitions);
         let r_min = min_replica_count(cfg.failure_rate, cfg.min_availability) as usize;
@@ -205,6 +216,7 @@ impl Simulation {
             view: PlacementView::new(0, 0, Vec::new()),
             dirty_parts: Vec::new(),
             view_stale: true,
+            pool,
             recorder: Arc::new(NullRecorder),
             profiler: Profiler::new(false),
             epoch: 0,
@@ -248,9 +260,13 @@ impl Simulation {
         params: &SimParams,
         topo: &Topology,
         ring: &ConsistentHashRing,
+        pool: Option<&Arc<WorkerPool>>,
     ) -> Box<dyn ReplicationPolicy + Send> {
         match params.policy {
-            PolicyKind::Rfh => Box::new(RfhPolicy::new()),
+            PolicyKind::Rfh => match pool {
+                Some(pool) => Box::new(RfhPolicy::new().with_pool(Arc::clone(pool))),
+                None => Box::new(RfhPolicy::new()),
+            },
             PolicyKind::Random => Box::new(RandomPolicy::new(ring.clone())),
             PolicyKind::OwnerOriented => Box::new(OwnerOrientedPolicy::new()),
             PolicyKind::RequestOriented => Box::new(RequestOrientedPolicy::new(
@@ -460,7 +476,10 @@ impl Simulation {
             }
             self.dirty_parts.clear();
         }
-        let accounts = self.engine.account(&self.topo, &load, &self.view);
+        let accounts = match &self.pool {
+            Some(pool) => self.engine.account_sharded(&self.topo, &load, &self.view, pool),
+            None => self.engine.account(&self.topo, &load, &self.view),
+        };
         self.smoother.update(&load, accounts);
         let blocking =
             server_blocking_probabilities(&self.topo, accounts, cfg.replica_capacity_mean);
@@ -474,6 +493,7 @@ impl Simulation {
             accounts,
             smoother: &self.smoother,
             blocking: &blocking,
+            view: &self.view,
             config: cfg,
             recorder: &*self.recorder,
         };
@@ -496,6 +516,33 @@ impl Simulation {
         self.profiler.stop(PHASE_METRICS, me_t0);
 
         let ap_t0 = self.profiler.start();
+        self.apply_actions(actions, &mut snap);
+        self.profiler.stop(PHASE_APPLY, ap_t0);
+
+        let me_t1 = self.profiler.start();
+        snap.replicas_total = self.manager.total_replicas();
+        let manager = &self.manager;
+        let pinned = &self.pinned;
+        snap.invariant_violations = self.auditor.audit(
+            self.epoch,
+            &self.topo,
+            |p, buf| buf.extend_from_slice(manager.replicas(p)),
+            |p| pinned.contains(&p),
+        ) as usize;
+        self.metrics.record(&snap);
+        self.profiler.stop(PHASE_METRICS, me_t1);
+        self.recorder.end_epoch(self.policy.name(), self.epoch);
+        self.epoch += 1;
+        Ok(snap)
+    }
+
+    /// The serial half of the epoch's snapshot/apply split: execute the
+    /// decisions the policy made against the frozen placement view.
+    /// Deferred repairs go first (admitted in an earlier epoch, they
+    /// compete for this epoch's bandwidth ahead of new decisions), then
+    /// this epoch's actions in decision order. All placement mutation
+    /// for the epoch happens here, on the coordinating thread.
+    fn apply_actions(&mut self, actions: Vec<Action>, snap: &mut EpochSnapshot) {
         // The recorder matches outcomes and epoch flushes by the label
         // the policy stamps into its events — ask the policy itself, so
         // custom (ablated) policies stay correctly attributed too.
@@ -580,23 +627,6 @@ impl Simulation {
                 }
             }
         }
-        self.profiler.stop(PHASE_APPLY, ap_t0);
-
-        let me_t1 = self.profiler.start();
-        snap.replicas_total = self.manager.total_replicas();
-        let manager = &self.manager;
-        let pinned = &self.pinned;
-        snap.invariant_violations = self.auditor.audit(
-            self.epoch,
-            &self.topo,
-            |p, buf| buf.extend_from_slice(manager.replicas(p)),
-            |p| pinned.contains(&p),
-        ) as usize;
-        self.metrics.record(&snap);
-        self.profiler.stop(PHASE_METRICS, me_t1);
-        self.recorder.end_epoch(policy_label, self.epoch);
-        self.epoch += 1;
-        Ok(snap)
     }
 
     /// Export the run's counters into a metrics registry: epoch and
@@ -657,6 +687,7 @@ mod tests {
             seed: 7,
             events: EventSchedule::new(),
             faults: FaultPlan::default(),
+            threads: 1,
         }
     }
 

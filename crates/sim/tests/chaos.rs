@@ -18,6 +18,7 @@ fn base(policy: PolicyKind, epochs: u64) -> SimParams {
         seed: 7,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     }
 }
 

@@ -1,0 +1,123 @@
+//! The serial ≡ parallel differential harness.
+//!
+//! The parallel epoch engine's contract is *bit-identity*: for any
+//! thread count, a run produces exactly the metric history, placement,
+//! and rendered reports of the serial run — parallelism may only change
+//! wall-clock. These tests drive the full matrix (every policy × thread
+//! counts {1, 2, 4, 7} × several seeds, with and without a chaos fault
+//! plan) and compare:
+//!
+//! * the [`SimResult`] (every metric series, profile excluded),
+//! * the final rendered [`PlacementView`] (replica placement content),
+//! * the full per-epoch CSV report, byte for byte.
+//!
+//! 7 threads is deliberately coprime with the 16-partition count so
+//! shard boundaries land unevenly; 2 and 4 divide it exactly.
+
+use rfh_core::PolicyKind;
+use rfh_faults::{ChurnConfig, FaultAction, FaultPlan};
+use rfh_sim::{report, SimParams, SimResult, Simulation};
+use rfh_traffic::PlacementView;
+use rfh_types::{DatacenterId, SimConfig};
+use rfh_workload::{EventSchedule, Scenario};
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+const SEEDS: [u64; 3] = [7, 23, 4242];
+
+fn base(policy: PolicyKind, seed: u64, threads: usize) -> SimParams {
+    SimParams {
+        config: SimConfig { partitions: 16, replica_capacity_mean: 5.0, ..SimConfig::default() },
+        scenario: Scenario::RandomEven,
+        policy,
+        epochs: 30,
+        seed,
+        events: EventSchedule::new(),
+        faults: FaultPlan::default(),
+        threads,
+    }
+}
+
+/// Every fault family at once: background churn, a correlated DC
+/// outage, gray message loss, and a bandwidth squeeze — all inside the
+/// 30-epoch window.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 11,
+        scheduled: Vec::new(),
+        churn: Some(ChurnConfig { mtbf: 300.0, mttr: 10.0, start: 0, end: None }),
+    }
+    .at(8, FaultAction::FailDatacenter(DatacenterId::new(3)))
+    .at(10, FaultAction::MessageLoss(0.2))
+    .at(12, FaultAction::Bandwidth(0.5, 0.5))
+    .at(18, FaultAction::RecoverDatacenter(DatacenterId::new(3)))
+    .at(20, FaultAction::MessageLoss(0.0))
+    .at(22, FaultAction::Bandwidth(1.0, 1.0))
+}
+
+/// Run to completion and capture everything the differential compares:
+/// the result, the rendered CSV, and the final placement view.
+fn run_once(
+    policy: PolicyKind,
+    seed: u64,
+    threads: usize,
+    chaos: bool,
+) -> (SimResult, String, PlacementView) {
+    let mut p = base(policy, seed, threads);
+    if chaos {
+        p.faults = chaos_plan();
+    }
+    let cap = p.config.replica_capacity_mean;
+    let epochs = p.epochs;
+    let mut sim = Simulation::new(p).expect("params are valid");
+    while sim.epoch() < epochs {
+        sim.step().expect("epoch steps");
+    }
+    let view = sim.manager().placement_view(sim.topology(), cap);
+    let result = sim.finish();
+    let csv = report::run_csv(&result);
+    (result, csv, view)
+}
+
+fn assert_matrix(chaos: bool) {
+    for policy in PolicyKind::ALL {
+        for seed in SEEDS {
+            let (serial, serial_csv, serial_view) = run_once(policy, seed, 1, chaos);
+            for threads in THREADS {
+                let (parallel, csv, view) = run_once(policy, seed, threads, chaos);
+                let tag = format!(
+                    "{policy} seed {seed} threads {threads}{}",
+                    if chaos { " +chaos" } else { "" }
+                );
+                assert_eq!(serial, parallel, "SimResult diverged: {tag}");
+                assert_eq!(serial_csv, csv, "CSV report diverged: {tag}");
+                assert_eq!(serial_view, view, "final placement diverged: {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_are_bit_identical_to_serial() {
+    assert_matrix(false);
+}
+
+#[test]
+fn parallel_runs_are_bit_identical_to_serial_under_chaos() {
+    assert_matrix(true);
+}
+
+/// The four-way comparison runner goes through the same engine; spot
+/// check that its per-metric CSV (the figure pipeline's input) is
+/// byte-identical too, serial vs a deliberately awkward thread count.
+#[test]
+fn comparison_csv_is_thread_count_invariant() {
+    let serial = rfh_sim::run_comparison(&base(PolicyKind::Rfh, 7, 1)).unwrap();
+    let parallel = rfh_sim::run_comparison(&base(PolicyKind::Rfh, 7, 7)).unwrap();
+    for metric in ["utilization", "replicas_total", "unserved", "latency_ms"] {
+        assert_eq!(
+            report::comparison_csv(&serial, metric),
+            report::comparison_csv(&parallel, metric),
+            "comparison CSV diverged for {metric}"
+        );
+    }
+}

@@ -14,16 +14,33 @@
 //!   [`generation`](rfh_topology::Topology::generation) moves;
 //! * per-generation membership caches (each server's datacenter, each
 //!   datacenter's alive servers in `server_ids()` order);
-//! * the [`TrafficAccounts`] block and the remaining-capacity scratch
-//!   grid, zeroed in place each pass.
+//! * a capacity index keyed on [`PlacementView::version`]: which
+//!   servers are worth visiting per `(partition, datacenter)` pair;
+//! * per-shard working buffers, zeroed in place each pass.
 //!
-//! The pass itself replays the legacy accounting loop *verbatim* — same
-//! iteration order, same `f64` accumulation sequence — so an engine's
-//! output is bit-identical to `compute_traffic` on the same inputs
-//! (property-tested in `tests/prop_engine.rs`). Determinism of the
-//! simulator therefore survives the refactor unchanged.
+//! ## Sharded pass, canonical merge
+//!
+//! Partitions are independent in the traffic pass: remaining capacity
+//! is a per-partition row, every grid write lands in a per-partition
+//! column, and the within-partition accounting order (requesters
+//! ascending, hops in path order, indexed servers in visit order) fixes
+//! every cell's value exactly. Only five scalar totals (`hops_weighted`,
+//! `latency_weighted_ms`, `sla_within`, `served_total`,
+//! `unserved_total`) cross partitions, and `f64` addition is not
+//! associative — so the engine defines their *canonical* value as
+//! per-partition subtotals folded in ascending partition order.
+//!
+//! The pass therefore runs as contiguous partition shards (one shard
+//! serially; [`account_sharded`](TrafficEngine::account_sharded) fans
+//! shards out over a [`WorkerPool`]) followed by a serial merge that
+//! walks shards — hence partitions — in ascending order. Serial and
+//! parallel execution share the shard code and the merge, so the output
+//! is bit-identical for any thread count (property-tested in
+//! `tests/prop_parallel.rs`), and `compute_traffic` (a one-shot,
+//! single-shard engine) stays the semantic reference.
 
 use rfh_obs::MetricsRegistry;
+use rfh_pool::{shard_bounds, WorkerPool};
 use rfh_topology::{RouteTable, Topology};
 use rfh_types::{DatacenterId, PartitionId, ServerId};
 use rfh_workload::QueryLoad;
@@ -49,8 +66,6 @@ pub struct TrafficEngine {
     /// Alive servers of each datacenter, in `server_ids()` order —
     /// the exact order the legacy pass visits them.
     dc_alive: Vec<Vec<ServerId>>,
-    /// Remaining per-(partition, server) capacity scratch.
-    remaining: Grid,
     /// Per-(partition, datacenter) segment bounds into
     /// [`cap_servers`](Self::cap_servers): `partition * n_dcs + dc`
     /// and the next entry delimit that pair's capacity-bearing servers.
@@ -62,11 +77,103 @@ pub struct TrafficEngine {
     cap_servers: Vec<ServerId>,
     /// [`PlacementView::version`] the capacity index above was built
     /// for: while neither it nor the topology generation moves, the
-    /// index stays valid and only the consumed capacities need
-    /// restoring between passes.
+    /// index stays valid and each pass only reloads the indexed cells.
     view_version: Option<u64>,
+    /// Per-shard working buffers; one shard on the serial path.
+    shards: Vec<Shard>,
     accounts: TrafficAccounts,
     stats: EngineStats,
+}
+
+/// Shard-local working state for a contiguous partition range
+/// `[lo, hi)`. Everything a shard writes during the pass lands here;
+/// the global accounts are assembled afterwards by the canonical merge.
+#[derive(Debug, Clone)]
+struct Shard {
+    /// First partition (global index).
+    lo: usize,
+    /// One past the last partition.
+    hi: usize,
+    /// Remaining per-(local partition, server) capacity scratch.
+    /// Only indexed cells are loaded and read; the rest is stale.
+    remaining: Grid,
+    /// Per-(local partition, datacenter) arrival traffic. Partition-
+    /// major (transposed vs. the global grid) so each partition's
+    /// writes stay on one contiguous row.
+    dc_traffic: Grid,
+    /// Per-(local partition, datacenter) forwarding traffic.
+    dc_outflow: Grid,
+    /// Served events per local partition, in emission order: replayed
+    /// into the global served grid by the merge. All events for one
+    /// `(server, partition)` cell occur within one partition's pass, so
+    /// replay-in-order reproduces the cell bit for bit.
+    served: Vec<Vec<(u32, f64)>>,
+    /// Holder datacenter per local partition.
+    holder_dc: Vec<DatacenterId>,
+    /// Unserved residual per local partition. The partition's
+    /// contribution to `unserved_total` is this same subtotal.
+    unserved: Vec<f64>,
+    /// Per-partition subtotals of the cross-partition scalars.
+    hops_weighted: Vec<f64>,
+    latency_weighted_ms: Vec<f64>,
+    sla_within: Vec<f64>,
+    served_total: Vec<f64>,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            lo: 0,
+            hi: 0,
+            remaining: Grid::zeros(0, 0),
+            dc_traffic: Grid::zeros(0, 0),
+            dc_outflow: Grid::zeros(0, 0),
+            served: Vec::new(),
+            holder_dc: Vec::new(),
+            unserved: Vec::new(),
+            hops_weighted: Vec::new(),
+            latency_weighted_ms: Vec::new(),
+            sla_within: Vec::new(),
+            served_total: Vec::new(),
+        }
+    }
+}
+
+impl Shard {
+    /// Point this shard at `[lo, hi)` and (re)shape its buffers. Grid
+    /// reshapes zero-fill; contents are otherwise left stale — the pass
+    /// re-derives everything it reads.
+    fn layout(&mut self, lo: usize, hi: usize, n_dcs: usize, n_servers: usize) {
+        self.lo = lo;
+        self.hi = hi;
+        let span = hi - lo;
+        if self.remaining.rows() != span || self.remaining.cols() != n_servers {
+            self.remaining.reset(span, n_servers);
+        }
+        if self.dc_traffic.rows() != span || self.dc_traffic.cols() != n_dcs {
+            self.dc_traffic.reset(span, n_dcs);
+            self.dc_outflow.reset(span, n_dcs);
+        }
+        self.served.resize(span, Vec::new());
+        self.holder_dc.resize(span, DatacenterId::new(0));
+        self.unserved.resize(span, 0.0);
+        self.hops_weighted.resize(span, 0.0);
+        self.latency_weighted_ms.resize(span, 0.0);
+        self.sla_within.resize(span, 0.0);
+        self.served_total.resize(span, 0.0);
+    }
+}
+
+/// The read-only inputs a shard pass needs — all `Sync`, shared by
+/// every worker.
+struct PassCtx<'a> {
+    routes: &'a RouteTable,
+    server_dc: &'a [DatacenterId],
+    cap_offsets: &'a [u32],
+    cap_servers: &'a [ServerId],
+    n_dcs: usize,
+    load: &'a QueryLoad,
+    view: &'a PlacementView,
 }
 
 /// Cache-effectiveness counters of a [`TrafficEngine`]: how often the
@@ -113,10 +220,10 @@ impl TrafficEngine {
             synced: None,
             server_dc: Vec::new(),
             dc_alive: Vec::new(),
-            remaining: Grid::zeros(0, 0),
             cap_offsets: Vec::new(),
             cap_servers: Vec::new(),
             view_version: None,
+            shards: Vec::new(),
             accounts: TrafficAccounts::empty(),
             stats: EngineStats::default(),
         }
@@ -176,6 +283,30 @@ impl TrafficEngine {
         load: &QueryLoad,
         view: &PlacementView,
     ) -> &TrafficAccounts {
+        self.account_with(topo, load, view, None)
+    }
+
+    /// [`account`](Self::account), with the shard passes fanned out
+    /// over `pool` (one contiguous partition shard per worker). The
+    /// merge is serial and walks partitions in ascending order, so the
+    /// result is bit-identical to the serial pass for any pool size.
+    pub fn account_sharded(
+        &mut self,
+        topo: &Topology,
+        load: &QueryLoad,
+        view: &PlacementView,
+        pool: &WorkerPool,
+    ) -> &TrafficAccounts {
+        self.account_with(topo, load, view, Some(pool))
+    }
+
+    fn account_with(
+        &mut self,
+        topo: &Topology,
+        load: &QueryLoad,
+        view: &PlacementView,
+        pool: Option<&WorkerPool>,
+    ) -> &TrafficAccounts {
         let rebuilt = self.sync_topology(topo);
         self.stats.passes += 1;
 
@@ -186,34 +317,23 @@ impl TrafficEngine {
         debug_assert_eq!(view.servers() as usize, n_servers);
 
         self.accounts.reset(n_dcs, n_parts, n_servers);
-        // The scratch grid only needs reshaping (with its zero-fill) on
-        // shape change: the sweeps below rewrite every cell the pass
-        // will read (zero-capacity and dead servers are never read).
-        let shape_ok = self.remaining.rows() == n_parts
-            && self.remaining.cols() == n_servers
-            && self.cap_offsets.len() == n_parts * n_dcs + 1;
-        if !shape_ok {
-            self.remaining.reset(n_parts, n_servers);
-        }
+        let shape_ok = self.cap_offsets.len() == n_parts * n_dcs + 1;
         if rebuilt || !shape_ok || self.view_version != Some(view.version()) {
             self.stats.index_rebuilds += 1;
-            // Full sweep: load the remaining-capacity scratch and, in
-            // the same pass, index which servers are worth visiting —
-            // most (partition, datacenter) pairs hold no capacity at
-            // all, and the legacy pass burns its time discovering that
-            // inside the hot loop.
+            // Full sweep: index which servers are worth visiting — most
+            // (partition, datacenter) pairs hold no capacity at all, and
+            // the one-shot pass burns its time discovering that inside
+            // the hot loop. The shard passes load remaining capacity
+            // from this index each epoch.
             self.cap_servers.clear();
             self.cap_offsets.clear();
             self.cap_offsets.reserve(n_parts * n_dcs + 1);
             for p_idx in 0..n_parts {
                 let caps = view.partition_capacities(PartitionId::new(p_idx as u32));
-                let row = self.remaining.row_mut(p_idx);
                 for alive in &self.dc_alive {
                     self.cap_offsets.push(self.cap_servers.len() as u32);
                     for &server in alive {
-                        let cap = caps[server.index()];
-                        if cap > 0.0 {
-                            row[server.index()] = cap;
+                        if caps[server.index()] > 0.0 {
                             self.cap_servers.push(server);
                         }
                     }
@@ -223,102 +343,74 @@ impl TrafficEngine {
             self.view_version = Some(view.version());
         } else {
             self.stats.fast_restores += 1;
-            // Neither the membership nor the placement moved since the
-            // index was built: only the capacities the last pass
-            // consumed need restoring, and the index already knows
-            // exactly which cells those are.
-            for p_idx in 0..n_parts {
-                let caps = view.partition_capacities(PartitionId::new(p_idx as u32));
-                let row = self.remaining.row_mut(p_idx);
-                let start = self.cap_offsets[p_idx * n_dcs] as usize;
-                let end = self.cap_offsets[(p_idx + 1) * n_dcs] as usize;
-                for &server in &self.cap_servers[start..end] {
-                    row[server.index()] = caps[server.index()];
+        }
+
+        // Lay the shards out over the partitions. The serial path is
+        // the one-shard case of the same code, which is what makes
+        // serial ≡ parallel structural rather than coincidental.
+        let n_shards = pool.map_or(1, WorkerPool::size).max(1);
+        self.shards.resize_with(n_shards, Shard::default);
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            let (lo, hi) = shard_bounds(n_parts, n_shards, k);
+            shard.layout(lo, hi, n_dcs, n_servers);
+        }
+
+        let ctx = PassCtx {
+            routes: &self.routes,
+            server_dc: &self.server_dc,
+            cap_offsets: &self.cap_offsets,
+            cap_servers: &self.cap_servers,
+            n_dcs,
+            load,
+            view,
+        };
+        match pool {
+            Some(pool) if n_shards > 1 => {
+                let ctx = &ctx;
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        Box::new(move || run_shard(ctx, shard)) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run(jobs);
+            }
+            _ => {
+                for shard in &mut self.shards {
+                    run_shard(&ctx, shard);
                 }
             }
         }
 
+        // Canonical merge: shards ascending — hence partitions
+        // ascending — regardless of how many shards ran or on which
+        // threads they finished.
         let acc = &mut self.accounts;
-        let routes = &self.routes;
-        let remaining = &mut self.remaining;
-        let server_dc = &self.server_dc;
-        let cap_offsets = &self.cap_offsets;
-        let cap_servers = &self.cap_servers;
-
-        for p_idx in 0..n_parts {
-            let p = PartitionId::new(p_idx as u32);
-            let holder = view.holder(p);
-            let hdc = server_dc.get(holder.index()).copied().unwrap_or(DatacenterId::new(0));
-            acc.holder_dc.push(hdc);
-
-            for j_idx in 0..load.datacenters() {
-                let j = DatacenterId::new(j_idx);
-                let q = load.get(p, j) as f64;
-                if q == 0.0 {
-                    continue;
-                }
-                let Some((hops, cum_ms)) = routes.route(j, hdc) else {
-                    // Holder unreachable (partitioned WAN): everything
-                    // drops without travelling.
-                    acc.unserved[p_idx] += q;
-                    acc.unserved_total += q;
-                    continue;
-                };
-                let mut residual = q;
-                let mut served_here = 0.0;
-                let row = remaining.row_mut(p_idx);
-                for (hop, &dc) in hops.iter().enumerate() {
-                    // One-way latency from the requester to this hop,
-                    // precomputed in path order by the route table.
-                    let lat_ms = cum_ms[hop];
-                    // eq. 4/5: the node's traffic is the residual
-                    // reaching it.
-                    acc.dc_traffic.add(dc.index(), p_idx, residual);
-                    // Replicas in this datacenter absorb what they can:
-                    // only the prefiltered capacity-bearing servers,
-                    // in the same order the legacy pass visits them.
-                    let seg = p_idx * n_dcs + dc.index();
-                    let servers =
-                        &cap_servers[cap_offsets[seg] as usize..cap_offsets[seg + 1] as usize];
-                    for &server in servers {
-                        let cap = &mut row[server.index()];
-                        if *cap <= 0.0 {
-                            continue;
-                        }
-                        let take = cap.min(residual);
-                        if take > 0.0 {
-                            *cap -= take;
-                            acc.served.add(server.index(), p_idx, take);
-                            acc.hops_weighted += hop as f64 * take;
-                            let rtt = 2.0 * lat_ms + INTRA_DC_LATENCY_MS;
-                            acc.latency_weighted_ms += rtt * take;
-                            if rtt <= SLA_TARGET_MS {
-                                acc.sla_within += take;
-                            }
-                            served_here += take;
-                            residual -= take;
-                        }
-                        if residual <= 0.0 {
-                            break;
-                        }
+        for shard in &self.shards {
+            for (i, p_idx) in (shard.lo..shard.hi).enumerate() {
+                acc.holder_dc.push(shard.holder_dc[i]);
+                let tr = shard.dc_traffic.row(i);
+                let of = shard.dc_outflow.row(i);
+                for d in 0..n_dcs {
+                    // Zero means untouched (the pass only adds positive
+                    // amounts), and the global grids were just reset.
+                    if tr[d] != 0.0 {
+                        acc.dc_traffic.set(d, p_idx, tr[d]);
                     }
-                    if residual <= 0.0 {
-                        break;
-                    }
-                    // What leaves this DC toward the next hop is its
-                    // forwarding traffic (the terminal hop forwards
-                    // nothing).
-                    if hop + 1 < hops.len() {
-                        acc.dc_outflow.add(dc.index(), p_idx, residual);
+                    if of[d] != 0.0 {
+                        acc.dc_outflow.set(d, p_idx, of[d]);
                     }
                 }
-                acc.served_total += served_here;
-                if residual > 0.0 {
-                    // Travelled the whole path and still unserved.
-                    acc.unserved[p_idx] += residual;
-                    acc.unserved_total += residual;
-                    acc.hops_weighted += (hops.len() - 1) as f64 * residual;
+                for &(server, take) in &shard.served[i] {
+                    acc.served.add(server as usize, p_idx, take);
                 }
+                acc.unserved[p_idx] = shard.unserved[i];
+                acc.hops_weighted += shard.hops_weighted[i];
+                acc.latency_weighted_ms += shard.latency_weighted_ms[i];
+                acc.sla_within += shard.sla_within[i];
+                acc.served_total += shard.served_total[i];
+                acc.unserved_total += shard.unserved[i];
             }
         }
 
@@ -336,6 +428,132 @@ impl TrafficEngine {
     /// uses.
     pub fn into_accounts(self) -> TrafficAccounts {
         self.accounts
+    }
+}
+
+/// The accounting pass over one shard's partitions. Reads only the
+/// shared [`PassCtx`]; writes only shard-local buffers. The
+/// within-partition order is the legacy accounting order — requesters
+/// ascending, hops in path order, indexed servers in visit order — so
+/// every per-partition quantity is computed by the exact `f64` sequence
+/// the one-shot pass uses.
+fn run_shard(ctx: &PassCtx<'_>, shard: &mut Shard) {
+    let Shard {
+        lo,
+        hi,
+        remaining,
+        dc_traffic,
+        dc_outflow,
+        served,
+        holder_dc,
+        unserved,
+        hops_weighted,
+        latency_weighted_ms,
+        sla_within,
+        served_total,
+    } = shard;
+    let n_dcs = ctx.n_dcs;
+
+    for (i, p_idx) in (*lo..*hi).enumerate() {
+        let p = PartitionId::new(p_idx as u32);
+        let caps = ctx.view.partition_capacities(p);
+        let rem_row = remaining.row_mut(i);
+        // Load remaining capacity for the indexed cells only; stale
+        // cells are never read because the absorption loop below visits
+        // indexed servers exclusively.
+        let seg_start = ctx.cap_offsets[p_idx * n_dcs] as usize;
+        let seg_end = ctx.cap_offsets[(p_idx + 1) * n_dcs] as usize;
+        for &server in &ctx.cap_servers[seg_start..seg_end] {
+            rem_row[server.index()] = caps[server.index()];
+        }
+        let tr_row = dc_traffic.row_mut(i);
+        let of_row = dc_outflow.row_mut(i);
+        tr_row.fill(0.0);
+        of_row.fill(0.0);
+        let served_i = &mut served[i];
+        served_i.clear();
+        let mut unserved_p = 0.0;
+        let mut hops_p = 0.0;
+        let mut latency_p = 0.0;
+        let mut sla_p = 0.0;
+        let mut served_p = 0.0;
+
+        let holder = ctx.view.holder(p);
+        let hdc = ctx.server_dc.get(holder.index()).copied().unwrap_or(DatacenterId::new(0));
+        holder_dc[i] = hdc;
+
+        for j_idx in 0..ctx.load.datacenters() {
+            let j = DatacenterId::new(j_idx);
+            let q = ctx.load.get(p, j) as f64;
+            if q == 0.0 {
+                continue;
+            }
+            let Some((hops, cum_ms)) = ctx.routes.route(j, hdc) else {
+                // Holder unreachable (partitioned WAN): everything
+                // drops without travelling.
+                unserved_p += q;
+                continue;
+            };
+            let mut residual = q;
+            let mut served_here = 0.0;
+            for (hop, &dc) in hops.iter().enumerate() {
+                // One-way latency from the requester to this hop,
+                // precomputed in path order by the route table.
+                let lat_ms = cum_ms[hop];
+                // eq. 4/5: the node's traffic is the residual
+                // reaching it.
+                tr_row[dc.index()] += residual;
+                // Replicas in this datacenter absorb what they can:
+                // only the prefiltered capacity-bearing servers,
+                // in the same order the legacy pass visits them.
+                let seg = p_idx * n_dcs + dc.index();
+                let servers = &ctx.cap_servers
+                    [ctx.cap_offsets[seg] as usize..ctx.cap_offsets[seg + 1] as usize];
+                for &server in servers {
+                    let cap = &mut rem_row[server.index()];
+                    if *cap <= 0.0 {
+                        continue;
+                    }
+                    let take = cap.min(residual);
+                    if take > 0.0 {
+                        *cap -= take;
+                        served_i.push((server.0, take));
+                        hops_p += hop as f64 * take;
+                        let rtt = 2.0 * lat_ms + INTRA_DC_LATENCY_MS;
+                        latency_p += rtt * take;
+                        if rtt <= SLA_TARGET_MS {
+                            sla_p += take;
+                        }
+                        served_here += take;
+                        residual -= take;
+                    }
+                    if residual <= 0.0 {
+                        break;
+                    }
+                }
+                if residual <= 0.0 {
+                    break;
+                }
+                // What leaves this DC toward the next hop is its
+                // forwarding traffic (the terminal hop forwards
+                // nothing).
+                if hop + 1 < hops.len() {
+                    of_row[dc.index()] += residual;
+                }
+            }
+            served_p += served_here;
+            if residual > 0.0 {
+                // Travelled the whole path and still unserved.
+                unserved_p += residual;
+                hops_p += (hops.len() - 1) as f64 * residual;
+            }
+        }
+
+        unserved[i] = unserved_p;
+        hops_weighted[i] = hops_p;
+        latency_weighted_ms[i] = latency_p;
+        sla_within[i] = sla_p;
+        served_total[i] = served_p;
     }
 }
 
@@ -412,6 +630,39 @@ mod tests {
         engine.account(&topo, &load, &view);
         let reused = engine.account(&topo, &load, &view).clone();
         assert_eq!(reused, compute_traffic(&topo, &load, &view));
+    }
+
+    #[test]
+    fn sharded_pass_is_bit_identical_for_any_pool_size() {
+        let topo = chain();
+        let load = sample_load(5, 3);
+        let view = sample_view(5, 3);
+        let serial = compute_traffic(&topo, &load, &view);
+        for workers in [1, 2, 3, 7, 11] {
+            let pool = WorkerPool::new(workers);
+            let mut engine = TrafficEngine::new();
+            // Twice: both the index-rebuild and the fast-restore pass.
+            engine.account_sharded(&topo, &load, &view, &pool);
+            let sharded = engine.account_sharded(&topo, &load, &view, &pool).clone();
+            assert_eq!(sharded, serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn shard_layout_survives_pool_size_changes() {
+        // The same engine alternates serial and pooled passes: shard
+        // buffers must relayout without residue.
+        let topo = chain();
+        let load = sample_load(4, 3);
+        let view = sample_view(4, 3);
+        let serial = compute_traffic(&topo, &load, &view);
+        let mut engine = TrafficEngine::new();
+        let big = WorkerPool::new(6);
+        let small = WorkerPool::new(2);
+        assert_eq!(engine.account_sharded(&topo, &load, &view, &big), &serial);
+        assert_eq!(engine.account(&topo, &load, &view), &serial);
+        assert_eq!(engine.account_sharded(&topo, &load, &view, &small), &serial);
+        assert_eq!(engine.account_sharded(&topo, &load, &view, &big), &serial);
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn main() -> Result<()> {
         seed: 42,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let mut sim = Simulation::new(params)?;
     let mut tracker = ConsistencyTracker::new(64, SYNC_BUDGET);

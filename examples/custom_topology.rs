@@ -37,6 +37,7 @@ fn main() -> Result<()> {
         seed: 7,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let mut sim = Simulation::with_topology(params, topo)?;
     for _ in 0..150 {

@@ -21,6 +21,7 @@ fn run_with(agent: Option<DistributedRfhPolicy>) -> Result<SimResult> {
         seed: 42,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let sim = Simulation::new(params)?;
     match agent {
@@ -77,6 +78,7 @@ fn main() -> Result<()> {
         seed: 42,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     Simulation::new(params)?.with_custom_policy(Box::new(probe)).run()?;
     println!(

@@ -21,6 +21,7 @@ fn main() -> Result<()> {
         seed: 42,
         events,
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let result = Simulation::new(params)?.run()?;
 

@@ -19,6 +19,7 @@ fn main() -> Result<()> {
         seed,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let cmp = run_comparison(&params)?;
 

@@ -19,6 +19,7 @@ fn main() -> Result<()> {
         seed: 42,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let mut sim = Simulation::new(params)?;
 

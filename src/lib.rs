@@ -42,6 +42,7 @@
 //!     seed: 7,
 //!     events: EventSchedule::new(),
 //!     faults: FaultPlan::default(),
+//!     threads: 1,
 //! };
 //! let cmp = run_comparison(&params).unwrap();
 //! let util = |k| {

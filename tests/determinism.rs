@@ -12,6 +12,7 @@ fn params(policy: PolicyKind, scenario: Scenario, seed: u64) -> SimParams {
         seed,
         events: EventSchedule::mass_failure_at(20, 10),
         faults: FaultPlan::default(),
+        threads: 1,
     }
 }
 

@@ -16,6 +16,7 @@ fn params(scenario: Scenario, epochs: u64, seed: u64) -> SimParams {
         seed,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     }
 }
 

@@ -14,6 +14,7 @@ fn small_params(policy: PolicyKind, scenario: Scenario, epochs: u64) -> SimParam
         seed: 9,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     }
 }
 
@@ -151,6 +152,7 @@ fn facade_prelude_covers_a_full_workflow() {
         seed: 3,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let result = Simulation::with_topology(params, topo).unwrap().run().unwrap();
     assert_eq!(result.metrics.epochs(), 30);

@@ -14,6 +14,7 @@ fn latency_and_sla_are_physical_for_every_policy() {
         seed: 21,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let cmp = run_comparison(&base).unwrap();
     for kind in PolicyKind::ALL {
@@ -45,6 +46,7 @@ fn requester_local_placement_is_fastest() {
         seed: 33,
         events: EventSchedule::new(),
         faults: FaultPlan::default(),
+        threads: 1,
     };
     let cmp = run_comparison(&base).unwrap();
     let tail = |kind: PolicyKind| {
