@@ -130,6 +130,7 @@ fn decision_benches(c: &mut Criterion) {
                 view: &view,
                 config: &cfg,
                 recorder: &rfh_obs::NullRecorder,
+                active: None,
             };
             black_box(policy.decide(&ctx, &manager))
         })

@@ -7,6 +7,7 @@
 
 use rfh_core::PolicyKind;
 use rfh_faults::FaultPlan;
+use rfh_sim::EngineMode;
 use rfh_types::{FlashCrowdConfig, Result, RfhError};
 use rfh_workload::Scenario;
 use std::collections::BTreeMap;
@@ -16,12 +17,15 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 18] = [
+const KNOWN: [&str; 21] = [
     "policy",
     "scenario",
     "epochs",
     "seed",
     "threads",
+    "partitions",
+    "skew",
+    "engine",
     "csv",
     "csv-dir",
     "out",
@@ -130,6 +134,61 @@ pub fn threads(opts: &Options) -> Result<usize> {
     Ok(n as usize)
 }
 
+/// `--partitions N`: override the config's partition count. Partition
+/// ids are `u32`, so values past `u32::MAX` are rejected up front with
+/// a pointed message instead of wrapping or failing deep in setup.
+pub fn partitions(opts: &Options) -> Result<Option<u32>> {
+    let Some(v) = opts.get("partitions") else {
+        return Ok(None);
+    };
+    let n: u64 = v.parse().map_err(|_| RfhError::InvalidConfig {
+        parameter: "partitions",
+        reason: format!("{v:?} is not a non-negative integer"),
+    })?;
+    if n == 0 {
+        return Err(RfhError::InvalidConfig {
+            parameter: "partitions",
+            reason: "--partitions must be at least 1".into(),
+        });
+    }
+    u32::try_from(n).map(Some).map_err(|_| RfhError::InvalidConfig {
+        parameter: "partitions",
+        reason: format!("{n} exceeds the u32 partition-id space (max {})", u32::MAX),
+    })
+}
+
+/// `--skew S`: override the workload's Zipf skew exponent.
+pub fn skew(opts: &Options) -> Result<Option<f64>> {
+    let Some(v) = opts.get("skew") else {
+        return Ok(None);
+    };
+    let s: f64 = v.parse().map_err(|_| RfhError::InvalidConfig {
+        parameter: "skew",
+        reason: format!("{v:?} is not a number"),
+    })?;
+    if !s.is_finite() || s < 0.0 {
+        return Err(RfhError::InvalidConfig {
+            parameter: "skew",
+            reason: format!("{s} is not a finite non-negative skew"),
+        });
+    }
+    Ok(Some(s))
+}
+
+/// `--engine dense|sparse` (default sparse). Either engine yields
+/// bit-identical results; dense exists for differential testing and
+/// timing comparisons.
+pub fn engine(opts: &Options) -> Result<EngineMode> {
+    match opts.get("engine").map(String::as_str) {
+        None | Some("sparse") => Ok(EngineMode::Sparse),
+        Some("dense") => Ok(EngineMode::Dense),
+        Some(other) => Err(RfhError::InvalidConfig {
+            parameter: "engine",
+            reason: format!("{other:?} is not one of dense|sparse"),
+        }),
+    }
+}
+
 /// `--faults PLAN.toml` / `--fault-seed N`: the chaos schedule. With no
 /// `--faults` file the plan is empty (and `--fault-seed` alone changes
 /// nothing: an empty plan builds no injector). `--fault-seed` overrides
@@ -228,6 +287,39 @@ mod tests {
         let (_, o) = parse(&argv(&format!("run --faults {}", file.display()))).unwrap();
         assert!(fault_plan(&o).is_err(), "malformed plan errors cleanly");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partitions_skew_and_engine_options() {
+        let (_, o) = parse(&argv("run")).unwrap();
+        assert_eq!(partitions(&o).unwrap(), None, "no override by default");
+        assert_eq!(skew(&o).unwrap(), None);
+        assert_eq!(engine(&o).unwrap(), EngineMode::Sparse, "sparse is the default");
+
+        let (_, o) = parse(&argv("run --partitions 1000000 --skew 1.1 --engine dense")).unwrap();
+        assert_eq!(partitions(&o).unwrap(), Some(1_000_000));
+        assert_eq!(skew(&o).unwrap(), Some(1.1));
+        assert_eq!(engine(&o).unwrap(), EngineMode::Dense);
+        let (_, o) = parse(&argv("run --engine sparse")).unwrap();
+        assert_eq!(engine(&o).unwrap(), EngineMode::Sparse);
+
+        // u32 overflow is rejected up front with a pointed message.
+        let (_, o) = parse(&argv("run --partitions 4294967296")).unwrap();
+        let err = partitions(&o).unwrap_err().to_string();
+        assert!(err.contains("u32"), "overflow message names the limit: {err}");
+        let (_, o) = parse(&argv("run --partitions 4294967295")).unwrap();
+        assert_eq!(partitions(&o).unwrap(), Some(u32::MAX), "the max id itself is fine");
+        let (_, o) = parse(&argv("run --partitions 0")).unwrap();
+        assert!(partitions(&o).is_err(), "zero partitions rejected");
+        let (_, o) = parse(&argv("run --partitions many")).unwrap();
+        assert!(partitions(&o).is_err(), "non-numeric rejected");
+
+        let (_, o) = parse(&argv("run --skew -0.5")).unwrap();
+        assert!(skew(&o).is_err(), "negative skew rejected");
+        let (_, o) = parse(&argv("run --skew inf")).unwrap();
+        assert!(skew(&o).is_err(), "non-finite skew rejected");
+        let (_, o) = parse(&argv("run --engine turbo")).unwrap();
+        assert!(engine(&o).is_err(), "unknown engine rejected");
     }
 
     #[test]

@@ -13,8 +13,15 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 fn params(opts: &Options) -> Result<SimParams> {
+    let mut config = SimConfig::default();
+    if let Some(n) = args::partitions(opts)? {
+        config.partitions = n;
+    }
+    if let Some(s) = args::skew(opts)? {
+        config.partition_skew = s;
+    }
     Ok(SimParams {
-        config: SimConfig::default(),
+        config,
         scenario: args::scenario(opts)?,
         policy: args::policy(opts)?,
         epochs: args::epochs(opts)?,
@@ -113,7 +120,7 @@ pub fn run_one(opts: &Options) -> Result<String> {
     );
     let profiled = args::flag(opts, "profile");
     let recorder = opts.get("trace").map(|_| Arc::new(TraceRecorder::new()));
-    let mut sim = Simulation::new(p)?.with_profiling(profiled);
+    let mut sim = Simulation::new(p)?.with_profiling(profiled).with_engine(args::engine(opts)?);
     if let Some(rec) = &recorder {
         sim = sim.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
     }
@@ -171,6 +178,7 @@ pub fn compare(opts: &Options) -> Result<String> {
     let obs = ObsOptions {
         profile: profiled,
         recorder: recorder.clone().map(|r| r as Arc<dyn Recorder>),
+        engine: args::engine(opts)?,
     };
     let cmp = run_comparison_observed(&p, &obs)?;
     let mut out = format!("{label}\nsteady state (last quarter):\n\n");
@@ -229,12 +237,11 @@ pub fn replay(opts: &Options) -> Result<String> {
         });
     };
     let csv = std::fs::read_to_string(path)?;
-    let cfg = SimConfig::default();
-    let trace = Trace::from_csv(&csv, cfg.partitions, rfh_topology::PAPER_DC_COUNT as u32)?;
+    let mut p = params(opts)?;
+    let trace = Trace::from_csv(&csv, p.config.partitions, rfh_topology::PAPER_DC_COUNT as u32)?;
     if trace.is_empty() {
         return Err(rfh_types::RfhError::Io(format!("{path} contains no epochs")));
     }
-    let mut p = params(opts)?;
     p.epochs = trace.len() as u64;
     let label = format!(
         "{} replaying {} ({} epochs, {} queries)",
@@ -243,7 +250,10 @@ pub fn replay(opts: &Options) -> Result<String> {
         trace.len(),
         trace.total_queries()
     );
-    let result = Simulation::new(p)?.with_shared_trace(Arc::new(trace)).run()?;
+    let result = Simulation::new(p)?
+        .with_shared_trace(Arc::new(trace))
+        .with_engine(args::engine(opts)?)
+        .run()?;
     let mut out = format!(
         "{label}
 steady state (last quarter):
@@ -260,7 +270,13 @@ pub fn trace(opts: &Options) -> Result<String> {
     let epochs = args::epochs(opts)?;
     let seed = args::seed(opts)?;
     let scenario = args::scenario(opts)?;
-    let cfg = SimConfig::default();
+    let mut cfg = SimConfig::default();
+    if let Some(n) = args::partitions(opts)? {
+        cfg.partitions = n;
+    }
+    if let Some(s) = args::skew(opts)? {
+        cfg.partition_skew = s;
+    }
     let mut generator = WorkloadGenerator::new(
         cfg.queries_per_epoch,
         cfg.partitions,

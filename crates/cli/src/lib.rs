@@ -10,6 +10,8 @@
 //! rfh run [--policy rfh] [--scenario flash]   one simulation, summary + optional CSV
 //!         [--epochs N] [--seed N] [--csv FILE]
 //!         [--threads N]                        parallel epoch engine (bit-identical)
+//!         [--partitions N] [--skew S]          scale knobs (1M-partition runs)
+//!         [--engine dense|sparse]              epoch engine (bit-identical)
 //!         [--trace OUT.jsonl] [--profile]      decision trace + phase timing
 //!         [--faults PLAN.toml] [--fault-seed N] chaos schedule (see DESIGN.md)
 //! rfh compare [--scenario random] [--epochs N] four-way comparison table
@@ -83,6 +85,11 @@ COMMON OPTIONS:
     --seed N                                          (default 42)
     --threads N       worker threads for the epoch hot path; results are
                       bit-identical for any value (default: all cores)
+    --partitions N    override the partition count (default 64); partition
+                      ids are u32, larger values are rejected up front
+    --skew S          override the workload's Zipf skew exponent (default 0.8)
+    --engine E        dense | sparse epoch engine (default sparse); both are
+                      bit-identical — dense exists for differential testing
     --csv FILE        write the run's full metrics as CSV (run)
     --csv-dir DIR     write per-metric comparison CSVs (compare)
     --out FILE        trace output file (trace; default stdout)

@@ -76,6 +76,11 @@ pub struct ReplicaManager {
     migr_bw_factor: f64,
     /// eq. (1)'s `f`, from Table I.
     failure_rate: f64,
+    /// Cached `Σ replica_sets[p].len()` so the per-epoch
+    /// [`total_replicas`](Self::total_replicas) read is O(1) instead of
+    /// O(partitions) — at a million partitions the sum itself would
+    /// dominate a sparse epoch.
+    total: usize,
 }
 
 impl ReplicaManager {
@@ -109,6 +114,7 @@ impl ReplicaManager {
             repl_bw_factor: 1.0,
             migr_bw_factor: 1.0,
             failure_rate: cfg.failure_rate,
+            total: initial_holders.len(),
         };
         for &h in &initial_holders {
             if h.index() >= servers {
@@ -187,9 +193,11 @@ impl ReplicaManager {
         self.replica_sets[p.index()].len()
     }
 
-    /// Total replicas across all partitions (the Fig. 4 series).
+    /// Total replicas across all partitions (the Fig. 4 series). O(1):
+    /// maintained incrementally by every mutation.
     pub fn total_replicas(&self) -> usize {
-        self.replica_sets.iter().map(|s| s.len()).sum()
+        debug_assert_eq!(self.total, self.replica_sets.iter().map(|s| s.len()).sum::<usize>());
+        self.total
     }
 
     /// Whether `server` hosts a replica of `p`.
@@ -246,6 +254,7 @@ impl ReplicaManager {
                 self.repl_out[source.index()] += self.partition_size.as_u64();
                 self.storage_used[target.index()] += self.partition_size;
                 self.replica_sets[partition.index()].push(target);
+                self.total += 1;
                 let distance_km =
                     topo.server_distance_km(source, target)?.max(MIN_COST_DISTANCE_KM);
                 Ok(AppliedAction {
@@ -312,6 +321,7 @@ impl ReplicaManager {
                     )));
                 }
                 set.remove(idx);
+                self.total -= 1;
                 self.storage_used[server.index()] -= self.partition_size;
                 Ok(AppliedAction { action, cost: 0.0, distance_km: 0.0 })
             }
@@ -390,6 +400,7 @@ impl ReplicaManager {
                     outcome.lost_replicas.push((p, s));
                     self.storage_used[s.index()] -= self.partition_size;
                     set.remove(i);
+                    self.total -= 1;
                 } else {
                     i += 1;
                 }
@@ -399,11 +410,13 @@ impl ReplicaManager {
                     Some(fb) => {
                         debug_assert!(topo.servers()[fb.index()].alive, "fallback must be alive");
                         set.push(fb);
+                        self.total += 1;
                         self.storage_used[fb.index()] += self.partition_size;
                         outcome.restored_partitions.push(p);
                     }
                     None => {
                         set.push(primary);
+                        self.total += 1;
                         self.storage_used[primary.index()] += self.partition_size;
                         outcome.unrestored_partitions.push(p);
                     }
@@ -439,10 +452,12 @@ impl ReplicaManager {
             return Err(RfhError::Simulation(format!("{to} storage would exceed φ")));
         }
         let dead: Vec<ServerId> = self.replica_sets[p.index()].drain(..).collect();
+        self.total -= dead.len();
         for s in dead {
             self.storage_used[s.index()] -= self.partition_size;
         }
         self.replica_sets[p.index()].push(to);
+        self.total += 1;
         self.storage_used[to.index()] += self.partition_size;
         Ok(())
     }

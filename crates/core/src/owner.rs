@@ -70,7 +70,14 @@ impl ReplicationPolicy for OwnerOrientedPolicy {
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let mut actions = Vec::new();
-        for p_idx in 0..manager.partitions() {
+        // Sparse active set when offered; every skipped partition is at
+        // the floor with zero unserved demand, so the dense loop would
+        // `continue` on it anyway.
+        let sweep: Box<dyn Iterator<Item = u32>> = match ctx.active {
+            Some(active) => Box::new(active.iter().copied()),
+            None => Box::new(0..manager.partitions()),
+        };
+        for p_idx in sweep {
             let p = PartitionId::new(p_idx);
             let needs_growth = manager.replica_count(p) < r_min
                 || ctx.accounts.unserved[p.index()] > UNSERVED_TRIGGER;
@@ -85,6 +92,21 @@ impl ReplicationPolicy for OwnerOrientedPolicy {
             }
         }
         actions
+    }
+
+    fn keeps_live(
+        &self,
+        _topo: &rfh_topology::Topology,
+        _smoother: &rfh_traffic::TrafficSmoother,
+        manager: &ReplicaManager,
+        r_min: usize,
+        p: PartitionId,
+    ) -> bool {
+        // Same growth predicate as the random baseline: below the floor
+        // it acts unconditionally, above it only on unserved residual,
+        // which requires this epoch's demand (a dirtied partition). No
+        // migration, no suicide, no per-partition state.
+        manager.replica_count(p) < r_min
     }
 }
 

@@ -38,6 +38,12 @@ pub struct EpochContext<'a> {
     /// Decision-event sink (observation-only; `&NullRecorder` when the
     /// run is untraced).
     pub recorder: &'a dyn Recorder,
+    /// Sparse-engine active set: the partitions this epoch's traffic
+    /// pass touched, sorted ascending. `Some` asks the policy to
+    /// evaluate only these partitions (everything outside is frozen —
+    /// the policy's own [`ReplicationPolicy::keeps_live`] vouched that
+    /// skipping them changes nothing); `None` is the dense full sweep.
+    pub active: Option<&'a [u32]>,
 }
 
 /// One decision a policy can make.
@@ -84,6 +90,34 @@ pub trait ReplicationPolicy {
     /// no message plane, so the default ignores it; the distributed
     /// agent overrides it to corrupt its WAN transport.
     fn set_message_loss(&mut self, _probability: f64) {}
+
+    /// Whether partition `p` must stay in the sparse engine's active set
+    /// next epoch even if nobody queries it.
+    ///
+    /// The sparse epoch engine carries a partition from one epoch's
+    /// active set to the next only while this returns `true`; once it
+    /// returns `false` the partition is frozen until new demand (or a
+    /// fault) dirties it. An implementation may return `false` only when
+    /// evaluating the partition under a dense sweep would provably
+    /// produce no action *and no internal state change* this epoch and
+    /// every following epoch until the partition is dirtied again —
+    /// that is what makes sparse runs byte-identical to dense ones.
+    /// `smoother` cells for frozen partitions are lazily decayed, i.e.
+    /// possibly stale upper bounds of the dense values; treat any
+    /// nonzero read as "still live" and the conservative direction is
+    /// preserved. The default keeps everything live — always correct,
+    /// never sparse.
+    fn keeps_live(
+        &self,
+        topo: &Topology,
+        smoother: &TrafficSmoother,
+        manager: &ReplicaManager,
+        r_min: usize,
+        p: PartitionId,
+    ) -> bool {
+        let _ = (topo, smoother, manager, r_min, p);
+        true
+    }
 }
 
 /// The four algorithms of the paper's evaluation, as a value — handy for

@@ -79,7 +79,14 @@ impl ReplicationPolicy for RandomPolicy {
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let mut actions = Vec::new();
-        for p_idx in 0..manager.partitions() {
+        // Sparse active set when offered; every skipped partition is at
+        // the floor with zero unserved demand, so the dense loop would
+        // `continue` on it anyway.
+        let sweep: Box<dyn Iterator<Item = u32>> = match ctx.active {
+            Some(active) => Box::new(active.iter().copied()),
+            None => Box::new(0..manager.partitions()),
+        };
+        for p_idx in sweep {
             let p = PartitionId::new(p_idx);
             let needs_growth = manager.replica_count(p) < r_min
                 || ctx.accounts.unserved[p.index()] > UNSERVED_TRIGGER;
@@ -106,6 +113,22 @@ impl ReplicationPolicy for RandomPolicy {
             }
         }
         actions
+    }
+
+    fn keeps_live(
+        &self,
+        _topo: &rfh_topology::Topology,
+        _smoother: &rfh_traffic::TrafficSmoother,
+        manager: &ReplicaManager,
+        r_min: usize,
+        p: PartitionId,
+    ) -> bool {
+        // Below the floor the policy acts every epoch regardless of
+        // demand; at or above it, growth needs unserved residual, which
+        // only a queried (hence dirtied) partition can have. The policy
+        // never migrates or suicides and keeps no per-partition state,
+        // so nothing else can change while frozen.
+        manager.replica_count(p) < r_min
     }
 }
 

@@ -32,8 +32,16 @@ const MIGRATION_RATE_MARGIN: f64 = 2.0;
 #[derive(Debug, Clone)]
 pub struct RequestOrientedPolicy {
     /// Smoothed per-(partition, dc) query rates, so the top-3 set does
-    /// not flap on Poisson noise.
+    /// not flap on Poisson noise. Under sparse sweeps rows of inactive
+    /// partitions are lazily decayed: [`Self::stamps`] records the last
+    /// pass a row was folded, and reactivation folds the missing
+    /// all-zero observations in closed form — bit-identical to having
+    /// folded them one epoch at a time.
     rates: Vec<f64>,
+    /// Pass number at which each partition's rate row was last folded.
+    stamps: Vec<u64>,
+    /// Update passes taken so far (dense or sparse).
+    pass: u64,
     partitions: u32,
     dcs: u32,
     rng: StdRng,
@@ -45,6 +53,8 @@ impl RequestOrientedPolicy {
     pub fn new(partitions: u32, dcs: u32, seed: u64) -> Self {
         RequestOrientedPolicy {
             rates: vec![0.0; partitions as usize * dcs as usize],
+            stamps: vec![0; partitions as usize],
+            pass: 0,
             partitions,
             dcs,
             rng: StdRng::seed_from_u64(seed),
@@ -74,13 +84,37 @@ impl RequestOrientedPolicy {
         idx.into_iter().map(|j| DatacenterId::new(j as u32)).collect()
     }
 
-    fn update_rates(&mut self, ctx: &EpochContext<'_>) {
-        for p in 0..self.partitions {
-            for j in 0..self.dcs {
-                let obs = ctx.load.get(PartitionId::new(p), DatacenterId::new(j)) as f64;
-                let cell = &mut self.rates[(p * self.dcs + j) as usize];
-                *cell = RATE_HISTORY_WEIGHT * *cell + (1.0 - RATE_HISTORY_WEIGHT) * obs;
+    /// Fold one partition's rate row up to the current pass: first the
+    /// zero observations of any passes it sat out (closed-form, bitwise
+    /// what the epoch-at-a-time folds would have produced), then this
+    /// pass's observation.
+    fn observe_partition(&mut self, load: &rfh_workload::QueryLoad, pu: u32) {
+        let p = pu as usize;
+        let stamp = self.stamps[p];
+        let gap = self.pass - 1 - stamp;
+        self.stamps[p] = self.pass;
+        let base = p * self.dcs as usize;
+        for j in 0..self.dcs {
+            let cell = &mut self.rates[base + j as usize];
+            if gap > 0 {
+                *cell = rfh_stats::decay_zeros(RATE_HISTORY_WEIGHT, *cell, gap);
             }
+            let obs = load.get(PartitionId::new(pu), DatacenterId::new(j)) as f64;
+            *cell = RATE_HISTORY_WEIGHT * *cell + (1.0 - RATE_HISTORY_WEIGHT) * obs;
+        }
+    }
+
+    fn update_rates(&mut self, ctx: &EpochContext<'_>) {
+        self.pass += 1;
+        for p in 0..self.partitions {
+            self.observe_partition(ctx.load, p);
+        }
+    }
+
+    fn update_rates_active(&mut self, load: &rfh_workload::QueryLoad, active: &[u32]) {
+        self.pass += 1;
+        for &p in active {
+            self.observe_partition(load, p);
         }
     }
 }
@@ -91,11 +125,24 @@ impl ReplicationPolicy for RequestOrientedPolicy {
     }
 
     fn decide(&mut self, ctx: &EpochContext<'_>, manager: &ReplicaManager) -> Vec<Action> {
-        self.update_rates(ctx);
+        match ctx.active {
+            Some(active) => self.update_rates_active(ctx.load, active),
+            None => self.update_rates(ctx),
+        }
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let mut actions = Vec::new();
-        for p_idx in 0..manager.partitions() {
+        // Sparse active set when offered. A frozen partition has every
+        // rate cell below [`Self::ACTIVE_RATE`] (the stale cells only
+        // overestimate the decayed truth), so its top-3 is empty: the
+        // dense loop would take neither the growth nor the migration
+        // branch and — crucially for the shared RNG stream — draw no
+        // random numbers for it.
+        let sweep: Box<dyn Iterator<Item = u32>> = match ctx.active {
+            Some(active) => Box::new(active.iter().copied()),
+            None => Box::new(0..manager.partitions()),
+        };
+        for p_idx in sweep {
             let p = PartitionId::new(p_idx);
             let top3 = self.top3(p);
 
@@ -228,6 +275,27 @@ impl ReplicationPolicy for RequestOrientedPolicy {
             }
         }
         actions
+    }
+
+    fn keeps_live(
+        &self,
+        _topo: &rfh_topology::Topology,
+        _smoother: &rfh_traffic::TrafficSmoother,
+        _manager: &ReplicaManager,
+        _r_min: usize,
+        p: PartitionId,
+    ) -> bool {
+        // Live while any requester rate could still put a DC in the
+        // top-3. With every cell below the bar the top-3 is empty and
+        // the dense sweep is inert for this partition: the growth
+        // branch needs a non-empty top-3 (even below the floor — this
+        // baseline only ever places near requesters), the migration
+        // branch needs an uncovered top-3 entry, and neither touches
+        // the RNG. Cells decay monotonically while unqueried, so the
+        // possibly-stale read only errs toward keeping the partition
+        // live.
+        let row = &self.rates[p.index() * self.dcs as usize..][..self.dcs as usize];
+        row.iter().any(|&r| r >= Self::ACTIVE_RATE)
     }
 }
 

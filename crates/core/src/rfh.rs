@@ -337,6 +337,142 @@ impl RfhDecisionCore {
         actions
     }
 
+    /// Run the decision tree for the partitions in `active` only
+    /// (sorted ascending), serially.
+    ///
+    /// The sparse-engine counterpart of [`decide_all`](Self::decide_all):
+    /// partitions outside `active` are frozen — the caller vouches (via
+    /// [`ReplicationPolicy::keeps_live`]) that evaluating them would
+    /// change nothing. Because evaluation and absorption walk `active`
+    /// ascending, actions, state updates and trace events for the
+    /// active partitions are byte-identical to the dense sweep's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_set(
+        &mut self,
+        epoch: Epoch,
+        t: &Thresholds,
+        r_min: usize,
+        topo: &Topology,
+        manager: &ReplicaManager,
+        snapshot: &PlacementView,
+        view: &dyn TrafficView,
+        recorder: &dyn Recorder,
+        policy: &'static str,
+        active: &[u32],
+    ) -> Vec<Action> {
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "active set must be sorted");
+        let mut actions = Vec::new();
+        for &p_idx in active {
+            let p = PartitionId::new(p_idx);
+            let d = self.decide_partition(
+                epoch, t, r_min, topo, manager, snapshot, view, recorder, policy, p,
+            );
+            self.absorb(epoch, p, d, &mut actions);
+        }
+        self.note_birth(epoch, &actions);
+        actions
+    }
+
+    /// [`decide_set`](Self::decide_set) with the per-partition
+    /// evaluation fanned out over `pool`, sharding the *active list*
+    /// (not the partition space). Bit-identical to the serial sparse
+    /// pass for any pool size, by the same snapshot/absorb argument as
+    /// [`decide_all_pooled`](Self::decide_all_pooled).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_set_pooled(
+        &mut self,
+        epoch: Epoch,
+        t: &Thresholds,
+        r_min: usize,
+        topo: &Topology,
+        manager: &ReplicaManager,
+        snapshot: &PlacementView,
+        view: &(dyn TrafficView + Sync),
+        recorder: &dyn Recorder,
+        policy: &'static str,
+        active: &[u32],
+        pool: &WorkerPool,
+    ) -> Vec<Action> {
+        let n = active.len();
+        if pool.size() <= 1 || n <= 1 {
+            return self.decide_set(
+                epoch, t, r_min, topo, manager, snapshot, view, recorder, policy, active,
+            );
+        }
+        let traced = recorder.enabled();
+        let n_shards = pool.size().min(n);
+        struct ShardOut {
+            /// Positions into `active` this shard covers.
+            lo: usize,
+            hi: usize,
+            events: BufferedRecorder,
+            decisions: Vec<PartitionDecision>,
+        }
+        let mut outs: Vec<ShardOut> = (0..n_shards)
+            .map(|k| {
+                let (lo, hi) = shard_bounds(n, n_shards, k);
+                ShardOut {
+                    lo,
+                    hi,
+                    events: BufferedRecorder::new(traced),
+                    decisions: Vec::with_capacity(hi - lo),
+                }
+            })
+            .collect();
+        {
+            let core: &RfhDecisionCore = self;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = outs
+                .iter_mut()
+                .map(|out| {
+                    Box::new(move || {
+                        for &pu in &active[out.lo..out.hi] {
+                            let d = core.decide_partition(
+                                epoch,
+                                t,
+                                r_min,
+                                topo,
+                                manager,
+                                snapshot,
+                                view as &dyn TrafficView,
+                                &out.events,
+                                policy,
+                                PartitionId::new(pu),
+                            );
+                            out.decisions.push(d);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        let mut actions = Vec::new();
+        for out in outs {
+            for event in out.events.drain() {
+                recorder.decision(event);
+            }
+            for (i, d) in out.decisions.into_iter().enumerate() {
+                self.absorb(epoch, PartitionId::new(active[out.lo + i]), d, &mut actions);
+            }
+        }
+        self.note_birth(epoch, &actions);
+        actions
+    }
+
+    /// Whether any non-primary replica of `p` still has an idle streak
+    /// below the [`SUICIDE_PATIENCE`] bar (or none at all) — i.e. the
+    /// suicide state-machine for `p` has not yet saturated.
+    fn any_streak_unsaturated(
+        &self,
+        manager: &ReplicaManager,
+        holder: ServerId,
+        p: PartitionId,
+    ) -> bool {
+        manager.replicas(p).iter().any(|&s| {
+            s != holder
+                && self.idle_streak.get(&(p.0, s.0)).copied().unwrap_or(0) < SUICIDE_PATIENCE
+        })
+    }
+
     /// Evaluate the decision tree for one partition, read-only.
     ///
     /// All state `decide_all` historically mutated mid-loop is keyed by
@@ -375,7 +511,12 @@ impl RfhDecisionCore {
             let tr = view.traffic(replica_dc(s), p);
             let key = (p.0, s.0);
             if suicide_candidate(t, tr, q_avg) {
-                let next = self.idle_streak.get(&key).copied().unwrap_or(0) + 1;
+                // Saturate at the patience bar: the suicide gate only
+                // asks `streak >= SUICIDE_PATIENCE`, and a capped streak
+                // makes re-evaluating a long-idle partition idempotent —
+                // the invariant the sparse engine's freeze rests on.
+                let next =
+                    (self.idle_streak.get(&key).copied().unwrap_or(0) + 1).min(SUICIDE_PATIENCE);
                 d.streaks.push((key, Some(next)));
             } else {
                 d.streaks.push((key, None));
@@ -772,8 +913,33 @@ impl ReplicationPolicy for RfhPolicy {
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
         let view = CentralizedView { ctx, manager, use_blocking: self.use_blocking };
-        match self.pool.as_deref() {
-            Some(pool) if pool.size() > 1 => self.core.decide_all_pooled(
+        match (self.pool.as_deref(), ctx.active) {
+            (Some(pool), Some(active)) if pool.size() > 1 => self.core.decide_set_pooled(
+                ctx.epoch,
+                &ctx.config.thresholds,
+                r_min,
+                ctx.topo,
+                manager,
+                ctx.view,
+                &view,
+                ctx.recorder,
+                "RFH",
+                active,
+                pool,
+            ),
+            (_, Some(active)) => self.core.decide_set(
+                ctx.epoch,
+                &ctx.config.thresholds,
+                r_min,
+                ctx.topo,
+                manager,
+                ctx.view,
+                &view,
+                ctx.recorder,
+                "RFH",
+                active,
+            ),
+            (Some(pool), None) if pool.size() > 1 => self.core.decide_all_pooled(
                 ctx.epoch,
                 &ctx.config.thresholds,
                 r_min,
@@ -785,7 +951,7 @@ impl ReplicationPolicy for RfhPolicy {
                 "RFH",
                 pool,
             ),
-            _ => self.core.decide_all(
+            (_, None) => self.core.decide_all(
                 ctx.epoch,
                 &ctx.config.thresholds,
                 r_min,
@@ -797,6 +963,41 @@ impl ReplicationPolicy for RfhPolicy {
                 "RFH",
             ),
         }
+    }
+
+    fn keeps_live(
+        &self,
+        topo: &Topology,
+        smoother: &rfh_traffic::TrafficSmoother,
+        manager: &ReplicaManager,
+        r_min: usize,
+        p: PartitionId,
+    ) -> bool {
+        // Frozen iff: replica count exactly at the floor (no growth
+        // trigger, no suicide headroom — eq. 15's scan requires
+        // `reachable > r_min`), q̄ decayed to exact zero (the overload
+        // gate of eq. 12 needs `q̄ > 0`), every idle streak saturated at
+        // [`SUICIDE_PATIENCE`] (re-evaluating is idempotent thanks to
+        // the cap), and every non-primary replica's datacenter traffic
+        // at exact zero (so eq. 15 candidacy — hence the streak state —
+        // cannot change). Under those conditions a dense sweep provably
+        // emits no action and mutates nothing, epoch after epoch, until
+        // new demand or a fault dirties the partition. Smoother cells
+        // may be lazily-stale upper bounds; a stale nonzero keeps the
+        // partition live, which is the safe direction.
+        if manager.replica_count(p) != r_min {
+            return true;
+        }
+        if smoother.q_avg(p) != 0.0 {
+            return true;
+        }
+        let holder = manager.holder(p);
+        if self.core.any_streak_unsaturated(manager, holder, p) {
+            return true;
+        }
+        manager.replicas(p).iter().any(|&s| {
+            s != holder && smoother.traffic(topo.servers()[s.index()].datacenter, p) != 0.0
+        })
     }
 }
 

@@ -43,6 +43,7 @@ impl CtxParts {
             view: &self.view,
             config: &h.cfg,
             recorder: &rfh_obs::NullRecorder,
+            active: None,
         }
     }
 }

@@ -87,6 +87,15 @@ pub struct InvariantAuditor {
     violations: Vec<Violation>,
     total: u64,
     scratch: Vec<ServerId>,
+    /// Partitions the incremental audit must keep revisiting even when
+    /// nothing dirties them (sorted ascending): currently
+    /// under-replicated (their repair clock ticks every epoch) or still
+    /// hosting replicas on dead servers (a recurring safety violation,
+    /// or a pinned set awaiting restore). Rebuilt by every audit pass.
+    watch: Vec<u32>,
+    /// Recycled buffer for rebuilding [`Self::watch`] without
+    /// per-epoch allocation.
+    watch_spare: Vec<u32>,
 }
 
 impl InvariantAuditor {
@@ -109,6 +118,8 @@ impl InvariantAuditor {
             violations: Vec::new(),
             total: 0,
             scratch: Vec::new(),
+            watch: Vec::new(),
+            watch_spare: Vec::new(),
         }
     }
 
@@ -134,64 +145,148 @@ impl InvariantAuditor {
     ) -> u64 {
         let before = self.total;
         let mut scratch = std::mem::take(&mut self.scratch);
+        let mut watch = std::mem::take(&mut self.watch_spare);
+        watch.clear();
         for idx in 0..self.armed.len() {
             let p = PartitionId::new(idx as u32);
             scratch.clear();
             fill_replicas(p, &mut scratch);
-            let alive = scratch.iter().filter(|s| topo.servers()[s.index()].alive).count();
-            let dead = scratch.len() - alive;
-            if dead > 0 && !pinned(p) {
-                self.push(Violation {
-                    epoch,
-                    partition: p,
-                    kind: ViolationKind::ReplicaOnDeadServer,
-                    detail: format!("{dead} of {} replicas on dead servers", scratch.len()),
-                });
-            }
-            if alive >= self.r_min {
-                self.armed[idx] = true;
-                self.under_since[idx] = None;
-                self.stuck_reported[idx] = false;
-                continue;
-            }
-            if !self.armed[idx] {
-                continue; // still on the warm-up ramp
-            }
-            let caused = |at: u64| {
-                self.last_fault.is_some_and(|f| at.saturating_sub(f) <= self.cause_window)
-            };
-            match self.under_since[idx] {
-                None => {
-                    self.under_since[idx] = Some(epoch);
-                    if !caused(epoch) {
-                        self.push(Violation {
-                            epoch,
-                            partition: p,
-                            kind: ViolationKind::UnderReplicatedNoCause,
-                            detail: format!("{alive} < r_min {} with no fault", self.r_min),
-                        });
-                    }
-                }
-                Some(since) => {
-                    let clock_start = self.last_fault.map_or(since, |f| f.max(since));
-                    if epoch > clock_start + self.repair_window && !self.stuck_reported[idx] {
-                        self.stuck_reported[idx] = true;
-                        self.push(Violation {
-                            epoch,
-                            partition: p,
-                            kind: ViolationKind::StuckUnderReplicated,
-                            detail: format!(
-                                "{alive} < r_min {} for {} epochs",
-                                self.r_min,
-                                epoch - since
-                            ),
-                        });
-                    }
-                }
+            let pin = pinned(p);
+            if self.audit_one(epoch, topo, p, &scratch, pin) {
+                watch.push(idx as u32);
             }
         }
         self.scratch = scratch;
+        self.watch_spare = std::mem::replace(&mut self.watch, watch);
         self.total - before
+    }
+
+    /// Incremental audit over `parts` (sorted ascending, deduped) plus
+    /// the auditor's internal watch list — partitions whose state can
+    /// only evolve while they are being watched (a ticking repair clock,
+    /// replicas still parked on dead servers).
+    ///
+    /// Provided every epoch's `parts` contains every partition whose
+    /// replica set or liveness changed that epoch (the sparse engine's
+    /// active set does), the violations recorded — kinds, epochs, order,
+    /// running total — are identical to calling [`audit`](Self::audit)
+    /// each epoch: all other partitions are either unarmed and
+    /// untouched, or healthy at `r_min`+ with every replica alive, and
+    /// the dense sweep is a no-op on them.
+    pub fn audit_subset(
+        &mut self,
+        epoch: u64,
+        topo: &Topology,
+        parts: &[u32],
+        mut fill_replicas: impl FnMut(PartitionId, &mut Vec<ServerId>),
+        pinned: impl Fn(PartitionId) -> bool,
+    ) -> u64 {
+        debug_assert!(parts.windows(2).all(|w| w[0] < w[1]), "parts must be sorted ascending");
+        let before = self.total;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let old_watch = std::mem::take(&mut self.watch);
+        let mut new_watch = std::mem::take(&mut self.watch_spare);
+        new_watch.clear();
+        // Merge-walk parts ∪ watch ascending so violations come out in
+        // the same partition order as the dense sweep's.
+        let (mut i, mut j) = (0, 0);
+        while i < parts.len() || j < old_watch.len() {
+            let next = match (parts.get(i), old_watch.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (_, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, None) => unreachable!(),
+            };
+            let p = PartitionId::new(next);
+            scratch.clear();
+            fill_replicas(p, &mut scratch);
+            let pin = pinned(p);
+            if self.audit_one(epoch, topo, p, &scratch, pin) {
+                new_watch.push(next);
+            }
+        }
+        self.scratch = scratch;
+        self.watch_spare = old_watch;
+        self.watch = new_watch;
+        self.total - before
+    }
+
+    /// Audit one partition; returns whether it must stay on the watch
+    /// list (see [`Self::watch`]).
+    fn audit_one(
+        &mut self,
+        epoch: u64,
+        topo: &Topology,
+        p: PartitionId,
+        replicas: &[ServerId],
+        pinned: bool,
+    ) -> bool {
+        let idx = p.index();
+        let alive = replicas.iter().filter(|s| topo.servers()[s.index()].alive).count();
+        let dead = replicas.len() - alive;
+        if dead > 0 && !pinned {
+            self.push(Violation {
+                epoch,
+                partition: p,
+                kind: ViolationKind::ReplicaOnDeadServer,
+                detail: format!("{dead} of {} replicas on dead servers", replicas.len()),
+            });
+        }
+        if alive >= self.r_min {
+            self.armed[idx] = true;
+            self.under_since[idx] = None;
+            self.stuck_reported[idx] = false;
+            return dead > 0;
+        }
+        if !self.armed[idx] {
+            return dead > 0; // still on the warm-up ramp
+        }
+        let caused =
+            |at: u64| self.last_fault.is_some_and(|f| at.saturating_sub(f) <= self.cause_window);
+        match self.under_since[idx] {
+            None => {
+                self.under_since[idx] = Some(epoch);
+                if !caused(epoch) {
+                    self.push(Violation {
+                        epoch,
+                        partition: p,
+                        kind: ViolationKind::UnderReplicatedNoCause,
+                        detail: format!("{alive} < r_min {} with no fault", self.r_min),
+                    });
+                }
+            }
+            Some(since) => {
+                let clock_start = self.last_fault.map_or(since, |f| f.max(since));
+                if epoch > clock_start + self.repair_window && !self.stuck_reported[idx] {
+                    self.stuck_reported[idx] = true;
+                    self.push(Violation {
+                        epoch,
+                        partition: p,
+                        kind: ViolationKind::StuckUnderReplicated,
+                        detail: format!(
+                            "{alive} < r_min {} for {} epochs",
+                            self.r_min,
+                            epoch - since
+                        ),
+                    });
+                }
+            }
+        }
+        true
     }
 
     /// Total violations detected over the whole run.
@@ -297,6 +392,56 @@ mod tests {
         audit_sets(&mut a, 30, &t, &[&[s(0), s(1)]]);
         a.note_fault(31);
         assert_eq!(audit_sets(&mut a, 32, &t, &[&[s(0)]]), 0);
+    }
+
+    #[test]
+    fn subset_audit_matches_dense_audit() {
+        // A fault-and-repair scenario driven twice: once auditing every
+        // partition every epoch, once auditing only the partitions that
+        // changed that epoch (plus the auditor's own watch list). The
+        // violation streams must be identical.
+        let schedule = |t: &mut Topology, a: &mut InvariantAuditor, e: u64| -> Vec<u32> {
+            match e {
+                6 => {
+                    if t.servers()[1].alive {
+                        t.fail_server(s(1)).unwrap();
+                    }
+                    a.note_fault(6);
+                    vec![0]
+                }
+                21 => vec![0],
+                0 => vec![0, 1],
+                _ => vec![],
+            }
+        };
+        let sets_at = |e: u64| -> Vec<Vec<ServerId>> {
+            match e {
+                0..=6 => vec![vec![s(0), s(1)], vec![s(2), s(3)]],
+                7..=20 => vec![vec![s(0)], vec![s(2), s(3)]], // pruned, under r_min
+                _ => vec![vec![s(0), s(2)], vec![s(2), s(3)]], // healed
+            }
+        };
+        let run = |sparse: bool| -> (u64, Vec<Violation>) {
+            let mut t = topo();
+            let mut a = InvariantAuditor::with_windows(2, 2, 2, 10);
+            for e in 0..30 {
+                let parts = schedule(&mut t, &mut a, e);
+                let sets = sets_at(e);
+                let fill = |p: PartitionId, buf: &mut Vec<ServerId>| {
+                    buf.extend_from_slice(&sets[p.index()]);
+                };
+                if sparse {
+                    a.audit_subset(e, &t, &parts, fill, |_| false);
+                } else {
+                    a.audit(e, &t, fill, |_| false);
+                }
+            }
+            (a.total(), a.violations().to_vec())
+        };
+        let dense = run(false);
+        let sparse = run(true);
+        assert!(dense.0 > 0, "scenario must actually trip violations");
+        assert_eq!(dense, sparse);
     }
 
     #[test]

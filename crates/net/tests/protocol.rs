@@ -49,6 +49,7 @@ impl Cluster {
             view: &view,
             config: &self.cfg,
             recorder: &rfh_obs::NullRecorder,
+            active: None,
         };
         let actions = policy.decide(&ctx, &self.manager);
         for a in actions {

@@ -30,7 +30,7 @@ mod registry;
 pub use event::{DecisionEvent, DecisionKind, Trigger};
 pub use profiler::{
     PhaseStat, ProfileReport, Profiler, PHASE_APPLY, PHASE_DECIDE, PHASE_EVENTS, PHASE_METRICS,
-    PHASE_NETWORK, PHASE_TRAFFIC, PHASE_WORKLOAD,
+    PHASE_NETWORK, PHASE_SPARSE, PHASE_TRAFFIC, PHASE_WORKLOAD,
 };
 pub use recorder::{BufferedRecorder, NullRecorder, Recorder, TraceRecorder};
 pub use registry::{Metric, MetricsRegistry};

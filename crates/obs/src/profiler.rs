@@ -6,6 +6,8 @@ use std::time::Instant;
 pub const PHASE_EVENTS: &str = "events";
 /// Query generation or trace replay.
 pub const PHASE_WORKLOAD: &str = "workload";
+/// Sparse-engine active-set construction (carry ∪ touched ∪ dirty).
+pub const PHASE_SPARSE: &str = "sparse";
 /// Placement-view render + traffic accounting + smoothing + Erlang-B.
 pub const PHASE_TRAFFIC: &str = "traffic";
 /// The policy's decision pass.

@@ -80,6 +80,20 @@ pub(crate) struct Controller {
     repair_queue: RepairQueue,
     pinned: Vec<PartitionId>,
     view: PlacementView,
+    /// Partitions whose replica set changed since the last render.
+    dirty_parts: Vec<PartitionId>,
+    /// The view must be re-rendered wholesale (first tick, prune,
+    /// restore); that tick runs dirty-all, seeding the sparse carry.
+    view_stale: bool,
+    /// Availability floor, for the sparse carry filter.
+    r_min: usize,
+    /// Last tick's active set, sorted ascending (the sparse carry).
+    prev_active: Vec<u32>,
+    /// Build buffer for the next active set.
+    active_scratch: Vec<u32>,
+    /// Cumulative partitions visited / skipped by sparse ticks.
+    sparse_dirty: u64,
+    sparse_skipped: u64,
     /// Shared worker pool for the tick's traffic pass; the policy holds
     /// a second handle for its decision pass. `None` when `threads <= 1`.
     pool: Option<Arc<WorkerPool>>,
@@ -116,6 +130,13 @@ impl Controller {
             smoother: TrafficSmoother::new(cfg.partitions, dc_count, cfg.thresholds.alpha),
             engine: TrafficEngine::new(),
             view: PlacementView::new(0, 0, Vec::new()),
+            dirty_parts: Vec::new(),
+            view_stale: true,
+            r_min,
+            prev_active: Vec::new(),
+            active_scratch: Vec::new(),
+            sparse_dirty: 0,
+            sparse_skipped: 0,
             pool,
             scratch: QueryLoad::zeros(cfg.partitions, dc_count),
             policy,
@@ -162,6 +183,8 @@ impl Controller {
         registry.counter_total("serve.repairs.dead_letters", self.repair_queue.dead_letters());
         registry.counter_total("serve.data_restores", self.data_restores);
         registry.counter_total("serve.invariant_violations", self.auditor.total());
+        registry.counter_total("serve.sparse.dirty_partitions", self.sparse_dirty);
+        registry.counter_total("serve.sparse.skipped_partitions", self.sparse_skipped);
         registry.gauge("serve.replicas_total", self.manager.total_replicas() as f64);
         self.engine.stats().collect_metrics(&mut registry);
         ControlStats {
@@ -184,15 +207,67 @@ impl Controller {
         self.retry_restores();
         self.manager.begin_epoch();
 
-        self.scratch.clear();
-        self.shared.load.drain_into(&mut self.scratch);
+        self.scratch.clear_touched();
+        self.shared.load.drain_sparse_into(&mut self.scratch);
 
-        self.manager.render_view(&self.topo, self.cfg.replica_capacity_mean, &mut self.view);
+        // The live loop always runs the sparse engine — the offline
+        // simulator's dense/sparse differential harness proves the two
+        // paths bit-identical, so serving keeps only the O(dirty) one.
+        // Active set = carry ∪ drained ∪ placement-dirty, exactly as in
+        // the simulator; a stale view (first tick, prune, restore) runs
+        // dirty-all, which doubles as the warm-up that seeds the carry.
+        self.active_scratch.clear();
+        if self.view_stale {
+            self.active_scratch.extend(0..self.cfg.partitions);
+        } else {
+            for &pu in &self.prev_active {
+                if self.policy.keeps_live(
+                    &self.topo,
+                    &self.smoother,
+                    &self.manager,
+                    self.r_min,
+                    PartitionId::new(pu),
+                ) {
+                    self.active_scratch.push(pu);
+                }
+            }
+            self.active_scratch.extend_from_slice(self.scratch.touched());
+            self.active_scratch.extend(self.dirty_parts.iter().map(|p| p.0));
+            self.active_scratch.sort_unstable();
+            self.active_scratch.dedup();
+        }
+        std::mem::swap(&mut self.prev_active, &mut self.active_scratch);
+        self.sparse_dirty += self.prev_active.len() as u64;
+        self.sparse_skipped += self.cfg.partitions as u64 - self.prev_active.len() as u64;
+
+        if self.view_stale {
+            self.manager.render_view(&self.topo, self.cfg.replica_capacity_mean, &mut self.view);
+            self.view_stale = false;
+            self.dirty_parts.clear();
+        } else {
+            for &p in &self.dirty_parts {
+                self.manager.render_partition(
+                    &self.topo,
+                    self.cfg.replica_capacity_mean,
+                    p,
+                    &mut self.view,
+                );
+            }
+            self.dirty_parts.clear();
+        }
         let accounts = match &self.pool {
-            Some(pool) => self.engine.account_sharded(&self.topo, &self.scratch, &self.view, pool),
-            None => self.engine.account(&self.topo, &self.scratch, &self.view),
+            Some(pool) => self.engine.account_active_sharded(
+                &self.topo,
+                &self.scratch,
+                &self.view,
+                &self.prev_active,
+                pool,
+            ),
+            None => {
+                self.engine.account_active(&self.topo, &self.scratch, &self.view, &self.prev_active)
+            }
         };
-        self.smoother.update(&self.scratch, accounts);
+        self.smoother.update_active(&self.scratch, accounts, &self.prev_active);
         let blocking =
             server_blocking_probabilities(&self.topo, accounts, self.cfg.replica_capacity_mean);
 
@@ -207,6 +282,7 @@ impl Controller {
             view: &self.view,
             config: &self.cfg,
             recorder: &recorder,
+            active: Some(&self.prev_active),
         };
         let actions = self.policy.decide(&ctx, &self.manager);
 
@@ -231,11 +307,16 @@ impl Controller {
             self.execute(action);
         }
 
+        // Subset audit over the active partitions (plus the auditor's
+        // internal watch list): only actions change audit state, actions
+        // land on active partitions, and deferred repairs target watched
+        // partitions — so the violation stream matches a full sweep.
         let manager = &self.manager;
         let pinned = &self.pinned;
-        self.auditor.audit(
+        self.auditor.audit_subset(
             self.tick,
             &self.topo,
+            &self.prev_active,
             |p, buf| buf.extend_from_slice(manager.replicas(p)),
             |p| pinned.contains(&p),
         );
@@ -275,6 +356,7 @@ impl Controller {
         }
         self.publish(partition);
         drop(guard);
+        self.dirty_parts.push(partition);
         true
     }
 
@@ -382,6 +464,7 @@ impl Controller {
                 self.pinned.push(p);
             }
         }
+        self.view_stale = true;
         self.publish_all();
     }
 
@@ -396,6 +479,7 @@ impl Controller {
             if self.manager.replicas(p).iter().any(|&s| self.topo.servers()[s.index()].alive) {
                 let _guard = self.shared.locks[p.index()].lock().expect("partition lock");
                 self.publish(p);
+                self.view_stale = true;
                 continue;
             }
             let target = self
@@ -413,6 +497,7 @@ impl Controller {
                     self.shared.stores[to.index()].merge(&entries);
                     self.publish(p);
                     self.data_restores += 1;
+                    self.view_stale = true;
                 }
                 _ => still_pinned.push(p),
             }

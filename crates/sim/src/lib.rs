@@ -41,4 +41,4 @@ pub use metrics::{recovery_epochs, EpochSnapshot, Metrics};
 pub use repair::{destination_unreachable, RepairQueue};
 pub use rfh_faults::{FaultAction, FaultPlan};
 pub use runner::{run_comparison, run_comparison_observed, ComparisonResult, ObsOptions};
-pub use simulation::{SimParams, SimResult, Simulation};
+pub use simulation::{EngineMode, SimParams, SimResult, Simulation};

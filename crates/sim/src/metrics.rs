@@ -264,6 +264,36 @@ pub fn mean_utilization(view: &PlacementView, accounts: &TrafficAccounts) -> f64
     }
 }
 
+/// [`mean_utilization`] over a sparse active set: only the replicas of
+/// `active` partitions can have served anything this epoch, so every
+/// skipped replica contributes an exact `+0.0` term to the numerator —
+/// the additive identity on this non-negative accumulator — while the
+/// denominator comes from the view's O(1) cell counter. Bit-identical
+/// to the dense scan whenever the sparse invariant holds (every
+/// partition with served traffic is in `active`, ascending).
+pub fn mean_utilization_active(
+    view: &PlacementView,
+    accounts: &TrafficAccounts,
+    active: &[u32],
+) -> f64 {
+    let mut total = 0.0;
+    for &pu in active {
+        let p = PartitionId::new(pu);
+        for s in view.replica_servers(p) {
+            let cap = view.capacity(p, s);
+            debug_assert!(cap > 0.0);
+            let served = accounts.served.get(s.index(), p.index());
+            total += (served / cap).min(1.0);
+        }
+    }
+    let count = view.nonzero_cells();
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
 /// eq. (25): population standard deviation of per-alive-server load.
 pub fn epoch_load_imbalance(topo: &Topology, accounts: &TrafficAccounts) -> f64 {
     let loads: Vec<f64> = topo

@@ -125,7 +125,7 @@ mod tests {
                 faults: crate::FaultPlan::default(),
                 threads: 1,
             },
-            &crate::runner::ObsOptions { profile: true, recorder: None },
+            &crate::runner::ObsOptions { profile: true, ..Default::default() },
         )
         .unwrap();
         let table = profile_table(&profiled);

@@ -1,6 +1,8 @@
 //! The epoch loop for one policy.
 
-use crate::metrics::{epoch_load_imbalance, mean_utilization, EpochSnapshot, Metrics};
+use crate::metrics::{
+    epoch_load_imbalance, mean_utilization, mean_utilization_active, EpochSnapshot, Metrics,
+};
 use crate::repair::{destination_unreachable, RepairQueue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,7 +13,7 @@ use rfh_core::{
 use rfh_faults::{FaultInjector, FaultPlan, InvariantAuditor};
 use rfh_obs::{
     MetricsRegistry, NullRecorder, ProfileReport, Profiler, Recorder, PHASE_APPLY, PHASE_DECIDE,
-    PHASE_EVENTS, PHASE_METRICS, PHASE_TRAFFIC, PHASE_WORKLOAD,
+    PHASE_EVENTS, PHASE_METRICS, PHASE_SPARSE, PHASE_TRAFFIC, PHASE_WORKLOAD,
 };
 use rfh_pool::WorkerPool;
 use rfh_ring::ConsistentHashRing;
@@ -19,11 +21,32 @@ use rfh_stats::min_replica_count;
 use rfh_topology::{paper_topology, Topology};
 use rfh_traffic::{PlacementView, TrafficEngine, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, Result, RfhError, ServerId, SimConfig};
-use rfh_workload::{ClusterEvent, EventSchedule, Scenario, Trace, WorkloadGenerator};
+use rfh_workload::{ClusterEvent, EventSchedule, QueryLoad, Scenario, Trace, WorkloadGenerator};
 use std::sync::Arc;
 
 /// Tokens per server on the placement ring.
 const RING_TOKENS: u32 = 64;
+
+/// Which epoch engine drives a run.
+///
+/// Both modes produce **bit-identical** results — metrics, placements,
+/// decision traces, RNG streams (a differential test matrix asserts
+/// this). They differ only in per-epoch cost: dense work is
+/// O(partitions), sparse work is O(dirty set), which is what lets an
+/// epoch over a million partitions cost only its hot set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Full sweeps: every partition is re-accounted, re-smoothed,
+    /// re-decided and re-audited every epoch. The reference semantics.
+    Dense,
+    /// Incremental dirty-set engine (the default): each epoch touches
+    /// only the *active set* — partitions with queries this epoch,
+    /// partitions whose placement changed, and carried-over partitions
+    /// the policy says are not yet provably inert
+    /// ([`rfh_core::ReplicationPolicy::keeps_live`]).
+    #[default]
+    Sparse,
+}
 
 /// Parameters of one simulation run.
 #[derive(Debug, Clone)]
@@ -154,6 +177,25 @@ pub struct Simulation {
     /// Shared worker pool for the traffic and decision passes; `None`
     /// when `params.threads <= 1` (the serial path, zero overhead).
     pool: Option<Arc<WorkerPool>>,
+    /// Dense full sweeps or the sparse dirty-set engine.
+    engine_mode: EngineMode,
+    /// Availability floor `r_min`, cached at construction (it depends
+    /// only on the config).
+    r_min: usize,
+    /// Sparse mode: last epoch's active set, sorted ascending — the
+    /// carry half of the next active set.
+    prev_active: Vec<u32>,
+    /// Sparse mode: build buffer for the next active set (swapped with
+    /// [`prev_active`](Self::prev_active) each epoch).
+    active_scratch: Vec<u32>,
+    /// Reused query-matrix buffer for generated workloads: cleared
+    /// touched-rows-only each epoch, so workload handling stays
+    /// O(queries) instead of O(partitions).
+    load_buf: QueryLoad,
+    /// Cumulative partitions visited by sparse epochs.
+    sparse_dirty: u64,
+    /// Cumulative partitions sparse epochs skipped.
+    sparse_skipped: u64,
     /// Decision-event sink; [`NullRecorder`] unless traced.
     recorder: Arc<dyn Recorder>,
     /// Per-phase epoch timer; disabled (one branch per phase) unless
@@ -194,6 +236,7 @@ impl Simulation {
         let policy = Self::build_policy(&params, &topo, &ring, pool.as_ref());
         let generator = params.workload_generator(topo.datacenters().len() as u32);
         let metrics = Metrics::new(cfg.partitions);
+        let load_buf = QueryLoad::zeros(cfg.partitions, topo.datacenters().len() as u32);
         let r_min = min_replica_count(cfg.failure_rate, cfg.min_availability) as usize;
         Ok(Simulation {
             pending_data_loss: 0,
@@ -216,6 +259,13 @@ impl Simulation {
             view: PlacementView::new(0, 0, Vec::new()),
             dirty_parts: Vec::new(),
             view_stale: true,
+            engine_mode: EngineMode::default(),
+            r_min,
+            prev_active: Vec::new(),
+            active_scratch: Vec::new(),
+            load_buf,
+            sparse_dirty: 0,
+            sparse_skipped: 0,
             pool,
             recorder: Arc::new(NullRecorder),
             profiler: Profiler::new(false),
@@ -253,6 +303,14 @@ impl Simulation {
     /// off the cost is one branch per phase boundary.
     pub fn with_profiling(mut self, enabled: bool) -> Self {
         self.profiler = Profiler::new(enabled);
+        self
+    }
+
+    /// Select the epoch engine (see [`EngineMode`]; the default is
+    /// [`EngineMode::Sparse`]). Results are bit-identical either way —
+    /// the mode trades per-epoch cost only.
+    pub fn with_engine(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
         self
     }
 
@@ -450,14 +508,56 @@ impl Simulation {
         self.profiler.stop(PHASE_EVENTS, ev_t0);
 
         let wl_t0 = self.profiler.start();
-        let load = match &self.trace {
-            Some(t) => t
-                .epoch(self.epoch)
-                .ok_or_else(|| RfhError::Simulation(format!("trace has no epoch {}", self.epoch)))?
-                .clone(),
-            None => self.generator.epoch_load(self.epoch),
+        let load: &QueryLoad = match &self.trace {
+            Some(t) => t.epoch(self.epoch).ok_or_else(|| {
+                RfhError::Simulation(format!("trace has no epoch {}", self.epoch))
+            })?,
+            None => {
+                self.generator.epoch_load_into(self.epoch, &mut self.load_buf);
+                &self.load_buf
+            }
         };
         self.profiler.stop(PHASE_WORKLOAD, wl_t0);
+
+        // Sparse mode: assemble the epoch's active set before the render
+        // below consumes `dirty_parts` / `view_stale`. A stale view means
+        // placements moved wholesale (first epoch, prune, join, restore)
+        // — that epoch runs dirty-all, which doubles as the warm-up that
+        // seeds the carry. Otherwise the set is carry ∪ touched ∪ dirty:
+        // carried partitions the policy cannot yet prove inert, plus
+        // everything with queries or placement changes this epoch.
+        let sp_t0 = self.profiler.start();
+        let active: Option<&[u32]> = match self.engine_mode {
+            EngineMode::Dense => None,
+            EngineMode::Sparse => {
+                self.active_scratch.clear();
+                if self.view_stale {
+                    self.active_scratch.extend(0..self.params.config.partitions);
+                } else {
+                    for &pu in &self.prev_active {
+                        if self.policy.keeps_live(
+                            &self.topo,
+                            &self.smoother,
+                            &self.manager,
+                            self.r_min,
+                            PartitionId::new(pu),
+                        ) {
+                            self.active_scratch.push(pu);
+                        }
+                    }
+                    self.active_scratch.extend_from_slice(load.touched());
+                    self.active_scratch.extend(self.dirty_parts.iter().map(|p| p.0));
+                    self.active_scratch.sort_unstable();
+                    self.active_scratch.dedup();
+                }
+                std::mem::swap(&mut self.prev_active, &mut self.active_scratch);
+                self.sparse_dirty += self.prev_active.len() as u64;
+                self.sparse_skipped +=
+                    self.params.config.partitions as u64 - self.prev_active.len() as u64;
+                Some(&self.prev_active)
+            }
+        };
+        self.profiler.stop(PHASE_SPARSE, sp_t0);
 
         let tr_t0 = self.profiler.start();
         let cfg = &self.params.config;
@@ -476,11 +576,18 @@ impl Simulation {
             }
             self.dirty_parts.clear();
         }
-        let accounts = match &self.pool {
-            Some(pool) => self.engine.account_sharded(&self.topo, &load, &self.view, pool),
-            None => self.engine.account(&self.topo, &load, &self.view),
+        let accounts = match (active, &self.pool) {
+            (Some(a), Some(pool)) => {
+                self.engine.account_active_sharded(&self.topo, load, &self.view, a, pool)
+            }
+            (Some(a), None) => self.engine.account_active(&self.topo, load, &self.view, a),
+            (None, Some(pool)) => self.engine.account_sharded(&self.topo, load, &self.view, pool),
+            (None, None) => self.engine.account(&self.topo, load, &self.view),
         };
-        self.smoother.update(&load, accounts);
+        match active {
+            Some(a) => self.smoother.update_active(load, accounts, a),
+            None => self.smoother.update(load, accounts),
+        }
         let blocking =
             server_blocking_probabilities(&self.topo, accounts, cfg.replica_capacity_mean);
         self.profiler.stop(PHASE_TRAFFIC, tr_t0);
@@ -489,20 +596,24 @@ impl Simulation {
         let ctx = EpochContext {
             epoch: Epoch(self.epoch),
             topo: &self.topo,
-            load: &load,
+            load,
             accounts,
             smoother: &self.smoother,
             blocking: &blocking,
             view: &self.view,
             config: cfg,
             recorder: &*self.recorder,
+            active,
         };
         let actions = self.policy.decide(&ctx, &self.manager);
         self.profiler.stop(PHASE_DECIDE, de_t0);
 
         let me_t0 = self.profiler.start();
         let mut snap = EpochSnapshot {
-            utilization: mean_utilization(&self.view, accounts),
+            utilization: match active {
+                Some(a) => mean_utilization_active(&self.view, accounts, a),
+                None => mean_utilization(&self.view, accounts),
+            },
             load_imbalance: epoch_load_imbalance(&self.topo, accounts),
             path_length: accounts.mean_path_length(),
             served: accounts.served_total(),
@@ -523,12 +634,27 @@ impl Simulation {
         snap.replicas_total = self.manager.total_replicas();
         let manager = &self.manager;
         let pinned = &self.pinned;
-        snap.invariant_violations = self.auditor.audit(
-            self.epoch,
-            &self.topo,
-            |p, buf| buf.extend_from_slice(manager.replicas(p)),
-            |p| pinned.contains(&p),
-        ) as usize;
+        // Sparse mode audits the active set (plus the auditor's own
+        // watch list of armed / dead-replica partitions); the violation
+        // stream is identical to a dense audit because only actions can
+        // change a partition's audit state, actions land on active
+        // partitions, and deferred repairs either hit watched partitions
+        // or leave the audit outcome unchanged.
+        snap.invariant_violations = match self.engine_mode {
+            EngineMode::Sparse => self.auditor.audit_subset(
+                self.epoch,
+                &self.topo,
+                &self.prev_active,
+                |p, buf| buf.extend_from_slice(manager.replicas(p)),
+                |p| pinned.contains(&p),
+            ),
+            EngineMode::Dense => self.auditor.audit(
+                self.epoch,
+                &self.topo,
+                |p, buf| buf.extend_from_slice(manager.replicas(p)),
+                |p| pinned.contains(&p),
+            ),
+        } as usize;
         self.metrics.record(&snap);
         self.profiler.stop(PHASE_METRICS, me_t1);
         self.recorder.end_epoch(self.policy.name(), self.epoch);
@@ -641,6 +767,8 @@ impl Simulation {
         registry.counter_total("sim.repairs.dead_letters", self.repair_queue.dead_letters());
         registry.gauge("sim.repairs.pending", self.repair_queue.len() as f64);
         registry.counter_total("sim.invariant_violations", self.auditor.total());
+        registry.counter_total("sim.sparse.dirty_partitions", self.sparse_dirty);
+        registry.counter_total("sim.sparse.skipped_partitions", self.sparse_skipped);
         self.engine.stats().collect_metrics(registry);
     }
 
@@ -712,6 +840,51 @@ mod tests {
             "demand must add replicas beyond the floor: {:?}",
             replicas.last()
         );
+    }
+
+    #[test]
+    fn sparse_equals_dense_for_every_policy() {
+        for kind in PolicyKind::ALL {
+            let dense = Simulation::new(quick_params(kind))
+                .unwrap()
+                .with_engine(EngineMode::Dense)
+                .run()
+                .unwrap();
+            let sparse = Simulation::new(quick_params(kind))
+                .unwrap()
+                .with_engine(EngineMode::Sparse)
+                .run()
+                .unwrap();
+            assert_eq!(dense, sparse, "{kind}: sparse engine must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn sparse_epochs_skip_cold_partitions() {
+        // 512 partitions but only ~300 queries/epoch: most partitions see
+        // no traffic in any given epoch, and the random baseline carries
+        // nothing beyond the availability floor.
+        let mut p = quick_params(PolicyKind::Random);
+        p.config.partitions = 512;
+        let mut sim = Simulation::new(p).unwrap();
+        for _ in 0..40 {
+            sim.step().unwrap();
+        }
+        fn counter(reg: &MetricsRegistry, name: &str) -> u64 {
+            match reg.get(name) {
+                Some(rfh_obs::Metric::Counter(v)) => *v,
+                other => panic!("{name}: expected counter, got {other:?}"),
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        sim.collect_metrics(&mut reg);
+        let dirty = counter(&reg, "sim.sparse.dirty_partitions");
+        let skipped = counter(&reg, "sim.sparse.skipped_partitions");
+        assert_eq!(dirty + skipped, 40 * 512, "every partition is dirty or skipped");
+        assert!(skipped > 0, "a skewed workload must leave some partitions cold");
+        // Collecting again must not double-count (set-style totals).
+        sim.collect_metrics(&mut reg);
+        assert_eq!(counter(&reg, "sim.sparse.dirty_partitions"), dirty);
     }
 
     #[test]

@@ -11,6 +11,35 @@
 //! Note the convention: **α weights history**, so α → 1 is maximally
 //! sticky and α → 0 disables smoothing. Table I uses α = 0.2.
 
+/// Apply `n` zero-observation EWMA steps to `value` and return the
+/// result, bit-identical to folding `alpha·v + (1 − alpha)·0.0` exactly
+/// `n` times.
+///
+/// This is the closed form the sparse epoch engine uses to catch a cold
+/// partition's smoothed state up after `n` untouched epochs without
+/// paying O(n) work for large gaps: the recurrence reaches a bitwise
+/// fixpoint (zero after underflow for α < 1; immediately for α = 1 on
+/// non-negative values) in a bounded number of steps, so iteration stops
+/// as soon as one step no longer changes the bits. A naive single
+/// multiply by `alpha^n` is **not** used because it rounds differently
+/// from the step-by-step recurrence and would break dense/sparse
+/// bit-equality.
+///
+/// Note the `+ (1 − alpha)·0.0` term is kept: adding `+0.0` normalises
+/// `-0.0` to `+0.0`, exactly as the explicit recurrence does.
+pub fn decay_zeros(alpha: f64, value: f64, n: u64) -> f64 {
+    let mut v = value;
+    for _ in 0..n {
+        let next = alpha * v + (1.0 - alpha) * 0.0;
+        if next.to_bits() == v.to_bits() {
+            // Bitwise fixpoint: every further step is the identity.
+            return next;
+        }
+        v = next;
+    }
+    v
+}
+
 /// An EWMA smoother following the paper's convention (α weights the
 /// *previous* smoothed value).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +79,23 @@ impl Ewma {
         };
         self.value = Some(next);
         next
+    }
+
+    /// Feed `n` zero observations at once, bit-identical to calling
+    /// [`Ewma::update`]`(0.0)` exactly `n` times (see [`decay_zeros`]).
+    /// `n = 0` is a no-op; on an unseeded smoother the first zero
+    /// initialises the value to `0.0` and the rest decay it (to `0.0`).
+    pub fn observe_zeros(&mut self, n: u64) -> Option<f64> {
+        if n == 0 {
+            return self.value;
+        }
+        let seeded = match self.value {
+            // First observation initialises, consuming one step.
+            None => decay_zeros(self.alpha, 0.0, n - 1),
+            Some(prev) => decay_zeros(self.alpha, prev, n),
+        };
+        self.value = Some(seeded);
+        self.value
     }
 
     /// Current smoothed value, or `None` before any observation.
@@ -141,6 +187,60 @@ mod tests {
         e.reset();
         assert_eq!(e.value(), None);
         assert_eq!(e.update(4.0), 4.0);
+    }
+
+    /// Property test for the sparse engine's cornerstone: folding `n`
+    /// zero observations in closed form must be *bit*-equal to feeding
+    /// `n` explicit zeros, for every α (including the 0 and 1 edges),
+    /// seeded and unseeded, across magnitudes down to subnormals and the
+    /// `-0.0` edge.
+    #[test]
+    fn observe_zeros_bit_equals_explicit_zero_observations() {
+        let alphas = [0.0, 1e-3, 0.2, 0.5, 0.85, 1.0 - 1e-12, 1.0];
+        let starts = [
+            None,
+            Some(0.0),
+            Some(-0.0),
+            Some(1.0),
+            Some(-1.0),
+            Some(300.0),
+            Some(1e-300),
+            Some(5e-324), // smallest subnormal
+            Some(f64::MAX),
+            Some(1.2345678901234e-8),
+        ];
+        let gaps = [0u64, 1, 2, 3, 7, 64, 1000, 5000];
+        for &alpha in &alphas {
+            for &start in &starts {
+                for &n in &gaps {
+                    let mut fast = Ewma::new(alpha);
+                    let mut slow = Ewma::new(alpha);
+                    if let Some(v) = start {
+                        fast.update(v);
+                        slow.update(v);
+                    }
+                    fast.observe_zeros(n);
+                    for _ in 0..n {
+                        slow.update(0.0);
+                    }
+                    let (f, s) = (fast.value(), slow.value());
+                    assert_eq!(
+                        f.map(f64::to_bits),
+                        s.map(f64::to_bits),
+                        "alpha={alpha} start={start:?} n={n}: fast {f:?} vs slow {s:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decay_zeros_matches_manual_fold() {
+        let mut v: f64 = 17.25;
+        for n in 0..200u64 {
+            assert_eq!(decay_zeros(0.2, 17.25, n).to_bits(), v.to_bits(), "n={n}");
+            v = 0.2 * v + 0.8 * 0.0;
+        }
     }
 
     #[test]

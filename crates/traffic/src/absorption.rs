@@ -58,7 +58,16 @@ pub struct TrafficAccounts {
     /// holder) could serve this epoch.
     pub unserved: Vec<f64>,
     /// Datacenter of each partition's holder at the time of the pass.
+    ///
+    /// Dense passes rebuild every entry; sparse passes only re-assign
+    /// the entries of active partitions (an inactive partition's holder
+    /// cannot have moved since the pass that last wrote it, because
+    /// every placement action marks its partition dirty).
     pub holder_dc: Vec<DatacenterId>,
+    /// Per-server total served queries (`l_i`), cached by the engine at
+    /// the end of every pass so [`server_load`](Self::server_load) is
+    /// O(1) instead of an O(partitions) row sum per call.
+    pub(crate) server_loads: Vec<f64>,
     /// Queries served, weighted by the hop at which they were served.
     pub(crate) hops_weighted: f64,
     /// Served queries weighted by round-trip response latency (ms).
@@ -81,6 +90,7 @@ impl TrafficAccounts {
             served: Grid::zeros(0, 0),
             unserved: Vec::new(),
             holder_dc: Vec::new(),
+            server_loads: Vec::new(),
             hops_weighted: 0.0,
             latency_weighted_ms: 0.0,
             sla_within: 0.0,
@@ -98,6 +108,38 @@ impl TrafficAccounts {
         self.unserved.clear();
         self.unserved.resize(n_parts, 0.0);
         self.holder_dc.clear();
+        self.server_loads.clear();
+        self.server_loads.resize(n_servers, 0.0);
+        self.hops_weighted = 0.0;
+        self.latency_weighted_ms = 0.0;
+        self.sla_within = 0.0;
+        self.served_total = 0.0;
+        self.unserved_total = 0.0;
+    }
+
+    /// Sparse-pass reset: zero only the per-partition cells the previous
+    /// sparse pass wrote (`prev`) plus every pass-global accumulator.
+    /// All other per-partition cells are already zero by the sparse
+    /// invariant — a partition outside the active set carries no load —
+    /// so this is equivalent to [`reset`](Self::reset) at the same shape
+    /// in O(prev × (datacenters + servers)) instead of O(partitions).
+    /// `holder_dc` is deliberately left alone: it is a persistent map in
+    /// sparse mode, not a per-pass account.
+    pub(crate) fn clear_sparse(&mut self, prev: &[u32]) {
+        let n_dcs = self.dc_traffic.rows();
+        let n_servers = self.served.rows();
+        for &p in prev {
+            let p = p as usize;
+            for dc in 0..n_dcs {
+                self.dc_traffic.set(dc, p, 0.0);
+                self.dc_outflow.set(dc, p, 0.0);
+            }
+            for s in 0..n_servers {
+                self.served.set(s, p, 0.0);
+            }
+            self.unserved[p] = 0.0;
+        }
+        self.server_loads.fill(0.0);
         self.hops_weighted = 0.0;
         self.latency_weighted_ms = 0.0;
         self.sla_within = 0.0;
@@ -134,9 +176,10 @@ impl TrafficAccounts {
     }
 
     /// Queries served by one server across all partitions (its workload
-    /// `l_i` for the load-imbalance metric).
+    /// `l_i` for the load-imbalance metric). Reads the per-pass cache —
+    /// O(1), bit-identical to summing the server's `served` row.
     pub fn server_load(&self, s: ServerId) -> f64 {
-        self.served.row_sum(s.index())
+        self.server_loads[s.index()]
     }
 
     /// Mean round-trip response latency of *served* queries (ms); 0 when

@@ -82,6 +82,12 @@ pub struct TrafficEngine {
     /// Per-shard working buffers; one shard on the serial path.
     shards: Vec<Shard>,
     accounts: TrafficAccounts,
+    /// Active set of the previous *sparse* pass: the partitions whose
+    /// account cells that pass wrote. `Some` ⇒ the accounts can be
+    /// cleared in O(prev) instead of O(partitions) by the next sparse
+    /// pass; `None` (after a dense pass, a shape change, or at birth)
+    /// forces a full reset first.
+    sparse_prev: Option<Vec<u32>>,
     stats: EngineStats,
 }
 
@@ -90,13 +96,17 @@ pub struct TrafficEngine {
 /// the global accounts are assembled afterwards by the canonical merge.
 #[derive(Debug, Clone)]
 struct Shard {
-    /// First partition (global index).
+    /// First position of the shard's partition range (a global
+    /// partition index on the dense path; an index into the pass's
+    /// active list on the sparse path).
     lo: usize,
-    /// One past the last partition.
+    /// One past the last position.
     hi: usize,
-    /// Remaining per-(local partition, server) capacity scratch.
-    /// Only indexed cells are loaded and read; the rest is stale.
-    remaining: Grid,
+    /// Remaining per-server capacity scratch for the partition being
+    /// processed. Partitions are sequential within a shard and each one
+    /// loads its indexed cells before reading them, so one row serves
+    /// the whole shard; stale cells are never read.
+    remaining: Vec<f64>,
     /// Per-(local partition, datacenter) arrival traffic. Partition-
     /// major (transposed vs. the global grid) so each partition's
     /// writes stay on one contiguous row.
@@ -125,7 +135,7 @@ impl Default for Shard {
         Shard {
             lo: 0,
             hi: 0,
-            remaining: Grid::zeros(0, 0),
+            remaining: Vec::new(),
             dc_traffic: Grid::zeros(0, 0),
             dc_outflow: Grid::zeros(0, 0),
             served: Vec::new(),
@@ -147,9 +157,7 @@ impl Shard {
         self.lo = lo;
         self.hi = hi;
         let span = hi - lo;
-        if self.remaining.rows() != span || self.remaining.cols() != n_servers {
-            self.remaining.reset(span, n_servers);
-        }
+        self.remaining.resize(n_servers, 0.0);
         if self.dc_traffic.rows() != span || self.dc_traffic.cols() != n_dcs {
             self.dc_traffic.reset(span, n_dcs);
             self.dc_outflow.reset(span, n_dcs);
@@ -174,6 +182,10 @@ struct PassCtx<'a> {
     n_dcs: usize,
     load: &'a QueryLoad,
     view: &'a PlacementView,
+    /// Sparse pass: positions map through this active list to global
+    /// partition ids, and the capacity index is keyed by *position*.
+    /// Dense pass (`None`): position == partition id.
+    parts: Option<&'a [u32]>,
 }
 
 /// Cache-effectiveness counters of a [`TrafficEngine`]: how often the
@@ -191,6 +203,15 @@ pub struct EngineStats {
     /// Fast-path passes: index valid, only consumed capacities restored
     /// — the capacity sweep was skipped entirely.
     pub fast_restores: u64,
+    /// Sparse passes run ([`TrafficEngine::account_active`] calls),
+    /// also counted in [`passes`](Self::passes).
+    pub sparse_passes: u64,
+    /// Partitions visited by sparse passes, cumulative: the dirty-set
+    /// work the engine actually performed.
+    pub dirty_partitions: u64,
+    /// Partitions sparse passes skipped, cumulative: the dense work the
+    /// dirty-set pass avoided.
+    pub skipped_partitions: u64,
 }
 
 impl EngineStats {
@@ -202,6 +223,9 @@ impl EngineStats {
         registry.counter_total("traffic.engine.topo_rebuilds", self.topo_rebuilds);
         registry.counter_total("traffic.engine.index_rebuilds", self.index_rebuilds);
         registry.counter_total("traffic.engine.fast_restores", self.fast_restores);
+        registry.counter_total("traffic.engine.sparse_passes", self.sparse_passes);
+        registry.counter_total("traffic.engine.dirty_partitions", self.dirty_partitions);
+        registry.counter_total("traffic.engine.skipped_partitions", self.skipped_partitions);
     }
 }
 
@@ -225,6 +249,7 @@ impl TrafficEngine {
             view_version: None,
             shards: Vec::new(),
             accounts: TrafficAccounts::empty(),
+            sparse_prev: None,
             stats: EngineStats::default(),
         }
     }
@@ -317,6 +342,9 @@ impl TrafficEngine {
         debug_assert_eq!(view.servers() as usize, n_servers);
 
         self.accounts.reset(n_dcs, n_parts, n_servers);
+        // A dense pass rewrites every cell; the sparse partial-clear
+        // bookkeeping no longer describes the accounts.
+        self.sparse_prev = None;
         let shape_ok = self.cap_offsets.len() == n_parts * n_dcs + 1;
         if rebuilt || !shape_ok || self.view_version != Some(view.version()) {
             self.stats.index_rebuilds += 1;
@@ -363,55 +391,164 @@ impl TrafficEngine {
             n_dcs,
             load,
             view,
+            parts: None,
         };
-        match pool {
-            Some(pool) if n_shards > 1 => {
-                let ctx = &ctx;
-                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = self
-                    .shards
-                    .iter_mut()
-                    .map(|shard| {
-                        Box::new(move || run_shard(ctx, shard)) as Box<dyn FnOnce() + Send + '_>
-                    })
-                    .collect();
-                pool.run(jobs);
+        run_shards(&mut self.shards, &ctx, pool);
+        merge_shards(&mut self.accounts, &self.shards, None, n_dcs);
+
+        // Cache per-server loads: the full row sum on the dense path.
+        for s in 0..n_servers {
+            self.accounts.server_loads[s] = self.accounts.served.row_sum(s);
+        }
+
+        &self.accounts
+    }
+
+    /// Sparse traffic pass: account only the `active` partitions
+    /// (sorted ascending, deduplicated), leaving every other
+    /// partition's account cells untouched.
+    ///
+    /// ## Contract
+    ///
+    /// `active` must contain **every partition with non-zero load this
+    /// epoch** (supersets are fine). Under that contract the result is
+    /// bit-identical to a dense [`account`](Self::account) pass on every
+    /// account the callers read: an inactive partition carries zero
+    /// load, so the dense pass would write exact zeros into its cells
+    /// (which the sparse invariant already guarantees) and contribute
+    /// exact `+0.0` terms to the five cross-partition scalars and the
+    /// per-server load sums — the additive identity on these
+    /// non-negative accumulators. The one deliberate exception is
+    /// [`TrafficAccounts::holder_dc`], which sparse passes maintain as a
+    /// persistent map: an inactive partition keeps its last-written
+    /// holder datacenter (still correct — placement changes dirty their
+    /// partition) instead of being re-derived each pass.
+    pub fn account_active(
+        &mut self,
+        topo: &Topology,
+        load: &QueryLoad,
+        view: &PlacementView,
+        active: &[u32],
+    ) -> &TrafficAccounts {
+        self.account_active_with(topo, load, view, active, None)
+    }
+
+    /// [`account_active`](Self::account_active) with the shard passes
+    /// fanned out over `pool`, sharding the *active list* instead of the
+    /// full partition range. Bit-identical to the serial sparse pass for
+    /// any pool size (same shard code, same ascending canonical merge).
+    pub fn account_active_sharded(
+        &mut self,
+        topo: &Topology,
+        load: &QueryLoad,
+        view: &PlacementView,
+        active: &[u32],
+        pool: &WorkerPool,
+    ) -> &TrafficAccounts {
+        self.account_active_with(topo, load, view, active, Some(pool))
+    }
+
+    fn account_active_with(
+        &mut self,
+        topo: &Topology,
+        load: &QueryLoad,
+        view: &PlacementView,
+        active: &[u32],
+        pool: Option<&WorkerPool>,
+    ) -> &TrafficAccounts {
+        self.sync_topology(topo);
+        self.stats.passes += 1;
+        self.stats.sparse_passes += 1;
+
+        let n_dcs = topo.datacenters().len();
+        let n_parts = load.partitions() as usize;
+        let n_servers = topo.server_count();
+        debug_assert_eq!(view.partitions() as usize, n_parts);
+        debug_assert_eq!(view.servers() as usize, n_servers);
+        debug_assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active set must be sorted ascending and deduplicated"
+        );
+        debug_assert!(
+            load.touched().iter().all(|t| active.binary_search(t).is_ok()),
+            "active set must cover every partition with load"
+        );
+        self.stats.dirty_partitions += active.len() as u64;
+        self.stats.skipped_partitions += (n_parts - active.len()) as u64;
+
+        // Reset the accounts: O(prev) when the previous pass was sparse
+        // at the same shape, full otherwise. Inactive cells stay zero
+        // either way (the sparse invariant).
+        let shape_ok = self.accounts.dc_traffic.rows() == n_dcs
+            && self.accounts.dc_traffic.cols() == n_parts
+            && self.accounts.served.rows() == n_servers
+            && self.accounts.holder_dc.len() == n_parts;
+        match self.sparse_prev.take() {
+            Some(mut prev) if shape_ok => {
+                self.accounts.clear_sparse(&prev);
+                prev.clear();
+                prev.extend_from_slice(active);
+                self.sparse_prev = Some(prev);
             }
             _ => {
-                for shard in &mut self.shards {
-                    run_shard(&ctx, shard);
-                }
+                self.accounts.reset(n_dcs, n_parts, n_servers);
+                // holder_dc is a persistent map on the sparse path.
+                self.accounts.holder_dc.resize(n_parts, DatacenterId::new(0));
+                self.sparse_prev = Some(active.to_vec());
             }
         }
 
-        // Canonical merge: shards ascending — hence partitions
-        // ascending — regardless of how many shards ran or on which
-        // threads they finished.
-        let acc = &mut self.accounts;
-        for shard in &self.shards {
-            for (i, p_idx) in (shard.lo..shard.hi).enumerate() {
-                acc.holder_dc.push(shard.holder_dc[i]);
-                let tr = shard.dc_traffic.row(i);
-                let of = shard.dc_outflow.row(i);
-                for d in 0..n_dcs {
-                    // Zero means untouched (the pass only adds positive
-                    // amounts), and the global grids were just reset.
-                    if tr[d] != 0.0 {
-                        acc.dc_traffic.set(d, p_idx, tr[d]);
-                    }
-                    if of[d] != 0.0 {
-                        acc.dc_outflow.set(d, p_idx, of[d]);
+        // Build the capacity index over the active list, keyed by
+        // *position* — the same per-partition build order as the dense
+        // index, restricted to the partitions this pass visits. The
+        // dense index cache is clobbered, so drop its validity stamp.
+        self.cap_servers.clear();
+        self.cap_offsets.clear();
+        self.cap_offsets.reserve(active.len() * n_dcs + 1);
+        for &pu in active {
+            let caps = view.partition_capacities(PartitionId::new(pu));
+            for alive in &self.dc_alive {
+                self.cap_offsets.push(self.cap_servers.len() as u32);
+                for &server in alive {
+                    if caps[server.index()] > 0.0 {
+                        self.cap_servers.push(server);
                     }
                 }
-                for &(server, take) in &shard.served[i] {
-                    acc.served.add(server as usize, p_idx, take);
-                }
-                acc.unserved[p_idx] = shard.unserved[i];
-                acc.hops_weighted += shard.hops_weighted[i];
-                acc.latency_weighted_ms += shard.latency_weighted_ms[i];
-                acc.sla_within += shard.sla_within[i];
-                acc.served_total += shard.served_total[i];
-                acc.unserved_total += shard.unserved[i];
             }
+        }
+        self.cap_offsets.push(self.cap_servers.len() as u32);
+        self.view_version = None;
+
+        let n_shards = pool.map_or(1, WorkerPool::size).max(1);
+        self.shards.resize_with(n_shards, Shard::default);
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            let (lo, hi) = shard_bounds(active.len(), n_shards, k);
+            shard.layout(lo, hi, n_dcs, n_servers);
+        }
+
+        let ctx = PassCtx {
+            routes: &self.routes,
+            server_dc: &self.server_dc,
+            cap_offsets: &self.cap_offsets,
+            cap_servers: &self.cap_servers,
+            n_dcs,
+            load,
+            view,
+            parts: Some(active),
+        };
+        run_shards(&mut self.shards, &ctx, pool);
+        merge_shards(&mut self.accounts, &self.shards, Some(active), n_dcs);
+
+        // Cache per-server loads by folding the active columns in
+        // ascending order — bit-identical to the dense full row sum,
+        // whose extra terms are all exact `+0.0`.
+        for s in 0..n_servers {
+            let row = self.accounts.served.row(s);
+            let mut sum = 0.0;
+            for &pu in active {
+                sum += row[pu as usize];
+            }
+            self.accounts.server_loads[s] = sum;
         }
 
         &self.accounts
@@ -431,12 +568,77 @@ impl TrafficEngine {
     }
 }
 
-/// The accounting pass over one shard's partitions. Reads only the
+/// Run every shard, fanned out over `pool` when one is given and worth
+/// using. Shared by the dense and sparse passes.
+fn run_shards(shards: &mut [Shard], ctx: &PassCtx<'_>, pool: Option<&WorkerPool>) {
+    match pool {
+        Some(pool) if shards.len() > 1 => {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = shards
+                .iter_mut()
+                .map(|shard| {
+                    Box::new(move || run_shard(ctx, shard)) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        _ => {
+            for shard in shards {
+                run_shard(ctx, shard);
+            }
+        }
+    }
+}
+
+/// Canonical merge: shards ascending — hence positions, hence
+/// partitions ascending — regardless of how many shards ran or on which
+/// threads they finished. On the sparse path (`parts` given) positions
+/// map through the active list and `holder_dc` is written by index into
+/// the persistent map; the dense path rebuilds `holder_dc` by push.
+fn merge_shards(acc: &mut TrafficAccounts, shards: &[Shard], parts: Option<&[u32]>, n_dcs: usize) {
+    for shard in shards {
+        for (i, pos) in (shard.lo..shard.hi).enumerate() {
+            let p_idx = match parts {
+                Some(ps) => {
+                    let p_idx = ps[pos] as usize;
+                    acc.holder_dc[p_idx] = shard.holder_dc[i];
+                    p_idx
+                }
+                None => {
+                    acc.holder_dc.push(shard.holder_dc[i]);
+                    pos
+                }
+            };
+            let tr = shard.dc_traffic.row(i);
+            let of = shard.dc_outflow.row(i);
+            for d in 0..n_dcs {
+                // Zero means untouched (the pass only adds positive
+                // amounts), and the global cells were just reset.
+                if tr[d] != 0.0 {
+                    acc.dc_traffic.set(d, p_idx, tr[d]);
+                }
+                if of[d] != 0.0 {
+                    acc.dc_outflow.set(d, p_idx, of[d]);
+                }
+            }
+            for &(server, take) in &shard.served[i] {
+                acc.served.add(server as usize, p_idx, take);
+            }
+            acc.unserved[p_idx] = shard.unserved[i];
+            acc.hops_weighted += shard.hops_weighted[i];
+            acc.latency_weighted_ms += shard.latency_weighted_ms[i];
+            acc.sla_within += shard.sla_within[i];
+            acc.served_total += shard.served_total[i];
+            acc.unserved_total += shard.unserved[i];
+        }
+    }
+}
+
+/// The accounting pass over one shard's positions. Reads only the
 /// shared [`PassCtx`]; writes only shard-local buffers. The
 /// within-partition order is the legacy accounting order — requesters
 /// ascending, hops in path order, indexed servers in visit order — so
 /// every per-partition quantity is computed by the exact `f64` sequence
-/// the one-shot pass uses.
+/// the one-shot pass uses, on the dense and sparse paths alike.
 fn run_shard(ctx: &PassCtx<'_>, shard: &mut Shard) {
     let Shard {
         lo,
@@ -454,15 +656,21 @@ fn run_shard(ctx: &PassCtx<'_>, shard: &mut Shard) {
     } = shard;
     let n_dcs = ctx.n_dcs;
 
-    for (i, p_idx) in (*lo..*hi).enumerate() {
+    for (i, pos) in (*lo..*hi).enumerate() {
+        let p_idx = match ctx.parts {
+            Some(parts) => parts[pos] as usize,
+            None => pos,
+        };
         let p = PartitionId::new(p_idx as u32);
         let caps = ctx.view.partition_capacities(p);
-        let rem_row = remaining.row_mut(i);
+        let rem_row = remaining.as_mut_slice();
         // Load remaining capacity for the indexed cells only; stale
-        // cells are never read because the absorption loop below visits
-        // indexed servers exclusively.
-        let seg_start = ctx.cap_offsets[p_idx * n_dcs] as usize;
-        let seg_end = ctx.cap_offsets[(p_idx + 1) * n_dcs] as usize;
+        // cells (including leftovers from this shard's previous
+        // partition) are never read because the absorption loop below
+        // visits indexed servers exclusively. The index is keyed by
+        // position: on the dense path position == partition id.
+        let seg_start = ctx.cap_offsets[pos * n_dcs] as usize;
+        let seg_end = ctx.cap_offsets[(pos + 1) * n_dcs] as usize;
         for &server in &ctx.cap_servers[seg_start..seg_end] {
             rem_row[server.index()] = caps[server.index()];
         }
@@ -506,7 +714,7 @@ fn run_shard(ctx: &PassCtx<'_>, shard: &mut Shard) {
                 // Replicas in this datacenter absorb what they can:
                 // only the prefiltered capacity-bearing servers,
                 // in the same order the legacy pass visits them.
-                let seg = p_idx * n_dcs + dc.index();
+                let seg = pos * n_dcs + dc.index();
                 let servers = &ctx.cap_servers
                     [ctx.cap_offsets[seg] as usize..ctx.cap_offsets[seg + 1] as usize];
                 for &server in servers {
@@ -694,7 +902,13 @@ mod tests {
         engine.account(&topo, &load, &view);
         assert_eq!(
             engine.stats(),
-            EngineStats { passes: 3, topo_rebuilds: 1, index_rebuilds: 1, fast_restores: 2 }
+            EngineStats {
+                passes: 3,
+                topo_rebuilds: 1,
+                index_rebuilds: 1,
+                fast_restores: 2,
+                ..EngineStats::default()
+            }
         );
         // A placement change forces a re-index on the next pass only.
         view.add_capacity(PartitionId::new(1), ServerId::new(0), 2.0);
@@ -707,6 +921,123 @@ mod tests {
         stats.collect_metrics(&mut reg);
         assert_eq!(reg.get("traffic.engine.passes"), Some(&rfh_obs::Metric::Counter(5)));
         assert_eq!(reg.get("traffic.engine.fast_restores"), Some(&rfh_obs::Metric::Counter(3)));
+    }
+
+    /// Load touching only `touched` partitions, shaped like
+    /// `sample_load` on those rows.
+    fn sparse_load(parts: u32, dcs: u32, touched: &[u32]) -> QueryLoad {
+        let mut load = QueryLoad::zeros(parts, dcs);
+        for &p in touched {
+            for d in 0..dcs {
+                load.add(PartitionId::new(p), DatacenterId::new(d), p * 7 + d * 3 + 1);
+            }
+        }
+        load
+    }
+
+    /// Assert a sparse pass result equals the dense reference on every
+    /// account callers read. `holder_dc` entries of inactive partitions
+    /// are persistent in sparse mode, so they are aligned to the dense
+    /// value before the whole-struct comparison.
+    fn assert_sparse_matches_dense(
+        sparse: &TrafficAccounts,
+        dense: &TrafficAccounts,
+        active: &[u32],
+    ) {
+        let mut sparse = sparse.clone();
+        for p in 0..dense.holder_dc.len() {
+            if active.binary_search(&(p as u32)).is_err() {
+                sparse.holder_dc[p] = dense.holder_dc[p];
+            }
+        }
+        assert_eq!(&sparse, dense);
+    }
+
+    #[test]
+    #[allow(clippy::identity_op)] // the 0 terms keep the per-epoch breakdown readable
+    fn sparse_pass_bit_equals_dense_pass_across_epochs() {
+        let topo = chain();
+        let (parts, dcs, servers) = (8u32, 3u32, 3u32);
+        let view = sample_view(parts, servers);
+        let mut engine = TrafficEngine::new();
+        // Epoch-by-epoch touched sets: shrinking, empty, growing, full.
+        let epochs: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 5],
+            vec![1, 5],
+            vec![],
+            vec![0, 3, 4, 6, 7],
+            (0..parts).collect(),
+            vec![7],
+        ];
+        for (e, active) in epochs.iter().enumerate() {
+            let load = sparse_load(parts, dcs, active);
+            let dense = compute_traffic(&topo, &load, &view);
+            let sparse = engine.account_active(&topo, &load, &view, active).clone();
+            assert_sparse_matches_dense(&sparse, &dense, active);
+            for s in 0..servers {
+                let sid = ServerId::new(s);
+                assert_eq!(
+                    sparse.server_load(sid).to_bits(),
+                    dense.server_load(sid).to_bits(),
+                    "server {s} load, epoch {e}"
+                );
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.sparse_passes, 6);
+        assert_eq!(stats.dirty_partitions, 4 + 2 + 0 + 5 + 8 + 1);
+        assert_eq!(stats.skipped_partitions, 4 + 6 + 8 + 3 + 0 + 7);
+    }
+
+    #[test]
+    fn sparse_pass_accepts_active_supersets() {
+        let topo = chain();
+        let view = sample_view(8, 3);
+        let load = sparse_load(8, 3, &[2, 6]);
+        let dense = compute_traffic(&topo, &load, &view);
+        let mut engine = TrafficEngine::new();
+        let active = [1, 2, 4, 6, 7];
+        let sparse = engine.account_active(&topo, &load, &view, &active).clone();
+        assert_sparse_matches_dense(&sparse, &dense, &active);
+    }
+
+    #[test]
+    fn sharded_sparse_pass_is_bit_identical_for_any_pool_size() {
+        let topo = chain();
+        let view = sample_view(9, 3);
+        let active: Vec<u32> = vec![0, 2, 3, 5, 8];
+        let load = sparse_load(9, 3, &active);
+        let dense = compute_traffic(&topo, &load, &view);
+        for workers in [1, 2, 3, 7, 11] {
+            let pool = WorkerPool::new(workers);
+            let mut engine = TrafficEngine::new();
+            // Twice: the second pass exercises the O(prev) partial clear.
+            engine.account_active_sharded(&topo, &load, &view, &active, &pool);
+            let sparse = engine.account_active_sharded(&topo, &load, &view, &active, &pool).clone();
+            assert_sparse_matches_dense(&sparse, &dense, &active);
+        }
+    }
+
+    #[test]
+    fn alternating_dense_and_sparse_passes_stay_consistent() {
+        // Dense passes clobber the sparse bookkeeping and vice versa;
+        // every switch must land on the full-reset / full-reindex path.
+        let topo = chain();
+        let view = sample_view(6, 3);
+        let full: Vec<u32> = (0..6).collect();
+        let busy = sample_load(6, 3);
+        let quiet = sparse_load(6, 3, &[4]);
+        let dense_busy = compute_traffic(&topo, &busy, &view);
+        let dense_quiet = compute_traffic(&topo, &quiet, &view);
+        let mut engine = TrafficEngine::new();
+        assert_eq!(engine.account(&topo, &busy, &view), &dense_busy);
+        let sparse = engine.account_active(&topo, &quiet, &view, &[4]).clone();
+        assert_sparse_matches_dense(&sparse, &dense_quiet, &[4]);
+        assert_eq!(engine.account(&topo, &busy, &view), &dense_busy);
+        let sparse = engine.account_active(&topo, &busy, &view, &full).clone();
+        assert_sparse_matches_dense(&sparse, &dense_busy, &full);
+        let sparse = engine.account_active(&topo, &quiet, &view, &[4]).clone();
+        assert_sparse_matches_dense(&sparse, &dense_quiet, &[4]);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct PlacementView {
     capacity: Grid,
     /// Primary holder server of each partition.
     holders: Vec<ServerId>,
+    /// Number of `(partition, server)` cells with positive capacity,
+    /// maintained on every mutation so sparse consumers can learn the
+    /// replica-cell population without an O(partitions × servers) scan.
+    nonzero: usize,
     /// Content stamp, see [`version`](Self::version).
     version: u64,
 }
@@ -47,6 +51,7 @@ impl PlacementView {
         PlacementView {
             capacity: Grid::zeros(partitions as usize, servers as usize),
             holders,
+            nonzero: 0,
             version: next_version(),
         }
     }
@@ -85,6 +90,9 @@ impl PlacementView {
     /// Add replica capacity for `(p, s)`.
     pub fn add_capacity(&mut self, p: PartitionId, s: ServerId, queries_per_epoch: f64) {
         debug_assert!(queries_per_epoch >= 0.0);
+        if queries_per_epoch > 0.0 && self.capacity.get(p.index(), s.index()) == 0.0 {
+            self.nonzero += 1;
+        }
         self.capacity.add(p.index(), s.index(), queries_per_epoch);
         self.version = next_version();
     }
@@ -108,6 +116,7 @@ impl PlacementView {
         self.capacity.reset(partitions as usize, servers as usize);
         self.holders.clear();
         self.holders.resize(partitions as usize, ServerId::new(0));
+        self.nonzero = 0;
         self.version = next_version();
     }
 
@@ -120,8 +129,18 @@ impl PlacementView {
     /// Zero one partition's capacity row (delta update: callers then
     /// re-add the partition's current replica capacities).
     pub fn clear_partition(&mut self, p: PartitionId) {
-        self.capacity.row_mut(p.index()).fill(0.0);
+        let row = self.capacity.row_mut(p.index());
+        self.nonzero -= row.iter().filter(|&&c| c > 0.0).count();
+        row.fill(0.0);
         self.version = next_version();
+    }
+
+    /// Number of `(partition, server)` cells holding positive capacity —
+    /// exactly the cells [`replica_servers`](Self::replica_servers)
+    /// would yield over all partitions, in O(1).
+    #[inline]
+    pub fn nonzero_cells(&self) -> usize {
+        self.nonzero
     }
 
     /// Servers hosting any replica of `p` (capacity > 0), ascending id.
@@ -202,6 +221,27 @@ mod tests {
         let fresh = PlacementView::new(2, 3, vec![s(0), s(0)]);
         v.set_holder(p(1), s(0));
         assert_eq!(v, fresh);
+    }
+
+    #[test]
+    fn nonzero_cells_tracks_every_mutation() {
+        let mut v = PlacementView::new(3, 4, vec![s(0), s(1), s(2)]);
+        let recount = |v: &PlacementView| {
+            (0..v.partitions()).map(|pi| v.replica_servers(p(pi)).count()).sum::<usize>()
+        };
+        assert_eq!(v.nonzero_cells(), 0);
+        v.add_capacity(p(0), s(1), 10.0);
+        v.add_capacity(p(0), s(1), 5.0); // same cell: no new entry
+        v.add_capacity(p(0), s(2), 1.0);
+        v.add_capacity(p(2), s(3), 2.0);
+        v.add_capacity(p(1), s(0), 0.0); // zero capacity is not a cell
+        assert_eq!(v.nonzero_cells(), 3);
+        assert_eq!(v.nonzero_cells(), recount(&v));
+        v.clear_partition(p(0));
+        assert_eq!(v.nonzero_cells(), 1);
+        assert_eq!(v.nonzero_cells(), recount(&v));
+        v.reset(2, 4);
+        assert_eq!(v.nonzero_cells(), 0);
     }
 
     #[test]

@@ -28,6 +28,16 @@ pub struct TrafficSmoother {
     traffic: Vec<f64>,
     /// Smoothed forwarding traffic (outflow), same layout.
     outflow: Vec<f64>,
+    /// Sparse-update bookkeeping: the pass at which each partition's
+    /// cells were last brought current (0 = never). Only
+    /// [`update_active`](Self::update_active) maintains these.
+    stamps: Vec<u64>,
+    /// Number of [`update_active`](Self::update_active) passes so far.
+    pass: u64,
+    /// Pass at which each datacenter's history was last forgotten via
+    /// [`reset_dc`](Self::reset_dc) (0 = never). Caps the zero-fold gap
+    /// for that datacenter's cells: zeros before the reset are moot.
+    dc_reset_pass: Vec<u64>,
 }
 
 impl TrafficSmoother {
@@ -44,6 +54,9 @@ impl TrafficSmoother {
             q_avg: vec![f64::NAN; partitions as usize],
             traffic: vec![f64::NAN; dcs as usize * partitions as usize],
             outflow: vec![f64::NAN; dcs as usize * partitions as usize],
+            stamps: vec![0; partitions as usize],
+            pass: 0,
+            dc_reset_pass: vec![0; dcs as usize],
         }
     }
 
@@ -71,6 +84,71 @@ impl TrafficSmoother {
                 self.outflow[i] = Self::smooth(self.alpha, self.outflow[i], out);
             }
         }
+    }
+
+    /// Sparse variant of [`update`](Self::update): fold one epoch's
+    /// observations for the `active` partitions only (sorted ascending,
+    /// deduplicated), catching each one's cells up over the epochs it
+    /// sat untouched first.
+    ///
+    /// An inactive partition carries no load and no traffic, so the
+    /// dense pass would have fed its cells exact-zero observations every
+    /// epoch. Those zero steps are folded lazily here via
+    /// [`rfh_stats::decay_zeros`], which is bit-identical to the
+    /// explicit recurrence — a smoother driven by `update_active` with
+    /// supersets of the touched partitions equals one driven by the
+    /// dense [`update`](Self::update), bit for bit, on every cell a
+    /// decision ever reads (cells of partitions that were *never*
+    /// active stay lazily unfolded until first activation).
+    ///
+    /// A smoother must be driven exclusively through `update` or
+    /// exclusively through `update_active`; mixing the two desynchronises
+    /// the pass stamps.
+    pub fn update_active(&mut self, load: &QueryLoad, accounts: &TrafficAccounts, active: &[u32]) {
+        debug_assert_eq!(load.partitions() as usize, self.partitions);
+        debug_assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active set must be sorted ascending and deduplicated"
+        );
+        self.pass += 1;
+        let alpha = self.alpha;
+        for &pu in active {
+            let p = pu as usize;
+            // Zero observations the dense pass would have applied since
+            // this partition's cells were last brought current.
+            let stamp = self.stamps[p];
+            let gap = self.pass - 1 - stamp;
+            self.stamps[p] = self.pass;
+
+            let obs = load.system_average(PartitionId::new(pu));
+            Self::fold_gap(alpha, &mut self.q_avg[p], gap);
+            self.q_avg[p] = Self::smooth(alpha, self.q_avg[p], obs);
+
+            for dc in 0..self.dcs {
+                // A reset_dc wipes the cell to NaN; zeros that the dense
+                // pass applied *before* the reset are irrelevant, so the
+                // fold only covers epochs after the later of the two.
+                let dc_gap = (self.pass - 1).saturating_sub(stamp.max(self.dc_reset_pass[dc]));
+                let i = dc * self.partitions + p;
+                let obs = accounts.dc_traffic.get(dc, p);
+                Self::fold_gap(alpha, &mut self.traffic[i], dc_gap);
+                self.traffic[i] = Self::smooth(alpha, self.traffic[i], obs);
+                let out = accounts.dc_outflow.get(dc, p);
+                Self::fold_gap(alpha, &mut self.outflow[i], dc_gap);
+                self.outflow[i] = Self::smooth(alpha, self.outflow[i], out);
+            }
+        }
+    }
+
+    /// Apply `gap` zero-observation smoothing steps to one cell, exactly
+    /// as `gap` dense updates with a 0.0 observation would have: an
+    /// unset (NaN) cell is seeded to 0.0 by the first zero and every
+    /// further step keeps it at exactly 0.0.
+    fn fold_gap(alpha: f64, cell: &mut f64, gap: u64) {
+        if gap == 0 {
+            return;
+        }
+        *cell = if cell.is_nan() { 0.0 } else { rfh_stats::decay_zeros(alpha, *cell, gap) };
     }
 
     /// Smoothed system query average `q̄_it` for a partition (eq. 10);
@@ -126,6 +204,7 @@ impl TrafficSmoother {
             self.traffic[dc.index() * self.partitions + p] = f64::NAN;
             self.outflow[dc.index() * self.partitions + p] = f64::NAN;
         }
+        self.dc_reset_pass[dc.index()] = self.pass;
     }
 }
 
@@ -153,6 +232,7 @@ mod tests {
             served: Grid::zeros(1, parts),
             unserved: vec![0.0; parts],
             holder_dc: vec![DatacenterId::new(0); parts],
+            server_loads: vec![0.0; 1],
             hops_weighted: 0.0,
             latency_weighted_ms: 0.0,
             sla_within: 0.0,
@@ -215,5 +295,123 @@ mod tests {
     #[should_panic(expected = "alpha must be in [0, 1]")]
     fn invalid_alpha_rejected() {
         let _ = TrafficSmoother::new(1, 1, 1.5);
+    }
+
+    /// Drive one smoother densely and one sparsely through the same
+    /// observation stream and require bitwise-equal state on every cell
+    /// the sparse side ever brought current.
+    #[test]
+    fn sparse_update_bit_equals_dense_update() {
+        let (parts, dcs) = (6u32, 3usize);
+        // Epoch → (partition, per-dc traffic) observations. Partitions
+        // 4 and 5 stay cold for long stretches; partition 3 is never
+        // touched at all.
+        let epochs: Vec<Vec<(u32, [f64; 3])>> = vec![
+            vec![(0, [8.0, 2.0, 0.0]), (1, [1.0, 0.0, 3.0])],
+            vec![(0, [4.0, 4.0, 4.0])],
+            vec![],
+            vec![(4, [9.0, 0.0, 1.0])],
+            vec![(0, [1.0, 1.0, 1.0]), (5, [0.5, 0.25, 0.0])],
+            vec![],
+            vec![],
+            vec![(4, [2.0, 2.0, 2.0]), (1, [0.0, 7.0, 0.0])],
+        ];
+        let mut dense = TrafficSmoother::new(parts, dcs as u32, 0.2);
+        let mut sparse = TrafficSmoother::new(parts, dcs as u32, 0.2);
+        for obs in &epochs {
+            let mut load = QueryLoad::zeros(parts, dcs as u32);
+            let mut cells = Vec::new();
+            for &(pp, traffic) in obs {
+                load.add(p(pp), d(0), (traffic[0] * 4.0) as u32 + 1);
+                for (dc, &v) in traffic.iter().enumerate() {
+                    cells.push((dc, pp as usize, v));
+                }
+            }
+            let acc = accounts(dcs, parts as usize, &cells);
+            dense.update(&load, &acc);
+            let mut active: Vec<u32> = obs.iter().map(|&(pp, _)| pp).collect();
+            active.sort_unstable();
+            sparse.update_active(&load, &acc, &active);
+        }
+        // Catch every partition up (an all-active epoch with zero load),
+        // then compare all cells bitwise.
+        let load = QueryLoad::zeros(parts, dcs as u32);
+        let acc = accounts(dcs, parts as usize, &[]);
+        dense.update(&load, &acc);
+        sparse.update_active(&load, &acc, &[0, 1, 2, 3, 4, 5]);
+        for pp in 0..parts {
+            assert_eq!(
+                sparse.q_avg(p(pp)).to_bits(),
+                dense.q_avg(p(pp)).to_bits(),
+                "q_avg partition {pp}"
+            );
+            for dc in 0..dcs as u32 {
+                assert_eq!(
+                    sparse.traffic(d(dc), p(pp)).to_bits(),
+                    dense.traffic(d(dc), p(pp)).to_bits(),
+                    "traffic dc {dc} partition {pp}"
+                );
+                assert_eq!(
+                    sparse.outflow(d(dc), p(pp)).to_bits(),
+                    dense.outflow(d(dc), p(pp)).to_bits(),
+                    "outflow dc {dc} partition {pp}"
+                );
+            }
+        }
+    }
+
+    /// `reset_dc` between sparse passes: cells wiped mid-gap must not
+    /// fold pre-reset zeros, exactly like the dense smoother.
+    #[test]
+    fn sparse_update_matches_dense_across_dc_reset() {
+        let (parts, dcs) = (3u32, 2usize);
+        let mut dense = TrafficSmoother::new(parts, dcs as u32, 0.5);
+        let mut sparse = TrafficSmoother::new(parts, dcs as u32, 0.5);
+        let seed = accounts(dcs, parts as usize, &[(0, 0, 32.0), (1, 0, 16.0), (0, 2, 8.0)]);
+        let mut load = QueryLoad::zeros(parts, dcs as u32);
+        load.add(p(0), d(0), 6);
+        load.add(p(2), d(1), 2);
+        dense.update(&load, &seed);
+        sparse.update_active(&load, &seed, &[0, 2]);
+
+        // Partitions go quiet, then DC 0 loses its history.
+        let quiet = accounts(dcs, parts as usize, &[]);
+        let none = QueryLoad::zeros(parts, dcs as u32);
+        dense.update(&none, &quiet);
+        dense.update(&none, &quiet);
+        sparse.update_active(&none, &quiet, &[]);
+        sparse.update_active(&none, &quiet, &[]);
+        dense.reset_dc(d(0));
+        sparse.reset_dc(d(0));
+
+        // Partition 0 reactivates on the very next pass (the seed-vs-
+        // fold edge), partition 2 only one pass later.
+        let obs = accounts(dcs, parts as usize, &[(0, 0, 4.0), (1, 0, 4.0)]);
+        load.clear();
+        load.add(p(0), d(0), 4);
+        dense.update(&load, &obs);
+        sparse.update_active(&load, &obs, &[0]);
+        let late = accounts(dcs, parts as usize, &[(0, 2, 2.0)]);
+        let mut load2 = QueryLoad::zeros(parts, dcs as u32);
+        load2.add(p(2), d(0), 2);
+        dense.update(&load2, &late);
+        sparse.update_active(&load2, &late, &[2]);
+
+        // Catch every cell up before comparing: sparse cells are stale
+        // by design until their partition next activates.
+        let none2 = QueryLoad::zeros(parts, dcs as u32);
+        dense.update(&none2, &quiet);
+        sparse.update_active(&none2, &quiet, &[0, 1, 2]);
+
+        for pp in [0u32, 2] {
+            for dc in 0..dcs as u32 {
+                assert_eq!(
+                    sparse.traffic(d(dc), p(pp)).to_bits(),
+                    dense.traffic(d(dc), p(pp)).to_bits(),
+                    "traffic dc {dc} partition {pp}"
+                );
+            }
+            assert_eq!(sparse.q_avg(p(pp)).to_bits(), dense.q_avg(p(pp)).to_bits());
+        }
     }
 }

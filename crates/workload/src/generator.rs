@@ -66,8 +66,26 @@ impl WorkloadGenerator {
     /// produce a different (still valid) workload.
     pub fn epoch_load(&mut self, epoch: u64) -> QueryLoad {
         let mut load = QueryLoad::zeros(self.partitions, self.dcs);
+        self.epoch_load_into(epoch, &mut load);
+        load
+    }
+
+    /// Generate the `q_ijt` matrix for `epoch` into a reused buffer,
+    /// clearing only its touched rows first. At large partition counts
+    /// this keeps workload generation O(queries), not O(partitions):
+    /// neither a fresh allocation nor a full-matrix zeroing per epoch.
+    ///
+    /// # Panics
+    /// If `load` has a different shape than the generator.
+    pub fn epoch_load_into(&mut self, epoch: u64, load: &mut QueryLoad) {
+        assert_eq!(
+            (load.partitions(), load.datacenters()),
+            (self.partitions, self.dcs),
+            "epoch load buffer shape mismatch"
+        );
+        load.clear_touched();
         if self.partitions == 0 || self.dcs == 0 {
-            return load;
+            return;
         }
         let weights = self.scenario.origin_weights(epoch, self.total_epochs, self.dcs);
         // Cumulative origin distribution for O(log n) origin draws.
@@ -92,7 +110,6 @@ impl WorkloadGenerator {
             let origin = origin_cdf.partition_point(|&c| c < u).min(self.dcs as usize - 1);
             load.add(PartitionId::new(partition), DatacenterId::new(origin as u32), 1);
         }
-        load
     }
 }
 
@@ -111,6 +128,17 @@ mod tests {
         let mut b = generator(Scenario::RandomEven, 11);
         for e in 0..20 {
             assert_eq!(a.epoch_load(e), b.epoch_load(e));
+        }
+    }
+
+    #[test]
+    fn reused_buffer_equals_fresh_allocation() {
+        let mut a = generator(Scenario::RandomEven, 11);
+        let mut b = generator(Scenario::RandomEven, 11);
+        let mut buf = QueryLoad::zeros(64, 10);
+        for e in 0..20 {
+            b.epoch_load_into(e, &mut buf);
+            assert_eq!(a.epoch_load(e), buf, "epoch {e}");
         }
     }
 

@@ -11,14 +11,22 @@
 
 use crate::load::QueryLoad;
 use rfh_types::{DatacenterId, PartitionId};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
 
-/// A `partitions × requester-datacenters` matrix of atomic counters.
+/// A `partitions × requester-datacenters` matrix of atomic counters,
+/// with a touched-partition registry so the control loop can drain in
+/// O(touched) instead of O(cells).
 #[derive(Debug)]
 pub struct SharedLoad {
     partitions: u32,
     dcs: u32,
     counts: Vec<AtomicU32>,
+    /// `touched[p]` — partition `p` has had an increment since it was
+    /// last drained. Guards the registry against duplicate pushes.
+    touched: Vec<AtomicBool>,
+    /// Partitions with `touched[p]` set, in first-touch order.
+    registry: Mutex<Vec<u32>>,
 }
 
 impl SharedLoad {
@@ -26,7 +34,9 @@ impl SharedLoad {
     pub fn zeros(partitions: u32, dcs: u32) -> Self {
         let mut counts = Vec::with_capacity(partitions as usize * dcs as usize);
         counts.resize_with(partitions as usize * dcs as usize, || AtomicU32::new(0));
-        SharedLoad { partitions, dcs, counts }
+        let mut touched = Vec::with_capacity(partitions as usize);
+        touched.resize_with(partitions as usize, || AtomicBool::new(false));
+        SharedLoad { partitions, dcs, counts, touched, registry: Mutex::new(Vec::new()) }
     }
 
     /// Number of partitions (rows).
@@ -50,10 +60,19 @@ impl SharedLoad {
     /// `u32::MAX` queries in one cell.
     #[inline]
     pub fn add(&self, p: PartitionId, j: DatacenterId, n: u32) {
+        if n == 0 {
+            return;
+        }
         let cell = &self.counts[self.idx(p, j)];
         let prev = cell.fetch_add(n, Ordering::Relaxed);
         if prev.checked_add(n).is_none() {
             cell.store(u32::MAX, Ordering::Relaxed);
+        }
+        // Register the partition for the next sparse drain. The Release
+        // pairs with the drain's Acquire swap on the same flag, ordering
+        // the fetch_add above before the flag for the draining thread.
+        if !self.touched[p.index()].swap(true, Ordering::Release) {
+            self.registry.lock().expect("touched registry poisoned").push(p.0);
         }
     }
 
@@ -74,6 +93,12 @@ impl SharedLoad {
             (self.partitions, self.dcs),
             "drain target shape mismatch"
         );
+        // Full sweep: retire the touch registry too, so a later sparse
+        // drain starts from a clean slate.
+        self.registry.lock().expect("touched registry poisoned").clear();
+        for flag in &self.touched {
+            flag.store(false, Ordering::Relaxed);
+        }
         let mut total = 0u64;
         for (i, cell) in self.counts.iter().enumerate() {
             let n = cell.swap(0, Ordering::Relaxed);
@@ -82,6 +107,42 @@ impl SharedLoad {
                 let j = DatacenterId::new((i % self.dcs as usize) as u32);
                 out.add(p, j, n);
                 total += n as u64;
+            }
+        }
+        total
+    }
+
+    /// Move all counts into `out` touching only registered partitions:
+    /// O(touched × dcs) instead of O(cells). Each increment still lands
+    /// in exactly one drain — the touch flag is cleared *before* the
+    /// cells are swapped, so a concurrent increment that the swap misses
+    /// re-registers its partition for the next drain; a re-registration
+    /// whose counts were already taken drains as zero, harmlessly.
+    ///
+    /// The drained partitions are exactly `out.touched()` afterwards
+    /// when `out` starts empty.
+    ///
+    /// # Panics
+    /// If `out` has a different shape.
+    pub fn drain_sparse_into(&self, out: &mut QueryLoad) -> u64 {
+        assert_eq!(
+            (out.partitions(), out.datacenters()),
+            (self.partitions, self.dcs),
+            "drain target shape mismatch"
+        );
+        let parts = std::mem::take(&mut *self.registry.lock().expect("touched registry poisoned"));
+        let mut total = 0u64;
+        for &p in &parts {
+            // Clear first: an add racing past the cell swap below sees
+            // `false`, re-registers, and is drained next interval.
+            self.touched[p as usize].swap(false, Ordering::Acquire);
+            let base = p as usize * self.dcs as usize;
+            for j in 0..self.dcs as usize {
+                let n = self.counts[base + j].swap(0, Ordering::Relaxed);
+                if n > 0 {
+                    out.add(PartitionId::new(p), DatacenterId::new(j as u32), n);
+                    total += n as u64;
+                }
             }
         }
         total
@@ -140,6 +201,55 @@ mod tests {
         });
         let mut q = QueryLoad::zeros(4, 4);
         let total = drained.load(Ordering::Relaxed) + shared.drain_into(&mut q);
+        assert_eq!(total, 40_000);
+    }
+
+    #[test]
+    fn sparse_drain_takes_only_touched_rows_and_resets_them() {
+        let shared = SharedLoad::zeros(1000, 4);
+        shared.add(p(7), d(1), 3);
+        shared.add(p(999), d(0), 2);
+        shared.add(p(7), d(2), 1);
+        let mut q = QueryLoad::zeros(1000, 4);
+        assert_eq!(shared.drain_sparse_into(&mut q), 6);
+        assert_eq!(q.touched(), &[7, 999]);
+        assert_eq!(q.get(p(7), d(1)), 3);
+        assert_eq!(q.get(p(999), d(0)), 2);
+        // Second sparse drain: registry empty, nothing moves.
+        let mut q2 = QueryLoad::zeros(1000, 4);
+        assert_eq!(shared.drain_sparse_into(&mut q2), 0);
+        assert!(q2.touched().is_empty());
+        // Re-touch after a drain re-registers.
+        shared.add(p(7), d(0), 5);
+        let mut q3 = QueryLoad::zeros(1000, 4);
+        assert_eq!(shared.drain_sparse_into(&mut q3), 5);
+        assert_eq!(q3.touched(), &[7]);
+    }
+
+    #[test]
+    fn sparse_drain_counts_concurrent_increments_exactly_once() {
+        let shared = SharedLoad::zeros(64, 4);
+        let drained = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in 0..10_000u32 {
+                        shared.add(p(i % 64), d(t % 4), 1);
+                    }
+                });
+            }
+            let (shared, drained) = (&shared, &drained);
+            s.spawn(move || {
+                let mut q = QueryLoad::zeros(64, 4);
+                for _ in 0..50 {
+                    drained.fetch_add(shared.drain_sparse_into(&mut q), Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let mut q = QueryLoad::zeros(64, 4);
+        let total = drained.load(Ordering::Relaxed) + shared.drain_sparse_into(&mut q);
         assert_eq!(total, 40_000);
     }
 

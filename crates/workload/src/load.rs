@@ -5,24 +5,48 @@
 //! stored dense and partition-major — both axes are small (64 × 10 in
 //! the paper) and the traffic computation scans whole rows, so a flat
 //! `Vec` beats any map.
+//!
+//! For the sparse epoch engine the matrix additionally tracks which
+//! partitions were *touched* (gained their first non-zero cell) since
+//! the last [`QueryLoad::clear_touched`], so a million-partition epoch
+//! can be processed and reset in O(touched) instead of O(partitions).
 
 use rfh_types::{DatacenterId, PartitionId};
 
 /// Dense `partitions × requester-datacenters` query-count matrix for one
-/// epoch.
-#[derive(Debug, Clone, PartialEq)]
+/// epoch, with a touched-partition index on the side.
+#[derive(Debug, Clone)]
 pub struct QueryLoad {
     partitions: u32,
     dcs: u32,
     /// `counts[p * dcs + j]` = queries for partition `p` from requester
     /// datacenter `j`.
     counts: Vec<u32>,
+    /// Partitions with ≥ 1 non-zero cell, in first-touch order.
+    touched: Vec<u32>,
+    /// Per-partition count of non-zero cells (drives `touched` dedup).
+    row_nonzero: Vec<u32>,
+}
+
+/// Equality is *content* equality (shape + counts). The touched index is
+/// derived bookkeeping — two loads with the same cells are the same load
+/// regardless of the order the cells were filled in.
+impl PartialEq for QueryLoad {
+    fn eq(&self, other: &Self) -> bool {
+        self.partitions == other.partitions && self.dcs == other.dcs && self.counts == other.counts
+    }
 }
 
 impl QueryLoad {
     /// Zero matrix for the given shape.
     pub fn zeros(partitions: u32, dcs: u32) -> Self {
-        QueryLoad { partitions, dcs, counts: vec![0; partitions as usize * dcs as usize] }
+        QueryLoad {
+            partitions,
+            dcs,
+            counts: vec![0; partitions as usize * dcs as usize],
+            touched: Vec::new(),
+            row_nonzero: vec![0; partitions as usize],
+        }
     }
 
     /// Number of partitions (rows).
@@ -50,13 +74,43 @@ impl QueryLoad {
     /// Record one more query for partition `p` from requester `j`.
     #[inline]
     pub fn add(&mut self, p: PartitionId, j: DatacenterId, n: u32) {
+        if n == 0 {
+            return;
+        }
         let i = self.idx(p, j);
+        if self.counts[i] == 0 {
+            let row = &mut self.row_nonzero[p.index()];
+            if *row == 0 {
+                self.touched.push(p.0);
+            }
+            *row += 1;
+        }
         self.counts[i] += n;
     }
 
     /// Reset every cell to zero, keeping the shape and allocation.
     pub fn clear(&mut self) {
         self.counts.fill(0);
+        self.row_nonzero.fill(0);
+        self.touched.clear();
+    }
+
+    /// Reset only the touched rows (O(touched × dcs) instead of
+    /// O(partitions × dcs)) — equivalent to [`QueryLoad::clear`] because
+    /// untouched rows are zero by definition.
+    pub fn clear_touched(&mut self) {
+        for &p in &self.touched {
+            let start = p as usize * self.dcs as usize;
+            self.counts[start..start + self.dcs as usize].fill(0);
+            self.row_nonzero[p as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Partitions with at least one non-zero cell, in first-touch order
+    /// (not sorted). The sparse engine unions this into its active set.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
     }
 
     /// Row view: per-requester counts for one partition.
@@ -119,6 +173,7 @@ mod tests {
         assert_eq!(q.total(), 0);
         assert_eq!(q.get(p(3), d(2)), 0);
         assert_eq!(q.iter_nonzero().count(), 0);
+        assert!(q.touched().is_empty());
     }
 
     #[test]
@@ -145,6 +200,7 @@ mod tests {
         assert_eq!(q.total(), 0);
         assert_eq!(q.partitions(), 2);
         assert_eq!(q.datacenters(), 2);
+        assert!(q.touched().is_empty());
     }
 
     #[test]
@@ -164,5 +220,42 @@ mod tests {
         q.add(p(2), d(0), 4);
         let cells: Vec<(u32, u32, u32)> = q.iter_nonzero().map(|(a, b, c)| (a.0, b.0, c)).collect();
         assert_eq!(cells, vec![(1, 2, 9), (2, 0, 4)]);
+    }
+
+    #[test]
+    fn touched_tracks_first_touch_once_per_partition() {
+        let mut q = QueryLoad::zeros(8, 2);
+        q.add(p(5), d(0), 1);
+        q.add(p(2), d(1), 3);
+        q.add(p(5), d(1), 2); // second cell of an already-touched row
+        q.add(p(5), d(0), 1); // same cell again
+        q.add(p(7), d(0), 0); // zero-count add must not touch
+        assert_eq!(q.touched(), &[5, 2]);
+    }
+
+    #[test]
+    fn clear_touched_equals_full_clear() {
+        let mut q = QueryLoad::zeros(16, 4);
+        q.add(p(9), d(3), 4);
+        q.add(p(0), d(0), 1);
+        q.clear_touched();
+        assert_eq!(q, QueryLoad::zeros(16, 4));
+        assert!(q.touched().is_empty());
+        // Reusable after the sparse reset.
+        q.add(p(9), d(1), 2);
+        assert_eq!(q.touched(), &[9]);
+        assert_eq!(q.total(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_touch_order() {
+        let mut a = QueryLoad::zeros(4, 2);
+        a.add(p(0), d(0), 1);
+        a.add(p(3), d(1), 2);
+        let mut b = QueryLoad::zeros(4, 2);
+        b.add(p(3), d(1), 2);
+        b.add(p(0), d(0), 1);
+        assert_ne!(a.touched(), b.touched());
+        assert_eq!(a, b);
     }
 }
