@@ -17,7 +17,7 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 21] = [
+const KNOWN: [&str; 27] = [
     "policy",
     "scenario",
     "epochs",
@@ -39,6 +39,12 @@ const KNOWN: [&str; 21] = [
     "report",
     "duration-secs",
     "ops",
+    "file",
+    "interval-ms",
+    "sample",
+    "spans",
+    "telemetry-addrs",
+    "timeline",
 ];
 
 /// Valueless options, stored as `"true"` when present.

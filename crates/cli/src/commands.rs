@@ -4,7 +4,10 @@ use crate::args::{self, Options};
 use rfh_core::PolicyKind;
 use rfh_experiments::table1 as table1_mod;
 use rfh_obs::{Metric, MetricsRegistry, Recorder, TraceRecorder};
-use rfh_serve::{run_loadgen, Cluster, ClusterConfig, LoadGenConfig, ServeClient};
+use rfh_serve::{
+    render_dashboard, run_loadgen_with, Cluster, ClusterConfig, LoadGenConfig, ServeClient,
+    TelemetryRing,
+};
 use rfh_sim::{report, run_comparison_observed, ObsOptions, SimParams, Simulation};
 use rfh_topology::paper_topology;
 use rfh_types::{Result, RfhError, SimConfig};
@@ -312,6 +315,9 @@ fn cluster_config(opts: &Options, key: &'static str) -> Result<ClusterConfig> {
 /// control loop for `--duration-secs` (default 10), then shut down
 /// cleanly and print the serving summary. `--addr-file FILE` writes the
 /// node address list a concurrent `rfh loadgen --connect FILE` needs;
+/// `--telemetry-addrs FILE` writes the `/metrics` endpoint addresses
+/// (controller first) for scrapers and `rfh watch`; `--timeline FILE`
+/// dumps the controller's tick-sample ring as JSONL at shutdown;
 /// `--faults PLAN.toml` runs a chaos plan against the live cluster
 /// (one control tick = one plan epoch).
 pub fn serve(opts: &Options) -> Result<String> {
@@ -329,11 +335,66 @@ pub fn serve(opts: &Options) -> Result<String> {
         std::fs::write(path, cluster.render_addr_file())?;
         let _ = writeln!(out, "node addresses written to {path}");
     }
+    if let Some(path) = opts.get("telemetry-addrs") {
+        if !cfg.telemetry {
+            return Err(RfhError::InvalidConfig {
+                parameter: "telemetry-addrs",
+                reason: "the cluster config disables telemetry; no endpoints exist".into(),
+            });
+        }
+        std::fs::write(path, cluster.render_telemetry_addr_file())?;
+        let _ = writeln!(out, "telemetry endpoints written to {path}");
+    }
     std::thread::sleep(std::time::Duration::from_secs(duration));
+    let timeline = opts.get("timeline").map(|path| (path, cluster.timeline_jsonl()));
     let summary = cluster.shutdown()?;
+    if let Some((path, jsonl)) = timeline {
+        std::fs::write(path, jsonl)?;
+        let _ = writeln!(out, "timeline written to {path}");
+    }
     let _ = writeln!(out, "served {} seconds; clean shutdown\n", duration);
     out.push_str(&summary.render());
     Ok(out)
+}
+
+/// `rfh watch`: render the cluster timeline as a terminal dashboard.
+/// `--file FILE` renders a timeline JSONL dump once (as written by
+/// `rfh serve --timeline`); `--connect ADDR` (or `--telemetry-addrs
+/// FILE`, using its `controller` line) polls a live controller's
+/// `/timeline` endpoint every `--interval-ms` (default 500) for
+/// `--duration-secs` (default 10), printing a frame per poll.
+pub fn watch(opts: &Options) -> Result<String> {
+    if let Some(path) = opts.get("file") {
+        let samples = TelemetryRing::parse_jsonl(&std::fs::read_to_string(path)?);
+        return Ok(render_dashboard(&samples, 72));
+    }
+    let addr = match (opts.get("connect"), opts.get("telemetry-addrs")) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(path)) => std::fs::read_to_string(path)?
+            .lines()
+            .find_map(|l| l.strip_prefix("controller ").map(str::to_string))
+            .ok_or_else(|| RfhError::Io(format!("no `controller` line in {path}")))?,
+        (None, None) => {
+            return Err(RfhError::InvalidConfig {
+                parameter: "watch",
+                reason: "watch needs --file FILE, --connect ADDR, or --telemetry-addrs FILE".into(),
+            })
+        }
+    };
+    let interval = std::time::Duration::from_millis(args::numeric(opts, "interval-ms", 500)?);
+    let deadline = std::time::Instant::now()
+        + std::time::Duration::from_secs(args::numeric(opts, "duration-secs", 10)?);
+    loop {
+        let body = rfh_serve::http::get(addr.as_str(), "/timeline")
+            .map_err(|e| RfhError::Io(format!("scrape {addr}/timeline: {e}")))?;
+        let samples = TelemetryRing::parse_jsonl(&body);
+        let frame = render_dashboard(&samples, 72);
+        if std::time::Instant::now() >= deadline {
+            return Ok(frame);
+        }
+        println!("{frame}");
+        std::thread::sleep(interval);
+    }
 }
 
 /// `rfh loadgen`: drive a cluster and report throughput, latency
@@ -342,24 +403,33 @@ pub fn serve(opts: &Options) -> Result<String> {
 /// --addr-file`; without it, it self-hosts one (shaped by
 /// `--cluster-config`, chaos from `--faults`) for the duration of the
 /// run. `--config` is the loadgen TOML, `--ops N` overrides the op
-/// count, `--report FILE` writes the JSON report.
+/// count, `--report FILE` writes the JSON report, `--sample N` traces
+/// every n-th op with a wire-carried op-ID, and `--spans FILE` writes
+/// the resulting span chains as JSONL (self-hosted runs include the
+/// server-side spans; `--connect` runs see only the client side).
 pub fn loadgen(opts: &Options) -> Result<String> {
     let mut lg = match opts.get("config") {
         None => LoadGenConfig::default(),
         Some(path) => LoadGenConfig::from_toml_str(&std::fs::read_to_string(path)?)?,
     };
     lg.ops = args::numeric(opts, "ops", lg.ops)?;
-    let (report, hosted) = match opts.get("connect") {
+    lg.trace_sample = args::numeric(opts, "sample", lg.trace_sample)?;
+    let want_spans = opts.get("spans").is_some();
+    let (report, hosted, spans) = match opts.get("connect") {
         Some(path) => {
             let nodes = ServeClient::parse_addr_file(&std::fs::read_to_string(path)?)?;
-            (run_loadgen(&lg, &nodes)?, None)
+            let spans = want_spans.then(|| Arc::new(rfh_obs::SpanLog::new()));
+            (run_loadgen_with(&lg, &nodes, spans.clone())?, None, spans)
         }
         None => {
             let cfg = cluster_config(opts, "cluster-config")?;
             let cluster = Cluster::start(&cfg, args::fault_plan(opts)?)?;
-            let report = run_loadgen(&lg, cluster.node_infos());
+            // Self-hosted: client spans share the cluster's log, so
+            // sampled ops yield complete client → forward chains.
+            let spans = want_spans.then(|| cluster.span_log());
+            let report = run_loadgen_with(&lg, cluster.node_infos(), spans.clone());
             let summary = cluster.shutdown()?;
-            (report?, Some(summary))
+            (report?, Some(summary), spans)
         }
     };
     let mut out = report.render();
@@ -371,6 +441,10 @@ pub fn loadgen(opts: &Options) -> Result<String> {
     if let Some(path) = opts.get("report") {
         std::fs::write(path, report.to_json())?;
         let _ = writeln!(out, "JSON report written to {path}");
+    }
+    if let (Some(path), Some(spans)) = (opts.get("spans"), spans) {
+        std::fs::write(path, spans.to_jsonl())?;
+        let _ = writeln!(out, "{} spans written to {path}", spans.len());
     }
     if let Some(summary) = hosted {
         out.push_str("\nself-hosted cluster summary:\n");

@@ -22,9 +22,14 @@
 //!           [--scenario S] [--out FILE]
 //! rfh serve [--config C.toml] [--faults P.toml] live loopback cluster under the
 //!           [--duration-secs N] [--addr-file F]  online RFH control loop
+//!           [--telemetry-addrs F] [--timeline F]  /metrics endpoints + tick ring
 //! rfh loadgen [--connect F | --cluster-config C] drive a cluster, measure
 //!             [--config L.toml] [--ops N]        latency, verify acked writes
 //!             [--report OUT.json]
+//!             [--sample N] [--spans OUT.jsonl]   trace every n-th op end to end
+//! rfh watch [--file F | --connect ADDR |        render the cluster timeline
+//!            --telemetry-addrs F]                as a terminal dashboard
+//!           [--interval-ms N] [--duration-secs N]
 //! rfh help                                    this text
 //! ```
 //!
@@ -52,6 +57,7 @@ pub fn run(argv: &[String]) -> Result<String, RfhError> {
         "replay" => commands::replay(&opts),
         "serve" => commands::serve(&opts),
         "loadgen" => commands::loadgen(&opts),
+        "watch" => commands::watch(&opts),
         "help" | "" => Ok(HELP.to_string()),
         other => Err(RfhError::InvalidConfig {
             parameter: "command",
@@ -76,6 +82,7 @@ COMMANDS:
     replay        run a policy against a recorded trace (--trace FILE)
     serve         run a live loopback cluster (TCP nodes + online RFH loop)
     loadgen       drive a cluster with load; report latency, verify acked writes
+    watch         render a cluster timeline (live /timeline or a JSONL dump)
     help          show this text
 
 COMMON OPTIONS:
@@ -111,6 +118,16 @@ SERVING OPTIONS:
     --cluster-config FILE cluster TOML for the self-hosted loadgen cluster
     --ops N               override the loadgen operation count
     --report FILE         write the loadgen JSON report (BENCH_serve format)
+
+TELEMETRY OPTIONS:
+    --telemetry-addrs FILE  `serve` writes the /metrics endpoint addresses here
+                            (controller first); `watch` reads the controller line
+    --timeline FILE         `serve` dumps the controller's tick ring as JSONL
+    --sample N              `loadgen` traces every n-th op with a wire op-ID
+    --spans FILE            `loadgen` writes the sampled ops' span chains (JSONL)
+    --file FILE             `watch` renders this timeline JSONL dump once
+    --connect ADDR          `watch` polls this controller's /timeline endpoint
+    --interval-ms N         `watch` poll interval                    (default 500)
 
 The figure-by-figure harness lives in the experiment binaries:
     cargo run -p rfh-experiments --bin all | fig3..fig10 | table1 | ablations | sla

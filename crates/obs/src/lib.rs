@@ -15,6 +15,9 @@
 //!   the epoch loop's phases (workload gen, traffic accounting,
 //!   decision pass, network tick, metrics) with near-zero disabled
 //!   overhead, rendered as a shared timing table by [`ProfileReport`].
+//! * **Request spans** — [`SpanLog`], a bounded ring of [`SpanEvent`]s
+//!   recording each hop (client → coordinator → forward target) of a
+//!   sampled serve request, keyed by the op-ID the wire carries.
 //!
 //! Everything here is observation-only: recorders receive copies of
 //! decision data and can never feed back into a run, so a traced run is
@@ -26,6 +29,7 @@ mod event;
 mod profiler;
 mod recorder;
 mod registry;
+mod span;
 
 pub use event::{DecisionEvent, DecisionKind, Trigger};
 pub use profiler::{
@@ -33,4 +37,5 @@ pub use profiler::{
     PHASE_NETWORK, PHASE_SPARSE, PHASE_TRAFFIC, PHASE_WORKLOAD,
 };
 pub use recorder::{BufferedRecorder, NullRecorder, Recorder, TraceRecorder};
-pub use registry::{Metric, MetricsRegistry};
+pub use registry::{prometheus_name, Metric, MetricsRegistry};
+pub use span::{SpanEvent, SpanLog};

@@ -8,10 +8,12 @@
 
 use crate::cluster::NodeInfo;
 use crate::wire::{AckStatus, Conn, Frame};
+use rfh_obs::{SpanEvent, SpanLog};
 use rfh_types::{Result, RfhError};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Connect + read timeout for client requests. Generous: a request can
 /// sit behind a partition transfer holding the lock.
@@ -44,6 +46,9 @@ pub struct ServeClient {
     conn: Option<Conn<TcpStream>>,
     /// The datacenter this client issues from.
     dc: u32,
+    /// Where sampled requests' client-side spans land (self-hosted
+    /// runs share the cluster's log, so chains are complete).
+    spans: Option<Arc<SpanLog>>,
 }
 
 impl ServeClient {
@@ -56,7 +61,12 @@ impl ServeClient {
             return Err(RfhError::Topology(format!("no nodes in datacenter {dc}")));
         }
         let cursor = offset % addrs.len();
-        Ok(ServeClient { addrs, cursor, conn: None, dc })
+        Ok(ServeClient { addrs, cursor, conn: None, dc, spans: None })
+    }
+
+    /// Record client-side spans for traced operations into `spans`.
+    pub fn set_span_log(&mut self, spans: Arc<SpanLog>) {
+        self.spans = Some(spans);
     }
 
     /// Parse the address-file format `Cluster::render_addr_file` emits
@@ -85,7 +95,13 @@ impl ServeClient {
     /// Read `key`. Retries through coordinator failover; errors only
     /// when every attempt failed.
     pub fn get(&mut self, key: u64) -> Result<GetOutcome> {
-        let ack = self.request(&Frame::Get { key })?;
+        self.get_traced(key, None)
+    }
+
+    /// [`get`](ServeClient::get), optionally carrying a trace op-ID.
+    /// `None` keeps the wire bytes identical to an untraced get.
+    pub fn get_traced(&mut self, key: u64, op_id: Option<u64>) -> Result<GetOutcome> {
+        let ack = self.request(&Frame::Get { key }, op_id)?;
         match ack {
             Frame::Ack { status: AckStatus::Ok, seq, value } => {
                 Ok(GetOutcome::Found { seq, value })
@@ -99,7 +115,18 @@ impl ServeClient {
     /// coordinator acknowledged the write on every live replica; safe
     /// to retry with the same `seq` (idempotent last-writer-wins).
     pub fn put(&mut self, key: u64, seq: u64, value: &[u8]) -> Result<()> {
-        match self.request(&Frame::Put { key, seq, value: value.to_vec() })? {
+        self.put_traced(key, seq, value, None)
+    }
+
+    /// [`put`](ServeClient::put), optionally carrying a trace op-ID.
+    pub fn put_traced(
+        &mut self,
+        key: u64,
+        seq: u64,
+        value: &[u8],
+        op_id: Option<u64>,
+    ) -> Result<()> {
+        match self.request(&Frame::Put { key, seq, value: value.to_vec() }, op_id)? {
             Frame::Ack { status: AckStatus::Ok, .. } => Ok(()),
             _ => Err(RfhError::Io("write unavailable".into())),
         }
@@ -108,10 +135,10 @@ impl ServeClient {
     /// One request with retry + failover. An `Unavailable` ack rotates
     /// coordinators and backs off briefly — during a node kill the
     /// route row may be mid-repair.
-    fn request(&mut self, frame: &Frame) -> Result<Frame> {
+    fn request(&mut self, frame: &Frame, op_id: Option<u64>) -> Result<Frame> {
         let mut last_err = String::from("no attempt made");
         for attempt in 0..MAX_TRIES {
-            match self.try_once(frame) {
+            match self.try_once(frame, op_id) {
                 Ok(Frame::Ack { status: AckStatus::Unavailable, .. }) => {
                     last_err = "ack: unavailable".into();
                     self.rotate();
@@ -127,7 +154,7 @@ impl ServeClient {
         Err(RfhError::Io(format!("request failed after {MAX_TRIES} tries: {last_err}")))
     }
 
-    fn try_once(&mut self, frame: &Frame) -> io::Result<Frame> {
+    fn try_once(&mut self, frame: &Frame, op_id: Option<u64>) -> io::Result<Frame> {
         if self.conn.is_none() {
             let addr = self.addrs[self.cursor];
             let stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
@@ -136,8 +163,24 @@ impl ServeClient {
             self.conn = Some(Conn::new(stream));
         }
         let conn = self.conn.as_mut().expect("connection just ensured");
-        match conn.roundtrip(frame) {
-            Ok(ack) => Ok(ack),
+        let t0 = Instant::now();
+        match conn.roundtrip_traced(frame, op_id) {
+            Ok((ack, _)) => {
+                if let (Some(id), Some(spans)) = (op_id, self.spans.as_ref()) {
+                    spans.record(SpanEvent {
+                        op_id: id,
+                        role: "client",
+                        node: -1,
+                        dc: self.dc,
+                        kind: frame_kind(frame),
+                        queue_us: 0.0,
+                        handle_us: t0.elapsed().as_micros() as f64,
+                        forward_us: 0.0,
+                        status: ack_status(&ack),
+                    });
+                }
+                Ok(ack)
+            }
             Err(e) => {
                 self.conn = None; // broken or refused: reconnect next try
                 Err(e)
@@ -148,6 +191,24 @@ impl ServeClient {
     fn rotate(&mut self) {
         self.conn = None;
         self.cursor = (self.cursor + 1) % self.addrs.len();
+    }
+}
+
+/// Span label for the request frame a client issues.
+fn frame_kind(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Get { .. } => "get",
+        Frame::Put { .. } => "put",
+        _ => "other",
+    }
+}
+
+/// Span label for the ack a client received.
+fn ack_status(ack: &Frame) -> &'static str {
+    match ack {
+        Frame::Ack { status: AckStatus::Ok, .. } => "ok",
+        Frame::Ack { status: AckStatus::NotFound, .. } => "not_found",
+        _ => "unavailable",
     }
 }
 

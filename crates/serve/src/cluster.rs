@@ -28,12 +28,14 @@
 
 use crate::config::ClusterConfig;
 use crate::control::{ControlStats, Controller};
+use crate::http;
 use crate::node;
 use crate::store::NodeStore;
+use crate::telemetry::{ClusterTelemetry, TickSample};
 use crate::wire::Conn;
 use rfh_core::{Action, ReplicaManager};
 use rfh_faults::FaultPlan;
-use rfh_obs::MetricsRegistry;
+use rfh_obs::{MetricsRegistry, SpanLog};
 use rfh_ring::ConsistentHashRing;
 use rfh_stats::min_replica_count;
 use rfh_topology::{scaled_paper_topology, Topology};
@@ -88,6 +90,8 @@ pub(crate) struct Shared {
     pub peers: Vec<Mutex<HashMap<usize, Vec<Conn<TcpStream>>>>>,
     /// Request counters.
     pub counters: Counters,
+    /// The telemetry plane (no per-node state when disabled).
+    pub telemetry: ClusterTelemetry,
     /// Set once at shutdown; every thread polls it.
     pub shutdown: AtomicBool,
 }
@@ -189,6 +193,11 @@ pub struct Cluster {
     listeners: Vec<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     control: JoinHandle<ControlStats>,
+    /// Per-node `/metrics` endpoints (empty when telemetry is off).
+    metrics_addrs: Vec<SocketAddr>,
+    /// The controller's `/metrics` + `/timeline` + `/spans` endpoint.
+    controller_metrics_addr: Option<SocketAddr>,
+    http_threads: Vec<JoinHandle<()>>,
 }
 
 impl Cluster {
@@ -241,6 +250,11 @@ impl Cluster {
             addrs,
             peers: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             counters: Counters::default(),
+            telemetry: if config.telemetry {
+                ClusterTelemetry::on(n, cfg.partitions)
+            } else {
+                ClusterTelemetry::off()
+            },
             shutdown: AtomicBool::new(false),
         });
 
@@ -267,6 +281,51 @@ impl Cluster {
             );
         }
 
+        // Telemetry exposition: one tiny HTTP/1.0 endpoint per node
+        // plus one for the controller. Disabled ⇒ nothing binds and no
+        // extra thread exists.
+        let mut metrics_addrs = Vec::new();
+        let mut controller_metrics_addr = None;
+        let mut http_threads = Vec::new();
+        if shared.telemetry.enabled() {
+            for i in 0..n {
+                let (listener, addr) =
+                    http::bind().map_err(|e| RfhError::Io(format!("bind metrics: {e}")))?;
+                metrics_addrs.push(addr);
+                let shared2 = Arc::clone(&shared);
+                let shared3 = Arc::clone(&shared);
+                http_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("rfh-metrics-{i}"))
+                        .spawn(move || {
+                            http::serve(
+                                listener,
+                                move || shared2.shutdown.load(Ordering::Acquire),
+                                move |path| node_metrics_route(&shared3, i, path),
+                            )
+                        })
+                        .map_err(|e| RfhError::Io(format!("spawn metrics thread: {e}")))?,
+                );
+            }
+            let (listener, addr) =
+                http::bind().map_err(|e| RfhError::Io(format!("bind metrics: {e}")))?;
+            controller_metrics_addr = Some(addr);
+            let shared2 = Arc::clone(&shared);
+            let shared3 = Arc::clone(&shared);
+            http_threads.push(
+                std::thread::Builder::new()
+                    .name("rfh-metrics-ctl".into())
+                    .spawn(move || {
+                        http::serve(
+                            listener,
+                            move || shared2.shutdown.load(Ordering::Acquire),
+                            move |path| controller_route(&shared3, path),
+                        )
+                    })
+                    .map_err(|e| RfhError::Io(format!("spawn metrics thread: {e}")))?,
+            );
+        }
+
         let controller = Controller::new(
             Arc::clone(&shared),
             topo,
@@ -283,7 +342,16 @@ impl Cluster {
             .spawn(move || controller.run(interval))
             .map_err(|e| RfhError::Io(format!("spawn control thread: {e}")))?;
 
-        Ok(Cluster { shared, infos, listeners, handlers, control })
+        Ok(Cluster {
+            shared,
+            infos,
+            listeners,
+            handlers,
+            control,
+            metrics_addrs,
+            controller_metrics_addr,
+            http_threads,
+        })
     }
 
     /// Per-node identity and address, for clients and the address file.
@@ -301,6 +369,49 @@ impl Cluster {
         out
     }
 
+    /// Per-node `/metrics` addresses, parallel to
+    /// [`node_infos`](Cluster::node_infos). Empty when telemetry is
+    /// off.
+    pub fn metrics_addrs(&self) -> &[SocketAddr] {
+        &self.metrics_addrs
+    }
+
+    /// The controller telemetry endpoint (`/metrics`, `/timeline`,
+    /// `/spans`), `None` when telemetry is off.
+    pub fn controller_metrics_addr(&self) -> Option<SocketAddr> {
+        self.controller_metrics_addr
+    }
+
+    /// Render the telemetry address file written by
+    /// `rfh serve --telemetry-addrs`: a `controller <addr>` line, then
+    /// one `node <server> <addr>` line per node.
+    pub fn render_telemetry_addr_file(&self) -> String {
+        let mut out = String::new();
+        if let Some(addr) = self.controller_metrics_addr {
+            out.push_str(&format!("controller {addr}\n"));
+        }
+        for (info, addr) in self.infos.iter().zip(&self.metrics_addrs) {
+            out.push_str(&format!("node {} {addr}\n", info.server.0));
+        }
+        out
+    }
+
+    /// The shared span log — complete chains in self-hosted runs,
+    /// where client spans land in the same log as server spans.
+    pub fn span_log(&self) -> Arc<SpanLog> {
+        Arc::clone(self.shared.telemetry.spans())
+    }
+
+    /// The controller's timeline so far, oldest tick first.
+    pub fn timeline(&self) -> Vec<TickSample> {
+        self.shared.telemetry.timeline()
+    }
+
+    /// The controller's timeline as JSONL.
+    pub fn timeline_jsonl(&self) -> String {
+        self.shared.telemetry.timeline_jsonl()
+    }
+
     /// Stop everything: control loop first (one final tick), then
     /// listeners and handlers. Returns the run's accounting.
     pub fn shutdown(self) -> Result<ServeSummary> {
@@ -311,6 +422,9 @@ impl Cluster {
             .map_err(|_| RfhError::Simulation("control loop panicked".into()))?;
         for h in self.listeners {
             h.join().map_err(|_| RfhError::Simulation("node listener panicked".into()))?;
+        }
+        for h in self.http_threads {
+            h.join().map_err(|_| RfhError::Simulation("metrics endpoint panicked".into()))?;
         }
         let handlers = std::mem::take(&mut *self.handlers.lock().expect("handlers lock"));
         for h in handlers {
@@ -338,6 +452,31 @@ impl Cluster {
             replicas_total: stats.replicas_total,
             registry: stats.registry,
         })
+    }
+}
+
+/// `GET /metrics` on a node endpoint: the node's own series in
+/// Prometheus text format. Rebuilt per scrape from lifetime totals, so
+/// repeated scrapes are idempotent and monotone.
+fn node_metrics_route(shared: &Shared, node: usize, path: &str) -> Option<String> {
+    if path != "/metrics" {
+        return None;
+    }
+    let tel = shared.telemetry.node(node)?;
+    let mut registry = MetricsRegistry::new();
+    tel.collect_metrics(&mut registry);
+    Some(registry.render_prometheus())
+}
+
+/// The controller endpoint: `/metrics` (the control loop's registry,
+/// republished every tick), `/timeline` (the ring as JSONL) and
+/// `/spans` (the span log as JSONL).
+fn controller_route(shared: &Shared, path: &str) -> Option<String> {
+    match path {
+        "/metrics" => Some(shared.telemetry.registry().render_prometheus()),
+        "/timeline" => Some(shared.telemetry.timeline_jsonl()),
+        "/spans" => Some(shared.telemetry.spans().to_jsonl()),
+        _ => None,
     }
 }
 

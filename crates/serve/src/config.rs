@@ -26,6 +26,12 @@ pub struct ClusterConfig {
     /// value produces the same decisions from the same drained
     /// counters.
     pub threads: u64,
+    /// Server-side telemetry plane: per-node phase histograms, the
+    /// controller timeline ring, and the `/metrics` HTTP endpoints.
+    /// Disabled, no metrics listener binds and no per-request recording
+    /// happens — the data path is byte-identical to a pre-telemetry
+    /// build.
+    pub telemetry: bool,
 }
 
 impl Default for ClusterConfig {
@@ -37,6 +43,7 @@ impl Default for ClusterConfig {
             control_interval_ms: 200,
             capacity_spread: 0.25,
             threads: 1,
+            telemetry: true,
         }
     }
 }
@@ -84,6 +91,7 @@ impl ClusterConfig {
     /// control_interval_ms = 200
     /// capacity_spread = 0.25
     /// threads = 1
+    /// telemetry = true
     /// ```
     pub fn from_toml_str(text: &str) -> Result<Self> {
         let doc = toml::parse_toml(text, "serve_config")?;
@@ -129,6 +137,10 @@ impl ClusterConfig {
                         .filter(|&x| (0.0..1.0).contains(&x))
                         .ok_or_else(|| e("capacity_spread wants a number in [0, 1)".into()))?
                 }
+                "telemetry" => {
+                    cfg.telemetry =
+                        val.as_bool().ok_or_else(|| e("telemetry wants true or false".into()))?
+                }
                 key => return Err(e(format!("unknown serve key {key:?}"))),
             }
         }
@@ -170,6 +182,11 @@ pub struct LoadGenConfig {
     pub value_bytes: u32,
     /// Seed for key popularity, origin datacenters and read/write mix.
     pub seed: u64,
+    /// Span-trace sampling: `0` disables tracing (every frame encodes
+    /// byte-identically to an untraced build); `n ≥ 1` stamps an op-ID
+    /// onto every `n`-th operation, yielding one causal span chain per
+    /// sampled request.
+    pub trace_sample: u64,
 }
 
 impl Default for LoadGenConfig {
@@ -184,6 +201,7 @@ impl Default for LoadGenConfig {
             zipf_s: 0.9,
             value_bytes: 128,
             seed: 1,
+            trace_sample: 0,
         }
     }
 }
@@ -228,6 +246,7 @@ impl LoadGenConfig {
     /// zipf_s = 0.9
     /// value_bytes = 128
     /// seed = 1
+    /// trace_sample = 0         # 0 = off; n = trace every n-th op
     /// ```
     pub fn from_toml_str(text: &str) -> Result<Self> {
         let doc = toml::parse_toml(text, "loadgen_config")?;
@@ -283,6 +302,11 @@ impl LoadGenConfig {
                 "seed" => {
                     cfg.seed =
                         val.as_u64().ok_or_else(|| e("seed wants a non-negative int".into()))?
+                }
+                "trace_sample" => {
+                    cfg.trace_sample = val
+                        .as_u64()
+                        .ok_or_else(|| e("trace_sample wants a non-negative int".into()))?
                 }
                 key => return Err(e(format!("unknown loadgen key {key:?}"))),
             }
@@ -340,6 +364,18 @@ mod tests {
         assert_eq!(c.ops, 42);
         let c = LoadGenConfig::from_toml_str("mode = \"closed\"\n").unwrap();
         assert_eq!(c.mode, ArrivalMode::Closed);
+    }
+
+    #[test]
+    fn telemetry_and_trace_sample_keys_parse() {
+        let c = ClusterConfig::from_toml_str("telemetry = false\n").unwrap();
+        assert!(!c.telemetry);
+        assert!(ClusterConfig::default().telemetry, "telemetry defaults on");
+        assert!(ClusterConfig::from_toml_str("telemetry = 3\n").is_err());
+        let l = LoadGenConfig::from_toml_str("trace_sample = 16\n").unwrap();
+        assert_eq!(l.trace_sample, 16);
+        assert_eq!(LoadGenConfig::default().trace_sample, 0, "tracing defaults off");
+        assert!(LoadGenConfig::from_toml_str("trace_sample = \"x\"\n").is_err());
     }
 
     #[test]

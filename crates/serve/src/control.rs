@@ -25,6 +25,7 @@
 
 use crate::cluster::Shared;
 use crate::store::Versioned;
+use crate::telemetry::TickSample;
 use rfh_core::{
     server_blocking_probabilities, Action, EpochContext, ReplicaManager, ReplicationPolicy,
     RfhPolicy,
@@ -34,6 +35,7 @@ use rfh_obs::{MetricsRegistry, NullRecorder};
 use rfh_pool::WorkerPool;
 use rfh_ring::ConsistentHashRing;
 use rfh_sim::{destination_unreachable, RepairQueue};
+use rfh_stats::Histogram;
 use rfh_topology::Topology;
 use rfh_traffic::{PlacementView, TrafficEngine, TrafficSmoother};
 use rfh_types::{Epoch, PartitionId, ServerId, SimConfig};
@@ -65,6 +67,21 @@ pub struct ControlStats {
     pub replicas_total: usize,
     /// serve.* counters plus the traffic engine's cache stats.
     pub registry: MetricsRegistry,
+}
+
+/// Lifetime counter values as of the last recorded tick sample, used
+/// to turn monotone totals into per-tick deltas.
+#[derive(Debug, Default, Clone, Copy)]
+struct TickCounters {
+    ops: u64,
+    forwards: u64,
+    acks_ok: u64,
+    acks_unavailable: u64,
+    replications: u64,
+    migrations: u64,
+    suicides: u64,
+    repairs_completed: u64,
+    violations: u64,
 }
 
 pub(crate) struct Controller {
@@ -99,6 +116,13 @@ pub(crate) struct Controller {
     pool: Option<Arc<WorkerPool>>,
     scratch: QueryLoad,
     cfg: SimConfig,
+    /// Fault-plan events this tick, for the timeline (empty unless
+    /// telemetry is on — `inject_faults` gates its pushes).
+    tick_events: Vec<String>,
+    /// Counter snapshot at the previous tick sample.
+    prev_counters: TickCounters,
+    /// Reused buffer for the per-tick server-side latency histogram.
+    tick_hist: Histogram,
     tick: u64,
     replications: u64,
     migrations: u64,
@@ -139,6 +163,9 @@ impl Controller {
             sparse_skipped: 0,
             pool,
             scratch: QueryLoad::zeros(cfg.partitions, dc_count),
+            tick_events: Vec::new(),
+            prev_counters: TickCounters::default(),
+            tick_hist: Histogram::latency(),
             policy,
             shared,
             topo,
@@ -173,7 +200,11 @@ impl Controller {
         self.finish()
     }
 
-    fn finish(self) -> ControlStats {
+    /// The control plane's registry: serve.* lifetime totals, the
+    /// data-plane request counters, the PR 6 sparse counters, and the
+    /// traffic engine's cache stats. Built fresh from totals every
+    /// call, so republishing per tick (and re-scraping) is idempotent.
+    fn build_registry(&self) -> MetricsRegistry {
         let mut registry = MetricsRegistry::new();
         registry.counter_total("serve.control.ticks", self.tick);
         registry.counter_total("serve.actions.replications", self.replications);
@@ -186,7 +217,20 @@ impl Controller {
         registry.counter_total("serve.sparse.dirty_partitions", self.sparse_dirty);
         registry.counter_total("serve.sparse.skipped_partitions", self.sparse_skipped);
         registry.gauge("serve.replicas_total", self.manager.total_replicas() as f64);
+        let c = &self.shared.counters;
+        registry.counter_total("serve.requests.gets", c.gets.load(Ordering::Relaxed));
+        registry.counter_total("serve.requests.puts", c.puts.load(Ordering::Relaxed));
+        registry.counter_total("serve.requests.forwards", c.forwards.load(Ordering::Relaxed));
+        registry.counter_total("serve.acks.ok", c.acks_ok.load(Ordering::Relaxed));
+        registry.counter_total("serve.acks.not_found", c.acks_not_found.load(Ordering::Relaxed));
+        registry
+            .counter_total("serve.acks.unavailable", c.acks_unavailable.load(Ordering::Relaxed));
         self.engine.stats().collect_metrics(&mut registry);
+        registry
+    }
+
+    fn finish(self) -> ControlStats {
+        let registry = self.build_registry();
         ControlStats {
             ticks: self.tick,
             replications: self.replications,
@@ -205,6 +249,10 @@ impl Controller {
     fn step(&mut self) {
         self.inject_faults();
         self.retry_restores();
+        // Health is gauged here — after faults land, before this tick's
+        // repair actions — so a kill shows up as a degraded/unavailable
+        // dip on the timeline even when RFH repairs it within the tick.
+        let health = self.shared.telemetry.enabled().then(|| self.partition_health());
         self.manager.begin_epoch();
 
         self.scratch.clear_touched();
@@ -320,7 +368,79 @@ impl Controller {
             |p, buf| buf.extend_from_slice(manager.replicas(p)),
             |p| pinned.contains(&p),
         );
+        self.record_tick_sample(health);
         self.tick += 1;
+    }
+
+    /// Count partitions below the replication floor: `(degraded,
+    /// unavailable)` where degraded means `0 < live < r_min` and
+    /// unavailable means no live replica at all.
+    fn partition_health(&self) -> (u64, u64) {
+        let mut degraded = 0u64;
+        let mut unavailable = 0u64;
+        for p in (0..self.cfg.partitions).map(PartitionId::new) {
+            let live = self
+                .manager
+                .replicas(p)
+                .iter()
+                .filter(|s| self.topo.servers()[s.index()].alive)
+                .count();
+            if live == 0 {
+                unavailable += 1;
+            } else if live < self.r_min {
+                degraded += 1;
+            }
+        }
+        (degraded, unavailable)
+    }
+
+    /// Drain the per-tick server-side latency histograms, compute this
+    /// tick's deltas, append one [`TickSample`] to the timeline ring
+    /// (with the pre-repair health gauges from [`Self::partition_health`]),
+    /// and republish the control registry for the `/metrics` endpoint.
+    /// No-op when telemetry is off, so the control loop's outputs match
+    /// a pre-telemetry build.
+    fn record_tick_sample(&mut self, health: Option<(u64, u64)>) {
+        let Some((degraded, unavailable)) = health else {
+            return;
+        };
+        self.tick_hist.clear();
+        self.shared.telemetry.drain_tick(&mut self.tick_hist);
+
+        let c = &self.shared.counters;
+        let cur = TickCounters {
+            ops: c.gets.load(Ordering::Relaxed) + c.puts.load(Ordering::Relaxed),
+            forwards: c.forwards.load(Ordering::Relaxed),
+            acks_ok: c.acks_ok.load(Ordering::Relaxed),
+            acks_unavailable: c.acks_unavailable.load(Ordering::Relaxed),
+            replications: self.replications,
+            migrations: self.migrations,
+            suicides: self.suicides,
+            repairs_completed: self.repair_queue.completed(),
+            violations: self.auditor.total(),
+        };
+        let prev = self.prev_counters;
+
+        self.shared.telemetry.push_sample(TickSample {
+            tick: self.tick,
+            ops: cur.ops - prev.ops,
+            forwards: cur.forwards - prev.forwards,
+            acks_ok: cur.acks_ok - prev.acks_ok,
+            acks_unavailable: cur.acks_unavailable - prev.acks_unavailable,
+            p50_us: self.tick_hist.quantile(0.5).unwrap_or(0.0),
+            p99_us: self.tick_hist.quantile(0.99).unwrap_or(0.0),
+            replicas_total: self.manager.total_replicas() as u64,
+            degraded,
+            unavailable,
+            replications: cur.replications - prev.replications,
+            migrations: cur.migrations - prev.migrations,
+            suicides: cur.suicides - prev.suicides,
+            repairs: cur.repairs_completed - prev.repairs_completed,
+            violations: cur.violations - prev.violations,
+            events: std::mem::take(&mut self.tick_events),
+        });
+        self.prev_counters = cur;
+        self.shared.telemetry.publish_registry(self.build_registry());
     }
 
     /// Apply one action through the replica manager and mirror it on
@@ -417,13 +537,20 @@ impl Controller {
         if !report.failed.is_empty() || report.routes_changed || report.random_shortfall > 0 {
             self.auditor.note_fault(self.tick);
         }
+        let telemetry = self.shared.telemetry.enabled();
         for &id in &report.failed {
             self.ring.leave(id);
             self.shared.alive[id.index()].store(false, Ordering::Release);
+            if telemetry {
+                self.tick_events.push(format!("kill s{}", id.0));
+            }
         }
         for &id in &report.recovered {
             self.ring.join(id);
             self.shared.alive[id.index()].store(true, Ordering::Release);
+            if telemetry {
+                self.tick_events.push(format!("recover s{}", id.0));
+            }
         }
         if let Some(p) = report.message_loss {
             self.policy.set_message_loss(p);

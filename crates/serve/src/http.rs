@@ -1,0 +1,162 @@
+//! A hand-rolled HTTP/1.0 surface for the telemetry plane.
+//!
+//! Just enough HTTP to be `curl`- and Prometheus-scrapable with no
+//! dependencies: one thread per endpoint accepts connections, reads a
+//! `GET <path>` request line, answers with a text body, and closes.
+//! Connection: close semantics throughout — every scrape is one
+//! short-lived connection, which keeps the server loop trivial and
+//! leak-free.
+//!
+//! [`get`] is the matching client, used by `rfh watch`, the smoke
+//! tests, and anything else that wants a body without shelling out.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest request head we accept; a scrape request line is tiny.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// Per-connection read timeout while parsing the request.
+const READ_TIMEOUT: Duration = Duration::from_millis(2_000);
+
+/// Bind a loopback listener for [`serve`]; returns it with its address.
+pub fn bind() -> io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    Ok((listener, addr))
+}
+
+/// Accept-and-respond loop. Polls `stop` between accepts; `route`
+/// maps a request path to a body (`None` → 404). Runs until stopped.
+pub fn serve<F, S>(listener: TcpListener, stop: S, route: F)
+where
+    F: Fn(&str) -> Option<String>,
+    S: Fn() -> bool,
+{
+    loop {
+        if stop() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are short and rare, so one
+                // request at a time per endpoint is plenty.
+                let _ = respond(stream, &route);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn respond<F>(mut stream: TcpStream, route: &F) -> io::Result<()>
+where
+    F: Fn(&str) -> Option<String>,
+{
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let path = match read_request_path(&mut stream) {
+        Ok(p) => p,
+        Err(_) => {
+            return write_response(&mut stream, "400 Bad Request", "bad request\n");
+        }
+    };
+    match route(&path) {
+        Some(body) => write_response(&mut stream, "200 OK", &body),
+        None => write_response(&mut stream, "404 Not Found", "not found\n"),
+    }
+}
+
+/// Read up to the end of the request head and return the GET path.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        // The head ends at the blank line; a bare `GET /x\r\n` (HTTP/0.9
+        // style, and what a minimal client sends) ends at the first one.
+        if buf.windows(2).any(|w| w == b"\r\n") || buf.len() >= MAX_REQUEST {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(path.to_string()),
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad request line {line:?}"))),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Minimal HTTP GET: connect, request `path`, return the body.
+/// Non-2xx statuses are errors carrying the status line.
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(2_000))?;
+    stream.set_read_timeout(Some(Duration::from_millis(5_000)))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(io::Error::other(format!("http status {status:?}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_routes_and_404s() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (listener, addr) = bind().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let server = std::thread::spawn(move || {
+            serve(
+                listener,
+                move || shutdown2.load(Ordering::Acquire),
+                |path| match path {
+                    "/metrics" => Some("# TYPE up gauge\nup 1\n".to_string()),
+                    _ => None,
+                },
+            );
+        });
+        let body = get(addr, "/metrics").unwrap();
+        assert_eq!(body, "# TYPE up gauge\nup 1\n");
+        let err = get(addr, "/nope").unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+        shutdown.store(true, Ordering::Release);
+        server.join().unwrap();
+    }
+}

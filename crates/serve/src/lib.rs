@@ -17,6 +17,10 @@
 //! * [`loadgen`] — closed/open-loop load generation, latency
 //!   histograms, and the acked-write verify pass.
 //! * [`config`] — cluster and loadgen TOML-subset configs.
+//! * [`telemetry`] — server-side phase histograms, the controller's
+//!   tick-sample ring, and the `rfh watch` dashboard renderer.
+//! * [`http`] — the hand-rolled HTTP/1.0 surface behind
+//!   `GET /metrics` and friends, plus the matching client.
 //!
 //! The live runtime is **not** bit-deterministic — thread scheduling
 //! decides how many requests land in each control tick. Everything
@@ -30,13 +34,16 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 mod control;
+pub mod http;
 pub mod loadgen;
 mod node;
 pub mod store;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::{GetOutcome, ServeClient};
 pub use cluster::{Cluster, NodeInfo, ServeSummary};
 pub use config::{ArrivalMode, ClusterConfig, LoadGenConfig};
 pub use control::ControlStats;
-pub use loadgen::{run_loadgen, LoadReport};
+pub use loadgen::{run_loadgen, run_loadgen_with, LoadReport};
+pub use telemetry::{render_dashboard, TelemetryRing, TickSample};

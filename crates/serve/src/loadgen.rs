@@ -19,6 +19,7 @@ use crate::config::{ArrivalMode, LoadGenConfig};
 use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rfh_obs::SpanLog;
 use rfh_ring::splitmix64;
 use rfh_stats::Histogram;
 use rfh_types::{Result, RfhError};
@@ -27,12 +28,6 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-/// Latency histogram shape: microseconds over `[0, 1s)` in 50 µs
-/// buckets. Quantiles are bucket-upper-edge, so conservative.
-const LAT_LO: f64 = 0.0;
-const LAT_HI: f64 = 1_000_000.0;
-const LAT_BUCKETS: usize = 20_000;
 
 /// What a load-generation run measured.
 #[derive(Debug, Clone)]
@@ -161,6 +156,10 @@ struct RunState {
     next_seq: AtomicU64,
     /// key → highest acknowledged seq.
     acked: Mutex<HashMap<u64, u64>>,
+    /// Global operation counter, driving trace sampling.
+    next_op: AtomicU64,
+    /// Client spans of sampled ops land here (when tracing).
+    spans: Option<Arc<SpanLog>>,
 }
 
 impl RunState {
@@ -168,13 +167,22 @@ impl RunState {
     fn run_op(&self, client: &mut ServeClient, rng: &mut StdRng, out: &mut WorkerOutcome) {
         let key = self.zipf.sample(rng) as u64;
         let is_read = rng.gen_bool(self.cfg.read_fraction);
+        // Every n-th op (globally) carries a trace op-ID; zero-based
+        // index, one-based ID so 0 never appears on the wire as an ID.
+        let op_id = match self.cfg.trace_sample {
+            0 => None,
+            n => {
+                let idx = self.next_op.fetch_add(1, Ordering::Relaxed);
+                idx.is_multiple_of(n).then_some(idx + 1)
+            }
+        };
         let t0 = Instant::now();
         let ok = if is_read {
-            client.get(key).is_ok()
+            client.get_traced(key, op_id).is_ok()
         } else {
             let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
             let value = value_for(key, seq, self.cfg.value_bytes as usize);
-            match client.put(key, seq, &value) {
+            match client.put_traced(key, seq, &value, op_id) {
                 Ok(()) => {
                     let mut acked = self.acked.lock().expect("acked lock");
                     let slot = acked.entry(key).or_insert(0);
@@ -198,6 +206,17 @@ impl RunState {
 /// Run the configured load against a cluster and verify every
 /// acknowledged write afterwards.
 pub fn run_loadgen(cfg: &LoadGenConfig, nodes: &[NodeInfo]) -> Result<LoadReport> {
+    run_loadgen_with(cfg, nodes, None)
+}
+
+/// [`run_loadgen`] with a span log for sampled ops' client-side spans.
+/// Pass the cluster's own log (self-hosted runs) to get complete
+/// client → coordinator → forward chains in one place.
+pub fn run_loadgen_with(
+    cfg: &LoadGenConfig,
+    nodes: &[NodeInfo],
+    spans: Option<Arc<SpanLog>>,
+) -> Result<LoadReport> {
     cfg.validate()?;
     if nodes.is_empty() {
         return Err(RfhError::Topology("loadgen needs at least one node".into()));
@@ -213,6 +232,8 @@ pub fn run_loadgen(cfg: &LoadGenConfig, nodes: &[NodeInfo]) -> Result<LoadReport
         cfg: cfg.clone(),
         next_seq: AtomicU64::new(1),
         acked: Mutex::new(HashMap::new()),
+        next_op: AtomicU64::new(0),
+        spans,
     });
 
     let t_start = Instant::now();
@@ -222,7 +243,7 @@ pub fn run_loadgen(cfg: &LoadGenConfig, nodes: &[NodeInfo]) -> Result<LoadReport
     };
     let wall = t_start.elapsed();
 
-    let mut latency = Histogram::new(LAT_LO, LAT_HI, LAT_BUCKETS);
+    let mut latency = Histogram::latency();
     let (mut completed, mut failed) = (0u64, 0u64);
     for o in &outcomes {
         completed += o.completed;
@@ -268,14 +289,14 @@ fn run_closed(state: &Arc<RunState>) -> Result<Vec<WorkerOutcome>> {
                         state.cfg.ops / workers + u64::from((w as u64) < state.cfg.ops % workers);
                     let dc = state.dcs[w as usize % state.dcs.len()];
                     let mut client = ServeClient::new(&state.nodes, dc, w as usize)?;
+                    if let Some(spans) = &state.spans {
+                        client.set_span_log(Arc::clone(spans));
+                    }
                     let mut rng = StdRng::seed_from_u64(splitmix64(
                         state.cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     ));
-                    let mut out = WorkerOutcome {
-                        completed: 0,
-                        failed: 0,
-                        latency: Histogram::new(LAT_LO, LAT_HI, LAT_BUCKETS),
-                    };
+                    let mut out =
+                        WorkerOutcome { completed: 0, failed: 0, latency: Histogram::latency() };
                     for _ in 0..quota {
                         state.run_op(&mut client, &mut rng, &mut out);
                     }
@@ -323,14 +344,14 @@ fn run_open(state: &Arc<RunState>) -> Result<Vec<WorkerOutcome>> {
                 .spawn(move || -> Result<WorkerOutcome> {
                     let dc = state.dcs[w as usize % state.dcs.len()];
                     let mut client = ServeClient::new(&state.nodes, dc, w as usize)?;
+                    if let Some(spans) = &state.spans {
+                        client.set_span_log(Arc::clone(spans));
+                    }
                     let mut rng = StdRng::seed_from_u64(splitmix64(
                         state.cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                     ));
-                    let mut out = WorkerOutcome {
-                        completed: 0,
-                        failed: 0,
-                        latency: Histogram::new(LAT_LO, LAT_HI, LAT_BUCKETS),
-                    };
+                    let mut out =
+                        WorkerOutcome { completed: 0, failed: 0, latency: Histogram::latency() };
                     loop {
                         let sched = match rx.lock().expect("schedule lock").try_recv() {
                             Ok(s) => s,
@@ -349,7 +370,7 @@ fn run_open(state: &Arc<RunState>) -> Result<Vec<WorkerOutcome>> {
                         let mut scratch = WorkerOutcome {
                             completed: 0,
                             failed: 0,
-                            latency: Histogram::new(LAT_LO, LAT_HI, LAT_BUCKETS),
+                            latency: Histogram::latency(),
                         };
                         state.run_op(&mut client, &mut rng, &mut scratch);
                         out.completed += scratch.completed;

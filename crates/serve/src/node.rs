@@ -16,14 +16,16 @@
 
 use crate::cluster::Shared;
 use crate::store::partition_of;
+use crate::telemetry::{PhaseTimings, ReqKind};
 use crate::wire::{AckStatus, Conn, Frame};
+use rfh_obs::SpanEvent;
 use rfh_types::{DatacenterId, ServerId};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocked handler read waits before re-checking the
 /// shutdown and alive flags.
@@ -34,6 +36,19 @@ const PEER_TIMEOUT: Duration = Duration::from_millis(2_000);
 
 /// Idle peer connections kept per (source, destination) pair.
 const PEER_POOL_CAP: usize = 4;
+
+/// Cluster-wide connection counter; a connection's id picks its
+/// telemetry shard, spreading concurrent handlers over the shards.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Queue (partition-lock wait) and forward (peer round-trip) time of
+/// one request, accumulated along the serve path; the handle phase is
+/// total minus both.
+#[derive(Default)]
+struct PhaseAcc {
+    queue_us: f64,
+    forward_us: f64,
+}
 
 /// The accept loop of one node. Fail-stop is modelled as
 /// accept-then-drop: a dead node's listener stays bound (its port must
@@ -76,19 +91,22 @@ fn handle_conn(node: usize, stream: TcpStream, shared: Arc<Shared>) {
     if stream.set_read_timeout(Some(POLL_TIMEOUT)).is_err() || stream.set_nodelay(true).is_err() {
         return;
     }
+    let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
     let mut conn = Conn::new(stream);
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        match conn.recv() {
+        match conn.recv_envelope() {
             Ok(None) => return,
-            Ok(Some(frame)) => {
+            Ok(Some((frame, op_id))) => {
                 if !shared.is_alive(node) {
                     return; // killed mid-connection: drop without reply
                 }
-                let reply = serve_frame(node, frame, &shared);
-                if conn.send(&reply).is_err() {
+                let reply = serve_frame(node, conn_id, frame, op_id, &shared);
+                // The ack echoes the request's op-ID, so the client can
+                // close its span without tracking request state.
+                if conn.send_traced(&reply, op_id).is_err() {
                     return;
                 }
             }
@@ -100,27 +118,75 @@ fn handle_conn(node: usize, stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-fn serve_frame(node: usize, frame: Frame, shared: &Shared) -> Frame {
-    match frame {
-        Frame::Get { key } => coordinate_get(node, key, shared),
-        Frame::Put { key, seq, value } => coordinate_put(node, key, seq, &value, shared),
+fn serve_frame(
+    node: usize,
+    conn_id: u64,
+    frame: Frame,
+    op_id: Option<u64>,
+    shared: &Shared,
+) -> Frame {
+    let t0 = Instant::now();
+    let mut phases = PhaseAcc::default();
+    let (kind, reply) = match frame {
+        Frame::Get { key } => (ReqKind::Get, coordinate_get(node, key, op_id, shared, &mut phases)),
+        Frame::Put { key, seq, value } => {
+            (ReqKind::Put, coordinate_put(node, key, seq, &value, op_id, shared, &mut phases))
+        }
         // Forwarded requests touch only the local shard; the
         // coordinator already charged q_ijt at the origin datacenter.
-        Frame::ForwardGet { key, origin_dc: _ } => match shared.stores[node].get(key) {
-            Some(v) => Frame::Ack { status: AckStatus::Ok, seq: v.seq, value: v.value },
-            None => Frame::Ack { status: AckStatus::NotFound, seq: 0, value: Vec::new() },
-        },
+        Frame::ForwardGet { key, origin_dc: _ } => (
+            ReqKind::ForwardGet,
+            match shared.stores[node].get(key) {
+                Some(v) => Frame::Ack { status: AckStatus::Ok, seq: v.seq, value: v.value },
+                None => Frame::Ack { status: AckStatus::NotFound, seq: 0, value: Vec::new() },
+            },
+        ),
         Frame::ForwardPut { key, seq, origin_dc: _, value } => {
             // An older seq losing LWW is still success: the store
             // holds a version at least as new as the write.
             let _ = shared.stores[node].put(key, seq, &value);
-            Frame::Ack { status: AckStatus::Ok, seq, value: Vec::new() }
+            (ReqKind::ForwardPut, Frame::Ack { status: AckStatus::Ok, seq, value: Vec::new() })
         }
         Frame::Ack { .. } => {
             // An unsolicited ack is a protocol violation; answer with
             // Unavailable rather than crashing the handler.
-            Frame::Ack { status: AckStatus::Unavailable, seq: 0, value: Vec::new() }
+            return Frame::Ack { status: AckStatus::Unavailable, seq: 0, value: Vec::new() };
         }
+    };
+    let total_us = t0.elapsed().as_micros() as f64;
+    let timings = PhaseTimings {
+        queue_us: phases.queue_us,
+        forward_us: phases.forward_us,
+        handle_us: (total_us - phases.queue_us - phases.forward_us).max(0.0),
+    };
+    if let Some(tel) = shared.telemetry.node(node) {
+        tel.record(conn_id, kind, timings);
+    }
+    if let Some(id) = op_id {
+        let role = match kind {
+            ReqKind::Get | ReqKind::Put => "coordinate",
+            ReqKind::ForwardGet | ReqKind::ForwardPut => "forward",
+        };
+        shared.telemetry.spans().record(SpanEvent {
+            op_id: id,
+            role,
+            node: node as i64,
+            dc: shared.dc_of[node],
+            kind: kind.as_str(),
+            queue_us: timings.queue_us,
+            handle_us: timings.handle_us,
+            forward_us: timings.forward_us,
+            status: ack_status_str(&reply),
+        });
+    }
+    reply
+}
+
+fn ack_status_str(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Ack { status: AckStatus::Ok, .. } => "ok",
+        Frame::Ack { status: AckStatus::NotFound, .. } => "not_found",
+        _ => "unavailable",
     }
 }
 
@@ -137,13 +203,24 @@ fn count_ack(shared: &Shared, ack: &Frame) -> Frame {
     ack.clone()
 }
 
-fn coordinate_get(node: usize, key: u64, shared: &Shared) -> Frame {
+fn coordinate_get(
+    node: usize,
+    key: u64,
+    op_id: Option<u64>,
+    shared: &Shared,
+    phases: &mut PhaseAcc,
+) -> Frame {
     let p = partition_of(key, shared.partitions);
     let origin = shared.dc_of[node];
     shared.load.add(p, DatacenterId::new(origin), 1);
     shared.counters.gets.fetch_add(1, Ordering::Relaxed);
+    if let Some(tel) = shared.telemetry.node(node) {
+        tel.hit(p);
+    }
 
+    let t_lock = Instant::now();
     let _guard = shared.locks[p.index()].lock().expect("partition lock");
+    phases.queue_us = t_lock.elapsed().as_micros() as f64;
     let replicas = shared.route(p);
     let me = ServerId::new(node as u32);
     // Serve locally when possible; otherwise walk replicas in holder
@@ -168,7 +245,8 @@ fn coordinate_get(node: usize, key: u64, shared: &Shared) -> Frame {
                 },
             );
         }
-        match forward(shared, node, r, &Frame::ForwardGet { key, origin_dc: origin }) {
+        match forward(shared, node, r, &Frame::ForwardGet { key, origin_dc: origin }, op_id, phases)
+        {
             Ok(ack) => return count_ack(shared, &ack),
             // The peer died or the connection broke: try the next
             // replica rather than failing the read.
@@ -178,13 +256,26 @@ fn coordinate_get(node: usize, key: u64, shared: &Shared) -> Frame {
     count_ack(shared, &Frame::Ack { status: AckStatus::Unavailable, seq: 0, value: Vec::new() })
 }
 
-fn coordinate_put(node: usize, key: u64, seq: u64, value: &[u8], shared: &Shared) -> Frame {
+fn coordinate_put(
+    node: usize,
+    key: u64,
+    seq: u64,
+    value: &[u8],
+    op_id: Option<u64>,
+    shared: &Shared,
+    phases: &mut PhaseAcc,
+) -> Frame {
     let p = partition_of(key, shared.partitions);
     let origin = shared.dc_of[node];
     shared.load.add(p, DatacenterId::new(origin), 1);
     shared.counters.puts.fetch_add(1, Ordering::Relaxed);
+    if let Some(tel) = shared.telemetry.node(node) {
+        tel.hit(p);
+    }
 
+    let t_lock = Instant::now();
     let _guard = shared.locks[p.index()].lock().expect("partition lock");
+    phases.queue_us = t_lock.elapsed().as_micros() as f64;
     let replicas = shared.route(p);
     let me = ServerId::new(node as u32);
     let mut landed = 0usize;
@@ -197,7 +288,10 @@ fn coordinate_put(node: usize, key: u64, seq: u64, value: &[u8], shared: &Shared
             true
         } else {
             let f = Frame::ForwardPut { key, seq, origin_dc: origin, value: value.to_vec() };
-            matches!(forward(shared, node, r, &f), Ok(Frame::Ack { status: AckStatus::Ok, .. }))
+            matches!(
+                forward(shared, node, r, &f, op_id, phases),
+                Ok(Frame::Ack { status: AckStatus::Ok, .. })
+            )
         };
         if ok {
             landed += 1;
@@ -222,12 +316,24 @@ fn coordinate_put(node: usize, key: u64, seq: u64, value: &[u8], shared: &Shared
 }
 
 /// One request/ack round-trip to a peer node, using (and replenishing)
-/// the source node's connection pool.
-fn forward(shared: &Shared, src: usize, dst: ServerId, frame: &Frame) -> io::Result<Frame> {
+/// the source node's connection pool. The op-ID rides the forward so
+/// the peer's span joins the chain; the round-trip time lands in the
+/// coordinator's forward phase.
+fn forward(
+    shared: &Shared,
+    src: usize,
+    dst: ServerId,
+    frame: &Frame,
+    op_id: Option<u64>,
+    phases: &mut PhaseAcc,
+) -> io::Result<Frame> {
     shared.counters.forwards.fetch_add(1, Ordering::Relaxed);
     let mut conn = take_peer(shared, src, dst)?;
-    match conn.roundtrip(frame) {
-        Ok(ack) => {
+    let t0 = Instant::now();
+    let result = conn.roundtrip_traced(frame, op_id);
+    phases.forward_us += t0.elapsed().as_micros() as f64;
+    match result {
+        Ok((ack, _)) => {
             put_peer(shared, src, dst, conn);
             Ok(ack)
         }

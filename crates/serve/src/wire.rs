@@ -17,6 +17,16 @@
 //! [`Frame::ForwardGet`] / [`Frame::ForwardPut`] (tagged with the
 //! requester's datacenter so traffic attribution survives the hop), and
 //! every request is answered by exactly one [`Frame::Ack`].
+//!
+//! # Traced frames
+//!
+//! A sampled request carries an optional **op-ID** for span tracing:
+//! the tag byte's high bit ([`TRACE_BIT`]) signals that a `u64 LE`
+//! op-ID follows the tag, before the frame's normal fields. Coordinators
+//! copy the ID onto forwards and every hop echoes it on its ack, so the
+//! whole causal chain shares one ID. An untraced frame
+//! (`op_id = None`) encodes byte-for-byte as it always has — the
+//! version gate that keeps sampling-off runs bit-identical.
 
 use std::io::{self, Read, Write};
 
@@ -116,39 +126,56 @@ const TAG_FWD_GET: u8 = 3;
 const TAG_FWD_PUT: u8 = 4;
 const TAG_ACK: u8 = 5;
 
+/// High bit of the tag byte: set when a `u64 LE` op-ID follows the tag.
+pub const TRACE_BIT: u8 = 0x80;
+
 fn bad(reason: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, reason)
 }
 
 impl Frame {
     /// Encode into a complete on-wire frame, length prefix included.
+    /// Identical to [`Frame::encode_traced`] with no op-ID.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(32);
+        self.encode_traced(None)
+    }
+
+    /// Encode, stamping `op_id` (when sampled) after the tag byte with
+    /// [`TRACE_BIT`] set. `None` produces the exact bytes
+    /// [`Frame::encode`] always has.
+    pub fn encode_traced(&self, op_id: Option<u64>) -> Vec<u8> {
+        let mut body = Vec::with_capacity(40);
+        let trace = if op_id.is_some() { TRACE_BIT } else { 0 };
         match self {
             Frame::Get { key } => {
-                body.push(TAG_GET);
+                body.push(TAG_GET | trace);
+                push_op_id(&mut body, op_id);
                 body.extend_from_slice(&key.to_le_bytes());
             }
             Frame::Put { key, seq, value } => {
-                body.push(TAG_PUT);
+                body.push(TAG_PUT | trace);
+                push_op_id(&mut body, op_id);
                 body.extend_from_slice(&key.to_le_bytes());
                 body.extend_from_slice(&seq.to_le_bytes());
                 body.extend_from_slice(value);
             }
             Frame::ForwardGet { key, origin_dc } => {
-                body.push(TAG_FWD_GET);
+                body.push(TAG_FWD_GET | trace);
+                push_op_id(&mut body, op_id);
                 body.extend_from_slice(&key.to_le_bytes());
                 body.extend_from_slice(&origin_dc.to_le_bytes());
             }
             Frame::ForwardPut { key, seq, origin_dc, value } => {
-                body.push(TAG_FWD_PUT);
+                body.push(TAG_FWD_PUT | trace);
+                push_op_id(&mut body, op_id);
                 body.extend_from_slice(&key.to_le_bytes());
                 body.extend_from_slice(&seq.to_le_bytes());
                 body.extend_from_slice(&origin_dc.to_le_bytes());
                 body.extend_from_slice(value);
             }
             Frame::Ack { status, seq, value } => {
-                body.push(TAG_ACK);
+                body.push(TAG_ACK | trace);
+                push_op_id(&mut body, op_id);
                 body.push(status.to_byte());
                 body.extend_from_slice(&seq.to_le_bytes());
                 body.extend_from_slice(value);
@@ -161,10 +188,19 @@ impl Frame {
         out
     }
 
-    /// Decode a frame body (everything after the length prefix).
+    /// Decode a frame body (everything after the length prefix),
+    /// discarding any op-ID. Identical to [`Frame::decode_envelope`]
+    /// for untraced frames.
     pub fn decode_body(body: &[u8]) -> io::Result<Frame> {
+        Ok(Frame::decode_envelope(body)?.0)
+    }
+
+    /// Decode a frame body along with its optional op-ID.
+    pub fn decode_envelope(body: &[u8]) -> io::Result<(Frame, Option<u64>)> {
         let mut r = Cursor { buf: body, pos: 0 };
-        let tag = r.u8()?;
+        let raw = r.u8()?;
+        let op_id = if raw & TRACE_BIT != 0 { Some(r.u64()?) } else { None };
+        let tag = raw & !TRACE_BIT;
         let frame = match tag {
             TAG_GET => Frame::Get { key: r.u64()? },
             TAG_PUT => Frame::Put { key: r.u64()?, seq: r.u64()?, value: r.rest().to_vec() },
@@ -185,7 +221,13 @@ impl Frame {
         if !r.done() {
             return Err(bad(format!("{} trailing bytes after frame", body.len() - r.pos)));
         }
-        Ok(frame)
+        Ok((frame, op_id))
+    }
+}
+
+fn push_op_id(body: &mut Vec<u8>, op_id: Option<u64>) {
+    if let Some(id) = op_id {
+        body.extend_from_slice(&id.to_le_bytes());
     }
 }
 
@@ -261,10 +303,22 @@ impl<S: Read + Write> Conn<S> {
         self.stream.write_all(&frame.encode())
     }
 
-    /// Read one complete frame. Returns `Ok(None)` on clean EOF at a
-    /// frame boundary; EOF mid-frame is an error. `WouldBlock` /
-    /// `TimedOut` bubble up with the partial frame still buffered.
+    /// Write one complete frame, stamped with `op_id` when sampled.
+    pub fn send_traced(&mut self, frame: &Frame, op_id: Option<u64>) -> io::Result<()> {
+        self.stream.write_all(&frame.encode_traced(op_id))
+    }
+
+    /// Read one complete frame, discarding any op-ID. Returns
+    /// `Ok(None)` on clean EOF at a frame boundary; EOF mid-frame is an
+    /// error. `WouldBlock` / `TimedOut` bubble up with the partial
+    /// frame still buffered.
     pub fn recv(&mut self) -> io::Result<Option<Frame>> {
+        Ok(self.recv_envelope()?.map(|(frame, _)| frame))
+    }
+
+    /// Read one complete frame along with its optional op-ID. Same EOF
+    /// and timeout semantics as [`Conn::recv`].
+    pub fn recv_envelope(&mut self) -> io::Result<Option<(Frame, Option<u64>)>> {
         loop {
             if self.buf.len() >= 4 {
                 let len = u32::from_le_bytes(self.buf[..4].try_into().expect("length checked"));
@@ -273,9 +327,9 @@ impl<S: Read + Write> Conn<S> {
                 }
                 let total = 4 + len as usize;
                 if self.buf.len() >= total {
-                    let frame = Frame::decode_body(&self.buf[4..total])?;
+                    let envelope = Frame::decode_envelope(&self.buf[4..total])?;
                     self.buf.drain(..total);
-                    return Ok(Some(frame));
+                    return Ok(Some(envelope));
                 }
             }
             let mut chunk = [0u8; 4096];
@@ -298,10 +352,20 @@ impl<S: Read + Write> Conn<S> {
 
     /// Send a request and block for its single [`Frame::Ack`].
     pub fn roundtrip(&mut self, frame: &Frame) -> io::Result<Frame> {
-        self.send(frame)?;
-        match self.recv()? {
-            Some(ack @ Frame::Ack { .. }) => Ok(ack),
-            Some(other) => Err(bad(format!("expected an ack, got {other:?}"))),
+        self.roundtrip_traced(frame, None).map(|(ack, _)| ack)
+    }
+
+    /// Send a request stamped with `op_id` and block for its single
+    /// [`Frame::Ack`], returning the op-ID the ack echoed back.
+    pub fn roundtrip_traced(
+        &mut self,
+        frame: &Frame,
+        op_id: Option<u64>,
+    ) -> io::Result<(Frame, Option<u64>)> {
+        self.send_traced(frame, op_id)?;
+        match self.recv_envelope()? {
+            Some((ack @ Frame::Ack { .. }, echoed)) => Ok((ack, echoed)),
+            Some((other, _)) => Err(bad(format!("expected an ack, got {other:?}"))),
             None => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before ack")),
         }
     }
@@ -329,6 +393,37 @@ mod tests {
             assert_eq!(bytes.len(), 4 + len);
             assert_eq!(Frame::decode_body(&bytes[4..]).unwrap(), f);
         }
+    }
+
+    #[test]
+    fn untraced_encoding_is_byte_identical_to_encode() {
+        for f in frames() {
+            assert_eq!(f.encode_traced(None), f.encode(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn traced_envelope_roundtrips_and_costs_eight_bytes() {
+        for f in frames() {
+            let plain = f.encode();
+            let traced = f.encode_traced(Some(0xDEAD_BEEF_CAFE_F00D));
+            assert_eq!(traced.len(), plain.len() + 8, "{f:?}");
+            assert_ne!(traced[4], plain[4], "trace bit set on the tag");
+            let (decoded, op_id) = Frame::decode_envelope(&traced[4..]).unwrap();
+            assert_eq!(decoded, f);
+            assert_eq!(op_id, Some(0xDEAD_BEEF_CAFE_F00D));
+            // decode_body tolerates traced frames, dropping the ID.
+            assert_eq!(Frame::decode_body(&traced[4..]).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn truncation_inside_the_op_id_is_rejected() {
+        let traced = Frame::Get { key: 7 }.encode_traced(Some(42));
+        // Cut the body down to tag + half the op-id.
+        let err = Frame::decode_envelope(&traced[4..9]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 
     #[test]

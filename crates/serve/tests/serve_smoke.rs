@@ -16,6 +16,7 @@ fn small_cluster() -> ClusterConfig {
         control_interval_ms: 50,
         capacity_spread: 0.25,
         threads: 1,
+        telemetry: true,
     }
 }
 
@@ -30,6 +31,7 @@ fn small_load(ops: u64) -> LoadGenConfig {
         zipf_s: 0.9,
         value_bytes: 32,
         seed: 11,
+        trace_sample: 0,
     }
 }
 

@@ -108,6 +108,51 @@ proptest! {
     }
 
     #[test]
+    fn traced_envelope_roundtrips(
+        frames in proptest::collection::vec(
+            (any_frame(), (any::<bool>(), any::<u64>()).prop_map(|(t, id)| t.then_some(id))),
+            1..10,
+        ),
+    ) {
+        let mut conn = Conn::new(Loopback::default());
+        for (f, op_id) in &frames {
+            conn.send_traced(f, *op_id).unwrap();
+        }
+        for (f, op_id) in &frames {
+            let (got, got_id) =
+                conn.recv_envelope().expect("stream healthy").expect("frame available");
+            prop_assert_eq!(&got, f);
+            prop_assert_eq!(got_id, *op_id);
+        }
+        prop_assert!(conn.recv_envelope().expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn untraced_send_is_byte_identical_and_legacy_decodable(frame in any_frame()) {
+        // `op_id: None` must leave the wire format exactly as before
+        // the telemetry plane existed: same bytes, decodable by the
+        // version-unaware decode path.
+        prop_assert_eq!(frame.encode_traced(None), frame.encode());
+        let traced = frame.encode_traced(Some(7));
+        prop_assert_eq!(traced.len(), frame.encode().len() + 8, "op-ID costs exactly 8 bytes");
+        let legacy = Frame::decode_body(&frame.encode_traced(None)[4..]).unwrap();
+        prop_assert_eq!(legacy, frame);
+    }
+
+    #[test]
+    fn truncation_inside_the_op_id_is_rejected(
+        frame in any_frame(),
+        op_id in any::<u64>(),
+        keep in 0usize..8,
+    ) {
+        // Cut the traced body anywhere inside the 8-byte op-ID (which
+        // sits right after the tag byte): the envelope decoder must
+        // error, never panic, never misread value bytes as an ID.
+        let body = &frame.encode_traced(Some(op_id))[4..];
+        prop_assert!(Frame::decode_envelope(&body[..1 + keep]).is_err());
+    }
+
+    #[test]
     fn trailing_garbage_is_rejected(frame in any_frame(), extra in 1usize..8) {
         let mut body = frame.encode()[4..].to_vec();
         body.extend(std::iter::repeat_n(0xAB, extra));

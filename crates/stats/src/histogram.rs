@@ -5,6 +5,14 @@
 //! introduction motivates: "a response within 300 ms for 99.9% of
 //! requests").
 
+/// Latency histogram range start, microseconds.
+pub const LATENCY_LO_US: f64 = 0.0;
+/// Latency histogram range end, microseconds (1 s; slower requests
+/// land in the overflow bucket and still count toward quantiles).
+pub const LATENCY_HI_US: f64 = 1_000_000.0;
+/// Latency histogram bucket count: 50 µs resolution over `[0, 1s)`.
+pub const LATENCY_BUCKETS: usize = 20_000;
+
 /// A histogram over `[lo, hi)` with equal-width buckets plus explicit
 /// underflow/overflow counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +43,15 @@ impl Histogram {
             count: 0,
             sum: 0.0,
         }
+    }
+
+    /// The canonical request-latency histogram: microseconds over
+    /// `[0, 1s)` in 50 µs buckets. One shape everywhere — the load
+    /// generator's client-side histograms and the serve nodes'
+    /// server-side phase histograms — so shards from either side
+    /// always [`merge`](Histogram::merge).
+    pub fn latency() -> Self {
+        Histogram::new(LATENCY_LO_US, LATENCY_HI_US, LATENCY_BUCKETS)
     }
 
     /// Record one observation.
@@ -126,6 +143,16 @@ impl Histogram {
         self.overflow += other.overflow;
         self.count += other.count;
         self.sum += other.sum;
+    }
+
+    /// Forget every observation, keeping the shape — used by per-tick
+    /// histograms that are drained and reused each control interval.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.underflow = 0;
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0.0;
     }
 
     /// Fraction of observations at or below `threshold` (inclusive by
@@ -248,6 +275,32 @@ mod tests {
         assert_eq!(a.underflow(), 1);
         assert_eq!(a.overflow(), 1);
         assert!((a.mean() - (1.5 + 2.5 - 1.0 + 1.5 + 50.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets_counts_but_keeps_shape() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 2.0, 99.0] {
+            h.record(x);
+        }
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        h.record(5.0);
+        assert_eq!(h.buckets()[5], 1, "shape survives the clear");
+    }
+
+    #[test]
+    fn latency_shape_merges_with_itself() {
+        let mut a = Histogram::latency();
+        let b = Histogram::latency();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        a.record(125.0);
+        assert_eq!(a.quantile(1.0), Some(150.0), "50 µs buckets");
     }
 
     #[test]

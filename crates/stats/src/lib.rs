@@ -28,6 +28,6 @@ pub mod welford;
 pub use availability::{eq14_availability, eq14_sum_form, min_replica_count, read_availability};
 pub use erlang::{erlang_b, offered_load};
 pub use ewma::{decay_zeros, Ewma};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, LATENCY_BUCKETS, LATENCY_HI_US, LATENCY_LO_US};
 pub use timeseries::TimeSeries;
 pub use welford::{load_imbalance, Welford};

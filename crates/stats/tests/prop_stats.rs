@@ -115,6 +115,61 @@ proptest! {
     }
 
     #[test]
+    fn histogram_merge_of_shards_equals_union(
+        obs in proptest::collection::vec((-1e5f64..1.5e6, 0usize..4), 0..300),
+    ) {
+        // The serve telemetry model: observations land on one of four
+        // mutex shards; exposition merges the shards. The merge must
+        // be indistinguishable from one histogram fed the union —
+        // including under/overflow mass and every quantile.
+        let mut shards = [(); 4].map(|_| Histogram::latency());
+        let mut union = Histogram::latency();
+        for &(x, s) in &obs {
+            shards[s].record(x);
+            union.record(x);
+        }
+        let mut merged = Histogram::latency();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(merged.count(), union.count());
+        prop_assert_eq!(merged.underflow(), union.underflow());
+        prop_assert_eq!(merged.overflow(), union.overflow());
+        prop_assert_eq!(merged.buckets(), union.buckets());
+        // Shard-then-merge reassociates the sum; allow relative error.
+        prop_assert!((merged.mean() - union.mean()).abs() < 1e-9 * (1.0 + union.mean().abs()));
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(merged.quantile(q), union.quantile(q));
+        }
+        if !obs.is_empty() {
+            let (p50, p99, p999) = (
+                merged.quantile(0.5).unwrap(),
+                merged.quantile(0.99).unwrap(),
+                merged.quantile(0.999).unwrap(),
+            );
+            prop_assert!(p50 <= p99 && p99 <= p999, "quantiles monotone: {p50} {p99} {p999}");
+        }
+    }
+
+    #[test]
+    fn histogram_clear_is_like_new(
+        xs in proptest::collection::vec(-1e5f64..1.5e6, 0..100),
+        ys in proptest::collection::vec(-1e5f64..1.5e6, 0..100),
+    ) {
+        let mut reused = Histogram::latency();
+        for &x in &xs {
+            reused.record(x);
+        }
+        reused.clear();
+        let mut fresh = Histogram::latency();
+        for &y in &ys {
+            reused.record(y);
+            fresh.record(y);
+        }
+        prop_assert_eq!(reused, fresh);
+    }
+
+    #[test]
     fn timeseries_cumulative_last_is_sum(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
         let mut s = TimeSeries::new("x");
         for &x in &xs {
