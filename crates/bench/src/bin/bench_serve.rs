@@ -15,21 +15,24 @@
 //! nonzero if any acknowledged write was lost or corrupted — the same
 //! guarantee the serve smoke tests assert, here at benchmark scale.
 //!
-//! The run is executed twice per round — telemetry off, then on —
-//! interleaved across [`ROUNDS`] rounds, keeping the fastest pass of
-//! each arm (the PR 2 `bench_obs` methodology: fastest-of-N filters
-//! scheduler noise on a shared host). The telemetry overhead lands in
-//! the JSON as `overhead_pct`.
+//! The run is executed three times per round — telemetry off,
+//! telemetry on, and durable storage on — interleaved across [`ROUNDS`]
+//! rounds, keeping the fastest pass of each arm (the PR 2 `bench_obs`
+//! methodology: fastest-of-N filters scheduler noise on a shared host).
+//! The telemetry overhead lands in the JSON as `overhead_pct` and the
+//! WAL's cost as the `durability` object (throughput and p99 deltas
+//! against the in-memory baseline).
 
 use rfh_faults::FaultPlan;
 use rfh_serve::{
-    run_loadgen, ArrivalMode, Cluster, ClusterConfig, LoadGenConfig, LoadReport, ServeSummary,
+    run_loadgen, ArrivalMode, Cluster, ClusterConfig, LoadGenConfig, LoadReport, PersistenceConfig,
+    ServeSummary,
 };
 
 /// Interleaved off/on measurement rounds; fastest of each arm counts.
 const ROUNDS: usize = 3;
 
-fn cluster_config(telemetry: bool) -> ClusterConfig {
+fn cluster_config(telemetry: bool, persistence: Option<PersistenceConfig>) -> ClusterConfig {
     ClusterConfig {
         servers_per_rack: 3, // 10 DCs × 2 racks × 3 = 60 nodes
         partitions: 64,
@@ -38,12 +41,14 @@ fn cluster_config(telemetry: bool) -> ClusterConfig {
         capacity_spread: 0.25,
         threads: 1,
         telemetry,
+        persistence,
     }
 }
 
 /// One full pass: cluster up, chaos kill, load, verify, shutdown.
-fn run_pass(telemetry: bool) -> (LoadReport, ServeSummary) {
-    let cluster_cfg = cluster_config(telemetry);
+fn run_pass(telemetry: bool, persist_dir: Option<&std::path::Path>) -> (LoadReport, ServeSummary) {
+    let persistence = persist_dir.map(|d| PersistenceConfig::with_dir(d.display().to_string()));
+    let cluster_cfg = cluster_config(telemetry, persistence);
     // One server dies four ticks (~400 ms) into the run, while the
     // load generator is writing at full tilt.
     let plan = FaultPlan::from_toml_str("[[at]]\nepoch = 4\nfail_servers = [17]\n")
@@ -79,36 +84,56 @@ fn run_pass(telemetry: bool) -> (LoadReport, ServeSummary) {
 }
 
 fn main() {
-    let cluster_cfg = cluster_config(true);
+    let cluster_cfg = cluster_config(true, None);
     eprintln!(
-        "{}-node cluster, {} interleaved rounds (telemetry off/on)…",
+        "{}-node cluster, {} interleaved rounds (telemetry off/on, durable)…",
         cluster_cfg.nodes(),
         ROUNDS
     );
+    let scratch = std::env::temp_dir().join(format!("rfh-bench-wal-{}", std::process::id()));
     let mut best_off: Option<LoadReport> = None;
     let mut best_on: Option<(LoadReport, ServeSummary)> = None;
+    let mut best_durable: Option<(LoadReport, ServeSummary)> = None;
     for round in 0..ROUNDS {
-        let (off, _) = run_pass(false);
+        let (off, _) = run_pass(false, None);
         eprintln!("round {round} telemetry off: {:.0} ops/s", off.throughput);
         if best_off.as_ref().is_none_or(|b| off.throughput > b.throughput) {
             best_off = Some(off);
         }
-        let (on, summary) = run_pass(true);
+        let (on, summary) = run_pass(true, None);
         eprintln!("round {round} telemetry on:  {:.0} ops/s", on.throughput);
         if best_on.as_ref().is_none_or(|(b, _)| on.throughput > b.throughput) {
             best_on = Some((on, summary));
         }
+        // Durable arm: telemetry off (so the delta against `off`
+        // isolates the WAL), fresh directory per pass so no round
+        // replays the previous round's logs.
+        let _ = std::fs::remove_dir_all(&scratch);
+        let (durable, summary) = run_pass(false, Some(&scratch));
+        eprintln!("round {round} durable:       {:.0} ops/s", durable.throughput);
+        if best_durable.as_ref().is_none_or(|(b, _)| durable.throughput > b.throughput) {
+            best_durable = Some((durable, summary));
+        }
     }
+    let _ = std::fs::remove_dir_all(&scratch);
     let off = best_off.expect("at least one round ran");
     let (report, summary) = best_on.expect("at least one round ran");
+    let (durable, durable_summary) = best_durable.expect("at least one round ran");
     let overhead_pct = (off.throughput - report.throughput) / off.throughput * 100.0;
+    let durable_overhead_pct = (off.throughput - durable.throughput) / off.throughput * 100.0;
+    let storage = durable_summary.storage.expect("durable arm has storage counters");
 
     let json = format!(
         "{{\n  \"cluster\": {{ \"nodes\": {}, \"partitions\": {}, \"killed_servers\": 1, \
          \"control_ticks\": {}, \"replications\": {}, \"migrations\": {}, \
          \"repairs_completed\": {}, \"invariant_violations\": {} }},\n  \
          \"telemetry\": {{ \"off_throughput_ops_per_sec\": {:.1}, \
-         \"on_throughput_ops_per_sec\": {:.1}, \"overhead_pct\": {:.2} }},\n  \"load\": {}\n}}\n",
+         \"on_throughput_ops_per_sec\": {:.1}, \"overhead_pct\": {:.2} }},\n  \
+         \"durability\": {{ \"memory_throughput_ops_per_sec\": {:.1}, \
+         \"durable_throughput_ops_per_sec\": {:.1}, \"overhead_pct\": {:.2}, \
+         \"memory_p99_us\": {:.1}, \"durable_p99_us\": {:.1}, \
+         \"records_appended\": {}, \"segments_written\": {}, \
+         \"checkpoints_written\": {} }},\n  \"load\": {}\n}}\n",
         summary.nodes,
         cluster_cfg.partitions,
         summary.ticks,
@@ -119,6 +144,14 @@ fn main() {
         off.throughput,
         report.throughput,
         overhead_pct,
+        off.throughput,
+        durable.throughput,
+        durable_overhead_pct,
+        off.p99_us,
+        durable.p99_us,
+        storage.records_appended,
+        storage.segments_written,
+        storage.checkpoints_written,
         report.to_json().replace('\n', "\n  "),
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
@@ -128,6 +161,11 @@ fn main() {
     eprintln!(
         "telemetry overhead: {overhead_pct:.2}% (off {:.0} → on {:.0} ops/s)",
         off.throughput, report.throughput
+    );
+    eprintln!(
+        "durability overhead: {durable_overhead_pct:.2}% (memory {:.0} → durable {:.0} ops/s, \
+         p99 {:.0} → {:.0} µs)",
+        off.throughput, durable.throughput, off.p99_us, durable.p99_us
     );
     println!("{json}");
 }

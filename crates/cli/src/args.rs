@@ -17,7 +17,8 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 27] = [
+const KNOWN: [&str; 28] = [
+    "persist-dir",
     "policy",
     "scenario",
     "epochs",

@@ -5,8 +5,8 @@ use rfh_core::PolicyKind;
 use rfh_experiments::table1 as table1_mod;
 use rfh_obs::{Metric, MetricsRegistry, Recorder, TraceRecorder};
 use rfh_serve::{
-    render_dashboard, run_loadgen_with, Cluster, ClusterConfig, LoadGenConfig, ServeClient,
-    TelemetryRing,
+    render_dashboard, run_loadgen_with, Cluster, ClusterConfig, LoadGenConfig, PersistenceConfig,
+    ServeClient, TelemetryRing,
 };
 use rfh_sim::{report, run_comparison_observed, ObsOptions, SimParams, Simulation};
 use rfh_topology::paper_topology;
@@ -314,26 +314,51 @@ fn cluster_config(opts: &Options, key: &'static str) -> Result<ClusterConfig> {
 /// `rfh serve`: run a live loopback cluster under the online RFH
 /// control loop for `--duration-secs` (default 10), then shut down
 /// cleanly and print the serving summary. `--addr-file FILE` writes the
-/// node address list a concurrent `rfh loadgen --connect FILE` needs;
-/// `--telemetry-addrs FILE` writes the `/metrics` endpoint addresses
-/// (controller first) for scrapers and `rfh watch`; `--timeline FILE`
-/// dumps the controller's tick-sample ring as JSONL at shutdown;
-/// `--faults PLAN.toml` runs a chaos plan against the live cluster
-/// (one control tick = one plan epoch).
+/// node address list a concurrent `rfh loadgen --connect FILE` needs —
+/// and if the file already exists (a previous incarnation wrote it),
+/// every node *rebinds its old address* instead, so clients keep their
+/// file across a kill + relaunch; `--persist-dir DIR` turns on durable
+/// storage under DIR (WAL + checkpoints; a relaunch replays the logs
+/// and prints the recovery banner); `--telemetry-addrs FILE` writes the
+/// `/metrics` endpoint addresses (controller first) for scrapers and
+/// `rfh watch`; `--timeline FILE` dumps the controller's tick-sample
+/// ring as JSONL at shutdown; `--faults PLAN.toml` runs a chaos plan
+/// against the live cluster (one control tick = one plan epoch),
+/// including `restart_after` kill-then-restart cycles.
 pub fn serve(opts: &Options) -> Result<String> {
-    let cfg = cluster_config(opts, "config")?;
+    let mut cfg = cluster_config(opts, "config")?;
+    if let Some(dir) = opts.get("persist-dir") {
+        cfg.persistence = Some(PersistenceConfig::with_dir(dir.clone()));
+    }
     let faults = args::fault_plan(opts)?;
     let duration = args::numeric(opts, "duration-secs", 10)?;
-    let cluster = Cluster::start(&cfg, faults)?;
+    // Addr-file handoff: an existing file pins every node back onto
+    // the address its previous incarnation served, so a SIGKILLed
+    // `rfh serve` can relaunch under running clients.
+    let prior_addrs: Option<Vec<std::net::SocketAddr>> = match opts.get("addr-file") {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let nodes = ServeClient::parse_addr_file(&std::fs::read_to_string(path)?)?;
+            Some(nodes.iter().map(|n| n.addr).collect())
+        }
+        _ => None,
+    };
+    let cluster = Cluster::start_bound(&cfg, faults, prior_addrs.as_deref())?;
     let mut out = format!(
         "cluster up: {} nodes, {} partitions, control tick every {} ms\n",
         cfg.nodes(),
         cfg.partitions,
         cfg.control_interval_ms
     );
+    if cfg.persistence.is_some() {
+        let _ = writeln!(out, "{}", cluster.recovery_report().render());
+    }
     if let Some(path) = opts.get("addr-file") {
-        std::fs::write(path, cluster.render_addr_file())?;
-        let _ = writeln!(out, "node addresses written to {path}");
+        if prior_addrs.is_some() {
+            let _ = writeln!(out, "rebound node addresses from {path}");
+        } else {
+            std::fs::write(path, cluster.render_addr_file())?;
+            let _ = writeln!(out, "node addresses written to {path}");
+        }
     }
     if let Some(path) = opts.get("telemetry-addrs") {
         if !cfg.telemetry {
@@ -653,6 +678,52 @@ mod tests {
         let nodes =
             ServeClient::parse_addr_file(&std::fs::read_to_string(&addr_file).unwrap()).unwrap();
         assert_eq!(nodes.len(), 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_persists_and_rebinds_across_incarnations() {
+        let dir = std::env::temp_dir().join(format!("rfh_cli_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cluster_toml = dir.join("cluster.toml");
+        std::fs::write(
+            &cluster_toml,
+            "servers_per_rack = 1\npartitions = 16\ncontrol_interval_ms = 50\n",
+        )
+        .unwrap();
+        let addr_file = dir.join("nodes.txt");
+        let data_dir = dir.join("data");
+        let serve_args = format!(
+            "serve --config {} --duration-secs 1 --addr-file {} --persist-dir {}",
+            cluster_toml.display(),
+            addr_file.display(),
+            data_dir.display()
+        );
+
+        let out = serve(&opts(&serve_args)).unwrap();
+        assert!(out.contains("node addresses written"), "first incarnation writes:\n{out}");
+        assert!(out.contains("recovery: 0 nodes with data"), "cold dir replays nothing:\n{out}");
+        let first_addrs = std::fs::read_to_string(&addr_file).unwrap();
+
+        // Seed node 0's log between incarnations, standing in for the
+        // writes a killed process would leave behind.
+        {
+            let pcfg = PersistenceConfig::with_dir(data_dir.display().to_string());
+            let store = rfh_serve::store::NodeStore::durable(&pcfg, 0).unwrap();
+            for k in 0..25u64 {
+                assert!(store.put(k, k + 1, &k.to_le_bytes()));
+            }
+        }
+
+        let out = serve(&opts(&serve_args)).unwrap();
+        assert!(out.contains("rebound node addresses from"), "handoff taken:\n{out}");
+        assert!(out.contains("1 nodes with data"), "node 0's log replayed:\n{out}");
+        assert!(out.contains("25 records replayed"), "every record came back:\n{out}");
+        assert_eq!(
+            std::fs::read_to_string(&addr_file).unwrap(),
+            first_addrs,
+            "the addr file is never regenerated on a relaunch"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

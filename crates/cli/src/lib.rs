@@ -22,6 +22,7 @@
 //!           [--scenario S] [--out FILE]
 //! rfh serve [--config C.toml] [--faults P.toml] live loopback cluster under the
 //!           [--duration-secs N] [--addr-file F]  online RFH control loop
+//!           [--persist-dir DIR]                   durable WAL + crash recovery
 //!           [--telemetry-addrs F] [--timeline F]  /metrics endpoints + tick ring
 //! rfh loadgen [--connect F | --cluster-config C] drive a cluster, measure
 //!             [--config L.toml] [--ops N]        latency, verify acked writes
@@ -112,7 +113,12 @@ COMMON OPTIONS:
 SERVING OPTIONS:
     --config FILE         cluster TOML (serve) / loadgen TOML (loadgen)
     --duration-secs N     how long `serve` stays up             (default 10)
-    --addr-file FILE      `serve` writes node addresses here for clients
+    --addr-file FILE      `serve` writes node addresses here for clients; if the
+                          file already exists, every node rebinds its old address
+                          (kill + relaunch keeps clients' files valid)
+    --persist-dir DIR     `serve` keeps a per-node WAL + checkpoints under DIR;
+                          a relaunch replays the logs, truncates torn tails, and
+                          reconciles before serving (acked writes survive SIGKILL)
     --connect FILE        `loadgen` targets the cluster behind this addr file;
                           without it, loadgen self-hosts a cluster
     --cluster-config FILE cluster TOML for the self-hosted loadgen cluster

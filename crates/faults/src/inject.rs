@@ -32,6 +32,10 @@ pub struct EpochFaultReport {
     pub failed: Vec<ServerId>,
     /// Servers that came back this epoch (scheduled + repairs).
     pub recovered: Vec<ServerId>,
+    /// Servers that came back this epoch as a *process restart* (the
+    /// `restart_after` verb): the host must treat them as freshly
+    /// relaunched — empty memory, logs replayed — not merely healed.
+    pub restarted: Vec<ServerId>,
     /// Whether any WAN link changed state/latency (routes recomputed
     /// via the topology generation bump).
     pub routes_changed: bool,
@@ -53,6 +57,7 @@ impl EpochFaultReport {
     pub fn any(&self) -> bool {
         !self.failed.is_empty()
             || !self.recovered.is_empty()
+            || !self.restarted.is_empty()
             || self.routes_changed
             || self.message_loss.is_some()
             || self.bandwidth.is_some()
@@ -70,6 +75,8 @@ pub struct FaultInjector {
     rng: StdRng,
     /// Churn-failed servers awaiting repair: `(recover_at, id)`.
     repairs: Vec<(u64, ServerId)>,
+    /// Kill-then-restart victims awaiting relaunch: `(restart_at, id)`.
+    restarts: Vec<(u64, ServerId)>,
     /// Links cut by `Partition` actions, for `HealPartition`.
     partition_cut: Vec<(DatacenterId, DatacenterId)>,
 }
@@ -89,6 +96,7 @@ impl FaultInjector {
             churn: plan.churn.clone(),
             rng: StdRng::seed_from_u64(plan.seed ^ 0x4641_554C_5453), // "FAULTS"
             repairs: Vec::new(),
+            restarts: Vec::new(),
             partition_cut: Vec::new(),
         })
     }
@@ -123,12 +131,40 @@ impl FaultInjector {
             }
         }
 
-        // 2. Scheduled faults due.
+        // 1b. Restarts due — same ordering discipline as repairs, but
+        // reported separately so the host replays the node's log
+        // instead of treating it as merely healed.
+        let mut due: Vec<ServerId> = Vec::new();
+        self.restarts.retain(|&(at, id)| {
+            if at <= epoch {
+                due.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_unstable();
+        for id in due {
+            if topo.recover_server(id)? {
+                report.restarted.push(id);
+            }
+        }
+
+        // 2. Scheduled faults due. A fail action carrying
+        // `restart_after = m` queues everyone it just took down for a
+        // process restart at `epoch + m`.
         while self.cursor < self.scheduled.len() && self.scheduled[self.cursor].epoch <= epoch {
             let action = self.scheduled[self.cursor].action.clone();
+            let restart_after = self.scheduled[self.cursor].restart_after;
             self.cursor += 1;
             report.injected += 1;
+            let before = report.failed.len();
             self.apply(action, topo, &mut report)?;
+            if let Some(m) = restart_after {
+                for &id in &report.failed[before..] {
+                    self.restarts.push((epoch + m, id));
+                }
+            }
         }
 
         // 3. Churn draws over the currently-alive population.
@@ -360,6 +396,43 @@ mod tests {
         // (mean 3 epochs) has long completed.
         assert_eq!(pending_a, 0);
         assert_eq!(alive_a, 6, "all servers healed after churn ends");
+    }
+
+    #[test]
+    fn restart_after_kills_then_restarts() {
+        let plan = FaultPlan::default().at_restarting(
+            1,
+            FaultAction::FailServers(vec![ServerId::new(0), ServerId::new(3)]),
+            2,
+        );
+        let mut inj = FaultInjector::new(&plan).unwrap();
+        let mut t = topo();
+        assert!(!inj.begin_epoch(0, &mut t).unwrap().any());
+        let r = inj.begin_epoch(1, &mut t).unwrap();
+        assert_eq!(r.failed, vec![ServerId::new(0), ServerId::new(3)]);
+        assert!(r.restarted.is_empty(), "victims stay down until epoch + 2");
+        assert!(!inj.begin_epoch(2, &mut t).unwrap().any());
+        let r = inj.begin_epoch(3, &mut t).unwrap();
+        assert_eq!(r.restarted, vec![ServerId::new(0), ServerId::new(3)]);
+        assert!(r.recovered.is_empty(), "a restart is not a plain recovery");
+        assert_eq!(t.alive_server_count(), 6);
+    }
+
+    #[test]
+    fn scheduled_recovery_beats_a_pending_restart() {
+        let plan = FaultPlan::default()
+            .at_restarting(0, FaultAction::FailServers(vec![ServerId::new(1)]), 5)
+            .at(2, FaultAction::RecoverServers(vec![ServerId::new(1)]));
+        let mut inj = FaultInjector::new(&plan).unwrap();
+        let mut t = topo();
+        inj.begin_epoch(0, &mut t).unwrap();
+        inj.begin_epoch(1, &mut t).unwrap();
+        let r = inj.begin_epoch(2, &mut t).unwrap();
+        assert_eq!(r.recovered, vec![ServerId::new(1)]);
+        for e in 3..=6 {
+            let r = inj.begin_epoch(e, &mut t).unwrap();
+            assert!(r.restarted.is_empty(), "already-alive server is not restarted at t{e}");
+        }
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub struct ScheduledFault {
     pub epoch: u64,
     /// What happens.
     pub action: FaultAction,
+    /// Kill-then-restart: every server this (fail-type) action takes
+    /// down comes back `restart_after` epochs later as a *process
+    /// restart* — empty memory, log replayed — rather than a plain
+    /// recovery. Only valid on fail actions.
+    pub restart_after: Option<u64>,
 }
 
 /// Stochastic background churn: each alive server fails independently
@@ -134,7 +139,14 @@ impl FaultPlan {
 
     /// Add a scheduled action (builder style).
     pub fn at(mut self, epoch: u64, action: FaultAction) -> Self {
-        self.scheduled.push(ScheduledFault { epoch, action });
+        self.scheduled.push(ScheduledFault { epoch, action, restart_after: None });
+        self
+    }
+
+    /// Add a fail action whose victims restart (replay their logs and
+    /// rejoin) `after` epochs later (builder style).
+    pub fn at_restarting(mut self, epoch: u64, action: FaultAction, after: u64) -> Self {
+        self.scheduled.push(ScheduledFault { epoch, action, restart_after: Some(after) });
         self
     }
 
@@ -210,8 +222,22 @@ fn parse_churn(block: &TomlBlock) -> Result<ChurnConfig> {
     Ok(c)
 }
 
+/// Whether `restart_after` may attach to this action: only actions
+/// that take servers down have anyone to restart.
+fn is_fail_action(a: &FaultAction) -> bool {
+    matches!(
+        a,
+        FaultAction::FailDatacenter(_)
+            | FaultAction::FailRoom(..)
+            | FaultAction::FailRack(..)
+            | FaultAction::FailServers(_)
+            | FaultAction::FailRandom(_)
+    )
+}
+
 fn parse_at(block: &TomlBlock) -> Result<ScheduledFault> {
     let mut epoch: Option<u64> = None;
+    let mut restart_after: Option<u64> = None;
     let mut action: Option<FaultAction> = None;
     let set_action = |a: FaultAction, action: &mut Option<FaultAction>, line_no| {
         if action.is_some() {
@@ -225,6 +251,13 @@ fn parse_at(block: &TomlBlock) -> Result<ScheduledFault> {
         match key {
             "epoch" => {
                 epoch = Some(val.as_u64().ok_or_else(|| err(line_no, "epoch wants an int"))?)
+            }
+            "restart_after" => {
+                restart_after = Some(
+                    val.as_u64()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| err(line_no, "restart_after wants an epoch count ≥ 1"))?,
+                )
             }
             "fail_dc" | "recover_dc" => {
                 let id =
@@ -332,7 +365,10 @@ fn parse_at(block: &TomlBlock) -> Result<ScheduledFault> {
     }
     let epoch = epoch.ok_or_else(|| err(block.line, "[[at]] block missing `epoch`"))?;
     let action = action.ok_or_else(|| err(block.line, "[[at]] block missing an action"))?;
-    Ok(ScheduledFault { epoch, action })
+    if restart_after.is_some() && !is_fail_action(&action) {
+        return Err(err(block.line, "restart_after only applies to fail actions"));
+    }
+    Ok(ScheduledFault { epoch, action, restart_after })
 }
 
 fn parse(text: &str) -> Result<FaultPlan> {
@@ -458,9 +494,27 @@ mod tests {
             ("[bogus]", "unknown table"),
             ("seed = -3", "negative seed"),
             ("[[at]]\nepoch = 5\nfail_servers = [1.5]", "fractional id"),
+            ("[[at]]\nepoch = 5\nfail_dc = 1\nrestart_after = 0", "restart_after below 1"),
+            ("[[at]]\nepoch = 5\nrecover_dc = 1\nrestart_after = 3", "restart on a heal"),
+            ("[[at]]\nepoch = 5\nlink_down = [0, 1]\nrestart_after = 3", "restart on a link"),
         ] {
             assert!(FaultPlan::from_toml_str(bad).is_err(), "{why}: {bad:?}");
         }
+    }
+
+    #[test]
+    fn restart_after_parses_on_fail_actions() {
+        let p = FaultPlan::from_toml_str(
+            "[[at]]\nepoch = 4\nfail_servers = [2, 3]\nrestart_after = 6\n\
+             [[at]]\nepoch = 9\nfail_random = 1\n",
+        )
+        .unwrap();
+        assert_eq!(p.scheduled[0].restart_after, Some(6));
+        assert_eq!(
+            p.scheduled[0].action,
+            FaultAction::FailServers(vec![ServerId::new(2), ServerId::new(3)])
+        );
+        assert_eq!(p.scheduled[1].restart_after, None, "plain kills stay plain");
     }
 
     #[test]

@@ -30,8 +30,9 @@ use crate::config::ClusterConfig;
 use crate::control::{ControlStats, Controller};
 use crate::http;
 use crate::node;
-use crate::store::NodeStore;
+use crate::store::{partition_of, NodeStore, Versioned};
 use crate::telemetry::{ClusterTelemetry, TickSample};
+use crate::wal::StorageSnapshot;
 use crate::wire::Conn;
 use rfh_core::{Action, ReplicaManager};
 use rfh_faults::FaultPlan;
@@ -108,6 +109,41 @@ impl Shared {
     }
 }
 
+/// What startup recovery did, when the cluster runs durable storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Nodes whose logs replayed at least one record.
+    pub nodes_with_data: usize,
+    /// WAL + checkpoint records replayed across all nodes.
+    pub records_replayed: u64,
+    /// Invalid log tails dropped (each kept exactly its durable prefix).
+    pub torn_tails_truncated: u64,
+    /// Entries the reconcile pass copied onto current route members
+    /// (recovered data can live off-route when the fresh ring disagrees
+    /// with kill-time placement).
+    pub reconciled_entries: u64,
+    /// Partitions that needed any reconciliation.
+    pub reconciled_partitions: u64,
+    /// Wall-clock for replay + reconcile, in milliseconds.
+    pub duration_ms: u64,
+}
+
+impl RecoveryReport {
+    /// One-line human summary (the `rfh serve` startup banner).
+    pub fn render(&self) -> String {
+        format!(
+            "recovery: {} nodes with data, {} records replayed, {} torn tails truncated, \
+             {} entries reconciled across {} partitions, {} ms",
+            self.nodes_with_data,
+            self.records_replayed,
+            self.torn_tails_truncated,
+            self.reconciled_entries,
+            self.reconciled_partitions,
+            self.duration_ms
+        )
+    }
+}
+
 /// One node's identity as seen by clients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeInfo {
@@ -154,8 +190,14 @@ pub struct ServeSummary {
     pub invariant_violations: u64,
     /// Partitions restored from the archive (all replicas lost).
     pub data_restores: u64,
+    /// Kill-then-restart cycles completed by the fault plan's
+    /// `restart_after` verb.
+    pub restarts: u64,
     /// Total replicas placed at shutdown.
     pub replicas_total: usize,
+    /// Aggregated `serve.storage.*` counters, `None` when persistence
+    /// is off.
+    pub storage: Option<StorageSnapshot>,
     /// The control loop's metrics registry (serve.* counters).
     pub registry: MetricsRegistry,
 }
@@ -181,6 +223,18 @@ impl ServeSummary {
         out.push_str(&format!("invariant_violations  {}\n", self.invariant_violations));
         out.push_str(&format!("data_restores         {}\n", self.data_restores));
         out.push_str(&format!("replicas_total        {}\n", self.replicas_total));
+        // Durability lines appear only when the feature is exercised,
+        // keeping persistence-off output byte-identical to older builds.
+        if self.restarts > 0 {
+            out.push_str(&format!("restarts              {}\n", self.restarts));
+        }
+        if let Some(s) = &self.storage {
+            out.push_str(&format!("segments_written      {}\n", s.segments_written));
+            out.push_str(&format!("records_appended      {}\n", s.records_appended));
+            out.push_str(&format!("bytes_checkpointed    {}\n", s.bytes_checkpointed));
+            out.push_str(&format!("records_replayed      {}\n", s.records_replayed));
+            out.push_str(&format!("torn_tails_truncated  {}\n", s.torn_tails_truncated));
+        }
         out
     }
 }
@@ -198,6 +252,9 @@ pub struct Cluster {
     /// The controller's `/metrics` + `/timeline` + `/spans` endpoint.
     controller_metrics_addr: Option<SocketAddr>,
     http_threads: Vec<JoinHandle<()>>,
+    /// What startup replay + reconcile did (all zero with persistence
+    /// off or a cold data directory).
+    recovery: RecoveryReport,
 }
 
 impl Cluster {
@@ -205,6 +262,23 @@ impl Cluster {
     /// and the control loop is running — the cluster is immediately
     /// serveable (partitions already at their replication floor).
     pub fn start(config: &ClusterConfig, faults: FaultPlan) -> Result<Cluster> {
+        Cluster::start_bound(config, faults, None)
+    }
+
+    /// Like [`start`](Cluster::start), but pins each node's listener to
+    /// a given address instead of an ephemeral port. This is the
+    /// process-restart path: a relaunched `rfh serve` reads the address
+    /// file its previous incarnation wrote and rebinds every node where
+    /// clients already point, so the file never has to be regenerated.
+    /// Every listener (pinned or ephemeral) binds with `SO_REUSEADDR`,
+    /// and accepted sockets inherit the flag — that is what lets the
+    /// rebind succeed while the killed process's connections still
+    /// linger in `TIME-WAIT`.
+    pub fn start_bound(
+        config: &ClusterConfig,
+        faults: FaultPlan,
+        bind_addrs: Option<&[SocketAddr]>,
+    ) -> Result<Cluster> {
         config.validate()?;
         let cfg = config.sim_config();
         let topo =
@@ -227,18 +301,57 @@ impl Cluster {
 
         // Bind every node's listener before any thread starts, so the
         // address list is complete from the first request on.
+        if let Some(want) = bind_addrs {
+            if want.len() != n {
+                return Err(RfhError::InvalidConfig {
+                    parameter: "addr_file",
+                    reason: format!("address file lists {} nodes, topology has {n}", want.len()),
+                });
+            }
+        }
         let mut listeners_raw = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let l = TcpListener::bind("127.0.0.1:0")
-                .map_err(|e| RfhError::Io(format!("bind loopback listener: {e}")))?;
+        for i in 0..n {
+            let want = match bind_addrs {
+                Some(want) => want[i],
+                None => "127.0.0.1:0".parse().expect("loopback template addr"),
+            };
+            let l = bind_reuseaddr(want)
+                .map_err(|e| RfhError::Io(format!("bind loopback listener {want}: {e}")))?;
             l.set_nonblocking(true).map_err(|e| RfhError::Io(e.to_string()))?;
             addrs.push(l.local_addr().map_err(|e| RfhError::Io(e.to_string()))?);
             listeners_raw.push(l);
         }
 
+        // Durable mode: open (and recover) every node's WAL before the
+        // data plane exists, then reconcile what survived onto the
+        // fresh placement — the new ring need not agree with where the
+        // killed incarnation kept each partition.
+        let recover_t0 = std::time::Instant::now();
+        let stores: Vec<NodeStore> = match &config.persistence {
+            None => (0..n).map(|_| NodeStore::new()).collect(),
+            Some(p) => (0..n).map(|i| NodeStore::durable(p, i)).collect::<Result<_>>()?,
+        };
+
         let routes: Vec<Vec<ServerId>> =
             (0..cfg.partitions).map(|p| manager.replicas(PartitionId::new(p)).to_vec()).collect();
+
+        let mut recovery = RecoveryReport::default();
+        if config.persistence.is_some() {
+            for s in &stores {
+                if let Some(stats) = s.storage() {
+                    let snap = stats.snapshot();
+                    if snap.records_replayed > 0 {
+                        recovery.nodes_with_data += 1;
+                    }
+                    recovery.records_replayed += snap.records_replayed;
+                    recovery.torn_tails_truncated += snap.torn_tails_truncated;
+                }
+            }
+            reconcile_recovered(&stores, &routes, cfg.partitions, &mut recovery);
+            recovery.duration_ms = recover_t0.elapsed().as_millis() as u64;
+        }
+
         let shared = Arc::new(Shared {
             partitions: cfg.partitions,
             dc_of: topo.servers().iter().map(|s| s.datacenter.0).collect(),
@@ -246,7 +359,7 @@ impl Cluster {
             routes: RwLock::new(routes),
             locks: (0..cfg.partitions).map(|_| Mutex::new(())).collect(),
             load: SharedLoad::zeros(cfg.partitions, dc_count),
-            stores: (0..n).map(|_| NodeStore::new()).collect(),
+            stores,
             addrs,
             peers: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             counters: Counters::default(),
@@ -351,7 +464,14 @@ impl Cluster {
             metrics_addrs,
             controller_metrics_addr,
             http_threads,
+            recovery,
         })
+    }
+
+    /// What startup recovery replayed and reconciled. All-zero when
+    /// persistence is off or the data directory was empty.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Per-node identity and address, for clients and the address file.
@@ -432,6 +552,17 @@ impl Cluster {
         }
         let c = &self.shared.counters;
         let alive_nodes = self.shared.alive.iter().filter(|a| a.load(Ordering::Acquire)).count();
+        let storage = {
+            let mut agg = StorageSnapshot::default();
+            let mut durable = false;
+            for s in &self.shared.stores {
+                if let Some(stats) = s.storage() {
+                    agg.add(stats.snapshot());
+                    durable = true;
+                }
+            }
+            durable.then_some(agg)
+        };
         Ok(ServeSummary {
             nodes: self.shared.alive.len(),
             alive_nodes,
@@ -449,7 +580,9 @@ impl Cluster {
             dead_letters: stats.dead_letters,
             invariant_violations: stats.invariant_violations,
             data_restores: stats.data_restores,
+            restarts: stats.restarts,
             replicas_total: stats.replicas_total,
+            storage,
             registry: stats.registry,
         })
     }
@@ -465,6 +598,9 @@ fn node_metrics_route(shared: &Shared, node: usize, path: &str) -> Option<String
     let tel = shared.telemetry.node(node)?;
     let mut registry = MetricsRegistry::new();
     tel.collect_metrics(&mut registry);
+    if let Some(stats) = shared.stores[node].storage() {
+        stats.snapshot().collect_metrics(&mut registry);
+    }
     Some(registry.render_prometheus())
 }
 
@@ -478,6 +614,116 @@ fn controller_route(shared: &Shared, path: &str) -> Option<String> {
         "/spans" => Some(shared.telemetry.spans().to_jsonl()),
         _ => None,
     }
+}
+
+/// Reconcile recovered data with the fresh placement: union every
+/// surviving entry per partition (LWW across nodes), then merge each
+/// partition's union into all of its current route members. Recovered
+/// data can sit on a node the fresh ring no longer routes that
+/// partition to, and a route member may have lost its copy to a torn
+/// tail — the union heals both directions. Merged winners are logged by
+/// the stores, so the reconciled state is itself durable. Off-route
+/// leftovers are kept (they are correct data and cost nothing); the
+/// control loop's usual suicide path never sees them because they were
+/// never placed.
+fn reconcile_recovered(
+    stores: &[NodeStore],
+    routes: &[Vec<ServerId>],
+    partitions: u32,
+    recovery: &mut RecoveryReport,
+) {
+    let mut union: HashMap<PartitionId, HashMap<u64, Versioned>> = HashMap::new();
+    for store in stores {
+        for (k, v) in store.snapshot_all() {
+            let slot = union.entry(partition_of(k, partitions)).or_default();
+            match slot.get(&k) {
+                Some(cur) if cur.seq >= v.seq => {}
+                _ => {
+                    slot.insert(k, v);
+                }
+            }
+        }
+    }
+    for (p, entries) in union {
+        let entries: Vec<(u64, Versioned)> = entries.into_iter().collect();
+        let mut healed = 0u64;
+        for &s in &routes[p.index()] {
+            healed += stores[s.index()].merge(&entries) as u64;
+        }
+        if healed > 0 {
+            recovery.reconciled_entries += healed;
+            recovery.reconciled_partitions += 1;
+        }
+    }
+}
+
+/// Bind a TCP listener with `SO_REUSEADDR` set *before* `bind` — std
+/// offers no pre-bind socket options, so this goes through the raw
+/// libc symbols std itself links. Accepted connections inherit the
+/// flag; without it on *both* incarnations' sockets, a process
+/// restarted after `SIGKILL` cannot rebind its old port until the
+/// kernel retires the dead incarnation's `TIME-WAIT` entries.
+#[cfg(unix)]
+fn bind_reuseaddr(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` (fields in network byte order).
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    let SocketAddr::V4(v4) = addr else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "node listeners are IPv4 loopback only",
+        ));
+    };
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        let sa = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            // octets() is already big-endian byte order; keep it as-is.
+            sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0
+            || bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) < 0
+            || listen(fd, 128) < 0
+        {
+            let err = std::io::Error::last_os_error();
+            close(fd);
+            return Err(err);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Non-unix fallback: a plain bind (no restart-rebind guarantee).
+#[cfg(not(unix))]
+fn bind_reuseaddr(addr: SocketAddr) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
 }
 
 /// Grow every partition to `r_min` replicas before serving starts,

@@ -2,7 +2,8 @@
 //! TOML-subset reader in `rfh_types::toml` (the same parser fault plans
 //! use — one config dialect across the workspace).
 
-use rfh_types::toml::{self, BlockKind, TomlDoc};
+use crate::wal::{FsyncPolicy, PersistenceConfig};
+use rfh_types::toml::{self, BlockKind, TomlBlock, TomlDoc};
 use rfh_types::{Result, RfhError, SimConfig};
 
 /// Shape and cadence of a serving cluster.
@@ -32,6 +33,10 @@ pub struct ClusterConfig {
     /// happens — the data path is byte-identical to a pre-telemetry
     /// build.
     pub telemetry: bool,
+    /// Durable per-node storage (the `[persistence]` table). `None` —
+    /// the default, and what every pre-existing config parses to — runs
+    /// purely in memory, byte-identical to a build without the WAL.
+    pub persistence: Option<PersistenceConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -44,6 +49,7 @@ impl Default for ClusterConfig {
             capacity_spread: 0.25,
             threads: 1,
             telemetry: true,
+            persistence: None,
         }
     }
 }
@@ -79,10 +85,15 @@ impl ClusterConfig {
         if self.threads == 0 {
             return Err(err("threads must be at least 1"));
         }
+        if let Some(p) = &self.persistence {
+            p.validate()?;
+        }
         self.sim_config().validate()
     }
 
-    /// Parse from the TOML subset. All keys are top-level and optional:
+    /// Parse from the TOML subset. All scalar keys are top-level and
+    /// optional; durability lives in an optional `[persistence]` table
+    /// (absent = in-memory, the pre-durability behaviour):
     ///
     /// ```toml
     /// servers_per_rack = 3
@@ -92,11 +103,39 @@ impl ClusterConfig {
     /// capacity_spread = 0.25
     /// threads = 1
     /// telemetry = true
+    ///
+    /// [persistence]
+    /// dir = "/var/tmp/rfh-data"
+    /// fsync = "never"          # "always", "never", or an int (every n)
+    /// segment_bytes = 1048576
+    /// checkpoint_every = 4096
+    /// range_shards = 2
     /// ```
     pub fn from_toml_str(text: &str) -> Result<Self> {
         let doc = toml::parse_toml(text, "serve_config")?;
-        reject_tables(&doc, "serve_config")?;
         let mut cfg = ClusterConfig::default();
+        for block in &doc.blocks {
+            match (block.kind, block.name.as_str()) {
+                (BlockKind::Top, _) => {}
+                (BlockKind::Table, "persistence") => {
+                    if cfg.persistence.is_some() {
+                        return Err(toml::config_err(
+                            "serve_config",
+                            block.line,
+                            "duplicate [persistence] table".to_string(),
+                        ));
+                    }
+                    cfg.persistence = Some(parse_persistence(block)?);
+                }
+                _ => {
+                    return Err(toml::config_err(
+                        "serve_config",
+                        block.line,
+                        format!("unknown table {:?}", block.name),
+                    ))
+                }
+            }
+        }
         for item in &doc.top().items {
             let (val, line) = (&item.value, item.line);
             let e = |reason: String| toml::config_err("serve_config", line, reason);
@@ -316,6 +355,63 @@ impl LoadGenConfig {
     }
 }
 
+/// Schema of the `[persistence]` table. `dir` is required; everything
+/// else defaults as in [`PersistenceConfig::with_dir`].
+fn parse_persistence(block: &TomlBlock) -> Result<PersistenceConfig> {
+    let mut cfg = PersistenceConfig::with_dir("");
+    let mut saw_dir = false;
+    for item in &block.items {
+        let (val, line) = (&item.value, item.line);
+        let e = |reason: String| toml::config_err("serve_config", line, reason);
+        match item.key.as_str() {
+            "dir" => {
+                cfg.dir = val
+                    .as_str()
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| e("dir wants a non-empty string".into()))?
+                    .to_string();
+                saw_dir = true;
+            }
+            "fsync" => {
+                cfg.fsync = match (val.as_str(), val.as_u64()) {
+                    (Some("always"), _) => FsyncPolicy::Always,
+                    (Some("never"), _) => FsyncPolicy::Never,
+                    (None, Some(n)) if n >= 1 => FsyncPolicy::EveryN(n),
+                    _ => return Err(e("fsync wants \"always\", \"never\" or an int ≥ 1".into())),
+                }
+            }
+            "segment_bytes" => {
+                cfg.segment_bytes = val
+                    .as_u64()
+                    .filter(|&x| x >= 1024)
+                    .ok_or_else(|| e("segment_bytes wants an int ≥ 1024".into()))?
+            }
+            "checkpoint_every" => {
+                cfg.checkpoint_every = val
+                    .as_u64()
+                    .filter(|&x| x >= 1)
+                    .ok_or_else(|| e("checkpoint_every wants an int ≥ 1".into()))?
+            }
+            "range_shards" => {
+                cfg.range_shards = val
+                    .as_u64()
+                    .filter(|&x| (1..=256).contains(&x))
+                    .ok_or_else(|| e("range_shards wants an int in 1..=256".into()))?
+                    as u32
+            }
+            key => return Err(e(format!("unknown [persistence] key {key:?}"))),
+        }
+    }
+    if !saw_dir {
+        return Err(toml::config_err(
+            "serve_config",
+            block.line,
+            "[persistence] requires `dir`".to_string(),
+        ));
+    }
+    Ok(cfg)
+}
+
 fn reject_tables(doc: &TomlDoc, parameter: &'static str) -> Result<()> {
     for block in &doc.blocks {
         if block.kind != BlockKind::Top {
@@ -376,6 +472,46 @@ mod tests {
         assert_eq!(l.trace_sample, 16);
         assert_eq!(LoadGenConfig::default().trace_sample, 0, "tracing defaults off");
         assert!(LoadGenConfig::from_toml_str("trace_sample = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn persistence_table_parses_and_defaults_off() {
+        assert_eq!(ClusterConfig::from_toml_str("").unwrap().persistence, None);
+        let cfg = ClusterConfig::from_toml_str(
+            "partitions = 8\n[persistence]\ndir = \"/tmp/rfh-x\"\nfsync = \"always\"\n",
+        )
+        .unwrap();
+        let p = cfg.persistence.unwrap();
+        assert_eq!(p.dir, "/tmp/rfh-x");
+        assert_eq!(p.fsync, FsyncPolicy::Always);
+        assert_eq!(p.segment_bytes, 1 << 20, "unset keys keep defaults");
+        assert_eq!(p.range_shards, 2);
+
+        let p = ClusterConfig::from_toml_str(
+            "[persistence]\ndir = \"d\"\nfsync = 64\nsegment_bytes = 4096\nrange_shards = 16\ncheckpoint_every = 100\n",
+        )
+        .unwrap()
+        .persistence
+        .unwrap();
+        assert_eq!(p.fsync, FsyncPolicy::EveryN(64));
+        assert_eq!((p.segment_bytes, p.range_shards, p.checkpoint_every), (4096, 16, 100));
+    }
+
+    #[test]
+    fn persistence_table_rejects_bad_values() {
+        for bad in [
+            "[persistence]\nfsync = \"always\"",             // missing dir
+            "[persistence]\ndir = \"\"",                     // empty dir
+            "[persistence]\ndir = \"d\"\nfsync = \"wat\"",   // bad policy
+            "[persistence]\ndir = \"d\"\nfsync = 0",         // zero interval
+            "[persistence]\ndir = \"d\"\nsegment_bytes = 8", // too small
+            "[persistence]\ndir = \"d\"\nrange_shards = 0",
+            "[persistence]\ndir = \"d\"\nrange_shards = 500",
+            "[persistence]\ndir = \"d\"\nmystery = 1",
+            "[persistence]\ndir = \"d\"\n[persistence]\ndir = \"e\"", // duplicate
+        ] {
+            assert!(ClusterConfig::from_toml_str(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::cluster::Shared;
 use crate::store::Versioned;
 use crate::telemetry::TickSample;
+use crate::wal::StorageSnapshot;
 use rfh_core::{
     server_blocking_probabilities, Action, EpochContext, ReplicaManager, ReplicationPolicy,
     RfhPolicy,
@@ -63,6 +64,8 @@ pub struct ControlStats {
     pub invariant_violations: u64,
     /// Partitions restored from the archive (all replicas lost).
     pub data_restores: u64,
+    /// Kill-then-restart cycles completed (`restart_after` verb).
+    pub restarts: u64,
     /// Replicas placed at shutdown.
     pub replicas_total: usize,
     /// serve.* counters plus the traffic engine's cache stats.
@@ -128,6 +131,7 @@ pub(crate) struct Controller {
     migrations: u64,
     suicides: u64,
     data_restores: u64,
+    restarts: u64,
 }
 
 impl Controller {
@@ -177,6 +181,7 @@ impl Controller {
             migrations: 0,
             suicides: 0,
             data_restores: 0,
+            restarts: 0,
         }
     }
 
@@ -226,6 +231,22 @@ impl Controller {
         registry
             .counter_total("serve.acks.unavailable", c.acks_unavailable.load(Ordering::Relaxed));
         self.engine.stats().collect_metrics(&mut registry);
+        // Durability series appear only when durability is in play, so
+        // a persistence-off scrape is byte-identical to older builds.
+        if self.restarts > 0 {
+            registry.counter_total("serve.restarts", self.restarts);
+        }
+        let mut storage = StorageSnapshot::default();
+        let mut durable = false;
+        for s in &self.shared.stores {
+            if let Some(stats) = s.storage() {
+                storage.add(stats.snapshot());
+                durable = true;
+            }
+        }
+        if durable {
+            storage.collect_metrics(&mut registry);
+        }
         registry
     }
 
@@ -240,6 +261,7 @@ impl Controller {
             dead_letters: self.repair_queue.dead_letters(),
             invariant_violations: self.auditor.total(),
             data_restores: self.data_restores,
+            restarts: self.restarts,
             replicas_total: self.manager.total_replicas(),
             registry,
         }
@@ -551,6 +573,30 @@ impl Controller {
             if telemetry {
                 self.tick_events.push(format!("recover s{}", id.0));
             }
+        }
+        for &id in &report.restarted {
+            // Kill-then-restart: the node comes back with empty memory
+            // and replays its log before rejoining — exactly the
+            // in-process analogue of SIGKILL + relaunch. A memory store
+            // replays nothing; that data loss *is* its baseline
+            // semantics and what the durability tests measure against.
+            self.ring.join(id);
+            match self.shared.stores[id.index()].restart_from_disk() {
+                Ok(replayed) => {
+                    if telemetry {
+                        self.tick_events.push(format!("restart s{} replayed {replayed}", id.0));
+                    }
+                }
+                Err(e) => {
+                    // Degrade to a cold rejoin rather than killing the
+                    // control thread; repairs re-copy its partitions.
+                    if telemetry {
+                        self.tick_events.push(format!("restart s{} replay failed: {e}", id.0));
+                    }
+                }
+            }
+            self.shared.alive[id.index()].store(true, Ordering::Release);
+            self.restarts += 1;
         }
         if let Some(p) = report.message_loss {
             self.policy.set_message_loss(p);

@@ -9,6 +9,8 @@
 //! * [`wire`] — the length-prefixed binary protocol
 //!   (get/put/forward/ack).
 //! * [`store`] — per-node LWW shard maps and the key → partition hash.
+//! * [`wal`] — the optional log-structured durable backend: per-shard
+//!   segment logs, checkpoints, and torn-tail-truncating recovery.
 //! * [`cluster`] — startup, shared state, clean shutdown.
 //! * `node` (internal) — listener/handler threads: the data plane.
 //! * `control` (internal) — the online RFH loop; its lifetime totals
@@ -39,6 +41,7 @@ pub mod loadgen;
 mod node;
 pub mod store;
 pub mod telemetry;
+pub mod wal;
 pub mod wire;
 
 pub use client::{GetOutcome, ServeClient};
@@ -47,3 +50,4 @@ pub use config::{ArrivalMode, ClusterConfig, LoadGenConfig};
 pub use control::ControlStats;
 pub use loadgen::{run_loadgen, run_loadgen_with, LoadReport};
 pub use telemetry::{render_dashboard, TelemetryRing, TickSample};
+pub use wal::{FsyncPolicy, PersistenceConfig, StorageSnapshot, StorageStats};

@@ -9,11 +9,21 @@
 //! Values carry a client-chosen `seq`; a write applies only if its seq
 //! is higher than the stored one, making put retries idempotent and
 //! replica merges (transfers, archive restores) order-independent.
+//!
+//! A store built with [`NodeStore::durable`] additionally owns a
+//! [`NodeWal`]: every *applied* write (put or merge) is appended to the
+//! log before the call returns, so by the time a coordinator acks — it
+//! acks only after every live replica's put returned — the write is in
+//! the OS page cache of every live replica and survives a process
+//! `SIGKILL`. Lock order is store map → (released) → WAL shard; the
+//! checkpoint path nests shard → map, never map → shard, so the two
+//! cannot deadlock.
 
+use crate::wal::{NodeWal, PersistenceConfig, StorageStats};
 use rfh_ring::splitmix64;
-use rfh_types::PartitionId;
+use rfh_types::{PartitionId, Result as RfhResult, RfhError};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The partition a key belongs to. Hash-distributes the key space over
 /// `partitions` buckets.
@@ -31,16 +41,35 @@ pub struct Versioned {
     pub value: Vec<u8>,
 }
 
-/// One node's shard map, internally synchronized.
+/// One node's shard map, internally synchronized; optionally backed by
+/// a write-ahead log (see the module docs for the durability contract).
 #[derive(Debug, Default)]
 pub struct NodeStore {
     map: Mutex<HashMap<u64, Versioned>>,
+    wal: Option<NodeWal>,
 }
 
 impl NodeStore {
-    /// An empty store.
+    /// An empty in-memory store (no durability).
     pub fn new() -> Self {
         NodeStore::default()
+    }
+
+    /// Open a durable store: recovers the node's WAL under
+    /// `<cfg.dir>/node-<node>/` and seeds the map with the replayed
+    /// entries (exactly the durable prefix of each shard log).
+    pub fn durable(cfg: &PersistenceConfig, node: usize) -> RfhResult<NodeStore> {
+        let dir = std::path::Path::new(&cfg.dir).join(format!("node-{node}"));
+        let (wal, recovered) = NodeWal::open(cfg, dir)
+            .map_err(|e| RfhError::Io(format!("open node {node} wal: {e}")))?;
+        let map = recovered.into_iter().collect();
+        Ok(NodeStore { map: Mutex::new(map), wal: Some(wal) })
+    }
+
+    /// The storage counters of the durable backend, `None` for
+    /// in-memory stores.
+    pub fn storage(&self) -> Option<&Arc<StorageStats>> {
+        self.wal.as_ref().map(|w| w.stats())
     }
 
     /// Read the current version of `key`.
@@ -50,14 +79,76 @@ impl NodeStore {
 
     /// Apply a write if `seq` beats the stored version. Returns whether
     /// the store now holds `seq` (so an equal-seq retry reports true).
+    /// On a durable store an applied write is logged before returning —
+    /// this is what makes the coordinator's ack mean "durable on every
+    /// live replica". A write the LWW check rejects changes nothing and
+    /// is not logged.
     pub fn put(&self, key: u64, seq: u64, value: &[u8]) -> bool {
-        let mut map = self.map.lock().expect("store lock");
-        match map.get(&key) {
-            Some(v) if v.seq > seq => false,
-            Some(v) if v.seq == seq => true,
-            _ => {
-                map.insert(key, Versioned { seq, value: value.to_vec() });
-                true
+        let (holds, applied) = {
+            let mut map = self.map.lock().expect("store lock");
+            match map.get(&key) {
+                Some(v) if v.seq > seq => (false, false),
+                Some(v) if v.seq == seq => (true, false),
+                _ => {
+                    map.insert(key, Versioned { seq, value: value.to_vec() });
+                    (true, true)
+                }
+            }
+        };
+        if applied {
+            self.log_write(key, seq, value);
+        }
+        holds
+    }
+
+    /// Append one applied write to the WAL (no-op for memory stores).
+    /// Log replay is LWW-merged, so concurrent appends need no ordering
+    /// beyond "before the ack". A log that cannot be written would turn
+    /// acks into lies, so WAL I/O errors are fail-stop.
+    fn log_write(&self, key: u64, seq: u64, value: &[u8]) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        wal.log(key, seq, value, |shard| self.snapshot_shard(wal, shard))
+            .expect("wal append failed; cannot guarantee acked durability");
+    }
+
+    /// Checkpoint fodder: every entry of one WAL range shard. Called
+    /// under that shard's lock, so no append to it can interleave.
+    fn snapshot_shard(&self, wal: &NodeWal, shard: usize) -> Vec<(u64, Versioned)> {
+        let map = self.map.lock().expect("store lock");
+        map.iter()
+            .filter(|(&k, _)| wal.shard_of(k) == shard)
+            .map(|(&k, v)| (k, v.clone()))
+            .collect()
+    }
+
+    /// Every entry the store holds (reconcile pass after a restart).
+    pub fn snapshot_all(&self) -> Vec<(u64, Versioned)> {
+        let map = self.map.lock().expect("store lock");
+        map.iter().map(|(&k, v)| (k, v.clone())).collect()
+    }
+
+    /// Simulate a process restart: drop all in-memory state and replay
+    /// the WAL from disk, keeping exactly the durable prefix. Returns
+    /// the number of records replayed — `0` for an in-memory store,
+    /// which simply loses everything (that *is* its restart semantics).
+    /// The caller must keep the node quiescent (the controller restarts
+    /// a node while its `alive` flag is still false, so no route sends
+    /// writes here).
+    pub fn restart_from_disk(&self) -> RfhResult<u64> {
+        match &self.wal {
+            None => {
+                self.map.lock().expect("store lock").clear();
+                Ok(0)
+            }
+            Some(wal) => {
+                let (recovered, replayed) =
+                    wal.replay_from_disk().map_err(|e| RfhError::Io(format!("wal replay: {e}")))?;
+                let mut map = self.map.lock().expect("store lock");
+                map.clear();
+                map.extend(recovered);
+                Ok(replayed)
             }
         }
     }
@@ -81,17 +172,35 @@ impl NodeStore {
             .collect()
     }
 
-    /// Merge transferred entries (LWW per key).
-    pub fn merge(&self, entries: &[(u64, Versioned)]) {
-        let mut map = self.map.lock().expect("store lock");
-        for (k, v) in entries {
-            match map.get(k) {
-                Some(cur) if cur.seq >= v.seq => {}
-                _ => {
-                    map.insert(*k, v.clone());
-                }
+    /// Merge transferred entries (LWW per key). Entries that win are
+    /// logged, so a replicated partition is durable on its new host
+    /// before the transfer completes; already-held entries are skipped
+    /// and cost no log bytes. Returns how many entries were applied —
+    /// the reconcile pass uses this to count healed entries.
+    pub fn merge(&self, entries: &[(u64, Versioned)]) -> usize {
+        let winners: Vec<usize> = {
+            let mut map = self.map.lock().expect("store lock");
+            entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (k, v))| match map.get(k) {
+                    Some(cur) if cur.seq >= v.seq => false,
+                    _ => {
+                        map.insert(*k, v.clone());
+                        true
+                    }
+                })
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let applied = winners.len();
+        if self.wal.is_some() {
+            for i in winners {
+                let (k, v) = &entries[i];
+                self.log_write(*k, v.seq, &v.value);
             }
         }
+        applied
     }
 }
 
@@ -140,5 +249,58 @@ mod tests {
         assert_eq!(b.get(7).unwrap().seq, 9, "merge must not clobber newer data");
         let other = snap.iter().find(|&&(k, _)| k != 7).expect("partition has >1 key");
         assert_eq!(b.get(other.0).unwrap(), other.1);
+    }
+
+    fn scratch_cfg(tag: &str) -> PersistenceConfig {
+        let dir = std::env::temp_dir().join(format!("rfh-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        PersistenceConfig::with_dir(dir.to_string_lossy().into_owned())
+    }
+
+    #[test]
+    fn durable_store_survives_reopen_and_restart() {
+        let cfg = scratch_cfg("reopen");
+        {
+            let s = NodeStore::durable(&cfg, 0).unwrap();
+            for k in 0..50u64 {
+                assert!(s.put(k, k + 1, &k.to_le_bytes()));
+            }
+            s.merge(&[(1000, Versioned { seq: 3, value: b"merged".to_vec() })]);
+        }
+        // A new store over the same directory replays everything.
+        let s = NodeStore::durable(&cfg, 0).unwrap();
+        assert_eq!(s.len(), 51);
+        assert_eq!(s.get(1000).unwrap().value, b"merged");
+        assert_eq!(s.get(7).unwrap().seq, 8);
+
+        // In-process restart: wipe memory, replay the durable prefix.
+        s.put(2000, 1, b"late");
+        let replayed = s.restart_from_disk().unwrap();
+        assert!(replayed >= 52, "replays at least every applied record, got {replayed}");
+        assert_eq!(s.len(), 52, "the late write was logged before put returned");
+        assert_eq!(s.get(2000).unwrap().value, b"late");
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn memory_store_restart_loses_everything() {
+        let s = NodeStore::new();
+        s.put(1, 1, b"x");
+        assert_eq!(s.restart_from_disk().unwrap(), 0);
+        assert!(s.is_empty(), "no wal, no durability — that is the baseline semantics");
+        assert!(s.storage().is_none());
+    }
+
+    #[test]
+    fn rejected_writes_are_not_logged() {
+        let cfg = scratch_cfg("reject");
+        let s = NodeStore::durable(&cfg, 0).unwrap();
+        s.put(5, 9, b"winner");
+        s.put(5, 3, b"stale");
+        let appended = s.storage().unwrap().snapshot().records_appended;
+        assert_eq!(appended, 1, "the stale write changed nothing and cost no log bytes");
+        s.restart_from_disk().unwrap();
+        assert_eq!(s.get(5).unwrap().seq, 9);
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
     }
 }

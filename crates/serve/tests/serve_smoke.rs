@@ -17,6 +17,7 @@ fn small_cluster() -> ClusterConfig {
         capacity_spread: 0.25,
         threads: 1,
         telemetry: true,
+        persistence: None,
     }
 }
 

@@ -367,6 +367,12 @@ impl Simulation {
         for &id in &report.recovered {
             self.ring.join(id);
         }
+        // The offline simulator carries no process state, so a restart
+        // is indistinguishable from a plain recovery here; the live
+        // runtime is where restart means "replay the log".
+        for &id in &report.restarted {
+            self.ring.join(id);
+        }
         if let Some(p) = report.message_loss {
             self.policy.set_message_loss(p);
         }
