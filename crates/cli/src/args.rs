@@ -17,8 +17,10 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 28] = [
+const KNOWN: [&str; 30] = [
     "persist-dir",
+    "data-plane",
+    "pipeline",
     "policy",
     "scenario",
     "epochs",

@@ -5,8 +5,8 @@ use rfh_core::PolicyKind;
 use rfh_experiments::table1 as table1_mod;
 use rfh_obs::{Metric, MetricsRegistry, Recorder, TraceRecorder};
 use rfh_serve::{
-    render_dashboard, run_loadgen_with, Cluster, ClusterConfig, LoadGenConfig, PersistenceConfig,
-    ServeClient, TelemetryRing,
+    render_dashboard, run_loadgen_with, Cluster, ClusterConfig, DataPlane, LoadGenConfig,
+    PersistenceConfig, ServeClient, TelemetryRing,
 };
 use rfh_sim::{report, run_comparison_observed, ObsOptions, SimParams, Simulation};
 use rfh_topology::paper_topology;
@@ -305,10 +305,24 @@ pub fn trace(opts: &Options) -> Result<String> {
 }
 
 fn cluster_config(opts: &Options, key: &'static str) -> Result<ClusterConfig> {
-    match opts.get(key) {
-        None => Ok(ClusterConfig::default()),
-        Some(path) => ClusterConfig::from_toml_str(&std::fs::read_to_string(path)?),
-    }
+    let mut cfg = match opts.get(key) {
+        None => ClusterConfig::default(),
+        Some(path) => ClusterConfig::from_toml_str(&std::fs::read_to_string(path)?)?,
+    };
+    // `--data-plane` wins over the config file, like the other CLI
+    // overrides.
+    cfg.data_plane = match opts.get("data-plane").map(String::as_str) {
+        None => cfg.data_plane,
+        Some("reactor") => DataPlane::Reactor,
+        Some("threaded") => DataPlane::Threaded,
+        Some(other) => {
+            return Err(RfhError::InvalidConfig {
+                parameter: "data-plane",
+                reason: format!("{other:?} is not one of reactor|threaded"),
+            })
+        }
+    };
+    Ok(cfg)
 }
 
 /// `rfh serve`: run a live loopback cluster under the online RFH
@@ -324,7 +338,10 @@ fn cluster_config(opts: &Options, key: &'static str) -> Result<ClusterConfig> {
 /// `rfh watch`; `--timeline FILE` dumps the controller's tick-sample
 /// ring as JSONL at shutdown; `--faults PLAN.toml` runs a chaos plan
 /// against the live cluster (one control tick = one plan epoch),
-/// including `restart_after` kill-then-restart cycles.
+/// including `restart_after` kill-then-restart cycles;
+/// `--data-plane reactor|threaded` picks how node sockets are served
+/// (epoll event loops by default, thread-per-connection as the
+/// differential baseline).
 pub fn serve(opts: &Options) -> Result<String> {
     let mut cfg = cluster_config(opts, "config")?;
     if let Some(dir) = opts.get("persist-dir") {
@@ -426,12 +443,14 @@ pub fn watch(opts: &Options) -> Result<String> {
 /// percentiles, and the acked-write verification. With
 /// `--connect ADDRFILE` it targets a cluster started by `rfh serve
 /// --addr-file`; without it, it self-hosts one (shaped by
-/// `--cluster-config`, chaos from `--faults`) for the duration of the
-/// run. `--config` is the loadgen TOML, `--ops N` overrides the op
-/// count, `--report FILE` writes the JSON report, `--sample N` traces
-/// every n-th op with a wire-carried op-ID, and `--spans FILE` writes
-/// the resulting span chains as JSONL (self-hosted runs include the
-/// server-side spans; `--connect` runs see only the client side).
+/// `--cluster-config` and `--data-plane`, chaos from `--faults`) for
+/// the duration of the run. `--config` is the loadgen TOML, `--ops N`
+/// overrides the op count, `--pipeline N` keeps up to N frames in
+/// flight per closed-loop worker connection, `--report FILE` writes
+/// the JSON report, `--sample N` traces every n-th op with a
+/// wire-carried op-ID, and `--spans FILE` writes the resulting span
+/// chains as JSONL (self-hosted runs include the server-side spans;
+/// `--connect` runs see only the client side).
 pub fn loadgen(opts: &Options) -> Result<String> {
     let mut lg = match opts.get("config") {
         None => LoadGenConfig::default(),
@@ -439,6 +458,8 @@ pub fn loadgen(opts: &Options) -> Result<String> {
     };
     lg.ops = args::numeric(opts, "ops", lg.ops)?;
     lg.trace_sample = args::numeric(opts, "sample", lg.trace_sample)?;
+    lg.pipeline = args::numeric(opts, "pipeline", lg.pipeline)?;
+    lg.validate()?;
     let want_spans = opts.get("spans").is_some();
     let (report, hosted, spans) = match opts.get("connect") {
         Some(path) => {

@@ -123,6 +123,10 @@ SERVING OPTIONS:
                           without it, loadgen self-hosts a cluster
     --cluster-config FILE cluster TOML for the self-hosted loadgen cluster
     --ops N               override the loadgen operation count
+    --pipeline N          loadgen closed-loop pipeline depth: each worker keeps
+                          up to N frames in flight per connection (default 1)
+    --data-plane P        serve/self-hosted data plane: reactor (epoll event
+                          loops, the default) or threaded (one thread per conn)
     --report FILE         write the loadgen JSON report (BENCH_serve format)
 
 TELEMETRY OPTIONS:

@@ -1,0 +1,35 @@
+//! `rfh-reactor`: the event-loop substrate of the serve data plane.
+//!
+//! A deliberately small, dependency-free reactor in four pieces:
+//!
+//! * [`Poller`] — a level-triggered epoll instance over raw
+//!   `epoll_create1`/`epoll_ctl`/`epoll_wait` FFI (std exposes no epoll;
+//!   the bindings follow the same raw-libc style as the serve crate's
+//!   `SO_REUSEADDR` pre-bind). Registrations carry a `u64` token the
+//!   caller maps back to its own connection table.
+//! * [`Waker`] — an eventfd registered in the poller so other threads
+//!   (shutdown, the control loop) can nudge a reactor out of
+//!   `epoll_wait` without a timeout dance.
+//! * [`TimerWheel`] — a coarse hashed wheel for peer timeouts and
+//!   deferred retries; the reactor derives its `epoll_wait` timeout
+//!   from [`TimerWheel::next_timeout`].
+//! * [`FrameReader`] / [`WriteQueue`] — per-connection buffers.
+//!   `FrameReader` reassembles length-prefixed frames across arbitrary
+//!   read boundaries; `WriteQueue` batches outgoing frames and flushes
+//!   them with vectored writes (`writev` under std's
+//!   `Write::write_vectored`), resuming cleanly after a partial write
+//!   when the socket's send buffer fills mid-frame.
+//!
+//! Nothing here knows about the RFH wire protocol beyond "4-byte LE
+//! length prefix"; frame semantics stay in `rfh-serve`.
+
+mod buffer;
+mod poller;
+mod timer;
+
+#[cfg(target_os = "linux")]
+mod sys;
+
+pub use buffer::{FrameReader, WriteQueue};
+pub use poller::{Event, Poller, Waker};
+pub use timer::TimerWheel;

@@ -1,0 +1,41 @@
+//! Raw Linux syscall bindings for epoll and eventfd.
+//!
+//! std links libc anyway, so these `extern "C"` declarations resolve
+//! against the symbols already in the binary — the same technique the
+//! serve crate uses for its pre-bind `setsockopt`. Only what the
+//! reactor needs is declared; constants are the kernel ABI values.
+
+pub const EPOLL_CLOEXEC: i32 = 0x8_0000;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EFD_CLOEXEC: i32 = 0x8_0000;
+pub const EFD_NONBLOCK: i32 = 0x800;
+
+/// `struct epoll_event`. Packed on x86-64 (the kernel ABI keeps the
+/// 12-byte layout there); natural alignment everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    pub fn epoll_create1(flags: i32) -> i32;
+    pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    pub fn eventfd(initval: u32, flags: i32) -> i32;
+    pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    pub fn close(fd: i32) -> i32;
+}

@@ -1,0 +1,181 @@
+//! A coarse hashed timer wheel.
+//!
+//! The reactor needs two kinds of deadlines — peer-channel timeouts and
+//! short deferred retries — neither of which wants precision beyond a
+//! few milliseconds. A classic wheel gives O(1) schedule and O(slots)
+//! advance: each slot holds the timers landing in one tick-width
+//! window; timers beyond the horizon stay filed in their modular slot
+//! and simply survive (their stored absolute tick keeps them from
+//! firing a revolution early).
+
+use std::time::{Duration, Instant};
+
+/// One scheduled timer: the caller's token and its absolute fire tick.
+#[derive(Debug, Clone, Copy)]
+struct Timer {
+    token: u64,
+    fire_tick: u64,
+}
+
+/// The wheel. All methods take `now` explicitly so tests (and the
+/// reactor loop, which already has a timestamp in hand) control time.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Timer>>,
+    slot_width: Duration,
+    /// Ticks fully processed by [`advance`](TimerWheel::advance).
+    tick: u64,
+    start: Instant,
+    scheduled: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `slot_width` wide. A 10 ms ×
+    /// 256 wheel spans 2.56 s per revolution — comfortably past the
+    /// 2 s peer timeout it exists to police.
+    pub fn new(slot_width: Duration, slots: usize, now: Instant) -> TimerWheel {
+        assert!(slots > 0 && slot_width > Duration::ZERO);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            slot_width,
+            tick: 0,
+            start: now,
+            scheduled: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.start);
+        (since.as_nanos() / self.slot_width.as_nanos()) as u64
+    }
+
+    /// Schedule `token` to fire `after` from `now`. Tokens are opaque;
+    /// the same token may be scheduled repeatedly (the caller is
+    /// expected to lazily re-validate on fire, the usual wheel idiom
+    /// for cancellation).
+    pub fn schedule_after(&mut self, token: u64, after: Duration, now: Instant) {
+        // Never file into the current or a past tick: the earliest fire
+        // is the next advance.
+        let fire_tick = self.tick_of(now + after).max(self.tick + 1);
+        let slot = (fire_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Timer { token, fire_tick });
+        self.scheduled += 1;
+    }
+
+    /// Pop every timer due at or before `now`, appending their tokens
+    /// to `due` (cleared first).
+    pub fn advance(&mut self, now: Instant, due: &mut Vec<u64>) {
+        due.clear();
+        let target = self.tick_of(now);
+        let len = self.slots.len() as u64;
+        // Visit each slot at most once per call, even if `now` jumped
+        // several revolutions ahead.
+        let steps = (target.saturating_sub(self.tick)).min(len);
+        for i in 1..=steps {
+            let t = self.tick + i;
+            let slot = &mut self.slots[(t % len) as usize];
+            slot.retain(|timer| {
+                if timer.fire_tick <= target {
+                    due.push(timer.token);
+                    false
+                } else {
+                    true // a later revolution's timer: keep it filed
+                }
+            });
+        }
+        self.scheduled -= due.len();
+        self.tick = target.max(self.tick);
+    }
+
+    /// Time until the next scheduled timer could fire, or `None` when
+    /// the wheel is empty. Conservative (never later than the true
+    /// deadline): the reactor uses it as its `epoll_wait` timeout.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.scheduled == 0 {
+            return None;
+        }
+        let mut earliest: Option<u64> = None;
+        for slot in &self.slots {
+            for t in slot {
+                earliest = Some(earliest.map_or(t.fire_tick, |e: u64| e.min(t.fire_tick)));
+            }
+        }
+        let fire_tick = earliest?;
+        // The timer fires once `advance` reaches its tick.
+        let fire_at = self.start + self.slot_width * (fire_tick as u32);
+        Some(fire_at.saturating_duration_since(now))
+    }
+
+    /// Number of timers currently filed.
+    pub fn len(&self) -> usize {
+        self.scheduled
+    }
+
+    /// Whether no timers are filed.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_and_only_when_due() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16, t0);
+        wheel.schedule_after(1, Duration::from_millis(25), t0);
+        wheel.schedule_after(2, Duration::from_millis(70), t0);
+        assert_eq!(wheel.len(), 2);
+
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(10), &mut due);
+        assert!(due.is_empty(), "nothing due yet");
+        wheel.advance(t0 + Duration::from_millis(40), &mut due);
+        assert_eq!(due, vec![1]);
+        wheel.advance(t0 + Duration::from_millis(40), &mut due);
+        assert!(due.is_empty(), "a fired timer does not refire");
+        wheel.advance(t0 + Duration::from_millis(100), &mut due);
+        assert_eq!(due, vec![2]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn beyond_horizon_timers_survive_a_revolution() {
+        let t0 = Instant::now();
+        // 8 slots × 10 ms = 80 ms horizon; schedule at 150 ms.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        wheel.schedule_after(9, Duration::from_millis(150), t0);
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(80), &mut due);
+        assert!(due.is_empty(), "same slot, earlier revolution: must not fire");
+        wheel.advance(t0 + Duration::from_millis(160), &mut due);
+        assert_eq!(due, vec![9]);
+    }
+
+    #[test]
+    fn next_timeout_bounds_the_wait() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16, t0);
+        assert_eq!(wheel.next_timeout(t0), None, "empty wheel: wait forever");
+        wheel.schedule_after(1, Duration::from_millis(45), t0);
+        let timeout = wheel.next_timeout(t0).unwrap();
+        assert!(timeout <= Duration::from_millis(50), "never later than the deadline");
+        // Past-due: timeout collapses to zero, not a panic.
+        assert_eq!(wheel.next_timeout(t0 + Duration::from_secs(1)).unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn large_time_jumps_visit_every_slot_once() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4, t0);
+        for i in 0..20 {
+            wheel.schedule_after(i, Duration::from_millis(i + 1), t0);
+        }
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_secs(10), &mut due);
+        due.sort_unstable();
+        assert_eq!(due, (0..20).collect::<Vec<_>>(), "a huge jump drains everything");
+    }
+}

@@ -194,6 +194,233 @@ impl ServeClient {
     }
 }
 
+/// One finished operation from a [`PipelinedClient`] window.
+#[derive(Debug)]
+pub struct CompletedOp {
+    /// The request frame as originally submitted.
+    pub request: Frame,
+    /// The trace op-ID the request carried, if any.
+    pub op_id: Option<u64>,
+    /// End-to-end latency from *first* submission — retries and
+    /// failovers count against the op, never reset the clock.
+    pub latency_us: f64,
+    /// The coordinator's ack (synthetic `Unavailable` if the op
+    /// exhausted its retries without one).
+    pub ack: Frame,
+}
+
+/// An in-flight frame awaiting its FIFO-ordered ack.
+struct InflightOp {
+    request: Frame,
+    op_id: Option<u64>,
+    t0: Instant,
+    tries: usize,
+}
+
+/// A datacenter-local client that keeps up to `depth` frames in flight
+/// on one connection — the pipelined counterpart of [`ServeClient`].
+///
+/// Replies correlate by order: coordinators release acks in arrival
+/// order on both data planes, so the n-th ack answers the n-th
+/// outstanding request. Traced frames double-check this by comparing
+/// the echoed op-ID. On a broken connection or an `Unavailable` ack the
+/// client rotates coordinators and replays the whole window — safe
+/// because puts are idempotent (LWW at a fixed `seq`) and gets are
+/// reads.
+pub struct PipelinedClient {
+    addrs: Vec<SocketAddr>,
+    cursor: usize,
+    conn: Option<Conn<TcpStream>>,
+    dc: u32,
+    depth: usize,
+    inflight: std::collections::VecDeque<InflightOp>,
+    spans: Option<Arc<SpanLog>>,
+}
+
+impl PipelinedClient {
+    /// A pipelined client homed in `dc` with a window of `depth`
+    /// outstanding frames. `offset` staggers the first coordinator.
+    pub fn new(nodes: &[NodeInfo], dc: u32, offset: usize, depth: usize) -> Result<Self> {
+        let addrs: Vec<SocketAddr> = nodes.iter().filter(|n| n.dc == dc).map(|n| n.addr).collect();
+        if addrs.is_empty() {
+            return Err(RfhError::Topology(format!("no nodes in datacenter {dc}")));
+        }
+        if depth == 0 {
+            return Err(RfhError::InvalidConfig {
+                parameter: "pipeline",
+                reason: "window depth must be at least 1".into(),
+            });
+        }
+        let cursor = offset % addrs.len();
+        Ok(PipelinedClient {
+            addrs,
+            cursor,
+            conn: None,
+            dc,
+            depth,
+            inflight: std::collections::VecDeque::new(),
+            spans: None,
+        })
+    }
+
+    /// Record client-side spans for traced operations into `spans`.
+    pub fn set_span_log(&mut self, spans: Arc<SpanLog>) {
+        self.spans = Some(spans);
+    }
+
+    /// Submit one request. When the window is already `depth` deep, the
+    /// oldest op is first driven to completion and returned.
+    pub fn submit(&mut self, request: Frame, op_id: Option<u64>) -> Result<Option<CompletedOp>> {
+        let done = if self.inflight.len() >= self.depth { Some(self.read_one()?) } else { None };
+        let op = InflightOp { request, op_id, t0: Instant::now(), tries: 0 };
+        self.send_op(&op)?;
+        self.inflight.push_back(op);
+        Ok(done)
+    }
+
+    /// Drive every outstanding op to completion, in order.
+    pub fn drain(&mut self) -> Result<Vec<CompletedOp>> {
+        let mut done = Vec::with_capacity(self.inflight.len());
+        while !self.inflight.is_empty() {
+            done.push(self.read_one()?);
+        }
+        Ok(done)
+    }
+
+    /// Send one frame, (re)connecting and replaying the window first if
+    /// the connection is down.
+    fn send_op(&mut self, op: &InflightOp) -> Result<()> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        if conn.send_traced(&op.request, op.op_id).is_err() {
+            // Broken pipe: replay the window on the next coordinator,
+            // then send this frame behind it.
+            self.rotate_and_replay()?;
+            let conn = self.conn.as_mut().expect("reconnected");
+            conn.send_traced(&op.request, op.op_id)
+                .map_err(|e| RfhError::Io(format!("pipelined send: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Complete the window's oldest op: read its ack, retrying through
+    /// failover until it resolves or runs out of attempts.
+    fn read_one(&mut self) -> Result<CompletedOp> {
+        loop {
+            let received = match self.conn.as_mut() {
+                Some(conn) => conn.recv_envelope(),
+                None => {
+                    self.rotate_and_replay()?;
+                    continue;
+                }
+            };
+            let front = self.inflight.front().expect("read_one needs an inflight op");
+            match received {
+                Ok(Some((ack @ Frame::Ack { .. }, echoed))) if echoed == front.op_id => {
+                    if matches!(ack, Frame::Ack { status: AckStatus::Unavailable, .. })
+                        && front.tries < MAX_TRIES
+                    {
+                        // The coordinator refused (route mid-repair,
+                        // dying node). Back off, rotate, replay — the
+                        // op keeps its place at the window's front.
+                        let tries = front.tries;
+                        std::thread::sleep(Duration::from_millis(10 << tries.min(5)));
+                        self.bump_tries();
+                        self.rotate_and_replay()?;
+                        continue;
+                    }
+                    let op = self.inflight.pop_front().expect("front just inspected");
+                    return Ok(self.finish(op, ack));
+                }
+                // Wrong op-ID echo, a non-ack frame, clean EOF, or an
+                // I/O error: the connection is unusable as-is.
+                Ok(_) | Err(_) => {
+                    if front.tries >= MAX_TRIES {
+                        let op = self.inflight.pop_front().expect("front just inspected");
+                        let ack = Frame::Ack {
+                            status: AckStatus::Unavailable,
+                            seq: 0,
+                            value: Vec::new(),
+                        };
+                        return Ok(self.finish(op, ack));
+                    }
+                    let tries = front.tries;
+                    std::thread::sleep(Duration::from_millis(10 << tries.min(5)));
+                    self.bump_tries();
+                    self.rotate_and_replay()?;
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, op: InflightOp, ack: Frame) -> CompletedOp {
+        let latency_us = op.t0.elapsed().as_micros() as f64;
+        if let (Some(id), Some(spans)) = (op.op_id, self.spans.as_ref()) {
+            spans.record(SpanEvent {
+                op_id: id,
+                role: "client",
+                node: -1,
+                dc: self.dc,
+                kind: frame_kind(&op.request),
+                queue_us: 0.0,
+                handle_us: latency_us,
+                forward_us: 0.0,
+                status: ack_status(&ack),
+            });
+        }
+        CompletedOp { request: op.request, op_id: op.op_id, latency_us, ack }
+    }
+
+    /// Every rotation burns one attempt for every op it replays: a
+    /// wedged datacenter cannot spin the window forever.
+    fn bump_tries(&mut self) {
+        for op in &mut self.inflight {
+            op.tries += 1;
+        }
+    }
+
+    /// Drop the connection, advance to the next coordinator, reconnect,
+    /// and resend the whole in-flight window in order.
+    fn rotate_and_replay(&mut self) -> Result<()> {
+        self.conn = None;
+        self.cursor = (self.cursor + 1) % self.addrs.len();
+        self.reconnect()?;
+        let batch: Vec<(Frame, Option<u64>)> =
+            self.inflight.iter().map(|op| (op.request.clone(), op.op_id)).collect();
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let conn = self.conn.as_mut().expect("reconnected");
+        conn.send_batch(&batch).map_err(|e| RfhError::Io(format!("pipeline replay: {e}")))
+    }
+
+    /// Connect to the current coordinator, walking the ring once before
+    /// giving up — every local node may be mid-restart at once.
+    fn reconnect(&mut self) -> Result<()> {
+        let mut last = String::new();
+        for _ in 0..self.addrs.len().max(1) {
+            let addr = self.addrs[self.cursor];
+            match TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(CLIENT_TIMEOUT))
+                        .and_then(|()| stream.set_nodelay(true))
+                        .map_err(|e| RfhError::Io(format!("socket opts: {e}")))?;
+                    self.conn = Some(Conn::new(stream));
+                    return Ok(());
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    self.cursor = (self.cursor + 1) % self.addrs.len();
+                }
+            }
+        }
+        Err(RfhError::Io(format!("no coordinator reachable in dc {}: {last}", self.dc)))
+    }
+}
+
 /// Span label for the request frame a client issues.
 fn frame_kind(frame: &Frame) -> &'static str {
     match frame {

@@ -15,11 +15,22 @@
 //!   and immediately drops them, and serves nothing.
 //! * `routes` — the published replica map (partition → servers, holder
 //!   first), read per request, rewritten by the control loop.
-//! * `locks[p]` — one mutex per partition. A coordinator holds it for
-//!   the whole write-all-replicas sequence; the control loop holds it
-//!   while copying partition data and republishing the route. This is
-//!   what makes "zero lost acknowledged writes" provable: no write can
-//!   slip between a transfer's copy and its route flip.
+//! * `locks[p]` — one mutex per partition. A threaded-plane
+//!   coordinator holds it for the whole write-all-replicas sequence;
+//!   the control loop holds it while copying partition data and
+//!   republishing the route. This is what makes "zero lost
+//!   acknowledged writes" provable: no write can slip between a
+//!   transfer's copy and its route flip.
+//! * `route_epochs[p]` — one atomic epoch per partition, even when
+//!   the route is stable, odd while a transfer holds `locks[p]`. The
+//!   reactor plane cannot park an event loop on a mutex across peer
+//!   round-trips, so it proves the same no-slip property optimistically:
+//!   a put defers while the epoch is odd, snapshots the even value,
+//!   writes all live replicas, and acks only if the epoch is still the
+//!   snapshot — otherwise a transfer raced it and the attempt restarts.
+//!   The control loop bumps to odd (under the lock) before copying and
+//!   publishes +2 after the route flip, so the validation window
+//!   brackets exactly the critical section the mutex covers.
 //! * `load` — the live `q_ijt` counters ([`rfh_workload::SharedLoad`])
 //!   the control loop drains into the real `TrafficEngine`.
 //!
@@ -79,6 +90,16 @@ pub(crate) struct Shared {
     pub alive: Vec<AtomicBool>,
     /// Published replica sets, holder first.
     pub routes: RwLock<Vec<Vec<ServerId>>>,
+    /// Per-partition route epochs for the reactor plane's optimistic
+    /// writes. Even = route stable; odd = a transfer for the partition
+    /// is in progress (the control loop stores odd before copying,
+    /// bumps to the next even when it republishes). A reactor
+    /// coordinator snapshots an even epoch before writing and acks only
+    /// if the epoch is unchanged once every replica landed — any route
+    /// flip in between forces a (LWW-idempotent) restart, which is how
+    /// the plane proves zero lost acknowledged writes without holding
+    /// the partition lock across peer round-trips.
+    pub route_epochs: Vec<AtomicU64>,
     /// Per-partition mutex serializing writes against transfers.
     pub locks: Vec<Mutex<()>>,
     /// Live `q_ijt` counters.
@@ -106,6 +127,26 @@ impl Shared {
     /// Whether node `i` is currently alive.
     pub fn is_alive(&self, i: usize) -> bool {
         self.alive[i].load(Ordering::Acquire)
+    }
+
+    /// Current route epoch of `p` (even = stable, odd = transferring).
+    pub fn route_epoch(&self, p: PartitionId) -> u64 {
+        self.route_epochs[p.index()].load(Ordering::SeqCst)
+    }
+
+    /// Mark a route change as in progress: flip the epoch odd. Called
+    /// by the control loop under the partition lock, before copying.
+    pub fn begin_route_change(&self, p: PartitionId) {
+        self.route_epochs[p.index()].fetch_or(1, Ordering::SeqCst);
+    }
+
+    /// Settle the epoch at the next even value — from either parity —
+    /// invalidating every optimistic write that began before this
+    /// moment. Called after each route publish (and after an aborted
+    /// change, where the spurious invalidation is harmless).
+    pub fn end_route_change(&self, p: PartitionId) {
+        let e = &self.route_epochs[p.index()];
+        e.store((e.load(Ordering::SeqCst) | 1) + 1, Ordering::SeqCst);
     }
 }
 
@@ -244,8 +285,12 @@ impl ServeSummary {
 pub struct Cluster {
     shared: Arc<Shared>,
     infos: Vec<NodeInfo>,
+    /// Threaded-plane accept threads (empty under the reactor plane).
     listeners: Vec<JoinHandle<()>>,
+    /// Threaded-plane connection handlers (empty under the reactor plane).
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// The epoll data plane, when `data_plane = "reactor"`.
+    reactor: Option<crate::reactor::ReactorPlane>,
     control: JoinHandle<ControlStats>,
     /// Per-node `/metrics` endpoints (empty when telemetry is off).
     metrics_addrs: Vec<SocketAddr>,
@@ -357,6 +402,7 @@ impl Cluster {
             dc_of: topo.servers().iter().map(|s| s.datacenter.0).collect(),
             alive: topo.servers().iter().map(|s| AtomicBool::new(s.alive)).collect(),
             routes: RwLock::new(routes),
+            route_epochs: (0..cfg.partitions).map(|_| AtomicU64::new(0)).collect(),
             locks: (0..cfg.partitions).map(|_| Mutex::new(())).collect(),
             load: SharedLoad::zeros(cfg.partitions, dc_count),
             stores,
@@ -382,16 +428,29 @@ impl Cluster {
             .collect();
 
         let handlers = Arc::new(Mutex::new(Vec::new()));
-        let mut listeners = Vec::with_capacity(n);
-        for (i, l) in listeners_raw.into_iter().enumerate() {
-            let shared = Arc::clone(&shared);
-            let handlers = Arc::clone(&handlers);
-            listeners.push(
-                std::thread::Builder::new()
-                    .name(format!("rfh-node-{i}"))
-                    .spawn(move || node::run_listener(i, l, shared, handlers))
-                    .map_err(|e| RfhError::Io(format!("spawn node thread: {e}")))?,
+        let mut listeners = Vec::new();
+        let mut reactor = None;
+        // The reactor plane is epoll-only; elsewhere the config value
+        // silently degrades to the (portable) threaded plane.
+        let use_reactor =
+            config.data_plane == crate::config::DataPlane::Reactor && cfg!(target_os = "linux");
+        if use_reactor {
+            reactor = Some(
+                crate::reactor::ReactorPlane::start(Arc::clone(&shared), listeners_raw)
+                    .map_err(|e| RfhError::Io(format!("start reactor plane: {e}")))?,
             );
+        } else {
+            listeners.reserve(n);
+            for (i, l) in listeners_raw.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let handlers = Arc::clone(&handlers);
+                listeners.push(
+                    std::thread::Builder::new()
+                        .name(format!("rfh-node-{i}"))
+                        .spawn(move || node::run_listener(i, l, shared, handlers))
+                        .map_err(|e| RfhError::Io(format!("spawn node thread: {e}")))?,
+                );
+            }
         }
 
         // Telemetry exposition: one tiny HTTP/1.0 endpoint per node
@@ -460,6 +519,7 @@ impl Cluster {
             infos,
             listeners,
             handlers,
+            reactor,
             control,
             metrics_addrs,
             controller_metrics_addr,
@@ -542,6 +602,9 @@ impl Cluster {
             .map_err(|_| RfhError::Simulation("control loop panicked".into()))?;
         for h in self.listeners {
             h.join().map_err(|_| RfhError::Simulation("node listener panicked".into()))?;
+        }
+        if let Some(plane) = self.reactor {
+            plane.shutdown()?;
         }
         for h in self.http_threads {
             h.join().map_err(|_| RfhError::Simulation("metrics endpoint panicked".into()))?;

@@ -6,6 +6,22 @@ use crate::wal::{FsyncPolicy, PersistenceConfig};
 use rfh_types::toml::{self, BlockKind, TomlBlock, TomlDoc};
 use rfh_types::{Result, RfhError, SimConfig};
 
+/// Which connection-handling substrate the cluster's node listeners
+/// run on. Both planes speak the identical wire protocol and share the
+/// coordination logic — the choice is an operational one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPlane {
+    /// One OS thread per node listener plus one per accepted
+    /// connection. Simple, and the differential baseline the reactor
+    /// plane is tested against.
+    Threaded,
+    /// All node listeners multiplexed onto a small pool of epoll
+    /// reactor threads (`min(cores, 4)`), with pipelined connections
+    /// and multiplexed peer channels. Linux-only; construction falls
+    /// back to [`DataPlane::Threaded`] elsewhere.
+    Reactor,
+}
+
 /// Shape and cadence of a serving cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -37,6 +53,8 @@ pub struct ClusterConfig {
     /// the default, and what every pre-existing config parses to — runs
     /// purely in memory, byte-identical to a build without the WAL.
     pub persistence: Option<PersistenceConfig>,
+    /// Connection-handling substrate for the node listeners.
+    pub data_plane: DataPlane,
 }
 
 impl Default for ClusterConfig {
@@ -50,6 +68,7 @@ impl Default for ClusterConfig {
             threads: 1,
             telemetry: true,
             persistence: None,
+            data_plane: DataPlane::Reactor,
         }
     }
 }
@@ -103,6 +122,7 @@ impl ClusterConfig {
     /// capacity_spread = 0.25
     /// threads = 1
     /// telemetry = true
+    /// data_plane = "reactor"   # or "threaded"
     ///
     /// [persistence]
     /// dir = "/var/tmp/rfh-data"
@@ -180,6 +200,13 @@ impl ClusterConfig {
                     cfg.telemetry =
                         val.as_bool().ok_or_else(|| e("telemetry wants true or false".into()))?
                 }
+                "data_plane" => {
+                    cfg.data_plane = match val.as_str() {
+                        Some("threaded") => DataPlane::Threaded,
+                        Some("reactor") => DataPlane::Reactor,
+                        _ => return Err(e("data_plane wants \"threaded\" or \"reactor\"".into())),
+                    }
+                }
                 key => return Err(e(format!("unknown serve key {key:?}"))),
             }
         }
@@ -226,6 +253,13 @@ pub struct LoadGenConfig {
     /// onto every `n`-th operation, yielding one causal span chain per
     /// sampled request.
     pub trace_sample: u64,
+    /// Closed-loop pipeline depth: each worker keeps up to this many
+    /// operations in flight on one connection, correlating replies by
+    /// arrival order (plus the op-ID echo on traced frames). `1` is
+    /// the classic request/response loop. Open-loop mode requires `1` —
+    /// its coordinated-omission-free latency accounting assumes each
+    /// arrival is an independent request.
+    pub pipeline: u64,
 }
 
 impl Default for LoadGenConfig {
@@ -241,6 +275,7 @@ impl Default for LoadGenConfig {
             value_bytes: 128,
             seed: 1,
             trace_sample: 0,
+            pipeline: 1,
         }
     }
 }
@@ -270,6 +305,12 @@ impl LoadGenConfig {
         if self.value_bytes as u64 > (crate::wire::MAX_FRAME as u64) / 2 {
             return Err(err("value_bytes larger than half a wire frame"));
         }
+        if self.pipeline == 0 {
+            return Err(err("pipeline must be at least 1"));
+        }
+        if self.mode == ArrivalMode::Open && self.pipeline != 1 {
+            return Err(err("open-loop mode requires pipeline = 1"));
+        }
         Ok(())
     }
 
@@ -286,6 +327,7 @@ impl LoadGenConfig {
     /// value_bytes = 128
     /// seed = 1
     /// trace_sample = 0         # 0 = off; n = trace every n-th op
+    /// pipeline = 1             # closed-loop in-flight depth per worker
     /// ```
     pub fn from_toml_str(text: &str) -> Result<Self> {
         let doc = toml::parse_toml(text, "loadgen_config")?;
@@ -346,6 +388,12 @@ impl LoadGenConfig {
                     cfg.trace_sample = val
                         .as_u64()
                         .ok_or_else(|| e("trace_sample wants a non-negative int".into()))?
+                }
+                "pipeline" => {
+                    cfg.pipeline = val
+                        .as_u64()
+                        .filter(|&x| x >= 1)
+                        .ok_or_else(|| e("pipeline wants an int ≥ 1".into()))?
                 }
                 key => return Err(e(format!("unknown loadgen key {key:?}"))),
             }
@@ -472,6 +520,26 @@ mod tests {
         assert_eq!(l.trace_sample, 16);
         assert_eq!(LoadGenConfig::default().trace_sample, 0, "tracing defaults off");
         assert!(LoadGenConfig::from_toml_str("trace_sample = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn data_plane_and_pipeline_keys_parse() {
+        assert_eq!(ClusterConfig::default().data_plane, DataPlane::Reactor);
+        let c = ClusterConfig::from_toml_str("data_plane = \"threaded\"\n").unwrap();
+        assert_eq!(c.data_plane, DataPlane::Threaded);
+        let c = ClusterConfig::from_toml_str("data_plane = \"reactor\"\n").unwrap();
+        assert_eq!(c.data_plane, DataPlane::Reactor);
+        assert!(ClusterConfig::from_toml_str("data_plane = \"green\"\n").is_err());
+
+        assert_eq!(LoadGenConfig::default().pipeline, 1);
+        let l = LoadGenConfig::from_toml_str("pipeline = 8\n").unwrap();
+        assert_eq!(l.pipeline, 8);
+        assert!(LoadGenConfig::from_toml_str("pipeline = 0\n").is_err());
+        assert!(
+            LoadGenConfig::from_toml_str("mode = \"open\"\npipeline = 4\n").is_err(),
+            "open-loop pacing is depth-1 by construction"
+        );
+        assert!(LoadGenConfig::from_toml_str("mode = \"open\"\npipeline = 1\n").is_ok());
     }
 
     #[test]

@@ -477,7 +477,15 @@ impl Controller {
         };
         let guard = self.shared.locks[partition.index()].lock().expect("partition lock");
         let old_route = self.shared.route(partition);
+        // Flip the route epoch odd *before* touching placement or data:
+        // a reactor-plane writer observing an odd epoch (or an epoch
+        // changed across its write) knows its replica set may straddle
+        // the transfer and retries instead of acking.
+        self.shared.begin_route_change(partition);
         if self.manager.apply(&self.topo, action).is_err() {
+            // Aborted change: settle the epoch even again (spurious
+            // invalidation of in-flight optimistic writes is harmless).
+            self.shared.end_route_change(partition);
             return false; // budget/capacity rejection: the policy re-decides next tick
         }
         match action {
@@ -533,11 +541,13 @@ impl Controller {
         best.into_iter().collect()
     }
 
-    /// Republish one partition's route row from the replica manager.
-    /// Caller holds the partition lock.
+    /// Republish one partition's route row from the replica manager,
+    /// then settle its route epoch at the next even value. Caller holds
+    /// the partition lock.
     fn publish(&self, p: PartitionId) {
         self.shared.routes.write().expect("routes lock")[p.index()] =
             self.manager.replicas(p).to_vec();
+        self.shared.end_route_change(p);
     }
 
     /// Republish every route row (after prune/recovery sweeps). Takes

@@ -39,14 +39,15 @@ mod control;
 pub mod http;
 pub mod loadgen;
 mod node;
+mod reactor;
 pub mod store;
 pub mod telemetry;
 pub mod wal;
 pub mod wire;
 
-pub use client::{GetOutcome, ServeClient};
+pub use client::{CompletedOp, GetOutcome, PipelinedClient, ServeClient};
 pub use cluster::{Cluster, NodeInfo, ServeSummary};
-pub use config::{ArrivalMode, ClusterConfig, LoadGenConfig};
+pub use config::{ArrivalMode, ClusterConfig, DataPlane, LoadGenConfig};
 pub use control::ControlStats;
 pub use loadgen::{run_loadgen, run_loadgen_with, LoadReport};
 pub use telemetry::{render_dashboard, TelemetryRing, TickSample};

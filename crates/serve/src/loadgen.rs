@@ -13,9 +13,10 @@
 //! acknowledged write was lost or corrupted — the headline guarantee
 //! the serve smoke test asserts under chaos.
 
-use crate::client::{GetOutcome, ServeClient};
+use crate::client::{CompletedOp, GetOutcome, PipelinedClient, ServeClient};
 use crate::cluster::NodeInfo;
 use crate::config::{ArrivalMode, LoadGenConfig};
+use crate::wire::{AckStatus, Frame};
 use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -201,6 +202,54 @@ impl RunState {
             out.failed += 1;
         }
     }
+
+    /// Build one operation as a raw frame for the pipelined path —
+    /// the same key/read-write/trace sampling [`run_op`](Self::run_op)
+    /// does, deferred bookkeeping handled by
+    /// [`settle`](Self::settle) when the ack lands.
+    fn build_op(&self, rng: &mut StdRng) -> (Frame, Option<u64>) {
+        let key = self.zipf.sample(rng) as u64;
+        let is_read = rng.gen_bool(self.cfg.read_fraction);
+        let op_id = match self.cfg.trace_sample {
+            0 => None,
+            n => {
+                let idx = self.next_op.fetch_add(1, Ordering::Relaxed);
+                idx.is_multiple_of(n).then_some(idx + 1)
+            }
+        };
+        let frame = if is_read {
+            Frame::Get { key }
+        } else {
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            let value = value_for(key, seq, self.cfg.value_bytes as usize);
+            Frame::Put { key, seq, value }
+        };
+        (frame, op_id)
+    }
+
+    /// Fold one pipelined completion into the tallies, mirroring the
+    /// sequential path: an acked put records its version for the verify
+    /// pass; an `Unavailable` (or nonsensical) ack counts as failed.
+    fn settle(&self, done: CompletedOp, out: &mut WorkerOutcome) {
+        out.latency.record(done.latency_us);
+        let ok = match (&done.request, &done.ack) {
+            (Frame::Put { key, seq, .. }, Frame::Ack { status: AckStatus::Ok, .. }) => {
+                let mut acked = self.acked.lock().expect("acked lock");
+                let slot = acked.entry(*key).or_insert(0);
+                *slot = (*slot).max(*seq);
+                true
+            }
+            (Frame::Get { .. }, Frame::Ack { status, .. }) => {
+                matches!(status, AckStatus::Ok | AckStatus::NotFound)
+            }
+            _ => false,
+        };
+        if ok {
+            out.completed += 1;
+        } else {
+            out.failed += 1;
+        }
+    }
 }
 
 /// Run the configured load against a cluster and verify every
@@ -238,6 +287,7 @@ pub fn run_loadgen_with(
 
     let t_start = Instant::now();
     let outcomes = match cfg.mode {
+        ArrivalMode::Closed if cfg.pipeline > 1 => run_closed_pipelined(&state)?,
         ArrivalMode::Closed => run_closed(&state)?,
         ArrivalMode::Open => run_open(&state)?,
     };
@@ -299,6 +349,53 @@ fn run_closed(state: &Arc<RunState>) -> Result<Vec<WorkerOutcome>> {
                         WorkerOutcome { completed: 0, failed: 0, latency: Histogram::latency() };
                     for _ in 0..quota {
                         state.run_op(&mut client, &mut rng, &mut out);
+                    }
+                    Ok(out)
+                })
+                .map_err(|e| RfhError::Io(format!("spawn loadgen worker: {e}")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    handles
+        .into_iter()
+        .map(|h| h.join().map_err(|_| RfhError::Io("loadgen worker panicked".into()))?)
+        .collect()
+}
+
+/// Closed loop at pipeline depth N: each worker keeps up to N frames
+/// in flight on one connection through a [`PipelinedClient`], so a
+/// single worker extracts coordinator throughput that the sequential
+/// path would spend waiting out round-trips. Latency is measured from
+/// each op's first submission to its ack — queueing inside the window
+/// counts against the op.
+fn run_closed_pipelined(state: &Arc<RunState>) -> Result<Vec<WorkerOutcome>> {
+    let workers = state.cfg.workers as u64;
+    let handles: Vec<_> = (0..state.cfg.workers)
+        .map(|w| {
+            let state = Arc::clone(state);
+            std::thread::Builder::new()
+                .name(format!("rfh-loadgen-{w}"))
+                .spawn(move || -> Result<WorkerOutcome> {
+                    let quota =
+                        state.cfg.ops / workers + u64::from((w as u64) < state.cfg.ops % workers);
+                    let dc = state.dcs[w as usize % state.dcs.len()];
+                    let depth = state.cfg.pipeline as usize;
+                    let mut client = PipelinedClient::new(&state.nodes, dc, w as usize, depth)?;
+                    if let Some(spans) = &state.spans {
+                        client.set_span_log(Arc::clone(spans));
+                    }
+                    let mut rng = StdRng::seed_from_u64(splitmix64(
+                        state.cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ));
+                    let mut out =
+                        WorkerOutcome { completed: 0, failed: 0, latency: Histogram::latency() };
+                    for _ in 0..quota {
+                        let (frame, op_id) = state.build_op(&mut rng);
+                        if let Some(done) = client.submit(frame, op_id)? {
+                            state.settle(done, &mut out);
+                        }
+                    }
+                    for done in client.drain()? {
+                        state.settle(done, &mut out);
                     }
                     Ok(out)
                 })

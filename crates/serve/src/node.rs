@@ -31,8 +31,8 @@ use std::time::{Duration, Instant};
 /// shutdown and alive flags.
 const POLL_TIMEOUT: Duration = Duration::from_millis(25);
 
-/// Read timeout for coordinator → replica round-trips.
-const PEER_TIMEOUT: Duration = Duration::from_millis(2_000);
+/// Read timeout for coordinator → replica round-trips (both planes).
+pub(crate) const PEER_TIMEOUT: Duration = Duration::from_millis(2_000);
 
 /// Idle peer connections kept per (source, destination) pair.
 const PEER_POOL_CAP: usize = 4;
@@ -41,13 +41,19 @@ const PEER_POOL_CAP: usize = 4;
 /// telemetry shard, spreading concurrent handlers over the shards.
 static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Allocate the next connection id (both data planes share the
+/// sequence, so telemetry sharding behaves identically under either).
+pub(crate) fn next_conn_id() -> u64 {
+    CONN_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Queue (partition-lock wait) and forward (peer round-trip) time of
 /// one request, accumulated along the serve path; the handle phase is
 /// total minus both.
 #[derive(Default)]
-struct PhaseAcc {
-    queue_us: f64,
-    forward_us: f64,
+pub(crate) struct PhaseAcc {
+    pub queue_us: f64,
+    pub forward_us: f64,
 }
 
 /// The accept loop of one node. Fail-stop is modelled as
@@ -118,7 +124,7 @@ fn handle_conn(node: usize, stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-fn serve_frame(
+pub(crate) fn serve_frame(
     node: usize,
     conn_id: u64,
     frame: Frame,
@@ -154,6 +160,24 @@ fn serve_frame(
         }
     };
     let total_us = t0.elapsed().as_micros() as f64;
+    record_request(shared, node, conn_id, kind, op_id, total_us, &phases, &reply);
+    reply
+}
+
+/// The per-request telemetry tail shared by both data planes: fold the
+/// phase split into the node's histograms and, when the request was
+/// sampled, append its span to the chain.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_request(
+    shared: &Shared,
+    node: usize,
+    conn_id: u64,
+    kind: ReqKind,
+    op_id: Option<u64>,
+    total_us: f64,
+    phases: &PhaseAcc,
+    reply: &Frame,
+) {
     let timings = PhaseTimings {
         queue_us: phases.queue_us,
         forward_us: phases.forward_us,
@@ -176,10 +200,9 @@ fn serve_frame(
             queue_us: timings.queue_us,
             handle_us: timings.handle_us,
             forward_us: timings.forward_us,
-            status: ack_status_str(&reply),
+            status: ack_status_str(reply),
         });
     }
-    reply
 }
 
 fn ack_status_str(frame: &Frame) -> &'static str {
@@ -190,7 +213,7 @@ fn ack_status_str(frame: &Frame) -> &'static str {
     }
 }
 
-fn count_ack(shared: &Shared, ack: &Frame) -> Frame {
+pub(crate) fn count_ack(shared: &Shared, ack: &Frame) -> Frame {
     if let Frame::Ack { status, .. } = ack {
         match status {
             AckStatus::Ok => shared.counters.acks_ok.fetch_add(1, Ordering::Relaxed),

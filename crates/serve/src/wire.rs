@@ -188,6 +188,17 @@ impl Frame {
         out
     }
 
+    /// Byte length of the frame's variable-length field (0 when it has
+    /// none) — a sizing hint for encode buffers.
+    pub fn value_len(&self) -> usize {
+        match self {
+            Frame::Get { .. } | Frame::ForwardGet { .. } => 0,
+            Frame::Put { value, .. }
+            | Frame::ForwardPut { value, .. }
+            | Frame::Ack { value, .. } => value.len(),
+        }
+    }
+
     /// Decode a frame body (everything after the length prefix),
     /// discarding any op-ID. Identical to [`Frame::decode_envelope`]
     /// for untraced frames.
@@ -306,6 +317,19 @@ impl<S: Read + Write> Conn<S> {
     /// Write one complete frame, stamped with `op_id` when sampled.
     pub fn send_traced(&mut self, frame: &Frame, op_id: Option<u64>) -> io::Result<()> {
         self.stream.write_all(&frame.encode_traced(op_id))
+    }
+
+    /// Write a batch of frames as one contiguous byte run (a pipelined
+    /// submission window). Encodes every frame first, then issues a
+    /// single `write_all`, so the kernel sees one large write instead
+    /// of one syscall per request. Each element is byte-identical to
+    /// what [`Conn::send_traced`] would have produced for it.
+    pub fn send_batch(&mut self, frames: &[(Frame, Option<u64>)]) -> io::Result<()> {
+        let mut wire = Vec::with_capacity(frames.iter().map(|(f, _)| 24 + f.value_len()).sum());
+        for (frame, op_id) in frames {
+            wire.extend_from_slice(&frame.encode_traced(*op_id));
+        }
+        self.stream.write_all(&wire)
     }
 
     /// Read one complete frame, discarding any op-ID. Returns

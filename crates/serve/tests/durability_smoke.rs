@@ -7,8 +7,8 @@ use std::path::{Path, PathBuf};
 
 use rfh_faults::FaultPlan;
 use rfh_serve::{
-    run_loadgen, ArrivalMode, Cluster, ClusterConfig, GetOutcome, LoadGenConfig, PersistenceConfig,
-    ServeClient,
+    run_loadgen, ArrivalMode, Cluster, ClusterConfig, DataPlane, GetOutcome, LoadGenConfig,
+    PersistenceConfig, ServeClient,
 };
 
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -27,6 +27,7 @@ fn durable_cluster(dir: &Path) -> ClusterConfig {
         threads: 1,
         telemetry: true,
         persistence: Some(PersistenceConfig::with_dir(dir.to_string_lossy().into_owned())),
+        data_plane: DataPlane::Reactor,
     }
 }
 
@@ -46,6 +47,7 @@ fn small_load(ops: u64) -> LoadGenConfig {
         value_bytes: 32,
         seed: 11,
         trace_sample: 0,
+        pipeline: 1,
     }
 }
 
@@ -153,6 +155,61 @@ fn persistence_off_is_in_memory_only() {
         "an in-memory cluster starts empty"
     );
     second.shutdown().unwrap();
+}
+
+/// A live workload must actually cross the checkpoint threshold:
+/// `checkpoint_every` sized to the per-shard record count makes every
+/// busy shard checkpoint at least once and prune the segments the
+/// checkpoint covers — so recovery-from-checkpoint is exercised by a
+/// real cluster, not only by the wal unit tests.
+#[test]
+fn live_load_writes_checkpoints_and_prunes_covered_segments() {
+    let dir = scratch_dir("ckpt");
+    let mut cfg = durable_cluster(&dir);
+    let persistence = cfg.persistence.as_mut().unwrap();
+    // ~600 puts × 3 replicas spread over 20 nodes × 2 shards ≈ 45
+    // records per shard: a threshold of 8 checkpoints busy shards
+    // several times.
+    persistence.checkpoint_every = 8;
+    let cluster = Cluster::start(&cfg, FaultPlan::default()).unwrap();
+    let report = run_loadgen(&small_load(1_200), cluster.node_infos()).unwrap();
+    let summary = cluster.shutdown().unwrap();
+
+    assert_eq!(report.lost_acked_writes, 0, "lost acked writes:\n{}", report.render());
+    let storage = summary.storage.expect("durable cluster reports storage counters");
+    assert!(
+        storage.checkpoints_written >= 1,
+        "the workload must cross the checkpoint threshold:\n{}",
+        summary.render()
+    );
+
+    // On disk, every checkpoint pruned what it covers: in any shard
+    // directory holding a ckpt-N snapshot, no seg-M with M < N and no
+    // older checkpoint survives.
+    let mut shards_with_ckpt = 0;
+    for node in std::fs::read_dir(&dir).unwrap() {
+        let node = node.unwrap().path();
+        for shard in std::fs::read_dir(&node).unwrap() {
+            let shard = shard.unwrap().path();
+            let names: Vec<String> = std::fs::read_dir(&shard)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            let id = |n: &str, pre: &str, suf: &str| -> Option<u64> {
+                n.strip_prefix(pre)?.strip_suffix(suf)?.parse().ok()
+            };
+            let ckpts: Vec<u64> = names.iter().filter_map(|n| id(n, "ckpt-", ".snap")).collect();
+            let Some(&cover) = ckpts.iter().max() else { continue };
+            shards_with_ckpt += 1;
+            assert_eq!(ckpts.len(), 1, "older checkpoints pruned: {names:?}");
+            for seg in names.iter().filter_map(|n| id(n, "seg-", ".wal")) {
+                assert!(seg >= cover, "segment {seg} predates checkpoint {cover}: {names:?}");
+            }
+        }
+    }
+    assert!(shards_with_ckpt > 0, "at least one shard checkpointed on disk");
+
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// The restart verb on an in-memory cluster: the node comes back

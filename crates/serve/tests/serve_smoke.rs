@@ -1,14 +1,16 @@
 //! End-to-end smoke tests: a real loopback cluster served by the
 //! online RFH control loop, driven by the load generator, with and
 //! without chaos. The headline assertion everywhere: **zero lost
-//! acknowledged writes**.
+//! acknowledged writes** — proven on both data planes, since the
+//! threaded plane is the differential baseline for the reactor.
 
 use rfh_faults::FaultPlan;
 use rfh_serve::{
-    run_loadgen, ArrivalMode, Cluster, ClusterConfig, GetOutcome, LoadGenConfig, ServeClient,
+    run_loadgen, ArrivalMode, Cluster, ClusterConfig, DataPlane, GetOutcome, LoadGenConfig,
+    ServeClient,
 };
 
-fn small_cluster() -> ClusterConfig {
+fn small_cluster(plane: DataPlane) -> ClusterConfig {
     ClusterConfig {
         servers_per_rack: 1, // 10 DCs × 2 racks × 1 = 20 nodes
         partitions: 16,
@@ -18,6 +20,7 @@ fn small_cluster() -> ClusterConfig {
         threads: 1,
         telemetry: true,
         persistence: None,
+        data_plane: plane,
     }
 }
 
@@ -33,13 +36,17 @@ fn small_load(ops: u64) -> LoadGenConfig {
         value_bytes: 32,
         seed: 11,
         trace_sample: 0,
+        pipeline: 1,
     }
 }
 
-#[test]
-fn serves_reads_and_writes_without_loss() {
-    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
-    let report = run_loadgen(&small_load(600), cluster.node_infos()).unwrap();
+/// Healthy-cluster workload: every op completes, every acked write is
+/// readable, and the control loop's summary is clean. Run under both
+/// planes so their externally visible outputs stay interchangeable.
+fn no_loss_on(plane: DataPlane, pipeline: u64) {
+    let cluster = Cluster::start(&small_cluster(plane), FaultPlan::default()).unwrap();
+    let cfg = LoadGenConfig { pipeline, ..small_load(600) };
+    let report = run_loadgen(&cfg, cluster.node_infos()).unwrap();
     let summary = cluster.shutdown().unwrap();
 
     assert!(report.completed > 0, "no operations completed:\n{}", report.render());
@@ -57,8 +64,30 @@ fn serves_reads_and_writes_without_loss() {
 }
 
 #[test]
+fn serves_reads_and_writes_without_loss() {
+    no_loss_on(DataPlane::Reactor, 1);
+}
+
+#[test]
+fn threaded_plane_serves_reads_and_writes_without_loss() {
+    no_loss_on(DataPlane::Threaded, 1);
+}
+
+#[test]
+fn pipelined_closed_loop_loses_nothing() {
+    no_loss_on(DataPlane::Reactor, 8);
+}
+
+#[test]
+fn threaded_plane_accepts_pipelined_clients() {
+    // The pipelined client is plane-agnostic: the threaded plane's
+    // per-connection handler serves frames in arrival order too.
+    no_loss_on(DataPlane::Threaded, 4);
+}
+
+#[test]
 fn open_loop_mode_measures_latency() {
-    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
+    let cluster = Cluster::start(&small_cluster(DataPlane::Reactor), FaultPlan::default()).unwrap();
     let cfg = LoadGenConfig {
         mode: ArrivalMode::Open,
         workers: 2,
@@ -74,13 +103,20 @@ fn open_loop_mode_measures_latency() {
     assert!(report.p999_us >= report.p50_us);
 }
 
-#[test]
-fn survives_a_server_kill_without_losing_acked_writes() {
-    // Kill one server two ticks in (≈100 ms with a 50 ms interval),
-    // while the load generator is still writing.
+/// Kill one server two ticks in (≈100 ms with a 50 ms interval), while
+/// the load generator is still writing. Zero acked writes may be lost
+/// on either plane — the reactor's route-epoch validation must be as
+/// safe as the threaded plane's partition lock.
+fn kill_without_loss_on(plane: DataPlane, pipeline: u64) {
     let plan = FaultPlan::from_toml_str("[[at]]\nepoch = 2\nfail_servers = [5]\n").unwrap();
-    let cluster = Cluster::start(&small_cluster(), plan).unwrap();
-    let report = run_loadgen(&small_load(1_200), cluster.node_infos()).unwrap();
+    let cluster = Cluster::start(&small_cluster(plane), plan).unwrap();
+    // Deeper pipelines drain the op budget much faster; scale it so the
+    // workload still overlaps the kill at tick 2 (≈100 ms in).
+    let cfg = LoadGenConfig { pipeline, ..small_load(1_200 * pipeline.max(1)) };
+    let report = run_loadgen(&cfg, cluster.node_infos()).unwrap();
+    // However fast the run went, let the kill epoch itself tick before
+    // reading the summary.
+    std::thread::sleep(std::time::Duration::from_millis(200));
     let summary = cluster.shutdown().unwrap();
 
     assert!(report.completed > 0, "no operations completed:\n{}", report.render());
@@ -91,10 +127,25 @@ fn survives_a_server_kill_without_losing_acked_writes() {
 }
 
 #[test]
+fn survives_a_server_kill_without_losing_acked_writes() {
+    kill_without_loss_on(DataPlane::Reactor, 1);
+}
+
+#[test]
+fn threaded_plane_survives_a_server_kill() {
+    kill_without_loss_on(DataPlane::Threaded, 1);
+}
+
+#[test]
+fn pipelined_load_survives_a_server_kill() {
+    kill_without_loss_on(DataPlane::Reactor, 8);
+}
+
+#[test]
 fn data_survives_across_direct_client_use() {
     // Drive the client API directly (not through the load generator):
     // write through one datacenter, read through another.
-    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
+    let cluster = Cluster::start(&small_cluster(DataPlane::Reactor), FaultPlan::default()).unwrap();
     let nodes = cluster.node_infos().to_vec();
     let mut writer = ServeClient::new(&nodes, 0, 0).unwrap();
     let mut reader = ServeClient::new(&nodes, 7, 0).unwrap();
@@ -115,9 +166,28 @@ fn data_survives_across_direct_client_use() {
     assert!(summary.forwards > 0, "cross-datacenter reads must forward");
 }
 
+/// Depth-1 wire compatibility: the plain blocking client (the legacy
+/// protocol, one frame outstanding) works unchanged against the
+/// reactor plane, and cross-plane data round-trips byte-identically.
+#[test]
+fn legacy_client_is_wire_compatible_with_the_reactor_plane() {
+    let cluster = Cluster::start(&small_cluster(DataPlane::Reactor), FaultPlan::default()).unwrap();
+    let nodes = cluster.node_infos().to_vec();
+    let mut c = ServeClient::new(&nodes, 3, 0).unwrap();
+    c.put(99, 5, b"depth-one").unwrap();
+    match c.get(99).unwrap() {
+        GetOutcome::Found { seq, value } => {
+            assert_eq!(seq, 5);
+            assert_eq!(value, b"depth-one");
+        }
+        GetOutcome::NotFound => panic!("acked write not readable"),
+    }
+    cluster.shutdown().unwrap();
+}
+
 #[test]
 fn addr_file_roundtrips_through_client_parser() {
-    let cluster = Cluster::start(&small_cluster(), FaultPlan::default()).unwrap();
+    let cluster = Cluster::start(&small_cluster(DataPlane::Reactor), FaultPlan::default()).unwrap();
     let text = cluster.render_addr_file();
     let parsed = ServeClient::parse_addr_file(&text).unwrap();
     assert_eq!(parsed, cluster.node_infos());

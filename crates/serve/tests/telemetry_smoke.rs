@@ -4,11 +4,15 @@
 
 use rfh_faults::FaultPlan;
 use rfh_serve::{
-    http, render_dashboard, run_loadgen_with, ArrivalMode, Cluster, ClusterConfig, LoadGenConfig,
-    TelemetryRing,
+    http, render_dashboard, run_loadgen_with, ArrivalMode, Cluster, ClusterConfig, DataPlane,
+    LoadGenConfig, TelemetryRing,
 };
 
 fn small_cluster(telemetry: bool) -> ClusterConfig {
+    plane_cluster(telemetry, DataPlane::Reactor)
+}
+
+fn plane_cluster(telemetry: bool, plane: DataPlane) -> ClusterConfig {
     ClusterConfig {
         servers_per_rack: 1, // 10 DCs × 2 racks × 1 = 20 nodes
         partitions: 16,
@@ -18,6 +22,7 @@ fn small_cluster(telemetry: bool) -> ClusterConfig {
         threads: 1,
         telemetry,
         persistence: None,
+        data_plane: plane,
     }
 }
 
@@ -33,6 +38,7 @@ fn small_load(ops: u64, trace_sample: u64) -> LoadGenConfig {
         value_bytes: 32,
         seed: 11,
         trace_sample,
+        pipeline: 1,
     }
 }
 
@@ -125,14 +131,18 @@ fn metrics_endpoints_serve_required_series_and_stay_monotone() {
     cluster.shutdown().unwrap();
 }
 
-#[test]
-fn traced_puts_yield_complete_span_chains() {
-    let cluster = Cluster::start(&small_cluster(true), FaultPlan::default()).unwrap();
+/// Trace every op and demand at least one complete
+/// client → coordinate → forward span chain. Parameterized over the
+/// data plane (and pipeline depth) because the reactor records the
+/// same spans from event-loop callbacks that the threaded plane
+/// records inline — the chains must look identical.
+fn span_chains_on(plane: DataPlane, pipeline: u64) {
+    let cluster = Cluster::start(&plane_cluster(true, plane), FaultPlan::default()).unwrap();
     let spans = cluster.span_log();
     // Trace every op: with r_min-replicated partitions on a 20-node
     // cluster, coordinated puts always forward to peer replicas.
-    let report =
-        run_loadgen_with(&small_load(200, 1), cluster.node_infos(), Some(spans.clone())).unwrap();
+    let cfg = LoadGenConfig { pipeline, ..small_load(200, 1) };
+    let report = run_loadgen_with(&cfg, cluster.node_infos(), Some(spans.clone())).unwrap();
     assert_eq!(report.failed, 0, "healthy cluster:\n{}", report.render());
     let events = spans.events();
     cluster.shutdown().unwrap();
@@ -163,6 +173,21 @@ fn traced_puts_yield_complete_span_chains() {
     for key in ["\"op_id\":", "\"role\":", "\"node\":", "\"kind\":", "\"status\":"] {
         assert!(line.contains(key), "span JSONL line missing {key}: {line}");
     }
+}
+
+#[test]
+fn traced_puts_yield_complete_span_chains() {
+    span_chains_on(DataPlane::Reactor, 1);
+}
+
+#[test]
+fn threaded_plane_yields_identical_span_chains() {
+    span_chains_on(DataPlane::Threaded, 1);
+}
+
+#[test]
+fn pipelined_traced_ops_keep_their_span_chains() {
+    span_chains_on(DataPlane::Reactor, 8);
 }
 
 #[test]

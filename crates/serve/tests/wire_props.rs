@@ -1,7 +1,10 @@
 //! Property tests for the wire protocol: encode→decode identity for
-//! every frame type, plus rejection of truncated and oversized frames.
+//! every frame type, rejection of truncated and oversized frames, and
+//! the reactor's pipelined reassembly — a burst of traced frames split
+//! at arbitrary byte boundaries must come back frame-for-frame intact.
 
 use proptest::prelude::*;
+use rfh_reactor::FrameReader;
 use rfh_serve::wire::{AckStatus, Conn, Frame, MAX_FRAME};
 use std::io::{self, Read, Write};
 
@@ -125,6 +128,36 @@ proptest! {
             prop_assert_eq!(got_id, *op_id);
         }
         prop_assert!(conn.recv_envelope().expect("clean EOF").is_none());
+    }
+
+    #[test]
+    fn pipelined_frames_reassemble_across_arbitrary_splits(
+        frames in proptest::collection::vec(
+            (any_frame(), (any::<bool>(), any::<u64>()).prop_map(|(t, id)| t.then_some(id))),
+            1..12,
+        ),
+        splits in proptest::collection::vec(1usize..64, 0..40),
+    ) {
+        // N outstanding frames on one pipelined connection, delivered
+        // in fragments cut without regard for frame boundaries — the
+        // reactor's FrameReader must reassemble the identical sequence.
+        let wire: Vec<u8> =
+            frames.iter().flat_map(|(f, id)| f.encode_traced(*id)).collect();
+        let mut reader = FrameReader::new(MAX_FRAME);
+        let mut got = Vec::new();
+        let mut fed = 0;
+        let mut cuts = splits.iter();
+        while fed < wire.len() {
+            let n = cuts.next().copied().unwrap_or(usize::MAX).min(wire.len() - fed);
+            reader.feed(&wire[fed..fed + n]);
+            fed += n;
+            while let Some(body) = reader.next_body().expect("valid stream") {
+                got.push(Frame::decode_envelope(&body).expect("whole body decodes"));
+            }
+        }
+        prop_assert_eq!(reader.pending_bytes(), 0, "no bytes may linger past the last frame");
+        let want: Vec<(Frame, Option<u64>)> = frames;
+        prop_assert_eq!(got, want);
     }
 
     #[test]
