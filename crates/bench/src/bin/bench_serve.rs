@@ -65,6 +65,7 @@ fn cluster_config(
         telemetry,
         persistence,
         data_plane: plane,
+        ..ClusterConfig::default()
     }
 }
 

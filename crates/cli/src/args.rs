@@ -7,7 +7,7 @@
 
 use rfh_core::PolicyKind;
 use rfh_faults::FaultPlan;
-use rfh_sim::EngineMode;
+use rfh_sim::{EngineMode, PlannerConfig};
 use rfh_types::{FlashCrowdConfig, Result, RfhError};
 use rfh_workload::Scenario;
 use std::collections::BTreeMap;
@@ -17,8 +17,11 @@ pub type Options = BTreeMap<String, String>;
 
 /// Options recognised anywhere (commands ignore what they don't use but
 /// typos should not pass silently).
-const KNOWN: [&str; 30] = [
+const KNOWN: [&str; 33] = [
     "persist-dir",
+    "placement",
+    "planner",
+    "link-budget",
     "data-plane",
     "pipeline",
     "policy",
@@ -91,16 +94,77 @@ pub fn flag(opts: &Options, key: &str) -> bool {
     opts.get(key).map(String::as_str) == Some("true")
 }
 
-/// `--policy` (default RFH).
+/// `--policy` (default RFH), adjusted by `--placement`: RFH with
+/// `--placement domain-spread` is the failure-domain-aware variant
+/// ([`PolicyKind::DomainSpread`], also reachable as `--policy spread`).
 pub fn policy(opts: &Options) -> Result<PolicyKind> {
-    match opts.get("policy").map(String::as_str) {
-        None | Some("rfh") => Ok(PolicyKind::Rfh),
-        Some("random") => Ok(PolicyKind::Random),
-        Some("owner") => Ok(PolicyKind::OwnerOriented),
-        Some("request") => Ok(PolicyKind::RequestOriented),
+    let kind = match opts.get("policy").map(String::as_str) {
+        None | Some("rfh") => PolicyKind::Rfh,
+        Some("spread") => PolicyKind::DomainSpread,
+        Some("random") => PolicyKind::Random,
+        Some("owner") => PolicyKind::OwnerOriented,
+        Some("request") => PolicyKind::RequestOriented,
+        Some(other) => {
+            return Err(RfhError::InvalidConfig {
+                parameter: "policy",
+                reason: format!("{other:?} is not one of rfh|spread|random|owner|request"),
+            })
+        }
+    };
+    match opts.get("placement").map(String::as_str) {
+        None | Some("traffic") => Ok(kind),
+        Some("domain-spread") => match kind {
+            PolicyKind::Rfh | PolicyKind::DomainSpread => Ok(PolicyKind::DomainSpread),
+            other => Err(RfhError::InvalidConfig {
+                parameter: "placement",
+                reason: format!("--placement domain-spread applies to the RFH policy, not {other}"),
+            }),
+        },
         Some(other) => Err(RfhError::InvalidConfig {
-            parameter: "policy",
-            reason: format!("{other:?} is not one of rfh|random|owner|request"),
+            parameter: "placement",
+            reason: format!("{other:?} is not one of traffic|domain-spread"),
+        }),
+    }
+}
+
+/// `--planner off|on` plus `--link-budget BYTES`: the per-epoch
+/// transfer planner. Off (the default) keeps the greedy execution
+/// path; `--planner on` without a budget plans against unlimited links
+/// (the differential-test arm); `--link-budget` caps each WAN link's
+/// bytes per epoch and implies `--planner on`.
+pub fn planner(opts: &Options) -> Result<PlannerConfig> {
+    let budget = match opts.get("link-budget") {
+        None => None,
+        Some(v) => {
+            let n: u64 = v.parse().map_err(|_| RfhError::InvalidConfig {
+                parameter: "link-budget",
+                reason: format!("{v:?} is not a byte count"),
+            })?;
+            if n == 0 {
+                return Err(RfhError::InvalidConfig {
+                    parameter: "link-budget",
+                    reason: "--link-budget must be at least 1 byte".into(),
+                });
+            }
+            Some(n)
+        }
+    };
+    match opts.get("planner").map(String::as_str) {
+        None => Ok(match budget {
+            Some(b) => PlannerConfig::budgeted(b),
+            None => PlannerConfig::default(),
+        }),
+        Some("on") => Ok(PlannerConfig { enabled: true, link_budget_bytes: budget }),
+        Some("off") => match budget {
+            Some(_) => Err(RfhError::InvalidConfig {
+                parameter: "planner",
+                reason: "--link-budget is meaningless with --planner off".into(),
+            }),
+            None => Ok(PlannerConfig::default()),
+        },
+        Some(other) => Err(RfhError::InvalidConfig {
+            parameter: "planner",
+            reason: format!("{other:?} is not one of on|off"),
         }),
     }
 }
@@ -335,6 +399,7 @@ mod tests {
     fn policy_and_scenario_names() {
         for (name, expect) in [
             ("rfh", PolicyKind::Rfh),
+            ("spread", PolicyKind::DomainSpread),
             ("random", PolicyKind::Random),
             ("owner", PolicyKind::OwnerOriented),
             ("request", PolicyKind::RequestOriented),
@@ -351,5 +416,43 @@ mod tests {
         assert!(scenario(&o).is_err());
         let (_, o) = parse(&argv("run")).unwrap();
         assert!(matches!(scenario(&o).unwrap(), Scenario::RandomEven));
+    }
+
+    #[test]
+    fn placement_selects_the_spread_variant() {
+        let (_, o) = parse(&argv("run --placement domain-spread")).unwrap();
+        assert_eq!(policy(&o).unwrap(), PolicyKind::DomainSpread);
+        let (_, o) = parse(&argv("run --policy rfh --placement domain-spread")).unwrap();
+        assert_eq!(policy(&o).unwrap(), PolicyKind::DomainSpread);
+        let (_, o) = parse(&argv("run --policy spread --placement domain-spread")).unwrap();
+        assert_eq!(policy(&o).unwrap(), PolicyKind::DomainSpread);
+        let (_, o) = parse(&argv("run --policy rfh --placement traffic")).unwrap();
+        assert_eq!(policy(&o).unwrap(), PolicyKind::Rfh);
+        let (_, o) = parse(&argv("run --policy random --placement domain-spread")).unwrap();
+        assert!(policy(&o).is_err(), "spread placement is an RFH variant");
+        let (_, o) = parse(&argv("run --placement diagonal")).unwrap();
+        assert!(policy(&o).is_err(), "unknown placement rejected");
+    }
+
+    #[test]
+    fn planner_options_compose() {
+        let (_, o) = parse(&argv("run")).unwrap();
+        assert_eq!(planner(&o).unwrap(), PlannerConfig::default(), "planner defaults off");
+        let (_, o) = parse(&argv("run --planner on")).unwrap();
+        assert_eq!(planner(&o).unwrap(), PlannerConfig::unlimited());
+        let (_, o) = parse(&argv("run --planner on --link-budget 1048576")).unwrap();
+        assert_eq!(planner(&o).unwrap(), PlannerConfig::budgeted(1 << 20));
+        let (_, o) = parse(&argv("run --link-budget 1048576")).unwrap();
+        assert_eq!(planner(&o).unwrap(), PlannerConfig::budgeted(1 << 20), "budget implies on");
+        let (_, o) = parse(&argv("run --planner off")).unwrap();
+        assert_eq!(planner(&o).unwrap(), PlannerConfig::default());
+        let (_, o) = parse(&argv("run --planner off --link-budget 5")).unwrap();
+        assert!(planner(&o).is_err(), "budget with planner off is a contradiction");
+        let (_, o) = parse(&argv("run --planner maybe")).unwrap();
+        assert!(planner(&o).is_err());
+        let (_, o) = parse(&argv("run --link-budget 0")).unwrap();
+        assert!(planner(&o).is_err(), "zero budget rejected");
+        let (_, o) = parse(&argv("run --link-budget lots")).unwrap();
+        assert!(planner(&o).is_err(), "non-numeric budget rejected");
     }
 }

@@ -122,8 +122,12 @@ pub fn run_one(opts: &Options) -> Result<String> {
         p.seed
     );
     let profiled = args::flag(opts, "profile");
+    let planner_cfg = args::planner(opts)?;
     let recorder = opts.get("trace").map(|_| Arc::new(TraceRecorder::new()));
-    let mut sim = Simulation::new(p)?.with_profiling(profiled).with_engine(args::engine(opts)?);
+    let mut sim = Simulation::new(p)?
+        .with_profiling(profiled)
+        .with_engine(args::engine(opts)?)
+        .with_planner(planner_cfg);
     if let Some(rec) = &recorder {
         sim = sim.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
     }
@@ -141,10 +145,41 @@ pub fn run_one(opts: &Options) -> Result<String> {
         Some(Metric::Counter(v)) => *v,
         _ => 0,
     };
+    let gauge = |name: &str| match registry.get(name) {
+        Some(Metric::Gauge(v)) => *v,
+        _ => 0.0,
+    };
     out.push_str("robustness:\n");
     let _ = writeln!(out, "  repairs_total            {:>12}", counter("sim.repairs.completed"));
     let _ = writeln!(out, "  dead_letters_total       {:>12}", counter("sim.repairs.dead_letters"));
     let _ = writeln!(out, "  invariant_violations     {:>12}", counter("sim.invariant_violations"));
+    let _ =
+        writeln!(out, "  spread_score             {:>12.3}", gauge("sim.placement.spread_score"));
+    if planner_cfg.enabled {
+        out.push_str("planner:\n");
+        let _ = writeln!(out, "  moves_admitted           {:>12}", counter("sim.planner.admitted"));
+        let _ = writeln!(out, "  moves_deferred           {:>12}", counter("sim.planner.deferred"));
+        let _ =
+            writeln!(out, "  credit_bytes             {:>12.0}", gauge("sim.planner.credit_bytes"));
+    }
+    if registry.get("sim.availability.unavailable_partition_epochs").is_some() {
+        out.push_str("availability (under faults):\n");
+        let _ = writeln!(
+            out,
+            "  unavailable_partition_epochs {:>8}",
+            counter("sim.availability.unavailable_partition_epochs")
+        );
+        let _ = writeln!(
+            out,
+            "  sub_rmin_partition_epochs    {:>8}",
+            counter("sim.availability.sub_rmin_partition_epochs")
+        );
+        let _ = writeln!(
+            out,
+            "  sub_rmin_peak                {:>8.0}",
+            gauge("sim.availability.sub_rmin_peak")
+        );
+    }
     if let Some(profile) = &result.profile {
         out.push_str("\nper-phase epoch budget:\n");
         out.push_str(&profile.render());

@@ -12,6 +12,8 @@
 //!         [--threads N]                        parallel epoch engine (bit-identical)
 //!         [--partitions N] [--skew S]          scale knobs (1M-partition runs)
 //!         [--engine dense|sparse]              epoch engine (bit-identical)
+//!         [--placement domain-spread]          failure-domain-aware placement
+//!         [--planner on] [--link-budget BYTES] bandwidth-budgeted transfer planner
 //!         [--trace OUT.jsonl] [--profile]      decision trace + phase timing
 //!         [--faults PLAN.toml] [--fault-seed N] chaos schedule (see DESIGN.md)
 //! rfh compare [--scenario random] [--epochs N] four-way comparison table
@@ -87,7 +89,7 @@ COMMANDS:
     help          show this text
 
 COMMON OPTIONS:
-    --policy    rfh | random | owner | request        (default rfh)
+    --policy    rfh | spread | random | owner | request  (default rfh)
     --scenario  random | flash | popularity           (default random)
     --epochs N                                        (default 250)
     --seed N                                          (default 42)
@@ -109,6 +111,15 @@ COMMON OPTIONS:
                       partitions, gray failures, background churn (run, compare)
     --fault-seed N    override the plan file's chaos seed (replay the same
                       schedule under different churn)
+    --placement P     traffic (the paper's ordering, default) | domain-spread
+                      (RFH targets ranked by rack/room/DC spread); `--policy
+                      spread` is shorthand for rfh + domain-spread (run)
+    --planner on|off  route moves through the per-epoch transfer planner; with
+                      no --link-budget the budget is infinite and results are
+                      byte-identical to the greedy executor (run)
+    --link-budget B   per-WAN-link byte budget per epoch (implies --planner on);
+                      moves over budget defer to the next epoch with carried
+                      credit, under-replicated partitions admitted first (run)
 
 SERVING OPTIONS:
     --config FILE         cluster TOML (serve) / loadgen TOML (loadgen)

@@ -42,4 +42,4 @@ pub use owner::OwnerOrientedPolicy;
 pub use policy::{Action, EpochContext, PolicyKind, ReplicationPolicy};
 pub use random::RandomPolicy;
 pub use request::RequestOrientedPolicy;
-pub use rfh::{best_candidate_in_dc, RfhDecisionCore, RfhPolicy, TrafficView};
+pub use rfh::{best_candidate_in_dc, PlacementMode, RfhDecisionCore, RfhPolicy, TrafficView};

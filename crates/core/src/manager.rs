@@ -151,6 +151,14 @@ impl ReplicaManager {
         self.migr_bw_factor = clamp(migration);
     }
 
+    /// The current `(replication, migration)` bandwidth-cut factors set
+    /// by [`set_bandwidth_factors`](Self::set_bandwidth_factors) —
+    /// `(1.0, 1.0)` on a healthy backbone. The transfer planner derives
+    /// its per-link budgets from these.
+    pub fn bandwidth_factors(&self) -> (f64, f64) {
+        (self.repl_bw_factor, self.migr_bw_factor)
+    }
+
     /// Effective per-epoch replication budget under any bandwidth cut.
     fn effective_repl_bw(&self) -> u64 {
         (self.repl_bw as f64 * self.repl_bw_factor) as u64

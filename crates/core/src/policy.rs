@@ -120,8 +120,9 @@ pub trait ReplicationPolicy {
     }
 }
 
-/// The four algorithms of the paper's evaluation, as a value — handy for
-/// CLI flags and experiment configs.
+/// The four algorithms of the paper's evaluation — plus the
+/// failure-domain-aware RFH variant added on top — as a value, handy
+/// for CLI flags and experiment configs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// The RFH algorithm (traffic-oriented).
@@ -132,15 +133,33 @@ pub enum PolicyKind {
     OwnerOriented,
     /// The request-oriented baseline.
     RequestOriented,
+    /// RFH with failure-domain-aware placement: candidate targets are
+    /// scored by rack/room/datacenter spread before traffic, so
+    /// replica sets survive correlated outages. Not a paper policy —
+    /// [`PolicyKind::ALL`] (the figure sweeps) excludes it.
+    DomainSpread,
 }
 
 impl PolicyKind {
-    /// All four, in the paper's presentation order.
+    /// The paper's four, in its presentation order. Figure sweeps and
+    /// the comparison runner iterate exactly these; the domain-spread
+    /// variant joins via [`PolicyKind::WITH_SPREAD`] where the wider
+    /// matrix is wanted.
     pub const ALL: [PolicyKind; 4] = [
         PolicyKind::RequestOriented,
         PolicyKind::OwnerOriented,
         PolicyKind::Random,
         PolicyKind::Rfh,
+    ];
+
+    /// [`PolicyKind::ALL`] plus the domain-spread variant — the full
+    /// differential-test and chaos-experiment matrix.
+    pub const WITH_SPREAD: [PolicyKind; 5] = [
+        PolicyKind::RequestOriented,
+        PolicyKind::OwnerOriented,
+        PolicyKind::Random,
+        PolicyKind::Rfh,
+        PolicyKind::DomainSpread,
     ];
 
     /// Display name matching the paper's figure legends.
@@ -150,6 +169,7 @@ impl PolicyKind {
             PolicyKind::Random => "Random",
             PolicyKind::OwnerOriented => "Owner",
             PolicyKind::RequestOriented => "Request",
+            PolicyKind::DomainSpread => "Spread",
         }
     }
 }
@@ -170,6 +190,10 @@ mod tests {
         let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names, vec!["Request", "Owner", "Random", "RFH"]);
         assert_eq!(PolicyKind::Rfh.to_string(), "RFH");
+        // The spread variant extends — never replaces — the paper set.
+        assert_eq!(PolicyKind::WITH_SPREAD[..4], PolicyKind::ALL);
+        assert_eq!(PolicyKind::DomainSpread.name(), "Spread");
+        assert!(!PolicyKind::ALL.contains(&PolicyKind::DomainSpread));
     }
 
     #[test]

@@ -40,7 +40,7 @@
 
 use crate::manager::ReplicaManager;
 use crate::policy::{Action, EpochContext, ReplicationPolicy};
-use crate::selection::{accepting_servers_in_dc, least_blocked_in_dc};
+use crate::selection::{accepting_servers_in_dc, least_blocked_in_dc, most_spread_in_dc};
 use crate::thresholds::{
     holder_overloaded, is_traffic_hub, migration_beneficial, suicide_candidate,
 };
@@ -101,6 +101,16 @@ pub trait TrafficView {
     /// distributed view for a datacenter that sent no report).
     fn blocking_of(&self, _s: ServerId) -> f64 {
         f64::NAN
+    }
+
+    /// Failure-domain pressure of placing another copy of `p` in `dc`:
+    /// how many replicas the partition already keeps there. The
+    /// domain-spread placement variant orders candidate datacenters by
+    /// this *before* traffic, so correlated-outage blast radius shrinks;
+    /// the default (always 0) leaves the paper's traffic-only ordering
+    /// untouched bit-for-bit.
+    fn spread_penalty(&self, _p: PartitionId, _dc: DatacenterId) -> u32 {
+        0
     }
 
     /// `t̄r_i` of eq. (17): mean arrival traffic over all datacenters.
@@ -190,8 +200,11 @@ impl RfhDecisionCore {
     }
 
     /// Availability-floor placement: the datacenter carrying the most
-    /// (arrival) traffic for `p` that can take a copy. Without any
-    /// traffic information the holder falls back to a neighbour probe
+    /// (arrival) traffic for `p` that can take a copy — ordered first by
+    /// [`TrafficView::spread_penalty`] (a constant 0 outside the
+    /// domain-spread variant, so the paper's traffic ordering is
+    /// untouched by default). Without any traffic information the holder
+    /// falls back to a neighbour probe
     /// ([`TrafficView::bootstrap_candidate`]) so even a never-queried
     /// partition gets a geographically diverse second copy.
     fn most_forwarding_target(
@@ -199,18 +212,18 @@ impl RfhDecisionCore {
         p: PartitionId,
         holder_dc: DatacenterId,
     ) -> Option<ServerId> {
-        let mut dcs: Vec<(DatacenterId, f64)> = (0..view.datacenters())
+        let mut dcs: Vec<(DatacenterId, u32, f64)> = (0..view.datacenters())
             .map(DatacenterId::new)
-            .map(|dc| (dc, view.traffic(dc, p)))
-            .filter(|&(_, tr)| tr > 0.0)
+            .map(|dc| (dc, view.spread_penalty(p, dc), view.traffic(dc, p)))
+            .filter(|&(_, _, tr)| tr > 0.0)
             .collect();
         dcs.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.1.cmp(&b.1)
+                .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
                 .then_with(|| a.0 .0.cmp(&b.0 .0))
         });
         dcs.into_iter()
-            .find_map(|(dc, _)| view.candidate(p, dc))
+            .find_map(|(dc, _, _)| view.candidate(p, dc))
             .or_else(|| view.bootstrap_candidate(p, holder_dc))
     }
 
@@ -809,12 +822,32 @@ pub fn best_candidate_in_dc(
     }
 }
 
+/// How the RFH agent picks the concrete server once the decision tree
+/// settles on (or ranks) datacenters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementMode {
+    /// The paper's rule: candidate datacenters ordered by traffic, the
+    /// least-blocked accepting server within (eq. 18).
+    #[default]
+    Traffic,
+    /// Failure-domain-aware placement: candidate datacenters are
+    /// ordered by replica spread before traffic
+    /// ([`TrafficView::spread_penalty`]), and within a datacenter the
+    /// server is chosen to occupy a fresh room, then a fresh rack,
+    /// before blocking probability breaks ties — so a correlated
+    /// rack/room/datacenter outage kills as few copies as possible.
+    /// Hub *selection* (eq. 13) stays traffic-driven: spread shapes
+    /// where copies land, not which demand they chase.
+    DomainSpread,
+}
+
 /// The omniscient [`TrafficView`]: reads the simulator's smoothed grids
 /// directly.
 struct CentralizedView<'a> {
     ctx: &'a EpochContext<'a>,
     manager: &'a ReplicaManager,
     use_blocking: bool,
+    placement: PlacementMode,
 }
 
 impl TrafficView for CentralizedView<'_> {
@@ -834,27 +867,70 @@ impl TrafficView for CentralizedView<'_> {
         self.ctx.accounts.unserved[p.index()]
     }
     fn candidate(&self, p: PartitionId, dc: DatacenterId) -> Option<ServerId> {
-        best_candidate_in_dc(
-            self.ctx.topo,
-            self.manager,
-            self.ctx.blocking,
-            self.use_blocking,
-            p,
-            dc,
-        )
+        match self.placement {
+            PlacementMode::Traffic => best_candidate_in_dc(
+                self.ctx.topo,
+                self.manager,
+                self.ctx.blocking,
+                self.use_blocking,
+                p,
+                dc,
+            ),
+            PlacementMode::DomainSpread => {
+                most_spread_in_dc(self.ctx.topo, self.manager, p, dc, self.ctx.blocking)
+            }
+        }
     }
     fn bootstrap_candidate(&self, p: PartitionId, holder_dc: DatacenterId) -> Option<ServerId> {
-        bootstrap_candidate_near(
-            self.ctx.topo,
-            self.manager,
-            self.ctx.blocking,
-            self.use_blocking,
-            p,
-            holder_dc,
-        )
+        match self.placement {
+            PlacementMode::Traffic => bootstrap_candidate_near(
+                self.ctx.topo,
+                self.manager,
+                self.ctx.blocking,
+                self.use_blocking,
+                p,
+                holder_dc,
+            ),
+            PlacementMode::DomainSpread => {
+                // Same neighbour-probe order as the stock bootstrap;
+                // only the in-datacenter server choice is spread-aware.
+                let mut neighbours: Vec<(DatacenterId, f64)> =
+                    self.ctx.topo.graph().neighbours(holder_dc).collect();
+                neighbours.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0 .0.cmp(&b.0 .0))
+                });
+                neighbours
+                    .into_iter()
+                    .find_map(|(dc, _)| {
+                        most_spread_in_dc(self.ctx.topo, self.manager, p, dc, self.ctx.blocking)
+                    })
+                    .or_else(|| {
+                        most_spread_in_dc(
+                            self.ctx.topo,
+                            self.manager,
+                            p,
+                            holder_dc,
+                            self.ctx.blocking,
+                        )
+                    })
+            }
+        }
     }
     fn blocking_of(&self, s: ServerId) -> f64 {
         self.ctx.blocking.get(s.index()).copied().unwrap_or(f64::NAN)
+    }
+    fn spread_penalty(&self, p: PartitionId, dc: DatacenterId) -> u32 {
+        match self.placement {
+            PlacementMode::Traffic => 0,
+            PlacementMode::DomainSpread => self
+                .manager
+                .replicas(p)
+                .iter()
+                .filter(|&&s| self.ctx.topo.servers()[s.index()].datacenter == dc)
+                .count() as u32,
+        }
     }
 }
 
@@ -869,6 +945,9 @@ pub struct RfhPolicy {
     /// Worker pool for the parallel decision pass; `None` (or a
     /// single-worker pool) keeps the pass on the calling thread.
     pool: Option<Arc<WorkerPool>>,
+    /// Server-selection variant; [`PlacementMode::Traffic`] is the
+    /// paper's RFH.
+    placement: PlacementMode,
 }
 
 impl RfhPolicy {
@@ -880,7 +959,35 @@ impl RfhPolicy {
     /// Override the suicide grace period (0 disables it) — exposed for
     /// the ablation benchmarks.
     pub fn with_grace(grace_epochs: u64) -> Self {
-        RfhPolicy { core: RfhDecisionCore::new(grace_epochs), use_blocking: true, pool: None }
+        RfhPolicy {
+            core: RfhDecisionCore::new(grace_epochs),
+            use_blocking: true,
+            pool: None,
+            placement: PlacementMode::default(),
+        }
+    }
+
+    /// Select the placement variant. [`PlacementMode::DomainSpread`]
+    /// turns this agent into the "Spread" policy: the same Fig. 2
+    /// decision tree, with candidate targets scored by failure-domain
+    /// spread before traffic.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementMode) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Set the placement variant in place.
+    pub fn set_placement(&mut self, placement: PlacementMode) {
+        self.placement = placement;
+    }
+
+    /// The trace/report label for the current placement variant.
+    fn label(&self) -> &'static str {
+        match self.placement {
+            PlacementMode::Traffic => "RFH",
+            PlacementMode::DomainSpread => "Spread",
+        }
     }
 
     /// Fan the per-partition evaluation out over `pool` — decisions are
@@ -906,13 +1013,19 @@ impl RfhPolicy {
 
 impl ReplicationPolicy for RfhPolicy {
     fn name(&self) -> &'static str {
-        "RFH"
+        self.label()
     }
 
     fn decide(&mut self, ctx: &EpochContext<'_>, manager: &ReplicaManager) -> Vec<Action> {
         let r_min =
             min_replica_count(ctx.config.failure_rate, ctx.config.min_availability) as usize;
-        let view = CentralizedView { ctx, manager, use_blocking: self.use_blocking };
+        let label = self.label();
+        let view = CentralizedView {
+            ctx,
+            manager,
+            use_blocking: self.use_blocking,
+            placement: self.placement,
+        };
         match (self.pool.as_deref(), ctx.active) {
             (Some(pool), Some(active)) if pool.size() > 1 => self.core.decide_set_pooled(
                 ctx.epoch,
@@ -923,7 +1036,7 @@ impl ReplicationPolicy for RfhPolicy {
                 ctx.view,
                 &view,
                 ctx.recorder,
-                "RFH",
+                label,
                 active,
                 pool,
             ),
@@ -936,7 +1049,7 @@ impl ReplicationPolicy for RfhPolicy {
                 ctx.view,
                 &view,
                 ctx.recorder,
-                "RFH",
+                label,
                 active,
             ),
             (Some(pool), None) if pool.size() > 1 => self.core.decide_all_pooled(
@@ -948,7 +1061,7 @@ impl ReplicationPolicy for RfhPolicy {
                 ctx.view,
                 &view,
                 ctx.recorder,
-                "RFH",
+                label,
                 pool,
             ),
             (_, None) => self.core.decide_all(
@@ -960,7 +1073,7 @@ impl ReplicationPolicy for RfhPolicy {
                 ctx.view,
                 &view,
                 ctx.recorder,
-                "RFH",
+                label,
             ),
         }
     }

@@ -38,6 +38,48 @@ pub(crate) fn least_blocked_in_dc(
     least_blocked(&candidates, blocking)
 }
 
+/// The accepting server in `dc` that maximizes failure-domain spread
+/// for `p`'s current replica set: prefer a room hosting no replica of
+/// `p`, then a rack hosting none, then the lowest blocking probability,
+/// then the lowest id — so a correlated rack or room outage takes out
+/// as few copies as the datacenter's geometry allows. Deterministic by
+/// the same total-order argument as [`least_blocked`].
+pub(crate) fn most_spread_in_dc(
+    topo: &Topology,
+    manager: &ReplicaManager,
+    p: PartitionId,
+    dc: DatacenterId,
+    blocking: &[f64],
+) -> Option<ServerId> {
+    // Rooms and racks are dense per-datacenter indices, so occupancy
+    // only compares within `dc`; rack keys carry the room to stay
+    // robust to per-room rack numbering.
+    let occupied: Vec<(u32, u32)> = manager
+        .replicas(p)
+        .iter()
+        .map(|&s| &topo.servers()[s.index()])
+        .filter(|s| s.datacenter == dc)
+        .map(|s| (s.room.0, s.rack.0))
+        .collect();
+    accepting_servers_in_dc(topo, manager, p, dc).into_iter().min_by(|&a, &b| {
+        let key = |s: ServerId| {
+            let srv = &topo.servers()[s.index()];
+            let room_taken = occupied.iter().any(|&(room, _)| room == srv.room.0);
+            let rack_taken =
+                occupied.iter().any(|&(room, rack)| room == srv.room.0 && rack == srv.rack.0);
+            (room_taken, rack_taken)
+        };
+        key(a)
+            .cmp(&key(b))
+            .then_with(|| {
+                blocking[a.index()]
+                    .partial_cmp(&blocking[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.cmp(&b))
+    })
+}
+
 /// Every alive server able to accept a replica of `p`, cluster-wide.
 pub(crate) fn accepting_servers_anywhere(
     topo: &Topology,

@@ -507,6 +507,8 @@ impl Cluster {
             faults,
             r_min,
             config.threads as usize,
+            config.placement,
+            config.planner(),
         );
         let interval = std::time::Duration::from_millis(config.control_interval_ms);
         let control = std::thread::Builder::new()

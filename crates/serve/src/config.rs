@@ -3,6 +3,8 @@
 //! use — one config dialect across the workspace).
 
 use crate::wal::{FsyncPolicy, PersistenceConfig};
+use rfh_core::PlacementMode;
+use rfh_sim::PlannerConfig;
 use rfh_types::toml::{self, BlockKind, TomlBlock, TomlDoc};
 use rfh_types::{Result, RfhError, SimConfig};
 
@@ -55,6 +57,17 @@ pub struct ClusterConfig {
     pub persistence: Option<PersistenceConfig>,
     /// Connection-handling substrate for the node listeners.
     pub data_plane: DataPlane,
+    /// Replica-placement ordering for the online RFH policy:
+    /// [`PlacementMode::Traffic`] (the paper's, default) or
+    /// [`PlacementMode::DomainSpread`] (targets ranked by rack/room/DC
+    /// spread before traffic).
+    pub placement: PlacementMode,
+    /// Per-WAN-link byte budget per control tick. `None` — the default —
+    /// executes transfers greedily, exactly as before the planner
+    /// existed; `Some(b)` routes every transfer through the
+    /// [`rfh_sim::TransferPlanner`], deferring over-budget moves to the
+    /// repair lane with carried credit.
+    pub link_budget_bytes: Option<u64>,
 }
 
 impl Default for ClusterConfig {
@@ -69,6 +82,8 @@ impl Default for ClusterConfig {
             telemetry: true,
             persistence: None,
             data_plane: DataPlane::Reactor,
+            placement: PlacementMode::Traffic,
+            link_budget_bytes: None,
         }
     }
 }
@@ -87,6 +102,15 @@ impl ClusterConfig {
     /// Total node count of the scaled paper topology.
     pub fn nodes(&self) -> u32 {
         10 * 2 * self.servers_per_rack
+    }
+
+    /// The transfer-planner configuration this cluster config implies:
+    /// disabled unless a link budget is set.
+    pub fn planner(&self) -> PlannerConfig {
+        match self.link_budget_bytes {
+            Some(b) => PlannerConfig::budgeted(b),
+            None => PlannerConfig::default(),
+        }
     }
 
     /// Domain checks beyond parsing.
@@ -123,6 +147,8 @@ impl ClusterConfig {
     /// threads = 1
     /// telemetry = true
     /// data_plane = "reactor"   # or "threaded"
+    /// placement = "traffic"    # or "domain-spread"
+    /// link_budget_bytes = 1048576   # per-WAN-link per-tick; absent = greedy
     ///
     /// [persistence]
     /// dir = "/var/tmp/rfh-data"
@@ -206,6 +232,24 @@ impl ClusterConfig {
                         Some("reactor") => DataPlane::Reactor,
                         _ => return Err(e("data_plane wants \"threaded\" or \"reactor\"".into())),
                     }
+                }
+                "placement" => {
+                    cfg.placement = match val.as_str() {
+                        Some("traffic") => PlacementMode::Traffic,
+                        Some("domain-spread") => PlacementMode::DomainSpread,
+                        _ => {
+                            return Err(
+                                e("placement wants \"traffic\" or \"domain-spread\"".into()),
+                            )
+                        }
+                    }
+                }
+                "link_budget_bytes" => {
+                    cfg.link_budget_bytes = Some(
+                        val.as_u64()
+                            .filter(|&x| x >= 1)
+                            .ok_or_else(|| e("link_budget_bytes wants an int ≥ 1".into()))?,
+                    )
                 }
                 key => return Err(e(format!("unknown serve key {key:?}"))),
             }
@@ -540,6 +584,28 @@ mod tests {
             "open-loop pacing is depth-1 by construction"
         );
         assert!(LoadGenConfig::from_toml_str("mode = \"open\"\npipeline = 1\n").is_ok());
+    }
+
+    #[test]
+    fn placement_and_link_budget_keys_parse() {
+        let d = ClusterConfig::default();
+        assert_eq!(d.placement, PlacementMode::Traffic);
+        assert_eq!(d.link_budget_bytes, None);
+        assert!(!d.planner().enabled, "no budget = greedy execution");
+
+        let c = ClusterConfig::from_toml_str("placement = \"domain-spread\"\n").unwrap();
+        assert_eq!(c.placement, PlacementMode::DomainSpread);
+        let c = ClusterConfig::from_toml_str("placement = \"traffic\"\n").unwrap();
+        assert_eq!(c.placement, PlacementMode::Traffic);
+        assert!(ClusterConfig::from_toml_str("placement = \"rackwise\"\n").is_err());
+
+        let c = ClusterConfig::from_toml_str("link_budget_bytes = 1048576\n").unwrap();
+        assert_eq!(c.link_budget_bytes, Some(1 << 20));
+        let p = c.planner();
+        assert!(p.enabled);
+        assert_eq!(p.link_budget_bytes, Some(1 << 20));
+        assert!(ClusterConfig::from_toml_str("link_budget_bytes = 0\n").is_err());
+        assert!(ClusterConfig::from_toml_str("link_budget_bytes = \"big\"\n").is_err());
     }
 
     #[test]

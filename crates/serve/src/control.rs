@@ -28,14 +28,17 @@ use crate::store::Versioned;
 use crate::telemetry::TickSample;
 use crate::wal::StorageSnapshot;
 use rfh_core::{
-    server_blocking_probabilities, Action, EpochContext, ReplicaManager, ReplicationPolicy,
-    RfhPolicy,
+    server_blocking_probabilities, Action, EpochContext, PlacementMode, ReplicaManager,
+    ReplicationPolicy, RfhPolicy,
 };
 use rfh_faults::{FaultInjector, FaultPlan, InvariantAuditor};
 use rfh_obs::{MetricsRegistry, NullRecorder};
 use rfh_pool::WorkerPool;
 use rfh_ring::ConsistentHashRing;
-use rfh_sim::{destination_unreachable, RepairQueue};
+use rfh_sim::{
+    destination_unreachable, link_between, LinkKey, MoveClass, MoveReq, PlannerConfig, RepairQueue,
+    TransferPlanner,
+};
 use rfh_stats::Histogram;
 use rfh_topology::Topology;
 use rfh_traffic::{PlacementView, TrafficEngine, TrafficSmoother};
@@ -98,6 +101,10 @@ pub(crate) struct Controller {
     injector: Option<FaultInjector>,
     auditor: InvariantAuditor,
     repair_queue: RepairQueue,
+    /// Bandwidth-budgeted admission control for tick transfers; with
+    /// `planner_cfg.enabled` off the greedy path runs untouched.
+    planner_cfg: PlannerConfig,
+    planner: TransferPlanner,
     pinned: Vec<PartitionId>,
     view: PlacementView,
     /// Partitions whose replica set changed since the last render.
@@ -145,15 +152,20 @@ impl Controller {
         faults: FaultPlan,
         r_min: usize,
         threads: usize,
+        placement: PlacementMode,
+        planner_cfg: PlannerConfig,
     ) -> Self {
         let dc_count = topo.datacenters().len() as u32;
         let pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
         let mut policy = RfhPolicy::new();
         policy.set_pool(pool.clone());
+        policy.set_placement(placement);
         Controller {
             injector: FaultInjector::new(&faults),
             auditor: InvariantAuditor::new(cfg.partitions, r_min),
             repair_queue: RepairQueue::new(),
+            planner_cfg,
+            planner: TransferPlanner::new(),
             pinned: Vec::new(),
             smoother: TrafficSmoother::new(cfg.partitions, dc_count, cfg.thresholds.alpha),
             engine: TrafficEngine::new(),
@@ -221,6 +233,13 @@ impl Controller {
         registry.counter_total("serve.invariant_violations", self.auditor.total());
         registry.counter_total("serve.sparse.dirty_partitions", self.sparse_dirty);
         registry.counter_total("serve.sparse.skipped_partitions", self.sparse_skipped);
+        // Planner series appear only when the planner runs, so a
+        // budget-less scrape is byte-identical to older builds.
+        if self.planner_cfg.enabled {
+            registry.counter_total("serve.planner.admitted", self.planner.admitted_total());
+            registry.counter_total("serve.planner.deferred", self.planner.deferred_total());
+            registry.gauge("serve.planner.credit_bytes", self.planner.credit_bytes() as f64);
+        }
         registry.gauge("serve.replicas_total", self.manager.total_replicas() as f64);
         let c = &self.shared.counters;
         registry.counter_total("serve.requests.gets", c.gets.load(Ordering::Relaxed));
@@ -358,23 +377,63 @@ impl Controller {
 
         // Deferred transfers compete for bandwidth ahead of new
         // decisions, exactly as in the offline loop.
-        for item in self.repair_queue.take_due(self.tick) {
-            if destination_unreachable(&self.topo, &self.manager, &item.action) {
-                self.repair_queue.defer(item.action, item.attempts + 1, self.tick);
-                continue;
+        let due = self.repair_queue.take_due(self.tick);
+        if !self.planner_cfg.enabled {
+            for item in due {
+                self.run_deferred(item.action, item.attempts);
             }
-            if self.execute(item.action) {
-                self.repair_queue.note_completed();
+            for action in actions {
+                self.run_fresh(action);
             }
-        }
-        for action in actions {
-            if self.injector.is_some()
-                && destination_unreachable(&self.topo, &self.manager, &action)
-            {
-                self.repair_queue.defer(action, 0, self.tick);
-                continue;
+        } else {
+            // Planner path, mirroring the offline epoch loop: moves are
+            // offered in greedy execution order (deferred lane first),
+            // the priority classes only decide which moves win a
+            // contended link budget, and admitted moves execute in
+            // their offered order.
+            let size = self.cfg.partition_size.0;
+            let mut moves: Vec<MoveReq<(Action, bool, u32)>> =
+                Vec::with_capacity(due.len() + actions.len());
+            for item in &due {
+                moves.push(MoveReq {
+                    tag: (item.action, true, item.attempts),
+                    link: self.wan_link(&item.action),
+                    bytes: size,
+                    class: MoveClass::Deferred { age: item.attempts },
+                });
             }
-            self.execute(action);
+            for &action in &actions {
+                let class = match action {
+                    Action::Replicate { partition, .. }
+                        if self.manager.replica_count(partition) < self.r_min =>
+                    {
+                        MoveClass::UnderReplicated
+                    }
+                    _ => MoveClass::Normal,
+                };
+                moves.push(MoveReq {
+                    tag: (action, false, 0),
+                    link: self.wan_link(&action),
+                    bytes: size,
+                    class,
+                });
+            }
+            let (repl_f, migr_f) = self.manager.bandwidth_factors();
+            let budget = match self.planner_cfg.link_budget_bytes {
+                None => u64::MAX,
+                Some(b) => (b as f64 * repl_f.min(migr_f)) as u64,
+            };
+            let outcome = self.planner.plan(moves, |_| budget);
+            for (action, was_deferred, attempts) in outcome.admitted {
+                if was_deferred {
+                    self.run_deferred(action, attempts);
+                } else {
+                    self.run_fresh(action);
+                }
+            }
+            for (action, _, attempts) in outcome.deferred {
+                self.repair_queue.defer_next(action, attempts + 1, self.tick);
+            }
         }
 
         // Subset audit over the active partitions (plus the auditor's
@@ -392,6 +451,42 @@ impl Controller {
         );
         self.record_tick_sample(health);
         self.tick += 1;
+    }
+
+    /// Execute one deferred-lane item: re-defer with backoff while the
+    /// destination is unreachable, otherwise apply and account it.
+    fn run_deferred(&mut self, action: Action, attempts: u32) {
+        if destination_unreachable(&self.topo, &self.manager, &action) {
+            self.repair_queue.defer(action, attempts + 1, self.tick);
+            return;
+        }
+        if self.execute(action) {
+            self.repair_queue.note_completed();
+        }
+    }
+
+    /// Execute one of this tick's fresh decisions, deferring it when
+    /// chaos has made the destination unreachable.
+    fn run_fresh(&mut self, action: Action) {
+        if self.injector.is_some() && destination_unreachable(&self.topo, &self.manager, &action) {
+            self.repair_queue.defer(action, 0, self.tick);
+            return;
+        }
+        self.execute(action);
+    }
+
+    /// The WAN link a transfer crosses, or `None` for suicides and
+    /// intra-datacenter moves (which cost the planner nothing).
+    fn wan_link(&self, action: &Action) -> Option<LinkKey> {
+        let dc = |s: ServerId| self.topo.servers()[s.index()].datacenter;
+        let (src, dst) = match *action {
+            Action::Replicate { partition, target } => {
+                (dc(self.manager.holder(partition)), dc(target))
+            }
+            Action::Migrate { from, to, .. } => (dc(from), dc(to)),
+            Action::Suicide { .. } => return None,
+        };
+        (src != dst).then(|| link_between(src, dst))
     }
 
     /// Count partitions below the replication floor: `(degraded,

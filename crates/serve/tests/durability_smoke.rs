@@ -28,6 +28,7 @@ fn durable_cluster(dir: &Path) -> ClusterConfig {
         telemetry: true,
         persistence: Some(PersistenceConfig::with_dir(dir.to_string_lossy().into_owned())),
         data_plane: DataPlane::Reactor,
+        ..ClusterConfig::default()
     }
 }
 

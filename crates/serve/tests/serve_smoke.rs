@@ -21,6 +21,7 @@ fn small_cluster(plane: DataPlane) -> ClusterConfig {
         telemetry: true,
         persistence: None,
         data_plane: plane,
+        ..ClusterConfig::default()
     }
 }
 

@@ -23,6 +23,7 @@ fn plane_cluster(telemetry: bool, plane: DataPlane) -> ClusterConfig {
         telemetry,
         persistence: None,
         data_plane: plane,
+        ..ClusterConfig::default()
     }
 }
 

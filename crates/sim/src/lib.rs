@@ -32,12 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod planner;
 pub mod repair;
 pub mod report;
 pub mod runner;
 pub mod simulation;
 
 pub use metrics::{recovery_epochs, EpochSnapshot, Metrics};
+pub use planner::{
+    link_between, LinkKey, MoveClass, MoveReq, PlanOutcome, PlannerConfig, TransferPlanner,
+};
 pub use repair::{destination_unreachable, RepairQueue};
 pub use rfh_faults::{FaultAction, FaultPlan};
 pub use runner::{run_comparison, run_comparison_observed, ComparisonResult, ObsOptions};

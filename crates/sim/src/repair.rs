@@ -64,6 +64,18 @@ impl RepairQueue {
         true
     }
 
+    /// Defer `action` to the *next* epoch — the transfer planner's
+    /// deferred lane. Unlike [`defer`](Self::defer), a bandwidth
+    /// deferral is not a failed attempt: the destination is fine, the
+    /// link budget was simply spent, and the planner's carried credit
+    /// guarantees eventual admission — so there is no backoff and no
+    /// dead-letter cap. `attempts` still accumulates (it is the
+    /// planner's aging priority, and it seeds the unreachable backoff
+    /// should the destination later die).
+    pub fn defer_next(&mut self, action: Action, attempts: u32, epoch: u64) {
+        self.pending.push(PendingRepair { action, attempts, due: epoch + 1 });
+    }
+
     /// Remove and return every action due at `epoch`, oldest first.
     pub fn take_due(&mut self, epoch: u64) -> Vec<PendingRepair> {
         let mut due = Vec::new();

@@ -3,12 +3,13 @@
 use crate::metrics::{
     epoch_load_imbalance, mean_utilization, mean_utilization_active, EpochSnapshot, Metrics,
 };
-use crate::repair::{destination_unreachable, RepairQueue};
+use crate::planner::{link_between, LinkKey, MoveClass, MoveReq, PlannerConfig, TransferPlanner};
+use crate::repair::{destination_unreachable, PendingRepair, RepairQueue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfh_core::{
-    server_blocking_probabilities, Action, EpochContext, OwnerOrientedPolicy, PolicyKind,
-    RandomPolicy, ReplicaManager, ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
+    server_blocking_probabilities, Action, EpochContext, OwnerOrientedPolicy, PlacementMode,
+    PolicyKind, RandomPolicy, ReplicaManager, ReplicationPolicy, RequestOrientedPolicy, RfhPolicy,
 };
 use rfh_faults::{FaultInjector, FaultPlan, InvariantAuditor};
 use rfh_obs::{
@@ -196,6 +197,19 @@ pub struct Simulation {
     sparse_dirty: u64,
     /// Cumulative partitions sparse epochs skipped.
     sparse_skipped: u64,
+    /// Transfer-planner configuration; disabled (the default) keeps the
+    /// historical greedy execution path byte for byte.
+    planner_cfg: PlannerConfig,
+    /// Per-link admission state (carried credit and lifetime counts).
+    /// Untouched while the planner is disabled.
+    planner: TransferPlanner,
+    /// Chaos availability accounting, scanned only when a fault plan is
+    /// active: partition-epochs with zero live replicas.
+    unavailable_pe: u64,
+    /// Partition-epochs below the availability floor `r_min`.
+    sub_rmin_pe: u64,
+    /// Peak count of sub-`r_min` partitions in any single epoch.
+    sub_rmin_peak: u64,
     /// Decision-event sink; [`NullRecorder`] unless traced.
     recorder: Arc<dyn Recorder>,
     /// Per-phase epoch timer; disabled (one branch per phase) unless
@@ -267,6 +281,11 @@ impl Simulation {
             sparse_dirty: 0,
             sparse_skipped: 0,
             pool,
+            planner_cfg: PlannerConfig::default(),
+            planner: TransferPlanner::new(),
+            unavailable_pe: 0,
+            sub_rmin_pe: 0,
+            sub_rmin_peak: 0,
             recorder: Arc::new(NullRecorder),
             profiler: Profiler::new(false),
             epoch: 0,
@@ -314,6 +333,18 @@ impl Simulation {
         self
     }
 
+    /// Attach the per-epoch transfer planner (see [`crate::planner`]).
+    /// A disabled config (the default) keeps the greedy execution path
+    /// byte for byte; an enabled planner with an unlimited budget is
+    /// bit-identical to it (the differential matrix in
+    /// `parallel_equiv.rs` asserts this); a finite budget rate-limits
+    /// each WAN link, deferring what does not fit to the next epoch via
+    /// the repair queue.
+    pub fn with_planner(mut self, cfg: PlannerConfig) -> Self {
+        self.planner_cfg = cfg;
+        self
+    }
+
     fn build_policy(
         params: &SimParams,
         topo: &Topology,
@@ -325,6 +356,13 @@ impl Simulation {
                 Some(pool) => Box::new(RfhPolicy::new().with_pool(Arc::clone(pool))),
                 None => Box::new(RfhPolicy::new()),
             },
+            PolicyKind::DomainSpread => {
+                let p = RfhPolicy::new().with_placement(PlacementMode::DomainSpread);
+                match pool {
+                    Some(pool) => Box::new(p.with_pool(Arc::clone(pool))),
+                    None => Box::new(p),
+                }
+            }
             PolicyKind::Random => Box::new(RandomPolicy::new(ring.clone())),
             PolicyKind::OwnerOriented => Box::new(OwnerOrientedPolicy::new()),
             PolicyKind::RequestOriented => Box::new(RequestOrientedPolicy::new(
@@ -511,6 +549,14 @@ impl Simulation {
         self.apply_events()?;
         self.retry_restores();
         self.manager.begin_epoch();
+        // Chaos availability accounting, as the cluster stands entering
+        // the epoch (post-fault, pre-repair — the worst this epoch
+        // sees). Only scanned under an active fault plan, so fault-free
+        // runs — including the million-partition sparse benches — pay
+        // nothing.
+        if self.injector.is_some() {
+            self.scan_availability();
+        }
         self.profiler.stop(PHASE_EVENTS, ev_t0);
 
         let wl_t0 = self.profiler.start();
@@ -683,82 +729,213 @@ impl Simulation {
         // Deferred transfers first: they were admitted in an earlier
         // epoch and compete for this epoch's bandwidth ahead of new
         // decisions.
-        for item in self.repair_queue.take_due(self.epoch) {
-            if destination_unreachable(&self.topo, &self.manager, &item.action) {
-                if !self.repair_queue.defer(item.action, item.attempts + 1, self.epoch) {
-                    snap.dead_letters += 1;
-                }
-                continue;
+        let due = self.repair_queue.take_due(self.epoch);
+        if !self.planner_cfg.enabled {
+            for item in due {
+                self.execute_repair(item, snap, policy_label);
             }
-            // An unapplicable retry (partition re-replicated elsewhere
-            // meanwhile, target filled up) is moot, not a failure: the
-            // policy re-decides every epoch.
-            let Ok(applied) =
-                self.manager.apply_recorded(&self.topo, item.action, &*self.recorder, policy_label)
-            else {
-                continue;
+            for action in actions {
+                self.execute_fresh(action, snap, policy_label);
+            }
+            return;
+        }
+        // Planner path. Moves are offered in the greedy execution order
+        // (deferred lane first, then this epoch's decisions); priority
+        // only decides *which* moves win a contended budget, and
+        // admitted moves execute in their offered order — so with an
+        // unlimited budget this path is byte-identical to the greedy
+        // one above.
+        let size = self.params.config.partition_size.0;
+        let mut moves: Vec<MoveReq<(Action, bool, u32)>> =
+            Vec::with_capacity(due.len() + actions.len());
+        for item in &due {
+            moves.push(MoveReq {
+                tag: (item.action, true, item.attempts),
+                link: self.wan_link(&item.action),
+                bytes: size,
+                class: MoveClass::Deferred { age: item.attempts },
+            });
+        }
+        for &action in &actions {
+            let class = match action {
+                Action::Replicate { partition, .. }
+                    if self.manager.replica_count(partition) < self.r_min =>
+                {
+                    MoveClass::UnderReplicated
+                }
+                _ => MoveClass::Normal,
             };
-            self.repair_queue.note_completed();
-            snap.repairs += 1;
-            match item.action {
-                Action::Replicate { partition, .. } => {
-                    snap.replications += 1;
-                    snap.replication_cost += applied.cost;
-                    self.dirty_parts.push(partition);
-                }
-                Action::Migrate { partition, .. } => {
-                    snap.migrations += 1;
-                    snap.migration_cost += applied.cost;
-                    self.dirty_parts.push(partition);
-                }
-                Action::Suicide { .. } => unreachable!("suicides are never deferred"),
+            moves.push(MoveReq {
+                tag: (action, false, 0),
+                link: self.wan_link(&action),
+                bytes: size,
+                class,
+            });
+        }
+        // Per-link budget: the configured cap scaled by the live WAN
+        // bandwidth-cut factors, so a `bandwidth` fault verb throttles
+        // planned transfers exactly as it throttles the per-server caps.
+        let (repl_f, migr_f) = self.manager.bandwidth_factors();
+        let budget = match self.planner_cfg.link_budget_bytes {
+            None => u64::MAX,
+            Some(b) => (b as f64 * repl_f.min(migr_f)) as u64,
+        };
+        let outcome = self.planner.plan(moves, |_| budget);
+        for (action, is_repair, attempts) in outcome.admitted {
+            if is_repair {
+                self.execute_repair(
+                    PendingRepair { action, attempts, due: self.epoch },
+                    snap,
+                    policy_label,
+                );
+            } else {
+                self.execute_fresh(action, snap, policy_label);
             }
         }
-        for action in actions {
-            // Under WAN faults a transfer whose destination is dead or
-            // unreachable is deferred and retried with backoff instead
-            // of silently counting as done. The check only runs when a
-            // fault plan is active: scripted-event runs keep their
-            // historical behaviour bit for bit.
-            if self.injector.is_some()
-                && destination_unreachable(&self.topo, &self.manager, &action)
-            {
-                let partition = match action {
-                    Action::Replicate { partition, .. }
-                    | Action::Migrate { partition, .. }
-                    | Action::Suicide { partition, .. } => partition,
-                };
-                self.recorder.outcome(policy_label, partition.0, false, 0.0);
-                if !self.repair_queue.defer(action, 0, self.epoch) {
-                    snap.dead_letters += 1;
-                }
-                continue;
-            }
-            // A rejected action (bandwidth exhausted, target filled up by
-            // an earlier action this epoch) is simply not executed —
-            // the decision is retried naturally in later epochs.
-            let Ok(applied) =
-                self.manager.apply_recorded(&self.topo, action, &*self.recorder, policy_label)
-            else {
-                continue;
+        for (action, _, attempts) in outcome.deferred {
+            let partition = match action {
+                Action::Replicate { partition, .. }
+                | Action::Migrate { partition, .. }
+                | Action::Suicide { partition, .. } => partition,
             };
-            match action {
-                Action::Replicate { partition, .. } => {
-                    snap.replications += 1;
-                    snap.replication_cost += applied.cost;
-                    self.dirty_parts.push(partition);
-                }
-                Action::Migrate { partition, .. } => {
-                    snap.migrations += 1;
-                    snap.migration_cost += applied.cost;
-                    self.dirty_parts.push(partition);
-                }
-                Action::Suicide { partition, .. } => {
-                    snap.suicides += 1;
-                    self.dirty_parts.push(partition);
-                }
+            self.recorder.outcome(policy_label, partition.0, false, 0.0);
+            // A budget deferral is not a failed attempt (the destination
+            // is fine), so the planner lane retries next epoch without
+            // backoff; `attempts` keeps growing as the aging priority.
+            self.repair_queue.defer_next(action, attempts + 1, self.epoch);
+        }
+    }
+
+    /// The WAN link an action's transfer crosses, as a planner
+    /// [`LinkKey`]. `None` — always admitted, zero bytes — for suicides
+    /// and intra-datacenter transfers: the planner budgets the WAN, not
+    /// the in-datacenter fabric.
+    fn wan_link(&self, action: &Action) -> Option<LinkKey> {
+        let dc = |s: ServerId| self.topo.servers()[s.index()].datacenter;
+        let (src, dst) = match *action {
+            Action::Replicate { partition, target } => {
+                (dc(self.manager.holder(partition)), dc(target))
+            }
+            Action::Migrate { from, to, .. } => (dc(from), dc(to)),
+            Action::Suicide { .. } => return None,
+        };
+        (src != dst).then(|| link_between(src, dst))
+    }
+
+    /// Execute one deferred-lane item: re-defer with backoff while the
+    /// destination is unreachable, otherwise apply and account it.
+    fn execute_repair(
+        &mut self,
+        item: PendingRepair,
+        snap: &mut EpochSnapshot,
+        policy_label: &'static str,
+    ) {
+        if destination_unreachable(&self.topo, &self.manager, &item.action) {
+            if !self.repair_queue.defer(item.action, item.attempts + 1, self.epoch) {
+                snap.dead_letters += 1;
+            }
+            return;
+        }
+        // An unapplicable retry (partition re-replicated elsewhere
+        // meanwhile, target filled up) is moot, not a failure: the
+        // policy re-decides every epoch.
+        let Ok(applied) =
+            self.manager.apply_recorded(&self.topo, item.action, &*self.recorder, policy_label)
+        else {
+            return;
+        };
+        self.repair_queue.note_completed();
+        snap.repairs += 1;
+        match item.action {
+            Action::Replicate { partition, .. } => {
+                snap.replications += 1;
+                snap.replication_cost += applied.cost;
+                self.dirty_parts.push(partition);
+            }
+            Action::Migrate { partition, .. } => {
+                snap.migrations += 1;
+                snap.migration_cost += applied.cost;
+                self.dirty_parts.push(partition);
+            }
+            Action::Suicide { .. } => unreachable!("suicides are never deferred"),
+        }
+    }
+
+    /// Execute one of this epoch's fresh decisions.
+    fn execute_fresh(
+        &mut self,
+        action: Action,
+        snap: &mut EpochSnapshot,
+        policy_label: &'static str,
+    ) {
+        // Under WAN faults a transfer whose destination is dead or
+        // unreachable is deferred and retried with backoff instead
+        // of silently counting as done. The check only runs when a
+        // fault plan is active: scripted-event runs keep their
+        // historical behaviour bit for bit.
+        if self.injector.is_some() && destination_unreachable(&self.topo, &self.manager, &action) {
+            let partition = match action {
+                Action::Replicate { partition, .. }
+                | Action::Migrate { partition, .. }
+                | Action::Suicide { partition, .. } => partition,
+            };
+            self.recorder.outcome(policy_label, partition.0, false, 0.0);
+            if !self.repair_queue.defer(action, 0, self.epoch) {
+                snap.dead_letters += 1;
+            }
+            return;
+        }
+        // A rejected action (bandwidth exhausted, target filled up by
+        // an earlier action this epoch) is simply not executed —
+        // the decision is retried naturally in later epochs.
+        let Ok(applied) =
+            self.manager.apply_recorded(&self.topo, action, &*self.recorder, policy_label)
+        else {
+            return;
+        };
+        match action {
+            Action::Replicate { partition, .. } => {
+                snap.replications += 1;
+                snap.replication_cost += applied.cost;
+                self.dirty_parts.push(partition);
+            }
+            Action::Migrate { partition, .. } => {
+                snap.migrations += 1;
+                snap.migration_cost += applied.cost;
+                self.dirty_parts.push(partition);
+            }
+            Action::Suicide { partition, .. } => {
+                snap.suicides += 1;
+                self.dirty_parts.push(partition);
             }
         }
+    }
+
+    /// Count partitions with zero live replicas (unavailable) and below
+    /// the availability floor, folding them into the lifetime
+    /// partition-epoch counters. Engine-independent (it reads the
+    /// replica map, not the sparse active set), so dense and sparse
+    /// chaos runs report identical availability.
+    fn scan_availability(&mut self) {
+        let mut unavailable = 0u64;
+        let mut sub = 0u64;
+        for p in 0..self.manager.partitions() {
+            let live = self
+                .manager
+                .replicas(PartitionId::new(p))
+                .iter()
+                .filter(|&&s| self.topo.servers()[s.index()].alive)
+                .count();
+            if live == 0 {
+                unavailable += 1;
+            }
+            if live < self.r_min {
+                sub += 1;
+            }
+        }
+        self.unavailable_pe += unavailable;
+        self.sub_rmin_pe += sub;
+        self.sub_rmin_peak = self.sub_rmin_peak.max(sub);
     }
 
     /// Export the run's counters into a metrics registry: epoch and
@@ -775,7 +952,63 @@ impl Simulation {
         registry.counter_total("sim.invariant_violations", self.auditor.total());
         registry.counter_total("sim.sparse.dirty_partitions", self.sparse_dirty);
         registry.counter_total("sim.sparse.skipped_partitions", self.sparse_skipped);
+        if self.planner_cfg.enabled {
+            registry.counter_total("sim.planner.admitted", self.planner.admitted_total());
+            registry.counter_total("sim.planner.deferred", self.planner.deferred_total());
+            registry.gauge("sim.planner.credit_bytes", self.planner.credit_bytes() as f64);
+        }
+        if self.injector.is_some() {
+            registry.counter_total(
+                "sim.availability.unavailable_partition_epochs",
+                self.unavailable_pe,
+            );
+            registry.counter_total("sim.availability.sub_rmin_partition_epochs", self.sub_rmin_pe);
+            registry.gauge("sim.availability.sub_rmin_peak", self.sub_rmin_peak as f64);
+        }
+        registry.gauge("sim.placement.spread_score", self.spread_score());
         self.engine.stats().collect_metrics(registry);
+    }
+
+    /// Mean failure-domain spread of the current placement: per
+    /// partition, the number of distinct (datacenter, room, rack)
+    /// triples its replicas occupy divided by its replica count — 1.0
+    /// when every copy sits in its own rack, approaching `1/n` when all
+    /// share one. O(replicas); computed at collection time only.
+    pub fn spread_score(&self) -> f64 {
+        let n = self.manager.partitions();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut racks: Vec<(u32, u32, u32)> = Vec::new();
+        for p in 0..n {
+            let set = self.manager.replicas(PartitionId::new(p));
+            if set.is_empty() {
+                continue;
+            }
+            racks.clear();
+            for &s in set {
+                let srv = &self.topo.servers()[s.index()];
+                racks.push((srv.datacenter.0, srv.room.0, srv.rack.0));
+            }
+            racks.sort_unstable();
+            racks.dedup();
+            total += racks.len() as f64 / set.len() as f64;
+        }
+        total / n as f64
+    }
+
+    /// Chaos availability counters: `(unavailable partition-epochs,
+    /// sub-r_min partition-epochs, peak sub-r_min in one epoch)`. All
+    /// zero unless a fault plan is active.
+    pub fn availability_counters(&self) -> (u64, u64, u64) {
+        (self.unavailable_pe, self.sub_rmin_pe, self.sub_rmin_peak)
+    }
+
+    /// The transfer planner's lifetime `(admitted, deferred)` move
+    /// counts. Both zero while the planner is disabled.
+    pub fn planner_counters(&self) -> (u64, u64) {
+        (self.planner.admitted_total(), self.planner.deferred_total())
     }
 
     /// The invariant auditor's findings so far (tests and diagnostics).
